@@ -1,0 +1,66 @@
+//! End-to-end virtual-time experiments as benchmarks: one scaled-down
+//! run per timing figure, plus DV event-handling throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simbatch::QueueModel;
+use simfs_core::dv::{DataVirtualizer, DvEvent};
+use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::vharness::VirtualExperiment;
+use simkit::{Dur, SimTime};
+use std::hint::black_box;
+
+fn bench_dv_event_handling(c: &mut Criterion) {
+    c.bench_function("dv_acquire_hit_path", |b| {
+        let ctx = ContextCfg::new("bench", StepMath::new(1, 8, 10_000), 100, u64::MAX / 4)
+            .with_prefetch(false);
+        let mut dv = DataVirtualizer::new(ctx);
+        // Materialize 1..=512 once.
+        let actions = dv.handle(SimTime::ZERO, DvEvent::Acquire { client: 1, key: 1 });
+        for a in actions {
+            if let simfs_core::dv::DvAction::Launch { sim, keys, .. } = a {
+                dv.handle(SimTime::ZERO, DvEvent::SimStarted { sim });
+                for k in keys {
+                    dv.handle(SimTime::ZERO, DvEvent::FileProduced { sim, key: k, size: 100 });
+                }
+                dv.handle(SimTime::ZERO, DvEvent::SimFinished { sim });
+            }
+        }
+        dv.handle(SimTime::ZERO, DvEvent::Release { client: 1, key: 1 });
+        let mut t = 1u64;
+        b.iter(|| {
+            t += 1;
+            let now = SimTime::from_nanos(t);
+            let key = 1 + (t % 8);
+            black_box(dv.handle(now, DvEvent::Acquire { client: 1, key }));
+            dv.handle(now, DvEvent::Release { client: 1, key });
+        })
+    });
+}
+
+fn bench_virtual_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("virtual_experiment");
+    group.sample_size(20);
+    for (name, dd, dr, tau_ms, alpha_ms) in [
+        ("fig16_cosmo", 5u64, 60u64, 300u64, 1300u64),
+        ("fig18_flash", 1, 20, 1400, 700),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let steps = StepMath::new(dd, dr, dd * 1000);
+            let cfg = ContextCfg::new("bench", steps, 1, u64::MAX / 4).with_smax(8);
+            let exp = VirtualExperiment {
+                cfg,
+                alpha_sim: Dur::from_millis(alpha_ms),
+                tau_sim: Dur::from_millis(tau_ms),
+                queue: QueueModel::None,
+                nodes_per_sim: 4,
+                seed: 3,
+            };
+            let accesses: Vec<u64> = (1..=72).collect();
+            b.iter(|| black_box(exp.run_analysis(&accesses, Dur::from_millis(50))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dv_event_handling, bench_virtual_experiments);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the replacement policies: the DV consults the
+//! policy on every access, so per-operation cost matters at archive
+//! scale (the ECMWF trace replays 660k accesses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcache::{policy_by_name, CacheSim, PAPER_POLICIES};
+use std::hint::black_box;
+
+/// Zipf-ish skewed access stream with deterministic generation.
+fn workload(n: usize, key_space: u64) -> Vec<u64> {
+    let mut x: u64 = 0x9E3779B97F4A7C15;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Square the uniform draw to skew toward low keys.
+            let u = (x >> 33) as f64 / (1u64 << 31) as f64;
+            ((u * u) * key_space as f64) as u64
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let accesses = workload(10_000, 4096);
+    let mut group = c.benchmark_group("policy_access");
+    for policy in PAPER_POLICIES.iter().chain(["FIFO"].iter()) {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), policy, |b, name| {
+            b.iter(|| {
+                let mut cache =
+                    CacheSim::new(policy_by_name(name, 1024).unwrap(), 1024 * 100);
+                for &key in &accesses {
+                    if !cache.access(key) {
+                        cache.insert(key, 100, key % 48);
+                    }
+                }
+                black_box(cache.stats().hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_eviction_pressure(c: &mut Criterion) {
+    // Tiny cache, long scan: every insert evicts (worst case for the
+    // cost-aware scan in BCL/DCL).
+    let mut group = c.benchmark_group("policy_eviction_pressure");
+    for policy in ["LRU", "BCL", "DCL"] {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, name| {
+            b.iter(|| {
+                let mut cache = CacheSim::new(policy_by_name(name, 64).unwrap(), 64 * 100);
+                for key in 0..5_000u64 {
+                    cache.insert(key, 100, key % 48);
+                }
+                black_box(cache.stats().evictions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_eviction_pressure);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Throughput of the workload replay engine — the inner loop of every
+//! cost figure (Figs. 1, 12–15) and of Fig. 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::replay::replay;
+use simkit::SeedSeq;
+use simtrace::{fig5_trace, Pattern};
+use std::hint::black_box;
+
+fn bench_replay(c: &mut Criterion) {
+    let mut rng = SeedSeq::new(7).rng(0);
+    let trace = fig5_trace(&mut rng, Pattern::Random, 1152, 50, (100, 400));
+    let accesses: Vec<u64> = trace.accesses.iter().map(|a| a.step + 1).collect();
+
+    let mut group = c.benchmark_group("replay_fig5_workload");
+    for policy in ["lru", "dcl", "arc", "lirs"] {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, name| {
+            let ctx = ContextCfg::new("bench", StepMath::new(1, 48, 1152), 1000, 288 * 1000)
+                .with_policy(name)
+                .with_prefetch(false);
+            b.iter(|| black_box(replay(&ctx, accesses.iter().copied())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_scale_replay(c: &mut Criterion) {
+    // The Fig. 1 scale: COSMO timeline (8533 steps, B = 96), 100
+    // interleaved analyses.
+    let mut rng = SeedSeq::new(9).rng(0);
+    let analyses: Vec<Vec<u64>> = (0..100)
+        .map(|_| {
+            use rand::Rng;
+            let start = rng.gen_range(0..8000u64);
+            (start..start + 300).map(|k| k + 1).collect()
+        })
+        .collect();
+    let trace = simtrace::interleave_with_overlap(&analyses, 0.5);
+    let accesses: Vec<u64> = trace.accesses.iter().map(|a| a.step).collect();
+
+    c.bench_function("replay_cost_model_workload", |b| {
+        let ctx = ContextCfg::new("bench", StepMath::new(15, 1440, 128_010), 6, 12_798)
+            .with_policy("dcl")
+            .with_prefetch(false);
+        b.iter(|| black_box(replay(&ctx, accesses.iter().copied())))
+    });
+}
+
+criterion_group!(benches, bench_replay, bench_cost_scale_replay);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Substrate benchmarks: SDF encode/decode (the data-plane cost of
+//! every produced step), simulator stepping (what a re-simulation
+//! spends its `tau_sim` on), and trace generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simkit::SeedSeq;
+use simstore::{Data, Dataset};
+use simtrace::EcmwfSpec;
+use simulators::{build_sim, SimKind};
+use std::hint::black_box;
+
+fn bench_sdf(c: &mut Criterion) {
+    let mut ds = Dataset::new(7, 1.25);
+    ds.set_attr("simulator", "heat2d");
+    let field: Vec<f64> = (0..64 * 64).map(|i| (i as f64).sin()).collect();
+    ds.add_var("u", vec![64, 64], Data::F64(field)).unwrap();
+    let encoded = ds.encode();
+
+    let mut group = c.benchmark_group("sdf");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_64x64_f64", |b| b.iter(|| black_box(ds.encode())));
+    group.bench_function("decode_64x64_f64", |b| {
+        b.iter(|| black_box(Dataset::decode(&encoded).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_step");
+    for kind in [SimKind::Synthetic, SimKind::Heat2d, SimKind::Sedov] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let mut sim = build_sim(kind, 1);
+                b.iter(|| {
+                    sim.step();
+                    black_box(sim.timestep())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_traces(c: &mut Criterion) {
+    c.bench_function("ecmwf_trace_10k", |b| {
+        let spec = EcmwfSpec::scaled(10_000);
+        b.iter(|| {
+            let mut rng = SeedSeq::new(5).rng(0);
+            black_box(spec.generate(&mut rng).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_sdf, bench_simulators, bench_traces);
+criterion_main!(benches);

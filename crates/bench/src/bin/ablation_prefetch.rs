@@ -1,0 +1,73 @@
+//! Ablation: what each prefetching ingredient buys (DESIGN.md calls
+//! out the §IV design choices; this harness isolates them).
+//!
+//! Four configurations over the same COSMO-style forward analysis:
+//!
+//! * `none`        — no prefetching: every miss pays `alpha_sim`;
+//! * `mask-only`   — prefetching with `s_max = 1`: restart latencies
+//!                   masked, no bandwidth matching;
+//! * `ramp`        — full prefetching with the conservative doubling
+//!                   ramp (§IV-B1b option);
+//! * `full`        — full prefetching, `s_opt` launched directly.
+//!
+//! `cargo run -p simfs-bench --bin ablation_prefetch`
+
+use simbatch::QueueModel;
+use simfs_bench::output::{fmt, RunOpts, Table};
+use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::vharness::VirtualExperiment;
+use simkit::Dur;
+
+fn experiment(prefetch: bool, ramp: bool, smax: u32, seed: u64) -> VirtualExperiment {
+    let steps = StepMath::new(5, 60, 5 * 2400);
+    let cfg = ContextCfg::new("ablation", steps, 1, u64::MAX / 4)
+        .with_policy("dcl")
+        .with_smax(smax)
+        .with_prefetch(prefetch)
+        .with_prefetch_ramp(ramp);
+    VirtualExperiment {
+        cfg,
+        alpha_sim: Dur::from_secs(13),
+        tau_sim: Dur::from_secs(3),
+        queue: QueueModel::None,
+        nodes_per_sim: 100,
+        seed,
+    }
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let m = 144u64;
+    let accesses: Vec<u64> = (241..241 + m).collect();
+    let tau_cli = Dur::from_millis(500);
+
+    let mut t = Table::new(
+        "Prefetching ablation — COSMO config, forward analysis of 144 steps",
+        &["variant", "completion_s", "speedup_vs_none", "restarts", "peak_sims"],
+    );
+    let configs: [(&str, bool, bool, u32); 4] = [
+        ("none", false, false, 8),
+        ("mask-only", true, false, 1),
+        ("ramp", true, true, 8),
+        ("full", true, false, 8),
+    ];
+    let mut baseline = None;
+    for (name, prefetch, ramp, smax) in configs {
+        let exp = experiment(prefetch, ramp, smax, opts.seed);
+        let res = exp.run_analysis(&accesses, tau_cli);
+        let secs = res.completion.as_secs_f64();
+        let base = *baseline.get_or_insert(secs);
+        t.row(vec![
+            name.to_string(),
+            fmt(secs),
+            fmt(base / secs),
+            res.stats.restarts.to_string(),
+            res.peak_sims.to_string(),
+        ]);
+    }
+    t.print();
+    let path = t
+        .write_csv(&opts.out_dir, "ablation_prefetch")
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,77 @@
+//! Runs every table/figure harness at reduced scale and writes all
+//! CSVs — the one-command reproduction entry point.
+//!
+//! `cargo run --release -p simfs-bench --bin all_figures [--full]`
+
+use simfs_bench::prefetchfigs::{latency, latency_table, scaling, scaling_table, ScalingConfig};
+use simfs_bench::{costfigs, fig5, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let out = &opts.out_dir;
+
+    println!("SimFS paper reproduction — all tables and figures");
+    println!(
+        "(reps = {}, seed = {}, out = {}; pass --full for paper scale)",
+        opts.reps,
+        opts.seed,
+        out.display()
+    );
+
+    // Fig. 5.
+    let cfg5 = fig5::Fig5Config::paper(opts.full);
+    let cells = fig5::run(&cfg5, &opts);
+    let t = fig5::table(&cells);
+    t.print();
+    t.write_csv(out, "fig05_replacement").expect("csv");
+
+    // Cost figures.
+    let (t, _) = costfigs::fig1(&opts);
+    t.print();
+    t.write_csv(out, "fig01_cost_availability").expect("csv");
+    let (t, _) = costfigs::fig12(&opts);
+    t.print();
+    t.write_csv(out, "fig12_cost_dr_sweep").expect("csv");
+    let (t, _) = costfigs::fig13(&opts);
+    t.print();
+    t.write_csv(out, "fig13_cost_overlap").expect("csv");
+    let (t, _) = costfigs::fig14(&opts);
+    t.print();
+    t.write_csv(out, "fig14_cost_nanalyses").expect("csv");
+    let t = costfigs::fig15a(&opts, if opts.full { 16 } else { 6 });
+    t.print();
+    t.write_csv(out, "fig15a_heatmap").expect("csv");
+    let (t, _) = costfigs::fig15bc(&opts);
+    t.print();
+    t.write_csv(out, "fig15bc_space").expect("csv");
+
+    // Timing figures.
+    let cosmo = ScalingConfig::cosmo();
+    let points = scaling(&cosmo, &opts);
+    let t = scaling_table(&cosmo, &points);
+    t.print();
+    t.write_csv(out, "fig16_cosmo_scaling").expect("csv");
+
+    let flash = ScalingConfig::flash();
+    let points = scaling(&flash, &opts);
+    let t = scaling_table(&flash, &points);
+    t.print();
+    t.write_csv(out, "fig18_flash_scaling").expect("csv");
+
+    let alphas: &[u64] = if opts.full {
+        &[0, 50, 100, 200, 300, 400, 500, 600]
+    } else {
+        &[0, 300, 600]
+    };
+    let points = latency(&cosmo, &[72, 288], alphas, &opts);
+    let t = latency_table(&cosmo, &points);
+    t.print();
+    t.write_csv(out, "fig17_cosmo_latency").expect("csv");
+
+    let points = latency(&flash, &[200, 400], alphas, &opts);
+    let t = latency_table(&flash, &points);
+    t.print();
+    t.write_csv(out, "fig19_flash_latency").expect("csv");
+
+    println!("\nall figures written to {}", out.display());
+}

@@ -1,0 +1,15 @@
+//! Fig. 1: aggregated analysis cost vs data availability period.
+//!
+//! `cargo run -p simfs-bench --bin fig01_cost_availability [--full]`
+
+use simfs_bench::{costfigs, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let (table, _) = costfigs::fig1(&opts);
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, "fig01_cost_availability")
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,46 @@
+//! Fig. 5: cache replacement schemes vs access patterns.
+//!
+//! `cargo run -p simfs-bench --bin fig05_replacement [--full] [--reps N]`
+//!
+//! `--full` runs the paper-scale configuration: 100 repetitions and the
+//! full-length (659,989-access) ECMWF-like trace.
+
+use simfs_bench::{fig5, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let cfg = fig5::Fig5Config::paper(opts.full);
+    let cells = fig5::run(&cfg, &opts);
+    let table = fig5::table(&cells);
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, "fig05_replacement")
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+
+    // The paper's two qualitative findings, checked on the spot.
+    let lirs_bwd = fig5::cell(&cells, simtrace::Pattern::Backward, "LIRS");
+    let lru_bwd = fig5::cell(&cells, simtrace::Pattern::Backward, "LRU");
+    println!(
+        "\nLIRS vs LRU on backward scans: {:.0} vs {:.0} simulated steps{}",
+        lirs_bwd.steps_median,
+        lru_bwd.steps_median,
+        if lirs_bwd.steps_median > lru_bwd.steps_median {
+            "  (LIRS worst on backward, as in the paper)"
+        } else {
+            "  (!! expected LIRS to be worse)"
+        }
+    );
+    let dcl_rand = fig5::cell(&cells, simtrace::Pattern::Random, "DCL");
+    let lru_rand = fig5::cell(&cells, simtrace::Pattern::Random, "LRU");
+    println!(
+        "DCL vs LRU on random accesses: {:.0} vs {:.0} simulated steps{}",
+        dcl_rand.steps_median,
+        lru_rand.steps_median,
+        if dcl_rand.steps_median <= lru_rand.steps_median {
+            "  (cost-aware wins, as in the paper)"
+        } else {
+            "  (!! expected DCL to win)"
+        }
+    );
+}

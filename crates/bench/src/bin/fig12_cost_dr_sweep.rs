@@ -1,0 +1,16 @@
+//! Fig. 12: cost vs availability period for Δr ∈ {4, 8, 16} h and cache
+//! sizes {25, 50}%.
+//!
+//! `cargo run -p simfs-bench --bin fig12_cost_dr_sweep [--full]`
+
+use simfs_bench::{costfigs, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let (table, _) = costfigs::fig12(&opts);
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, "fig12_cost_dr_sweep")
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+}

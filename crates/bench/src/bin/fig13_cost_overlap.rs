@@ -1,0 +1,15 @@
+//! Fig. 13: cost vs analyses execution overlap (Δt = 2 y).
+//!
+//! `cargo run -p simfs-bench --bin fig13_cost_overlap [--full]`
+
+use simfs_bench::{costfigs, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let (table, _) = costfigs::fig13(&opts);
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, "fig13_cost_overlap")
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,30 @@
+//! Fig. 14: cost vs number of analyses (Δt = 2 y, overlap 50%).
+//!
+//! `cargo run -p simfs-bench --bin fig14_cost_nanalyses [--full]`
+
+use simfs_bench::{costfigs, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let (table, results) = costfigs::fig14(&opts);
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, "fig14_cost_nanalyses")
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+
+    // The paper's crossover: below ~20 analyses in-situ wins, above it
+    // SimFS wins.
+    let few = results
+        .iter()
+        .find(|r| r.case.dr_hours == 8.0 && r.case.cache_fraction == 0.25 && r.case.n_analyses == 5);
+    let many = results
+        .iter()
+        .find(|r| r.case.dr_hours == 8.0 && r.case.cache_fraction == 0.25 && r.case.n_analyses == 125);
+    if let (Some(few), Some(many)) = (few, many) {
+        println!(
+            "\ncrossover check: z=5 in-situ {:.0}$ vs SimFS {:.0}$; z=125 in-situ {:.0}$ vs SimFS {:.0}$",
+            few.in_situ, few.simfs, many.in_situ, many.simfs
+        );
+    }
+}

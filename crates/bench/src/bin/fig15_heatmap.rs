@@ -1,0 +1,30 @@
+//! Fig. 15: (a) cost-effectiveness heatmap over the price plane;
+//! (b) SimFS cost vs restart-file space; (c) re-simulation time vs
+//! space.
+//!
+//! `cargo run -p simfs-bench --bin fig15_heatmap [--full]`
+
+use simcost::{AZURE, PIZ_DAINT};
+use simfs_bench::{costfigs, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let resolution = if opts.full { 16 } else { 8 };
+
+    let heat = costfigs::fig15a(&opts, resolution);
+    heat.print();
+    let path = heat.write_csv(&opts.out_dir, "fig15a_heatmap").expect("write CSV");
+    println!("\nCSV: {}", path.display());
+    println!(
+        "reference points: Azure (c_s={}, c_c={}), Piz Daint (c_s={}, c_c={})",
+        AZURE.storage_per_gib_month,
+        AZURE.compute_per_node_hour,
+        PIZ_DAINT.storage_per_gib_month,
+        PIZ_DAINT.compute_per_node_hour
+    );
+
+    let (bc, _) = costfigs::fig15bc(&opts);
+    bc.print();
+    let path = bc.write_csv(&opts.out_dir, "fig15bc_space").expect("write CSV");
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,18 @@
+//! Fig. 16: strong scalability of analyses on virtualized COSMO data.
+//!
+//! `cargo run -p simfs-bench --bin fig16_cosmo_scaling`
+
+use simfs_bench::prefetchfigs::{scaling, scaling_table, ScalingConfig};
+use simfs_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let cfg = ScalingConfig::cosmo();
+    let points = scaling(&cfg, &opts);
+    let table = scaling_table(&cfg, &points);
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, "fig16_cosmo_scaling")
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+}

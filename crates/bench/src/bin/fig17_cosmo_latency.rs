@@ -1,0 +1,27 @@
+//! Fig. 17: prefetching COSMO simulations under different restart
+//! latencies and analysis lengths (m ∈ {72, 288, 1152}).
+//!
+//! `cargo run -p simfs-bench --bin fig17_cosmo_latency [--full]`
+
+use simfs_bench::prefetchfigs::{latency, latency_table, ScalingConfig};
+use simfs_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let mut cfg = ScalingConfig::cosmo();
+    // Long analyses need a long timeline.
+    cfg.n_timesteps = 5 * 2400;
+    let ms: &[u64] = &[72, 288, 1152];
+    let alphas: &[u64] = if opts.full {
+        &[0, 50, 100, 200, 300, 400, 500, 600]
+    } else {
+        &[0, 100, 300, 600]
+    };
+    let points = latency(&cfg, ms, alphas, &opts);
+    let table = latency_table(&cfg, &points);
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, "fig17_cosmo_latency")
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,19 @@
+//! Fig. 18: strong scalability of analyses on virtualized FLASH (Sedov)
+//! data.
+//!
+//! `cargo run -p simfs-bench --bin fig18_flash_scaling`
+
+use simfs_bench::prefetchfigs::{scaling, scaling_table, ScalingConfig};
+use simfs_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let cfg = ScalingConfig::flash();
+    let points = scaling(&cfg, &opts);
+    let table = scaling_table(&cfg, &points);
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, "fig18_flash_scaling")
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,26 @@
+//! Fig. 19: prefetching FLASH simulations under different restart
+//! latencies and analysis lengths (m ∈ {200, 400, 600}).
+//!
+//! `cargo run -p simfs-bench --bin fig19_flash_latency [--full]`
+
+use simfs_bench::prefetchfigs::{latency, latency_table, ScalingConfig};
+use simfs_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let mut cfg = ScalingConfig::flash();
+    cfg.n_timesteps = 2400;
+    let ms: &[u64] = &[200, 400, 600];
+    let alphas: &[u64] = if opts.full {
+        &[0, 50, 100, 200, 300, 400, 500, 600]
+    } else {
+        &[0, 100, 300, 600]
+    };
+    let points = latency(&cfg, ms, alphas, &opts);
+    let table = latency_table(&cfg, &points);
+    table.print();
+    let path = table
+        .write_csv(&opts.out_dir, "fig19_flash_latency")
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+}

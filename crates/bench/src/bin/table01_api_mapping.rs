@@ -1,0 +1,26 @@
+//! Table I: mapping of data-access operations to I/O libraries, as
+//! realized by the `simfs_core::intercept` facade.
+//!
+//! `cargo run -p simfs-bench --bin table01_api_mapping`
+
+use simfs_bench::Table;
+use simfs_core::intercept::TABLE_I;
+
+fn main() {
+    let mut t = Table::new(
+        "Table I — mapping data access operations to I/O libraries",
+        &["call", "(P)NetCDF", "(P)HDF5", "ADIOS"],
+    );
+    for row in TABLE_I {
+        t.row(vec![
+            row.call.to_string(),
+            row.netcdf.to_string(),
+            row.hdf5.to_string(),
+            row.adios.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nfacade entry points: simfs_core::intercept::{{netcdf, hdf5, adios}} over VirtualFs"
+    );
+}

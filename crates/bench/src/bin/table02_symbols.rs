@@ -1,0 +1,31 @@
+//! Table II: the cost-model symbols, with the COSMO calibration values
+//! (§V-A) filled in.
+//!
+//! `cargo run -p simfs-bench --bin table02_symbols`
+
+use simcost::{Scenario, AZURE};
+use simfs_bench::Table;
+
+fn main() {
+    let sc = Scenario::cosmo_paper(8.0);
+    let mut t = Table::new(
+        "Table II — cost model symbols (COSMO calibration, Δr = 8 h)",
+        &["symbol", "definition", "value"],
+    );
+    let rows: Vec<(&str, &str, String)> = vec![
+        ("Δt", "simulation data availability period", "swept (6m..5y)".into()),
+        ("c_c", "compute cost ($/node/hour)", format!("{}", AZURE.compute_per_node_hour)),
+        ("c_s", "storage cost ($/GiB/month)", format!("{}", AZURE.storage_per_gib_month)),
+        ("n", "number of timesteps", sc.n_timesteps.to_string()),
+        ("n_o", "number of output steps", sc.n_outputs().to_string()),
+        ("n_r", "number of restart steps", sc.n_restarts().to_string()),
+        ("s_o", "output step size (GiB)", format!("{}", sc.output_gib)),
+        ("s_r", "restart step size (GiB)", format!("{}", sc.restart_gib)),
+        ("P", "compute nodes for re-simulations", sc.nodes.to_string()),
+        ("tau_sim(P)", "seconds per output step", format!("{}", sc.tau_sim_secs)),
+    ];
+    for (sym, def, val) in rows {
+        t.row(vec![sym.to_string(), def.to_string(), val]);
+    }
+    t.print();
+}

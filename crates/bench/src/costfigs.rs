@@ -1,0 +1,472 @@
+//! Cost-model figures: Fig. 1 (availability sweep), Fig. 12 (Δr ×
+//! cache), Fig. 13 (overlap), Fig. 14 (number of analyses), Fig. 15
+//! (heatmap, cost-vs-space, time-vs-space).
+//!
+//! The shared machinery prices a workload of `z` forward-in-time
+//! analyses with a given execution overlap (§V-A): the interleaved
+//! access stream is replayed through the DV's cache (DCL) to measure
+//! `V(γ)` — the number of re-simulated output steps — which feeds
+//! `C_SimFS`; `C_in-situ` prices each analysis' private simulation; and
+//! `C_on-disk` is workload-independent.
+
+use crate::output::{fmt, RunOpts, Table};
+use rand::Rng;
+use simcost::{cost_in_situ, cost_on_disk, cost_simfs, resim_compute_hours, Rates, Scenario, AZURE};
+use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::replay::replay;
+use simkit::{SeedSeq, SimRng};
+use simtrace::{forward_scan, interleave_with_overlap};
+
+/// One priced workload configuration.
+#[derive(Clone, Debug)]
+pub struct CostCase {
+    /// Restart interval in hours of simulated time.
+    pub dr_hours: f64,
+    /// Cache fraction of total output volume.
+    pub cache_fraction: f64,
+    /// Availability period in months.
+    pub months: f64,
+    /// Number of analyses over the period.
+    pub n_analyses: u32,
+    /// Execution overlap (0–1).
+    pub overlap: f64,
+}
+
+/// Priced outcome of one case.
+#[derive(Clone, Debug)]
+pub struct CostResult {
+    /// The case.
+    pub case: CostCase,
+    /// Total on-disk cost ($).
+    pub on_disk: f64,
+    /// Total in-situ cost ($).
+    pub in_situ: f64,
+    /// Total SimFS cost ($).
+    pub simfs: f64,
+    /// Re-simulated output steps `V(γ)`.
+    pub resim_steps: u64,
+    /// Re-simulation compute hours (Fig. 15c).
+    pub resim_hours: f64,
+}
+
+/// Generates the workload: `z` forward scans with random starts and
+/// 100–400 accesses, interleaved at the given overlap. Returns
+/// `(access stream, (start, len) pairs for in-situ pricing)`.
+fn workload(
+    rng: &mut SimRng,
+    n_outputs: u64,
+    z: u32,
+    overlap: f64,
+) -> (Vec<u64>, Vec<(u64, u64)>) {
+    let mut analyses = Vec::with_capacity(z as usize);
+    let mut spans = Vec::with_capacity(z as usize);
+    for _ in 0..z {
+        let len = rng.gen_range(100..=400).min(n_outputs);
+        let start = rng.gen_range(0..n_outputs.saturating_sub(len).max(1));
+        // Keys are 1-based.
+        let scan: Vec<u64> = forward_scan(n_outputs, start, len)
+            .into_iter()
+            .map(|k| k + 1)
+            .collect();
+        spans.push((scan[0] - 1, scan.len() as u64));
+        analyses.push(scan);
+    }
+    let trace = interleave_with_overlap(&analyses, overlap);
+    (
+        trace.accesses.iter().map(|a| a.step).collect(),
+        spans,
+    )
+}
+
+/// A measured workload: the expensive part of pricing a case — the
+/// cache replay producing `V(γ)` — which is independent of the
+/// availability period and the price point. Measure once, price many.
+#[derive(Clone, Debug)]
+pub struct WorkloadMeasure {
+    sc: Scenario,
+    cache_fraction: f64,
+    /// Mean re-simulated steps over the repetitions.
+    pub resim_steps: u64,
+    /// Per-repetition `(start, len)` spans for in-situ pricing.
+    spans: Vec<Vec<(u64, u64)>>,
+}
+
+/// Replays the case's workload through the DV cache (`opts.reps`
+/// seeds); pricing happens separately in [`WorkloadMeasure::price`].
+pub fn measure_case(case: &CostCase, opts: &RunOpts) -> WorkloadMeasure {
+    let sc = Scenario::cosmo_paper(case.dr_hours);
+    let n_outputs = sc.n_outputs();
+    let steps = StepMath::new(sc.dd, sc.dr, sc.n_timesteps);
+    // Cache capacity in model bytes: 1 unit per GiB.
+    let unit = 1_000u64;
+    let ctx = ContextCfg::new(
+        "cost",
+        steps,
+        sc.output_gib as u64 * unit,
+        (sc.total_output_gib() * case.cache_fraction) as u64 * unit,
+    )
+    .with_policy("dcl")
+    .with_prefetch(false);
+
+    let seq = SeedSeq::new(opts.seed);
+    let mut v_total = 0u64;
+    let mut spans_all = Vec::with_capacity(opts.reps as usize);
+    for rep in 0..opts.reps {
+        let mut rng = seq.child(rep as u64).rng(1);
+        let (accesses, spans) = workload(&mut rng, n_outputs, case.n_analyses, case.overlap);
+        let stats = replay(&ctx, accesses);
+        v_total += stats.simulated_steps;
+        spans_all.push(spans);
+    }
+    WorkloadMeasure {
+        sc,
+        cache_fraction: case.cache_fraction,
+        resim_steps: v_total / opts.reps as u64,
+        spans: spans_all,
+    }
+}
+
+impl WorkloadMeasure {
+    /// Prices the measured workload at a rate point and availability
+    /// period.
+    pub fn price(&self, case: &CostCase, rates: &Rates) -> CostResult {
+        debug_assert_eq!(self.cache_fraction, case.cache_fraction);
+        let in_situ = self
+            .spans
+            .iter()
+            .map(|s| cost_in_situ(&self.sc, rates, s).total())
+            .sum::<f64>()
+            / self.spans.len() as f64;
+        CostResult {
+            case: case.clone(),
+            on_disk: cost_on_disk(&self.sc, rates, case.months).total(),
+            in_situ,
+            simfs: cost_simfs(
+                &self.sc,
+                rates,
+                case.months,
+                case.cache_fraction,
+                self.resim_steps,
+            )
+            .total(),
+            resim_steps: self.resim_steps,
+            resim_hours: resim_compute_hours(&self.sc, self.resim_steps),
+        }
+    }
+}
+
+/// Prices one case at the given rates (measure + price in one call; use
+/// [`measure_case`] + [`WorkloadMeasure::price`] to amortize the replay
+/// across price points or periods).
+pub fn price_case(case: &CostCase, rates: &Rates, opts: &RunOpts) -> CostResult {
+    measure_case(case, opts).price(case, rates)
+}
+
+/// The availability periods of Figs. 1/12, in months.
+pub const PERIODS: [(f64, &str); 6] = [
+    (6.0, "6m"),
+    (12.0, "1y"),
+    (24.0, "2y"),
+    (36.0, "3y"),
+    (48.0, "4y"),
+    (60.0, "5y"),
+];
+
+/// Fig. 1: cost vs availability period (Δr = 8 h, cache 25%, 100
+/// analyses, 50% overlap, Azure rates).
+pub fn fig1(opts: &RunOpts) -> (Table, Vec<CostResult>) {
+    let mut t = Table::new(
+        "Fig. 1 — aggregated analysis cost vs availability period (k$)",
+        &["period", "on_disk", "in_situ", "simfs"],
+    );
+    let mut results = Vec::new();
+    let base_case = CostCase {
+        dr_hours: 8.0,
+        cache_fraction: 0.25,
+        months: 0.0,
+        n_analyses: 100,
+        overlap: 0.5,
+    };
+    let measure = measure_case(&base_case, opts);
+    for (months, label) in PERIODS {
+        let case = CostCase { months, ..base_case.clone() };
+        let r = measure.price(&case, &AZURE);
+        t.row(vec![
+            label.to_string(),
+            fmt(r.on_disk / 1000.0),
+            fmt(r.in_situ / 1000.0),
+            fmt(r.simfs / 1000.0),
+        ]);
+        results.push(r);
+    }
+    (t, results)
+}
+
+/// Fig. 12: the Fig. 1 sweep × Δr ∈ {4, 8, 16} h × cache {25, 50}%.
+pub fn fig12(opts: &RunOpts) -> (Table, Vec<CostResult>) {
+    let mut t = Table::new(
+        "Fig. 12 — cost vs availability period, Δr and cache sweeps (k$)",
+        &["dr_h", "cache", "period", "on_disk", "in_situ", "simfs"],
+    );
+    let mut results = Vec::new();
+    for dr_hours in [4.0, 8.0, 16.0] {
+        for cache_fraction in [0.25, 0.50] {
+            let base_case = CostCase {
+                dr_hours,
+                cache_fraction,
+                months: 0.0,
+                n_analyses: 100,
+                overlap: 0.5,
+            };
+            let measure = measure_case(&base_case, opts);
+            for (months, label) in PERIODS {
+                let case = CostCase { months, ..base_case.clone() };
+                let r = measure.price(&case, &AZURE);
+                t.row(vec![
+                    format!("{dr_hours}"),
+                    format!("{}%", (cache_fraction * 100.0) as u32),
+                    label.to_string(),
+                    fmt(r.on_disk / 1000.0),
+                    fmt(r.in_situ / 1000.0),
+                    fmt(r.simfs / 1000.0),
+                ]);
+                results.push(r);
+            }
+        }
+    }
+    (t, results)
+}
+
+/// Fig. 13: cost vs analyses overlap (Δt = 2 y).
+pub fn fig13(opts: &RunOpts) -> (Table, Vec<CostResult>) {
+    let mut t = Table::new(
+        "Fig. 13 — cost vs analyses execution overlap (Δt = 2y, k$)",
+        &["dr_h", "cache", "overlap", "on_disk", "in_situ", "simfs"],
+    );
+    let mut results = Vec::new();
+    for dr_hours in [4.0, 8.0, 16.0] {
+        for cache_fraction in [0.25, 0.50] {
+            for overlap in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let case = CostCase {
+                    dr_hours,
+                    cache_fraction,
+                    months: 24.0,
+                    n_analyses: 100,
+                    overlap,
+                };
+                let r = price_case(&case, &AZURE, opts);
+                t.row(vec![
+                    format!("{dr_hours}"),
+                    format!("{}%", (cache_fraction * 100.0) as u32),
+                    format!("{}", (overlap * 100.0) as u32),
+                    fmt(r.on_disk / 1000.0),
+                    fmt(r.in_situ / 1000.0),
+                    fmt(r.simfs / 1000.0),
+                ]);
+                results.push(r);
+            }
+        }
+    }
+    (t, results)
+}
+
+/// Fig. 14: cost vs number of analyses (Δt = 2 y, overlap 50%).
+pub fn fig14(opts: &RunOpts) -> (Table, Vec<CostResult>) {
+    let mut t = Table::new(
+        "Fig. 14 — cost vs number of analyses (Δt = 2y, k$)",
+        &["dr_h", "cache", "analyses", "on_disk", "in_situ", "simfs"],
+    );
+    let mut results = Vec::new();
+    for dr_hours in [4.0, 8.0, 16.0] {
+        for cache_fraction in [0.25, 0.50] {
+            for z in [5u32, 10, 20, 40, 80, 125] {
+                let case = CostCase {
+                    dr_hours,
+                    cache_fraction,
+                    months: 24.0,
+                    n_analyses: z,
+                    overlap: 0.5,
+                };
+                let r = price_case(&case, &AZURE, opts);
+                t.row(vec![
+                    format!("{dr_hours}"),
+                    format!("{}%", (cache_fraction * 100.0) as u32),
+                    z.to_string(),
+                    fmt(r.on_disk / 1000.0),
+                    fmt(r.in_situ / 1000.0),
+                    fmt(r.simfs / 1000.0),
+                ]);
+                results.push(r);
+            }
+        }
+    }
+    (t, results)
+}
+
+/// Fig. 15a: the cost-effectiveness heatmap (ratio of the cheaper
+/// conventional solution to SimFS over the price plane), Δt = 3 y,
+/// 100 analyses, 50% overlap, cache 25%.
+pub fn fig15a(opts: &RunOpts, resolution: usize) -> Table {
+    let sc = Scenario::cosmo_paper(8.0);
+    let case = CostCase {
+        dr_hours: 8.0,
+        cache_fraction: 0.25,
+        months: 36.0,
+        n_analyses: 100,
+        overlap: 0.5,
+    };
+    // Measure V and the in-situ spans once at Azure rates; only prices
+    // vary across the plane.
+    let base = price_case(&case, &AZURE, opts);
+    let seq = SeedSeq::new(opts.seed);
+    let mut rng = seq.child(0).rng(1);
+    let (_, spans) = workload(&mut rng, sc.n_outputs(), case.n_analyses, case.overlap);
+
+    let points = simcost::cost_ratio_heatmap(
+        &sc,
+        case.months,
+        case.cache_fraction,
+        &spans,
+        base.resim_steps,
+        (0.02, 0.35),
+        (0.3, 3.2),
+        resolution,
+    );
+    let mut t = Table::new(
+        "Fig. 15a — min(on-disk, in-situ) / SimFS cost ratio",
+        &["storage_cost", "compute_cost", "ratio"],
+    );
+    for p in points {
+        t.row(vec![fmt(p.storage_cost), fmt(p.compute_cost), fmt(p.ratio)]);
+    }
+    t
+}
+
+/// Fig. 15b/c: SimFS cost and re-simulation time vs restart-file space
+/// (Δr ∈ {4, 8, 16, 32} h), cache {25, 50}%, Δt = 3 y.
+pub fn fig15bc(opts: &RunOpts) -> (Table, Vec<CostResult>) {
+    let mut t = Table::new(
+        "Fig. 15b/c — cost and re-simulation time vs restart space (Δt = 3y)",
+        &[
+            "dr_h",
+            "restart_space_tib",
+            "cache",
+            "cost_k$",
+            "resim_hours",
+            "on_disk_k$",
+        ],
+    );
+    let mut results = Vec::new();
+    for dr_hours in [4.0, 8.0, 16.0, 32.0] {
+        let sc = Scenario::cosmo_paper(dr_hours);
+        for cache_fraction in [0.25, 0.50] {
+            let case = CostCase {
+                dr_hours,
+                cache_fraction,
+                months: 36.0,
+                n_analyses: 100,
+                overlap: 0.5,
+            };
+            let r = price_case(&case, &AZURE, opts);
+            let on_disk = cost_on_disk(&sc, &AZURE, case.months).total();
+            t.row(vec![
+                format!("{dr_hours}"),
+                fmt(sc.total_restart_gib() / 1024.0),
+                format!("{}%", (cache_fraction * 100.0) as u32),
+                fmt(r.simfs / 1000.0),
+                fmt(r.resim_hours),
+                fmt(on_disk / 1000.0),
+            ]);
+            results.push(r);
+        }
+    }
+    (t, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shapes_hold() {
+        let opts = RunOpts {
+            reps: 2,
+            ..RunOpts::default()
+        };
+        let (_, results) = fig1(&opts);
+        // On-disk grows with the period; in-situ is flat; SimFS sits
+        // between the on-disk endpoints.
+        let on_disk: Vec<f64> = results.iter().map(|r| r.on_disk).collect();
+        assert!(on_disk.windows(2).all(|w| w[0] < w[1]));
+        let in_situ: Vec<f64> = results.iter().map(|r| r.in_situ).collect();
+        let spread = in_situ.iter().cloned().fold(f64::MIN, f64::max)
+            - in_situ.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < in_situ[0] * 0.25, "in-situ should be ~flat");
+        // The headline: at 5 years SimFS undercuts on-disk.
+        let last = results.last().unwrap();
+        assert!(
+            last.simfs < last.on_disk,
+            "SimFS {} !< on-disk {}",
+            last.simfs,
+            last.on_disk
+        );
+        // And at 6 months on-disk is cheaper than SimFS can be (short
+        // periods amortize storage well).
+        let first = &results[0];
+        assert!(first.on_disk < first.in_situ);
+    }
+
+    #[test]
+    fn fig13_overlap_increases_simfs_cost() {
+        // Shape check at reduced scale (the binaries run the full
+        // z = 100 sweep): fewer analyses, Δr = 8 h, 1 repetition.
+        let opts = RunOpts {
+            reps: 1,
+            ..RunOpts::default()
+        };
+        let base = CostCase {
+            dr_hours: 8.0,
+            cache_fraction: 0.25,
+            months: 24.0,
+            n_analyses: 40,
+            overlap: 0.0,
+        };
+        let low = price_case(&base, &AZURE, &opts);
+        let high = price_case(
+            &CostCase {
+                overlap: 1.0,
+                ..base
+            },
+            &AZURE,
+            &opts,
+        );
+        assert!(
+            high.resim_steps >= low.resim_steps,
+            "interleaving reduces temporal locality: {} vs {}",
+            high.resim_steps,
+            low.resim_steps
+        );
+    }
+
+    #[test]
+    fn fig14_in_situ_scales_with_analyses() {
+        let opts = RunOpts {
+            reps: 1,
+            ..RunOpts::default()
+        };
+        let mk = |z: u32| CostCase {
+            dr_hours: 8.0,
+            cache_fraction: 0.25,
+            months: 24.0,
+            n_analyses: z,
+            overlap: 0.5,
+        };
+        let small = price_case(&mk(5), &AZURE, &opts);
+        let large = price_case(&mk(125), &AZURE, &opts);
+        assert!(large.in_situ > small.in_situ * 10.0);
+        // Few analyses: in-situ beats SimFS (paper: below ~20 analyses).
+        assert!(small.in_situ < small.simfs);
+        // Many analyses: SimFS wins against in-situ.
+        assert!(large.simfs < large.in_situ);
+    }
+}

@@ -1,0 +1,205 @@
+//! Fig. 5: cache replacement schemes × access patterns.
+//!
+//! Paper setup (§III-D): a 4-day simulation producing an output step
+//! every 5 minutes (1152 steps) and a restart file every 4 hours
+//! (48 steps per interval); the SimFS cache holds 25% of the data
+//! volume. Workloads: concatenations of 50 traces per pattern (forward,
+//! backward, random; 100–400 accesses each, random start) plus the
+//! ECMWF-like archival trace. Each experiment repeats with fresh traces;
+//! the paper reports the median and 95% CI of (a) simulated output
+//! steps and (b) simulation restarts.
+
+use crate::output::{fmt, RunOpts, Table};
+use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::replay::replay;
+use simkit::{median_ci95, SeedSeq};
+use simtrace::{fig5_trace, EcmwfSpec, Pattern};
+
+/// The Fig. 5 experiment configuration.
+#[derive(Clone, Debug)]
+pub struct Fig5Config {
+    /// Output steps on the timeline (paper: 1152 = 4 days @ 5 min).
+    pub timeline_steps: u64,
+    /// Output steps per restart interval (paper: 48 = 4 h @ 5 min).
+    pub outputs_per_restart: u64,
+    /// Cache size as a fraction of the data volume (paper: 0.25).
+    pub cache_fraction: f64,
+    /// Traces per repetition (paper: 50).
+    pub n_traces: u32,
+    /// Accesses per trace (paper: 100–400).
+    pub len_range: (u64, u64),
+    /// ECMWF trace accesses (paper: 659,989; scaled down by default).
+    pub ecmwf_accesses: u64,
+}
+
+impl Fig5Config {
+    /// The paper's configuration, with the ECMWF trace optionally
+    /// scaled (the full 660k-access replay is `--full` territory).
+    pub fn paper(full: bool) -> Fig5Config {
+        Fig5Config {
+            timeline_steps: 1152,
+            outputs_per_restart: 48,
+            cache_fraction: 0.25,
+            n_traces: 50,
+            len_range: (100, 400),
+            ecmwf_accesses: if full { 659_989 } else { 60_000 },
+        }
+    }
+
+    fn context(&self, policy: &str) -> ContextCfg {
+        let steps = StepMath::new(1, self.outputs_per_restart, self.timeline_steps);
+        let bytes_per_step = 1_000u64;
+        let cache = (self.timeline_steps as f64 * self.cache_fraction) as u64 * bytes_per_step;
+        ContextCfg::new("fig5", steps, bytes_per_step, cache)
+            .with_policy(policy)
+            .with_prefetch(false)
+    }
+}
+
+/// One measured cell of Fig. 5.
+#[derive(Clone, Debug)]
+pub struct Fig5Cell {
+    /// Access pattern (figure tile).
+    pub pattern: Pattern,
+    /// Replacement scheme (x-axis).
+    pub policy: &'static str,
+    /// Median simulated output steps (bar).
+    pub steps_median: f64,
+    /// 95% CI of the median (bar whiskers).
+    pub steps_ci: (f64, f64),
+    /// Median number of restarts (point).
+    pub restarts_median: f64,
+    /// 95% CI of the restarts median.
+    pub restarts_ci: (f64, f64),
+}
+
+/// Runs the full Fig. 5 grid; `opts.reps` repetitions per cell.
+pub fn run(cfg: &Fig5Config, opts: &RunOpts) -> Vec<Fig5Cell> {
+    let seq = SeedSeq::new(opts.seed);
+    let mut cells = Vec::new();
+    for pattern in Pattern::ALL {
+        for policy in simcache::PAPER_POLICIES {
+            let mut steps_samples = Vec::with_capacity(opts.reps as usize);
+            let mut restart_samples = Vec::with_capacity(opts.reps as usize);
+            for rep in 0..opts.reps {
+                let mut rng = seq.child(rep as u64).rng(pattern as u64 * 31 + 7);
+                let trace = match pattern {
+                    Pattern::Ecmwf => EcmwfSpec {
+                        n_accesses: cfg.ecmwf_accesses,
+                        ..EcmwfSpec::default()
+                    }
+                    .generate(&mut rng),
+                    p => fig5_trace(&mut rng, p, cfg.timeline_steps, cfg.n_traces, cfg.len_range),
+                };
+                // ECMWF file ids are 0-based; keys are 1-based.
+                let accesses = trace.accesses.iter().map(|a| a.step + 1);
+                let ctx = cfg.context(policy);
+                let stats = replay(&ctx, accesses);
+                steps_samples.push(stats.simulated_steps as f64);
+                restart_samples.push(stats.restarts as f64);
+            }
+            let (steps_median, s_lo, s_hi) = median_ci95(&steps_samples);
+            let (restarts_median, r_lo, r_hi) = median_ci95(&restart_samples);
+            cells.push(Fig5Cell {
+                pattern,
+                policy,
+                steps_median,
+                steps_ci: (s_lo, s_hi),
+                restarts_median,
+                restarts_ci: (r_lo, r_hi),
+            });
+        }
+    }
+    cells
+}
+
+/// Renders the cells as the figure's table.
+pub fn table(cells: &[Fig5Cell]) -> Table {
+    let mut t = Table::new(
+        "Fig. 5 — replacement schemes vs access patterns (median over reps)",
+        &[
+            "pattern",
+            "policy",
+            "steps_x100",
+            "steps_ci_lo",
+            "steps_ci_hi",
+            "restarts",
+            "restarts_ci_lo",
+            "restarts_ci_hi",
+        ],
+    );
+    for c in cells {
+        t.row(vec![
+            c.pattern.label().to_string(),
+            c.policy.to_string(),
+            fmt(c.steps_median / 100.0),
+            fmt(c.steps_ci.0 / 100.0),
+            fmt(c.steps_ci.1 / 100.0),
+            fmt(c.restarts_median),
+            fmt(c.restarts_ci.0),
+            fmt(c.restarts_ci.1),
+        ]);
+    }
+    t
+}
+
+/// Finds a cell by pattern + policy.
+pub fn cell<'c>(cells: &'c [Fig5Cell], pattern: Pattern, policy: &str) -> &'c Fig5Cell {
+    cells
+        .iter()
+        .find(|c| c.pattern == pattern && c.policy == policy)
+        .expect("cell exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Fig5Config, RunOpts) {
+        let cfg = Fig5Config {
+            timeline_steps: 288,
+            outputs_per_restart: 24,
+            cache_fraction: 0.25,
+            n_traces: 10,
+            len_range: (30, 80),
+            ecmwf_accesses: 4_000,
+        };
+        (cfg, RunOpts::quick())
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let (cfg, opts) = tiny();
+        let cells = run(&cfg, &opts);
+        assert_eq!(cells.len(), 4 * 5, "4 patterns x 5 policies");
+        for c in &cells {
+            assert!(c.steps_median > 0.0, "{c:?}");
+            assert!(c.restarts_median > 0.0);
+            assert!(c.steps_ci.0 <= c.steps_median && c.steps_median <= c.steps_ci.1);
+        }
+    }
+
+    #[test]
+    fn forward_scans_are_cheap_for_all_policies() {
+        // Scan patterns: "Except for LIRS, we notice no important
+        // differences among the caching schemes for scan-like access
+        // patterns" (§III-D) — so the spread is checked without LIRS.
+        let (cfg, opts) = tiny();
+        let cells = run(&cfg, &opts);
+        let fwd: Vec<f64> = ["ARC", "BCL", "DCL", "LRU"]
+            .iter()
+            .map(|p| cell(&cells, Pattern::Forward, p).steps_median)
+            .collect();
+        let spread = fwd.iter().cloned().fold(f64::MIN, f64::max)
+            / fwd.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1.7, "forward spread too wide: {fwd:?}");
+    }
+
+    #[test]
+    fn table_has_all_rows() {
+        let (cfg, opts) = tiny();
+        let cells = run(&cfg, &opts);
+        let t = table(&cells);
+        assert_eq!(t.rows().len(), 20);
+    }
+}

@@ -1,0 +1,20 @@
+//! # simfs-bench — harnesses reproducing every table and figure
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §2 for the
+//! index). Each harness prints the series the paper plots and writes a
+//! CSV under `bench_results/` for external plotting. Absolute numbers
+//! differ from the paper (its substrate was Piz Daint + COSMO/FLASH;
+//! ours are the simulator proxies and a DES engine) — the reproduced
+//! quantity is the *shape*: who wins, by what rough factor, where the
+//! crossovers sit. EXPERIMENTS.md records paper-vs-measured for each.
+//!
+//! Every harness is also callable as a library function so the
+//! integration tests can assert the shapes and `cargo bench` can time
+//! scaled-down versions.
+
+pub mod costfigs;
+pub mod fig5;
+pub mod output;
+pub mod prefetchfigs;
+
+pub use output::{RunOpts, Table};

@@ -1,0 +1,217 @@
+//! Result tables: aligned console output plus CSV files under
+//! `bench_results/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Common harness options parsed from the command line.
+///
+/// * `--full` — paper-scale repetitions (e.g. 100 for Fig. 5);
+/// * `--reps N` — explicit repetition count;
+/// * `--seed S` — root seed;
+/// * `--out DIR` — CSV output directory (default `bench_results/`).
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    /// Repetition count for stochastic experiments.
+    pub reps: u32,
+    /// Root seed.
+    pub seed: u64,
+    /// CSV output directory.
+    pub out_dir: PathBuf,
+    /// Paper-scale mode.
+    pub full: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            reps: 10,
+            seed: 42,
+            out_dir: PathBuf::from("bench_results"),
+            full: false,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parses `std::env::args`; panics with usage on malformed input.
+    pub fn from_args() -> RunOpts {
+        let mut opts = RunOpts::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--full" => {
+                    opts.full = true;
+                    opts.reps = 100;
+                }
+                "--reps" => {
+                    i += 1;
+                    opts.reps = argv
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--reps needs a number"));
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = argv
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a number"));
+                }
+                "--out" => {
+                    i += 1;
+                    opts.out_dir = argv
+                        .get(i)
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| panic!("--out needs a path"));
+                }
+                other => panic!("unknown option {other:?} (try --full/--reps/--seed/--out)"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// A fast configuration for tests: few reps, fixed seed.
+    pub fn quick() -> RunOpts {
+        RunOpts {
+            reps: 3,
+            ..RunOpts::default()
+        }
+    }
+}
+
+/// A simple result table (console + CSV).
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// All rows (for shape assertions in tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Column index by header name.
+    pub fn col(&self, header: &str) -> usize {
+        self.headers
+            .iter()
+            .position(|h| h == header)
+            .unwrap_or_else(|| panic!("no column {header:?}"))
+    }
+
+    /// Numeric view of one column.
+    pub fn column_f64(&self, header: &str) -> Vec<f64> {
+        let idx = self.col(header);
+        self.rows
+            .iter()
+            .map(|r| r[idx].parse().unwrap_or(f64::NAN))
+            .collect()
+    }
+
+    /// Renders to the console with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+            .collect();
+        println!("{}", header_line.join("  "));
+        println!("{}", "-".repeat(header_line.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+    }
+
+    /// Writes `<out_dir>/<name>.csv`.
+    pub fn write_csv(&self, out_dir: &Path, name: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(out_dir)?;
+        let path = out_dir.join(format!("{name}.csv"));
+        let mut text = String::new();
+        text.push_str(&self.headers.join(","));
+        text.push('\n');
+        for row in &self.rows {
+            text.push_str(&row.join(","));
+            text.push('\n');
+        }
+        fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        t.row(vec!["2".into(), "3.5".into()]);
+        assert_eq!(t.column_f64("y"), vec![2.5, 3.5]);
+        assert_eq!(t.col("x"), 0);
+        let dir = std::env::temp_dir().join(format!("simfs-bench-{}", std::process::id()));
+        let path = t.write_csv(&dir, "demo").unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("x,y\n1,2.5\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_scales_precision() {
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.25), "42.2");
+        assert_eq!(fmt(1.5), "1.500");
+    }
+}

@@ -1,0 +1,282 @@
+//! Timing figures: strong scalability (Figs. 16/18) and prefetching
+//! under restart latency (Figs. 17/19), in virtual time.
+//!
+//! Configurations straight from §VI:
+//!
+//! * **COSMO**: one-minute timesteps, `Δd = 5` (output every 5 min),
+//!   `Δr = 60` (restart hourly, 12 outputs/interval); measured
+//!   `tau_sim = 3 s`, `alpha_sim = 13 s`; the analysis reads `m = 72`
+//!   output steps (6 h) and computes mean/variance of a 1-D field.
+//! * **FLASH** (Sedov): `Δd = 1`, `Δr = 20`; `tau_sim = 14 s`,
+//!   `alpha_sim = 7 s`; `m = 200` (1 s of blast evolution).
+//!
+//! The latency studies (Figs. 17/19) use the paper's synthetic-simulator
+//! methodology: same `tau_sim`, swept `alpha_sim` (emulating queueing),
+//! `s_max = 8`, analysis lengths `m` per figure, with the analytic
+//! curves `T_single = alpha + m·tau`, `T_lower = alpha + m·tau/s_max`,
+//! and the warm-up bound `T_pre` overlaid.
+
+use crate::output::{fmt, RunOpts, Table};
+use simbatch::QueueModel;
+use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::vharness::VirtualExperiment;
+use simkit::Dur;
+
+/// A §VI experiment family (COSMO or FLASH).
+#[derive(Clone, Debug)]
+pub struct ScalingConfig {
+    /// Family label for tables.
+    pub name: &'static str,
+    /// Timesteps per output step (`Δd`).
+    pub dd: u64,
+    /// Timesteps per restart step (`Δr`).
+    pub dr: u64,
+    /// Timeline length in timesteps.
+    pub n_timesteps: u64,
+    /// Production interval `tau_sim`.
+    pub tau_sim: Dur,
+    /// Restart latency `alpha_sim` (excluding queueing).
+    pub alpha_sim: Dur,
+    /// Analysis inter-access time `tau_cli`.
+    pub tau_cli: Dur,
+    /// Output steps the analysis reads (`m`).
+    pub m: u64,
+    /// Nodes per re-simulation (figure annotations).
+    pub nodes_per_sim: u32,
+}
+
+impl ScalingConfig {
+    /// The COSMO configuration of Fig. 16.
+    pub fn cosmo() -> ScalingConfig {
+        ScalingConfig {
+            name: "COSMO",
+            dd: 5,
+            dr: 60,
+            n_timesteps: 5 * 2400, // 2400 output steps available
+            tau_sim: Dur::from_secs(3),
+            alpha_sim: Dur::from_secs(13),
+            tau_cli: Dur::from_millis(500),
+            m: 72,
+            nodes_per_sim: 100,
+        }
+    }
+
+    /// The FLASH/Sedov configuration of Fig. 18.
+    pub fn flash() -> ScalingConfig {
+        ScalingConfig {
+            name: "FLASH",
+            dd: 1,
+            dr: 20,
+            n_timesteps: 2400,
+            tau_sim: Dur::from_secs(14),
+            alpha_sim: Dur::from_secs(7),
+            tau_cli: Dur::from_secs(2),
+            m: 200,
+            nodes_per_sim: 27,
+        }
+    }
+
+    fn experiment(&self, smax: u32, alpha: Dur, seed: u64) -> VirtualExperiment {
+        let steps = StepMath::new(self.dd, self.dr, self.n_timesteps);
+        // Cache sized generously: these figures study timing, not
+        // capacity pressure.
+        let cfg = ContextCfg::new(self.name, steps, 1, u64::MAX / 4)
+            .with_policy("dcl")
+            .with_smax(smax)
+            .with_prefetch(true);
+        VirtualExperiment {
+            cfg,
+            alpha_sim: alpha,
+            tau_sim: self.tau_sim,
+            queue: QueueModel::None,
+            nodes_per_sim: self.nodes_per_sim,
+            seed,
+        }
+    }
+}
+
+/// One point of a strong-scalability figure.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// `s_max` (x-axis).
+    pub smax: u32,
+    /// Forward-analysis completion time (s).
+    pub forward_s: f64,
+    /// Backward-analysis completion time (s).
+    pub backward_s: f64,
+    /// Peak nodes used (figure annotation).
+    pub peak_nodes: u32,
+    /// The full-forward-re-simulation reference `T_single` (s).
+    pub full_forward_s: f64,
+}
+
+/// Figs. 16/18: analysis completion time vs `s_max`, forward and
+/// backward, against the full forward re-simulation.
+pub fn scaling(cfg: &ScalingConfig, opts: &RunOpts) -> Vec<ScalingPoint> {
+    let mut points = Vec::new();
+    // The analyses start mid-timeline (a restart boundary + offset) so
+    // backward scans have history below them.
+    let b = cfg.dr / cfg.dd;
+    let start = (cfg.n_timesteps / cfg.dd / 2 / b) * b + 1;
+    let forward: Vec<u64> = (start..start + cfg.m).collect();
+    let backward: Vec<u64> = (start..start + cfg.m).rev().collect();
+    for smax in [2u32, 4, 8, 16] {
+        let exp = cfg.experiment(smax, cfg.alpha_sim, opts.seed);
+        let fwd = exp.run_analysis(&forward, cfg.tau_cli);
+        let bwd = exp.run_analysis(&backward, cfg.tau_cli);
+        points.push(ScalingPoint {
+            smax,
+            forward_s: fwd.completion.as_secs_f64(),
+            backward_s: bwd.completion.as_secs_f64(),
+            peak_nodes: fwd.peak_nodes.max(bwd.peak_nodes),
+            full_forward_s: exp.t_single(cfg.m).as_secs_f64(),
+        });
+    }
+    points
+}
+
+/// Renders a scalability figure.
+pub fn scaling_table(cfg: &ScalingConfig, points: &[ScalingPoint]) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "Fig. {} — {} strong scalability (m = {})",
+            if cfg.name == "COSMO" { 16 } else { 18 },
+            cfg.name,
+            cfg.m
+        ),
+        &[
+            "smax",
+            "forward_s",
+            "backward_s",
+            "full_forward_s",
+            "speedup_fwd",
+            "speedup_bwd",
+            "peak_nodes",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.smax.to_string(),
+            fmt(p.forward_s),
+            fmt(p.backward_s),
+            fmt(p.full_forward_s),
+            fmt(p.full_forward_s / p.forward_s),
+            fmt(p.full_forward_s / p.backward_s),
+            p.peak_nodes.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One point of a latency figure (Figs. 17/19).
+#[derive(Clone, Debug)]
+pub struct LatencyPoint {
+    /// Analysis length `m`.
+    pub m: u64,
+    /// Swept restart latency (s).
+    pub alpha_s: f64,
+    /// Measured SimFS completion (s).
+    pub simfs_s: f64,
+    /// `T_single` (s).
+    pub t_single_s: f64,
+    /// `T_lower` (s).
+    pub t_lower_s: f64,
+    /// Warm-up bound `T_pre` (s).
+    pub t_pre_s: f64,
+}
+
+/// Figs. 17/19: completion vs restart latency for several analysis
+/// lengths, `s_max = 8`, synthetic simulator with the family's
+/// `tau_sim`.
+pub fn latency(cfg: &ScalingConfig, ms: &[u64], alphas_s: &[u64], opts: &RunOpts) -> Vec<LatencyPoint> {
+    let mut points = Vec::new();
+    for &m in ms {
+        for &alpha_s in alphas_s {
+            let alpha = Dur::from_secs(alpha_s);
+            let exp = cfg.experiment(8, alpha, opts.seed);
+            let b = cfg.dr / cfg.dd;
+            let start = b + 1; // second interval onward
+            let accesses: Vec<u64> = (start..start + m).collect();
+            let res = exp.run_analysis(&accesses, cfg.tau_cli);
+            points.push(LatencyPoint {
+                m,
+                alpha_s: alpha_s as f64,
+                simfs_s: res.completion.as_secs_f64(),
+                t_single_s: exp.t_single(m).as_secs_f64(),
+                t_lower_s: exp.t_lower(m).as_secs_f64(),
+                t_pre_s: exp.t_pre().as_secs_f64(),
+            });
+        }
+    }
+    points
+}
+
+/// Renders a latency figure.
+pub fn latency_table(cfg: &ScalingConfig, points: &[LatencyPoint]) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "Fig. {} — {} prefetching vs restart latency (s_max = 8)",
+            if cfg.name == "COSMO" { 17 } else { 19 },
+            cfg.name
+        ),
+        &["m", "alpha_s", "simfs_s", "t_single_s", "t_lower_s", "t_pre_s"],
+    );
+    for p in points {
+        t.row(vec![
+            p.m.to_string(),
+            fmt(p.alpha_s),
+            fmt(p.simfs_s),
+            fmt(p.t_single_s),
+            fmt(p.t_lower_s),
+            fmt(p.t_pre_s),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosmo_scaling_shape() {
+        let opts = RunOpts::quick();
+        let cfg = ScalingConfig::cosmo();
+        let points = scaling(&cfg, &opts);
+        assert_eq!(points.len(), 4);
+        // The paper's headline: forward analysis scales past the full
+        // forward re-simulation (factor 2.4x at s_max = 8).
+        let p8 = points.iter().find(|p| p.smax == 8).unwrap();
+        assert!(
+            p8.full_forward_s / p8.forward_s > 1.5,
+            "speedup at smax=8 only {:.2}",
+            p8.full_forward_s / p8.forward_s
+        );
+        // Backward is slower than forward (pays the first interval).
+        assert!(p8.backward_s >= p8.forward_s * 0.9);
+        // More smax never makes it dramatically worse.
+        let p2 = points.iter().find(|p| p.smax == 2).unwrap();
+        assert!(p8.forward_s <= p2.forward_s * 1.1);
+    }
+
+    #[test]
+    fn latency_dominates_at_high_alpha() {
+        let opts = RunOpts::quick();
+        let cfg = ScalingConfig::cosmo();
+        let points = latency(&cfg, &[72], &[0, 600], &opts);
+        let low = &points[0];
+        let high = &points[1];
+        assert!(high.simfs_s > low.simfs_s, "alpha must cost time");
+        // At very high restart latency the run converges toward the
+        // warm-up regime: within a factor ~2 of T_single (the paper's
+        // bound on SimFS overhead vs in-situ).
+        assert!(
+            high.simfs_s <= high.t_single_s * 2.5,
+            "SimFS {:.0}s vs 2.5x T_single {:.0}s",
+            high.simfs_s,
+            high.t_single_s * 2.5
+        );
+        // And never beats the parallel lower bound.
+        assert!(high.simfs_s >= high.t_lower_s * 0.99);
+    }
+}

@@ -1,0 +1,434 @@
+//! DVLib: the analysis-side client library (§III-C).
+//!
+//! The paper's API surface, in Rust form:
+//!
+//! | Paper call            | Here                                   |
+//! |-----------------------|----------------------------------------|
+//! | `SIMFS_Init`          | [`SimfsClient::connect`]               |
+//! | `SIMFS_Finalize`      | [`SimfsClient::finalize`]              |
+//! | `SIMFS_Acquire`       | [`SimfsClient::acquire`]               |
+//! | `SIMFS_Acquire_nb`    | [`SimfsClient::acquire_nb`]            |
+//! | `SIMFS_Release`       | [`SimfsClient::release`]               |
+//! | `SIMFS_Wait`          | [`SimfsClient::wait`]                  |
+//! | `SIMFS_Test`          | [`SimfsClient::test`]                  |
+//! | `SIMFS_Waitsome`      | [`SimfsClient::waitsome`]              |
+//! | `SIMFS_Testsome`      | [`SimfsClient::testsome`]              |
+//! | `SIMFS_Bitrep`        | [`SimfsClient::bitrep`]                |
+//!
+//! The acquire calls return a [`SimfsStatus`] carrying error state and
+//! the DV's estimated waiting time, which "the analysis can use for
+//! debugging, profiling, and for saving compute hours/energy" (§III-C).
+//!
+//! [`SimulatorSession`] is the simulator-side half: the notifications a
+//! launched re-simulation sends as DVLib intercepts its create/close
+//! calls (§III-B).
+
+use crate::wire::{self, ClientKind, Request, Response};
+use std::collections::HashSet;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Status of an acquire operation (§III-C `SIMFS_Status`).
+#[derive(Clone, Debug, Default)]
+pub struct SimfsStatus {
+    /// Keys now available (and pinned for this client).
+    pub ready: Vec<u64>,
+    /// Keys that failed, with reasons (e.g. "restart failed").
+    pub failed: Vec<(u64, String)>,
+    /// Estimated waiting time for the pending keys, if the DV provided
+    /// one.
+    pub est_wait: Option<Duration>,
+}
+
+impl SimfsStatus {
+    /// True if nothing failed.
+    pub fn ok(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Handle for a non-blocking acquire (`SIMFS_Req`).
+#[derive(Debug)]
+pub struct AcquireRequest {
+    req_id: u64,
+    outstanding: HashSet<u64>,
+    status: SimfsStatus,
+}
+
+impl AcquireRequest {
+    /// Keys still pending.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// True once every key resolved (ready or failed).
+    pub fn done(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+}
+
+/// An analysis session with the DV daemon (`SIMFS_Context`).
+pub struct SimfsClient {
+    stream: TcpStream,
+    client_id: u64,
+    context: String,
+    next_req: u64,
+    /// Receive buffer: bytes read but not yet forming a complete frame.
+    /// Required for the non-blocking probes — a read timeout must never
+    /// lose a partially received frame.
+    rxbuf: Vec<u8>,
+    /// Responses received while waiting for a different request (e.g. a
+    /// `Ready` for an outstanding non-blocking acquire arriving during a
+    /// `bitrep` round-trip). Consumed before reading the socket again.
+    stray: Vec<Response>,
+}
+
+impl SimfsClient {
+    /// `SIMFS_Init`: connects and performs the hello handshake.
+    pub fn connect(addr: impl ToSocketAddrs, context: &str) -> io::Result<SimfsClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        wire::write_frame(
+            &mut stream,
+            &Request::Hello {
+                kind: ClientKind::Analysis,
+                context: context.to_string(),
+            }
+            .encode(),
+        )?;
+        let frame = wire::read_frame(&mut stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no hello reply"))?;
+        match Response::decode(&frame)? {
+            Response::HelloOk { client_id } => Ok(SimfsClient {
+                stream,
+                client_id,
+                context: context.to_string(),
+                next_req: 1,
+                rxbuf: Vec::new(),
+                stray: Vec::new(),
+            }),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected hello reply {other:?}"),
+            )),
+        }
+    }
+
+    /// The DV-assigned client id.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// The context this session analyzes.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// `SIMFS_Acquire_nb`: requests `keys` without blocking.
+    pub fn acquire_nb(&mut self, keys: &[u64]) -> io::Result<AcquireRequest> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        wire::write_frame(
+            &mut self.stream,
+            &Request::Acquire {
+                req_id,
+                keys: keys.to_vec(),
+            }
+            .encode(),
+        )?;
+        Ok(AcquireRequest {
+            req_id,
+            outstanding: keys.iter().copied().collect(),
+            status: SimfsStatus::default(),
+        })
+    }
+
+    /// `SIMFS_Acquire`: blocks until every key is ready or failed.
+    pub fn acquire(&mut self, keys: &[u64]) -> io::Result<SimfsStatus> {
+        let mut req = self.acquire_nb(keys)?;
+        self.wait(&mut req)
+    }
+
+    /// Processes one incoming frame into the request's bookkeeping.
+    fn dispatch(&mut self, req: &mut AcquireRequest, resp: Response) -> io::Result<()> {
+        match resp {
+            Response::Ready { req_id, key } if req_id == req.req_id => {
+                if req.outstanding.remove(&key) {
+                    req.status.ready.push(key);
+                }
+            }
+            Response::Failed {
+                req_id,
+                key,
+                reason,
+            } if req_id == req.req_id => {
+                if req.outstanding.remove(&key) {
+                    req.status.failed.push((key, reason));
+                }
+            }
+            Response::Queued {
+                req_id,
+                est_wait_ms,
+                ..
+            } if req_id == req.req_id => {
+                req.status.est_wait = Some(Duration::from_millis(est_wait_ms));
+            }
+            Response::Error { message } => {
+                return Err(io::Error::other(message));
+            }
+            _ => {
+                // A frame for a different outstanding request: with one
+                // request in flight at a time this cannot happen; with
+                // multiple, callers interleave wait() calls and each
+                // request sees only its own frames because req_ids
+                // differ. Dropping is safe for Queued (informational);
+                // Ready/Failed for other requests are re-delivered by
+                // the server only once, so multiplexing callers should
+                // use waitsome on a merged request instead.
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops a complete frame from the receive buffer, if one is there.
+    fn take_buffered_frame(&mut self) -> io::Result<Option<Response>> {
+        if self.rxbuf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.rxbuf[..4].try_into().expect("4 bytes")) as usize;
+        if len > wire::MAX_FRAME as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "oversized frame from daemon",
+            ));
+        }
+        if self.rxbuf.len() < 4 + len {
+            return Ok(None);
+        }
+        let body: Vec<u8> = self.rxbuf[4..4 + len].to_vec();
+        self.rxbuf.drain(..4 + len);
+        Response::decode(&body).map(Some)
+    }
+
+    /// Receives one response; `timeout: None` blocks, otherwise returns
+    /// `Ok(None)` if no complete frame arrives in time. Partial frames
+    /// stay buffered — a timeout never desynchronizes the stream.
+    fn pump_one(&mut self, timeout: Option<Duration>) -> io::Result<Option<Response>> {
+        use std::io::Read;
+        loop {
+            if let Some(resp) = self.take_buffered_frame()? {
+                return Ok(Some(resp));
+            }
+            self.stream.set_read_timeout(timeout)?;
+            let mut chunk = [0u8; 4096];
+            let result = self.stream.read(&mut chunk);
+            self.stream.set_read_timeout(None)?;
+            match result {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "daemon closed the session",
+                    ))
+                }
+                Ok(n) => self.rxbuf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Next response: strays first, then the socket.
+    fn next_response(&mut self, timeout: Option<Duration>) -> io::Result<Option<Response>> {
+        if !self.stray.is_empty() {
+            return Ok(Some(self.stray.remove(0)));
+        }
+        self.pump_one(timeout)
+    }
+
+    /// `SIMFS_Wait`: blocks until the request fully resolves.
+    pub fn wait(&mut self, req: &mut AcquireRequest) -> io::Result<SimfsStatus> {
+        while !req.done() {
+            if let Some(resp) = self.next_response(None)? {
+                self.dispatch(req, resp)?;
+            }
+        }
+        Ok(req.status.clone())
+    }
+
+    /// `SIMFS_Test`: non-blocking completion probe.
+    pub fn test(&mut self, req: &mut AcquireRequest) -> io::Result<(bool, SimfsStatus)> {
+        // Drain whatever already arrived.
+        while !req.done() {
+            match self.next_response(Some(Duration::from_millis(1)))? {
+                Some(resp) => self.dispatch(req, resp)?,
+                None => break,
+            }
+        }
+        Ok((req.done(), req.status.clone()))
+    }
+
+    /// `SIMFS_Waitsome`: blocks until at least one more key resolves;
+    /// returns the status so far.
+    pub fn waitsome(&mut self, req: &mut AcquireRequest) -> io::Result<SimfsStatus> {
+        let resolved_before = req.status.ready.len() + req.status.failed.len();
+        while !req.done() && req.status.ready.len() + req.status.failed.len() == resolved_before {
+            if let Some(resp) = self.next_response(None)? {
+                self.dispatch(req, resp)?;
+            }
+        }
+        Ok(req.status.clone())
+    }
+
+    /// `SIMFS_Testsome`: non-blocking; returns the resolved subset.
+    pub fn testsome(&mut self, req: &mut AcquireRequest) -> io::Result<SimfsStatus> {
+        let (_, status) = self.test(req)?;
+        Ok(status)
+    }
+
+    /// `SIMFS_Release`: drops this client's pin on `key`.
+    pub fn release(&mut self, key: u64) -> io::Result<()> {
+        wire::write_frame(&mut self.stream, &Request::Release { key }.encode())
+    }
+
+    /// `SIMFS_Bitrep`: checks the materialized file against the
+    /// recorded checksum of the initial simulation. `Ok(None)` when no
+    /// checksum was recorded for this key.
+    pub fn bitrep(&mut self, key: u64) -> io::Result<Option<bool>> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        wire::write_frame(&mut self.stream, &Request::Bitrep { req_id, key }.encode())?;
+        loop {
+            let Some(resp) = self.pump_one(None)? else {
+                continue;
+            };
+            match resp {
+                Response::BitrepResult {
+                    req_id: r,
+                    matches,
+                    known,
+                    ..
+                } if r == req_id => {
+                    return Ok(known.then_some(matches));
+                }
+                Response::Failed { req_id: r, reason, .. } if r == req_id => {
+                    return Err(io::Error::other(reason));
+                }
+                Response::Error { message } => return Err(io::Error::other(message)),
+                other => self.stray.push(other),
+            }
+        }
+    }
+
+    /// Queries the context's runtime statistics (the profiling support
+    /// the status API provides, §III-C).
+    pub fn status(&mut self) -> io::Result<ContextStats> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        wire::write_frame(&mut self.stream, &Request::Status { req_id }.encode())?;
+        loop {
+            let Some(resp) = self.pump_one(None)? else {
+                continue;
+            };
+            match resp {
+                Response::StatusInfo {
+                    req_id: r,
+                    hits,
+                    misses,
+                    restarts,
+                    produced_steps,
+                    active_sims,
+                } if r == req_id => {
+                    return Ok(ContextStats {
+                        hits,
+                        misses,
+                        restarts,
+                        produced_steps,
+                        active_sims,
+                    });
+                }
+                Response::Error { message } => return Err(io::Error::other(message)),
+                other => self.stray.push(other),
+            }
+        }
+    }
+
+    /// `SIMFS_Finalize`: orderly goodbye; the DV releases this client's
+    /// pins and kills its idle prefetches.
+    pub fn finalize(mut self) -> io::Result<()> {
+        wire::write_frame(&mut self.stream, &Request::Bye.encode())
+    }
+}
+
+/// Runtime statistics of a simulation context, as reported by the DV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Cache hits so far.
+    pub hits: u64,
+    /// Cache misses so far.
+    pub misses: u64,
+    /// Re-simulations launched.
+    pub restarts: u64,
+    /// Output steps produced.
+    pub produced_steps: u64,
+    /// Currently running re-simulations.
+    pub active_sims: u64,
+}
+
+/// The simulator side of the protocol: what a launched re-simulation
+/// reports as it runs (used by the `simfs-simd` binary).
+pub struct SimulatorSession {
+    stream: TcpStream,
+}
+
+impl SimulatorSession {
+    /// Connects a re-simulation identified by `sim_id` (from the job
+    /// environment) to the daemon.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        context: &str,
+        sim_id: u64,
+    ) -> io::Result<SimulatorSession> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        wire::write_frame(
+            &mut stream,
+            &Request::Hello {
+                kind: ClientKind::Simulator { sim_id },
+                context: context.to_string(),
+            }
+            .encode(),
+        )?;
+        let frame = wire::read_frame(&mut stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no hello reply"))?;
+        match Response::decode(&frame)? {
+            Response::HelloOk { .. } => Ok(SimulatorSession { stream }),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected hello reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Restart loaded; production begins (ends the `alpha_sim` phase).
+    pub fn started(&mut self) -> io::Result<()> {
+        wire::write_frame(&mut self.stream, &Request::SimStarted.encode())
+    }
+
+    /// One output step was published (the intercepted `close`, Fig. 4
+    /// step 4).
+    pub fn file_produced(&mut self, key: u64, size: u64) -> io::Result<()> {
+        wire::write_frame(&mut self.stream, &Request::FileProduced { key, size }.encode())
+    }
+
+    /// The assigned range is complete.
+    pub fn finished(mut self) -> io::Result<()> {
+        wire::write_frame(&mut self.stream, &Request::SimFinished.encode())
+    }
+}

@@ -1,0 +1,980 @@
+//! The Data Virtualizer (§III): a deterministic, I/O-free state machine.
+//!
+//! All SimFS decisions — miss handling, launch/kill of re-simulations,
+//! caching, reference counting, prefetching — are expressed as
+//! `handle(now, event) -> actions`. Two front-ends drive it:
+//!
+//! * the virtual-time harness ([`crate::vharness`]) delivers events from
+//!   a DES engine and interprets actions as scheduled productions
+//!   (Figs. 16–19);
+//! * the TCP daemon ([`crate::server`]) delivers events from sockets and
+//!   interprets actions as process launches and file deletions (Fig. 4).
+//!
+//! The sequence of Fig. 4 maps onto this module as follows: an analysis
+//! `open` becomes [`DvEvent::Acquire`] (1–2); a missing file produces a
+//! [`DvAction::Launch`] (3); the simulator's `close` notifications come
+//! back as [`DvEvent::FileProduced`] (4–5); waiting analyses get
+//! [`DvAction::NotifyReady`] (6).
+
+use crate::model::ContextCfg;
+use crate::perfmodel::{Ema, IntervalTracker};
+use crate::prefetch::{Direction, PrefetchAgent, PrefetchInputs};
+use simcache::{policy_by_name, u64_map, CacheSim, U64Map};
+use simkit::{Dur, SimTime};
+use std::collections::{HashMap, VecDeque};
+use std::ops::RangeInclusive;
+
+/// Identifies an analysis client session.
+pub type ClientId = u64;
+/// Identifies a (re-)simulation.
+pub type SimId = u64;
+
+/// Why a simulation was launched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaunchReason {
+    /// Serving a miss: a client is blocked on one of its keys.
+    Miss,
+    /// Speculative launch by a prefetch agent (§IV-B).
+    Prefetch,
+}
+
+/// Input events (all front-ends translate into these).
+#[derive(Clone, Debug)]
+pub enum DvEvent {
+    /// A client requests an output step (open/`SIMFS_Acquire`).
+    Acquire {
+        /// Requesting client.
+        client: ClientId,
+        /// Output-step key.
+        key: u64,
+    },
+    /// A client is done with a step (close/`SIMFS_Release`).
+    Release {
+        /// Releasing client.
+        client: ClientId,
+        /// Output-step key.
+        key: u64,
+    },
+    /// A launched simulation got its resources and finished restart
+    /// initialization (it will now produce steps).
+    SimStarted {
+        /// The simulation.
+        sim: SimId,
+    },
+    /// A simulation published one output step (intercepted `close`).
+    FileProduced {
+        /// Producing simulation.
+        sim: SimId,
+        /// Produced key.
+        key: u64,
+        /// File size in bytes.
+        size: u64,
+    },
+    /// A simulation completed its assigned range.
+    SimFinished {
+        /// The simulation.
+        sim: SimId,
+    },
+    /// A simulation failed (crash, bad restart, scheduler error).
+    SimFailed {
+        /// The simulation.
+        sim: SimId,
+    },
+    /// A client disconnected: release its pins, kill its prefetches.
+    ClientGone {
+        /// The departed client.
+        client: ClientId,
+    },
+}
+
+/// Output actions for the driving front-end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DvAction {
+    /// Unblock a client waiting on `key`.
+    NotifyReady {
+        /// Waiting client.
+        client: ClientId,
+        /// Ready key.
+        key: u64,
+    },
+    /// Tell a client its request cannot be served.
+    NotifyFailed {
+        /// Waiting client.
+        client: ClientId,
+        /// Failed key.
+        key: u64,
+        /// Human-readable reason (surfaced in `SIMFS_Status`).
+        reason: String,
+    },
+    /// Start a re-simulation producing `keys` at `level` parallelism.
+    Launch {
+        /// New simulation id.
+        sim: SimId,
+        /// Keys the simulation will produce, in order.
+        keys: RangeInclusive<u64>,
+        /// Parallelism level (driver maps to nodes).
+        level: u32,
+        /// Why it was launched.
+        reason: LaunchReason,
+    },
+    /// Abort a running/queued simulation (prefetch no longer useful).
+    Kill {
+        /// Simulation to kill.
+        sim: SimId,
+    },
+    /// Delete an evicted output step from the storage area.
+    Evict {
+        /// Evicted key.
+        key: u64,
+    },
+}
+
+/// Lifetime counters (Fig. 5 reports `simulated_steps` as bars and
+/// `restarts` as points).
+#[derive(Clone, Debug, Default)]
+pub struct DvStats {
+    /// Cache hits on acquire.
+    pub hits: u64,
+    /// Cache misses on acquire.
+    pub misses: u64,
+    /// Simulations launched (the paper's "restarts").
+    pub restarts: u64,
+    /// Of which prefetch launches.
+    pub prefetch_launches: u64,
+    /// Output steps scheduled for production across all launches.
+    pub scheduled_steps: u64,
+    /// Output steps actually produced (`FileProduced` events).
+    pub produced_steps: u64,
+    /// Cache evictions.
+    pub evictions: u64,
+    /// Simulations killed (§IV-C).
+    pub kills: u64,
+    /// Pollution resets of all prefetch agents (§IV-C).
+    pub pollution_resets: u64,
+    /// Simulations that failed.
+    pub failures: u64,
+}
+
+struct ClientState {
+    agent: PrefetchAgent,
+    /// Pin counts per key held by this client.
+    pins: HashMap<u64, u32>,
+    /// When the client's last request became ready: the start of its
+    /// consumption phase. The gap to its next acquire is the `tau_cli`
+    /// sample (§IV-A) — consumption time, not blocked-wait time.
+    last_ready: Option<SimTime>,
+}
+
+struct SimState {
+    keys: RangeInclusive<u64>,
+    next_key: u64,
+    reason: LaunchReason,
+    /// Client whose access pattern caused this launch.
+    client: Option<ClientId>,
+    launched_at: SimTime,
+    started: bool,
+    production: IntervalTracker,
+}
+
+struct QueuedLaunch {
+    keys: RangeInclusive<u64>,
+    level: u32,
+    reason: LaunchReason,
+    client: Option<ClientId>,
+}
+
+/// The Data Virtualizer for one simulation context.
+pub struct DataVirtualizer {
+    cfg: ContextCfg,
+    cache: CacheSim,
+    clients: HashMap<ClientId, ClientState>,
+    sims: HashMap<SimId, SimState>,
+    /// key -> simulation that will produce it.
+    pending: U64Map<SimId>,
+    /// key -> clients blocked on it.
+    waiting: U64Map<Vec<ClientId>>,
+    /// Launches deferred because `s_max` simulations are active.
+    launch_queue: VecDeque<QueuedLaunch>,
+    next_sim: SimId,
+    alpha_sim: Ema,
+    tau_sim: Ema,
+    stats: DvStats,
+}
+
+impl DataVirtualizer {
+    /// Creates a DV for the given context.
+    ///
+    /// # Panics
+    /// Panics if the context names an unknown replacement policy.
+    pub fn new(cfg: ContextCfg) -> DataVirtualizer {
+        let capacity_entries = cfg.cache_capacity_steps().max(2) as usize;
+        let policy = policy_by_name(&cfg.policy, capacity_entries)
+            .unwrap_or_else(|| panic!("unknown replacement policy {:?}", cfg.policy));
+        let cache = CacheSim::new(policy, cfg.cache_capacity);
+        DataVirtualizer {
+            alpha_sim: Ema::new(cfg.ema_alpha),
+            tau_sim: Ema::new(cfg.ema_alpha),
+            cfg,
+            cache,
+            clients: HashMap::new(),
+            sims: HashMap::new(),
+            pending: u64_map(),
+            waiting: u64_map(),
+            launch_queue: VecDeque::new(),
+            next_sim: 1,
+            stats: DvStats::default(),
+        }
+    }
+
+    /// Pre-seeds the performance estimators (e.g. from the simulation
+    /// context configuration) so prefetching works before the first
+    /// observed restart.
+    pub fn seed_estimates(&mut self, alpha: Dur, tau_sim: Dur) {
+        self.alpha_sim = Ema::with_prior(self.cfg.ema_alpha, alpha);
+        self.tau_sim = Ema::with_prior(self.cfg.ema_alpha, tau_sim);
+    }
+
+    /// The context configuration.
+    pub fn cfg(&self) -> &ContextCfg {
+        &self.cfg
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &DvStats {
+        &self.stats
+    }
+
+    /// Cache-level statistics.
+    pub fn cache_stats(&self) -> &simcache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Is `key` currently materialized?
+    pub fn is_cached(&self, key: u64) -> bool {
+        self.cache.peek(key)
+    }
+
+    /// Number of active (launched, unfinished) simulations.
+    pub fn active_sims(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Number of launches waiting for an `s_max` slot.
+    pub fn queued_launches(&self) -> usize {
+        self.launch_queue.len()
+    }
+
+    /// Current restart-latency estimate.
+    pub fn alpha_estimate(&self) -> Option<Dur> {
+        self.alpha_sim.estimate()
+    }
+
+    /// Current inter-production estimate.
+    pub fn tau_estimate(&self) -> Option<Dur> {
+        self.tau_sim.estimate()
+    }
+
+    /// Estimated wait until `key` becomes available (the
+    /// `SIMFS_Status` estimate of §III-C), `None` if nothing is
+    /// producing it.
+    pub fn estimate_wait(&self, key: u64) -> Option<Dur> {
+        let sim_id = self.pending.get(&key)?;
+        let sim = &self.sims[sim_id];
+        let tau = self.tau_sim.estimate_or(Dur::from_secs(1));
+        let remaining_steps = key.saturating_sub(sim.next_key) + 1;
+        let production = tau.saturating_mul(remaining_steps);
+        if sim.started {
+            Some(production)
+        } else {
+            Some(self.alpha_sim.estimate_or(Dur::ZERO) + production)
+        }
+    }
+
+    /// Registers an output step that already exists on disk (daemon
+    /// startup over a populated storage area). Returns the keys evicted
+    /// if the priming overflows the budget — the caller should delete
+    /// those files.
+    pub fn prime(&mut self, key: u64, size: u64) -> Vec<u64> {
+        if !self.cfg.steps.valid_key(key) || self.cache.contains(key) {
+            return Vec::new();
+        }
+        let cost = self.cfg.steps.miss_cost(key);
+        self.cache.insert(key, size, cost)
+    }
+
+    fn prefetch_inputs(&self) -> PrefetchInputs {
+        PrefetchInputs {
+            alpha: self.alpha_sim.estimate_or(Dur::ZERO),
+            tau_sim: self.tau_sim.estimate_or(Dur::from_secs(1)),
+            steps: self.cfg.steps,
+            smax: self.cfg.smax,
+            ramp: self.cfg.prefetch_ramp,
+        }
+    }
+
+    fn client_mut(&mut self, id: ClientId) -> &mut ClientState {
+        let ema = self.cfg.ema_alpha;
+        self.clients.entry(id).or_insert_with(|| ClientState {
+            agent: PrefetchAgent::new(ema),
+            pins: HashMap::new(),
+            last_ready: None,
+        })
+    }
+
+    /// Enqueues (or directly emits) a launch covering `keys`, skipping
+    /// keys already cached or pending. Splits at covered keys so only
+    /// genuinely missing spans are produced? No — re-simulations produce
+    /// whole contiguous ranges (the simulator cannot skip timesteps), so
+    /// the range is launched as soon as at least one key is uncovered.
+    fn request_launch(
+        &mut self,
+        keys: RangeInclusive<u64>,
+        level: u32,
+        reason: LaunchReason,
+        client: Option<ClientId>,
+        actions: &mut Vec<DvAction>,
+        now: SimTime,
+    ) {
+        let uncovered = keys
+            .clone()
+            .any(|k| !self.cache.peek(k) && !self.pending.contains_key(&k));
+        if !uncovered {
+            return;
+        }
+        self.launch_queue.push_back(QueuedLaunch {
+            keys,
+            level,
+            reason,
+            client,
+        });
+        self.drain_launch_queue(actions, now);
+    }
+
+    fn drain_launch_queue(&mut self, actions: &mut Vec<DvAction>, now: SimTime) {
+        while self.sims.len() < self.cfg.smax as usize {
+            let Some(q) = self.launch_queue.pop_front() else {
+                break;
+            };
+            // Re-check coverage: productions may have landed meanwhile.
+            let uncovered = q
+                .keys
+                .clone()
+                .any(|k| !self.cache.peek(k) && !self.pending.contains_key(&k));
+            if !uncovered {
+                continue;
+            }
+            let sim = self.next_sim;
+            self.next_sim += 1;
+            for k in q.keys.clone() {
+                // First producer wins; overlapping ranges refresh files
+                // but only one sim is "the" pending producer.
+                self.pending.entry(k).or_insert(sim);
+            }
+            let n_keys = q.keys.end() - q.keys.start() + 1;
+            self.stats.restarts += 1;
+            self.stats.scheduled_steps += n_keys;
+            if q.reason == LaunchReason::Prefetch {
+                self.stats.prefetch_launches += 1;
+            }
+            self.sims.insert(
+                sim,
+                SimState {
+                    keys: q.keys.clone(),
+                    next_key: *q.keys.start(),
+                    reason: q.reason,
+                    client: q.client,
+                    launched_at: now,
+                    started: false,
+                    production: IntervalTracker::new(self.cfg.ema_alpha),
+                },
+            );
+            actions.push(DvAction::Launch {
+                sim,
+                keys: q.keys,
+                level: q.level,
+                reason: q.reason,
+            });
+        }
+    }
+
+    /// Kills the prefetch simulations launched for `client` that no one
+    /// is waiting on (§IV-C: "a simulation can be killed only if there
+    /// are no other analyses waiting for the files that are going to be
+    /// produced by it").
+    fn kill_client_prefetches(
+        &mut self,
+        client: ClientId,
+        actions: &mut Vec<DvAction>,
+        now: SimTime,
+    ) {
+        let victims: Vec<SimId> = self
+            .sims
+            .iter()
+            .filter(|(_, s)| {
+                s.reason == LaunchReason::Prefetch
+                    && s.client == Some(client)
+                    && s.keys.clone().all(|k| {
+                        self.waiting.get(&k).map_or(true, Vec::is_empty)
+                    })
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for sim in victims {
+            self.remove_sim_pending(sim);
+            self.sims.remove(&sim);
+            self.stats.kills += 1;
+            actions.push(DvAction::Kill { sim });
+        }
+        // Drop queued prefetches for this client as well.
+        self.launch_queue.retain(|q| {
+            !(q.reason == LaunchReason::Prefetch && q.client == Some(client))
+        });
+        // The kills freed s_max slots: deferred launches (e.g. the miss
+        // that accompanied this very direction change) must start now —
+        // no SimFinished will ever arrive from the killed sims to drain
+        // the queue otherwise.
+        self.drain_launch_queue(actions, now);
+    }
+
+    fn remove_sim_pending(&mut self, sim: SimId) {
+        self.pending.retain(|_, &mut s| s != sim);
+    }
+
+    /// Applies a prefetch plan coming out of an agent.
+    fn apply_agent_outcome(
+        &mut self,
+        client: ClientId,
+        outcome: crate::prefetch::AgentOutcome,
+        actions: &mut Vec<DvAction>,
+        now: SimTime,
+    ) {
+        if outcome.direction_changed {
+            self.kill_client_prefetches(client, actions, now);
+        }
+        if let Some(plan) = outcome.plan {
+            for block in plan.blocks {
+                self.request_launch(
+                    block,
+                    plan.level.min(self.cfg.parallelism.max_level),
+                    LaunchReason::Prefetch,
+                    Some(client),
+                    actions,
+                    now,
+                );
+            }
+        }
+    }
+
+    /// Handles one event; returns the actions the front-end must apply.
+    pub fn handle(&mut self, now: SimTime, event: DvEvent) -> Vec<DvAction> {
+        let mut actions = Vec::new();
+        match event {
+            DvEvent::Acquire { client, key } => {
+                self.on_acquire(client, key, now, &mut actions);
+            }
+            DvEvent::Release { client, key } => {
+                let state = self.client_mut(client);
+                match state.pins.get_mut(&key) {
+                    Some(n) if *n > 1 => {
+                        *n -= 1;
+                        self.cache.unpin(key);
+                    }
+                    Some(_) => {
+                        state.pins.remove(&key);
+                        self.cache.unpin(key);
+                    }
+                    None => {
+                        // Release of something never pinned: protocol
+                        // misuse; tolerated (client may release after a
+                        // failed acquire).
+                    }
+                }
+            }
+            DvEvent::SimStarted { sim } => {
+                if let Some(s) = self.sims.get_mut(&sim) {
+                    if !s.started {
+                        s.started = true;
+                        let latency = now.saturating_since(s.launched_at);
+                        self.alpha_sim.observe(latency);
+                    }
+                }
+            }
+            DvEvent::FileProduced { sim, key, size } => {
+                self.on_file_produced(sim, key, size, now, &mut actions);
+            }
+            DvEvent::SimFinished { sim } => {
+                self.remove_sim_pending(sim);
+                self.sims.remove(&sim);
+                self.drain_launch_queue(&mut actions, now);
+            }
+            DvEvent::SimFailed { sim } => {
+                self.stats.failures += 1;
+                if let Some(state) = self.sims.remove(&sim) {
+                    for k in state.keys.clone() {
+                        if self.pending.get(&k) == Some(&sim) {
+                            self.pending.remove(&k);
+                            if let Some(clients) = self.waiting.remove(&k) {
+                                for c in clients {
+                                    actions.push(DvAction::NotifyFailed {
+                                        client: c,
+                                        key: k,
+                                        reason: "re-simulation failed".to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                self.drain_launch_queue(&mut actions, now);
+            }
+            DvEvent::ClientGone { client } => {
+                if let Some(state) = self.clients.remove(&client) {
+                    for (key, pins) in state.pins {
+                        for _ in 0..pins {
+                            self.cache.unpin(key);
+                        }
+                    }
+                }
+                for clients in self.waiting.values_mut() {
+                    clients.retain(|&c| c != client);
+                }
+                self.kill_client_prefetches(client, &mut actions, now);
+            }
+        }
+        actions
+    }
+
+    fn on_acquire(
+        &mut self,
+        client: ClientId,
+        key: u64,
+        now: SimTime,
+        actions: &mut Vec<DvAction>,
+    ) {
+        if !self.cfg.steps.valid_key(key) {
+            actions.push(DvAction::NotifyFailed {
+                client,
+                key,
+                reason: format!(
+                    "key {key} outside the timeline 1..={}",
+                    self.cfg.steps.n_outputs()
+                ),
+            });
+            return;
+        }
+
+        let prefetch_enabled = self.cfg.prefetch;
+        let inputs = self.prefetch_inputs();
+
+        // Sample the client's consumption time: from its last data
+        // becoming ready to this request.
+        {
+            let state = self.client_mut(client);
+            if let Some(ready_at) = state.last_ready.take() {
+                state
+                    .agent
+                    .observe_tau_cli(now.saturating_since(ready_at));
+            }
+        }
+
+        if self.cache.access(key) {
+            self.stats.hits += 1;
+            self.cache.pin(key);
+            let state = self.client_mut(client);
+            *state.pins.entry(key).or_insert(0) += 1;
+            state.last_ready = Some(now);
+            actions.push(DvAction::NotifyReady { client, key });
+            if prefetch_enabled {
+                let outcome = state.agent.on_access(key, &inputs);
+                self.apply_agent_outcome(client, outcome, actions, now);
+            }
+            return;
+        }
+
+        self.stats.misses += 1;
+
+        // Pollution detection (§IV-C): a miss on a step this client's
+        // own agent prefetched *and nobody is producing* means it was
+        // produced and evicted before use — reset every agent. A
+        // prefetched step still in production is not pollution, just an
+        // analysis that caught up with the simulation.
+        let polluted = !self.pending.contains_key(&key)
+            && self
+                .clients
+                .get(&client)
+                .is_some_and(|c| c.agent.was_prefetched(key));
+        if polluted {
+            self.stats.pollution_resets += 1;
+            for c in self.clients.values_mut() {
+                c.agent.reset();
+            }
+        }
+
+        self.waiting.entry(key).or_default().push(client);
+
+        let covered = self.pending.contains_key(&key);
+        if !covered {
+            let range = self.cfg.steps.resim_range(key);
+            let level = self
+                .clients
+                .get(&client)
+                .map_or(0, |c| c.agent.level())
+                .min(self.cfg.parallelism.max_level);
+            // Inform the agent of the coverage this miss will create so
+            // its trigger math sees the right frontier.
+            if prefetch_enabled {
+                let state = self.client_mut(client);
+                if let Some(dir) = state.agent.direction() {
+                    let frontier = match dir {
+                        Direction::Forward => *range.end(),
+                        Direction::Backward => *range.start(),
+                    };
+                    state.agent.note_planned(dir, frontier);
+                } else {
+                    state
+                        .agent
+                        .note_planned(Direction::Forward, *range.end());
+                }
+            }
+            self.request_launch(range, level, LaunchReason::Miss, Some(client), actions, now);
+        }
+
+        if prefetch_enabled && !polluted {
+            let state = self.client_mut(client);
+            let outcome = state.agent.on_access(key, &inputs);
+            self.apply_agent_outcome(client, outcome, actions, now);
+        }
+    }
+
+    fn on_file_produced(
+        &mut self,
+        sim: SimId,
+        key: u64,
+        size: u64,
+        now: SimTime,
+        actions: &mut Vec<DvAction>,
+    ) {
+        self.stats.produced_steps += 1;
+        if let Some(s) = self.sims.get_mut(&sim) {
+            if !s.started {
+                // Front-ends that do not report SimStarted separately:
+                // the first production marks the start.
+                s.started = true;
+                self.alpha_sim.observe(now.saturating_since(s.launched_at));
+            }
+            s.production.mark(now);
+            if let Some(tau) = s.production.estimate() {
+                self.tau_sim.observe(tau);
+            }
+            s.next_key = key + 1;
+        }
+        if self.pending.get(&key) == Some(&sim) {
+            self.pending.remove(&key);
+        }
+
+        let waiters = self.waiting.remove(&key).unwrap_or_default();
+        if !self.cache.contains(key) {
+            let cost = self.cfg.steps.miss_cost(key);
+            let evicted = self
+                .cache
+                .insert_pinned(key, size, cost, waiters.len() as u32);
+            for e in evicted {
+                // The fresh step itself may be the victim when every
+                // other resident step is pinned and nobody waits on it
+                // (a speculative interval step under extreme pin
+                // pressure): produced, written, immediately dropped.
+                // With waiters it enters pinned and cannot be chosen.
+                debug_assert!(e != key || waiters.is_empty());
+                self.stats.evictions += 1;
+                self.waiting.remove(&e);
+                actions.push(DvAction::Evict { key: e });
+            }
+        } else {
+            // Refresh of an already-materialized step (overlapping
+            // production): pin for the new waiters.
+            for _ in &waiters {
+                self.cache.pin(key);
+            }
+        }
+        for c in &waiters {
+            let state = self.client_mut(*c);
+            *state.pins.entry(key).or_insert(0) += 1;
+            state.last_ready = Some(now);
+            actions.push(DvAction::NotifyReady { client: *c, key });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StepMath;
+
+    fn cfg(cache_steps: u64) -> ContextCfg {
+        // B = 4 outputs per restart interval, N = 40.
+        let steps = StepMath::new(1, 4, 40);
+        ContextCfg::new("test", steps, 100, cache_steps * 100)
+            .with_policy("lru")
+            .with_smax(4)
+            .with_prefetch(false)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Drives production of everything a Launch action covers,
+    /// immediately.
+    fn produce_all(dv: &mut DataVirtualizer, actions: &[DvAction], now: SimTime) -> Vec<DvAction> {
+        let mut out = Vec::new();
+        for a in actions {
+            if let DvAction::Launch { sim, keys, .. } = a {
+                out.extend(dv.handle(now, DvEvent::SimStarted { sim: *sim }));
+                for k in keys.clone() {
+                    out.extend(dv.handle(
+                        now,
+                        DvEvent::FileProduced {
+                            sim: *sim,
+                            key: k,
+                            size: 100,
+                        },
+                    ));
+                }
+                out.extend(dv.handle(now, DvEvent::SimFinished { sim: *sim }));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn miss_launches_enclosing_interval() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        let actions = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 6 });
+        let launch = actions
+            .iter()
+            .find_map(|a| match a {
+                DvAction::Launch { keys, reason, .. } => Some((keys.clone(), *reason)),
+                _ => None,
+            })
+            .expect("miss must launch");
+        assert_eq!(launch.0, 5..=8, "interval containing key 6");
+        assert_eq!(launch.1, LaunchReason::Miss);
+        assert_eq!(dv.stats().misses, 1);
+    }
+
+    #[test]
+    fn production_notifies_waiter_and_hits_after() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        let a1 = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 6 });
+        let notifications = produce_all(&mut dv, &a1, t(5));
+        assert!(notifications
+            .iter()
+            .any(|a| matches!(a, DvAction::NotifyReady { client: 1, key: 6 })));
+        // Release, then re-acquire: now a hit.
+        dv.handle(t(6), DvEvent::Release { client: 1, key: 6 });
+        let a2 = dv.handle(t(7), DvEvent::Acquire { client: 1, key: 6 });
+        assert!(a2
+            .iter()
+            .any(|a| matches!(a, DvAction::NotifyReady { client: 1, key: 6 })));
+        assert!(!a2.iter().any(|a| matches!(a, DvAction::Launch { .. })));
+        assert_eq!(dv.stats().hits, 1);
+    }
+
+    #[test]
+    fn duplicate_miss_does_not_double_launch() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        let a1 = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 6 });
+        let a2 = dv.handle(t(1), DvEvent::Acquire { client: 2, key: 7 });
+        let launches_1 = a1.iter().filter(|a| matches!(a, DvAction::Launch { .. })).count();
+        let launches_2 = a2.iter().filter(|a| matches!(a, DvAction::Launch { .. })).count();
+        assert_eq!(launches_1, 1);
+        assert_eq!(launches_2, 0, "key 7 covered by the running sim");
+        // Both clients notified when their keys arrive.
+        let notifs = produce_all(&mut dv, &a1, t(2));
+        assert!(notifs
+            .iter()
+            .any(|a| matches!(a, DvAction::NotifyReady { client: 1, key: 6 })));
+        assert!(notifs
+            .iter()
+            .any(|a| matches!(a, DvAction::NotifyReady { client: 2, key: 7 })));
+    }
+
+    #[test]
+    fn invalid_key_fails_immediately() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        let actions = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 0 });
+        assert!(matches!(actions[0], DvAction::NotifyFailed { key: 0, .. }));
+        let actions = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 41 });
+        assert!(matches!(actions[0], DvAction::NotifyFailed { key: 41, .. }));
+    }
+
+    #[test]
+    fn boundary_key_simulates_only_itself() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        let actions = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 8 });
+        let keys = actions
+            .iter()
+            .find_map(|a| match a {
+                DvAction::Launch { keys, .. } => Some(keys.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(keys, 8..=8, "restart dump only");
+    }
+
+    #[test]
+    fn smax_defers_launches() {
+        let mut dv = DataVirtualizer::new(cfg(100).with_smax(1));
+        let a1 = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 2 });
+        let a2 = dv.handle(t(1), DvEvent::Acquire { client: 2, key: 10 });
+        assert_eq!(
+            a1.iter().filter(|a| matches!(a, DvAction::Launch { .. })).count(),
+            1
+        );
+        assert_eq!(
+            a2.iter().filter(|a| matches!(a, DvAction::Launch { .. })).count(),
+            0,
+            "second launch deferred by smax=1"
+        );
+        assert_eq!(dv.queued_launches(), 1);
+        // Finishing the first sim releases the slot.
+        let notifs = produce_all(&mut dv, &a1, t(2));
+        let launched_after: Vec<_> = notifs
+            .iter()
+            .filter(|a| matches!(a, DvAction::Launch { .. }))
+            .collect();
+        assert_eq!(launched_after.len(), 1, "queued launch drained");
+    }
+
+    #[test]
+    fn pinned_steps_survive_cache_pressure() {
+        // Cache of 4 steps; client holds a pin on key 2.
+        let mut dv = DataVirtualizer::new(cfg(4));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 2 });
+        produce_all(&mut dv, &a, t(1)); // produces 1..=4, pin on 2
+        assert!(dv.is_cached(2));
+        // Flood the cache with another interval.
+        let b = dv.handle(t(2), DvEvent::Acquire { client: 2, key: 6 });
+        produce_all(&mut dv, &b, t(3));
+        assert!(dv.is_cached(2), "pinned key must not be evicted");
+        // Unpin, flood again, now it can go.
+        dv.handle(t(4), DvEvent::Release { client: 1, key: 2 });
+        let c = dv.handle(t(5), DvEvent::Acquire { client: 2, key: 10 });
+        produce_all(&mut dv, &c, t(6));
+        assert!(!dv.is_cached(2), "unpinned key evictable under pressure");
+    }
+
+    #[test]
+    fn eviction_actions_emitted() {
+        let mut dv = DataVirtualizer::new(cfg(4));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 2 });
+        produce_all(&mut dv, &a, t(1));
+        dv.handle(t(2), DvEvent::Release { client: 1, key: 2 });
+        let b = dv.handle(t(3), DvEvent::Acquire { client: 1, key: 6 });
+        let notifs = produce_all(&mut dv, &b, t(4));
+        assert!(
+            notifs.iter().any(|a| matches!(a, DvAction::Evict { .. })),
+            "cache of 4 flooded by 4 new steps must evict"
+        );
+        assert!(dv.stats().evictions > 0);
+    }
+
+    #[test]
+    fn sim_failure_fails_waiters() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 6 });
+        let sim = a
+            .iter()
+            .find_map(|x| match x {
+                DvAction::Launch { sim, .. } => Some(*sim),
+                _ => None,
+            })
+            .unwrap();
+        let actions = dv.handle(t(1), DvEvent::SimFailed { sim });
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, DvAction::NotifyFailed { client: 1, key: 6, .. })));
+        assert_eq!(dv.stats().failures, 1);
+        assert_eq!(dv.active_sims(), 0);
+    }
+
+    #[test]
+    fn client_gone_releases_pins() {
+        let mut dv = DataVirtualizer::new(cfg(4));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 2 });
+        produce_all(&mut dv, &a, t(1));
+        assert!(dv.is_cached(2));
+        dv.handle(t(2), DvEvent::ClientGone { client: 1 });
+        // Now floodable.
+        let b = dv.handle(t(3), DvEvent::Acquire { client: 2, key: 6 });
+        produce_all(&mut dv, &b, t(4));
+        assert!(!dv.is_cached(2), "pins of departed client released");
+    }
+
+    #[test]
+    fn alpha_estimate_updates_from_sim_start() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 2 });
+        let sim = a
+            .iter()
+            .find_map(|x| match x {
+                DvAction::Launch { sim, .. } => Some(*sim),
+                _ => None,
+            })
+            .unwrap();
+        dv.handle(t(13), DvEvent::SimStarted { sim });
+        assert_eq!(dv.alpha_estimate(), Some(Dur::from_secs(13)));
+    }
+
+    #[test]
+    fn estimate_wait_accounts_for_position() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        dv.seed_estimates(Dur::from_secs(10), Dur::from_secs(2));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 3 });
+        let sim = a
+            .iter()
+            .find_map(|x| match x {
+                DvAction::Launch { sim, .. } => Some(*sim),
+                _ => None,
+            })
+            .unwrap();
+        // Not started: alpha + 3 keys x tau (range 1..=4, key 3 is third).
+        let est = dv.estimate_wait(3).unwrap();
+        assert_eq!(est, Dur::from_secs(10 + 3 * 2));
+        dv.handle(t(1), DvEvent::SimStarted { sim });
+        dv.handle(
+            t(3),
+            DvEvent::FileProduced {
+                sim,
+                key: 1,
+                size: 100,
+            },
+        );
+        let est = dv.estimate_wait(3).unwrap();
+        assert!(est <= Dur::from_secs(3 * 2), "started: no alpha, got {est}");
+        assert!(dv.estimate_wait(30).is_none(), "nothing produces key 30");
+    }
+
+    #[test]
+    fn release_of_unpinned_key_tolerated() {
+        let mut dv = DataVirtualizer::new(cfg(4));
+        let actions = dv.handle(t(0), DvEvent::Release { client: 9, key: 3 });
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn nested_pins_require_matching_releases() {
+        let mut dv = DataVirtualizer::new(cfg(4));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 2 });
+        produce_all(&mut dv, &a, t(1));
+        dv.handle(t(2), DvEvent::Release { client: 1, key: 2 });
+        // Re-acquire twice (hits), pin count 2.
+        dv.handle(t(3), DvEvent::Acquire { client: 1, key: 2 });
+        dv.handle(t(4), DvEvent::Acquire { client: 1, key: 2 });
+        dv.handle(t(5), DvEvent::Release { client: 1, key: 2 });
+        // One pin remains: still not evictable.
+        let b = dv.handle(t(6), DvEvent::Acquire { client: 2, key: 6 });
+        produce_all(&mut dv, &b, t(7));
+        assert!(dv.is_cached(2));
+    }
+}

@@ -1,0 +1,194 @@
+//! Performance estimators (§IV-A, §IV-C1c).
+//!
+//! The prefetch agents need running estimates of three quantities:
+//!
+//! * `alpha_sim` — restart latency (queueing + restart-file read +
+//!   model init). §IV-C1c: "SimFS keeps track of the restart latencies
+//!   using an exponential moving average, so to consider only the most
+//!   recent observation (the smoothing factor is a parameter defined in
+//!   the simulation context)."
+//! * `tau_sim` — inter-production time of output steps.
+//! * `tau_cli` — inter-access time of a (k-strided) analysis.
+//!
+//! All three are [`Ema`]s over durations, seeded optionally with a prior
+//! so prefetch math works before the first observation.
+
+use simkit::{Dur, SimTime};
+
+/// Exponential moving average over durations.
+///
+/// `alpha` close to 1 tracks the latest observation aggressively (the
+/// paper's intent: "consider only the most recent observation"); close
+/// to 0 smooths heavily.
+#[derive(Clone, Copy, Debug)]
+pub struct Ema {
+    alpha: f64,
+    value: Option<f64>, // seconds
+}
+
+impl Ema {
+    /// An empty estimator.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha ≤ 1`.
+    pub fn new(alpha: f64) -> Ema {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EMA smoothing factor out of (0, 1]: {alpha}"
+        );
+        Ema { alpha, value: None }
+    }
+
+    /// An estimator pre-seeded with a prior estimate.
+    pub fn with_prior(alpha: f64, prior: Dur) -> Ema {
+        let mut e = Ema::new(alpha);
+        e.value = Some(prior.as_secs_f64());
+        e
+    }
+
+    /// Feeds an observation.
+    pub fn observe(&mut self, sample: Dur) {
+        let x = sample.as_secs_f64();
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// Current estimate, if any observation (or prior) exists.
+    pub fn estimate(&self) -> Option<Dur> {
+        self.value.map(Dur::from_secs_f64)
+    }
+
+    /// Current estimate or the given default.
+    pub fn estimate_or(&self, default: Dur) -> Dur {
+        self.estimate().unwrap_or(default)
+    }
+
+    /// Has this estimator seen anything?
+    pub fn is_seeded(&self) -> bool {
+        self.value.is_some()
+    }
+}
+
+/// Tracks inter-event times from absolute timestamps (e.g. per-client
+/// access times for `tau_cli`, per-simulation production times for
+/// `tau_sim`).
+#[derive(Clone, Copy, Debug)]
+pub struct IntervalTracker {
+    last: Option<SimTime>,
+    ema: Ema,
+}
+
+impl IntervalTracker {
+    /// A tracker with the given EMA smoothing.
+    pub fn new(alpha: f64) -> IntervalTracker {
+        IntervalTracker {
+            last: None,
+            ema: Ema::new(alpha),
+        }
+    }
+
+    /// A tracker with a prior estimate of the interval.
+    pub fn with_prior(alpha: f64, prior: Dur) -> IntervalTracker {
+        IntervalTracker {
+            last: None,
+            ema: Ema::with_prior(alpha, prior),
+        }
+    }
+
+    /// Records an event at `now`; updates the interval estimate if a
+    /// previous event exists.
+    pub fn mark(&mut self, now: SimTime) {
+        if let Some(prev) = self.last {
+            self.ema.observe(now.saturating_since(prev));
+        }
+        self.last = Some(now);
+    }
+
+    /// Forgets the last event (after a trajectory change, the next gap
+    /// is not a valid interval observation) but keeps the estimate.
+    pub fn reset_phase(&mut self) {
+        self.last = None;
+    }
+
+    /// Current interval estimate.
+    pub fn estimate(&self) -> Option<Dur> {
+        self.ema.estimate()
+    }
+
+    /// Current estimate or default.
+    pub fn estimate_or(&self, default: Dur) -> Dur {
+        self.ema.estimate_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_is_adopted() {
+        let mut e = Ema::new(0.3);
+        assert!(e.estimate().is_none());
+        e.observe(Dur::from_secs(10));
+        assert_eq!(e.estimate(), Some(Dur::from_secs(10)));
+    }
+
+    #[test]
+    fn ema_converges_toward_new_level() {
+        let mut e = Ema::new(0.5);
+        e.observe(Dur::from_secs(100));
+        for _ in 0..20 {
+            e.observe(Dur::from_secs(10));
+        }
+        let est = e.estimate().unwrap().as_secs_f64();
+        assert!((est - 10.0).abs() < 0.1, "est {est}");
+    }
+
+    #[test]
+    fn alpha_one_tracks_last_sample_exactly() {
+        let mut e = Ema::new(1.0);
+        e.observe(Dur::from_secs(5));
+        e.observe(Dur::from_secs(42));
+        assert_eq!(e.estimate(), Some(Dur::from_secs(42)));
+    }
+
+    #[test]
+    fn prior_seeds_estimate() {
+        let e = Ema::with_prior(0.5, Dur::from_secs(13));
+        assert!(e.is_seeded());
+        assert_eq!(e.estimate(), Some(Dur::from_secs(13)));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn zero_alpha_rejected() {
+        Ema::new(0.0);
+    }
+
+    #[test]
+    fn interval_tracker_measures_gaps() {
+        let mut t = IntervalTracker::new(1.0);
+        t.mark(SimTime::from_secs(10));
+        assert!(t.estimate().is_none(), "one event is not an interval");
+        t.mark(SimTime::from_secs(13));
+        assert_eq!(t.estimate(), Some(Dur::from_secs(3)));
+        t.mark(SimTime::from_secs(20));
+        assert_eq!(t.estimate(), Some(Dur::from_secs(7)));
+    }
+
+    #[test]
+    fn phase_reset_skips_one_gap() {
+        let mut t = IntervalTracker::new(1.0);
+        t.mark(SimTime::from_secs(0));
+        t.mark(SimTime::from_secs(1));
+        t.reset_phase();
+        // A huge gap (trajectory jump) that must not pollute the
+        // estimate:
+        t.mark(SimTime::from_secs(1000));
+        assert_eq!(t.estimate(), Some(Dur::from_secs(1)));
+        t.mark(SimTime::from_secs(1002));
+        assert_eq!(t.estimate(), Some(Dur::from_secs(2)));
+    }
+}

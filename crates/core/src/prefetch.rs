@@ -1,0 +1,657 @@
+//! Prefetch agents (§IV-B): one per analysis client.
+//!
+//! The agent watches the client's access stream, detects forward or
+//! backward k-strided trajectories "after two k-stride consecutive
+//! accesses", and plans re-simulations that (1) mask the restart latency
+//! and (2) match the analysis bandwidth:
+//!
+//! * **Re-simulation length** (§IV-B1a): enough accesses must fit into
+//!   one block to cover the next restart latency, reserving two accesses
+//!   to confirm the pattern —
+//!   `n = ⌈alpha / max(k·tau_sim, tau_cli) + 2⌉ · k`, rounded up to a
+//!   restart-interval multiple.
+//! * **Prefetch trigger** (§IV-B1a): a new batch is launched at the last
+//!   access that still masks the restart latency — when the remaining
+//!   planned coverage drops to `⌈alpha / max(k·tau_sim, tau_cli)⌉ · k`
+//!   steps.
+//! * **Bandwidth matching** (§IV-B1b): if the analysis outpaces the
+//!   simulation, first escalate the parallelism level; once escalation
+//!   is exhausted, run `s_opt = ⌈k·tau_sim / tau_cli⌉` simulations in
+//!   parallel, ramping `s` up by doubling (1, 2, 4, …) while the pattern
+//!   persists, capped by `s_max`.
+//! * **Backward trajectories** (§IV-B2): simulations still run forward,
+//!   so blocks are whole restart intervals planned below the analysis
+//!   frontier; when the analysis is slower,
+//!   `n = k·alpha / (tau_cli − k·tau_sim)` (rounded up to a restart
+//!   interval) with one simulation suffices, otherwise
+//!   `s = k·alpha/(n·tau_cli) + k·tau_sim/tau_cli` parallel interval
+//!   simulations are planned.
+//!
+//! The agent only *plans*; the Data Virtualizer filters blocks against
+//! cache/pending state, enforces `s_max`, and emits launches.
+
+use crate::model::StepMath;
+use crate::perfmodel::Ema;
+use simcache::{u64_set, U64Set};
+use simkit::Dur;
+use std::ops::RangeInclusive;
+
+/// Detected access trajectory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Increasing keys.
+    Forward,
+    /// Decreasing keys.
+    Backward,
+}
+
+/// Inputs the agent needs from the DV's estimators at decision time.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefetchInputs {
+    /// Current restart-latency estimate `alpha_sim`.
+    pub alpha: Dur,
+    /// Current inter-production estimate `tau_sim`.
+    pub tau_sim: Dur,
+    /// Cadence/timeline math of the context.
+    pub steps: StepMath,
+    /// Upper bound on simultaneous simulations (`s_max`).
+    pub smax: u32,
+    /// Use the conservative doubling ramp instead of launching `s_opt`
+    /// simulations directly (§IV-B1b).
+    pub ramp: bool,
+}
+
+/// A planned prefetch: contiguous key blocks to simulate, at a
+/// parallelism level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefetchPlan {
+    /// Key ranges to simulate, one simulation per block.
+    pub blocks: Vec<RangeInclusive<u64>>,
+    /// Parallelism level for these launches (§IV-B1b strategy 1).
+    pub level: u32,
+}
+
+/// What the DV must do after feeding an access to the agent.
+#[derive(Clone, Debug, Default)]
+pub struct AgentOutcome {
+    /// The client changed direction/stride: kill its outstanding
+    /// prefetches (§IV-C).
+    pub direction_changed: bool,
+    /// Launch these prefetch blocks (already deduplicated against the
+    /// agent's own planning, not against the cache).
+    pub plan: Option<PrefetchPlan>,
+}
+
+/// Per-client prefetch agent state.
+#[derive(Clone, Debug)]
+pub struct PrefetchAgent {
+    /// Client consumption time per access, *excluding* DV-induced
+    /// blocking: the DV samples ready-to-next-acquire gaps and feeds
+    /// them via [`observe_tau_cli`](Self::observe_tau_cli). Measuring
+    /// raw inter-access times instead would make a blocked analysis
+    /// look exactly as slow as the simulation and defeat bandwidth
+    /// matching (`s_opt` would always be 1).
+    tau_cli: Ema,
+    last_key: Option<u64>,
+    last_stride: Option<i64>,
+    /// Confirmed pattern: the stride (sign = direction, |s| = k).
+    pattern: Option<i64>,
+    /// Doubling ramp state `s` (§IV-B1b strategy 2).
+    ramp: u32,
+    /// Parallelism escalation level (§IV-B1b strategy 1).
+    level: u32,
+    /// Exclusive frontier of planned production: highest planned key
+    /// (forward) or lowest (backward).
+    frontier: Option<u64>,
+    /// Keys this agent asked to prefetch (pollution detection, §IV-C).
+    prefetched: U64Set,
+}
+
+impl PrefetchAgent {
+    /// A fresh agent; `ema_alpha` smooths its `tau_cli` estimate.
+    pub fn new(ema_alpha: f64) -> PrefetchAgent {
+        PrefetchAgent {
+            tau_cli: Ema::new(ema_alpha),
+            last_key: None,
+            last_stride: None,
+            pattern: None,
+            ramp: 1,
+            level: 0,
+            frontier: None,
+            prefetched: u64_set(),
+        }
+    }
+
+    /// The confirmed direction, if any.
+    pub fn direction(&self) -> Option<Direction> {
+        self.pattern.map(|s| {
+            if s > 0 {
+                Direction::Forward
+            } else {
+                Direction::Backward
+            }
+        })
+    }
+
+    /// The confirmed stride magnitude `k`, if a pattern is confirmed.
+    pub fn stride_k(&self) -> Option<u64> {
+        self.pattern.map(|s| s.unsigned_abs())
+    }
+
+    /// Current client consumption-time estimate.
+    pub fn tau_cli(&self) -> Option<Dur> {
+        self.tau_cli.estimate()
+    }
+
+    /// Feeds one consumption-time sample (`ready -> next acquire`),
+    /// measured by the DV.
+    pub fn observe_tau_cli(&mut self, sample: Dur) {
+        self.tau_cli.observe(sample);
+    }
+
+    /// Current parallelism-escalation level.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Did this agent prefetch `key` at some point? (Pollution check:
+    /// a miss on such a key means it was produced and evicted before
+    /// being consumed.)
+    pub fn was_prefetched(&self, key: u64) -> bool {
+        self.prefetched.contains(&key)
+    }
+
+    /// Resets pattern state and ramp (pollution signal resets *all*
+    /// agents, §IV-C). The `tau_cli` estimate survives: client speed is
+    /// not invalidated by cache pollution.
+    pub fn reset(&mut self) {
+        self.last_stride = None;
+        self.pattern = None;
+        self.ramp = 1;
+        self.frontier = None;
+        self.prefetched.clear();
+    }
+
+    /// Tells the agent that production up to `frontier` (inclusive) has
+    /// been planned on this client's behalf (miss launches included).
+    pub fn note_planned(&mut self, dir: Direction, frontier_key: u64) {
+        self.frontier = Some(match (self.frontier, dir) {
+            (None, _) => frontier_key,
+            (Some(f), Direction::Forward) => f.max(frontier_key),
+            (Some(f), Direction::Backward) => f.min(frontier_key),
+        });
+    }
+
+    /// Marks keys as prefetched on behalf of this client.
+    pub fn note_prefetched(&mut self, keys: impl IntoIterator<Item = u64>) {
+        self.prefetched.extend(keys);
+    }
+
+    /// Feeds one access; returns what the DV should do.
+    pub fn on_access(&mut self, key: u64, inputs: &PrefetchInputs) -> AgentOutcome {
+        let mut outcome = AgentOutcome::default();
+
+        let stride = self
+            .last_key
+            .map(|prev| key as i64 - prev as i64);
+        self.last_key = Some(key);
+
+        let Some(stride) = stride else {
+            return outcome;
+        };
+        if stride == 0 {
+            // Re-access of the same step: no trajectory information.
+            return outcome;
+        }
+
+        match self.pattern {
+            Some(p) if p == stride => {
+                // Pattern continues.
+            }
+            Some(_) => {
+                // Direction or stride changed: the paper kills the
+                // prefetched simulations and the agent resets (§IV-C).
+                outcome.direction_changed = true;
+                self.pattern = None;
+                self.ramp = 1;
+                self.frontier = None;
+                self.prefetched.clear();
+                self.last_stride = Some(stride);
+                return outcome;
+            }
+            None => {
+                if self.last_stride == Some(stride) {
+                    // Two consecutive identical strides: confirmed.
+                    self.pattern = Some(stride);
+                    self.frontier.get_or_insert(key);
+                } else {
+                    self.last_stride = Some(stride);
+                    return outcome;
+                }
+            }
+        }
+        self.last_stride = Some(stride);
+
+        outcome.plan = self.plan_prefetch(key, stride, inputs);
+        outcome
+    }
+
+    /// Plans the next batch of prefetch blocks if the trigger condition
+    /// holds.
+    fn plan_prefetch(
+        &mut self,
+        key: u64,
+        stride: i64,
+        inputs: &PrefetchInputs,
+    ) -> Option<PrefetchPlan> {
+        let k = stride.unsigned_abs().max(1);
+        let steps = inputs.steps;
+        let b = steps.outputs_per_interval();
+        let n_outputs = steps.n_outputs();
+        let forward = stride > 0;
+
+        let tau_cli = self.tau_cli.estimate()?;
+        let alpha = inputs.alpha;
+        let tau_sim = inputs.tau_sim;
+
+        // Effective per-access service time: limited by the simulation
+        // or by the analysis itself (§IV-B1a).
+        let k_tau_sim = tau_sim.saturating_mul(k);
+        let denom = k_tau_sim.max(tau_cli);
+        let lead_accesses = if denom.is_zero() {
+            1
+        } else {
+            div_ceil_dur(alpha, denom)
+        };
+
+        // Trigger: remaining planned coverage within the masking window?
+        let frontier = self.frontier.unwrap_or(key);
+        let remaining = if forward {
+            frontier.saturating_sub(key)
+        } else {
+            key.saturating_sub(frontier)
+        };
+        if remaining > lead_accesses.saturating_mul(k) {
+            return None;
+        }
+
+        // Strategy 1 (§IV-B1b): escalate parallelism while the analysis
+        // outpaces the simulation and the simulator allows it.
+        let analysis_faster = tau_cli < k_tau_sim;
+        if analysis_faster && inputs.steps.n_outputs() > 0 {
+            // Escalation is bounded by the driver's max level; the DV
+            // maps level -> nodes. We escalate one level per trigger.
+            if self.level < 8 {
+                self.level += 1;
+            }
+        }
+
+        // Block length n (§IV-B1a / §IV-B2), rounded up to a restart
+        // interval multiple.
+        let n = if forward {
+            round_up_multiple((lead_accesses + 2).saturating_mul(k), b)
+        } else if tau_cli > k_tau_sim {
+            // Analysis slower than simulation: one sim of length
+            // n = k·alpha / (tau_cli − k·tau_sim) masks everything.
+            let gap = tau_cli - k_tau_sim;
+            let n_raw = (alpha.as_secs_f64() * k as f64 / gap.as_secs_f64()).ceil() as u64;
+            round_up_multiple(n_raw.max(1), b)
+        } else {
+            // Analysis faster: one restart interval per simulation;
+            // parallelism comes from s below.
+            b
+        };
+
+        // Strategy 2: number of parallel simulations.
+        let s_opt = if forward {
+            div_ceil_dur(k_tau_sim, tau_cli).max(1)
+        } else {
+            // s = k·alpha/(n·tau_cli) + k·tau_sim/tau_cli  (§IV-B2)
+            let tc = tau_cli.as_secs_f64().max(1e-12);
+            let s = (k as f64 * alpha.as_secs_f64()) / (n as f64 * tc)
+                + k_tau_sim.as_secs_f64() / tc;
+            s.ceil() as u64
+        }
+        .max(1) as u32;
+
+        let s = if inputs.ramp {
+            // Conservative mode: "start with s = 1 and double it at each
+            // prefetching step" (§IV-B1b).
+            let s = self.ramp.min(s_opt).min(inputs.smax).max(1);
+            if self.ramp < inputs.smax.min(s_opt.max(1)) {
+                self.ramp = (self.ramp * 2).min(inputs.smax);
+            }
+            s
+        } else {
+            // Default: match the analysis bandwidth immediately.
+            s_opt.min(inputs.smax).max(1)
+        };
+
+        // Lay out `s` blocks of `n` steps beyond the frontier.
+        let mut blocks = Vec::with_capacity(s as usize);
+        let mut edge = frontier;
+        for _ in 0..s {
+            if forward {
+                let start = edge + 1;
+                if start > n_outputs {
+                    break;
+                }
+                let stop = (edge + n).min(n_outputs);
+                blocks.push(start..=stop);
+                edge = stop;
+            } else {
+                if edge <= 1 {
+                    break;
+                }
+                let stop = edge - 1;
+                let start = edge.saturating_sub(n).max(1);
+                blocks.push(start..=stop);
+                edge = start;
+            }
+        }
+        if blocks.is_empty() {
+            return None;
+        }
+        self.frontier = Some(edge);
+        for block in &blocks {
+            self.prefetched.extend(block.clone());
+        }
+        Some(PrefetchPlan {
+            blocks,
+            level: self.level,
+        })
+    }
+}
+
+/// `⌈a / b⌉` over durations, as a count.
+fn div_ceil_dur(a: Dur, b: Dur) -> u64 {
+    if b.is_zero() {
+        return 1;
+    }
+    a.as_nanos().div_ceil(b.as_nanos())
+}
+
+/// Smallest multiple of `m` that is `>= x` (and at least `m`).
+fn round_up_multiple(x: u64, m: u64) -> u64 {
+    let m = m.max(1);
+    x.max(1).div_ceil(m) * m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(alpha_s: u64, tau_sim_s: u64) -> PrefetchInputs {
+        PrefetchInputs {
+            alpha: Dur::from_secs(alpha_s),
+            tau_sim: Dur::from_secs(tau_sim_s),
+            steps: StepMath::new(1, 4, 1000), // B = 4, N = 1000
+            smax: 8,
+            ramp: false,
+        }
+    }
+
+    /// Feeds accesses with a fixed consumption-time sample per access.
+    fn feed(
+        agent: &mut PrefetchAgent,
+        tau_cli_s: f64,
+        keys: &[u64],
+        inp: &PrefetchInputs,
+    ) -> Vec<AgentOutcome> {
+        keys.iter()
+            .map(|&k| {
+                agent.observe_tau_cli(Dur::from_secs_f64(tau_cli_s));
+                agent.on_access(k, inp)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pattern_confirmed_after_two_strides() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = inputs(2, 1);
+        feed(&mut a, 1.0, &[10, 11], &inp);
+        assert!(a.direction().is_none(), "one stride is not a pattern");
+        feed(&mut a, 1.0, &[12], &inp);
+        assert_eq!(a.direction(), Some(Direction::Forward));
+        assert_eq!(a.stride_k(), Some(1));
+    }
+
+    #[test]
+    fn backward_pattern_detected() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = inputs(2, 1);
+        feed(&mut a, 1.0, &[50, 48, 46], &inp);
+        assert_eq!(a.direction(), Some(Direction::Backward));
+        assert_eq!(a.stride_k(), Some(2));
+    }
+
+    #[test]
+    fn direction_change_reports_kill() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = inputs(2, 1);
+        feed(&mut a, 1.0, &[10, 11, 12], &inp);
+        let out = feed(&mut a, 1.0, &[9], &inp);
+        assert!(out[0].direction_changed);
+        assert!(a.direction().is_none());
+        // Needs two consecutive equal strides to re-confirm: the jump
+        // stride (12 -> 9) differs from the scan stride (-1), so two
+        // more accesses are required.
+        let out = feed(&mut a, 1.0, &[8], &inp);
+        assert!(!out[0].direction_changed);
+        assert!(a.direction().is_none());
+        feed(&mut a, 1.0, &[7], &inp);
+        assert_eq!(a.direction(), Some(Direction::Backward));
+    }
+
+    #[test]
+    fn repeat_access_is_not_direction_change() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = inputs(2, 1);
+        feed(&mut a, 1.0, &[10, 11, 12], &inp);
+        let out = feed(&mut a, 1.0, &[12], &inp);
+        assert!(!out[0].direction_changed);
+        assert_eq!(a.direction(), Some(Direction::Forward));
+    }
+
+    #[test]
+    fn forward_plan_masks_restart_latency() {
+        // alpha = 4 s, tau_sim = 1 s, tau_cli = 1 s (analysis reads as
+        // fast as production): lead = ceil(4/1) = 4, n = (4+2)*1 ->
+        // rounded to B=4 multiple -> 8.
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = inputs(4, 1);
+        a.note_planned(Direction::Forward, 12); // miss sim covered ..=12
+        let outs = feed(&mut a, 1.0, &[9, 10, 11], &inp);
+        // At key 11: remaining = 12 - 11 = 1 <= 4 -> trigger.
+        let plan = outs[2].plan.as_ref().expect("plan at the trigger");
+        assert_eq!(plan.blocks[0], 13..=20, "n = 8 beyond frontier 12");
+    }
+
+    #[test]
+    fn no_plan_while_coverage_sufficient() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = inputs(2, 1);
+        a.note_planned(Direction::Forward, 100);
+        let outs = feed(&mut a, 1.0, &[10, 11, 12, 13], &inp);
+        assert!(
+            outs.iter().all(|o| o.plan.is_none()),
+            "frontier 100 is far beyond the masking window"
+        );
+    }
+
+    #[test]
+    fn ramp_doubles_across_triggers() {
+        // Analysis 4x faster than the simulation: s_opt = 4.
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = PrefetchInputs {
+            alpha: Dur::from_secs(4),
+            tau_sim: Dur::from_secs(4),
+            steps: StepMath::new(1, 4, 100_000),
+            smax: 8,
+            ramp: true,
+        };
+        let mut sizes = Vec::new();
+        let mut key = 1;
+        a.note_planned(Direction::Forward, 4);
+        for _ in 0..2000 {
+            let out = feed(&mut a, 1.0, &[key], &inp);
+            if let Some(plan) = &out[0].plan {
+                sizes.push(plan.blocks.len());
+            }
+            key += 1;
+            if sizes.len() >= 3 {
+                break;
+            }
+        }
+        assert!(sizes.len() >= 3, "expected several triggers: {sizes:?}");
+        assert_eq!(sizes[0], 1, "ramp starts at 1");
+        assert!(sizes[1] >= 2, "ramp doubled: {sizes:?}");
+        assert!(sizes[2] >= sizes[1], "ramp monotone until cap: {sizes:?}");
+    }
+
+    #[test]
+    fn smax_caps_the_plan() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = PrefetchInputs {
+            alpha: Dur::from_secs(10),
+            tau_sim: Dur::from_secs(10),
+            steps: StepMath::new(1, 2, 100_000),
+            smax: 2,
+            ramp: false,
+        };
+        a.note_planned(Direction::Forward, 2);
+        let mut max_blocks = 0;
+        let mut key = 1;
+        for _ in 0..200 {
+            let out = feed(&mut a, 1.0, &[key], &inp);
+            if let Some(plan) = &out[0].plan {
+                max_blocks = max_blocks.max(plan.blocks.len());
+            }
+            key += 1;
+        }
+        assert!(max_blocks <= 2, "smax=2 exceeded: {max_blocks}");
+    }
+
+    #[test]
+    fn backward_plan_covers_interval_below() {
+        let mut a = PrefetchAgent::new(1.0);
+        // Analysis slower than sim: tau_cli = 3 s, k*tau_sim = 1 s,
+        // alpha = 4 s -> n = ceil(4/2) = 2 -> rounded to B=4.
+        let inp = inputs(4, 1);
+        a.note_planned(Direction::Backward, 41);
+        let outs = feed(&mut a, 3.0, &[44, 43, 42], &inp);
+        let plan = outs[2].plan.as_ref().expect("backward trigger");
+        let block = plan.blocks[0].clone();
+        assert!(*block.end() == 40, "plans below frontier 41: {block:?}");
+        assert!(*block.start() >= 1);
+    }
+
+    #[test]
+    fn backward_plan_clamps_at_key_one() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = inputs(4, 1);
+        a.note_planned(Direction::Backward, 3);
+        let outs = feed(&mut a, 1.0, &[5, 4, 3], &inp);
+        if let Some(plan) = &outs[2].plan {
+            for b in &plan.blocks {
+                assert!(*b.start() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_faster_analysis_plans_parallel_intervals() {
+        // Analysis faster than the simulation: the agent plans several
+        // one-interval simulations (s from the section IV-B2 formula).
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = PrefetchInputs {
+            alpha: Dur::from_secs(6),
+            tau_sim: Dur::from_secs(2),
+            steps: StepMath::new(1, 4, 1000),
+            smax: 8,
+            ramp: false,
+        };
+        a.note_planned(Direction::Backward, 101);
+        // tau_cli = 0.5 s << 2 s: bandwidth matching kicks in after the
+        // ramp warms up.
+        let mut max_blocks = 0;
+        let mut key = 120u64;
+        for _ in 0..40 {
+            let out = feed(&mut a, 0.5, &[key], &inp);
+            if let Some(plan) = &out[0].plan {
+                max_blocks = max_blocks.max(plan.blocks.len());
+                for b in &plan.blocks {
+                    assert_eq!((b.end() - b.start() + 1) % 4, 0, "interval-aligned blocks");
+                }
+            }
+            key -= 1;
+        }
+        assert!(max_blocks >= 2, "expected parallel backward plans, got {max_blocks}");
+    }
+
+    #[test]
+    fn plans_stop_at_timeline_end() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = PrefetchInputs {
+            alpha: Dur::from_secs(4),
+            tau_sim: Dur::from_secs(1),
+            steps: StepMath::new(1, 4, 20), // N = 20
+            smax: 8,
+            ramp: false,
+        };
+        a.note_planned(Direction::Forward, 18);
+        let outs = feed(&mut a, 1.0, &[16, 17, 18], &inp);
+        if let Some(plan) = &outs[2].plan {
+            for b in &plan.blocks {
+                assert!(*b.end() <= 20, "beyond timeline: {b:?}");
+            }
+        }
+        // Once the frontier hits N, further accesses plan nothing.
+        let out = feed(&mut a, 1.0, &[19], &inp);
+        if let Some(plan) = &out[0].plan {
+            assert!(plan.blocks.iter().all(|b| *b.end() <= 20));
+        }
+        let out = feed(&mut a, 1.0, &[20], &inp);
+        assert!(out[0].plan.is_none(), "nothing left to prefetch");
+    }
+
+    #[test]
+    fn reset_clears_pattern_and_prefetch_history() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = inputs(2, 1);
+        feed(&mut a, 1.0, &[1, 2, 3, 4], &inp);
+        a.note_prefetched([7, 8]);
+        assert!(a.was_prefetched(7));
+        a.reset();
+        assert!(!a.was_prefetched(7));
+        assert!(a.direction().is_none());
+        // tau_cli knowledge survives a pollution reset.
+        assert_eq!(a.tau_cli(), Some(Dur::from_secs(1)));
+    }
+
+    #[test]
+    fn prefetched_keys_tracked_from_plans() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = inputs(4, 1);
+        a.note_planned(Direction::Forward, 4);
+        let outs = feed(&mut a, 1.0, &[2, 3, 4], &inp);
+        let plan = outs[2].plan.as_ref().expect("trigger at frontier");
+        let first = *plan.blocks[0].start();
+        assert!(a.was_prefetched(first));
+    }
+
+    #[test]
+    fn no_plan_without_tau_cli_knowledge() {
+        let mut a = PrefetchAgent::new(1.0);
+        let inp = inputs(4, 1);
+        a.note_planned(Direction::Forward, 4);
+        // Accesses without any consumption-time sample: pattern can be
+        // confirmed but no plan is computable.
+        for key in [2u64, 3, 4] {
+            let out = a.on_access(key, &inp);
+            assert!(out.plan.is_none());
+        }
+        assert_eq!(a.direction(), Some(Direction::Forward));
+    }
+}

@@ -1,0 +1,673 @@
+//! The DV daemon: TCP front-end of the Data Virtualizer (Fig. 4).
+//!
+//! One daemon serves one or more *simulation contexts* (§II: "for a
+//! given simulation, scientists identify multiple simulation contexts
+//! that are made available to the analyses through SimFS"); clients
+//! select a context by name in their hello handshake — the protocol
+//! twin of the paper's `SIMFS_Init(sim_context, ...)` / environment
+//! variable. Analysis clients connect through DVLib
+//! ([`crate::client`]); re-simulations are spawned through a
+//! [`JobLauncher`] and connect back as simulator clients to report
+//! `SimStarted` / `FileProduced` / `SimFinished`.
+//!
+//! Concurrency model: one coarse lock per context around the DV state
+//! plus the client writer map. Every transition (a few map operations)
+//! holds the lock briefly; notification writes are small frames into OS
+//! socket buffers. This is the classic coordination-daemon shape — the
+//! data path (bulk file I/O) never goes through the daemon, only
+//! control messages do, exactly as the paper separates control (TCP)
+//! from data (parallel file system).
+
+use crate::driver::SimDriver;
+use crate::dv::{ClientId, DataVirtualizer, DvAction, DvEvent, SimId};
+use crate::model::ContextCfg;
+use crate::wire::{self, ClientKind, Request, Response};
+use parking_lot::Mutex;
+use simbatch::{JobId, JobLauncher, SpawnSpec};
+use simkit::SimTime;
+use simstore::StorageArea;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Environment variables passed to launched simulator jobs.
+pub mod env_keys {
+    /// Daemon address (`host:port`).
+    pub const DV_ADDR: &str = "SIMFS_DV_ADDR";
+    /// DV-assigned simulation id.
+    pub const SIM_ID: &str = "SIMFS_SIM_ID";
+    /// Context name.
+    pub const CONTEXT: &str = "SIMFS_CONTEXT";
+    /// Storage-area directory the simulator writes into.
+    pub const DATA_DIR: &str = "SIMFS_DATA_DIR";
+}
+
+/// Daemon configuration for one simulation context.
+pub struct ServerConfig {
+    /// The context (cadences, cache, policy, `s_max`, prefetching).
+    pub ctx: ContextCfg,
+    /// Simulator driver (naming, job creation, checksums).
+    pub driver: Arc<dyn SimDriver>,
+    /// Storage area backing the context.
+    pub storage: StorageArea,
+    /// Job launcher for re-simulations.
+    pub launcher: Arc<dyn JobLauncher>,
+    /// Recorded checksums of the initial simulation (`SIMFS_Bitrep`
+    /// reference data): key → checksum.
+    pub checksums: HashMap<u64, u64>,
+}
+
+struct CtxState {
+    dv: DataVirtualizer,
+    /// (client, key) → request ids awaiting Ready/Failed.
+    pending: HashMap<(ClientId, u64), Vec<u64>>,
+    /// Analysis client writers.
+    writers: HashMap<ClientId, TcpStream>,
+}
+
+/// Per-context runtime: the DV state machine plus its effectors.
+struct CtxRuntime {
+    name: String,
+    state: Mutex<CtxState>,
+    driver: Arc<dyn SimDriver>,
+    storage: StorageArea,
+    launcher: Arc<dyn JobLauncher>,
+    checksums: HashMap<u64, u64>,
+}
+
+struct Inner {
+    contexts: HashMap<String, Arc<CtxRuntime>>,
+    epoch: Instant,
+    addr: SocketAddr,
+    next_client: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    /// Routes a hello's context name; an empty name with exactly one
+    /// context falls through to it (single-context deployments keep the
+    /// pre-multi-context ergonomics).
+    fn route(&self, name: &str) -> Option<&Arc<CtxRuntime>> {
+        if let Some(ctx) = self.contexts.get(name) {
+            return Some(ctx);
+        }
+        if name.is_empty() && self.contexts.len() == 1 {
+            return self.contexts.values().next();
+        }
+        None
+    }
+}
+
+impl CtxRuntime {
+    fn send(&self, state: &mut CtxState, client: ClientId, resp: &Response) {
+        if let Some(stream) = state.writers.get_mut(&client) {
+            let _ = wire::write_frame(stream, &resp.encode());
+        }
+    }
+
+    /// Applies DV actions; launch failures feed back as `SimFailed`
+    /// events until quiescence.
+    fn apply_actions(&self, inner: &Inner, state: &mut CtxState, mut actions: Vec<DvAction>) {
+        while !actions.is_empty() {
+            let mut feedback: Vec<DvEvent> = Vec::new();
+            for action in std::mem::take(&mut actions) {
+                match action {
+                    DvAction::NotifyReady { client, key } => {
+                        if let Some(reqs) = state.pending.remove(&(client, key)) {
+                            for req_id in reqs {
+                                self.send(state, client, &Response::Ready { req_id, key });
+                            }
+                        }
+                    }
+                    DvAction::NotifyFailed {
+                        client,
+                        key,
+                        reason,
+                    } => {
+                        if let Some(reqs) = state.pending.remove(&(client, key)) {
+                            for req_id in reqs {
+                                self.send(
+                                    state,
+                                    client,
+                                    &Response::Failed {
+                                        req_id,
+                                        key,
+                                        reason: reason.clone(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    DvAction::Launch {
+                        sim, keys, level, ..
+                    } => {
+                        let spec = self
+                            .driver
+                            .make_job(*keys.start(), *keys.end(), level)
+                            .env(env_keys::DV_ADDR, inner.addr.to_string())
+                            .env(env_keys::SIM_ID, sim.to_string())
+                            .env(env_keys::CONTEXT, &self.name)
+                            .env(
+                                env_keys::DATA_DIR,
+                                self.storage.root().to_string_lossy().to_string(),
+                            );
+                        if self.launcher.launch(JobId(sim), &spec).is_err() {
+                            feedback.push(DvEvent::SimFailed { sim });
+                        }
+                    }
+                    DvAction::Kill { sim } => {
+                        let _ = self.launcher.kill(JobId(sim));
+                    }
+                    DvAction::Evict { key } => {
+                        let name = self.driver.filename_of(key);
+                        let _ = self.storage.delete(&name);
+                    }
+                }
+            }
+            let now = inner.now();
+            for ev in feedback {
+                actions.extend(state.dv.handle(now, ev));
+            }
+        }
+    }
+}
+
+/// A running DV daemon; dropping it (or calling
+/// [`shutdown`](DvServer::shutdown)) stops the accept loop.
+pub struct DvServer {
+    inner: Arc<Inner>,
+}
+
+impl DvServer {
+    /// Binds and starts a single-context daemon. Pre-existing files in
+    /// the storage area (the initial simulation's output) are primed
+    /// into the cache.
+    pub fn start(config: ServerConfig, bind: &str) -> io::Result<DvServer> {
+        Self::start_multi(vec![config], bind)
+    }
+
+    /// Binds and starts a daemon serving several simulation contexts
+    /// (§II) on one address; clients route by context name at hello
+    /// time.
+    ///
+    /// # Panics
+    /// Panics on duplicate context names — a configuration error.
+    pub fn start_multi(configs: Vec<ServerConfig>, bind: &str) -> io::Result<DvServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+
+        let mut contexts = HashMap::new();
+        let mut prime_work: Vec<(Arc<CtxRuntime>, Vec<u64>)> = Vec::new();
+        for config in configs {
+            let name = config.ctx.name.clone();
+            let mut dv = DataVirtualizer::new(config.ctx);
+
+            // Prime: everything already on disk is cached state.
+            let mut evicted = Vec::new();
+            for file in config.storage.list()? {
+                if let Some(key) = config.driver.key_of(&file) {
+                    let size = config.storage.size_of(&file).unwrap_or(0);
+                    evicted.extend(dv.prime(key, size));
+                }
+            }
+            let runtime = Arc::new(CtxRuntime {
+                name: name.clone(),
+                state: Mutex::new(CtxState {
+                    dv,
+                    pending: HashMap::new(),
+                    writers: HashMap::new(),
+                }),
+                driver: config.driver,
+                storage: config.storage,
+                launcher: config.launcher,
+                checksums: config.checksums,
+            });
+            prime_work.push((Arc::clone(&runtime), evicted));
+            let previous = contexts.insert(name.clone(), runtime);
+            assert!(previous.is_none(), "duplicate context name {name:?}");
+        }
+
+        let inner = Arc::new(Inner {
+            contexts,
+            epoch: Instant::now(),
+            addr,
+            next_client: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+
+        // Delete whatever the priming evicted (storage shrunk between
+        // runs).
+        for (runtime, evicted) in prime_work {
+            for key in evicted {
+                let name = runtime.driver.filename_of(key);
+                let _ = runtime.storage.delete(&name);
+            }
+        }
+
+        let accept_inner = Arc::clone(&inner);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let conn_inner = Arc::clone(&accept_inner);
+                        std::thread::spawn(move || handle_connection(conn_inner, stream));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        // Reaper: a launched job can die before it ever connects (bad
+        // restart file, scheduler rejection). Poll every launcher and
+        // translate orphaned exits into SimFailed/SimFinished so waiting
+        // analyses get an answer instead of a hang.
+        let reap_inner = Arc::clone(&inner);
+        std::thread::spawn(move || {
+            while !reap_inner.shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                for runtime in reap_inner.contexts.values() {
+                    let exits = runtime.launcher.reap();
+                    if exits.is_empty() {
+                        continue;
+                    }
+                    let mut state = runtime.state.lock();
+                    for (job, success) in exits {
+                        let now = reap_inner.now();
+                        // Unknown sims (already finished via the
+                        // protocol) are no-ops inside the DV.
+                        let event = if success {
+                            DvEvent::SimFinished { sim: job.0 }
+                        } else {
+                            DvEvent::SimFailed { sim: job.0 }
+                        };
+                        let actions = state.dv.handle(now, event);
+                        runtime.apply_actions(&reap_inner, &mut state, actions);
+                    }
+                }
+            }
+        });
+        Ok(DvServer { inner })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Statistics snapshot of the only context (single-context
+    /// deployments).
+    ///
+    /// # Panics
+    /// Panics if the daemon serves more than one context — use
+    /// [`context_stats`](Self::context_stats) then.
+    pub fn stats(&self) -> crate::dv::DvStats {
+        assert_eq!(
+            self.inner.contexts.len(),
+            1,
+            "multi-context daemon: use context_stats(name)"
+        );
+        let runtime = self.inner.contexts.values().next().expect("one context");
+        runtime.state.lock().dv.stats().clone()
+    }
+
+    /// Statistics snapshot of a named context.
+    pub fn context_stats(&self, name: &str) -> Option<crate::dv::DvStats> {
+        self.inner
+            .contexts
+            .get(name)
+            .map(|rt| rt.state.lock().dv.stats().clone())
+    }
+
+    /// The names of the contexts served.
+    pub fn context_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.contexts.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Stops accepting connections.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.inner.addr);
+    }
+}
+
+impl Drop for DvServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
+    let hello = match wire::read_frame(&mut stream) {
+        Ok(Some(body)) => match Request::decode(&body) {
+            Ok(req) => req,
+            Err(_) => return,
+        },
+        _ => return,
+    };
+    let Request::Hello { kind, context } = hello else {
+        let resp = Response::Error {
+            message: "expected Hello".to_string(),
+        };
+        let _ = wire::write_frame(&mut stream, &resp.encode());
+        return;
+    };
+    let Some(runtime) = inner.route(&context).cloned() else {
+        let resp = Response::Error {
+            message: format!(
+                "unknown simulation context {:?} (available: {:?})",
+                context,
+                {
+                    let mut names: Vec<&String> = inner.contexts.keys().collect();
+                    names.sort();
+                    names
+                }
+            ),
+        };
+        let _ = wire::write_frame(&mut stream, &resp.encode());
+        return;
+    };
+    match kind {
+        ClientKind::Analysis => analysis_session(inner, runtime, stream),
+        ClientKind::Simulator { sim_id } => simulator_session(inner, runtime, stream, sim_id),
+    }
+}
+
+fn analysis_session(inner: Arc<Inner>, runtime: Arc<CtxRuntime>, mut stream: TcpStream) {
+    let client: ClientId = inner.next_client.fetch_add(1, Ordering::SeqCst);
+    {
+        let mut state = runtime.state.lock();
+        match stream.try_clone() {
+            Ok(writer) => {
+                state.writers.insert(client, writer);
+            }
+            Err(_) => return,
+        }
+        runtime.send(&mut state, client, &Response::HelloOk { client_id: client });
+    }
+
+    loop {
+        let frame = match wire::read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            _ => break,
+        };
+        let req = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        match req {
+            Request::Acquire { req_id, keys } => {
+                let mut state = runtime.state.lock();
+                for key in keys {
+                    // Register interest before handling so a concurrent
+                    // production cannot race past the notification.
+                    state.pending.entry((client, key)).or_default().push(req_id);
+                    let now = inner.now();
+                    let actions = state.dv.handle(now, DvEvent::Acquire { client, key });
+                    runtime.apply_actions(&inner, &mut state, actions);
+                    // Still pending? Tell the client it is queued, with
+                    // the wait estimate (§III-C).
+                    if state.pending.contains_key(&(client, key)) {
+                        let est = state
+                            .dv
+                            .estimate_wait(key)
+                            .map_or(0, |d| d.as_nanos() / 1_000_000);
+                        runtime.send(
+                            &mut state,
+                            client,
+                            &Response::Queued {
+                                req_id,
+                                key,
+                                est_wait_ms: est,
+                            },
+                        );
+                    }
+                }
+            }
+            Request::Release { key } => {
+                let mut state = runtime.state.lock();
+                let now = inner.now();
+                let actions = state.dv.handle(now, DvEvent::Release { client, key });
+                runtime.apply_actions(&inner, &mut state, actions);
+            }
+            Request::Bitrep { req_id, key } => {
+                let name = runtime.driver.filename_of(key);
+                let result = runtime.storage.read(&name).ok().map(|bytes| {
+                    let sum = runtime.driver.checksum(&bytes);
+                    match runtime.checksums.get(&key) {
+                        Some(recorded) => (sum == *recorded, true),
+                        None => (false, false),
+                    }
+                });
+                let mut state = runtime.state.lock();
+                let resp = match result {
+                    Some((matches, known)) => Response::BitrepResult {
+                        req_id,
+                        key,
+                        matches,
+                        known,
+                    },
+                    None => Response::Failed {
+                        req_id,
+                        key,
+                        reason: "file not materialized; acquire it first".to_string(),
+                    },
+                };
+                runtime.send(&mut state, client, &resp);
+            }
+            Request::Status { req_id } => {
+                let mut state = runtime.state.lock();
+                let stats = state.dv.stats().clone();
+                let resp = Response::StatusInfo {
+                    req_id,
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    restarts: stats.restarts,
+                    produced_steps: stats.produced_steps,
+                    active_sims: state.dv.active_sims() as u64,
+                };
+                runtime.send(&mut state, client, &resp);
+            }
+            Request::Bye => break,
+            _ => {
+                let mut state = runtime.state.lock();
+                runtime.send(
+                    &mut state,
+                    client,
+                    &Response::Error {
+                        message: "unexpected analysis request".to_string(),
+                    },
+                );
+                break;
+            }
+        }
+    }
+
+    let mut state = runtime.state.lock();
+    state.writers.remove(&client);
+    state.pending.retain(|(c, _), _| *c != client);
+    let now = inner.now();
+    let actions = state.dv.handle(now, DvEvent::ClientGone { client });
+    runtime.apply_actions(&inner, &mut state, actions);
+}
+
+fn simulator_session(
+    inner: Arc<Inner>,
+    runtime: Arc<CtxRuntime>,
+    mut stream: TcpStream,
+    sim: SimId,
+) {
+    {
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let _ = wire::write_frame(&mut writer, &Response::HelloOk { client_id: sim }.encode());
+    }
+    let mut finished = false;
+    loop {
+        let frame = match wire::read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            _ => break,
+        };
+        let req = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        let event = match req {
+            Request::SimStarted => DvEvent::SimStarted { sim },
+            Request::FileProduced { key, size } => DvEvent::FileProduced { sim, key, size },
+            Request::SimFinished => {
+                finished = true;
+                DvEvent::SimFinished { sim }
+            }
+            Request::Bye => break,
+            _ => break,
+        };
+        let mut state = runtime.state.lock();
+        let now = inner.now();
+        let actions = state.dv.handle(now, event);
+        runtime.apply_actions(&inner, &mut state, actions);
+        if finished {
+            break;
+        }
+    }
+    if !finished {
+        // Connection died mid-run: the re-simulation failed.
+        let mut state = runtime.state.lock();
+        let now = inner.now();
+        let actions = state.dv.handle(now, DvEvent::SimFailed { sim });
+        runtime.apply_actions(&inner, &mut state, actions);
+    }
+    let _ = runtime.launcher.reap();
+}
+
+/// In-process simulator launcher: "launches" jobs as threads that
+/// connect back to the daemon like a real simulator process would. Used
+/// by tests and the virtual examples; production deployments use
+/// [`simbatch::ProcessLauncher`] with the `simfs-simd` binary.
+pub struct ThreadSimLauncher {
+    /// Generates the bytes of output step `key`.
+    make_bytes: Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync>,
+    /// Maps a key to its published filename (must agree with the
+    /// context's driver).
+    name_of: Arc<dyn Fn(u64) -> String + Send + Sync>,
+    /// Wall-clock production delay per step (simulates `tau_sim`).
+    step_delay: std::time::Duration,
+    /// Restart latency before the first step (simulates `alpha_sim`).
+    restart_delay: std::time::Duration,
+    kill_flags: Mutex<HashMap<JobId, Arc<AtomicBool>>>,
+}
+
+impl ThreadSimLauncher {
+    /// A launcher producing steps via `make_bytes` with the given
+    /// latencies, publishing them under `name_of(key)`.
+    pub fn new(
+        make_bytes: impl Fn(u64) -> Vec<u8> + Send + Sync + 'static,
+        name_of: impl Fn(u64) -> String + Send + Sync + 'static,
+        restart_delay: std::time::Duration,
+        step_delay: std::time::Duration,
+    ) -> ThreadSimLauncher {
+        ThreadSimLauncher {
+            make_bytes: Arc::new(make_bytes),
+            name_of: Arc::new(name_of),
+            step_delay,
+            restart_delay,
+            kill_flags: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn parse_arg(spec: &SpawnSpec, flag: &str) -> Option<u64> {
+        let pos = spec.args.iter().position(|a| a == flag)?;
+        spec.args.get(pos + 1)?.parse().ok()
+    }
+
+    fn env_of<'a>(spec: &'a SpawnSpec, key: &str) -> Option<&'a str> {
+        spec.env
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl JobLauncher for ThreadSimLauncher {
+    fn launch(&self, job: JobId, spec: &SpawnSpec) -> io::Result<simbatch::JobHandle> {
+        let start = Self::parse_arg(spec, "--start-key")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "missing --start-key"))?;
+        let stop = Self::parse_arg(spec, "--stop-key")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "missing --stop-key"))?;
+        let addr = Self::env_of(spec, env_keys::DV_ADDR)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "missing DV addr"))?
+            .to_string();
+        let sim_id: u64 = Self::env_of(spec, env_keys::SIM_ID)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "missing sim id"))?;
+        let context = Self::env_of(spec, env_keys::CONTEXT).unwrap_or("").to_string();
+        let data_dir = Self::env_of(spec, env_keys::DATA_DIR)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "missing data dir"))?
+            .to_string();
+
+        let killed = Arc::new(AtomicBool::new(false));
+        self.kill_flags.lock().insert(job, Arc::clone(&killed));
+        let make_bytes = Arc::clone(&self.make_bytes);
+        let name_of = Arc::clone(&self.name_of);
+        let (restart_delay, step_delay) = (self.restart_delay, self.step_delay);
+
+        std::thread::spawn(move || {
+            let run = || -> io::Result<()> {
+                let mut stream = TcpStream::connect(&addr)?;
+                wire::write_frame(
+                    &mut stream,
+                    &Request::Hello {
+                        kind: ClientKind::Simulator { sim_id },
+                        context,
+                    }
+                    .encode(),
+                )?;
+                let _ = wire::read_frame(&mut stream)?; // HelloOk
+                std::thread::sleep(restart_delay);
+                wire::write_frame(&mut stream, &Request::SimStarted.encode())?;
+                let area = StorageArea::create(&data_dir, u64::MAX)?;
+                for key in start..=stop {
+                    if killed.load(Ordering::SeqCst) {
+                        // Killed: vanish without SimFinished; the server
+                        // treats the drop as SimFailed — unless the DV
+                        // already removed the sim (the normal kill path).
+                        return Ok(());
+                    }
+                    std::thread::sleep(step_delay);
+                    let bytes = make_bytes(key);
+                    let size = area.publish(&name_of(key), &bytes)?;
+                    wire::write_frame(&mut stream, &Request::FileProduced { key, size }.encode())?;
+                }
+                wire::write_frame(&mut stream, &Request::SimFinished.encode())?;
+                Ok(())
+            };
+            let _ = run();
+        });
+        Ok(simbatch::JobHandle { job, pid: 0 })
+    }
+
+    fn kill(&self, job: JobId) -> io::Result<()> {
+        if let Some(flag) = self.kill_flags.lock().remove(&job) {
+            flag.store(true, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+
+    fn reap(&self) -> Vec<(JobId, bool)> {
+        Vec::new()
+    }
+}

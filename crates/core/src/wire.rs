@@ -1,0 +1,618 @@
+//! The DV control protocol (Fig. 4's "control messages (TCP/IP)").
+//!
+//! Length-prefixed binary frames, hand-encoded: a `u32` little-endian
+//! length followed by a tag byte and the message fields. Hand-rolling
+//! keeps the dependency budget (no serde format crate) and makes the
+//! wire format explicit and testable.
+//!
+//! Two client kinds speak it: *analysis* clients (DVLib, §III-C) issue
+//! `Acquire`/`Release`/`Bitrep`; *simulator* clients (spawned
+//! re-simulations) report `SimStarted`/`FileProduced`/`SimFinished` —
+//! the interposition points of §III-B ("we intercept the create and
+//! close calls issued by the simulator").
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame size (1 MiB): protocol messages are tiny, so
+/// anything bigger is a corrupted stream or a protocol error.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Who is connecting (first frame of every session).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientKind {
+    /// An analysis application (DVLib).
+    Analysis,
+    /// A launched re-simulation; `sim_id` is the DV-assigned id passed
+    /// through the job environment.
+    Simulator {
+        /// DV simulation id.
+        sim_id: u64,
+    },
+}
+
+/// Client → DV messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Session setup: who am I, which simulation context.
+    Hello {
+        /// Client kind.
+        kind: ClientKind,
+        /// Context name (§II "Simulation Contexts").
+        context: String,
+    },
+    /// Request output steps (`SIMFS_Acquire`): the DV answers one
+    /// `Ready`/`Failed` per key; `Queued` may precede them.
+    Acquire {
+        /// Client-chosen request id echoed in responses.
+        req_id: u64,
+        /// Requested output-step keys.
+        keys: Vec<u64>,
+    },
+    /// Release one output step (`SIMFS_Release` / intercepted close).
+    Release {
+        /// Released key.
+        key: u64,
+    },
+    /// Bit-reproducibility check (`SIMFS_Bitrep`).
+    Bitrep {
+        /// Request id echoed in the response.
+        req_id: u64,
+        /// Key to verify.
+        key: u64,
+    },
+    /// Simulator: one output step was closed/published.
+    FileProduced {
+        /// Produced key.
+        key: u64,
+        /// File size in bytes.
+        size: u64,
+    },
+    /// Simulator: restart loaded, production begins.
+    SimStarted,
+    /// Simulator: assigned range complete.
+    SimFinished,
+    /// Analysis: request the context's runtime statistics (profiling
+    /// support, §III-C).
+    Status {
+        /// Request id echoed in the response.
+        req_id: u64,
+    },
+    /// Orderly goodbye.
+    Bye,
+}
+
+/// DV → client messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Session accepted.
+    HelloOk {
+        /// DV-assigned client id.
+        client_id: u64,
+    },
+    /// `key` is on disk and pinned for this client.
+    Ready {
+        /// Originating request id.
+        req_id: u64,
+        /// Ready key.
+        key: u64,
+    },
+    /// `key` cannot be served.
+    Failed {
+        /// Originating request id.
+        req_id: u64,
+        /// Failed key.
+        key: u64,
+        /// Reason string (surfaced in `SIMFS_Status`).
+        reason: String,
+    },
+    /// `key` is being produced; estimated wait attached (§III-C status
+    /// information).
+    Queued {
+        /// Originating request id.
+        req_id: u64,
+        /// Pending key.
+        key: u64,
+        /// Estimated wait in milliseconds.
+        est_wait_ms: u64,
+    },
+    /// Result of a `Bitrep` check.
+    BitrepResult {
+        /// Originating request id.
+        req_id: u64,
+        /// Verified key.
+        key: u64,
+        /// File checksum matches the recorded one.
+        matches: bool,
+        /// A recorded checksum existed for this key.
+        known: bool,
+    },
+    /// Context runtime statistics (answer to `Status`).
+    StatusInfo {
+        /// Originating request id.
+        req_id: u64,
+        /// Cache hits so far.
+        hits: u64,
+        /// Cache misses so far.
+        misses: u64,
+        /// Re-simulations launched.
+        restarts: u64,
+        /// Output steps produced.
+        produced_steps: u64,
+        /// Currently running re-simulations.
+        active_sims: u64,
+    },
+    /// Protocol-level error; the session is closed after this.
+    Error {
+        /// Description.
+        message: String,
+    },
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> io::Result<String> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt("truncated string body"));
+    }
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| corrupt("invalid UTF-8"))
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("wire: {msg}"))
+}
+
+impl Request {
+    /// Encodes into a frame body (no length prefix).
+    pub fn encode(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(32);
+        match self {
+            Request::Hello { kind, context } => {
+                buf.put_u8(0);
+                match kind {
+                    ClientKind::Analysis => buf.put_u8(0),
+                    ClientKind::Simulator { sim_id } => {
+                        buf.put_u8(1);
+                        buf.put_u64_le(*sim_id);
+                    }
+                }
+                put_string(&mut buf, context);
+            }
+            Request::Acquire { req_id, keys } => {
+                buf.put_u8(1);
+                buf.put_u64_le(*req_id);
+                buf.put_u32_le(keys.len() as u32);
+                for k in keys {
+                    buf.put_u64_le(*k);
+                }
+            }
+            Request::Release { key } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*key);
+            }
+            Request::Bitrep { req_id, key } => {
+                buf.put_u8(3);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(*key);
+            }
+            Request::FileProduced { key, size } => {
+                buf.put_u8(4);
+                buf.put_u64_le(*key);
+                buf.put_u64_le(*size);
+            }
+            Request::SimStarted => buf.put_u8(5),
+            Request::SimFinished => buf.put_u8(6),
+            Request::Bye => buf.put_u8(7),
+            Request::Status { req_id } => {
+                buf.put_u8(8);
+                buf.put_u64_le(*req_id);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a frame body.
+    pub fn decode(mut buf: &[u8]) -> io::Result<Request> {
+        if buf.is_empty() {
+            return Err(corrupt("empty request frame"));
+        }
+        let tag = buf.get_u8();
+        let req = match tag {
+            0 => {
+                if buf.remaining() < 1 {
+                    return Err(corrupt("truncated hello"));
+                }
+                let kind = match buf.get_u8() {
+                    0 => ClientKind::Analysis,
+                    1 => {
+                        if buf.remaining() < 8 {
+                            return Err(corrupt("truncated sim id"));
+                        }
+                        ClientKind::Simulator {
+                            sim_id: buf.get_u64_le(),
+                        }
+                    }
+                    k => return Err(corrupt(&format!("unknown client kind {k}"))),
+                };
+                Request::Hello {
+                    kind,
+                    context: get_string(&mut buf)?,
+                }
+            }
+            1 => {
+                if buf.remaining() < 12 {
+                    return Err(corrupt("truncated acquire"));
+                }
+                let req_id = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n * 8 {
+                    return Err(corrupt("truncated acquire keys"));
+                }
+                let keys = (0..n).map(|_| buf.get_u64_le()).collect();
+                Request::Acquire { req_id, keys }
+            }
+            2 => {
+                if buf.remaining() < 8 {
+                    return Err(corrupt("truncated release"));
+                }
+                Request::Release {
+                    key: buf.get_u64_le(),
+                }
+            }
+            3 => {
+                if buf.remaining() < 16 {
+                    return Err(corrupt("truncated bitrep"));
+                }
+                Request::Bitrep {
+                    req_id: buf.get_u64_le(),
+                    key: buf.get_u64_le(),
+                }
+            }
+            4 => {
+                if buf.remaining() < 16 {
+                    return Err(corrupt("truncated file-produced"));
+                }
+                Request::FileProduced {
+                    key: buf.get_u64_le(),
+                    size: buf.get_u64_le(),
+                }
+            }
+            5 => Request::SimStarted,
+            6 => Request::SimFinished,
+            7 => Request::Bye,
+            8 => {
+                if buf.remaining() < 8 {
+                    return Err(corrupt("truncated status"));
+                }
+                Request::Status {
+                    req_id: buf.get_u64_le(),
+                }
+            }
+            t => return Err(corrupt(&format!("unknown request tag {t}"))),
+        };
+        if buf.has_remaining() {
+            return Err(corrupt("trailing bytes in request"));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes into a frame body (no length prefix).
+    pub fn encode(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(32);
+        match self {
+            Response::HelloOk { client_id } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*client_id);
+            }
+            Response::Ready { req_id, key } => {
+                buf.put_u8(1);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(*key);
+            }
+            Response::Failed {
+                req_id,
+                key,
+                reason,
+            } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(*key);
+                put_string(&mut buf, reason);
+            }
+            Response::Queued {
+                req_id,
+                key,
+                est_wait_ms,
+            } => {
+                buf.put_u8(3);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(*key);
+                buf.put_u64_le(*est_wait_ms);
+            }
+            Response::BitrepResult {
+                req_id,
+                key,
+                matches,
+                known,
+            } => {
+                buf.put_u8(4);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(*key);
+                buf.put_u8(u8::from(*matches));
+                buf.put_u8(u8::from(*known));
+            }
+            Response::Error { message } => {
+                buf.put_u8(5);
+                put_string(&mut buf, message);
+            }
+            Response::StatusInfo {
+                req_id,
+                hits,
+                misses,
+                restarts,
+                produced_steps,
+                active_sims,
+            } => {
+                buf.put_u8(6);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(*hits);
+                buf.put_u64_le(*misses);
+                buf.put_u64_le(*restarts);
+                buf.put_u64_le(*produced_steps);
+                buf.put_u64_le(*active_sims);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a frame body.
+    pub fn decode(mut buf: &[u8]) -> io::Result<Response> {
+        if buf.is_empty() {
+            return Err(corrupt("empty response frame"));
+        }
+        let tag = buf.get_u8();
+        let resp = match tag {
+            0 => {
+                if buf.remaining() < 8 {
+                    return Err(corrupt("truncated hello-ok"));
+                }
+                Response::HelloOk {
+                    client_id: buf.get_u64_le(),
+                }
+            }
+            1 => {
+                if buf.remaining() < 16 {
+                    return Err(corrupt("truncated ready"));
+                }
+                Response::Ready {
+                    req_id: buf.get_u64_le(),
+                    key: buf.get_u64_le(),
+                }
+            }
+            2 => {
+                if buf.remaining() < 16 {
+                    return Err(corrupt("truncated failed"));
+                }
+                Response::Failed {
+                    req_id: buf.get_u64_le(),
+                    key: buf.get_u64_le(),
+                    reason: get_string(&mut buf)?,
+                }
+            }
+            3 => {
+                if buf.remaining() < 24 {
+                    return Err(corrupt("truncated queued"));
+                }
+                Response::Queued {
+                    req_id: buf.get_u64_le(),
+                    key: buf.get_u64_le(),
+                    est_wait_ms: buf.get_u64_le(),
+                }
+            }
+            4 => {
+                if buf.remaining() < 18 {
+                    return Err(corrupt("truncated bitrep result"));
+                }
+                Response::BitrepResult {
+                    req_id: buf.get_u64_le(),
+                    key: buf.get_u64_le(),
+                    matches: buf.get_u8() != 0,
+                    known: buf.get_u8() != 0,
+                }
+            }
+            5 => Response::Error {
+                message: get_string(&mut buf)?,
+            },
+            6 => {
+                if buf.remaining() < 48 {
+                    return Err(corrupt("truncated status info"));
+                }
+                Response::StatusInfo {
+                    req_id: buf.get_u64_le(),
+                    hits: buf.get_u64_le(),
+                    misses: buf.get_u64_le(),
+                    restarts: buf.get_u64_le(),
+                    produced_steps: buf.get_u64_le(),
+                    active_sims: buf.get_u64_le(),
+                }
+            }
+            t => return Err(corrupt(&format!("unknown response tag {t}"))),
+        };
+        if buf.has_remaining() {
+            return Err(corrupt("trailing bytes in response"));
+        }
+        Ok(resp)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = body.len() as u32;
+    debug_assert!(len <= MAX_FRAME);
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(corrupt(&format!("oversized frame ({len} bytes)")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let encoded = req.encode();
+        let decoded = Request::decode(&encoded).unwrap();
+        assert_eq!(req, decoded);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let encoded = resp.encode();
+        let decoded = Response::decode(&encoded).unwrap();
+        assert_eq!(resp, decoded);
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        roundtrip_req(Request::Hello {
+            kind: ClientKind::Analysis,
+            context: "cosmo-1km".into(),
+        });
+        roundtrip_req(Request::Hello {
+            kind: ClientKind::Simulator { sim_id: 42 },
+            context: "flash".into(),
+        });
+        roundtrip_req(Request::Acquire {
+            req_id: 7,
+            keys: vec![1, 2, 99],
+        });
+        roundtrip_req(Request::Acquire {
+            req_id: 0,
+            keys: vec![],
+        });
+        roundtrip_req(Request::Release { key: 5 });
+        roundtrip_req(Request::Bitrep { req_id: 9, key: 3 });
+        roundtrip_req(Request::FileProduced { key: 10, size: 4096 });
+        roundtrip_req(Request::SimStarted);
+        roundtrip_req(Request::SimFinished);
+        roundtrip_req(Request::Status { req_id: 12 });
+        roundtrip_req(Request::Bye);
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        roundtrip_resp(Response::HelloOk { client_id: 3 });
+        roundtrip_resp(Response::Ready { req_id: 1, key: 2 });
+        roundtrip_resp(Response::Failed {
+            req_id: 1,
+            key: 2,
+            reason: "restart failed".into(),
+        });
+        roundtrip_resp(Response::Queued {
+            req_id: 4,
+            key: 8,
+            est_wait_ms: 1234,
+        });
+        roundtrip_resp(Response::BitrepResult {
+            req_id: 5,
+            key: 6,
+            matches: true,
+            known: false,
+        });
+        roundtrip_resp(Response::Error {
+            message: "unknown context".into(),
+        });
+        roundtrip_resp(Response::StatusInfo {
+            req_id: 2,
+            hits: 10,
+            misses: 3,
+            restarts: 1,
+            produced_steps: 48,
+            active_sims: 2,
+        });
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicking() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Request::decode(&[1, 0, 0]).is_err());
+        assert!(Response::decode(&[77]).is_err());
+        // Trailing bytes are an error (catches framing bugs early).
+        let mut ok = Request::Bye.encode().to_vec();
+        ok.push(0);
+        assert!(Request::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        for req in [
+            Request::Hello {
+                kind: ClientKind::Analysis,
+                context: "c".into(),
+            },
+            Request::Acquire {
+                req_id: 1,
+                keys: vec![11, 22],
+            },
+            Request::Bye,
+        ] {
+            write_frame(&mut wire, &req.encode()).unwrap();
+        }
+        let mut cursor = &wire[..];
+        let mut decoded = Vec::new();
+        while let Some(body) = read_frame(&mut cursor).unwrap() {
+            decoded.push(Request::decode(&body).unwrap());
+        }
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[2], Request::Bye);
+    }
+
+    #[test]
+    fn clean_eof_yields_none_mid_eof_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Bye.encode()).unwrap();
+        // Clean EOF after one frame:
+        let mut cursor = &wire[..];
+        assert!(read_frame(&mut cursor).unwrap().is_some());
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        // Truncated frame body:
+        let mut truncated = &wire[..wire.len() - 1];
+        assert!(read_frame(&mut truncated).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let bad = (MAX_FRAME + 1).to_le_bytes();
+        let mut cursor = &bad[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

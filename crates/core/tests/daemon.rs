@@ -1,0 +1,490 @@
+//! End-to-end daemon tests: the Fig. 4 protocol over real TCP sockets
+//! with in-thread simulator jobs.
+
+use simbatch::ParallelismMap;
+use simfs_core::client::SimfsClient;
+use simfs_core::driver::{PatternDriver, SimDriver};
+use simfs_core::intercept::{netcdf, VirtualFs};
+use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};
+use simstore::{Data, Dataset, StorageArea};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn step_bytes(key: u64) -> Vec<u8> {
+    let mut ds = Dataset::new(key, key as f64);
+    ds.set_attr("simulator", "synthetic");
+    let field: Vec<f64> = (0..16).map(|i| (key * 31 + i) as f64).collect();
+    ds.add_var("field", vec![16], Data::F64(field)).unwrap();
+    ds.encode().to_vec()
+}
+
+struct Fixture {
+    server: DvServer,
+    storage: StorageArea,
+    driver: Arc<PatternDriver>,
+    _dir: std::path::PathBuf,
+}
+
+/// Starts a daemon over a fresh storage area. B = 4, N = 64 output
+/// steps, cache of `cache_steps` steps, checksums recorded for keys
+/// 1..=8.
+fn start_daemon(tag: &str, cache_steps: u64, smax: u32) -> Fixture {
+    let dir = std::env::temp_dir().join(format!(
+        "simfs-daemon-{}-{}-{:?}",
+        tag,
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let storage = StorageArea::create(&dir, u64::MAX).unwrap();
+    let driver = Arc::new(
+        PatternDriver::new("out-", ".sdf", 6)
+            .with_parallelism(ParallelismMap::unconstrained(1, 2)),
+    );
+
+    let size = step_bytes(1).len() as u64;
+    let steps = StepMath::new(1, 4, 64);
+    let ctx = ContextCfg::new("test-ctx", steps, size, cache_steps * size)
+        .with_policy("dcl")
+        .with_smax(smax)
+        .with_prefetch(true);
+
+    let checksums: HashMap<u64, u64> = (1..=8)
+        .map(|k| (k, simstore::fnv1a64(&step_bytes(k))))
+        .collect();
+
+    let launcher = Arc::new(ThreadSimLauncher::new(
+        step_bytes,
+        |key| PatternDriver::new("out-", ".sdf", 6).filename_of(key),
+        Duration::from_millis(5),
+        Duration::from_millis(2),
+    ));
+    let server = DvServer::start(
+        ServerConfig {
+            ctx,
+            driver: driver.clone(),
+            storage: storage.clone(),
+            launcher,
+            checksums,
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    Fixture {
+        server,
+        storage,
+        driver,
+        _dir: dir,
+    }
+}
+
+#[test]
+fn miss_triggers_resimulation_and_unblocks_client() {
+    let fx = start_daemon("miss", 1000, 4);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    assert!(!fx.storage.exists("out-000006.sdf"));
+    let status = client.acquire(&[6]).unwrap();
+    assert!(status.ok(), "{status:?}");
+    assert_eq!(status.ready, vec![6]);
+    // The whole enclosing interval 5..=8 was materialized (§II-A).
+    for k in 5..=8 {
+        assert!(fx.storage.exists(&fx.driver.filename_of(k)), "key {k}");
+    }
+    let stats = fx.server.stats();
+    assert_eq!(stats.misses, 1);
+    assert!(stats.restarts >= 1);
+    client.finalize().unwrap();
+}
+
+#[test]
+fn second_acquire_is_a_hit() {
+    let fx = start_daemon("hit", 1000, 4);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    client.acquire(&[10]).unwrap();
+    client.release(10).unwrap();
+    let status = client.acquire(&[10]).unwrap();
+    assert!(status.ok());
+    let stats = fx.server.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    client.finalize().unwrap();
+}
+
+#[test]
+fn nonblocking_acquire_with_wait_and_test() {
+    let fx = start_daemon("nb", 1000, 4);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let mut req = client.acquire_nb(&[2, 3]).unwrap();
+    assert!(!req.done());
+    // test() polls without blocking until production completes.
+    let mut done = false;
+    for _ in 0..2_000 {
+        let (d, _) = client.test(&mut req).unwrap();
+        if d {
+            done = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(done, "re-simulation never completed");
+    let status = client.wait(&mut req).unwrap();
+    let mut ready = status.ready.clone();
+    ready.sort_unstable();
+    assert_eq!(ready, vec![2, 3]);
+    client.finalize().unwrap();
+}
+
+#[test]
+fn waitsome_reports_incremental_availability() {
+    let fx = start_daemon("waitsome", 1000, 4);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let mut req = client.acquire_nb(&[1, 2, 3, 4]).unwrap();
+    let mut resolved = 0;
+    while !req.done() {
+        let status = client.waitsome(&mut req).unwrap();
+        let now_resolved = status.ready.len() + status.failed.len();
+        assert!(now_resolved > resolved, "waitsome must make progress");
+        resolved = now_resolved;
+    }
+    assert_eq!(resolved, 4);
+    client.finalize().unwrap();
+}
+
+#[test]
+fn out_of_timeline_key_fails_cleanly() {
+    let fx = start_daemon("invalid", 1000, 4);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let status = client.acquire(&[9999]).unwrap();
+    assert!(!status.ok());
+    assert_eq!(status.failed.len(), 1);
+    assert_eq!(status.failed[0].0, 9999);
+    client.finalize().unwrap();
+}
+
+#[test]
+fn bitrep_validates_resimulated_output() {
+    let fx = start_daemon("bitrep", 1000, 4);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    client.acquire(&[3]).unwrap();
+    // Keys 1..=8 have recorded checksums; the deterministic simulator
+    // reproduces them bitwise.
+    assert_eq!(client.bitrep(3).unwrap(), Some(true));
+    // Key 20 has no recorded checksum.
+    client.acquire(&[20]).unwrap();
+    assert_eq!(client.bitrep(20).unwrap(), None);
+    client.finalize().unwrap();
+}
+
+#[test]
+fn bitrep_detects_corruption() {
+    let fx = start_daemon("bitrep2", 1000, 4);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    client.acquire(&[5]).unwrap();
+    // Corrupt the file on disk behind the DV's back.
+    let name = fx.driver.filename_of(5);
+    let mut bytes = fx.storage.read(&name).unwrap();
+    bytes[10] ^= 0xFF;
+    fx.storage.publish(&name, &bytes).unwrap();
+    assert_eq!(client.bitrep(5).unwrap(), Some(false));
+    client.finalize().unwrap();
+}
+
+#[test]
+fn eviction_deletes_files_under_pressure() {
+    // Cache of 4 steps only.
+    let fx = start_daemon("evict", 4, 4);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    client.acquire(&[2]).unwrap(); // materializes 1..=4
+    client.release(2).unwrap();
+    client.acquire(&[6]).unwrap(); // materializes 5..=8, evicting 1..=4
+    client.release(6).unwrap();
+    // Give eviction deletions a moment.
+    std::thread::sleep(Duration::from_millis(50));
+    let on_disk: Vec<String> = fx.storage.list().unwrap();
+    assert!(
+        on_disk.len() <= 5,
+        "storage area should stay near budget: {on_disk:?}"
+    );
+    let stats = fx.server.stats();
+    assert!(stats.evictions >= 3, "evictions: {}", stats.evictions);
+    client.finalize().unwrap();
+}
+
+#[test]
+fn pinned_files_survive_pressure() {
+    let fx = start_daemon("pins", 4, 4);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    client.acquire(&[2]).unwrap(); // pin on 2
+    client.acquire(&[6]).unwrap(); // pressure
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        fx.storage.exists(&fx.driver.filename_of(2)),
+        "pinned step deleted"
+    );
+    client.finalize().unwrap();
+}
+
+#[test]
+fn two_clients_share_one_resimulation() {
+    let fx = start_daemon("share", 1000, 4);
+    let mut a = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let mut b = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let mut ra = a.acquire_nb(&[13]).unwrap();
+    let mut rb = b.acquire_nb(&[14]).unwrap();
+    let sa = a.wait(&mut ra).unwrap();
+    let sb = b.wait(&mut rb).unwrap();
+    assert!(sa.ok() && sb.ok());
+    let stats = fx.server.stats();
+    assert_eq!(
+        stats.restarts, 1,
+        "both keys in interval 13..=16: one restart"
+    );
+    a.finalize().unwrap();
+    b.finalize().unwrap();
+}
+
+#[test]
+fn transparent_mode_open_read_close() {
+    let fx = start_daemon("vfs", 1000, 4);
+    let client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let mut vfs = VirtualFs::new(client, fx.driver.clone(), fx.storage.clone());
+    assert!(!vfs.is_materialized("out-000007.sdf"));
+    // Table I facade: nc_open blocks through the re-simulation.
+    let ds = netcdf::nc_open(&mut vfs, "out-000007.sdf").unwrap();
+    assert_eq!(ds.step_index, 7);
+    let field = netcdf::nc_vara_get_double(&ds, "field").unwrap();
+    assert_eq!(field.len(), 16);
+    assert_eq!(field[0], (7 * 31) as f64);
+    netcdf::nc_close(&mut vfs, "out-000007.sdf").unwrap();
+    assert!(vfs.is_materialized("out-000007.sdf"));
+    // Foreign names are rejected, not silently passed through.
+    assert!(vfs.open("weird-name.nc").is_err());
+    vfs.finalize().unwrap();
+}
+
+#[test]
+fn daemon_restart_reprimes_existing_files() {
+    let fx = start_daemon("prime", 1000, 4);
+    let addr_dir = fx._dir.clone();
+    {
+        let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+        client.acquire(&[9]).unwrap();
+        client.release(9).unwrap();
+        client.finalize().unwrap();
+    }
+    fx.server.shutdown();
+    drop(fx.server);
+
+    // New daemon over the same storage area: files must be hits.
+    let storage = StorageArea::create(&addr_dir, u64::MAX).unwrap();
+    let size = step_bytes(1).len() as u64;
+    let ctx = ContextCfg::new("test-ctx", StepMath::new(1, 4, 64), size, 1000 * size);
+    let launcher = Arc::new(ThreadSimLauncher::new(
+        step_bytes,
+        |key| PatternDriver::new("out-", ".sdf", 6).filename_of(key),
+        Duration::from_millis(5),
+        Duration::from_millis(2),
+    ));
+    let server = DvServer::start(
+        ServerConfig {
+            ctx,
+            driver: Arc::new(PatternDriver::new("out-", ".sdf", 6)),
+            storage,
+            launcher,
+            checksums: HashMap::new(),
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = SimfsClient::connect(server.addr(), "test-ctx").unwrap();
+    let status = client.acquire(&[9]).unwrap();
+    assert!(status.ok());
+    assert_eq!(server.stats().hits, 1, "primed file served without restart");
+    assert_eq!(server.stats().restarts, 0);
+    client.finalize().unwrap();
+}
+
+#[test]
+fn abrupt_disconnect_releases_pins() {
+    let fx = start_daemon("gone", 4, 4);
+    {
+        let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+        client.acquire(&[2]).unwrap();
+        // Dropped without release/finalize: TCP close triggers
+        // ClientGone.
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    // A second client can now flood the cache past key 2's pins.
+    let mut other = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    other.acquire(&[6]).unwrap();
+    other.release(6).unwrap();
+    other.acquire(&[10]).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        !fx.storage.exists(&fx.driver.filename_of(2)),
+        "departed client's pin must not persist"
+    );
+    other.finalize().unwrap();
+}
+
+#[test]
+fn multi_context_daemon_routes_by_name() {
+    // Two contexts with distinct cadences and storage areas on ONE
+    // daemon (§II "Simulation Contexts").
+    let dir_a = std::env::temp_dir().join(format!("simfs-multi-a-{}", std::process::id()));
+    let dir_b = std::env::temp_dir().join(format!("simfs-multi-b-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let storage_a = StorageArea::create(&dir_a, u64::MAX).unwrap();
+    let storage_b = StorageArea::create(&dir_b, u64::MAX).unwrap();
+    let size = step_bytes(1).len() as u64;
+
+    let mk_launcher = || {
+        Arc::new(ThreadSimLauncher::new(
+            step_bytes,
+            |key| PatternDriver::new("out-", ".sdf", 6).filename_of(key),
+            Duration::from_millis(3),
+            Duration::from_millis(1),
+        ))
+    };
+    let coarse = simfs_core::server::ServerConfig {
+        ctx: ContextCfg::new("coarse", StepMath::new(1, 4, 64), size, 1000 * size),
+        driver: Arc::new(PatternDriver::new("out-", ".sdf", 6)),
+        storage: storage_a.clone(),
+        launcher: mk_launcher(),
+        checksums: HashMap::new(),
+    };
+    let fine = simfs_core::server::ServerConfig {
+        ctx: ContextCfg::new("fine", StepMath::new(1, 8, 128), size, 1000 * size),
+        driver: Arc::new(PatternDriver::new("out-", ".sdf", 6)),
+        storage: storage_b.clone(),
+        launcher: mk_launcher(),
+        checksums: HashMap::new(),
+    };
+    let server = DvServer::start_multi(vec![coarse, fine], "127.0.0.1:0").unwrap();
+    assert_eq!(server.context_names(), vec!["coarse", "fine"]);
+
+    // Each client lands in its own context; files go to the right area.
+    let mut ca = SimfsClient::connect(server.addr(), "coarse").unwrap();
+    let mut cb = SimfsClient::connect(server.addr(), "fine").unwrap();
+    assert!(ca.acquire(&[2]).unwrap().ok());
+    assert!(cb.acquire(&[2]).unwrap().ok());
+    assert!(storage_a.exists("out-000002.sdf"));
+    assert!(storage_b.exists("out-000002.sdf"));
+    // Different cadences: coarse interval is 1..=4, fine is 1..=8.
+    assert!(!storage_a.exists("out-000008.sdf"));
+    assert!(storage_b.exists("out-000008.sdf"));
+
+    let sa = server.context_stats("coarse").unwrap();
+    let sb = server.context_stats("fine").unwrap();
+    assert_eq!(sa.misses, 1);
+    assert_eq!(sb.misses, 1);
+    assert_eq!(sa.produced_steps, 4);
+    assert_eq!(sb.produced_steps, 8);
+
+    ca.finalize().unwrap();
+    cb.finalize().unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn unknown_context_is_rejected_with_listing() {
+    let fx = start_daemon("unknown-ctx", 100, 2);
+    let err = match SimfsClient::connect(fx.server.addr(), "no-such-context") {
+        Ok(_) => panic!("connect to unknown context must fail"),
+        Err(e) => e,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("unknown simulation context"), "{msg}");
+    assert!(msg.contains("test-ctx"), "must list available contexts: {msg}");
+}
+
+#[test]
+fn status_query_reports_runtime_counters() {
+    let fx = start_daemon("status", 100, 2);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let s0 = client.status().unwrap();
+    assert_eq!(s0.hits + s0.misses, 0);
+    client.acquire(&[6]).unwrap();
+    let s1 = client.status().unwrap();
+    assert_eq!(s1.misses, 1);
+    assert_eq!(s1.restarts, 1);
+    assert!(s1.produced_steps >= 1);
+    client.finalize().unwrap();
+}
+
+#[test]
+fn malformed_frames_drop_session_without_crashing_daemon() {
+    use std::io::Write;
+    let fx = start_daemon("garbage", 100, 2);
+    // A raw socket that handshakes properly, then sends byte soup.
+    {
+        let mut rogue = std::net::TcpStream::connect(fx.server.addr()).unwrap();
+        simfs_core::wire::write_frame(
+            &mut rogue,
+            &simfs_core::wire::Request::Hello {
+                kind: simfs_core::wire::ClientKind::Analysis,
+                context: "test-ctx".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        let _ = simfs_core::wire::read_frame(&mut rogue).unwrap();
+        // Garbage frame: valid length prefix, invalid body.
+        let body = [0xFFu8; 16];
+        rogue.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        rogue.write_all(&body).unwrap();
+        // And a torn frame: length promising more than we send.
+        rogue.write_all(&100u32.to_le_bytes()).unwrap();
+        rogue.write_all(&[1, 2, 3]).unwrap();
+    }
+    // The daemon must still serve well-behaved clients.
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let status = client.acquire(&[3]).unwrap();
+    assert!(status.ok());
+    client.finalize().unwrap();
+}
+
+#[test]
+fn rogue_simulator_ids_do_not_corrupt_state() {
+    // A "simulator" that was never launched reports productions for a
+    // bogus sim id: the DV must ignore sim-level bookkeeping it does not
+    // know, while still accepting the (real) file.
+    let fx = start_daemon("rogue-sim", 100, 2);
+    {
+        let mut rogue = std::net::TcpStream::connect(fx.server.addr()).unwrap();
+        simfs_core::wire::write_frame(
+            &mut rogue,
+            &simfs_core::wire::Request::Hello {
+                kind: simfs_core::wire::ClientKind::Simulator { sim_id: 9999 },
+                context: "test-ctx".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        let _ = simfs_core::wire::read_frame(&mut rogue).unwrap();
+        // Publish a real file then claim it.
+        fx.storage.publish("out-000001.sdf", &step_bytes(1)).unwrap();
+        simfs_core::wire::write_frame(
+            &mut rogue,
+            &simfs_core::wire::Request::FileProduced { key: 1, size: 10 }.encode(),
+        )
+        .unwrap();
+        simfs_core::wire::write_frame(
+            &mut rogue,
+            &simfs_core::wire::Request::SimFinished.encode(),
+        )
+        .unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    // Key 1 is now (legitimately) cached; a client acquire hits.
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let status = client.acquire(&[1]).unwrap();
+    assert!(status.ok());
+    assert_eq!(fx.server.stats().hits, 1);
+    client.finalize().unwrap();
+}

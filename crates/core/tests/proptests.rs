@@ -1,0 +1,197 @@
+//! Property tests for the Data Virtualizer and the model math.
+
+use proptest::prelude::*;
+use simfs_core::dv::{DataVirtualizer, DvAction, DvEvent};
+use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::replay::replay;
+use simkit::SimTime;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// R(d_i) and the resim range satisfy the §II-A contract for every
+    /// cadence.
+    #[test]
+    fn step_math_contract(
+        dd in 1u64..20,
+        intervals in 1u64..20,
+        n_intervals in 1u64..50,
+        key_sel in any::<prop::sample::Index>(),
+    ) {
+        let dr = dd * intervals;
+        let steps = StepMath::new(dd, dr, dr * n_intervals);
+        let n = steps.n_outputs();
+        prop_assume!(n >= 1);
+        let key = 1 + key_sel.index(n as usize) as u64;
+
+        // Restart mapping bounds.
+        let r = steps.restart_before(key);
+        prop_assert!(r * dr <= key * dd);
+        prop_assert!((r + 1) * dr > key * dd || key * dd % dr == 0);
+
+        // The resim range contains the key and stays in the timeline.
+        let range = steps.resim_range(key);
+        prop_assert!(range.contains(&key));
+        prop_assert!(*range.start() >= 1 && *range.end() <= n);
+
+        // Cost is the distance from the previous restart boundary.
+        let cost = steps.miss_cost(key);
+        prop_assert!(cost < steps.outputs_per_interval());
+        prop_assert_eq!(cost == 0, key % steps.outputs_per_interval() == 0);
+    }
+
+    /// Replay invariants: every miss restarts at most one simulation,
+    /// simulated steps bound the misses, hits+misses = valid accesses.
+    #[test]
+    fn replay_accounting(
+        accesses in prop::collection::vec(0u64..200, 1..400),
+        cache_steps in 2u64..100,
+        policy in prop::sample::select(vec!["lru", "arc", "lirs", "bcl", "dcl"]),
+    ) {
+        let steps = StepMath::new(1, 8, 160); // N = 160, B = 8
+        let ctx = ContextCfg::new("prop", steps, 10, cache_steps * 10)
+            .with_policy(&policy);
+        let valid = accesses.iter().filter(|&&k| k >= 1 && k <= 160).count() as u64;
+        let stats = replay(&ctx, accesses.iter().copied());
+        prop_assert_eq!(stats.hits + stats.misses, valid);
+        prop_assert_eq!(stats.restarts, stats.misses);
+        prop_assert!(stats.simulated_steps >= stats.misses);
+        prop_assert!(stats.simulated_steps <= stats.misses * 8);
+    }
+
+    /// The DV never evicts a pinned step, never double-launches a key,
+    /// and keeps `active_sims <= s_max` under arbitrary acquire/release
+    /// interleavings with immediate production. Actions are executed
+    /// depth-first in emission order — exactly how the daemon applies
+    /// them — so the on-disk mirror tracks eviction/re-production
+    /// churn faithfully.
+    #[test]
+    fn dv_invariants_under_random_workloads(
+        ops in prop::collection::vec((0u64..50, any::<bool>()), 1..150),
+        smax in 1u32..5,
+        cache_steps in 2u64..20,
+    ) {
+        struct Mirror {
+            pinned: HashMap<u64, u64>,
+            on_disk: HashSet<u64>,
+            ready_for_client: HashSet<u64>,
+            smax: u32,
+        }
+
+        /// Applies one action (and everything it triggers) in order.
+        fn exec(
+            dv: &mut DataVirtualizer,
+            m: &mut Mirror,
+            now: SimTime,
+            action: DvAction,
+        ) -> Result<(), proptest::test_runner::TestCaseError> {
+            match action {
+                DvAction::Launch { sim, keys, .. } => {
+                    prop_assert!(dv.active_sims() <= m.smax as usize);
+                    for a in dv.handle(now, DvEvent::SimStarted { sim }) {
+                        exec(dv, m, now, a)?;
+                    }
+                    for k in keys.clone() {
+                        m.on_disk.insert(k);
+                        for a in dv.handle(now, DvEvent::FileProduced { sim, key: k, size: 10 }) {
+                            exec(dv, m, now, a)?;
+                        }
+                    }
+                    for a in dv.handle(now, DvEvent::SimFinished { sim }) {
+                        exec(dv, m, now, a)?;
+                    }
+                }
+                DvAction::Evict { key } => {
+                    prop_assert_eq!(
+                        m.pinned.get(&key).copied().unwrap_or(0),
+                        0,
+                        "evicted a pinned step"
+                    );
+                    m.on_disk.remove(&key);
+                }
+                DvAction::NotifyReady { key, .. } => {
+                    prop_assert!(m.on_disk.contains(&key), "ready for a missing step");
+                    m.ready_for_client.insert(key);
+                }
+                DvAction::NotifyFailed { .. } | DvAction::Kill { .. } => {}
+            }
+            Ok(())
+        }
+
+        let steps = StepMath::new(1, 4, 40);
+        let ctx = ContextCfg::new("prop", steps, 10, cache_steps * 10)
+            .with_policy("lru")
+            .with_smax(smax)
+            .with_prefetch(true);
+        let mut dv = DataVirtualizer::new(ctx);
+        let mut m = Mirror {
+            pinned: HashMap::new(),
+            on_disk: HashSet::new(),
+            ready_for_client: HashSet::new(),
+            smax,
+        };
+        let mut now_ns = 0u64;
+
+        for (key_raw, do_release) in ops {
+            now_ns += 1;
+            let now = SimTime::from_nanos(now_ns);
+            let key = 1 + key_raw % 40;
+            if do_release {
+                if m.pinned.get(&key).copied().unwrap_or(0) > 0 {
+                    *m.pinned.get_mut(&key).unwrap() -= 1;
+                    for a in dv.handle(now, DvEvent::Release { client: 1, key }) {
+                        exec(&mut dv, &mut m, now, a)?;
+                    }
+                }
+            } else {
+                m.ready_for_client.remove(&key);
+                for a in dv.handle(now, DvEvent::Acquire { client: 1, key }) {
+                    exec(&mut dv, &mut m, now, a)?;
+                }
+                // The acquire must have resolved (synchronous production)
+                // and the step must still be on disk: it is pinned now.
+                prop_assert!(
+                    m.ready_for_client.contains(&key),
+                    "acquire of {} never became ready",
+                    key
+                );
+                prop_assert!(m.on_disk.contains(&key), "ready step {} missing", key);
+                *m.pinned.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Liveness at scale: a long random acquire/release session always
+    /// terminates with zero queued launches once all sims finish.
+    #[test]
+    fn dv_drains_launch_queue(keys in prop::collection::vec(1u64..100, 1..100)) {
+        let steps = StepMath::new(1, 10, 100);
+        let ctx = ContextCfg::new("drain", steps, 1, 1000)
+            .with_smax(1)
+            .with_prefetch(true);
+        let mut dv = DataVirtualizer::new(ctx);
+        let mut t = 0u64;
+        let mut worklist: Vec<DvAction> = Vec::new();
+        for key in keys {
+            t += 1;
+            worklist.extend(dv.handle(SimTime::from_nanos(t), DvEvent::Acquire { client: 1, key }));
+            // Run every launch to completion before the next access.
+            while let Some(action) = worklist.pop() {
+                if let DvAction::Launch { sim, keys, .. } = action {
+                    for k in keys {
+                        worklist.extend(dv.handle(
+                            SimTime::from_nanos(t),
+                            DvEvent::FileProduced { sim, key: k, size: 1 },
+                        ));
+                    }
+                    worklist.extend(dv.handle(SimTime::from_nanos(t), DvEvent::SimFinished { sim }));
+                }
+            }
+            t += 1;
+            dv.handle(SimTime::from_nanos(t), DvEvent::Release { client: 1, key });
+        }
+        prop_assert_eq!(dv.active_sims(), 0);
+        prop_assert_eq!(dv.queued_launches(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Wire-protocol robustness: arbitrary bytes must decode to an error,
+//! never panic or loop; valid messages roundtrip through real frames.
+
+use proptest::prelude::*;
+use simfs_core::wire::{read_frame, write_frame, ClientKind, Request, Response};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        ("[a-z0-9-]{0,24}", any::<bool>(), any::<u64>()).prop_map(|(context, analysis, sim_id)| {
+            Request::Hello {
+                kind: if analysis {
+                    ClientKind::Analysis
+                } else {
+                    ClientKind::Simulator { sim_id }
+                },
+                context,
+            }
+        }),
+        (any::<u64>(), prop::collection::vec(any::<u64>(), 0..20))
+            .prop_map(|(req_id, keys)| Request::Acquire { req_id, keys }),
+        any::<u64>().prop_map(|key| Request::Release { key }),
+        (any::<u64>(), any::<u64>()).prop_map(|(req_id, key)| Request::Bitrep { req_id, key }),
+        (any::<u64>(), any::<u64>()).prop_map(|(key, size)| Request::FileProduced { key, size }),
+        Just(Request::SimStarted),
+        Just(Request::SimFinished),
+        any::<u64>().prop_map(|req_id| Request::Status { req_id }),
+        Just(Request::Bye),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        any::<u64>().prop_map(|client_id| Response::HelloOk { client_id }),
+        (any::<u64>(), any::<u64>()).prop_map(|(req_id, key)| Response::Ready { req_id, key }),
+        (any::<u64>(), any::<u64>(), "[ -~]{0,40}")
+            .prop_map(|(req_id, key, reason)| Response::Failed { req_id, key, reason }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(req_id, key, est_wait_ms)| {
+            Response::Queued {
+                req_id,
+                key,
+                est_wait_ms,
+            }
+        }),
+        (any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+            |(req_id, key, matches, known)| Response::BitrepResult {
+                req_id,
+                key,
+                matches,
+                known,
+            }
+        ),
+        "[ -~]{0,40}".prop_map(|message| Response::Error { message }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(req_id, hits, misses, restarts, produced_steps, active_sims)| {
+                Response::StatusInfo {
+                    req_id,
+                    hits,
+                    misses,
+                    restarts,
+                    produced_steps,
+                    active_sims,
+                }
+            }),
+    ]
+}
+
+proptest! {
+    /// Every request survives encode/decode.
+    #[test]
+    fn requests_roundtrip(req in arb_request()) {
+        let decoded = Request::decode(&req.encode()).unwrap();
+        prop_assert_eq!(req, decoded);
+    }
+
+    /// Every response survives encode/decode.
+    #[test]
+    fn responses_roundtrip(resp in arb_response()) {
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        prop_assert_eq!(resp, decoded);
+    }
+
+    /// Arbitrary byte soup never panics the decoders.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Truncations of valid encodings are detected as errors, not
+    /// misparsed as different messages.
+    #[test]
+    fn truncations_error(req in arb_request(), cut in any::<prop::sample::Index>()) {
+        let encoded = req.encode();
+        prop_assume!(encoded.len() > 1);
+        let cut = 1 + cut.index(encoded.len() - 1);
+        if cut < encoded.len() {
+            prop_assert!(Request::decode(&encoded[..cut]).is_err());
+        }
+    }
+
+    /// Frame streams of several messages roundtrip over a byte channel.
+    #[test]
+    fn frame_streams_roundtrip(reqs in prop::collection::vec(arb_request(), 0..10)) {
+        let mut wire_bytes = Vec::new();
+        for req in &reqs {
+            write_frame(&mut wire_bytes, &req.encode()).unwrap();
+        }
+        let mut cursor = &wire_bytes[..];
+        let mut decoded = Vec::new();
+        while let Some(body) = read_frame(&mut cursor).unwrap() {
+            decoded.push(Request::decode(&body).unwrap());
+        }
+        prop_assert_eq!(decoded, reqs);
+    }
+}

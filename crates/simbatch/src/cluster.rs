@@ -1,0 +1,300 @@
+//! A virtual cluster: node accounting with a FIFO job queue.
+//!
+//! The strong-scalability experiments (Figs. 16/18) run up to `s_max`
+//! re-simulations of `P` nodes each; the figure annotations report the
+//! total nodes in use. This model provides exactly that accounting: jobs
+//! start immediately when their request fits, otherwise they wait in
+//! submission order (no backfill — conservative, and deterministic).
+//!
+//! Like the DV itself, the cluster is a pure state machine: methods
+//! return [`ClusterEvent`]s for the caller (DES harness or real
+//! launcher) to act upon.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifies a submitted job.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// State transitions the caller must act upon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// The job acquired its nodes and starts running now.
+    Started(JobId),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+}
+
+#[derive(Clone, Debug)]
+struct Job {
+    nodes: u32,
+    state: JobState,
+}
+
+/// Virtual cluster state.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    total_nodes: u32,
+    free_nodes: u32,
+    jobs: HashMap<JobId, Job>,
+    fifo: VecDeque<JobId>,
+    peak_used: u32,
+}
+
+impl Cluster {
+    /// A cluster with `total_nodes` nodes, all free.
+    pub fn new(total_nodes: u32) -> Self {
+        Cluster {
+            total_nodes,
+            free_nodes: total_nodes,
+            jobs: HashMap::new(),
+            fifo: VecDeque::new(),
+            peak_used: 0,
+        }
+    }
+
+    /// Total node count.
+    pub fn total_nodes(&self) -> u32 {
+        self.total_nodes
+    }
+
+    /// Nodes not allocated to running jobs.
+    pub fn free_nodes(&self) -> u32 {
+        self.free_nodes
+    }
+
+    /// Nodes allocated to running jobs.
+    pub fn used_nodes(&self) -> u32 {
+        self.total_nodes - self.free_nodes
+    }
+
+    /// Highest concurrent node usage observed (the figure annotations).
+    pub fn peak_used(&self) -> u32 {
+        self.peak_used
+    }
+
+    /// Number of jobs waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Number of running jobs.
+    pub fn running(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count()
+    }
+
+    fn try_start(&mut self) -> Vec<ClusterEvent> {
+        let mut events = Vec::new();
+        // Strict FIFO: the head blocks everything behind it.
+        while let Some(&head) = self.fifo.front() {
+            let nodes = self.jobs[&head].nodes;
+            if nodes <= self.free_nodes {
+                self.fifo.pop_front();
+                self.free_nodes -= nodes;
+                self.jobs.get_mut(&head).expect("queued job exists").state = JobState::Running;
+                self.peak_used = self.peak_used.max(self.used_nodes());
+                events.push(ClusterEvent::Started(head));
+            } else {
+                break;
+            }
+        }
+        events
+    }
+
+    /// Submits a job requesting `nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if the id is already known, or if the request exceeds the
+    /// cluster size (it could never start — a driver configuration bug).
+    pub fn submit(&mut self, id: JobId, nodes: u32) -> Vec<ClusterEvent> {
+        assert!(
+            !self.jobs.contains_key(&id),
+            "duplicate job id {id:?} submitted"
+        );
+        assert!(
+            nodes >= 1 && nodes <= self.total_nodes,
+            "job {id:?} requests {nodes} nodes on a {}-node cluster",
+            self.total_nodes
+        );
+        self.jobs.insert(
+            id,
+            Job {
+                nodes,
+                state: JobState::Queued,
+            },
+        );
+        self.fifo.push_back(id);
+        self.try_start()
+    }
+
+    /// Marks a running job finished, freeing its nodes and possibly
+    /// starting queued jobs.
+    ///
+    /// # Panics
+    /// Panics if the job is unknown or not running.
+    pub fn finish(&mut self, id: JobId) -> Vec<ClusterEvent> {
+        let job = self.jobs.remove(&id).expect("finish of unknown job");
+        assert_eq!(job.state, JobState::Running, "finish of queued job {id:?}");
+        self.free_nodes += job.nodes;
+        self.try_start()
+    }
+
+    /// Cancels a job: removes it from the queue, or frees its nodes if
+    /// running. Unknown ids are tolerated (the kill may race completion).
+    pub fn cancel(&mut self, id: JobId) -> Vec<ClusterEvent> {
+        match self.jobs.remove(&id) {
+            Some(job) => match job.state {
+                JobState::Queued => {
+                    self.fifo.retain(|&j| j != id);
+                    // Head removal may unblock the queue.
+                    self.try_start()
+                }
+                JobState::Running => {
+                    self.free_nodes += job.nodes;
+                    self.try_start()
+                }
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Is the job currently running?
+    pub fn is_running(&self, id: JobId) -> bool {
+        self.jobs
+            .get(&id)
+            .is_some_and(|j| j.state == JobState::Running)
+    }
+
+    /// Is the job queued (submitted but not started)?
+    pub fn is_queued(&self, id: JobId) -> bool {
+        self.jobs
+            .get(&id)
+            .is_some_and(|j| j.state == JobState::Queued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_start_when_free() {
+        let mut c = Cluster::new(10);
+        let ev = c.submit(JobId(1), 4);
+        assert_eq!(ev, vec![ClusterEvent::Started(JobId(1))]);
+        assert_eq!(c.free_nodes(), 6);
+        assert!(c.is_running(JobId(1)));
+    }
+
+    #[test]
+    fn queueing_when_full() {
+        let mut c = Cluster::new(10);
+        c.submit(JobId(1), 8);
+        let ev = c.submit(JobId(2), 4);
+        assert!(ev.is_empty());
+        assert!(c.is_queued(JobId(2)));
+        let ev = c.finish(JobId(1));
+        assert_eq!(ev, vec![ClusterEvent::Started(JobId(2))]);
+        assert_eq!(c.free_nodes(), 6);
+    }
+
+    #[test]
+    fn fifo_head_blocks_smaller_jobs() {
+        let mut c = Cluster::new(10);
+        c.submit(JobId(1), 8);
+        c.submit(JobId(2), 8); // queued, blocks
+        let ev = c.submit(JobId(3), 1); // would fit, but FIFO
+        assert!(ev.is_empty(), "no backfill");
+        let ev = c.finish(JobId(1));
+        assert_eq!(
+            ev,
+            vec![ClusterEvent::Started(JobId(2)), ClusterEvent::Started(JobId(3))],
+            "head starts, then the small job behind it"
+        );
+    }
+
+    #[test]
+    fn cancel_queued_unblocks() {
+        let mut c = Cluster::new(10);
+        c.submit(JobId(1), 8);
+        c.submit(JobId(2), 8);
+        c.submit(JobId(3), 2);
+        let ev = c.cancel(JobId(2));
+        assert_eq!(ev, vec![ClusterEvent::Started(JobId(3))]);
+    }
+
+    #[test]
+    fn cancel_running_frees_nodes() {
+        let mut c = Cluster::new(10);
+        c.submit(JobId(1), 10);
+        c.submit(JobId(2), 5);
+        let ev = c.cancel(JobId(1));
+        assert_eq!(ev, vec![ClusterEvent::Started(JobId(2))]);
+        assert_eq!(c.used_nodes(), 5);
+    }
+
+    #[test]
+    fn cancel_unknown_is_noop() {
+        let mut c = Cluster::new(4);
+        assert!(c.cancel(JobId(99)).is_empty());
+    }
+
+    #[test]
+    fn peak_usage_tracked() {
+        let mut c = Cluster::new(100);
+        c.submit(JobId(1), 30);
+        c.submit(JobId(2), 50);
+        c.finish(JobId(1));
+        c.finish(JobId(2));
+        assert_eq!(c.peak_used(), 80);
+        assert_eq!(c.used_nodes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requests")]
+    fn oversized_request_panics() {
+        let mut c = Cluster::new(4);
+        c.submit(JobId(1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job id")]
+    fn duplicate_id_panics() {
+        let mut c = Cluster::new(4);
+        c.submit(JobId(1), 1);
+        c.submit(JobId(1), 1);
+    }
+
+    #[test]
+    fn node_accounting_is_conserved() {
+        let mut c = Cluster::new(16);
+        let mut next = 0u64;
+        // Random-ish churn with deterministic pattern.
+        for round in 0..50 {
+            let id = JobId(next);
+            next += 1;
+            c.submit(id, 1 + (round % 5) as u32);
+            if round % 3 == 0 && c.is_running(id) {
+                c.finish(id);
+            } else if round % 7 == 0 {
+                c.cancel(id);
+            }
+            let running_nodes: u32 = c
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Running)
+                .map(|j| j.nodes)
+                .sum();
+            assert_eq!(running_nodes, c.used_nodes());
+            assert_eq!(c.free_nodes() + c.used_nodes(), 16);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # simbatch — batch-system substrate for SimFS
+//!
+//! The paper runs re-simulations through a batch system (SLURM on Piz
+//! Daint); the DV interacts with it in three ways that this crate
+//! models:
+//!
+//! * **Parallelism levels** (§III-B): the DV requests "more parallelism"
+//!   as an abstract integer level; the simulation driver maps levels to
+//!   node counts while enforcing simulator-imposed allocation shapes
+//!   ("square or power of two number of processes") — [`parallelism`].
+//! * **Queueing delays** (§IV-C1): job start latency is part of the
+//!   restart latency `alpha_sim` and can dominate it; [`queue`] provides
+//!   the delay distributions used to reproduce Figs. 17/19 where the
+//!   restart latency is swept up to 600 s.
+//! * **Node accounting** ([`cluster`]): a virtual cluster with a FIFO
+//!   backfill-free queue — jobs wait until their node request fits,
+//!   which is how `s_max` parallel re-simulations contend for resources
+//!   in the strong-scalability experiments (Figs. 16/18).
+//!
+//! For the real daemon, [`launcher`] spawns simulator processes with
+//! `std::process` and tracks their lifecycle.
+
+pub mod cluster;
+pub mod launcher;
+pub mod parallelism;
+pub mod queue;
+
+pub use cluster::{Cluster, ClusterEvent, JobId};
+pub use launcher::{JobHandle, JobLauncher, ProcessLauncher, SpawnSpec};
+pub use parallelism::{AllocShape, ParallelismMap};
+pub use queue::QueueModel;

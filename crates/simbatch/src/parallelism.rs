@@ -1,0 +1,159 @@
+//! Parallelism levels and allocation-shape constraints (§III-B).
+//!
+//! "By using the parallelism level parameter, that is an integer from 0
+//! to max parallelism level, SimFS can increase the simulation
+//! parallelism without having to directly enforce these constraints,
+//! which are instead enforced by the simulator-specific implementation."
+//!
+//! A [`ParallelismMap`] owns that translation: level 0 is the simulator's
+//! default allocation; each level doubles the request; the result is
+//! rounded **up** to the nearest count satisfying the simulator's
+//! [`AllocShape`].
+
+use serde::{Deserialize, Serialize};
+
+/// Allocation-shape constraint a simulator imposes on its node counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocShape {
+    /// Any positive node count.
+    Any,
+    /// Node count must be a power of two (e.g. FFT-based codes).
+    PowerOfTwo,
+    /// Node count must be a perfect square (2-D domain decompositions).
+    Square,
+    /// Node count must be a multiple of `n` (e.g. full racks).
+    MultipleOf(u32),
+}
+
+impl AllocShape {
+    /// Smallest count `>= want` satisfying the shape.
+    pub fn round_up(self, want: u32) -> u32 {
+        let want = want.max(1);
+        match self {
+            AllocShape::Any => want,
+            AllocShape::PowerOfTwo => want.next_power_of_two(),
+            AllocShape::Square => {
+                let mut r = (want as f64).sqrt().floor() as u32;
+                while r * r < want {
+                    r += 1;
+                }
+                r * r
+            }
+            AllocShape::MultipleOf(n) => {
+                let n = n.max(1);
+                want.div_ceil(n) * n
+            }
+        }
+    }
+
+    /// Does `count` satisfy the shape?
+    pub fn allows(self, count: u32) -> bool {
+        count > 0 && self.round_up(count) == count
+    }
+}
+
+/// Maps abstract parallelism levels to concrete node counts.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ParallelismMap {
+    /// Node count at level 0 (the context's default `P`).
+    pub base_nodes: u32,
+    /// Highest level the simulator supports (§III-B "max parallelism
+    /// level").
+    pub max_level: u32,
+    /// Shape constraint enforced on every allocation.
+    pub shape: AllocShape,
+}
+
+impl ParallelismMap {
+    /// A map with no shape constraint.
+    pub fn unconstrained(base_nodes: u32, max_level: u32) -> Self {
+        ParallelismMap {
+            base_nodes,
+            max_level,
+            shape: AllocShape::Any,
+        }
+    }
+
+    /// Node count for `level`, clamped to `max_level` and rounded up to
+    /// the allocation shape. Level 0 still gets shape-rounded so the
+    /// default allocation is always valid.
+    pub fn nodes_for_level(&self, level: u32) -> u32 {
+        let level = level.min(self.max_level);
+        let want = self.base_nodes.saturating_mul(1u32 << level.min(31));
+        self.shape.round_up(want)
+    }
+
+    /// True if raising the level above `level` changes the allocation
+    /// (used by the prefetcher to stop escalating, §IV-B1b).
+    pub fn can_escalate(&self, level: u32) -> bool {
+        level < self.max_level && self.nodes_for_level(level + 1) > self.nodes_for_level(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_shape_is_identity() {
+        assert_eq!(AllocShape::Any.round_up(7), 7);
+        assert!(AllocShape::Any.allows(7));
+        assert_eq!(AllocShape::Any.round_up(0), 1, "zero is bumped to one");
+    }
+
+    #[test]
+    fn power_of_two_rounds_up() {
+        assert_eq!(AllocShape::PowerOfTwo.round_up(5), 8);
+        assert_eq!(AllocShape::PowerOfTwo.round_up(8), 8);
+        assert!(!AllocShape::PowerOfTwo.allows(6));
+        assert!(AllocShape::PowerOfTwo.allows(16));
+    }
+
+    #[test]
+    fn square_rounds_up() {
+        assert_eq!(AllocShape::Square.round_up(10), 16);
+        assert_eq!(AllocShape::Square.round_up(16), 16);
+        assert_eq!(AllocShape::Square.round_up(17), 25);
+        assert!(AllocShape::Square.allows(100));
+        assert!(!AllocShape::Square.allows(99));
+    }
+
+    #[test]
+    fn multiple_of_rounds_up() {
+        assert_eq!(AllocShape::MultipleOf(12).round_up(13), 24);
+        assert_eq!(AllocShape::MultipleOf(12).round_up(12), 12);
+        assert_eq!(AllocShape::MultipleOf(0).round_up(5), 5, "degenerate n=0 treated as 1");
+    }
+
+    #[test]
+    fn levels_double_and_clamp() {
+        let m = ParallelismMap::unconstrained(100, 3);
+        assert_eq!(m.nodes_for_level(0), 100);
+        assert_eq!(m.nodes_for_level(1), 200);
+        assert_eq!(m.nodes_for_level(3), 800);
+        assert_eq!(m.nodes_for_level(9), 800, "clamped to max level");
+    }
+
+    #[test]
+    fn shaped_levels_stay_valid() {
+        let m = ParallelismMap {
+            base_nodes: 3,
+            max_level: 4,
+            shape: AllocShape::Square,
+        };
+        for level in 0..=4 {
+            let n = m.nodes_for_level(level);
+            assert!(m.shape.allows(n), "level {level} gave invalid {n}");
+        }
+        assert_eq!(m.nodes_for_level(0), 4, "3 rounded up to 2x2");
+    }
+
+    #[test]
+    fn escalation_stops_at_max_level() {
+        let m = ParallelismMap::unconstrained(10, 2);
+        assert!(m.can_escalate(0));
+        assert!(m.can_escalate(1));
+        assert!(!m.can_escalate(2));
+        assert!(!m.can_escalate(99));
+    }
+}

@@ -1,0 +1,169 @@
+//! Queueing-delay distributions (§IV-C1).
+//!
+//! "The overheads can vary according with the system where SimFS is
+//! deployed (e.g., cloud or HPC systems)" — and §IV-C1c studies
+//! *non-constant* restart latencies explicitly. The distributions here
+//! feed the virtual cluster and the restart-latency sweeps of
+//! Figs. 17/19.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simkit::{Dur, SimRng};
+
+/// A job queueing-delay distribution.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum QueueModel {
+    /// No queueing (dedicated reservation).
+    None,
+    /// Fixed delay (the paper's default model: a constant added to
+    /// `alpha_sim`).
+    Constant(Dur),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Earliest possible start delay.
+        lo: Dur,
+        /// Latest possible start delay.
+        hi: Dur,
+    },
+    /// Exponential with the given mean (memoryless backlog).
+    Exponential {
+        /// Mean delay.
+        mean: Dur,
+    },
+    /// Log-normal with the given median and log-scale sigma — the
+    /// classic heavy-tailed HPC queue-wait shape.
+    LogNormal {
+        /// Median delay (`exp(mu)`).
+        median: Dur,
+        /// Log-space standard deviation.
+        sigma: f64,
+    },
+}
+
+impl QueueModel {
+    /// Draws one queueing delay.
+    pub fn sample(&self, rng: &mut SimRng) -> Dur {
+        match *self {
+            QueueModel::None => Dur::ZERO,
+            QueueModel::Constant(d) => d,
+            QueueModel::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    let span = hi.as_nanos() - lo.as_nanos();
+                    Dur::from_nanos(lo.as_nanos() + rng.gen_range(0..=span))
+                }
+            }
+            QueueModel::Exponential { mean } => {
+                // Inverse CDF: -mean * ln(U), U in (0,1].
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                mean.mul_f64(-u.ln())
+            }
+            QueueModel::LogNormal { median, sigma } => {
+                // exp(mu + sigma*Z) with mu = ln(median); Z via Box-Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                median.mul_f64((sigma * z).exp())
+            }
+        }
+    }
+
+    /// The distribution mean, used by the DV's restart-latency estimator
+    /// to seed its exponential moving average before observations exist.
+    pub fn mean(&self) -> Dur {
+        match *self {
+            QueueModel::None => Dur::ZERO,
+            QueueModel::Constant(d) => d,
+            QueueModel::Uniform { lo, hi } => Dur::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2),
+            QueueModel::Exponential { mean } => mean,
+            QueueModel::LogNormal { median, sigma } => median.mul_f64((sigma * sigma / 2.0).exp()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SeedSeq;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SeedSeq::new(1).rng(0);
+        let m = QueueModel::Constant(Dur::from_secs(30));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), Dur::from_secs(30));
+        }
+        assert_eq!(m.mean(), Dur::from_secs(30));
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SeedSeq::new(2).rng(0);
+        let (lo, hi) = (Dur::from_secs(10), Dur::from_secs(20));
+        let m = QueueModel::Uniform { lo, hi };
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!(d >= lo && d <= hi);
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_is_lo() {
+        let mut rng = SeedSeq::new(3).rng(0);
+        let m = QueueModel::Uniform {
+            lo: Dur::from_secs(5),
+            hi: Dur::from_secs(5),
+        };
+        assert_eq!(m.sample(&mut rng), Dur::from_secs(5));
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SeedSeq::new(4).rng(0);
+        let m = QueueModel::Exponential {
+            mean: Dur::from_secs(100),
+        };
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| m.sample(&mut rng).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "sample mean {mean} too far from 100");
+    }
+
+    #[test]
+    fn lognormal_median_converges() {
+        let mut rng = SeedSeq::new(5).rng(0);
+        let m = QueueModel::LogNormal {
+            median: Dur::from_secs(60),
+            sigma: 0.8,
+        };
+        let mut xs: Vec<f64> = (0..20_001).map(|_| m.sample(&mut rng).as_secs_f64()).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med - 60.0).abs() < 5.0, "sample median {med} too far from 60");
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let m = QueueModel::LogNormal {
+            median: Dur::from_secs(60),
+            sigma: 1.0,
+        };
+        let a: Vec<Dur> = {
+            let mut rng = SeedSeq::new(9).rng(0);
+            (0..10).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<Dur> = {
+            let mut rng = SeedSeq::new(9).rng(0);
+            (0..10).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn none_is_zero() {
+        let mut rng = SeedSeq::new(1).rng(0);
+        assert_eq!(QueueModel::None.sample(&mut rng), Dur::ZERO);
+        assert_eq!(QueueModel::None.mean(), Dur::ZERO);
+    }
+}

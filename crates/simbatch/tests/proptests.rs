@@ -1,0 +1,135 @@
+//! Property tests: cluster conservation and FIFO semantics, shape
+//! rounding, queue-model bounds.
+
+use proptest::prelude::*;
+use simbatch::{AllocShape, Cluster, ClusterEvent, JobId, ParallelismMap, QueueModel};
+use simkit::{Dur, SeedSeq};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Submit(u32),
+    Finish(usize),
+    Cancel(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u32..8).prop_map(Op::Submit),
+        2 => any::<prop::sample::Index>().prop_map(|i| Op::Finish(i.index(64))),
+        1 => any::<prop::sample::Index>().prop_map(|i| Op::Cancel(i.index(64))),
+    ]
+}
+
+proptest! {
+    /// Node accounting is conserved and never negative; started jobs
+    /// never exceed the cluster size.
+    #[test]
+    fn cluster_conserves_nodes(
+        total in 4u32..32,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut cluster = Cluster::new(total);
+        let mut next_id = 0u64;
+        let mut running: Vec<JobId> = Vec::new();
+        let mut nodes_of: HashMap<JobId, u32> = HashMap::new();
+
+        let absorb = |events: Vec<ClusterEvent>, running: &mut Vec<JobId>| {
+            for ClusterEvent::Started(job) in events {
+                running.push(job);
+            }
+        };
+
+        for op in ops {
+            match op {
+                Op::Submit(nodes) => {
+                    let nodes = nodes.min(total);
+                    let id = JobId(next_id);
+                    next_id += 1;
+                    nodes_of.insert(id, nodes);
+                    let ev = cluster.submit(id, nodes);
+                    absorb(ev, &mut running);
+                }
+                Op::Finish(i) => {
+                    if !running.is_empty() {
+                        let id = running.remove(i % running.len());
+                        let ev = cluster.finish(id);
+                        absorb(ev, &mut running);
+                    }
+                }
+                Op::Cancel(i) => {
+                    // Cancel an arbitrary id: may be queued, running, or
+                    // long gone — all must be safe.
+                    let id = JobId((i as u64) % next_id.max(1));
+                    let was_running = running.iter().position(|&j| j == id);
+                    let ev = cluster.cancel(id);
+                    if let Some(pos) = was_running {
+                        running.remove(pos);
+                    }
+                    absorb(ev, &mut running);
+                }
+            }
+            let used: u32 = running.iter().map(|j| nodes_of[j]).sum();
+            prop_assert_eq!(used, cluster.used_nodes());
+            prop_assert!(cluster.used_nodes() <= total);
+            prop_assert_eq!(cluster.free_nodes() + cluster.used_nodes(), total);
+            prop_assert!(cluster.peak_used() <= total);
+        }
+    }
+
+    /// Shape rounding: result always satisfies the shape and is the
+    /// smallest such value >= the request.
+    #[test]
+    fn shape_round_up_is_minimal(want in 1u32..10_000, m in 1u32..64) {
+        for shape in [
+            AllocShape::Any,
+            AllocShape::PowerOfTwo,
+            AllocShape::Square,
+            AllocShape::MultipleOf(m),
+        ] {
+            let got = shape.round_up(want);
+            prop_assert!(got >= want);
+            prop_assert!(shape.allows(got), "{shape:?}({want}) -> {got}");
+            // Minimality: nothing between want and got satisfies it.
+            if got > want {
+                for candidate in want..got {
+                    prop_assert!(!shape.allows(candidate));
+                }
+            }
+        }
+    }
+
+    /// Parallelism levels are monotone in level and clamped.
+    #[test]
+    fn parallelism_levels_monotone(base in 1u32..100, max_level in 0u32..6) {
+        let map = ParallelismMap::unconstrained(base, max_level);
+        let mut prev = 0;
+        for level in 0..=max_level + 2 {
+            let nodes = map.nodes_for_level(level);
+            prop_assert!(nodes >= prev);
+            prev = nodes;
+        }
+        prop_assert_eq!(
+            map.nodes_for_level(max_level),
+            map.nodes_for_level(max_level + 5)
+        );
+    }
+
+    /// Queue models: samples are non-negative and constant/uniform
+    /// respect their bounds.
+    #[test]
+    fn queue_samples_in_bounds(seed in any::<u64>(), lo_s in 0u64..100, span_s in 0u64..100) {
+        let mut rng = SeedSeq::new(seed).rng(0);
+        let lo = Dur::from_secs(lo_s);
+        let hi = Dur::from_secs(lo_s + span_s);
+        let uniform = QueueModel::Uniform { lo, hi };
+        for _ in 0..50 {
+            let d = uniform.sample(&mut rng);
+            prop_assert!(d >= lo && d <= hi);
+        }
+        let exp = QueueModel::Exponential { mean: Dur::from_secs(10) };
+        for _ in 0..50 {
+            let _ = exp.sample(&mut rng); // must not panic; >= 0 by type
+        }
+    }
+}

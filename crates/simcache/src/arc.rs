@@ -1,0 +1,294 @@
+//! Adaptive Replacement Cache (Megiddo & Modha, FAST'03), §III-D.
+//!
+//! ARC splits resident entries into `T1` (seen once recently) and `T2`
+//! (seen at least twice), shadowed by ghost lists `B1`/`B2` that remember
+//! recently evicted keys. A self-tuning target `p` grows when B1 ghosts
+//! are re-referenced (recency is winning) and shrinks on B2 ghost hits
+//! (frequency is winning).
+//!
+//! Two adaptations for SimFS (shared with all policies in this crate):
+//!
+//! * Eviction is driven externally by the byte-budget manager rather than
+//!   by the textbook's fixed `c`-slot REPLACE-on-insert, so [`Arc::evict`]
+//!   implements the REPLACE victim rule and can be called repeatedly.
+//! * Pinned (referenced) entries are skipped; if the preferred side has
+//!   only pinned entries, the other side is tried before giving up.
+
+use crate::fasthash::{u64_set, U64Set};
+use crate::order::KeyedList;
+use crate::{PinFn, Policy};
+
+/// ARC policy state. `capacity` is the nominal entry capacity, used for
+/// the adaptation step and the ghost-list bounds.
+#[derive(Clone, Debug)]
+pub struct Arc {
+    capacity: usize,
+    /// Target size for T1 (the "recency" side), `0 ..= capacity`.
+    p: usize,
+    t1: KeyedList,
+    t2: KeyedList,
+    b1: KeyedList,
+    b2: KeyedList,
+    /// Keys currently in T2 (to route ghost transitions on eviction).
+    in_t2: U64Set,
+    /// The most recent insert was a B2 ghost hit (biases REPLACE toward
+    /// T1 per the original algorithm).
+    last_was_b2_hit: bool,
+}
+
+impl Arc {
+    /// Creates an ARC policy with the given nominal capacity in entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ARC capacity must be positive");
+        Arc {
+            capacity,
+            p: 0,
+            t1: KeyedList::new(),
+            t2: KeyedList::new(),
+            b1: KeyedList::new(),
+            b2: KeyedList::new(),
+            in_t2: u64_set(),
+            last_was_b2_hit: false,
+        }
+    }
+
+    /// Current adaptation target for T1 (diagnostics).
+    pub fn target_t1(&self) -> usize {
+        self.p
+    }
+
+    /// Resident split `(|T1|, |T2|)` (diagnostics).
+    pub fn split(&self) -> (usize, usize) {
+        (self.t1.len(), self.t2.len())
+    }
+
+    fn trim_ghosts(&mut self) {
+        // |T1| + |B1| <= c  and  |T1|+|T2|+|B1|+|B2| <= 2c.
+        while self.t1.len() + self.b1.len() > self.capacity {
+            if self.b1.pop_back().is_none() {
+                break;
+            }
+        }
+        while self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len() > 2 * self.capacity {
+            if self.b2.pop_back().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// The REPLACE rule: should the next victim come from T1?
+    fn prefer_t1(&self) -> bool {
+        let t1 = self.t1.len();
+        if t1 == 0 {
+            return false;
+        }
+        t1 > self.p || (self.last_was_b2_hit && t1 == self.p)
+    }
+
+    fn evict_from(list_is_t1: bool, arc: &mut Arc, pinned: PinFn<'_>) -> Option<u64> {
+        let list = if list_is_t1 { &arc.t1 } else { &arc.t2 };
+        let victim = list.iter_back_to_front().find(|&k| !pinned(k))?;
+        if list_is_t1 {
+            arc.t1.remove(victim);
+            arc.b1.push_front(victim);
+        } else {
+            arc.t2.remove(victim);
+            arc.in_t2.remove(&victim);
+            arc.b2.push_front(victim);
+        }
+        Some(victim)
+    }
+}
+
+impl Policy for Arc {
+    fn name(&self) -> &'static str {
+        "ARC"
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.t1.contains(key) || self.t2.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.t1.len() + self.t2.len()
+    }
+
+    fn on_hit(&mut self, key: u64) {
+        if self.t1.remove(key) {
+            // Second reference: promote to the frequency side.
+            self.t2.push_front(key);
+            self.in_t2.insert(key);
+        } else {
+            let present = self.t2.move_to_front(key);
+            assert!(present, "ARC hit on non-resident key {key}");
+        }
+    }
+
+    fn on_insert(&mut self, key: u64, _cost: u64) {
+        debug_assert!(!self.contains(key), "ARC insert of resident key {key}");
+        if self.b1.remove(key) {
+            // Recency ghost hit: grow p.
+            let delta = (self.b2.len() / self.b1.len().max(1)).max(1);
+            self.p = (self.p + delta).min(self.capacity);
+            self.last_was_b2_hit = false;
+            self.t2.push_front(key);
+            self.in_t2.insert(key);
+        } else if self.b2.remove(key) {
+            // Frequency ghost hit: shrink p.
+            let delta = (self.b1.len() / self.b2.len().max(1)).max(1);
+            self.p = self.p.saturating_sub(delta);
+            self.last_was_b2_hit = true;
+            self.t2.push_front(key);
+            self.in_t2.insert(key);
+        } else {
+            self.last_was_b2_hit = false;
+            self.t1.push_front(key);
+        }
+        self.trim_ghosts();
+    }
+
+    fn evict(&mut self, pinned: PinFn<'_>) -> Option<u64> {
+        let first_t1 = self.prefer_t1();
+        Arc::evict_from(first_t1, self, pinned)
+            .or_else(|| Arc::evict_from(!first_t1, self, pinned))
+    }
+
+    fn on_remove(&mut self, key: u64) {
+        if !self.t1.remove(key) && self.t2.remove(key) {
+            self.in_t2.remove(&key);
+        }
+        // Forget ghosts too: externally removed keys should not influence
+        // future adaptation.
+        self.b1.remove(key);
+        self.b2.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NO_PIN: fn(u64) -> bool = |_| false;
+
+    #[test]
+    fn single_access_stays_in_t1() {
+        let mut p = Arc::new(4);
+        p.on_insert(1, 0);
+        assert_eq!(p.split(), (1, 0));
+    }
+
+    #[test]
+    fn second_access_promotes_to_t2() {
+        let mut p = Arc::new(4);
+        p.on_insert(1, 0);
+        p.on_hit(1);
+        assert_eq!(p.split(), (0, 1));
+        p.on_hit(1); // further hits stay in T2
+        assert_eq!(p.split(), (0, 1));
+    }
+
+    #[test]
+    fn ghost_hit_in_b1_grows_p() {
+        let mut p = Arc::new(2);
+        p.on_insert(1, 0);
+        p.on_insert(2, 0);
+        let v = p.evict(&NO_PIN).unwrap(); // goes to B1
+        assert_eq!(v, 1);
+        let before = p.target_t1();
+        p.on_insert(1, 0); // B1 ghost hit
+        assert!(p.target_t1() > before);
+        assert_eq!(p.split(), (1, 1), "ghost hit lands in T2");
+    }
+
+    #[test]
+    fn ghost_hit_in_b2_shrinks_p() {
+        let mut p = Arc::new(2);
+        p.on_insert(1, 0);
+        p.on_hit(1); // T2
+        p.on_insert(2, 0);
+        p.on_insert(3, 0);
+        // evict from T2 (p=0 so T1 preferred... force T2 eviction)
+        // Fill to make T1 preferred eviction leave T2 element for later.
+        let mut evicted = Vec::new();
+        while let Some(v) = p.evict(&NO_PIN) {
+            evicted.push(v);
+        }
+        assert!(evicted.contains(&1));
+        // p may have been bumped by ghost activity; record and hit B2.
+        let before = p.target_t1();
+        p.on_insert(1, 0); // B2 ghost hit
+        assert!(p.target_t1() <= before);
+    }
+
+    #[test]
+    fn scan_does_not_flush_frequent_set() {
+        // The signature ARC behaviour: a one-pass scan of many cold keys
+        // must not evict the hot, frequently-hit working set.
+        let cap = 8;
+        let mut p = Arc::new(cap);
+        // Hot set: 4 keys, hit repeatedly -> T2.
+        for k in 0..4u64 {
+            p.on_insert(k, 0);
+            p.on_hit(k);
+            p.on_hit(k);
+        }
+        // Scan 100 cold keys through the cache.
+        for k in 100..200u64 {
+            p.on_insert(k, 0);
+            while p.len() > cap {
+                p.evict(&NO_PIN).unwrap();
+            }
+        }
+        let hot_resident = (0..4u64).filter(|&k| p.contains(k)).count();
+        assert!(
+            hot_resident >= 3,
+            "scan flushed the hot set: only {hot_resident}/4 resident"
+        );
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction() {
+        let mut p = Arc::new(2);
+        for k in [1, 2, 3] {
+            p.on_insert(k, 0);
+        }
+        let pin = |k: u64| k == 1;
+        while p.evict(&pin).is_some() {}
+        assert!(p.contains(1));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn ghost_lists_stay_bounded() {
+        let cap = 4;
+        let mut p = Arc::new(cap);
+        for k in 0..1000u64 {
+            p.on_insert(k, 0);
+            while p.len() > cap {
+                p.evict(&NO_PIN).unwrap();
+            }
+        }
+        assert!(p.b1.len() + p.b2.len() <= 2 * cap);
+    }
+
+    #[test]
+    fn on_remove_purges_ghosts() {
+        let mut p = Arc::new(2);
+        p.on_insert(1, 0);
+        p.on_insert(2, 0);
+        p.evict(&NO_PIN).unwrap(); // 1 -> B1
+        p.on_remove(1);
+        let before = p.target_t1();
+        p.on_insert(1, 0);
+        assert_eq!(p.target_t1(), before, "removed ghost must not adapt p");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Arc::new(0);
+    }
+}

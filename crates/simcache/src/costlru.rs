@@ -1,0 +1,384 @@
+//! Cost-sensitive LRU: BCL and DCL (Jeong & Dubois, IEEE ToC'06), as
+//! adopted by SimFS (§III-D).
+//!
+//! Both keep an LRU recency order but refuse to evict an *expensive* LRU
+//! block when a more recent, *cheaper* block exists: the victim is the
+//! first entry in recency order (least recent first) whose miss cost is
+//! lower than the LRU's. Plain LRU is the fallback when no cheaper entry
+//! exists.
+//!
+//! To prevent an expensive, rarely-used LRU block from shielding itself
+//! forever (evicting an unbounded stream of cheaper, hotter blocks), the
+//! LRU's cost is *depreciated* every time it is spared — by the cost of
+//! the block evicted in its place — until it eventually becomes the
+//! cheapest and is evicted. The two variants differ in **when** they
+//! depreciate:
+//!
+//! * **BCL** (Basic): immediately, as soon as the LRU is bypassed.
+//! * **DCL** (Dynamic): only when a bypass is proven wrong — i.e. when a
+//!   block that was evicted instead of the LRU is re-referenced *before*
+//!   the LRU is. If the LRU is referenced first, the bypass was justified
+//!   and the pending depreciations are dropped.
+//!
+//! In SimFS the miss cost of an output step is its distance (in output
+//! steps) from the previous restart step — the number of steps that must
+//! be re-simulated to regenerate it.
+
+use crate::fasthash::{u64_map, U64Map};
+use crate::order::KeyedList;
+use crate::{PinFn, Policy};
+
+#[derive(Clone, Debug)]
+struct Entry {
+    /// Original miss cost.
+    cost: u64,
+    /// Current (possibly depreciated) cost used by the victim search.
+    credit: u64,
+}
+
+/// A pending DCL depreciation: a bypass victim's key, the amount, and the
+/// LRU block that was spared.
+#[derive(Clone, Debug)]
+struct PendingDep {
+    amount: u64,
+    spared_lru: u64,
+}
+
+#[derive(Clone, Debug)]
+struct CostLru {
+    order: KeyedList,
+    entries: U64Map<Entry>,
+    /// DCL only: ghost records of bypass victims, keyed by victim.
+    pending: U64Map<PendingDep>,
+    /// DCL only: bypass victims in age order (oldest at back) for bounding.
+    pending_order: KeyedList,
+    dynamic: bool,
+}
+
+impl CostLru {
+    fn new(dynamic: bool) -> Self {
+        CostLru {
+            order: KeyedList::new(),
+            entries: u64_map(),
+            pending: u64_map(),
+            pending_order: KeyedList::new(),
+            dynamic,
+        }
+    }
+
+    fn bound_pending(&mut self) {
+        let cap = (2 * self.entries.len()).max(16);
+        while self.pending_order.len() > cap {
+            if let Some(old) = self.pending_order.pop_back() {
+                self.pending.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn on_hit(&mut self, key: u64) {
+        let entry = self
+            .entries
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("cost-LRU hit on non-resident key {key}"));
+        // A re-referenced block earns its full cost back.
+        entry.credit = entry.cost;
+        self.order.move_to_front(key);
+        if self.dynamic {
+            // The spared LRU was referenced before its bypass victims:
+            // bypassing it was the right call, drop those pending
+            // depreciations.
+            let justified: Vec<u64> = self
+                .pending
+                .iter()
+                .filter(|(_, d)| d.spared_lru == key)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in justified {
+                self.pending.remove(&k);
+                self.pending_order.remove(k);
+            }
+        }
+    }
+
+    fn on_insert(&mut self, key: u64, cost: u64) {
+        debug_assert!(
+            !self.entries.contains_key(&key),
+            "cost-LRU insert of resident key {key}"
+        );
+        if self.dynamic {
+            if let Some(dep) = self.pending.remove(&key) {
+                self.pending_order.remove(key);
+                // A bypass victim came back before the spared LRU did:
+                // the bypass made this miss happen, so charge the LRU.
+                if let Some(lru) = self.entries.get_mut(&dep.spared_lru) {
+                    lru.credit = lru.credit.saturating_sub(dep.amount);
+                }
+            }
+        }
+        self.entries.insert(key, Entry { cost, credit: cost });
+        self.order.push_front(key);
+    }
+
+    fn evict(&mut self, pinned: PinFn<'_>) -> Option<u64> {
+        // The effective LRU: least recent unpinned entry.
+        let lru = self.order.iter_back_to_front().find(|&k| !pinned(k))?;
+        let lru_credit = self.entries[&lru].credit;
+        // First (least recent first) unpinned entry cheaper than the
+        // LRU, within a bounded search depth — Jeong & Dubois's
+        // algorithms search a fixed number of candidate blocks above
+        // the LRU, which also keeps eviction O(1) amortized.
+        const SEARCH_DEPTH: usize = 64;
+        let cheaper = self
+            .order
+            .iter_back_to_front()
+            .filter(|&k| k != lru && !pinned(k))
+            .take(SEARCH_DEPTH)
+            .find(|k| self.entries[k].credit < lru_credit);
+        let victim = match cheaper {
+            Some(v) => {
+                let amount = self.entries[&v].credit;
+                if self.dynamic {
+                    self.pending.insert(
+                        v,
+                        PendingDep {
+                            amount,
+                            spared_lru: lru,
+                        },
+                    );
+                    self.pending_order.push_front(v);
+                    self.bound_pending();
+                } else {
+                    // BCL: depreciate the spared LRU immediately.
+                    if let Some(e) = self.entries.get_mut(&lru) {
+                        e.credit = e.credit.saturating_sub(amount);
+                    }
+                }
+                v
+            }
+            None => lru,
+        };
+        self.order.remove(victim);
+        self.entries.remove(&victim);
+        Some(victim)
+    }
+
+    fn on_remove(&mut self, key: u64) {
+        self.order.remove(key);
+        self.entries.remove(&key);
+        self.pending.remove(&key);
+        self.pending_order.remove(key);
+    }
+}
+
+macro_rules! cost_policy {
+    ($name:ident, $paper_name:literal, $dynamic:literal, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name(CostLru);
+
+        impl $name {
+            /// An empty policy.
+            pub fn new() -> Self {
+                $name(CostLru::new($dynamic))
+            }
+
+            /// Current (possibly depreciated) cost of a resident key
+            /// (diagnostics).
+            pub fn credit(&self, key: u64) -> Option<u64> {
+                self.0.entries.get(&key).map(|e| e.credit)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl Policy for $name {
+            fn name(&self) -> &'static str {
+                $paper_name
+            }
+            fn contains(&self, key: u64) -> bool {
+                self.0.entries.contains_key(&key)
+            }
+            fn len(&self) -> usize {
+                self.0.entries.len()
+            }
+            fn on_hit(&mut self, key: u64) {
+                self.0.on_hit(key)
+            }
+            fn on_insert(&mut self, key: u64, cost: u64) {
+                self.0.on_insert(key, cost)
+            }
+            fn evict(&mut self, pinned: PinFn<'_>) -> Option<u64> {
+                self.0.evict(pinned)
+            }
+            fn on_remove(&mut self, key: u64) {
+                self.0.on_remove(key)
+            }
+        }
+    };
+}
+
+cost_policy!(
+    Bcl,
+    "BCL",
+    false,
+    "Basic Cost-sensitive LRU: spares expensive LRU blocks, depreciating \
+     them immediately on every bypass."
+);
+cost_policy!(
+    Dcl,
+    "DCL",
+    true,
+    "Dynamic Cost-sensitive LRU: spares expensive LRU blocks, depreciating \
+     them only when a bypass victim is re-referenced before the LRU \
+     (i.e. when the bypass is proven wrong)."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NO_PIN: fn(u64) -> bool = |_| false;
+
+    #[test]
+    fn cheap_recent_entry_shields_expensive_lru() {
+        for dynamic in [false, true] {
+            let mut p = CostLru::new(dynamic);
+            p.on_insert(1, 100); // LRU, expensive
+            p.on_insert(2, 1); // cheaper, more recent
+            p.on_insert(3, 50);
+            assert_eq!(p.evict(&NO_PIN), Some(2), "dynamic={dynamic}");
+            assert!(p.entries.contains_key(&1));
+        }
+    }
+
+    #[test]
+    fn uniform_costs_degenerate_to_lru() {
+        for dynamic in [false, true] {
+            let mut p = CostLru::new(dynamic);
+            for k in [1, 2, 3] {
+                p.on_insert(k, 7);
+            }
+            assert_eq!(p.evict(&NO_PIN), Some(1), "dynamic={dynamic}");
+            assert_eq!(p.evict(&NO_PIN), Some(2));
+        }
+    }
+
+    #[test]
+    fn bcl_depreciates_immediately() {
+        let mut p = Bcl::new();
+        p.on_insert(1, 10);
+        p.on_insert(2, 4);
+        p.on_insert(3, 4);
+        assert_eq!(p.evict(&|_| false), Some(2));
+        assert_eq!(p.credit(1), Some(6), "10 - 4 after one bypass");
+        assert_eq!(p.evict(&|_| false), Some(3));
+        assert_eq!(p.credit(1), Some(2));
+    }
+
+    #[test]
+    fn bcl_eventually_evicts_the_shielded_lru() {
+        let mut p = Bcl::new();
+        p.on_insert(1, 10);
+        // Stream of cheap blocks: each bypass shaves 4 off the LRU.
+        for (i, k) in (2..6u64).enumerate() {
+            p.on_insert(k, 4);
+            let v = p.evict(&|_| false).unwrap();
+            if i < 2 {
+                assert_ne!(v, 1, "LRU still shielded at bypass {i}");
+            } else if i == 2 {
+                // credit is now 10-4-4 = 2 < 4: no entry is cheaper than
+                // the LRU any more, the fallback evicts it.
+                assert_eq!(v, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dcl_does_not_depreciate_without_evidence() {
+        let mut p = Dcl::new();
+        p.on_insert(1, 10);
+        p.on_insert(2, 4);
+        assert_eq!(p.evict(&|_| false), Some(2));
+        assert_eq!(p.credit(1), Some(10), "DCL defers depreciation");
+    }
+
+    #[test]
+    fn dcl_depreciates_when_bypass_victim_returns_first() {
+        let mut p = Dcl::new();
+        p.on_insert(1, 10);
+        p.on_insert(2, 4);
+        p.evict(&|_| false); // evicts 2, spares 1, pending record
+        p.on_insert(2, 4); // 2 re-referenced before 1 => bypass was wrong
+        assert_eq!(p.credit(1), Some(6));
+    }
+
+    #[test]
+    fn dcl_drops_pending_when_lru_referenced_first() {
+        let mut p = Dcl::new();
+        p.on_insert(1, 10);
+        p.on_insert(2, 4);
+        p.evict(&|_| false); // evicts 2, spares 1
+        p.on_hit(1); // LRU referenced first => bypass justified
+        p.on_insert(2, 4); // victim returns later: no depreciation
+        assert_eq!(p.credit(1), Some(10));
+    }
+
+    #[test]
+    fn hit_restores_full_credit() {
+        let mut p = Bcl::new();
+        p.on_insert(1, 10);
+        p.on_insert(2, 4);
+        p.evict(&|_| false); // bypass: credit(1) = 6
+        assert_eq!(p.credit(1), Some(6));
+        p.on_hit(1);
+        assert_eq!(p.credit(1), Some(10));
+    }
+
+    #[test]
+    fn pinned_entries_are_invisible_to_the_search() {
+        let mut p = Bcl::new();
+        p.on_insert(1, 100);
+        p.on_insert(2, 1);
+        p.on_insert(3, 50);
+        let pin = |k: u64| k == 2;
+        // 2 (the cheap shield) is pinned: search compares 3 against LRU 1.
+        assert_eq!(p.evict(&pin), Some(3));
+        assert!(p.contains(2));
+    }
+
+    #[test]
+    fn all_pinned_returns_none() {
+        let mut p = Dcl::new();
+        p.on_insert(1, 5);
+        assert_eq!(p.evict(&|_| true), None);
+    }
+
+    #[test]
+    fn pending_records_are_bounded() {
+        let mut p = Dcl::new();
+        p.on_insert(0, 1000);
+        for k in 1..10_000u64 {
+            p.on_insert(k, 1);
+            p.evict(&|_| false);
+        }
+        assert!(p.0.pending.len() <= (2 * p.len()).max(16));
+    }
+
+    #[test]
+    fn remove_clears_all_tracking() {
+        let mut p = Dcl::new();
+        p.on_insert(1, 10);
+        p.on_insert(2, 4);
+        p.evict(&|_| false); // pending for 2
+        p.on_remove(1);
+        p.on_insert(2, 4); // spared LRU gone: no crash, no depreciation
+        assert!(p.contains(2));
+        assert!(!p.contains(1));
+    }
+}

@@ -1,0 +1,119 @@
+//! Fast hashing for `u64` step keys.
+//!
+//! Every hot path in the virtualizer — policy membership, cache
+//! entries, pending-production maps — is keyed by `u64` output-step
+//! keys. The standard library's SipHash is DoS-resistant but slow for
+//! short integer keys (see the Rust Performance Book's hashing
+//! chapter); step keys come from the DV itself, not an adversary, so a
+//! single SplitMix64 round is both sufficient (strong avalanche, unlike
+//! a pure identity hash, so sequential keys don't collide structurally)
+//! and several times faster.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// One-round SplitMix64 finalizer.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hasher specialized for single `u64` writes (step keys).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct U64Hasher {
+    state: u64,
+}
+
+impl Hasher for U64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.state = mix(self.state ^ n);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (rare in this crate): fold 8-byte
+        // chunks through the mixer.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+}
+
+/// `BuildHasher` for [`U64Hasher`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct U64BuildHasher;
+
+impl BuildHasher for U64BuildHasher {
+    type Hasher = U64Hasher;
+
+    #[inline]
+    fn build_hasher(&self) -> U64Hasher {
+        U64Hasher::default()
+    }
+}
+
+/// A `HashMap` keyed by step keys.
+pub type U64Map<V> = HashMap<u64, V, U64BuildHasher>;
+/// A `HashSet` of step keys.
+pub type U64Set = HashSet<u64, U64BuildHasher>;
+
+/// An empty [`U64Map`].
+pub fn u64_map<V>() -> U64Map<V> {
+    HashMap::with_hasher(U64BuildHasher)
+}
+
+/// An empty [`U64Set`].
+pub fn u64_set() -> U64Set {
+    HashSet::with_hasher(U64BuildHasher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: U64Map<&str> = u64_map();
+        m.insert(1, "a");
+        m.insert(u64::MAX, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.get(&u64::MAX), Some(&"b"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn sequential_keys_hash_apart() {
+        // The avalanche property that makes this safe for HashMap
+        // bucketing of sequential step keys.
+        let h = |k: u64| {
+            let mut hasher = U64BuildHasher.build_hasher();
+            hasher.write_u64(k);
+            hasher.finish()
+        };
+        let a = h(100);
+        let b = h(101);
+        assert!((a ^ b).count_ones() > 16, "poor avalanche: {a:x} vs {b:x}");
+    }
+
+    #[test]
+    fn byte_fallback_is_consistent() {
+        let mut h1 = U64BuildHasher.build_hasher();
+        h1.write(b"hello world bytes");
+        let mut h2 = U64BuildHasher.build_hasher();
+        h2.write(b"hello world bytes");
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = U64BuildHasher.build_hasher();
+        h3.write(b"hello world bytez");
+        assert_ne!(h1.finish(), h3.finish());
+    }
+}

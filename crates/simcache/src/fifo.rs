@@ -1,0 +1,80 @@
+//! First-In-First-Out: not part of the paper's Fig. 5 line-up, kept as a
+//! recency-oblivious baseline for tests and ablation benches.
+
+use crate::order::KeyedList;
+use crate::{PinFn, Policy};
+
+/// FIFO eviction: insertion order only, hits do not reorder.
+#[derive(Clone, Debug, Default)]
+pub struct Fifo {
+    order: KeyedList,
+}
+
+impl Fifo {
+    /// An empty FIFO policy.
+    pub fn new() -> Self {
+        Fifo {
+            order: KeyedList::new(),
+        }
+    }
+}
+
+impl Policy for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.order.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn on_hit(&mut self, key: u64) {
+        debug_assert!(self.order.contains(key), "FIFO hit on non-resident key");
+    }
+
+    fn on_insert(&mut self, key: u64, _cost: u64) {
+        self.order.push_front(key);
+    }
+
+    fn evict(&mut self, pinned: PinFn<'_>) -> Option<u64> {
+        let victim = self.order.iter_back_to_front().find(|&k| !pinned(k))?;
+        self.order.remove(victim);
+        Some(victim)
+    }
+
+    fn on_remove(&mut self, key: u64) {
+        self.order.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_do_not_save_the_oldest() {
+        let mut p = Fifo::new();
+        for k in [1, 2, 3] {
+            p.on_insert(k, 0);
+        }
+        p.on_hit(1);
+        p.on_hit(1);
+        assert_eq!(p.evict(&|_| false), Some(1));
+    }
+
+    #[test]
+    fn insertion_order_is_eviction_order() {
+        let mut p = Fifo::new();
+        for k in [10, 20, 30] {
+            p.on_insert(k, 0);
+        }
+        assert_eq!(p.evict(&|_| false), Some(10));
+        assert_eq!(p.evict(&|_| false), Some(20));
+        assert_eq!(p.evict(&|_| false), Some(30));
+        assert_eq!(p.evict(&|_| false), None);
+    }
+}

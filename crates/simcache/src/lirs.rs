@@ -1,0 +1,402 @@
+//! Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS'02), §III-D.
+//!
+//! LIRS classifies blocks by *reuse distance* rather than recency alone:
+//! blocks with low inter-reference recency (LIR) are protected; blocks
+//! seen once or with long reuse distances (HIR) are eviction candidates.
+//! The structures are the classic ones:
+//!
+//! * stack `S` — recency stack holding LIR blocks, resident HIR blocks
+//!   and non-resident HIR *ghosts*; pruned so its bottom is always LIR;
+//! * queue `Q` — FIFO of resident HIR blocks, evicted from the front.
+//!
+//! The paper's Fig. 5 shows LIRS performing *worst* on backward scans —
+//! it prioritizes evicting exactly the blocks a time-reversed analysis is
+//! about to read. Reproducing that behaviour is a fidelity check for this
+//! implementation (asserted in the Fig. 5 harness tests).
+
+use crate::fasthash::{u64_map, U64Map};
+use crate::order::KeyedList;
+use crate::{PinFn, Policy};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Lir,
+    HirResident,
+    Ghost,
+}
+
+/// LIRS policy. `capacity` is the nominal entry capacity; the HIR
+/// partition defaults to 1% of it (at least one slot), per the original
+/// paper's recommendation.
+#[derive(Clone, Debug)]
+pub struct Lirs {
+    capacity: usize,
+    /// Maximum number of LIR blocks (`capacity - hir_slots`).
+    lir_limit: usize,
+    /// Recency stack S: front = most recent. Holds LIR + resident HIR +
+    /// ghosts.
+    stack: KeyedList,
+    /// Resident-HIR queue Q: push at front, evict at back (FIFO).
+    queue: KeyedList,
+    /// Ghost insertion order, oldest at back, for bounding ghost memory.
+    ghost_order: KeyedList,
+    state: U64Map<State>,
+    lir_count: usize,
+}
+
+impl Lirs {
+    /// Creates a LIRS policy with a 1% HIR partition.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_hir_slots(capacity, (capacity / 100).max(1))
+    }
+
+    /// Creates a LIRS policy with an explicit HIR partition size.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `hir_slots >= capacity`.
+    pub fn with_hir_slots(capacity: usize, hir_slots: usize) -> Self {
+        assert!(capacity > 0, "LIRS capacity must be positive");
+        assert!(
+            hir_slots > 0 && hir_slots < capacity,
+            "HIR slots must be in 1..capacity"
+        );
+        Lirs {
+            capacity,
+            lir_limit: capacity - hir_slots,
+            stack: KeyedList::new(),
+            queue: KeyedList::new(),
+            ghost_order: KeyedList::new(),
+            state: u64_map(),
+            lir_count: 0,
+        }
+    }
+
+    /// Number of LIR blocks (diagnostics).
+    pub fn lir_count(&self) -> usize {
+        self.lir_count
+    }
+
+    /// Prunes the stack bottom until it is a LIR block (HIR/ghost entries
+    /// at the bottom carry no reuse-distance information).
+    fn prune(&mut self) {
+        while let Some(bottom) = self.stack.back() {
+            match self.state.get(&bottom) {
+                Some(State::Lir) => break,
+                Some(State::HirResident) => {
+                    // Leaves the stack but stays resident in Q.
+                    self.stack.remove(bottom);
+                }
+                Some(State::Ghost) => {
+                    self.stack.remove(bottom);
+                    self.ghost_order.remove(bottom);
+                    self.state.remove(&bottom);
+                }
+                None => {
+                    debug_assert!(false, "stack key without state");
+                    self.stack.remove(bottom);
+                }
+            }
+        }
+    }
+
+    /// Demotes the bottom LIR block of the stack to resident HIR (tail of
+    /// Q), making room for a promotion.
+    fn demote_bottom_lir(&mut self) {
+        let Some(bottom) = self.stack.back() else {
+            return;
+        };
+        debug_assert_eq!(self.state.get(&bottom), Some(&State::Lir));
+        self.stack.remove(bottom);
+        self.state.insert(bottom, State::HirResident);
+        self.lir_count -= 1;
+        self.queue.push_front(bottom);
+        self.prune();
+    }
+
+    /// Promotes `key` (in stack, HIR or ghost) to LIR.
+    fn promote(&mut self, key: u64) {
+        self.state.insert(key, State::Lir);
+        self.lir_count += 1;
+        self.stack.move_to_front(key);
+        if self.lir_count > self.lir_limit {
+            self.demote_bottom_lir();
+        }
+        self.prune();
+    }
+
+    fn bound_ghosts(&mut self) {
+        // Keep at most `capacity` ghosts: beyond one cache-size worth of
+        // history, reuse-distance information is stale.
+        while self.ghost_order.len() > self.capacity {
+            let Some(old) = self.ghost_order.pop_back() else {
+                break;
+            };
+            self.stack.remove(old);
+            self.state.remove(&old);
+        }
+        // A ghost pinned at the stack bottom can never be pruned; ensure
+        // the bottom stays LIR.
+        self.prune();
+    }
+}
+
+impl Policy for Lirs {
+    fn name(&self) -> &'static str {
+        "LIRS"
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        matches!(
+            self.state.get(&key),
+            Some(State::Lir) | Some(State::HirResident)
+        )
+    }
+
+    fn len(&self) -> usize {
+        self.lir_count + self.queue.len()
+    }
+
+    fn on_hit(&mut self, key: u64) {
+        match self.state.get(&key) {
+            Some(State::Lir) => {
+                self.stack.move_to_front(key);
+                self.prune();
+            }
+            Some(State::HirResident) => {
+                if self.stack.contains(key) {
+                    // Reuse distance is within the LIR working set:
+                    // promote to LIR, demote the coldest LIR.
+                    self.queue.remove(key);
+                    self.state.insert(key, State::Lir);
+                    self.lir_count += 1;
+                    self.stack.move_to_front(key);
+                    self.demote_bottom_lir();
+                    self.prune();
+                } else {
+                    // Long reuse distance: stays HIR, refreshed in both
+                    // structures.
+                    self.stack.push_front(key);
+                    self.queue.move_to_front(key);
+                }
+            }
+            _ => panic!("LIRS hit on non-resident key {key}"),
+        }
+    }
+
+    fn on_insert(&mut self, key: u64, _cost: u64) {
+        debug_assert!(!self.contains(key), "LIRS insert of resident key {key}");
+        match self.state.get(&key) {
+            Some(State::Ghost) => {
+                // The block was re-referenced while its history was still
+                // in the stack: low inter-reference recency, promote.
+                self.ghost_order.remove(key);
+                self.promote(key);
+            }
+            _ => {
+                if self.lir_count < self.lir_limit {
+                    // Cold start: fill the LIR partition first.
+                    self.state.insert(key, State::Lir);
+                    self.lir_count += 1;
+                    self.stack.push_front(key);
+                } else {
+                    self.state.insert(key, State::HirResident);
+                    self.stack.push_front(key);
+                    self.queue.push_front(key);
+                }
+            }
+        }
+    }
+
+    fn evict(&mut self, pinned: PinFn<'_>) -> Option<u64> {
+        // Primary: oldest resident HIR block (back of Q).
+        if let Some(victim) = self.queue.iter_back_to_front().find(|&k| !pinned(k)) {
+            self.queue.remove(victim);
+            if self.stack.contains(victim) {
+                self.state.insert(victim, State::Ghost);
+                self.ghost_order.push_front(victim);
+                self.bound_ghosts();
+            } else {
+                self.state.remove(&victim);
+            }
+            return Some(victim);
+        }
+        // Fallback (all HIR pinned or Q empty): evict the coldest
+        // unpinned LIR block so the caller can always make progress.
+        let victim = self
+            .stack
+            .iter_back_to_front()
+            .find(|&k| self.state.get(&k) == Some(&State::Lir) && !pinned(k))?;
+        self.stack.remove(victim);
+        self.state.remove(&victim);
+        self.lir_count -= 1;
+        self.prune();
+        Some(victim)
+    }
+
+    fn on_remove(&mut self, key: u64) {
+        match self.state.get(&key) {
+            Some(State::Lir) => {
+                self.stack.remove(key);
+                self.state.remove(&key);
+                self.lir_count -= 1;
+                self.prune();
+            }
+            Some(State::HirResident) => {
+                self.queue.remove(key);
+                self.stack.remove(key);
+                self.state.remove(&key);
+                self.prune();
+            }
+            Some(State::Ghost) | None => {
+                // Ghosts are history, not residency; external removal of a
+                // resident key cannot hit this arm.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NO_PIN: fn(u64) -> bool = |_| false;
+
+    fn filled(capacity: usize, n: u64) -> Lirs {
+        let mut p = Lirs::with_hir_slots(capacity, 2);
+        for k in 0..n {
+            p.on_insert(k, 0);
+        }
+        p
+    }
+
+    #[test]
+    fn cold_start_fills_lir_partition() {
+        let p = filled(10, 8);
+        assert_eq!(p.lir_count(), 8);
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn overflow_goes_to_hir_queue() {
+        let p = filled(10, 10);
+        assert_eq!(p.lir_count(), 8);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.queue.len(), 2);
+    }
+
+    #[test]
+    fn evicts_resident_hir_first() {
+        let mut p = filled(10, 10);
+        // keys 8, 9 are HIR; 8 is older in Q.
+        assert_eq!(p.evict(&NO_PIN), Some(8));
+        assert!(!p.contains(8));
+        // 8 remains as ghost in the stack.
+        assert_eq!(p.state.get(&8), Some(&State::Ghost));
+    }
+
+    #[test]
+    fn ghost_reinsert_promotes_to_lir() {
+        let mut p = filled(10, 10);
+        p.evict(&NO_PIN); // 8 becomes ghost
+        let lir_before = p.lir_count();
+        p.on_insert(8, 0);
+        assert!(p.contains(8));
+        assert_eq!(p.state.get(&8), Some(&State::Lir));
+        // LIR count stayed within the limit via demotion.
+        assert!(p.lir_count() <= lir_before.max(8));
+    }
+
+    #[test]
+    fn hir_hit_within_stack_promotes() {
+        let mut p = filled(10, 10);
+        // 9 is resident HIR and still in the stack.
+        p.on_hit(9);
+        assert_eq!(p.state.get(&9), Some(&State::Lir));
+    }
+
+    #[test]
+    fn stack_bottom_is_always_lir() {
+        let mut p = filled(6, 6);
+        for k in 6..30u64 {
+            p.on_insert(k, 0);
+            while p.len() > 6 {
+                p.evict(&NO_PIN).unwrap();
+            }
+        }
+        let bottom = p.stack.back().unwrap();
+        assert_eq!(p.state.get(&bottom), Some(&State::Lir));
+    }
+
+    #[test]
+    fn pinned_hir_survives() {
+        let mut p = filled(10, 10);
+        let pin = |k: u64| k == 8;
+        assert_eq!(p.evict(&pin), Some(9));
+        assert!(p.contains(8));
+    }
+
+    #[test]
+    fn fallback_evicts_lir_when_no_hir() {
+        let mut p = Lirs::with_hir_slots(4, 1);
+        for k in 0..3u64 {
+            p.on_insert(k, 0); // all LIR
+        }
+        let v = p.evict(&NO_PIN);
+        assert!(v.is_some());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn all_pinned_returns_none() {
+        let mut p = filled(4, 4);
+        assert_eq!(p.evict(&|_| true), None);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn ghosts_are_bounded() {
+        let cap = 8;
+        let mut p = Lirs::with_hir_slots(cap, 2);
+        for k in 0..10_000u64 {
+            p.on_insert(k, 0);
+            while p.len() > cap {
+                p.evict(&NO_PIN).unwrap();
+            }
+        }
+        let ghosts = p
+            .state
+            .values()
+            .filter(|s| **s == State::Ghost)
+            .count();
+        assert!(ghosts <= cap, "ghosts grew unboundedly: {ghosts}");
+    }
+
+    #[test]
+    fn loop_pattern_beats_recency_intuition() {
+        // The LIRS showcase: a loop slightly larger than the cache. Pure
+        // LRU gets zero hits; LIRS keeps a stable LIR subset resident.
+        let cap = 10;
+        let mut p = Lirs::with_hir_slots(cap, 2);
+        let loop_len = 12u64;
+        let mut hits = 0;
+        for round in 0..50 {
+            for k in 0..loop_len {
+                if p.contains(k) {
+                    p.on_hit(k);
+                    if round > 1 {
+                        hits += 1;
+                    }
+                } else {
+                    p.on_insert(k, 0);
+                    while p.len() > cap {
+                        p.evict(&NO_PIN).unwrap();
+                    }
+                }
+            }
+        }
+        assert!(hits > 0, "LIRS should retain part of a loop working set");
+    }
+}

@@ -1,0 +1,120 @@
+//! Least-Recently-Used: the baseline recency policy (§III-D).
+
+use crate::order::KeyedList;
+use crate::{PinFn, Policy};
+
+/// Classic LRU over a hash-indexed linked list; O(1) per operation,
+/// pinned entries skipped at eviction time.
+#[derive(Clone, Debug, Default)]
+pub struct Lru {
+    order: KeyedList,
+}
+
+impl Lru {
+    /// An empty LRU policy.
+    pub fn new() -> Self {
+        Lru {
+            order: KeyedList::new(),
+        }
+    }
+
+    /// Keys from least to most recently used (test/diagnostic aid).
+    pub fn recency_order(&self) -> Vec<u64> {
+        self.order.iter_back_to_front().collect()
+    }
+}
+
+impl Policy for Lru {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.order.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn on_hit(&mut self, key: u64) {
+        let present = self.order.move_to_front(key);
+        assert!(present, "LRU hit on non-resident key {key}");
+    }
+
+    fn on_insert(&mut self, key: u64, _cost: u64) {
+        self.order.push_front(key);
+    }
+
+    fn evict(&mut self, pinned: PinFn<'_>) -> Option<u64> {
+        let victim = self.order.iter_back_to_front().find(|&k| !pinned(k))?;
+        self.order.remove(victim);
+        Some(victim)
+    }
+
+    fn on_remove(&mut self, key: u64) {
+        self.order.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NO_PIN: fn(u64) -> bool = |_| false;
+
+    #[test]
+    fn evicts_least_recent() {
+        let mut p = Lru::new();
+        for k in [1, 2, 3] {
+            p.on_insert(k, 0);
+        }
+        assert_eq!(p.evict(&NO_PIN), Some(1));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut p = Lru::new();
+        for k in [1, 2, 3] {
+            p.on_insert(k, 0);
+        }
+        p.on_hit(1);
+        assert_eq!(p.evict(&NO_PIN), Some(2));
+    }
+
+    #[test]
+    fn eviction_skips_pinned() {
+        let mut p = Lru::new();
+        for k in [1, 2, 3] {
+            p.on_insert(k, 0);
+        }
+        let pin = |k: u64| k == 1;
+        assert_eq!(p.evict(&pin), Some(2));
+    }
+
+    #[test]
+    fn all_pinned_returns_none() {
+        let mut p = Lru::new();
+        p.on_insert(1, 0);
+        assert_eq!(p.evict(&|_| true), None);
+        assert_eq!(p.len(), 1, "nothing was removed");
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let mut p = Lru::new();
+        p.on_insert(1, 0);
+        p.on_remove(1);
+        p.on_remove(1);
+        assert!(!p.contains(1));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn hit_on_absent_key_panics() {
+        let mut p = Lru::new();
+        p.on_hit(9);
+    }
+}

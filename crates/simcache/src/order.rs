@@ -1,0 +1,345 @@
+//! [`KeyedList`]: a hash-indexed doubly-linked list over a slab.
+//!
+//! All recency/FIFO orders in this crate are built on this structure. It
+//! provides O(1) insert at either end, O(1) removal and move-to-front by
+//! key, and ordered iteration from either end — without per-node heap
+//! allocation (nodes live in a `Vec` with an internal free list).
+
+use crate::fasthash::{u64_map, U64Map};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// A doubly-linked list of unique `u64` keys with a by-key index.
+///
+/// "Front" is the most-recently-touched end for recency lists (MRU);
+/// "back" is the eviction end (LRU).
+#[derive(Clone, Debug, Default)]
+pub struct KeyedList {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    index: U64Map<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl KeyedList {
+    /// An empty list.
+    pub fn new() -> Self {
+        KeyedList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: u64_map(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of keys in the list.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Is `key` present?
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    fn alloc(&mut self, key: u64) -> usize {
+        let node = Node {
+            key,
+            prev: NIL,
+            next: NIL,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Inserts `key` at the front.
+    ///
+    /// # Panics
+    /// Panics if `key` is already present (keys are unique).
+    pub fn push_front(&mut self, key: u64) {
+        assert!(!self.contains(key), "duplicate key {key} in KeyedList");
+        let i = self.alloc(key);
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+        self.index.insert(key, i);
+    }
+
+    /// Inserts `key` at the back.
+    ///
+    /// # Panics
+    /// Panics if `key` is already present.
+    pub fn push_back(&mut self, key: u64) {
+        assert!(!self.contains(key), "duplicate key {key} in KeyedList");
+        let i = self.alloc(key);
+        self.nodes[i].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail].next = i;
+        }
+        self.tail = i;
+        if self.head == NIL {
+            self.head = i;
+        }
+        self.index.insert(key, i);
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.free.push(i);
+    }
+
+    /// Removes `key` if present; returns whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.index.remove(&key) {
+            Some(i) => {
+                self.unlink(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves an existing `key` to the front; returns whether it was
+    /// present.
+    pub fn move_to_front(&mut self, key: u64) -> bool {
+        let Some(&i) = self.index.get(&key) else {
+            return false;
+        };
+        if self.head == i {
+            return true;
+        }
+        // Unlink in place, then relink at head, reusing the same slot.
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        true
+    }
+
+    /// The front (most recent) key.
+    pub fn front(&self) -> Option<u64> {
+        (self.head != NIL).then(|| self.nodes[self.head].key)
+    }
+
+    /// The back (least recent) key.
+    pub fn back(&self) -> Option<u64> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].key)
+    }
+
+    /// Removes and returns the back key.
+    pub fn pop_back(&mut self) -> Option<u64> {
+        let key = self.back()?;
+        self.remove(key);
+        Some(key)
+    }
+
+    /// Removes and returns the front key.
+    pub fn pop_front(&mut self) -> Option<u64> {
+        let key = self.front()?;
+        self.remove(key);
+        Some(key)
+    }
+
+    /// Iterates keys from back (least recent) to front.
+    pub fn iter_back_to_front(&self) -> BackToFront<'_> {
+        BackToFront {
+            list: self,
+            cur: self.tail,
+        }
+    }
+
+    /// Iterates keys from front (most recent) to back.
+    pub fn iter_front_to_back(&self) -> FrontToBack<'_> {
+        FrontToBack {
+            list: self,
+            cur: self.head,
+        }
+    }
+}
+
+/// Iterator over a [`KeyedList`] from the eviction end.
+pub struct BackToFront<'a> {
+    list: &'a KeyedList,
+    cur: usize,
+}
+
+impl Iterator for BackToFront<'_> {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur];
+        self.cur = node.prev;
+        Some(node.key)
+    }
+}
+
+/// Iterator over a [`KeyedList`] from the MRU end.
+pub struct FrontToBack<'a> {
+    list: &'a KeyedList,
+    cur: usize,
+}
+
+impl Iterator for FrontToBack<'_> {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur];
+        self.cur = node.next;
+        Some(node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_fb(l: &KeyedList) -> Vec<u64> {
+        l.iter_front_to_back().collect()
+    }
+
+    #[test]
+    fn push_front_orders_mru_first() {
+        let mut l = KeyedList::new();
+        l.push_front(1);
+        l.push_front(2);
+        l.push_front(3);
+        assert_eq!(collect_fb(&l), vec![3, 2, 1]);
+        assert_eq!(l.front(), Some(3));
+        assert_eq!(l.back(), Some(1));
+    }
+
+    #[test]
+    fn push_back_appends() {
+        let mut l = KeyedList::new();
+        l.push_back(1);
+        l.push_back(2);
+        assert_eq!(collect_fb(&l), vec![1, 2]);
+    }
+
+    #[test]
+    fn move_to_front_reorders() {
+        let mut l = KeyedList::new();
+        for k in [1, 2, 3] {
+            l.push_front(k);
+        }
+        assert!(l.move_to_front(1));
+        assert_eq!(collect_fb(&l), vec![1, 3, 2]);
+        assert!(l.move_to_front(1), "moving the head is a no-op");
+        assert_eq!(collect_fb(&l), vec![1, 3, 2]);
+        assert!(!l.move_to_front(42));
+    }
+
+    #[test]
+    fn remove_middle_and_ends() {
+        let mut l = KeyedList::new();
+        for k in [1, 2, 3, 4] {
+            l.push_back(k);
+        }
+        assert!(l.remove(2));
+        assert_eq!(collect_fb(&l), vec![1, 3, 4]);
+        assert!(l.remove(1));
+        assert!(l.remove(4));
+        assert_eq!(collect_fb(&l), vec![3]);
+        assert!(!l.remove(1));
+        assert!(l.remove(3));
+        assert!(l.is_empty());
+        assert_eq!(l.front(), None);
+        assert_eq!(l.back(), None);
+    }
+
+    #[test]
+    fn pop_back_and_front() {
+        let mut l = KeyedList::new();
+        for k in [1, 2, 3] {
+            l.push_back(k);
+        }
+        assert_eq!(l.pop_back(), Some(3));
+        assert_eq!(l.pop_front(), Some(1));
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), None);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut l = KeyedList::new();
+        for k in 0..100 {
+            l.push_front(k);
+        }
+        for k in 0..100 {
+            l.remove(k);
+        }
+        for k in 100..200 {
+            l.push_front(k);
+        }
+        // Slab should not have grown past the peak of 100 live nodes.
+        assert!(l.nodes.len() <= 100);
+        assert_eq!(l.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn duplicate_push_panics() {
+        let mut l = KeyedList::new();
+        l.push_front(1);
+        l.push_front(1);
+    }
+
+    #[test]
+    fn back_to_front_iteration() {
+        let mut l = KeyedList::new();
+        for k in [5, 6, 7] {
+            l.push_front(k);
+        }
+        let back: Vec<u64> = l.iter_back_to_front().collect();
+        assert_eq!(back, vec![5, 6, 7]);
+    }
+}

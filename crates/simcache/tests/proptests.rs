@@ -1,0 +1,211 @@
+//! Property tests: every policy against shared invariants, LRU against a
+//! brute-force oracle, and the byte-budget manager against its contract.
+
+use proptest::prelude::*;
+use simcache::{policy_by_name, CacheSim, Policy, PAPER_POLICIES};
+use std::collections::HashSet;
+
+/// Operations applied to a policy under test.
+#[derive(Clone, Debug)]
+enum Op {
+    Access(u64),
+    Evict,
+    EvictWithPins(Vec<u64>),
+    Remove(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..key_space).prop_map(Op::Access),
+        2 => Just(Op::Evict),
+        1 => prop::collection::vec(0..key_space, 0..4).prop_map(Op::EvictWithPins),
+        1 => (0..key_space).prop_map(Op::Remove),
+    ]
+}
+
+/// Drives any policy through an operation sequence while mirroring
+/// residency in a `HashSet`, checking the membership contract at every
+/// step.
+fn check_policy_contract(mut policy: Box<dyn Policy + Send>, ops: &[Op], costs: &[u64]) {
+    let mut resident: HashSet<u64> = HashSet::new();
+    for op in ops {
+        match op {
+            Op::Access(k) => {
+                if resident.contains(k) {
+                    policy.on_hit(*k);
+                } else {
+                    let cost = costs[(*k as usize) % costs.len()];
+                    policy.on_insert(*k, cost);
+                    resident.insert(*k);
+                }
+            }
+            Op::Evict => {
+                if let Some(v) = policy.evict(&|_| false) {
+                    assert!(resident.remove(&v), "evicted non-resident {v}");
+                } else {
+                    assert!(resident.is_empty(), "evict=None with residents");
+                }
+            }
+            Op::EvictWithPins(pins) => {
+                let pinset: HashSet<u64> = pins.iter().copied().collect();
+                let pinned = move |k: u64| pinset.contains(&k);
+                if let Some(v) = policy.evict(&pinned) {
+                    assert!(!pins.contains(&v), "evicted pinned key {v}");
+                    assert!(resident.remove(&v), "evicted non-resident {v}");
+                } else {
+                    // Every resident key must be pinned.
+                    assert!(
+                        resident.iter().all(|k| pins.contains(k)),
+                        "evict=None but unpinned residents exist"
+                    );
+                }
+            }
+            Op::Remove(k) => {
+                policy.on_remove(*k);
+                resident.remove(k);
+            }
+        }
+        assert_eq!(policy.len(), resident.len(), "len drifted from history");
+        for k in &resident {
+            assert!(policy.contains(*k), "resident {k} reported absent");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All five paper policies (plus FIFO) satisfy the membership/pinning
+    /// contract under arbitrary operation sequences.
+    #[test]
+    fn all_policies_respect_contract(
+        ops in prop::collection::vec(op_strategy(24), 1..300),
+        costs in prop::collection::vec(1u64..50, 1..8),
+    ) {
+        for name in PAPER_POLICIES.iter().chain(["FIFO"].iter()) {
+            let policy = policy_by_name(name, 8).unwrap();
+            check_policy_contract(policy, &ops, &costs);
+        }
+    }
+
+    /// O(1) LRU matches a brute-force Vec-based oracle exactly.
+    #[test]
+    fn lru_matches_oracle(ops in prop::collection::vec(op_strategy(16), 1..300)) {
+        let mut policy = policy_by_name("lru", 8).unwrap();
+        let mut oracle: Vec<u64> = Vec::new(); // front = LRU
+        for op in &ops {
+            match op {
+                Op::Access(k) => {
+                    if let Some(pos) = oracle.iter().position(|x| x == k) {
+                        policy.on_hit(*k);
+                        oracle.remove(pos);
+                        oracle.push(*k);
+                    } else {
+                        policy.on_insert(*k, 1);
+                        oracle.push(*k);
+                    }
+                }
+                Op::Evict => {
+                    let got = policy.evict(&|_| false);
+                    let want = if oracle.is_empty() {
+                        None
+                    } else {
+                        Some(oracle.remove(0))
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                Op::EvictWithPins(pins) => {
+                    let pinset: HashSet<u64> = pins.iter().copied().collect();
+                    let pinned = move |k: u64| pinset.contains(&k);
+                    let got = policy.evict(&pinned);
+                    let want_pos = oracle.iter().position(|k| !pins.contains(k));
+                    let want = want_pos.map(|p| oracle.remove(p));
+                    prop_assert_eq!(got, want);
+                }
+                Op::Remove(k) => {
+                    policy.on_remove(*k);
+                    oracle.retain(|x| x != k);
+                }
+            }
+        }
+    }
+
+    /// The manager never exceeds its budget unless pins force it, and its
+    /// byte accounting matches entry history.
+    #[test]
+    fn cache_sim_budget_invariant(
+        name in prop::sample::select(vec!["lru", "arc", "lirs", "bcl", "dcl", "fifo"]),
+        accesses in prop::collection::vec((0u64..32, 1u64..5), 1..200),
+        capacity_units in 2u64..10,
+    ) {
+        let unit = 100u64;
+        let capacity = capacity_units * unit;
+        let mut cache = CacheSim::new(policy_by_name(&name, capacity_units as usize).unwrap(), capacity);
+        let mut pinned_now: Vec<u64> = Vec::new();
+        for (i, (key, cost)) in accesses.iter().enumerate() {
+            if !cache.access(*key) {
+                cache.insert(*key, unit, *cost);
+            }
+            // Pin every 7th access, unpin when 3 pins accumulate.
+            if i % 7 == 0 && cache.contains(*key) && !pinned_now.contains(key) {
+                cache.pin(*key);
+                pinned_now.push(*key);
+            }
+            if pinned_now.len() > 3 {
+                let k = pinned_now.remove(0);
+                if cache.contains(k) {
+                    cache.unpin(k);
+                }
+            }
+            let pinned_bytes = pinned_now.iter().filter(|k| cache.contains(**k)).count() as u64 * unit;
+            prop_assert!(
+                cache.used_bytes() <= capacity.max(pinned_bytes + unit),
+                "budget exceeded beyond pin pressure: used={} cap={}",
+                cache.used_bytes(),
+                capacity
+            );
+            prop_assert_eq!(cache.used_bytes(), cache.len() as u64 * unit);
+        }
+    }
+
+    /// Uniform costs make BCL and DCL behave exactly like LRU.
+    #[test]
+    fn cost_policies_reduce_to_lru_with_uniform_costs(
+        ops in prop::collection::vec(op_strategy(16), 1..200),
+    ) {
+        for name in ["bcl", "dcl"] {
+            let mut cost_policy = policy_by_name(name, 8).unwrap();
+            let mut lru = policy_by_name("lru", 8).unwrap();
+            for op in &ops {
+                match op {
+                    Op::Access(k) => {
+                        let resident = lru.contains(*k);
+                        prop_assert_eq!(resident, cost_policy.contains(*k));
+                        if resident {
+                            lru.on_hit(*k);
+                            cost_policy.on_hit(*k);
+                        } else {
+                            lru.on_insert(*k, 5);
+                            cost_policy.on_insert(*k, 5);
+                        }
+                    }
+                    Op::Evict => {
+                        prop_assert_eq!(lru.evict(&|_| false), cost_policy.evict(&|_| false));
+                    }
+                    Op::EvictWithPins(pins) => {
+                        let pinset: HashSet<u64> = pins.iter().copied().collect();
+                        let p1 = pinset.clone();
+                        let a = lru.evict(&move |k| p1.contains(&k));
+                        let p2 = pinset.clone();
+                        let b = cost_policy.evict(&move |k| p2.contains(&k));
+                        prop_assert_eq!(a, b);
+                    }
+                    Op::Remove(k) => {
+                        lru.on_remove(*k);
+                        cost_policy.on_remove(*k);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Calibration constants and the simulation scenario (§V-A, Table II).
+
+use serde::{Deserialize, Serialize};
+
+/// Infrastructure price point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rates {
+    /// Compute cost `c_c` in $/node/hour.
+    pub compute_per_node_hour: f64,
+    /// Storage cost `c_s` in $/GiB/month.
+    pub storage_per_gib_month: f64,
+}
+
+/// Microsoft Azure calibration used throughout §V: NCv2 VM (P100 GPU)
+/// compute, Azure Files storage.
+pub const AZURE: Rates = Rates {
+    compute_per_node_hour: 2.07,
+    storage_per_gib_month: 0.06,
+};
+
+/// Piz Daint price point derived from the CSCS cost catalog, as placed
+/// on the Fig. 15a heatmap (lower compute cost, comparable storage).
+pub const PIZ_DAINT: Rates = Rates {
+    compute_per_node_hour: 1.00,
+    storage_per_gib_month: 0.12,
+};
+
+/// A simulation configuration: cadences, sizes, and performance
+/// (Table II symbols `n`, `Δd`, `Δr`, `s_o`, `s_r`, `P`, `tau_sim`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Physical seconds advanced per timestep (COSMO: 20 s).
+    pub timestep_secs: f64,
+    /// Total simulation length in timesteps (`n`).
+    pub n_timesteps: u64,
+    /// Timesteps between output steps (`Δd`).
+    pub dd: u64,
+    /// Timesteps between restart steps (`Δr`).
+    pub dr: u64,
+    /// Wall-clock seconds to produce one output step at `nodes`
+    /// (`tau_sim(P)`).
+    pub tau_sim_secs: f64,
+    /// Compute nodes used for (re-)simulations (`P`).
+    pub nodes: u32,
+    /// Output step size in GiB (`s_o`).
+    pub output_gib: f64,
+    /// Restart step size in GiB (`s_r`).
+    pub restart_gib: f64,
+}
+
+impl Scenario {
+    /// The paper's COSMO production calibration with a restart interval
+    /// of `dr_hours` of simulated time (§V-A uses 4 h / 8 h / 16 h /
+    /// 32 h): 20 s timesteps, one output step per 15 timesteps (5 min),
+    /// `tau_sim(100) = 20 s`, 6 GiB outputs, 36 GiB restarts, ≈50 TiB
+    /// total output volume.
+    pub fn cosmo_paper(dr_hours: f64) -> Scenario {
+        let timestep_secs = 20.0;
+        let dd = 15;
+        // 50 TiB / 6 GiB = 8533.3 output steps; keep the volume at
+        // 50 TiB.
+        let n_outputs = (50.0_f64 * 1024.0 / 6.0).round() as u64;
+        let dr = ((dr_hours * 3600.0 / timestep_secs).round() as u64).max(dd);
+        Scenario {
+            timestep_secs,
+            n_timesteps: n_outputs * dd,
+            dd,
+            dr,
+            tau_sim_secs: 20.0,
+            nodes: 100,
+            output_gib: 6.0,
+            restart_gib: 36.0,
+        }
+    }
+
+    /// Number of output steps `n_o = ⌊n / Δd⌋`.
+    pub fn n_outputs(&self) -> u64 {
+        self.n_timesteps / self.dd
+    }
+
+    /// Number of restart steps `n_r = ⌊n / Δr⌋`.
+    pub fn n_restarts(&self) -> u64 {
+        self.n_timesteps / self.dr
+    }
+
+    /// Output steps per restart interval (`Δr/Δd`) — the "cache block
+    /// size" analogy of §II-A.
+    pub fn outputs_per_restart(&self) -> u64 {
+        (self.dr / self.dd).max(1)
+    }
+
+    /// Total output data volume in GiB.
+    pub fn total_output_gib(&self) -> f64 {
+        self.n_outputs() as f64 * self.output_gib
+    }
+
+    /// Total restart data volume in GiB.
+    pub fn total_restart_gib(&self) -> f64 {
+        self.n_restarts() as f64 * self.restart_gib
+    }
+
+    /// Wall-clock hours to simulate `output_steps` output steps.
+    pub fn sim_hours(&self, output_steps: u64) -> f64 {
+        output_steps as f64 * self.tau_sim_secs / 3600.0
+    }
+
+    /// `C_sim(O, P) = O · tau_sim(P) · P · c_c` (§V).
+    pub fn csim(&self, output_steps: u64, rates: &Rates) -> f64 {
+        self.sim_hours(output_steps) * self.nodes as f64 * rates.compute_per_node_hour
+    }
+
+    /// `C_store(F, s, Δt) = F · s · Δt · c_s` (§V), with `F·s` in GiB
+    /// and `Δt` in months.
+    pub fn cstore(gib: f64, months: f64, rates: &Rates) -> f64 {
+        gib * months * rates.storage_per_gib_month
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosmo_calibration_matches_paper() {
+        let sc = Scenario::cosmo_paper(8.0);
+        assert_eq!(sc.dd, 15);
+        assert_eq!(sc.dr, 1440, "8 h of 20 s timesteps");
+        assert_eq!(sc.outputs_per_restart(), 96);
+        // ~50 TiB of output.
+        assert!((sc.total_output_gib() - 50.0 * 1024.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn restart_space_matches_fig15_annotations() {
+        // Fig. 15b/c x-axis: restart space 6.33/3.16/1.58/0.79 TiB for
+        // Δr = 4/8/16/32 h. Allow a few percent (the paper rounds its
+        // step counts differently).
+        for (dr_h, paper_tib) in [(4.0, 6.33), (8.0, 3.16), (16.0, 1.58), (32.0, 0.79)] {
+            let sc = Scenario::cosmo_paper(dr_h);
+            let tib = sc.total_restart_gib() / 1024.0;
+            let rel = (tib - paper_tib).abs() / paper_tib;
+            assert!(rel < 0.05, "Δr={dr_h}h: {tib:.2} TiB vs paper {paper_tib}");
+        }
+    }
+
+    #[test]
+    fn initial_simulation_cost_is_about_10k() {
+        // n_o ≈ 8533 steps × (20/3600) h × 100 nodes × 2.07 $ ≈ 9.8 k$.
+        let sc = Scenario::cosmo_paper(8.0);
+        let c = sc.csim(sc.n_outputs(), &AZURE);
+        assert!((9_000.0..11_000.0).contains(&c), "got {c}");
+    }
+
+    #[test]
+    fn storage_cost_scales_linearly() {
+        let c1 = Scenario::cstore(1000.0, 12.0, &AZURE);
+        let c2 = Scenario::cstore(1000.0, 24.0, &AZURE);
+        assert!((c2 - 2.0 * c1).abs() < 1e-9);
+        assert!((c1 - 1000.0 * 12.0 * 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dr_is_never_below_dd() {
+        let sc = Scenario::cosmo_paper(0.01);
+        assert!(sc.dr >= sc.dd);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fig. 15a: cost-effectiveness over the (storage cost, compute cost)
+//! plane.
+//!
+//! Each heatmap cell reports `min(C_on-disk, C_in-situ) / C_SimFS` — a
+//! ratio above 1 means SimFS is the cheapest option at that price point.
+//! The paper overlays the Microsoft Azure and Piz Daint price points.
+
+use crate::calib::{Rates, Scenario};
+use crate::model::{cost_in_situ, cost_on_disk, cost_simfs};
+use serde::{Deserialize, Serialize};
+
+/// One heatmap cell.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HeatmapPoint {
+    /// Storage cost `c_s` ($/GiB/month).
+    pub storage_cost: f64,
+    /// Compute cost `c_c` ($/node/hour).
+    pub compute_cost: f64,
+    /// `min(on-disk, in-situ) / SimFS` at this price point.
+    pub ratio: f64,
+}
+
+/// Sweeps the price plane. The workload (`analyses`, `resimulated_steps`)
+/// is priced identically at every point; only the rates change.
+#[allow(clippy::too_many_arguments)]
+pub fn cost_ratio_heatmap(
+    sc: &Scenario,
+    months: f64,
+    cache_fraction: f64,
+    analyses: &[(u64, u64)],
+    resimulated_steps: u64,
+    storage_range: (f64, f64),
+    compute_range: (f64, f64),
+    resolution: usize,
+) -> Vec<HeatmapPoint> {
+    assert!(resolution >= 2, "need at least a 2x2 grid");
+    let mut points = Vec::with_capacity(resolution * resolution);
+    for si in 0..resolution {
+        let cs = storage_range.0
+            + (storage_range.1 - storage_range.0) * si as f64 / (resolution - 1) as f64;
+        for ci in 0..resolution {
+            let cc = compute_range.0
+                + (compute_range.1 - compute_range.0) * ci as f64 / (resolution - 1) as f64;
+            let rates = Rates {
+                compute_per_node_hour: cc,
+                storage_per_gib_month: cs,
+            };
+            let ondisk = cost_on_disk(sc, &rates, months).total();
+            let insitu = cost_in_situ(sc, &rates, analyses).total();
+            let simfs = cost_simfs(sc, &rates, months, cache_fraction, resimulated_steps).total();
+            points.push(HeatmapPoint {
+                storage_cost: cs,
+                compute_cost: cc,
+                ratio: ondisk.min(insitu) / simfs,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Vec<(u64, u64)> {
+        (0..100).map(|i| ((i * 83) % 8000, 300)).collect()
+    }
+
+    #[test]
+    fn grid_has_expected_size() {
+        let sc = Scenario::cosmo_paper(8.0);
+        let pts = cost_ratio_heatmap(
+            &sc,
+            36.0,
+            0.25,
+            &workload(),
+            50_000,
+            (0.02, 0.35),
+            (0.3, 3.2),
+            5,
+        );
+        assert_eq!(pts.len(), 25);
+        assert!(pts.iter().all(|p| p.ratio.is_finite() && p.ratio > 0.0));
+    }
+
+    #[test]
+    fn expensive_storage_favors_simfs_over_on_disk() {
+        // Hold compute fixed; as storage cost rises, on-disk/SimFS ratio
+        // must rise (SimFS stores ~25% + restarts instead of 100%).
+        let sc = Scenario::cosmo_paper(8.0);
+        let cheap = Rates {
+            compute_per_node_hour: 2.0,
+            storage_per_gib_month: 0.02,
+        };
+        let dear = Rates {
+            compute_per_node_hour: 2.0,
+            storage_per_gib_month: 0.3,
+        };
+        let months = 36.0;
+        let v = 50_000;
+        let r_cheap = cost_on_disk(&sc, &cheap, months).total()
+            / cost_simfs(&sc, &cheap, months, 0.25, v).total();
+        let r_dear = cost_on_disk(&sc, &dear, months).total()
+            / cost_simfs(&sc, &dear, months, 0.25, v).total();
+        assert!(r_dear > r_cheap);
+    }
+
+    #[test]
+    fn heatmap_ratio_varies_over_plane() {
+        let sc = Scenario::cosmo_paper(8.0);
+        let pts = cost_ratio_heatmap(
+            &sc,
+            36.0,
+            0.25,
+            &workload(),
+            50_000,
+            (0.02, 0.35),
+            (0.3, 3.2),
+            6,
+        );
+        let min = pts.iter().map(|p| p.ratio).fold(f64::MAX, f64::min);
+        let max = pts.iter().map(|p| p.ratio).fold(f64::MIN, f64::max);
+        assert!(
+            max / min > 1.2,
+            "heatmap should show real variation: {min}..{max}"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # simcost — cost models for simulation-data availability (§V)
+//!
+//! Three ways to keep simulation data analyzable over an availability
+//! period `Δt`:
+//!
+//! * **on-disk** — run the simulation once, store every output step for
+//!   `Δt`: `C = C_sim(n_o, P) + C_store(n_o, s_o, Δt)`;
+//! * **in-situ** — store nothing; every analysis `j` re-runs the
+//!   simulation from step 0 to the last step it reads:
+//!   `C = Σ_j C_sim(i_j + |γ(j)|, P)`;
+//! * **SimFS** — store restart files plus a bounded cache, re-simulate
+//!   misses: `C = C_sim(n_o, P) + C_store(n_r, s_r, Δt) +
+//!   C_store(M, s_o, Δt) + C_sim(V(γ), P)`.
+//!
+//! The number of re-simulated steps `V(γ)` depends on the cache policy
+//! and the interleaved access sequence; it is measured by replaying the
+//! workload through the Data Virtualizer (`simfs-core::replay`) and fed
+//! into [`model::cost_simfs`] — this crate owns the *pricing*, not the
+//! caching behaviour.
+//!
+//! Calibration constants ([`calib`]) come straight from the paper:
+//! Microsoft Azure NCv2 compute at 2.07 $/node/hour, Azure Files storage
+//! at 0.06 $/GiB/month, and the COSMO production configuration
+//! (P = 100 nodes, `tau_sim` = 20 s, `Δd` = 15 × 20 s timesteps,
+//! s_o = 6 GiB, s_r = 36 GiB, ≈50 TiB total output).
+
+pub mod calib;
+pub mod heatmap;
+pub mod model;
+
+pub use calib::{Rates, Scenario, AZURE, PIZ_DAINT};
+pub use heatmap::{cost_ratio_heatmap, HeatmapPoint};
+pub use model::{cost_in_situ, cost_on_disk, cost_simfs, resim_compute_hours, CostBreakdown};

@@ -1,0 +1,173 @@
+//! The three availability cost models (§V).
+
+use crate::calib::{Rates, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// Cost components in $, so harnesses can report stacked breakdowns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Initial full simulation (zero for in-situ, where all simulation
+    /// is attributed to re-simulation).
+    pub initial_sim: f64,
+    /// Storage over the availability period.
+    pub storage: f64,
+    /// Re-simulation compute (SimFS misses / in-situ per-analysis runs).
+    pub resim: f64,
+}
+
+impl CostBreakdown {
+    /// Total cost in $.
+    pub fn total(&self) -> f64 {
+        self.initial_sim + self.storage + self.resim
+    }
+}
+
+/// `C_on-disk(Δt) = C_sim(n_o, P) + C_store(n_o, s_o, Δt)`: simulate
+/// once, store all output steps for the whole period. Independent of the
+/// analyses performed.
+pub fn cost_on_disk(sc: &Scenario, rates: &Rates, months: f64) -> CostBreakdown {
+    CostBreakdown {
+        initial_sim: sc.csim(sc.n_outputs(), rates),
+        storage: Scenario::cstore(sc.total_output_gib(), months, rates),
+        resim: 0.0,
+    }
+}
+
+/// `C_in-situ(Δt) = Σ_j C_sim(i_j + |γ(j)|, P)`: every analysis couples
+/// with its own simulation from output step 0 to the last step it
+/// accesses (the steps before its start index are simulated but unused,
+/// §V). `analyses` holds `(start_index, accessed_steps)` pairs.
+pub fn cost_in_situ(sc: &Scenario, rates: &Rates, analyses: &[(u64, u64)]) -> CostBreakdown {
+    let mut resim = 0.0;
+    for &(start, len) in analyses {
+        let last = (start + len).min(sc.n_outputs());
+        resim += sc.csim(last, rates);
+    }
+    CostBreakdown {
+        initial_sim: 0.0,
+        storage: 0.0,
+        resim,
+    }
+}
+
+/// `C_SimFS(Δt) = C_sim(n_o, P) + C_store(n_r, s_r, Δt) +
+/// C_store(M, s_o, Δt) + C_sim(V(γ), P)`.
+///
+/// * `cache_fraction` — cache size `M` as a fraction of the total output
+///   volume (the paper evaluates 25% and 50%);
+/// * `resimulated_steps` — `V(γ_Δt)`, measured by replaying the workload
+///   through the DV (see `simfs-core::replay`).
+pub fn cost_simfs(
+    sc: &Scenario,
+    rates: &Rates,
+    months: f64,
+    cache_fraction: f64,
+    resimulated_steps: u64,
+) -> CostBreakdown {
+    assert!(
+        (0.0..=1.0).contains(&cache_fraction),
+        "cache fraction out of range: {cache_fraction}"
+    );
+    let cache_gib = sc.total_output_gib() * cache_fraction;
+    CostBreakdown {
+        initial_sim: sc.csim(sc.n_outputs(), rates),
+        storage: Scenario::cstore(sc.total_restart_gib(), months, rates)
+            + Scenario::cstore(cache_gib, months, rates),
+        resim: sc.csim(resimulated_steps, rates),
+    }
+}
+
+/// Wall-clock compute hours spent re-simulating `V` output steps
+/// (Fig. 15c's y-axis).
+pub fn resim_compute_hours(sc: &Scenario, resimulated_steps: u64) -> f64 {
+    sc.sim_hours(resimulated_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::AZURE;
+
+    fn sc() -> Scenario {
+        Scenario::cosmo_paper(8.0)
+    }
+
+    #[test]
+    fn on_disk_five_years_matches_paper_magnitude() {
+        // Fig. 1: on-disk exceeds $200k over five years.
+        let c = cost_on_disk(&sc(), &AZURE, 60.0);
+        assert!(c.total() > 150_000.0 && c.total() < 250_000.0, "{c:?}");
+        assert_eq!(c.resim, 0.0);
+    }
+
+    #[test]
+    fn on_disk_grows_linearly_with_period() {
+        let c1 = cost_on_disk(&sc(), &AZURE, 12.0);
+        let c2 = cost_on_disk(&sc(), &AZURE, 24.0);
+        let storage_ratio = c2.storage / c1.storage;
+        assert!((storage_ratio - 2.0).abs() < 1e-9);
+        assert_eq!(c1.initial_sim, c2.initial_sim);
+    }
+
+    #[test]
+    fn in_situ_is_period_independent_and_analysis_linear() {
+        let analyses: Vec<(u64, u64)> = (0..10).map(|i| (i * 100, 200)).collect();
+        let c = cost_in_situ(&sc(), &AZURE, &analyses);
+        assert_eq!(c.initial_sim, 0.0);
+        assert_eq!(c.storage, 0.0);
+        let c2 = cost_in_situ(&sc(), &AZURE, &analyses[..5]);
+        assert!(c.resim > c2.resim);
+    }
+
+    #[test]
+    fn in_situ_clamps_to_timeline_end() {
+        let n_o = sc().n_outputs();
+        let a = cost_in_situ(&sc(), &AZURE, &[(n_o - 10, 1_000_000)]);
+        let b = cost_in_situ(&sc(), &AZURE, &[(0, n_o)]);
+        assert!((a.resim - b.resim).abs() < 1e-9, "clamped to full run");
+    }
+
+    #[test]
+    fn simfs_storage_between_nothing_and_everything() {
+        let months = 24.0;
+        let simfs = cost_simfs(&sc(), &AZURE, months, 0.25, 0);
+        let ondisk = cost_on_disk(&sc(), &AZURE, months);
+        assert!(simfs.storage > 0.0);
+        assert!(
+            simfs.storage < ondisk.storage,
+            "25% cache + restarts must undercut full storage: {} vs {}",
+            simfs.storage,
+            ondisk.storage
+        );
+    }
+
+    #[test]
+    fn simfs_cost_increases_with_cache_and_resims() {
+        let base = cost_simfs(&sc(), &AZURE, 24.0, 0.25, 1000);
+        let bigger_cache = cost_simfs(&sc(), &AZURE, 24.0, 0.50, 1000);
+        let more_resims = cost_simfs(&sc(), &AZURE, 24.0, 0.25, 5000);
+        assert!(bigger_cache.storage > base.storage);
+        assert!(more_resims.resim > base.resim);
+    }
+
+    #[test]
+    fn fig15b_tradeoff_direction() {
+        // Larger Δr ⇒ less restart storage but (given same V) the
+        // storage component must drop.
+        let a = cost_simfs(&Scenario::cosmo_paper(4.0), &AZURE, 36.0, 0.25, 0);
+        let b = cost_simfs(&Scenario::cosmo_paper(16.0), &AZURE, 36.0, 0.25, 0);
+        assert!(b.storage < a.storage);
+    }
+
+    #[test]
+    fn resim_hours_match_tau() {
+        let h = resim_compute_hours(&sc(), 180);
+        assert!((h - 1.0).abs() < 1e-9, "180 steps × 20 s = 1 h, got {h}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cache fraction")]
+    fn bad_cache_fraction_panics() {
+        cost_simfs(&sc(), &AZURE, 12.0, 1.5, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: cost-model monotonicity and consistency over the
+//! whole parameter space.
+
+use proptest::prelude::*;
+use simcost::{cost_in_situ, cost_on_disk, cost_simfs, Rates, Scenario};
+
+fn arb_rates() -> impl Strategy<Value = Rates> {
+    (0.1f64..5.0, 0.01f64..0.5).prop_map(|(compute, storage)| Rates {
+        compute_per_node_hour: compute,
+        storage_per_gib_month: storage,
+    })
+}
+
+proptest! {
+    /// On-disk cost is strictly increasing in the availability period
+    /// and in the storage price.
+    #[test]
+    fn on_disk_monotone(rates in arb_rates(), months in 1.0f64..120.0, dr_h in 1.0f64..48.0) {
+        let sc = Scenario::cosmo_paper(dr_h);
+        let c1 = cost_on_disk(&sc, &rates, months).total();
+        let c2 = cost_on_disk(&sc, &rates, months + 1.0).total();
+        prop_assert!(c2 > c1);
+        let dearer = Rates {
+            storage_per_gib_month: rates.storage_per_gib_month * 2.0,
+            ..rates
+        };
+        prop_assert!(cost_on_disk(&sc, &dearer, months).total() > c1);
+    }
+
+    /// SimFS cost is monotone in months, cache fraction, and
+    /// re-simulated steps.
+    #[test]
+    fn simfs_monotone(
+        rates in arb_rates(),
+        months in 1.0f64..120.0,
+        cache in 0.05f64..0.9,
+        v in 0u64..200_000,
+    ) {
+        let sc = Scenario::cosmo_paper(8.0);
+        let base = cost_simfs(&sc, &rates, months, cache, v).total();
+        prop_assert!(cost_simfs(&sc, &rates, months + 1.0, cache, v).total() > base);
+        prop_assert!(cost_simfs(&sc, &rates, months, (cache + 0.05).min(1.0), v).total() > base);
+        prop_assert!(cost_simfs(&sc, &rates, months, cache, v + 1000).total() > base);
+    }
+
+    /// In-situ cost is independent of the period, additive in analyses,
+    /// and zero-storage.
+    #[test]
+    fn in_situ_properties(
+        rates in arb_rates(),
+        analyses in prop::collection::vec((0u64..8000, 1u64..400), 1..50),
+    ) {
+        let sc = Scenario::cosmo_paper(8.0);
+        let whole = cost_in_situ(&sc, &rates, &analyses);
+        prop_assert_eq!(whole.storage, 0.0);
+        prop_assert_eq!(whole.initial_sim, 0.0);
+        let (a, b) = analyses.split_at(analyses.len() / 2);
+        let sum = cost_in_situ(&sc, &rates, a).total() + cost_in_situ(&sc, &rates, b).total();
+        prop_assert!((whole.total() - sum).abs() < 1e-6 * whole.total().max(1.0));
+    }
+
+    /// SimFS with zero re-simulations and full cache costs at least as
+    /// much storage-wise as on-disk minus... sanity: with cache = 100%
+    /// and V = 0, SimFS = on-disk + restart storage.
+    #[test]
+    fn simfs_full_cache_equals_on_disk_plus_restarts(
+        rates in arb_rates(),
+        months in 1.0f64..60.0,
+        dr_h in 1.0f64..48.0,
+    ) {
+        let sc = Scenario::cosmo_paper(dr_h);
+        let simfs = cost_simfs(&sc, &rates, months, 1.0, 0).total();
+        let on_disk = cost_on_disk(&sc, &rates, months).total();
+        let restarts = Scenario::cstore(sc.total_restart_gib(), months, &rates);
+        prop_assert!((simfs - (on_disk + restarts)).abs() < 1e-6 * simfs.max(1.0));
+    }
+
+    /// Larger Δr always means fewer restart steps and less restart
+    /// storage.
+    #[test]
+    fn restart_storage_decreases_with_dr(dr_h in 1.0f64..24.0) {
+        let small = Scenario::cosmo_paper(dr_h);
+        let large = Scenario::cosmo_paper(dr_h * 2.0);
+        prop_assert!(large.n_restarts() <= small.n_restarts());
+        prop_assert!(large.total_restart_gib() <= small.total_restart_gib());
+    }
+}

@@ -1,0 +1,308 @@
+//! The event loop: a time-ordered queue of one-shot handlers.
+//!
+//! The engine is generic over a user state `S`; handlers receive
+//! `(&mut Engine<S>, &mut S)` so they can mutate the model and schedule
+//! follow-up events. Determinism is guaranteed by (time, sequence-number)
+//! ordering: ties fire in scheduling order.
+//!
+//! Cancellation is lazy: [`Engine::cancel`] marks the event id and the
+//! main loop discards marked events when they surface. This keeps the
+//! queue a plain binary heap (no decrease-key) — the pattern used by most
+//! production DES cores — and the SimFS harness relies on it to model the
+//! paper's "kill prefetched simulations on direction change" (§IV-C).
+
+use crate::time::{Dur, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+type Handler<S> = Box<dyn FnOnce(&mut Engine<S>, &mut S)>;
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    run: Handler<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (time, seq)
+        // surfaces first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event engine.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Engine<S> {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Scheduled<S>>,
+    cancelled: HashSet<u64>,
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine at virtual time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// The current virtual time. Monotonically non-decreasing.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still queued (including cancelled-but-unreaped).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` lies in the past — time travel would silently break
+    /// causality in the model.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut Engine<S>, &mut S) + 'static,
+    ) -> EventId {
+        assert!(at >= self.now, "scheduled event in the past: {at:?} < {:?}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `f` to run `d` after the current instant.
+    pub fn schedule_in(
+        &mut self,
+        d: Dur,
+        f: impl FnOnce(&mut Engine<S>, &mut S) + 'static,
+    ) -> EventId {
+        let at = self.now + d;
+        self.schedule_at(at, f)
+    }
+
+    /// Cancels a pending event. Returns `false` if it already fired or was
+    /// already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Executes the next pending event, if any. Returns `false` when the
+    /// queue is exhausted.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now);
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(self, state);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the queue drains; returns the final virtual time.
+    pub fn run(&mut self, state: &mut S) -> SimTime {
+        while self.step(state) {}
+        self.now
+    }
+
+    /// Runs events with `at <= deadline`. Afterwards `now() == deadline`
+    /// unless the queue drained earlier. Returns `true` if events remain.
+    pub fn run_until(&mut self, state: &mut S, deadline: SimTime) -> bool {
+        loop {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step(state);
+                }
+                Some(_) => {
+                    self.now = deadline;
+                    return true;
+                }
+                None => {
+                    if self.now < deadline {
+                        self.now = deadline;
+                    }
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Runs at most `n` events (useful for fuel-limited fuzzing).
+    pub fn run_steps(&mut self, state: &mut S, n: u64) -> u64 {
+        let mut done = 0;
+        while done < n && self.step(state) {
+            done += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut en: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        en.schedule_at(SimTime::from_secs(3), |_, l: &mut Vec<u64>| l.push(3));
+        en.schedule_at(SimTime::from_secs(1), |_, l: &mut Vec<u64>| l.push(1));
+        en.schedule_at(SimTime::from_secs(2), |_, l: &mut Vec<u64>| l.push(2));
+        en.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(en.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut en: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            en.schedule_at(t, move |_, l: &mut Vec<u64>| l.push(i));
+        }
+        en.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut en: Engine<u64> = Engine::new();
+        let mut count = 0u64;
+        fn tick(en: &mut Engine<u64>, count: &mut u64) {
+            *count += 1;
+            if *count < 5 {
+                en.schedule_in(Dur::from_secs(1), tick);
+            }
+        }
+        en.schedule_in(Dur::from_secs(1), tick);
+        en.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(en.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancellation_prevents_execution() {
+        let mut en: Engine<Vec<&'static str>> = Engine::new();
+        let mut log = Vec::new();
+        let keep = en.schedule_at(SimTime::from_secs(1), |_, l: &mut Vec<_>| l.push("keep"));
+        let drop_ = en.schedule_at(SimTime::from_secs(2), |_, l: &mut Vec<_>| l.push("drop"));
+        assert!(en.cancel(drop_));
+        assert!(!en.cancel(drop_), "double-cancel reports false");
+        en.run(&mut log);
+        assert_eq!(log, vec!["keep"]);
+        let _ = keep;
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut en: Engine<()> = Engine::new();
+        assert!(!en.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut en: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        for s in 1..=5 {
+            en.schedule_at(SimTime::from_secs(s), move |_, l: &mut Vec<u64>| l.push(s));
+        }
+        let more = en.run_until(&mut log, SimTime::from_secs(3));
+        assert!(more);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(en.now(), SimTime::from_secs(3));
+        en.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut en: Engine<()> = Engine::new();
+        let more = en.run_until(&mut (), SimTime::from_secs(10));
+        assert!(!more);
+        assert_eq!(en.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut en: Engine<()> = Engine::new();
+        en.schedule_at(SimTime::from_secs(5), |_, _| {});
+        en.run(&mut ());
+        en.schedule_at(SimTime::from_secs(1), |_, _| {});
+    }
+
+    #[test]
+    fn run_steps_is_fuel_limited() {
+        let mut en: Engine<u64> = Engine::new();
+        let mut hits = 0u64;
+        for s in 0..10 {
+            en.schedule_at(SimTime::from_secs(s), |_, h: &mut u64| *h += 1);
+        }
+        assert_eq!(en.run_steps(&mut hits, 4), 4);
+        assert_eq!(hits, 4);
+        assert_eq!(en.pending(), 6);
+    }
+
+    #[test]
+    fn executed_counts_only_real_events() {
+        let mut en: Engine<()> = Engine::new();
+        let a = en.schedule_at(SimTime::from_secs(1), |_, _| {});
+        en.schedule_at(SimTime::from_secs(2), |_, _| {});
+        en.cancel(a);
+        en.run(&mut ());
+        assert_eq!(en.executed(), 1);
+    }
+}

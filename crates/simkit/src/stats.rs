@@ -1,0 +1,289 @@
+//! Experiment statistics: online tallies, percentiles, and the
+//! nonparametric median confidence interval used throughout the paper's
+//! evaluation ("we repeat each experiment 100 times ... and report the
+//! median and the 95% CI of the measured counts", §III-D).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Online summary accumulator (Welford's algorithm): numerically stable
+/// mean/variance in one pass, no sample storage.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another tally into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty tally).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Linear-interpolation percentile of a **sorted** slice, `q` in `[0, 1]`.
+///
+/// # Panics
+/// Panics if the slice is empty or `q` is outside `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median with a distribution-free 95% confidence interval from order
+/// statistics: ranks `n/2 ± 1.96·√n/2` (clamped), the standard binomial
+/// approximation. For tiny samples the interval degenerates to the range.
+///
+/// Returns `(median, ci_lo, ci_hi)`.
+pub fn median_ci95(samples: &[f64]) -> (f64, f64, f64) {
+    assert!(!samples.is_empty(), "median of empty sample");
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = s.len();
+    let med = percentile(&s, 0.5);
+    let half = 1.959964 * (n as f64).sqrt() / 2.0;
+    let lo = ((n as f64 / 2.0 - half).floor().max(0.0)) as usize;
+    let hi = (((n as f64 / 2.0 + half).ceil()) as usize).min(n - 1);
+    (med, s[lo], s[hi])
+}
+
+/// Full summary of a finished sample, ready for table output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median.
+    pub median: f64,
+    /// Lower bound of the 95% CI of the median.
+    pub ci_lo: f64,
+    /// Upper bound of the 95% CI of the median.
+    pub ci_hi: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Panics on an empty slice.
+    pub fn of(samples: &[f64]) -> Summary {
+        let mut tally = Tally::new();
+        for &x in samples {
+            tally.add(x);
+        }
+        let (median, ci_lo, ci_hi) = median_ci95(samples);
+        Summary {
+            n: samples.len(),
+            mean: tally.mean(),
+            sd: tally.std_dev(),
+            min: tally.min(),
+            max: tally.max(),
+            median,
+            ci_lo,
+            ci_hi,
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} median={:.2} [{:.2}, {:.2}] mean={:.2}±{:.2} range=[{:.2}, {:.2}]",
+            self.n, self.median, self.ci_lo, self.ci_hi, self.mean, self.sd, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_matches_naive_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut t = Tally::new();
+        for &x in &xs {
+            t.add(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // naive unbiased variance = 32/7
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+    }
+
+    #[test]
+    fn tally_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut left = Tally::new();
+        let mut right = Tally::new();
+        for &x in &xs[..37] {
+            left.add(x);
+        }
+        for &x in &xs[37..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Tally::new();
+        a.add(1.0);
+        a.add(3.0);
+        let before = a.clone();
+        a.merge(&Tally::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+        let mut e = Tally::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 4.0);
+        assert!((percentile(&s, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn percentile_rejects_bad_q() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn median_of_odd_sample() {
+        let (m, lo, hi) = median_ci95(&[3.0, 1.0, 2.0]);
+        assert_eq!(m, 2.0);
+        assert!(lo <= m && m <= hi);
+    }
+
+    #[test]
+    fn median_ci_narrows_with_n() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let (_, lo_s, hi_s) = median_ci95(&small);
+        let (_, lo_l, hi_l) = median_ci95(&large);
+        assert!(hi_l - lo_l <= hi_s - lo_s);
+    }
+
+    #[test]
+    fn summary_display_is_stable() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("median=2.00"));
+    }
+
+    #[test]
+    fn unsorted_input_to_median_is_fine() {
+        let (m, _, _) = median_ci95(&[9.0, 1.0, 5.0, 3.0, 7.0]);
+        assert_eq!(m, 5.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! Virtual time: instants ([`SimTime`]) and spans ([`Dur`]).
+//!
+//! Both are nanosecond-resolution unsigned integers. Nanoseconds in a
+//! `u64` cover ~584 years of virtual time, far beyond any experiment in
+//! the paper (the longest availability period studied is five years, and
+//! that one is handled analytically by the cost models, not the engine).
+//!
+//! Keeping instants and durations as distinct types prevents the classic
+//! "added two timestamps" bug; only the operations that make dimensional
+//! sense are implemented.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time, measured in nanoseconds since the start of
+/// the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of virtual time in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Dur(u64);
+
+const NANOS_PER_MICRO: u64 = 1_000;
+const NANOS_PER_MILLI: u64 = 1_000_000;
+const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far"
+    /// deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `n` nanoseconds after the origin.
+    pub const fn from_nanos(n: u64) -> Self {
+        SimTime(n)
+    }
+
+    /// Creates an instant `s` seconds after the origin.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * NANOS_PER_SEC)
+    }
+
+    /// Creates an instant from fractional seconds.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(secs_f64_to_nanos(s))
+    }
+
+    /// Nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the origin (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / NANOS_PER_SEC
+    }
+
+    /// Fractional seconds since the origin.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Span from `earlier` to `self`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Span from `earlier` to `self` if non-negative.
+    pub fn checked_since(self, earlier: SimTime) -> Option<Dur> {
+        self.0.checked_sub(earlier.0).map(Dur)
+    }
+
+    /// The instant `d` later, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: Dur) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl Dur {
+    /// The empty span.
+    pub const ZERO: Dur = Dur(0);
+    /// The largest representable span.
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// A span of `n` nanoseconds.
+    pub const fn from_nanos(n: u64) -> Self {
+        Dur(n)
+    }
+
+    /// A span of `n` microseconds.
+    pub const fn from_micros(n: u64) -> Self {
+        Dur(n * NANOS_PER_MICRO)
+    }
+
+    /// A span of `n` milliseconds.
+    pub const fn from_millis(n: u64) -> Self {
+        Dur(n * NANOS_PER_MILLI)
+    }
+
+    /// A span of `n` seconds.
+    pub const fn from_secs(n: u64) -> Self {
+        Dur(n * NANOS_PER_SEC)
+    }
+
+    /// A span of `n` minutes.
+    pub const fn from_mins(n: u64) -> Self {
+        Dur(n * 60 * NANOS_PER_SEC)
+    }
+
+    /// A span of `n` hours.
+    pub const fn from_hours(n: u64) -> Self {
+        Dur(n * 3600 * NANOS_PER_SEC)
+    }
+
+    /// A span from fractional seconds.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Dur(secs_f64_to_nanos(s))
+    }
+
+    /// Length in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / NANOS_PER_SEC
+    }
+
+    /// Length in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// True if the span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating difference between two spans.
+    pub fn saturating_sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the span by an integer factor, saturating.
+    pub fn saturating_mul(self, k: u64) -> Dur {
+        Dur(self.0.saturating_mul(k))
+    }
+
+    /// Scales the span by a non-negative float (rounds to nearest ns).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite factors.
+    pub fn mul_f64(self, k: f64) -> Dur {
+        assert!(k.is_finite() && k >= 0.0, "invalid duration factor {k}");
+        Dur((self.0 as f64 * k).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Divides the span by an integer divisor.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_u64(self, k: u64) -> Dur {
+        Dur(self.0 / k)
+    }
+}
+
+fn secs_f64_to_nanos(s: f64) -> u64 {
+    assert!(s.is_finite() && s >= 0.0, "invalid time value {s}");
+    let ns = s * NANOS_PER_SEC as f64;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns.round() as u64
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Dur) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("virtual time overflow"),
+        )
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Dur> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Dur) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual time underflow"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Dur;
+    fn sub(self, rhs: SimTime) -> Dur {
+        Dur(self
+            .0
+            .checked_sub(rhs.0)
+            .expect("elapsed() of a later instant"))
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Div<Dur> for Dur {
+    type Output = f64;
+    /// Ratio of two spans, e.g. `tau_cli / tau_sim` in the prefetch model.
+    fn div(self, rhs: Dur) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", format_nanos(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_nanos(self.0))
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_nanos(self.0))
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_nanos(self.0))
+    }
+}
+
+fn format_nanos(ns: u64) -> String {
+    if ns == 0 {
+        "0s".to_string()
+    } else if ns % NANOS_PER_SEC == 0 {
+        let s = ns / NANOS_PER_SEC;
+        if s % 3600 == 0 {
+            format!("{}h", s / 3600)
+        } else {
+            format!("{s}s")
+        }
+    } else if ns % NANOS_PER_MILLI == 0 {
+        format!("{}ms", ns / NANOS_PER_MILLI)
+    } else if ns % NANOS_PER_MICRO == 0 {
+        format!("{}us", ns / NANOS_PER_MICRO)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_plus_duration() {
+        let t = SimTime::from_secs(10) + Dur::from_millis(500);
+        assert_eq!(t.as_nanos(), 10_500_000_000);
+    }
+
+    #[test]
+    fn instant_difference_is_duration() {
+        let a = SimTime::from_secs(4);
+        let b = SimTime::from_secs(10);
+        assert_eq!(b - a, Dur::from_secs(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn negative_elapsed_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.saturating_since(b), Dur::ZERO);
+        assert_eq!(b.saturating_since(a), Dur::from_secs(1));
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let d = Dur::from_secs_f64(13.25);
+        assert_eq!(d.as_nanos(), 13_250_000_000);
+        assert!((d.as_secs_f64() - 13.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time value")]
+    fn negative_seconds_panic() {
+        let _ = Dur::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn duration_ratio() {
+        assert!((Dur::from_secs(3) / Dur::from_secs(2) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(Dur::from_secs(2) * 3, Dur::from_secs(6));
+        assert_eq!(Dur::from_secs(6) / 3, Dur::from_secs(2));
+        assert_eq!(Dur::from_secs(2).mul_f64(1.5), Dur::from_secs(3));
+    }
+
+    #[test]
+    fn display_picks_coarsest_unit() {
+        assert_eq!(Dur::from_hours(4).to_string(), "4h");
+        assert_eq!(Dur::from_secs(90).to_string(), "90s");
+        assert_eq!(Dur::from_millis(20).to_string(), "20ms");
+        assert_eq!(Dur::from_nanos(7).to_string(), "7ns");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Dur = [Dur::from_secs(1), Dur::from_secs(2)].into_iter().sum();
+        assert_eq!(total, Dur::from_secs(3));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Dur::MAX.saturating_mul(2), Dur::MAX);
+        assert_eq!(SimTime::MAX.saturating_add(Dur::from_secs(1)), SimTime::MAX);
+        assert_eq!(Dur::from_secs(1).saturating_sub(Dur::from_secs(5)), Dur::ZERO);
+    }
+}

@@ -1,0 +1,124 @@
+//! Checksums for file integrity and `SIMFS_Bitrep` (§III-C).
+//!
+//! Two classic algorithms, implemented here because external hashing
+//! crates are out of the dependency budget:
+//!
+//! * **FNV-1a 64-bit** — the default file digest: fast, streaming,
+//!   adequate for accidental-corruption detection (not adversarial).
+//! * **CRC-32 (IEEE)** — table-driven, provided because archival tooling
+//!   conventionally reports CRCs and the simulation driver may choose it.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot FNV-1a 64-bit digest.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Streaming FNV-1a 64-bit hasher.
+#[derive(Clone, Debug)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Feeds bytes into the digest.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut h = self.state;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// The digest of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// One-shot CRC-32 (IEEE) digest.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Published CRC-32 (IEEE) test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"simulation output step 42";
+        let mut h = Fnv1a::new();
+        h.update(&data[..7]);
+        h.update(&data[7..]);
+        assert_eq!(h.finish(), fnv1a64(data));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(fnv1a64(b"step-000001"), fnv1a64(b"step-000002"));
+        assert_ne!(crc32(b"step-000001"), crc32(b"step-000002"));
+    }
+}

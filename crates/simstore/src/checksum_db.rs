@@ -1,0 +1,102 @@
+//! The bit-reproducibility checksum database (§III-C).
+//!
+//! "The simulation context keeps a map from filenames to checksums that
+//! can be updated through a command line utility at the time when the
+//! first simulation is run." Here the map is keyed by output-step key
+//! and persisted as a plain text file (`<key> <checksum-hex>` per line)
+//! next to the storage area, so it is human-inspectable and
+//! merge-friendly.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Conventional file name inside a storage area.
+pub const DB_FILENAME: &str = "checksums.db";
+
+/// Writes the checksum map (sorted by key for stable diffs).
+pub fn save(path: &Path, db: &HashMap<u64, u64>) -> io::Result<()> {
+    let mut entries: Vec<(&u64, &u64)> = db.iter().collect();
+    entries.sort();
+    let mut out = String::with_capacity(entries.len() * 26);
+    for (key, sum) in entries {
+        out.push_str(&format!("{key} {sum:016x}\n"));
+    }
+    fs::write(path, out)
+}
+
+/// Reads a checksum map written by [`save`]. Blank lines and `#`
+/// comments are ignored.
+pub fn load(path: &Path) -> io::Result<HashMap<u64, u64>> {
+    let text = fs::read_to_string(path)?;
+    let mut db = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, sum) = line.split_once(' ').ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checksum db line {}: missing separator", lineno + 1),
+            )
+        })?;
+        let key: u64 = key.parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checksum db line {}: {e}", lineno + 1),
+            )
+        })?;
+        let sum = u64::from_str_radix(sum.trim(), 16).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checksum db line {}: {e}", lineno + 1),
+            )
+        })?;
+        db.insert(key, sum);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ckdb-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(DB_FILENAME);
+        let mut db = HashMap::new();
+        db.insert(1, 0xdeadbeef);
+        db.insert(99, u64::MAX);
+        save(&path, &db).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, db);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let dir = std::env::temp_dir().join(format!("ckdb2-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(DB_FILENAME);
+        fs::write(&path, "# header\n\n5 00000000000000ff\n").unwrap();
+        let db = load(&path).unwrap();
+        assert_eq!(db.get(&5), Some(&0xff));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("ckdb3-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(DB_FILENAME);
+        fs::write(&path, "not-a-key ff\n").unwrap();
+        assert!(load(&path).is_err());
+        fs::write(&path, "5\n").unwrap();
+        assert!(load(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

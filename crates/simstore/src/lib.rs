@@ -1,0 +1,27 @@
+//! # simstore — storage substrate for SimFS
+//!
+//! The paper's deployment writes simulation output through netCDF/HDF5
+//! onto Lustre. This crate is the equivalent substrate built from
+//! scratch:
+//!
+//! * [`sdf`] — the **S**elf-**D**escribing **F**ormat, a compact binary
+//!   array container playing the role of netCDF: named n-dimensional
+//!   variables, string attributes, a step index and simulated time, and
+//!   an integrity checksum. Encoding is canonical (attributes are
+//!   ordered), so bitwise-identical simulation states produce
+//!   bitwise-identical files — the property `SIMFS_Bitrep` verifies.
+//! * [`checksum`] — FNV-1a (64-bit) and CRC-32 implemented in-crate; the
+//!   driver's checksum function for bit-reproducibility checks (§III-C).
+//! * [`area`] — storage areas: the per-context directories the DV
+//!   redirects simulator output into (§III-A), with atomic
+//!   write-then-rename publication so analyses never observe partially
+//!   written output steps.
+
+pub mod area;
+pub mod checksum;
+pub mod checksum_db;
+pub mod sdf;
+
+pub use area::StorageArea;
+pub use checksum::{crc32, fnv1a64, Fnv1a};
+pub use sdf::{Data, Dataset, DType, SdfError, Variable};

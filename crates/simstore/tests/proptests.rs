@@ -1,0 +1,90 @@
+//! Property tests: SDF roundtrips for arbitrary datasets, checksum
+//! stability, corruption detection.
+
+use proptest::prelude::*;
+use simstore::{crc32, fnv1a64, Data, Dataset, Fnv1a};
+
+fn arb_data() -> impl Strategy<Value = (Vec<u64>, Data)> {
+    // Shapes with ≤ 3 dims and ≤ 64 total elements, matching payload.
+    let dims = prop::collection::vec(1u64..5, 0..3);
+    dims.prop_flat_map(|dims| {
+        let n: u64 = dims.iter().product();
+        let n = n as usize;
+        let data = prop_oneof![
+            prop::collection::vec(any::<f64>().prop_filter("finite", |x| x.is_finite()), n..=n)
+                .prop_map(Data::F64),
+            prop::collection::vec(any::<f32>().prop_filter("finite", |x| x.is_finite()), n..=n)
+                .prop_map(Data::F32),
+            prop::collection::vec(any::<i64>(), n..=n).prop_map(Data::I64),
+            prop::collection::vec(any::<u8>(), n..=n).prop_map(Data::U8),
+        ];
+        (Just(dims), data)
+    })
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        any::<u64>(),
+        -1e12f64..1e12,
+        prop::collection::btree_map("[a-z]{1,8}", "[ -~]{0,16}", 0..5),
+        prop::collection::vec(arb_data(), 0..4),
+    )
+        .prop_map(|(step, time, attrs, vars)| {
+            let mut ds = Dataset::new(step, time);
+            for (k, v) in attrs {
+                ds.set_attr(k, v);
+            }
+            for (i, (dims, data)) in vars.into_iter().enumerate() {
+                ds.add_var(format!("var{i}"), dims, data).unwrap();
+            }
+            ds
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sdf_roundtrip(ds in arb_dataset()) {
+        let encoded = ds.encode();
+        let decoded = Dataset::decode(&encoded).unwrap();
+        prop_assert_eq!(&ds, &decoded);
+        // Re-encoding the decoded dataset is byte-identical (canonical).
+        prop_assert_eq!(encoded, decoded.encode());
+    }
+
+    #[test]
+    fn sdf_digest_is_deterministic(ds in arb_dataset()) {
+        prop_assert_eq!(ds.digest(), ds.clone().digest());
+    }
+
+    #[test]
+    fn single_bitflip_always_detected(ds in arb_dataset(), flip in any::<prop::sample::Index>()) {
+        let encoded = ds.encode().to_vec();
+        let mut bad = encoded.clone();
+        let pos = flip.index(bad.len());
+        bad[pos] ^= 0x40;
+        // Either the checksum catches it, or (if the flip hit the footer
+        // itself) the mismatch is still reported.
+        prop_assert!(Dataset::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn fnv_streaming_matches_oneshot(chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..8)) {
+        let mut h = Fnv1a::new();
+        let mut all = Vec::new();
+        for c in &chunks {
+            h.update(c);
+            all.extend_from_slice(c);
+        }
+        prop_assert_eq!(h.finish(), fnv1a64(&all));
+    }
+
+    #[test]
+    fn checksums_differ_on_prefix_extension(data in prop::collection::vec(any::<u8>(), 1..64)) {
+        let shorter = &data[..data.len() - 1];
+        // Not cryptographic, but these should essentially never collide
+        // on a one-byte extension.
+        prop_assert!(fnv1a64(shorter) != fnv1a64(&data) || crc32(shorter) != crc32(&data));
+    }
+}

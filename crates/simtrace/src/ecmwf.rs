@@ -1,0 +1,243 @@
+//! ECMWF-like synthetic archival trace.
+//!
+//! The paper replays a trace of the ECMWF ECFS archival system
+//! (Grawinkel et al., FAST'15): "The resulting trace accesses 874
+//! different files for a total of 659,989 times." The raw trace is not
+//! publicly redistributable, so this module synthesizes a stream with
+//! the same aggregate shape:
+//!
+//! * **Popularity skew** — archival access frequency is classically
+//!   Zipf-distributed: rank-`r` file drawing probability ∝ `1/r^theta`.
+//!   We default to `theta = 0.9`, the skew regime reported for archive
+//!   workloads in the FAST'15 study.
+//! * **Session bursts** — users retrieve runs of consecutive model
+//!   outputs: with probability `session_p` the next access continues a
+//!   sequential session from the current file instead of an independent
+//!   Zipf draw.
+//! * **Popularity-rank shuffling** — hot files are spread over the
+//!   timeline rather than clustered at step 0.
+//!
+//! What matters for the cache experiments is reuse structure (skew +
+//! bursts), not which particular files are hot; see DESIGN.md §3.
+
+use crate::Trace;
+use rand::Rng;
+use simkit::SimRng;
+
+/// Parameters of the synthetic archival trace.
+#[derive(Clone, Debug)]
+pub struct EcmwfSpec {
+    /// Number of distinct files touched (paper: 874).
+    pub n_files: u64,
+    /// Total number of accesses (paper: 659,989).
+    pub n_accesses: u64,
+    /// Zipf exponent of the popularity distribution.
+    pub theta: f64,
+    /// Probability that an access continues a sequential session.
+    pub session_p: f64,
+}
+
+impl Default for EcmwfSpec {
+    fn default() -> Self {
+        EcmwfSpec {
+            n_files: 874,
+            n_accesses: 659_989,
+            theta: 0.9,
+            session_p: 0.6,
+        }
+    }
+}
+
+impl EcmwfSpec {
+    /// A spec with the paper's published file/access counts but a
+    /// reduced access count, for fast tests.
+    pub fn scaled(n_accesses: u64) -> Self {
+        EcmwfSpec {
+            n_accesses,
+            ..Default::default()
+        }
+    }
+
+    /// Generates the trace over a timeline of `n_files` steps. The
+    /// produced step keys are `0..n_files`.
+    pub fn generate(&self, rng: &mut SimRng) -> Trace {
+        assert!(self.n_files > 0, "need at least one file");
+        assert!(self.theta >= 0.0, "Zipf exponent must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&self.session_p),
+            "session probability in [0,1)"
+        );
+
+        let zipf = ZipfSampler::new(self.n_files, self.theta);
+        // Map popularity rank -> step id, shuffled so hot steps are
+        // scattered across the timeline (Fisher-Yates).
+        let mut rank_to_step: Vec<u64> = (0..self.n_files).collect();
+        for i in (1..rank_to_step.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            rank_to_step.swap(i, j);
+        }
+
+        let mut steps = Vec::with_capacity(self.n_accesses as usize);
+        let mut session_cursor: Option<u64> = None;
+        for _ in 0..self.n_accesses {
+            let continue_session =
+                session_cursor.is_some() && rng.gen_bool(self.session_p);
+            let step = if continue_session {
+                let next = (session_cursor.unwrap() + 1) % self.n_files;
+                next
+            } else {
+                let rank = zipf.sample(rng);
+                rank_to_step[rank as usize]
+            };
+            session_cursor = Some(step);
+            steps.push(step);
+        }
+        Trace::single(steps)
+    }
+}
+
+/// Inverse-CDF Zipf sampler over ranks `0..n` with exponent `theta`.
+///
+/// Precomputes the cumulative mass; sampling is a binary search —
+/// O(log n) per draw, exact (no rejection), deterministic given the RNG.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler. `theta == 0` degenerates to uniform.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for x in &mut cdf {
+            *x /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // First index with cdf >= u.
+        let mut lo = 0usize;
+        let mut hi = self.cdf.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cdf[mid] < u {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SeedSeq;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipf_rank0_is_most_popular() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = SeedSeq::new(1).rng(0);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Zipf(1.0): rank 0 ≈ 2x rank 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.6..2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = SeedSeq::new(2).rng(0);
+        let mut counts = vec![0u64; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.2, "not uniform: {counts:?}");
+    }
+
+    #[test]
+    fn trace_matches_published_file_count() {
+        let spec = EcmwfSpec::scaled(20_000);
+        let mut rng = SeedSeq::new(3).rng(0);
+        let t = spec.generate(&mut rng);
+        assert_eq!(t.len(), 20_000);
+        // All steps within the 874-file universe.
+        assert!(t.accesses.iter().all(|a| a.step < 874));
+        // With 20k accesses and theta=0.9 skew + sessions, most files get
+        // touched.
+        assert!(t.distinct_steps() > 500);
+    }
+
+    #[test]
+    fn trace_is_skewed() {
+        let spec = EcmwfSpec::scaled(50_000);
+        let mut rng = SeedSeq::new(4).rng(0);
+        let t = spec.generate(&mut rng);
+        let mut freq: HashMap<u64, u64> = HashMap::new();
+        for a in &t.accesses {
+            *freq.entry(a.step).or_default() += 1;
+        }
+        let mut counts: Vec<u64> = freq.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // Top-10% of files take far more than 10% of accesses.
+        let top = counts.iter().take(counts.len() / 10).sum::<u64>() as f64;
+        assert!(
+            top / 50_000.0 > 0.25,
+            "expected skew, top decile has {:.1}%",
+            top / 500.0
+        );
+    }
+
+    #[test]
+    fn trace_has_sequential_sessions() {
+        let spec = EcmwfSpec::scaled(20_000);
+        let mut rng = SeedSeq::new(5).rng(0);
+        let t = spec.generate(&mut rng);
+        let seq = t
+            .accesses
+            .windows(2)
+            .filter(|w| w[1].step == (w[0].step + 1) % 874)
+            .count() as f64;
+        let frac = seq / (t.len() - 1) as f64;
+        assert!(
+            (0.4..0.8).contains(&frac),
+            "session fraction {frac} outside expectation"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = EcmwfSpec::scaled(5_000);
+        let a = spec.generate(&mut SeedSeq::new(6).rng(0));
+        let b = spec.generate(&mut SeedSeq::new(6).rng(0));
+        assert_eq!(a, b);
+        let c = spec.generate(&mut SeedSeq::new(7).rng(0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn default_matches_paper_statistics() {
+        let spec = EcmwfSpec::default();
+        assert_eq!(spec.n_files, 874);
+        assert_eq!(spec.n_accesses, 659_989);
+    }
+}

@@ -1,0 +1,149 @@
+//! Overlap interleaving of multiple analyses (§V-A).
+//!
+//! "These analysis can overlap in time and this overlap can affect the
+//! state of the SimFS cache. We express the analysis overlap as the
+//! percentage of accesses that an analysis performs without being
+//! interleaved with others' execution."
+//!
+//! Model: with overlap fraction `p`, analysis `j+1` starts once analysis
+//! `j` has issued `(1 - p)` of its accesses; all currently active
+//! analyses then proceed round-robin. `p = 0` is strictly sequential
+//! execution; `p = 1` starts everything together, fully interleaved.
+
+use crate::{Trace, TraceAccess};
+
+/// Merges per-analysis step sequences into one trace with the given
+/// overlap fraction (`0.0 ..= 1.0`).
+///
+/// # Panics
+/// Panics if `overlap` is outside `[0, 1]` or not finite.
+pub fn interleave_with_overlap(analyses: &[Vec<u64>], overlap: f64) -> Trace {
+    assert!(
+        overlap.is_finite() && (0.0..=1.0).contains(&overlap),
+        "overlap fraction out of range: {overlap}"
+    );
+    let n = analyses.len();
+    let mut cursors = vec![0usize; n]; // next index per analysis
+    let mut started = vec![false; n];
+    let mut accesses = Vec::with_capacity(analyses.iter().map(Vec::len).sum());
+
+    if n == 0 {
+        return Trace::default();
+    }
+    started[0] = true;
+
+    loop {
+        let mut progressed = false;
+        for j in 0..n {
+            if !started[j] || cursors[j] >= analyses[j].len() {
+                continue;
+            }
+            accesses.push(TraceAccess {
+                analysis: j as u32,
+                step: analyses[j][cursors[j]],
+            });
+            cursors[j] += 1;
+            progressed = true;
+
+            // Start the successor once this analysis has issued
+            // (1 - overlap) of its accesses.
+            if j + 1 < n && !started[j + 1] {
+                let threshold = ((analyses[j].len() as f64) * (1.0 - overlap)).ceil() as usize;
+                if cursors[j] >= threshold.min(analyses[j].len()) {
+                    started[j + 1] = true;
+                }
+            }
+        }
+        if !progressed {
+            // Either everything is done, or the next unstarted analysis
+            // is gated by a finished predecessor: start it.
+            if let Some(j) = (0..n).find(|&j| !started[j]) {
+                started[j] = true;
+                continue;
+            }
+            break;
+        }
+    }
+    Trace { accesses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs() -> Vec<Vec<u64>> {
+        vec![vec![0, 1, 2, 3], vec![10, 11, 12, 13], vec![20, 21, 22, 23]]
+    }
+
+    #[test]
+    fn zero_overlap_is_sequential() {
+        let t = interleave_with_overlap(&seqs(), 0.0);
+        let steps: Vec<u64> = t.accesses.iter().map(|a| a.step).collect();
+        assert_eq!(
+            steps,
+            vec![0, 1, 2, 3, 10, 11, 12, 13, 20, 21, 22, 23],
+            "analyses run back-to-back"
+        );
+    }
+
+    #[test]
+    fn full_overlap_is_round_robin() {
+        let t = interleave_with_overlap(&seqs(), 1.0);
+        let steps: Vec<u64> = t.accesses.iter().map(|a| a.step).collect();
+        assert_eq!(
+            steps,
+            vec![0, 10, 20, 1, 11, 21, 2, 12, 22, 3, 13, 23],
+            "all analyses proceed together"
+        );
+    }
+
+    #[test]
+    fn partial_overlap_staggers_starts() {
+        let t = interleave_with_overlap(&seqs(), 0.5);
+        // Analysis 1 must not appear before analysis 0 issued 2 accesses.
+        let first_of_1 = t
+            .accesses
+            .iter()
+            .position(|a| a.analysis == 1)
+            .expect("analysis 1 present");
+        let zero_before = t.accesses[..first_of_1]
+            .iter()
+            .filter(|a| a.analysis == 0)
+            .count();
+        assert!(zero_before >= 2, "only {zero_before} accesses of 0 first");
+    }
+
+    #[test]
+    fn all_accesses_preserved_in_order_per_analysis() {
+        for overlap in [0.0, 0.3, 0.7, 1.0] {
+            let t = interleave_with_overlap(&seqs(), overlap);
+            assert_eq!(t.len(), 12, "overlap {overlap}");
+            for j in 0..3u32 {
+                let per: Vec<u64> = t
+                    .accesses
+                    .iter()
+                    .filter(|a| a.analysis == j)
+                    .map(|a| a.step)
+                    .collect();
+                assert_eq!(per, seqs()[j as usize], "analysis {j} reordered");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_unequal_lengths() {
+        let t = interleave_with_overlap(&[], 0.5);
+        assert!(t.is_empty());
+        let t = interleave_with_overlap(&[vec![], vec![1, 2]], 0.0);
+        let steps: Vec<u64> = t.accesses.iter().map(|a| a.step).collect();
+        assert_eq!(steps, vec![1, 2]);
+        let t = interleave_with_overlap(&[vec![1], vec![2, 3, 4], vec![5]], 1.0);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap fraction out of range")]
+    fn bad_overlap_panics() {
+        interleave_with_overlap(&[vec![1]], 1.5);
+    }
+}

@@ -1,0 +1,192 @@
+//! # simtrace — analysis access-pattern generators
+//!
+//! The replacement-scheme evaluation (Fig. 5) and the cost studies
+//! (Figs. 1, 12–14) drive SimFS with synthetic analysis workloads:
+//!
+//! * **forward / backward scans** — time-ordered traversals, the common
+//!   visualization and root-cause-analysis patterns (§IV-B);
+//! * **random accesses** — uniformly chosen output steps;
+//! * **ECMWF-like archival accesses** — the paper replays a proprietary
+//!   trace of the ECMWF ECFS archive (874 distinct files, 659,989
+//!   accesses, Jan 2012–May 2014). That trace is not redistributable, so
+//!   [`ecmwf`] synthesizes an equivalent stream with the published
+//!   aggregate statistics: Zipf-skewed file popularity plus bursty
+//!   sessions of neighbouring steps (archival users fetch runs of
+//!   consecutive model outputs). See DESIGN.md §3 for the substitution
+//!   rationale.
+//! * **overlap interleaving** — §V-A expresses multi-analysis pressure
+//!   as the percentage of an analysis' accesses that are interleaved
+//!   with other analyses; [`interleave`] implements that merge.
+//!
+//! All generators are deterministic functions of a [`simkit::SimRng`].
+
+pub mod ecmwf;
+pub mod interleave;
+pub mod scan;
+
+pub use ecmwf::EcmwfSpec;
+pub use interleave::interleave_with_overlap;
+pub use scan::{backward_scan, fig5_trace, forward_scan, random_accesses, strided_scan};
+
+use serde::{Deserialize, Serialize};
+
+/// The access patterns evaluated in Fig. 5, in the paper's tile order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Backward-in-time trajectories.
+    Backward,
+    /// ECMWF-like archival accesses.
+    Ecmwf,
+    /// Forward-in-time trajectories.
+    Forward,
+    /// Uniformly random accesses.
+    Random,
+}
+
+impl Pattern {
+    /// All patterns in figure order.
+    pub const ALL: [Pattern; 4] = [
+        Pattern::Backward,
+        Pattern::Ecmwf,
+        Pattern::Forward,
+        Pattern::Random,
+    ];
+
+    /// The tile label used in Fig. 5.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::Backward => "Backward",
+            Pattern::Ecmwf => "ECMWF",
+            Pattern::Forward => "Forward",
+            Pattern::Random => "Random",
+        }
+    }
+}
+
+/// One access in a multi-analysis trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceAccess {
+    /// Which analysis issued the access (0-based).
+    pub analysis: u32,
+    /// The output-step key accessed.
+    pub step: u64,
+}
+
+/// A flat access trace, optionally attributed to multiple analyses.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Accesses in issue order.
+    pub accesses: Vec<TraceAccess>,
+}
+
+impl Trace {
+    /// A single-analysis trace from a step sequence.
+    pub fn single(steps: impl IntoIterator<Item = u64>) -> Trace {
+        Trace {
+            accesses: steps
+                .into_iter()
+                .map(|step| TraceAccess { analysis: 0, step })
+                .collect(),
+        }
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if the trace has no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Number of distinct steps touched.
+    pub fn distinct_steps(&self) -> usize {
+        let mut steps: Vec<u64> = self.accesses.iter().map(|a| a.step).collect();
+        steps.sort_unstable();
+        steps.dedup();
+        steps.len()
+    }
+
+    /// Serializes to a simple `analysis,step` CSV body (one line per
+    /// access) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.accesses.len() * 8);
+        out.push_str("analysis,step\n");
+        for a in &self.accesses {
+            out.push_str(&format!("{},{}\n", a.analysis, a.step));
+        }
+        out
+    }
+
+    /// Parses the format produced by [`Trace::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Trace, String> {
+        let mut accesses = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 && line.starts_with("analysis") {
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (a, s) = line
+                .split_once(',')
+                .ok_or_else(|| format!("line {}: missing comma", i + 1))?;
+            accesses.push(TraceAccess {
+                analysis: a
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", i + 1))?,
+                step: s
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", i + 1))?,
+            });
+        }
+        Ok(Trace { accesses })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_trace_construction() {
+        let t = Trace::single([3, 2, 1]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.accesses[0], TraceAccess { analysis: 0, step: 3 });
+        assert_eq!(t.distinct_steps(), 3);
+    }
+
+    #[test]
+    fn distinct_counts_dedupe() {
+        let t = Trace::single([1, 1, 2, 2, 2]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.distinct_steps(), 2);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = Trace {
+            accesses: vec![
+                TraceAccess { analysis: 0, step: 10 },
+                TraceAccess { analysis: 1, step: 20 },
+            ],
+        };
+        let csv = t.to_csv();
+        assert_eq!(Trace::from_csv(&csv).unwrap(), t);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(Trace::from_csv("analysis,step\nnot-a-number,5\n").is_err());
+        assert!(Trace::from_csv("analysis,step\n3 5\n").is_err());
+    }
+
+    #[test]
+    fn pattern_labels() {
+        assert_eq!(Pattern::Ecmwf.label(), "ECMWF");
+        assert_eq!(Pattern::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,170 @@
+//! Scan-pattern generators: forward, backward, strided, random, and the
+//! concatenated multi-trace workload of Fig. 5.
+
+use crate::{Pattern, Trace};
+use rand::Rng;
+use simkit::SimRng;
+
+/// Forward scan of `len` steps starting at `start` (clamped so the scan
+/// fits inside `0..timeline_steps`).
+pub fn forward_scan(timeline_steps: u64, start: u64, len: u64) -> Vec<u64> {
+    assert!(timeline_steps > 0, "empty timeline");
+    let len = len.min(timeline_steps);
+    let start = start.min(timeline_steps - len);
+    (start..start + len).collect()
+}
+
+/// Backward scan of `len` steps ending at... starting from a high step
+/// and walking down, clamped to fit.
+pub fn backward_scan(timeline_steps: u64, start_high: u64, len: u64) -> Vec<u64> {
+    assert!(timeline_steps > 0, "empty timeline");
+    let len = len.min(timeline_steps);
+    let start_high = start_high.clamp(len - 1, timeline_steps - 1);
+    (0..len).map(|i| start_high - i).collect()
+}
+
+/// k-strided forward (`stride > 0`) or backward (`stride < 0`) scan of
+/// `len` accesses from `start`, truncated at the timeline boundary.
+pub fn strided_scan(timeline_steps: u64, start: u64, len: u64, stride: i64) -> Vec<u64> {
+    assert!(stride != 0, "stride must be non-zero");
+    let mut out = Vec::with_capacity(len as usize);
+    let mut cur = start as i128;
+    for _ in 0..len {
+        if cur < 0 || cur >= timeline_steps as i128 {
+            break;
+        }
+        out.push(cur as u64);
+        cur += stride as i128;
+    }
+    out
+}
+
+/// `len` uniformly random accesses over the timeline.
+pub fn random_accesses(rng: &mut SimRng, timeline_steps: u64, len: u64) -> Vec<u64> {
+    assert!(timeline_steps > 0, "empty timeline");
+    (0..len).map(|_| rng.gen_range(0..timeline_steps)).collect()
+}
+
+/// The Fig. 5 workload: `n_traces` single-analysis traces of the given
+/// pattern, each starting at a random point of the timeline and
+/// accessing a random number of steps in `len_range`, concatenated into
+/// one stream (§III-D: 50 traces of 100–400 accesses each).
+///
+/// For [`Pattern::Ecmwf`] use [`crate::ecmwf::EcmwfSpec`] instead; this
+/// function panics on it.
+pub fn fig5_trace(
+    rng: &mut SimRng,
+    pattern: Pattern,
+    timeline_steps: u64,
+    n_traces: u32,
+    len_range: (u64, u64),
+) -> Trace {
+    assert!(
+        pattern != Pattern::Ecmwf,
+        "ECMWF traces come from EcmwfSpec, not fig5_trace"
+    );
+    assert!(len_range.0 >= 1 && len_range.0 <= len_range.1);
+    let mut steps = Vec::new();
+    for _ in 0..n_traces {
+        let len = rng.gen_range(len_range.0..=len_range.1).min(timeline_steps);
+        let start = rng.gen_range(0..timeline_steps);
+        let part = match pattern {
+            Pattern::Forward => forward_scan(timeline_steps, start, len),
+            Pattern::Backward => backward_scan(timeline_steps, start, len),
+            Pattern::Random => random_accesses(rng, timeline_steps, len),
+            Pattern::Ecmwf => unreachable!(),
+        };
+        steps.extend(part);
+    }
+    Trace::single(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SeedSeq;
+
+    #[test]
+    fn forward_scan_is_consecutive() {
+        assert_eq!(forward_scan(100, 10, 5), vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn forward_scan_clamps_to_fit() {
+        assert_eq!(forward_scan(10, 8, 5), vec![5, 6, 7, 8, 9]);
+        assert_eq!(forward_scan(3, 0, 10), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn backward_scan_descends() {
+        assert_eq!(backward_scan(100, 14, 5), vec![14, 13, 12, 11, 10]);
+    }
+
+    #[test]
+    fn backward_scan_clamps_to_fit() {
+        // start too low for the length: raised so the scan fits.
+        assert_eq!(backward_scan(100, 2, 5), vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn strided_scans() {
+        assert_eq!(strided_scan(100, 0, 4, 3), vec![0, 3, 6, 9]);
+        assert_eq!(strided_scan(100, 9, 4, -3), vec![9, 6, 3, 0]);
+        // truncation at boundary
+        assert_eq!(strided_scan(10, 8, 5, 3), vec![8]);
+        assert_eq!(strided_scan(10, 1, 5, -2), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be non-zero")]
+    fn zero_stride_panics() {
+        strided_scan(10, 0, 3, 0);
+    }
+
+    #[test]
+    fn random_accesses_in_range() {
+        let mut rng = SeedSeq::new(1).rng(0);
+        let xs = random_accesses(&mut rng, 50, 500);
+        assert_eq!(xs.len(), 500);
+        assert!(xs.iter().all(|&x| x < 50));
+        // Not all identical (probability ~0 with a working RNG).
+        assert!(xs.iter().any(|&x| x != xs[0]));
+    }
+
+    #[test]
+    fn fig5_trace_shape() {
+        let mut rng = SeedSeq::new(2).rng(0);
+        let t = fig5_trace(&mut rng, Pattern::Forward, 1152, 50, (100, 400));
+        assert!(t.len() >= 50 * 100 && t.len() <= 50 * 400);
+        assert!(t.accesses.iter().all(|a| a.step < 1152));
+    }
+
+    #[test]
+    fn fig5_trace_is_seed_deterministic() {
+        let a = fig5_trace(&mut SeedSeq::new(3).rng(0), Pattern::Backward, 1152, 10, (100, 400));
+        let b = fig5_trace(&mut SeedSeq::new(3).rng(0), Pattern::Backward, 1152, 10, (100, 400));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fig5_backward_runs_descend() {
+        let mut rng = SeedSeq::new(4).rng(0);
+        let t = fig5_trace(&mut rng, Pattern::Backward, 1152, 5, (50, 60));
+        // Within each sub-trace the steps descend by one.
+        let steps: Vec<u64> = t.accesses.iter().map(|a| a.step).collect();
+        let mut descents = 0;
+        for w in steps.windows(2) {
+            if w[0] > 0 && w[1] == w[0] - 1 {
+                descents += 1;
+            }
+        }
+        assert!(descents as f64 > steps.len() as f64 * 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ECMWF")]
+    fn fig5_rejects_ecmwf() {
+        let mut rng = SeedSeq::new(5).rng(0);
+        fig5_trace(&mut rng, Pattern::Ecmwf, 100, 1, (1, 2));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests: generator bounds, interleaving preservation, CSV
+//! roundtrips, Zipf normalization.
+
+use proptest::prelude::*;
+use simkit::SeedSeq;
+use simtrace::ecmwf::ZipfSampler;
+use simtrace::{
+    backward_scan, fig5_trace, forward_scan, interleave_with_overlap, strided_scan, EcmwfSpec,
+    Pattern, Trace,
+};
+
+proptest! {
+    /// Scans stay inside the timeline and have the requested length
+    /// (when it fits).
+    #[test]
+    fn scans_are_bounded(timeline in 1u64..10_000, start in 0u64..10_000, len in 1u64..500) {
+        let f = forward_scan(timeline, start, len);
+        prop_assert_eq!(f.len() as u64, len.min(timeline));
+        prop_assert!(f.iter().all(|&k| k < timeline));
+        prop_assert!(f.windows(2).all(|w| w[1] == w[0] + 1));
+
+        let b = backward_scan(timeline, start, len);
+        prop_assert_eq!(b.len() as u64, len.min(timeline));
+        prop_assert!(b.iter().all(|&k| k < timeline));
+        prop_assert!(b.windows(2).all(|w| w[1] + 1 == w[0]));
+    }
+
+    /// Strided scans respect the stride exactly until truncation.
+    #[test]
+    fn strided_scan_steps_by_stride(
+        timeline in 10u64..10_000,
+        start in 0u64..10_000,
+        len in 1u64..200,
+        stride in (-20i64..20).prop_filter("non-zero", |s| *s != 0),
+    ) {
+        let start = start % timeline;
+        let s = strided_scan(timeline, start, len, stride);
+        prop_assert!(s.len() as u64 <= len);
+        prop_assert!(s.iter().all(|&k| k < timeline));
+        for w in s.windows(2) {
+            prop_assert_eq!(w[1] as i64 - w[0] as i64, stride);
+        }
+        if !s.is_empty() {
+            prop_assert_eq!(s[0], start);
+        }
+    }
+
+    /// Interleaving preserves each analysis' accesses and order for any
+    /// overlap.
+    #[test]
+    fn interleave_preserves_streams(
+        lens in prop::collection::vec(0usize..30, 1..6),
+        overlap in 0.0f64..=1.0,
+    ) {
+        let analyses: Vec<Vec<u64>> = lens
+            .iter()
+            .enumerate()
+            .map(|(j, &len)| (0..len as u64).map(|i| j as u64 * 1000 + i).collect())
+            .collect();
+        let trace = interleave_with_overlap(&analyses, overlap);
+        prop_assert_eq!(trace.len(), lens.iter().sum::<usize>());
+        for (j, expected) in analyses.iter().enumerate() {
+            let got: Vec<u64> = trace
+                .accesses
+                .iter()
+                .filter(|a| a.analysis == j as u32)
+                .map(|a| a.step)
+                .collect();
+            prop_assert_eq!(&got, expected, "analysis {} reordered", j);
+        }
+    }
+
+    /// Fig. 5 traces: all keys in range, deterministic per seed.
+    #[test]
+    fn fig5_traces_bounded_and_deterministic(
+        seed in any::<u64>(),
+        timeline in 50u64..2000,
+        n_traces in 1u32..10,
+    ) {
+        for pattern in [Pattern::Forward, Pattern::Backward, Pattern::Random] {
+            let a = fig5_trace(&mut SeedSeq::new(seed).rng(0), pattern, timeline, n_traces, (10, 40));
+            let b = fig5_trace(&mut SeedSeq::new(seed).rng(0), pattern, timeline, n_traces, (10, 40));
+            prop_assert_eq!(&a, &b);
+            prop_assert!(a.accesses.iter().all(|x| x.step < timeline));
+        }
+    }
+
+    /// ECMWF trace: exact access count, all steps < n_files.
+    #[test]
+    fn ecmwf_trace_contract(seed in any::<u64>(), n in 100u64..5000) {
+        let spec = EcmwfSpec::scaled(n);
+        let t = spec.generate(&mut SeedSeq::new(seed).rng(0));
+        prop_assert_eq!(t.len() as u64, n);
+        prop_assert!(t.accesses.iter().all(|a| a.step < spec.n_files));
+    }
+
+    /// Zipf sampler: all ranks reachable-in-range, deterministic per
+    /// seed stream.
+    #[test]
+    fn zipf_sampler_in_range(n in 1u64..500, theta in 0.0f64..2.0, seed in any::<u64>()) {
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = SeedSeq::new(seed).rng(0);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// CSV roundtrips for arbitrary traces.
+    #[test]
+    fn csv_roundtrip(pairs in prop::collection::vec((0u32..8, 0u64..100_000), 0..100)) {
+        let trace = Trace {
+            accesses: pairs
+                .into_iter()
+                .map(|(analysis, step)| simtrace::TraceAccess { analysis, step })
+                .collect(),
+        };
+        prop_assert_eq!(Trace::from_csv(&trace.to_csv()).unwrap(), trace);
+    }
+}

@@ -1,0 +1,247 @@
+//! # simulators — restartable simulation substrates
+//!
+//! SimFS only ever observes a simulator through a narrow interface: it
+//! proceeds forward in time, emits an *output step* every `Δd` timesteps
+//! and a *restart step* every `Δr` timesteps, can be restarted from any
+//! restart step, and — for `SIMFS_Bitrep` — reproduces bitwise-identical
+//! output when re-run from the same restart (§II).
+//!
+//! The paper evaluates with COSMO (climate) and FLASH (astrophysics),
+//! neither of which is runnable here; this crate provides three
+//! substrates that exercise the same contract (substitutions documented
+//! in DESIGN.md §3):
+//!
+//! * [`SyntheticSim`] — the paper's own methodology for Figs. 17/19
+//!   ("we use a synthetic simulator that can be configured to produce
+//!   output steps at a given rate and after a given restart latency");
+//!   state is a deterministic counter-derived field.
+//! * [`Heat2d`] — a 2-D advection–diffusion stencil code standing in for
+//!   COSMO: a real explicit PDE integrator with full-state checkpoints.
+//! * [`Sedov`] — a 2-D finite-volume compressible-Euler solver (Rusanov
+//!   fluxes) evolving a Sedov blast wave, standing in for the paper's
+//!   FLASH/Sedov experiment (§VI).
+//!
+//! All three are strictly sequential f64 arithmetic: re-running a
+//! segment from the same checkpoint is bitwise reproducible by
+//! construction, which the test suites assert byte-for-byte.
+
+pub mod heat2d;
+pub mod sedov;
+pub mod synthetic;
+
+pub use heat2d::Heat2d;
+pub use sedov::Sedov;
+pub use synthetic::SyntheticSim;
+
+use simstore::{Dataset, SdfError};
+use std::fmt;
+
+/// Errors raised by simulator construction and restart loading.
+#[derive(Debug)]
+pub enum SimError {
+    /// Restart dataset does not belong to this simulator/configuration.
+    RestartMismatch(String),
+    /// Restart dataset is structurally broken.
+    BadRestart(SdfError),
+    /// Invalid construction parameters.
+    BadConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RestartMismatch(msg) => write!(f, "restart mismatch: {msg}"),
+            SimError::BadRestart(e) => write!(f, "bad restart file: {e}"),
+            SimError::BadConfig(msg) => write!(f, "bad simulator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<SdfError> for SimError {
+    fn from(e: SdfError) -> Self {
+        SimError::BadRestart(e)
+    }
+}
+
+/// The contract SimFS requires from a simulator (§II-A).
+pub trait RestartableSim {
+    /// Simulator name, used in file naming and restart validation.
+    fn name(&self) -> &'static str;
+
+    /// Advances the simulation by one timestep.
+    fn step(&mut self);
+
+    /// Current timestep index (0 before the first [`step`](Self::step),
+    /// unless restarted).
+    fn timestep(&self) -> u64;
+
+    /// Serializes the *complete* state into a restart dataset: loading
+    /// it must make a fresh simulator bitwise-identical to this one.
+    fn save_restart(&self) -> Dataset;
+
+    /// Restores the complete state from a restart dataset.
+    fn load_restart(&mut self, ds: &Dataset) -> Result<(), SimError>;
+
+    /// The output dataset for the current timestep (the analysis-facing
+    /// data).
+    fn output(&self) -> Dataset;
+}
+
+/// Which substrate to instantiate (driver configuration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimKind {
+    /// Counter-derived deterministic field.
+    Synthetic,
+    /// 2-D advection–diffusion (COSMO proxy).
+    Heat2d,
+    /// 2-D Sedov blast wave (FLASH proxy).
+    Sedov,
+}
+
+impl SimKind {
+    /// Parses a kind from its configuration name.
+    pub fn from_name(name: &str) -> Option<SimKind> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "synthetic" => SimKind::Synthetic,
+            "heat2d" => SimKind::Heat2d,
+            "sedov" => SimKind::Sedov,
+            _ => return None,
+        })
+    }
+
+    /// The configuration name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimKind::Synthetic => "synthetic",
+            SimKind::Heat2d => "heat2d",
+            SimKind::Sedov => "sedov",
+        }
+    }
+}
+
+/// Builds a simulator of the given kind with default parameters and the
+/// given seed (seeds select deterministic initial conditions).
+pub fn build_sim(kind: SimKind, seed: u64) -> Box<dyn RestartableSim + Send> {
+    match kind {
+        SimKind::Synthetic => Box::new(SyntheticSim::new(seed)),
+        SimKind::Heat2d => Box::new(Heat2d::new(32, 32, seed)),
+        SimKind::Sedov => Box::new(Sedov::new(48, 48)),
+    }
+}
+
+/// Runs a simulator until `stop_timestep`, invoking `on_output` at every
+/// output boundary (`timestep % dd == 0`) with the output-step index
+/// `timestep / dd`, and `on_restart` at every restart boundary
+/// (`timestep % dr == 0`).
+///
+/// This is the cadence logic of §II-A: output step `d_i` contains the
+/// timesteps up to and including `i·Δd`; restart step `r_j` snapshots
+/// the state at `j·Δr`.
+pub fn run_segment(
+    sim: &mut dyn RestartableSim,
+    dd: u64,
+    dr: u64,
+    stop_timestep: u64,
+    mut on_output: impl FnMut(u64, Dataset),
+    mut on_restart: impl FnMut(u64, Dataset),
+) {
+    assert!(dd > 0 && dr > 0, "cadences must be positive");
+    while sim.timestep() < stop_timestep {
+        sim.step();
+        let t = sim.timestep();
+        if t % dd == 0 {
+            on_output(t / dd, sim.output());
+        }
+        if t % dr == 0 {
+            on_restart(t / dr, sim.save_restart());
+        }
+    }
+}
+
+/// Convenience for tests and verification: bitwise digest of the output
+/// at the current step.
+pub fn output_digest(sim: &dyn RestartableSim) -> u64 {
+    sim.output().digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for kind in [SimKind::Synthetic, SimKind::Heat2d, SimKind::Sedov] {
+            assert_eq!(SimKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SimKind::from_name("cosmo"), None);
+    }
+
+    #[test]
+    fn run_segment_cadence() {
+        let mut sim = SyntheticSim::new(1);
+        let mut outputs = Vec::new();
+        let mut restarts = Vec::new();
+        run_segment(
+            &mut sim,
+            4,
+            8,
+            16,
+            |i, _| outputs.push(i),
+            |j, _| restarts.push(j),
+        );
+        assert_eq!(outputs, vec![1, 2, 3, 4], "Δd=4 over 16 timesteps");
+        assert_eq!(restarts, vec![1, 2], "Δr=8 over 16 timesteps");
+        assert_eq!(sim.timestep(), 16);
+    }
+
+    #[test]
+    fn run_segment_resumes_mid_interval() {
+        let mut sim = SyntheticSim::new(1);
+        // Advance to timestep 5 manually, then run to 12 with dd=4.
+        for _ in 0..5 {
+            sim.step();
+        }
+        let mut outputs = Vec::new();
+        run_segment(&mut sim, 4, 100, 12, |i, _| outputs.push(i), |_, _| {});
+        assert_eq!(outputs, vec![2, 3]);
+    }
+
+    /// The cross-simulator contract: restart -> rerun is bitwise equal.
+    #[test]
+    fn all_simulators_are_bitwise_restartable() {
+        for kind in [SimKind::Synthetic, SimKind::Heat2d, SimKind::Sedov] {
+            let mut original = build_sim(kind, 42);
+            for _ in 0..10 {
+                original.step();
+            }
+            let restart = original.save_restart();
+            for _ in 0..10 {
+                original.step();
+            }
+            let final_output = original.output().encode();
+
+            let mut replay = build_sim(kind, 999); // wrong seed on purpose
+            replay.load_restart(&restart).unwrap();
+            assert_eq!(replay.timestep(), 10, "{kind:?}");
+            for _ in 0..10 {
+                replay.step();
+            }
+            assert_eq!(
+                replay.output().encode(),
+                final_output,
+                "{kind:?} replay diverged"
+            );
+        }
+    }
+
+    /// Restart files from one simulator are rejected by another.
+    #[test]
+    fn restart_files_are_typed() {
+        let heat = build_sim(SimKind::Heat2d, 1);
+        let mut sedov = build_sim(SimKind::Sedov, 1);
+        let err = sedov.load_restart(&heat.save_restart());
+        assert!(matches!(err, Err(SimError::RestartMismatch(_))));
+    }
+}

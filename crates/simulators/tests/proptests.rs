@@ -1,0 +1,101 @@
+//! Property tests: the checkpoint/restart contract that SimFS's whole
+//! premise rests on — re-running from any restart point is bitwise
+//! identical — plus physics invariants under arbitrary step counts.
+
+use proptest::prelude::*;
+use simstore::Dataset;
+use simulators::{build_sim, RestartableSim, SimKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any split point, "run A then checkpoint then run B" equals
+    /// "run A+B" bitwise — on every simulator kind.
+    #[test]
+    fn restart_equals_continuous_run(
+        seed in any::<u64>(),
+        pre in 1u64..30,
+        post in 1u64..30,
+    ) {
+        for kind in [SimKind::Synthetic, SimKind::Heat2d, SimKind::Sedov] {
+            let mut continuous = build_sim(kind, seed);
+            for _ in 0..pre + post {
+                continuous.step();
+            }
+            let expected = continuous.output().encode();
+
+            let mut first = build_sim(kind, seed);
+            for _ in 0..pre {
+                first.step();
+            }
+            let ckpt = first.save_restart();
+            // Checkpoint files survive (de)serialization unchanged.
+            let ckpt = Dataset::decode(&ckpt.encode()).unwrap();
+            let mut resumed = build_sim(kind, seed ^ 0xDEAD); // wrong seed: must not matter
+            resumed.load_restart(&ckpt).unwrap();
+            prop_assert_eq!(resumed.timestep(), pre);
+            for _ in 0..post {
+                resumed.step();
+            }
+            prop_assert_eq!(
+                resumed.output().encode(),
+                expected.clone(),
+                "{:?} diverged (pre={}, post={})",
+                kind,
+                pre,
+                post
+            );
+        }
+    }
+
+    /// Heat2d: the field mean is conserved and the maximum never grows
+    /// (maximum principle) for any seed and step count.
+    #[test]
+    fn heat2d_physics_invariants(seed in any::<u64>(), steps in 1u64..200) {
+        let mut sim = simulators::Heat2d::new(16, 16, seed);
+        let mean0 = sim.mean();
+        let max0 = sim.field().iter().cloned().fold(f64::MIN, f64::max);
+        for _ in 0..steps {
+            sim.step();
+        }
+        let mean1 = sim.mean();
+        prop_assert!(((mean0 - mean1) / mean0.abs().max(1e-12)).abs() < 1e-8);
+        let max1 = sim.field().iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(max1 <= max0 * (1.0 + 1e-9));
+        prop_assert!(sim.field().iter().all(|x| x.is_finite()));
+    }
+
+    /// Sedov: mass and energy are conserved on the periodic domain for
+    /// any step count; density stays positive.
+    #[test]
+    fn sedov_conservation(steps in 1u64..150) {
+        let mut sim = simulators::Sedov::new(16, 16);
+        let m0 = sim.total_mass();
+        let e0 = sim.total_energy();
+        for _ in 0..steps {
+            sim.step();
+        }
+        prop_assert!(((sim.total_mass() - m0) / m0).abs() < 1e-9);
+        prop_assert!(((sim.total_energy() - e0) / e0).abs() < 1e-9);
+        prop_assert!(sim.density().iter().all(|&x| x.is_finite() && x > 0.0));
+    }
+
+    /// Synthetic: outputs at equal timesteps are equal; at different
+    /// timesteps they differ (the DV relies on per-step content).
+    #[test]
+    fn synthetic_outputs_are_step_determined(seed in any::<u64>(), a in 0u64..50, b in 0u64..50) {
+        let mut x = simulators::SyntheticSim::new(seed);
+        for _ in 0..a {
+            x.step();
+        }
+        let mut y = simulators::SyntheticSim::new(seed);
+        for _ in 0..b {
+            y.step();
+        }
+        if a == b {
+            prop_assert_eq!(x.output().encode(), y.output().encode());
+        } else {
+            prop_assert_ne!(x.output().digest(), y.output().digest());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! A "virtual observatory" (the paper's astrophysics motivation):
+//! one SimFS daemon serves *multiple simulation contexts* (§II), and an
+//! analyst switches between them — "analyzing a coarser grain
+//! simulation output on a simulation context and then switch to finer
+//! grain on a different context for a more detailed study of
+//! interesting events."
+//!
+//! ```sh
+//! cargo run --example observatory
+//! ```
+
+use simfs::launchers::KernelLauncher;
+use simfs::prelude::*;
+use simfs::setup::run_initial_simulation;
+use simfs_core::server::ServerConfig;
+use simulators::SimKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn context(
+    name: &str,
+    kind: SimKind,
+    seed: u64,
+    dd: u64,
+    dr: u64,
+    timesteps: u64,
+    dir: &std::path::Path,
+) -> std::io::Result<ServerConfig> {
+    let storage = StorageArea::create(dir, u64::MAX)?;
+    let init = run_initial_simulation(&storage, kind, seed, dd, dr, timesteps)?;
+    let sample = simulators::build_sim(kind, seed).output().encode();
+    let step_bytes = sample.len() as u64;
+    let n_outputs = timesteps / dd;
+    Ok(ServerConfig {
+        ctx: ContextCfg::new(
+            name,
+            StepMath::new(dd, dr, timesteps),
+            step_bytes,
+            n_outputs / 4 * step_bytes, // 25% cache
+        )
+        .with_policy("dcl")
+        .with_smax(4),
+        driver: Arc::new(PatternDriver::new("out-", ".sdf", 6)),
+        storage,
+        launcher: Arc::new(KernelLauncher::new(
+            kind,
+            dd,
+            dr,
+            Duration::from_millis(15),
+            Duration::from_millis(3),
+        )),
+        checksums: init.checksums,
+    })
+}
+
+fn main() -> std::io::Result<()> {
+    let base = std::env::temp_dir().join(format!("simfs-observatory-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    println!("running initial simulations for two contexts...");
+    // A coarse climate run and a fine blast-wave run, one daemon.
+    let climate = context("climate-5min", SimKind::Heat2d, 7, 5, 60, 600, &base.join("climate"))?;
+    let blast = context("blastwave-hires", SimKind::Sedov, 0, 1, 20, 200, &base.join("blast"))?;
+    let server = DvServer::start_multi(vec![climate, blast], "127.0.0.1:0")?;
+    println!(
+        "observatory daemon on {} serving contexts {:?}",
+        server.addr(),
+        server.context_names()
+    );
+
+    // Analyst 1 browses the coarse climate data...
+    let mut climate_session = SimfsClient::connect(server.addr(), "climate-5min")?;
+    println!("\nbrowsing climate context:");
+    for key in [30u64, 31, 32, 33] {
+        let status = climate_session.acquire(&[key])?;
+        assert!(status.ok());
+        climate_session.release(key)?;
+    }
+    let s = climate_session.status()?;
+    println!(
+        "  climate-5min: {} hits / {} misses, {} re-simulations",
+        s.hits, s.misses, s.restarts
+    );
+
+    // ...spots something interesting and switches to the fine context
+    // (a second SIMFS_Init with a different context name).
+    let mut blast_session = SimfsClient::connect(server.addr(), "blastwave-hires")?;
+    println!("\nzooming into the blast-wave context:");
+    for key in [95u64, 96, 97, 98, 99, 100] {
+        let status = blast_session.acquire(&[key])?;
+        assert!(status.ok());
+        // Detailed study: verify bit-reproducibility of the zoomed data.
+        assert_eq!(blast_session.bitrep(key)?, Some(true));
+        blast_session.release(key)?;
+    }
+    let s = blast_session.status()?;
+    println!(
+        "  blastwave-hires: {} hits / {} misses, {} re-simulations, all bitwise verified",
+        s.hits, s.misses, s.restarts
+    );
+
+    climate_session.finalize()?;
+    blast_session.finalize()?;
+    server.shutdown();
+    std::fs::remove_dir_all(&base)?;
+    println!("\nobservatory OK");
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Quickstart: virtualize a synthetic simulation and watch SimFS serve
+//! misses by re-simulating on demand.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! What happens (the Fig. 4 sequence, wall-clock):
+//!
+//! 1. a DV daemon starts over an *empty* storage area — every output
+//!    step is virtual;
+//! 2. the analysis opens `out-000042.sdf`: a miss. The DV launches a
+//!    re-simulation from the nearest restart; the analysis blocks;
+//! 3. the simulation produces the enclosing restart interval; the DV
+//!    notifies the analysis, which reads the now-real file;
+//! 4. a second open of the same step is a pure cache hit.
+
+use simfs::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() -> std::io::Result<()> {
+    // --- context: 1 timestep per output step, restart every 8 steps,
+    // 256 steps on the timeline.
+    let steps = StepMath::new(1, 8, 256);
+    let dir = std::env::temp_dir().join(format!("simfs-quickstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let storage = StorageArea::create(&dir, u64::MAX)?;
+    let driver = Arc::new(PatternDriver::new("out-", ".sdf", 6));
+
+    // The "simulator": deterministic bytes per step, 3 ms per output
+    // step, 20 ms restart latency.
+    let make_bytes = |key: u64| {
+        let mut ds = Dataset::new(key, key as f64);
+        ds.set_attr("simulator", "synthetic");
+        ds.add_var("field", vec![8], simstore::Data::F64(vec![key as f64; 8]))
+            .expect("field");
+        ds.encode().to_vec()
+    };
+    let launcher = Arc::new(ThreadSimLauncher::new(
+        make_bytes,
+        |key| format!("out-{key:06}.sdf"),
+        Duration::from_millis(20),
+        Duration::from_millis(3),
+    ));
+
+    let ctx = ContextCfg::new("quickstart", steps, 1024, 64 * 1024).with_smax(4);
+    let server = DvServer::start(
+        ServerConfig {
+            ctx,
+            driver: driver.clone(),
+            storage: storage.clone(),
+            launcher,
+            checksums: HashMap::new(),
+        },
+        "127.0.0.1:0",
+    )?;
+    println!("DV daemon listening on {}", server.addr());
+
+    // --- analysis: transparent mode through the Table I facade.
+    let client = SimfsClient::connect(server.addr(), "quickstart")?;
+    let mut vfs = VirtualFs::new(client, driver, storage);
+
+    println!("\nopening a missing output step (triggers re-simulation)...");
+    let t0 = Instant::now();
+    let ds = simfs::core::intercept::netcdf::nc_open(&mut vfs, "out-000042.sdf")?;
+    let miss_time = t0.elapsed();
+    let field = simfs::core::intercept::netcdf::nc_vara_get_double(&ds, "field")?;
+    println!(
+        "  step {} ready after {:?}; field[0] = {}",
+        ds.step_index, miss_time, field[0]
+    );
+    simfs::core::intercept::netcdf::nc_close(&mut vfs, "out-000042.sdf")?;
+
+    println!("re-opening the same step (cache hit)...");
+    let t1 = Instant::now();
+    let _ds = vfs.open("out-000042.sdf")?;
+    let hit_time = t1.elapsed();
+    vfs.close("out-000042.sdf")?;
+    println!("  ready after {hit_time:?}");
+
+    println!("\nneighbouring steps of the restart interval are cached too:");
+    for key in [41u64, 43, 44] {
+        let name = format!("out-{key:06}.sdf");
+        println!("  {name}: materialized = {}", vfs.is_materialized(&name));
+    }
+
+    let stats = server.stats();
+    println!(
+        "\nDV stats: {} hits, {} misses, {} restarts, {} steps produced",
+        stats.hits, stats.misses, stats.restarts, stats.produced_steps
+    );
+    assert!(
+        miss_time > hit_time,
+        "a miss re-simulates; a hit only round-trips the daemon"
+    );
+
+    vfs.finalize()?;
+    server.shutdown();
+    std::fs::remove_dir_all(&dir)?;
+    println!("\nquickstart OK");
+    Ok(())
+}

@@ -1,0 +1,261 @@
+//! `simfs-simd` — the SimFS simulator daemon binary.
+//!
+//! This is the process the DV launches to serve a re-simulation job
+//! (§III-B): it loads the nearest restart file, steps the simulation
+//! kernel forward, publishes output steps into the context's storage
+//! area, and notifies the DV over TCP as DVLib would by intercepting
+//! the simulator's create/close calls (Fig. 4 steps 3–5).
+//!
+//! Modes:
+//!
+//! * **re-simulation** (launched by the DV): range and pacing from the
+//!   command line; DV coordinates via `SIMFS_DV_ADDR`/`SIMFS_SIM_ID`
+//!   environment variables.
+//! * **initial simulation** (`--init`): runs the whole timeline once,
+//!   producing every restart file plus the `SIMFS_Bitrep` checksum
+//!   database — the "black files" of Fig. 2. Output steps are *not*
+//!   kept (that is the whole point of SimFS).
+//!
+//! ```text
+//! simfs-simd --sim heat2d --dd 5 --dr 60 --seed 7 \
+//!            --start-key 13 --stop-key 24 [--tau-ms 50] [--alpha-ms 200]
+//! simfs-simd --sim heat2d --dd 5 --dr 60 --seed 7 --init --timesteps 600 \
+//!            --data-dir /path/to/area
+//! ```
+
+use simfs_core::client::SimulatorSession;
+use simfs_core::server::env_keys;
+use simstore::{checksum_db, Dataset, StorageArea};
+use simulators::{build_sim, RestartableSim, SimKind};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    sim: SimKind,
+    dd: u64,
+    dr: u64,
+    seed: u64,
+    start_key: u64,
+    stop_key: u64,
+    tau_ms: u64,
+    alpha_ms: u64,
+    init: bool,
+    timesteps: u64,
+    data_dir: Option<String>,
+    nodes: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sim: SimKind::Synthetic,
+        dd: 1,
+        dr: 4,
+        seed: 0,
+        start_key: 0,
+        stop_key: 0,
+        tau_ms: 0,
+        alpha_ms: 0,
+        init: false,
+        timesteps: 0,
+        data_dir: None,
+        nodes: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sim" => {
+                let name = value(&mut i)?;
+                args.sim = SimKind::from_name(&name)
+                    .ok_or_else(|| format!("unknown simulator {name:?}"))?;
+            }
+            "--dd" => args.dd = value(&mut i)?.parse().map_err(|e| format!("--dd: {e}"))?,
+            "--dr" => args.dr = value(&mut i)?.parse().map_err(|e| format!("--dr: {e}"))?,
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--start-key" => {
+                args.start_key = value(&mut i)?.parse().map_err(|e| format!("--start-key: {e}"))?
+            }
+            "--stop-key" => {
+                args.stop_key = value(&mut i)?.parse().map_err(|e| format!("--stop-key: {e}"))?
+            }
+            "--tau-ms" => args.tau_ms = value(&mut i)?.parse().map_err(|e| format!("--tau-ms: {e}"))?,
+            "--alpha-ms" => {
+                args.alpha_ms = value(&mut i)?.parse().map_err(|e| format!("--alpha-ms: {e}"))?
+            }
+            "--nodes" => args.nodes = value(&mut i)?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--init" => args.init = true,
+            "--timesteps" => {
+                args.timesteps = value(&mut i)?.parse().map_err(|e| format!("--timesteps: {e}"))?
+            }
+            "--data-dir" => args.data_dir = Some(value(&mut i)?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if args.dd == 0 || args.dr == 0 || args.dr % args.dd != 0 {
+        return Err("require 0 < --dd and --dr a multiple of --dd".to_string());
+    }
+    Ok(args)
+}
+
+fn output_name(key: u64) -> String {
+    format!("out-{key:06}.sdf")
+}
+
+fn restart_name(j: u64) -> String {
+    format!("restart-{j:06}.sdf")
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("simfs-simd: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let data_dir = args
+        .data_dir
+        .clone()
+        .or_else(|| std::env::var(env_keys::DATA_DIR).ok())
+        .ok_or("no data dir: pass --data-dir or set SIMFS_DATA_DIR")?;
+    let area = StorageArea::create(&data_dir, u64::MAX).map_err(|e| e.to_string())?;
+
+    if args.init {
+        initial_simulation(&args, &area)
+    } else {
+        resimulation(&args, &area)
+    }
+}
+
+/// The initial run (Fig. 2, top): writes every restart step and records
+/// output checksums, discarding the output data itself.
+fn initial_simulation(args: &Args, area: &StorageArea) -> Result<(), String> {
+    if args.timesteps == 0 {
+        return Err("--init requires --timesteps".to_string());
+    }
+    let mut sim = build_sim(args.sim, args.seed);
+    let mut checksums: HashMap<u64, u64> = HashMap::new();
+
+    // Restart 0 is the initial condition.
+    publish_restart(area, &restart_name(0), &sim.save_restart())?;
+    while sim.timestep() < args.timesteps {
+        sim.step();
+        let t = sim.timestep();
+        if t % args.dd == 0 {
+            let key = t / args.dd;
+            let bytes = sim.output().encode();
+            checksums.insert(key, simstore::fnv1a64(&bytes));
+        }
+        if t % args.dr == 0 {
+            publish_restart(area, &restart_name(t / args.dr), &sim.save_restart())?;
+        }
+    }
+    let db_path = area.root().join(checksum_db::DB_FILENAME);
+    checksum_db::save(&db_path, &checksums).map_err(|e| e.to_string())?;
+    println!(
+        "initial simulation complete: {} timesteps, {} restarts, {} checksums",
+        args.timesteps,
+        args.timesteps / args.dr,
+        checksums.len()
+    );
+    Ok(())
+}
+
+fn publish_restart(area: &StorageArea, name: &str, ds: &Dataset) -> Result<(), String> {
+    area.publish(name, &ds.encode()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// A re-simulation serving output steps `start_key ..= stop_key`.
+fn resimulation(args: &Args, area: &StorageArea) -> Result<(), String> {
+    if args.start_key == 0 || args.stop_key < args.start_key {
+        return Err("need 1 <= --start-key <= --stop-key".to_string());
+    }
+    let b = args.dr / args.dd;
+    // §II-A: restart to load. A boundary-only dump (start == stop on a
+    // boundary) loads the co-located restart; otherwise the previous one.
+    let restart_j = if args.start_key % b == 0 && args.start_key == args.stop_key {
+        args.start_key / b
+    } else {
+        (args.start_key - 1) / b
+    };
+
+    let mut sim = build_sim(args.sim, args.seed);
+    let restart = area
+        .read(&restart_name(restart_j))
+        .map_err(|e| format!("restart {restart_j} unavailable: {e}"))?;
+    let ds = Dataset::decode(&restart).map_err(|e| e.to_string())?;
+    sim.load_restart(&ds).map_err(|e| e.to_string())?;
+
+    // Optional DV coordination (absent when run standalone).
+    let mut session = match std::env::var(env_keys::DV_ADDR) {
+        Ok(addr) => {
+            let sim_id: u64 = std::env::var(env_keys::SIM_ID)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or("SIMFS_SIM_ID missing or invalid")?;
+            let context = std::env::var(env_keys::CONTEXT).unwrap_or_default();
+            Some(
+                SimulatorSession::connect(&addr, &context, sim_id)
+                    .map_err(|e| format!("cannot reach DV at {addr}: {e}"))?,
+            )
+        }
+        Err(_) => None,
+    };
+
+    // Restart latency (model-scale pacing for experiments/examples).
+    if args.alpha_ms > 0 {
+        std::thread::sleep(Duration::from_millis(args.alpha_ms));
+    }
+    if let Some(s) = session.as_mut() {
+        s.started().map_err(|e| e.to_string())?;
+    }
+
+    let stop_timestep = args.stop_key * args.dd;
+    let mut produce = |key: u64, sim: &mut Box<dyn RestartableSim + Send>| -> Result<(), String> {
+        if args.tau_ms > 0 {
+            std::thread::sleep(Duration::from_millis(args.tau_ms));
+        }
+        let bytes = sim.output().encode();
+        let size = area
+            .publish(&output_name(key), &bytes)
+            .map_err(|e| e.to_string())?;
+        if let Some(s) = session.as_mut() {
+            s.file_produced(key, size).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    };
+
+    // Boundary dump: the restart *is* the requested state.
+    if sim.timestep() == args.start_key * args.dd && args.start_key == args.stop_key {
+        produce(args.start_key, &mut sim)?;
+    } else {
+        while sim.timestep() < stop_timestep {
+            sim.step();
+            let t = sim.timestep();
+            if t % args.dd == 0 {
+                let key = t / args.dd;
+                if key >= args.start_key {
+                    produce(key, &mut sim)?;
+                }
+            }
+        }
+    }
+
+    if let Some(s) = session {
+        s.finished().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

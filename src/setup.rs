@@ -1,0 +1,57 @@
+//! Context setup: the "initial simulation" of Fig. 2.
+//!
+//! Before SimFS can virtualize a context, the simulation must have run
+//! once, leaving behind (1) the restart files the re-simulations start
+//! from and (2) the checksum database `SIMFS_Bitrep` verifies against.
+//! [`run_initial_simulation`] performs that run in-process; the
+//! `simfs-simd --init` binary does the same as a standalone command.
+
+use simstore::{checksum_db, StorageArea};
+use simulators::{build_sim, SimKind};
+use std::collections::HashMap;
+use std::io;
+
+/// Outcome of the initial simulation.
+#[derive(Debug)]
+pub struct InitialRun {
+    /// Number of restart files written (excluding restart 0).
+    pub restarts: u64,
+    /// Checksums of every output step (key → FNV-1a digest), also
+    /// persisted as `checksums.db` in the storage area.
+    pub checksums: HashMap<u64, u64>,
+}
+
+/// Runs `kind` from its initial conditions for `timesteps`, writing
+/// restart files every `dr` timesteps into `area` and recording output
+/// checksums every `dd` timesteps. Output data itself is *not* stored —
+/// that is SimFS's premise.
+pub fn run_initial_simulation(
+    area: &StorageArea,
+    kind: SimKind,
+    seed: u64,
+    dd: u64,
+    dr: u64,
+    timesteps: u64,
+) -> io::Result<InitialRun> {
+    assert!(dd > 0 && dr % dd == 0, "Δr must be a multiple of Δd");
+    let mut sim = build_sim(kind, seed);
+    let mut checksums = HashMap::new();
+
+    area.publish("restart-000000.sdf", &sim.save_restart().encode())?;
+    let mut restarts = 0;
+    while sim.timestep() < timesteps {
+        sim.step();
+        let t = sim.timestep();
+        if t % dd == 0 {
+            let bytes = sim.output().encode();
+            checksums.insert(t / dd, simstore::fnv1a64(&bytes));
+        }
+        if t % dr == 0 {
+            let j = t / dr;
+            area.publish(&format!("restart-{j:06}.sdf"), &sim.save_restart().encode())?;
+            restarts += 1;
+        }
+    }
+    checksum_db::save(&area.root().join(checksum_db::DB_FILENAME), &checksums)?;
+    Ok(InitialRun { restarts, checksums })
+}

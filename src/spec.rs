@@ -1,0 +1,302 @@
+//! Declarative simulation-context specifications.
+//!
+//! The paper configures simulators through LUA driver scripts (§III-B).
+//! The equivalent here is a plain-text spec file — one `key = value`
+//! per line — that fully describes a context: the simulator and its
+//! cadences, the naming convention, the cache policy and budget, and
+//! the daemon's runtime knobs. The `simfs-dv` binary serves a context
+//! straight from such a file (see `examples/` and `tests/`).
+//!
+//! ```text
+//! # climate.ctx — a SimFS context specification
+//! name       = climate
+//! sim        = heat2d
+//! seed       = 2026
+//! dd         = 5
+//! dr         = 60
+//! timesteps  = 720
+//! policy     = dcl
+//! smax       = 4
+//! cache_steps = 36
+//! prefix     = out-
+//! suffix     = .sdf
+//! pad        = 6
+//! tau_ms     = 30
+//! alpha_ms   = 5
+//! data_dir   = /var/simfs/climate
+//! ```
+
+use simfs_core::driver::PatternDriver;
+use simfs_core::model::{ContextCfg, StepMath};
+use simulators::SimKind;
+use std::collections::HashMap;
+
+/// A parsed context specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContextSpec {
+    /// Context name (`SIMFS_Init` argument).
+    pub name: String,
+    /// Simulator kind.
+    pub sim: SimKind,
+    /// Initial-condition seed.
+    pub seed: u64,
+    /// Timesteps per output step.
+    pub dd: u64,
+    /// Timesteps per restart step.
+    pub dr: u64,
+    /// Timeline length in timesteps.
+    pub timesteps: u64,
+    /// Replacement policy name.
+    pub policy: String,
+    /// Maximum concurrent re-simulations.
+    pub smax: u32,
+    /// Cache budget in output steps.
+    pub cache_steps: u64,
+    /// Output filename prefix.
+    pub prefix: String,
+    /// Output filename suffix.
+    pub suffix: String,
+    /// Zero-pad width of the step number.
+    pub pad: usize,
+    /// Emulated per-step production time (ms) for `simfs-simd`.
+    pub tau_ms: u64,
+    /// Emulated restart latency (ms) for `simfs-simd`.
+    pub alpha_ms: u64,
+    /// Storage-area directory.
+    pub data_dir: String,
+}
+
+impl ContextSpec {
+    /// Parses a spec document. Unknown keys are rejected (typos in a
+    /// daemon config should fail loudly, not silently default).
+    pub fn parse(text: &str) -> Result<ContextSpec, String> {
+        let mut map: HashMap<&str, &str> = HashMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let key = key.trim();
+            let value = value.trim();
+            if map.insert(key, value).is_some() {
+                return Err(format!("line {}: duplicate key {key:?}", lineno + 1));
+            }
+        }
+
+        let known = [
+            "name", "sim", "seed", "dd", "dr", "timesteps", "policy", "smax",
+            "cache_steps", "prefix", "suffix", "pad", "tau_ms", "alpha_ms", "data_dir",
+        ];
+        for key in map.keys() {
+            if !known.contains(key) {
+                return Err(format!("unknown key {key:?} (known: {known:?})"));
+            }
+        }
+
+        let get = |key: &str| -> Result<&str, String> {
+            map.get(key)
+                .copied()
+                .ok_or_else(|| format!("missing required key {key:?}"))
+        };
+        let parse_u64 = |key: &str| -> Result<u64, String> {
+            get(key)?
+                .parse()
+                .map_err(|e| format!("key {key:?}: {e}"))
+        };
+
+        let sim_name = get("sim")?;
+        let spec = ContextSpec {
+            name: get("name")?.to_string(),
+            sim: SimKind::from_name(sim_name)
+                .ok_or_else(|| format!("unknown simulator {sim_name:?}"))?,
+            seed: map.get("seed").map_or(Ok(0), |v| {
+                v.parse().map_err(|e| format!("key \"seed\": {e}"))
+            })?,
+            dd: parse_u64("dd")?,
+            dr: parse_u64("dr")?,
+            timesteps: parse_u64("timesteps")?,
+            policy: map.get("policy").unwrap_or(&"dcl").to_string(),
+            smax: map.get("smax").map_or(Ok(8), |v| {
+                v.parse().map_err(|e| format!("key \"smax\": {e}"))
+            })?,
+            cache_steps: parse_u64("cache_steps")?,
+            prefix: map.get("prefix").unwrap_or(&"out-").to_string(),
+            suffix: map.get("suffix").unwrap_or(&".sdf").to_string(),
+            pad: map.get("pad").map_or(Ok(6), |v| {
+                v.parse().map_err(|e| format!("key \"pad\": {e}"))
+            })?,
+            tau_ms: map.get("tau_ms").map_or(Ok(0), |v| {
+                v.parse().map_err(|e| format!("key \"tau_ms\": {e}"))
+            })?,
+            alpha_ms: map.get("alpha_ms").map_or(Ok(0), |v| {
+                v.parse().map_err(|e| format!("key \"alpha_ms\": {e}"))
+            })?,
+            data_dir: get("data_dir")?.to_string(),
+        };
+        if spec.dd == 0 || spec.dr % spec.dd != 0 {
+            return Err(format!(
+                "dr ({}) must be a positive multiple of dd ({})",
+                spec.dr, spec.dd
+            ));
+        }
+        if simcache::policy_by_name(&spec.policy, 8).is_none() {
+            return Err(format!("unknown policy {:?}", spec.policy));
+        }
+        Ok(spec)
+    }
+
+    /// Renders back to the spec format (for `--dump-spec` style tools).
+    pub fn render(&self) -> String {
+        format!(
+            "name = {}\nsim = {}\nseed = {}\ndd = {}\ndr = {}\ntimesteps = {}\n\
+             policy = {}\nsmax = {}\ncache_steps = {}\nprefix = {}\nsuffix = {}\n\
+             pad = {}\ntau_ms = {}\nalpha_ms = {}\ndata_dir = {}\n",
+            self.name,
+            self.sim.name(),
+            self.seed,
+            self.dd,
+            self.dr,
+            self.timesteps,
+            self.policy,
+            self.smax,
+            self.cache_steps,
+            self.prefix,
+            self.suffix,
+            self.pad,
+            self.tau_ms,
+            self.alpha_ms,
+            self.data_dir,
+        )
+    }
+
+    /// The cadence math of this context.
+    pub fn step_math(&self) -> StepMath {
+        StepMath::new(self.dd, self.dr, self.timesteps)
+    }
+
+    /// Builds the [`ContextCfg`] (step size taken from a sample output
+    /// of the configured simulator).
+    pub fn context_cfg(&self) -> ContextCfg {
+        let sample = simulators::build_sim(self.sim, self.seed).output().encode();
+        let step_bytes = sample.len() as u64;
+        ContextCfg::new(
+            &self.name,
+            self.step_math(),
+            step_bytes,
+            self.cache_steps * step_bytes,
+        )
+        .with_policy(&self.policy)
+        .with_smax(self.smax)
+    }
+
+    /// Builds the naming-convention driver, wired to launch `program`
+    /// (normally the `simfs-simd` binary) with this spec's simulator
+    /// arguments.
+    pub fn driver(&self, program: &str) -> PatternDriver {
+        PatternDriver::new(&self.prefix, &self.suffix, self.pad).with_program(
+            program,
+            vec![
+                "--sim".into(),
+                self.sim.name().into(),
+                "--dd".into(),
+                self.dd.to_string(),
+                "--dr".into(),
+                self.dr.to_string(),
+                "--seed".into(),
+                self.seed.to_string(),
+                "--tau-ms".into(),
+                self.tau_ms.to_string(),
+                "--alpha-ms".into(),
+                self.alpha_ms.to_string(),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs_core::driver::SimDriver;
+
+    const SPEC: &str = "\
+# demo context
+name = climate
+sim = heat2d
+seed = 2026
+dd = 5
+dr = 60
+timesteps = 720
+policy = dcl
+smax = 4
+cache_steps = 36
+data_dir = /tmp/simfs-demo
+";
+
+    #[test]
+    fn parses_with_defaults() {
+        let spec = ContextSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.name, "climate");
+        assert_eq!(spec.sim, SimKind::Heat2d);
+        assert_eq!(spec.prefix, "out-", "default");
+        assert_eq!(spec.pad, 6, "default");
+        assert_eq!(spec.smax, 4);
+        assert_eq!(spec.step_math().outputs_per_interval(), 12);
+    }
+
+    #[test]
+    fn roundtrips_through_render() {
+        let spec = ContextSpec::parse(SPEC).unwrap();
+        let again = ContextSpec::parse(&spec.render()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_typos() {
+        let err = ContextSpec::parse(&format!("{SPEC}polciy = lru\n")).unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = ContextSpec::parse(&format!("{SPEC}name = again\n")).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_required() {
+        let err = ContextSpec::parse("name = x\n").unwrap_err();
+        assert!(err.contains("missing required"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_cadence() {
+        let bad = SPEC.replace("dr = 60", "dr = 61");
+        let err = ContextSpec::parse(&bad).unwrap_err();
+        assert!(err.contains("multiple of dd"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_policy_and_sim() {
+        let bad = SPEC.replace("policy = dcl", "policy = clock");
+        assert!(ContextSpec::parse(&bad).unwrap_err().contains("policy"));
+        let bad = SPEC.replace("sim = heat2d", "sim = cosmo");
+        assert!(ContextSpec::parse(&bad).unwrap_err().contains("simulator"));
+    }
+
+    #[test]
+    fn builds_cfg_and_driver() {
+        let spec = ContextSpec::parse(SPEC).unwrap();
+        let cfg = spec.context_cfg();
+        assert_eq!(cfg.name, "climate");
+        assert_eq!(cfg.policy, "dcl");
+        assert!(cfg.cache_capacity > 0);
+        let driver = spec.driver("simfs-simd");
+        assert_eq!(driver.filename_of(7), "out-000007.sdf");
+        let job = driver.make_job(1, 12, 0);
+        assert!(job.command_line().contains("--sim heat2d"));
+        assert!(job.command_line().contains("--dd 5"));
+    }
+}

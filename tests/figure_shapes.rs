@@ -1,0 +1,145 @@
+//! Shape regression tests: the qualitative findings of the paper's
+//! evaluation, asserted against fast (reduced-repetition) runs of the
+//! actual figure harnesses. These are the "who wins / where is the
+//! crossover" guarantees EXPERIMENTS.md documents.
+
+use simfs_bench::prefetchfigs::{latency, scaling, ScalingConfig};
+use simfs_bench::{costfigs, fig5, RunOpts};
+use simtrace::Pattern;
+
+fn quick() -> RunOpts {
+    RunOpts {
+        reps: 2,
+        seed: 20260610,
+        ..RunOpts::default()
+    }
+}
+
+/// Fig. 5: LIRS performs worst on backward scans ("it prioritizes the
+/// eviction of files that are most likely to be accessed with this
+/// trajectory"), and the cost-aware schemes are competitive everywhere.
+#[test]
+fn fig5_lirs_is_worst_on_backward() {
+    let cfg = fig5::Fig5Config {
+        timeline_steps: 1152,
+        outputs_per_restart: 48,
+        cache_fraction: 0.25,
+        n_traces: 20,
+        len_range: (100, 400),
+        ecmwf_accesses: 20_000,
+    };
+    let cells = fig5::run(&cfg, &quick());
+    let lirs = fig5::cell(&cells, Pattern::Backward, "LIRS").steps_median;
+    for policy in ["LRU", "ARC", "BCL", "DCL"] {
+        let other = fig5::cell(&cells, Pattern::Backward, policy).steps_median;
+        assert!(
+            lirs >= other,
+            "paper: LIRS worst on backward; got LIRS {lirs} < {policy} {other}"
+        );
+    }
+}
+
+/// Fig. 5: on the skewed archival (ECMWF-like) pattern, DCL does not
+/// lose to plain LRU ("the cost-based schemes, in particular DCL,
+/// minimize the number of restarts/produced output steps").
+#[test]
+fn fig5_dcl_competitive_on_archival_pattern() {
+    let cfg = fig5::Fig5Config {
+        timeline_steps: 1152,
+        outputs_per_restart: 48,
+        cache_fraction: 0.25,
+        n_traces: 20,
+        len_range: (100, 400),
+        ecmwf_accesses: 30_000,
+    };
+    let cells = fig5::run(&cfg, &quick());
+    for pattern in [Pattern::Ecmwf, Pattern::Random] {
+        let dcl = fig5::cell(&cells, pattern, "DCL").steps_median;
+        let lru = fig5::cell(&cells, pattern, "LRU").steps_median;
+        assert!(
+            dcl <= lru * 1.05,
+            "{}: DCL {dcl} should not lose to LRU {lru}",
+            pattern.label()
+        );
+    }
+}
+
+/// Fig. 1: on-disk grows linearly with the availability period and
+/// SimFS undercuts it over long periods; in-situ is period-independent.
+#[test]
+fn fig1_cost_crossover() {
+    let (_, results) = costfigs::fig1(&quick());
+    let first = &results[0]; // 6 months
+    let last = results.last().unwrap(); // 5 years
+    assert!(first.on_disk < first.in_situ, "short period: on-disk wins");
+    assert!(last.simfs < last.on_disk, "5 years: SimFS beats on-disk");
+    assert!(
+        (first.in_situ - last.in_situ).abs() < first.in_situ * 0.2,
+        "in-situ is period-independent"
+    );
+}
+
+/// Fig. 14: the in-situ/SimFS crossover in the number of analyses —
+/// few analyses favour in-situ, many favour SimFS (paper: crossover
+/// around 20).
+#[test]
+fn fig14_analysis_count_crossover() {
+    let opts = quick();
+    let (_, results) = costfigs::fig14(&opts);
+    let pick = |z: u32| {
+        results
+            .iter()
+            .find(|r| {
+                r.case.n_analyses == z
+                    && r.case.dr_hours == 8.0
+                    && r.case.cache_fraction == 0.25
+            })
+            .unwrap()
+    };
+    assert!(pick(5).in_situ < pick(5).simfs, "z=5: in-situ cheaper");
+    assert!(pick(125).simfs < pick(125).in_situ, "z=125: SimFS cheaper");
+}
+
+/// Fig. 16: analysis completion scales with `s_max` beyond the full
+/// forward re-simulation; Fig. 18's FLASH configuration scales too.
+#[test]
+fn fig16_18_strong_scalability() {
+    let opts = quick();
+    for cfg in [ScalingConfig::cosmo(), ScalingConfig::flash()] {
+        let points = scaling(&cfg, &opts);
+        let p2 = points.iter().find(|p| p.smax == 2).unwrap();
+        let p8 = points.iter().find(|p| p.smax == 8).unwrap();
+        assert!(
+            p8.forward_s <= p2.forward_s,
+            "{}: smax=8 ({:.0}s) should not be slower than smax=2 ({:.0}s)",
+            cfg.name,
+            p8.forward_s,
+            p2.forward_s
+        );
+        let speedup = p8.full_forward_s / p8.forward_s;
+        assert!(
+            speedup > 1.3,
+            "{}: speedup over full forward re-simulation only {speedup:.2}",
+            cfg.name
+        );
+    }
+}
+
+/// Fig. 17: with very high restart latencies the analysis time is
+/// bounded by roughly twice the single-simulation time ("the warm-up
+/// time is a factor of two higher than T_single ... this bounds the
+/// overhead that SimFS can introduce w.r.t. an in-situ analysis").
+#[test]
+fn fig17_warmup_bounds_overhead() {
+    let opts = quick();
+    let cfg = ScalingConfig::cosmo();
+    let points = latency(&cfg, &[288], &[600], &opts);
+    let p = &points[0];
+    assert!(
+        p.simfs_s <= p.t_single_s * 2.5,
+        "SimFS {:.0}s exceeds ~2x T_single ({:.0}s)",
+        p.simfs_s,
+        p.t_single_s
+    );
+    assert!(p.simfs_s >= p.t_lower_s, "cannot beat the parallel bound");
+}
