@@ -3,29 +3,36 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simbatch::QueueModel;
-use simfs_core::dv::{DataVirtualizer, DvEvent};
+use simfs_core::dv::{DataVirtualizer, DvAction, DvEvent};
 use simfs_core::model::{ContextCfg, StepMath};
 use simfs_core::vharness::VirtualExperiment;
 use simkit::{Dur, SimTime};
 use std::hint::black_box;
 
-fn bench_dv_event_handling(c: &mut Criterion) {
-    c.bench_function("dv_acquire_hit_path", |b| {
-        let ctx = ContextCfg::new("bench", StepMath::new(1, 8, 10_000), 100, u64::MAX / 4)
-            .with_prefetch(false);
-        let mut dv = DataVirtualizer::new(ctx);
-        // Materialize 1..=512 once.
-        let actions = dv.handle(SimTime::ZERO, DvEvent::Acquire { client: 1, key: 1 });
-        for a in actions {
-            if let simfs_core::dv::DvAction::Launch { sim, keys, .. } = a {
-                dv.handle(SimTime::ZERO, DvEvent::SimStarted { sim });
-                for k in keys {
-                    dv.handle(SimTime::ZERO, DvEvent::FileProduced { sim, key: k, size: 100 });
-                }
-                dv.handle(SimTime::ZERO, DvEvent::SimFinished { sim });
+/// A DV with keys `1..=8` materialized (hit-path steady state).
+fn hit_path_dv() -> DataVirtualizer {
+    let ctx = ContextCfg::new("bench", StepMath::new(1, 8, 10_000), 100, u64::MAX / 4)
+        .with_prefetch(false);
+    let mut dv = DataVirtualizer::new(ctx);
+    // Materialize 1..=8 once.
+    let actions = dv.handle(SimTime::ZERO, DvEvent::Acquire { client: 1, key: 1 });
+    for a in actions {
+        if let DvAction::Launch { sim, keys, .. } = a {
+            dv.handle(SimTime::ZERO, DvEvent::SimStarted { sim });
+            for k in keys {
+                dv.handle(SimTime::ZERO, DvEvent::FileProduced { sim, key: k, size: 100 });
             }
+            dv.handle(SimTime::ZERO, DvEvent::SimFinished { sim });
         }
-        dv.handle(SimTime::ZERO, DvEvent::Release { client: 1, key: 1 });
+    }
+    dv.handle(SimTime::ZERO, DvEvent::Release { client: 1, key: 1 });
+    dv
+}
+
+fn bench_dv_event_handling(c: &mut Criterion) {
+    // The allocating wrapper: one fresh `Vec<DvAction>` per event.
+    c.bench_function("dv_acquire_hit_path", |b| {
+        let mut dv = hit_path_dv();
         let mut t = 1u64;
         b.iter(|| {
             t += 1;
@@ -33,6 +40,127 @@ fn bench_dv_event_handling(c: &mut Criterion) {
             let key = 1 + (t % 8);
             black_box(dv.handle(now, DvEvent::Acquire { client: 1, key }));
             dv.handle(now, DvEvent::Release { client: 1, key });
+        })
+    });
+    // The scratch-buffer API the daemon actually uses: zero per-event
+    // allocations on the hit path.
+    c.bench_function("dv_acquire_hit_path_into", |b| {
+        let mut dv = hit_path_dv();
+        let mut actions = Vec::new();
+        let mut t = 1u64;
+        b.iter(|| {
+            t += 1;
+            let now = SimTime::from_nanos(t);
+            let key = 1 + (t % 8);
+            actions.clear();
+            dv.handle_into(now, DvEvent::Acquire { client: 1, key }, &mut actions);
+            black_box(&actions);
+            actions.clear();
+            dv.handle_into(now, DvEvent::Release { client: 1, key }, &mut actions);
+        })
+    });
+}
+
+/// Waiter-heavy mix: eight clients pile onto each missing key, then the
+/// production resolves all of them at once — the §IV-C bookkeeping and
+/// notification fan-out dominate.
+fn bench_dv_waiter_heavy(c: &mut Criterion) {
+    c.bench_function("dv_waiter_heavy_mix", |b| {
+        // Cache bounded to a 1024-step window: keys march forward every
+        // iteration, so an unbounded cache would grow DV state across
+        // criterion's millions of iterations and drift the measurement.
+        let ctx = ContextCfg::new("bench", StepMath::new(1, 4, u64::MAX / 8), 100, 1024 * 100)
+            .with_policy("lru")
+            .with_prefetch(false)
+            .with_smax(4);
+        let mut dv = DataVirtualizer::new(ctx);
+        let mut actions = Vec::new();
+        let mut t = 0u64;
+        let mut key = 1u64;
+        b.iter(|| {
+            t += 1;
+            let now = SimTime::from_nanos(t);
+            // Eight clients blocked on the same missing key: one launch,
+            // seven queued waiters.
+            let mut sim = 0;
+            for client in 1..=8u64 {
+                actions.clear();
+                dv.handle_into(now, DvEvent::Acquire { client, key }, &mut actions);
+                for a in &actions {
+                    if let DvAction::Launch { sim: s, .. } = a {
+                        sim = *s;
+                    }
+                }
+            }
+            // The production notifies all eight.
+            actions.clear();
+            dv.handle_into(now, DvEvent::SimStarted { sim }, &mut actions);
+            for k in dv_launch_range(key) {
+                actions.clear();
+                dv.handle_into(
+                    now,
+                    DvEvent::FileProduced { sim, key: k, size: 100 },
+                    &mut actions,
+                );
+                black_box(&actions);
+            }
+            actions.clear();
+            dv.handle_into(now, DvEvent::SimFinished { sim }, &mut actions);
+            for client in 1..=8u64 {
+                actions.clear();
+                dv.handle_into(now, DvEvent::Release { client, key }, &mut actions);
+            }
+            // March forward so every iteration is a fresh miss.
+            key += 4;
+        })
+    });
+}
+
+/// The B=4 re-simulation interval around `key` (keys are 1-based and
+/// interval-aligned in this bench).
+fn dv_launch_range(key: u64) -> std::ops::RangeInclusive<u64> {
+    key..=key + 3
+}
+
+/// Eviction-heavy mix: a cache of 8 steps flooded by a sequential scan
+/// with immediate production — every interval evicts the previous one.
+fn bench_dv_eviction_heavy(c: &mut Criterion) {
+    c.bench_function("dv_eviction_heavy_mix", |b| {
+        let ctx = ContextCfg::new("bench", StepMath::new(1, 4, u64::MAX / 8), 100, 8 * 100)
+            .with_policy("lru")
+            .with_prefetch(false)
+            .with_smax(4);
+        let mut dv = DataVirtualizer::new(ctx);
+        let mut actions = Vec::new();
+        let mut t = 0u64;
+        let mut key = 1u64;
+        b.iter(|| {
+            t += 1;
+            let now = SimTime::from_nanos(t);
+            actions.clear();
+            dv.handle_into(now, DvEvent::Acquire { client: 1, key }, &mut actions);
+            let mut sim = 0;
+            for a in &actions {
+                if let DvAction::Launch { sim: s, .. } = a {
+                    sim = *s;
+                }
+            }
+            actions.clear();
+            dv.handle_into(now, DvEvent::SimStarted { sim }, &mut actions);
+            for k in dv_launch_range(key) {
+                actions.clear();
+                dv.handle_into(
+                    now,
+                    DvEvent::FileProduced { sim, key: k, size: 100 },
+                    &mut actions,
+                );
+                black_box(&actions);
+            }
+            actions.clear();
+            dv.handle_into(now, DvEvent::SimFinished { sim }, &mut actions);
+            actions.clear();
+            dv.handle_into(now, DvEvent::Release { client: 1, key }, &mut actions);
+            key += 4;
         })
     });
 }
@@ -62,5 +190,11 @@ fn bench_virtual_experiments(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dv_event_handling, bench_virtual_experiments);
+criterion_group!(
+    benches,
+    bench_dv_event_handling,
+    bench_dv_waiter_heavy,
+    bench_dv_eviction_heavy,
+    bench_virtual_experiments
+);
 criterion_main!(benches);

@@ -3,12 +3,12 @@
 //!
 //! Four configurations over the same COSMO-style forward analysis:
 //!
-//! * `none`        — no prefetching: every miss pays `alpha_sim`;
-//! * `mask-only`   — prefetching with `s_max = 1`: restart latencies
-//!                   masked, no bandwidth matching;
-//! * `ramp`        — full prefetching with the conservative doubling
-//!                   ramp (§IV-B1b option);
-//! * `full`        — full prefetching, `s_opt` launched directly.
+//! * `none` — no prefetching: every miss pays `alpha_sim`;
+//! * `mask-only` — prefetching with `s_max = 1`: restart latencies
+//!   masked, no bandwidth matching;
+//! * `ramp` — full prefetching with the conservative doubling ramp
+//!   (§IV-B1b option);
+//! * `full` — full prefetching, `s_opt` launched directly.
 //!
 //! `cargo run -p simfs-bench --bin ablation_prefetch`
 

@@ -1,0 +1,165 @@
+//! End-to-end daemon throughput: N concurrent analysis clients hammer a
+//! loopback daemon with hit-path `acquire`/`release` pairs — the Fig. 4
+//! control-message pattern that bounds how many concurrent analyses one
+//! context can serve. Every pair is one full request/response round
+//! trip through the wire codec, the sharded writer map and the DV lock,
+//! so the number directly tracks the lock-split + write-coalescing work
+//! in `server.rs`.
+//!
+//! `cargo run --release -p simfs-bench --bin bench_daemon -- \
+//!     [--clients 1,2,4,8,16,32] [--secs 2] [--out BENCH_daemon.json]`
+//!
+//! Writes a JSON summary (round-trips/sec per client count) to seed the
+//! perf trajectory.
+
+use simbatch::ParallelismMap;
+use simfs_core::client::SimfsClient;
+use simfs_core::driver::{PatternDriver, SimDriver};
+use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};
+use simstore::{Data, Dataset, StorageArea};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const N_KEYS: u64 = 64;
+
+fn step_bytes(key: u64) -> Vec<u8> {
+    let mut ds = Dataset::new(key, key as f64);
+    ds.set_attr("simulator", "synthetic");
+    let field: Vec<f64> = (0..16).map(|i| (key * 31 + i) as f64).collect();
+    ds.add_var("field", vec![16], Data::F64(field)).unwrap();
+    ds.encode().to_vec()
+}
+
+fn start_daemon(dir: &std::path::Path) -> (DvServer, StorageArea) {
+    let _ = std::fs::remove_dir_all(dir);
+    let storage = StorageArea::create(dir, u64::MAX).unwrap();
+    let size = step_bytes(1).len() as u64;
+    let ctx = ContextCfg::new(
+        "bench-ctx",
+        StepMath::new(1, 4, N_KEYS),
+        size,
+        u64::MAX / 4,
+    )
+    .with_prefetch(false)
+    .with_smax(8);
+    let launcher = Arc::new(ThreadSimLauncher::new(
+        step_bytes,
+        |key| PatternDriver::new("out-", ".sdf", 6).filename_of(key),
+        Duration::from_millis(1),
+        Duration::from_micros(200),
+    ));
+    let server = DvServer::start(
+        ServerConfig {
+            ctx,
+            driver: Arc::new(
+                PatternDriver::new("out-", ".sdf", 6)
+                    .with_parallelism(ParallelismMap::unconstrained(1, 2)),
+            ),
+            storage: storage.clone(),
+            launcher,
+            checksums: HashMap::new(),
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    (server, storage)
+}
+
+/// One throughput point: `clients` threads, each looping hit-path
+/// `acquire([key])` + `release(key)` for `secs`. Returns total round
+/// trips completed and the measured window (barrier release to stop
+/// flag — connect/handshake/teardown excluded).
+fn run_point(addr: std::net::SocketAddr, clients: usize, secs: f64) -> (u64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let stop = stop.clone();
+        let start = start.clone();
+        handles.push(std::thread::spawn(move || -> u64 {
+            let mut client = SimfsClient::connect(addr, "bench-ctx").unwrap();
+            // Spread clients over the key space so writer shards and
+            // cache entries are all exercised.
+            let mut key = 1 + (c as u64 * 17) % N_KEYS;
+            let mut ops = 0u64;
+            start.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let status = client.acquire(&[key]).unwrap();
+                assert!(status.ok(), "hit-path acquire failed: {status:?}");
+                client.release(key).unwrap();
+                ops += 1;
+                key = 1 + key % N_KEYS;
+            }
+            let _ = client.finalize();
+            ops
+        }));
+    }
+    start.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = t0.elapsed().as_secs_f64();
+    (handles.into_iter().map(|h| h.join().unwrap()).sum(), elapsed)
+}
+
+fn main() {
+    let mut clients: Vec<usize> = vec![1, 2, 4, 8, 16, 32];
+    let mut secs = 2.0f64;
+    let mut out = String::from("BENCH_daemon.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let val = args.next().unwrap_or_default();
+        match flag.as_str() {
+            "--clients" => {
+                clients = val
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad --clients"))
+                    .collect();
+            }
+            "--secs" => secs = val.parse().expect("bad --secs"),
+            "--out" => out = val,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("simfs-bench-daemon-{}", std::process::id()));
+    let (server, _storage) = start_daemon(&dir);
+    let addr = server.addr();
+
+    // Materialize the whole timeline once so the measured loop is pure
+    // hit-path control traffic (no re-simulations in the timings).
+    {
+        let mut warm = SimfsClient::connect(addr, "bench-ctx").unwrap();
+        let keys: Vec<u64> = (1..=N_KEYS).collect();
+        let status = warm.acquire(&keys).unwrap();
+        assert!(status.ok(), "warmup failed: {status:?}");
+        for k in 1..=N_KEYS {
+            warm.release(k).unwrap();
+        }
+        warm.finalize().unwrap();
+    }
+
+    let mut lines = Vec::new();
+    println!("{:>8} {:>12} {:>14}", "clients", "round_trips", "rtps");
+    for &n in &clients {
+        let (ops, elapsed) = run_point(addr, n, secs);
+        let rtps = ops as f64 / elapsed;
+        println!("{n:>8} {ops:>12} {rtps:>14.0}");
+        lines.push(format!(
+            "    {{\"clients\": {n}, \"secs\": {elapsed:.3}, \"round_trips\": {ops}, \"rtps\": {rtps:.1}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"daemon_acquire_release_roundtrips\",\n  \"keys\": {N_KEYS},\n  \"results\": [\n{}\n  ]\n}}\n",
+        lines.join(",\n")
+    );
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {out}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -23,7 +23,7 @@
 //! launched re-simulation sends as DVLib intercepts its create/close
 //! calls (§III-B).
 
-use crate::wire::{self, ClientKind, Request, Response};
+use crate::wire::{self, ClientKind, FrameReader, Request, Response};
 use std::collections::HashSet;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -70,14 +70,14 @@ impl AcquireRequest {
 
 /// An analysis session with the DV daemon (`SIMFS_Context`).
 pub struct SimfsClient {
+    /// Write half (a second handle to the same socket).
     stream: TcpStream,
+    /// Buffered read half: drains multiple queued response frames per
+    /// syscall; a read timeout never loses a partially received frame.
+    reader: FrameReader<TcpStream>,
     client_id: u64,
     context: String,
     next_req: u64,
-    /// Receive buffer: bytes read but not yet forming a complete frame.
-    /// Required for the non-blocking probes — a read timeout must never
-    /// lose a partially received frame.
-    rxbuf: Vec<u8>,
     /// Responses received while waiting for a different request (e.g. a
     /// `Ready` for an outstanding non-blocking acquire arriving during a
     /// `bitrep` round-trip). Consumed before reading the socket again.
@@ -89,6 +89,7 @@ impl SimfsClient {
     pub fn connect(addr: impl ToSocketAddrs, context: &str) -> io::Result<SimfsClient> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let mut reader = FrameReader::new(stream.try_clone()?);
         wire::write_frame(
             &mut stream,
             &Request::Hello {
@@ -97,15 +98,16 @@ impl SimfsClient {
             }
             .encode(),
         )?;
-        let frame = wire::read_frame(&mut stream)?
+        let frame = reader
+            .read_frame()?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no hello reply"))?;
         match Response::decode(&frame)? {
             Response::HelloOk { client_id } => Ok(SimfsClient {
                 stream,
+                reader,
                 client_id,
                 context: context.to_string(),
                 next_req: 1,
-                rxbuf: Vec::new(),
                 stray: Vec::new(),
             }),
             Response::Error { message } => Err(io::Error::other(message)),
@@ -154,20 +156,18 @@ impl SimfsClient {
     /// Processes one incoming frame into the request's bookkeeping.
     fn dispatch(&mut self, req: &mut AcquireRequest, resp: Response) -> io::Result<()> {
         match resp {
-            Response::Ready { req_id, key } if req_id == req.req_id => {
-                if req.outstanding.remove(&key) {
+            Response::Ready { req_id, key } if req_id == req.req_id
+                && req.outstanding.remove(&key) => {
                     req.status.ready.push(key);
                 }
-            }
             Response::Failed {
                 req_id,
                 key,
                 reason,
-            } if req_id == req.req_id => {
-                if req.outstanding.remove(&key) {
+            } if req_id == req.req_id
+                && req.outstanding.remove(&key) => {
                     req.status.failed.push((key, reason));
                 }
-            }
             Response::Queued {
                 req_id,
                 est_wait_ms,
@@ -192,55 +192,47 @@ impl SimfsClient {
         Ok(())
     }
 
-    /// Pops a complete frame from the receive buffer, if one is there.
-    fn take_buffered_frame(&mut self) -> io::Result<Option<Response>> {
-        if self.rxbuf.len() < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.rxbuf[..4].try_into().expect("4 bytes")) as usize;
-        if len > wire::MAX_FRAME as usize {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "oversized frame from daemon",
-            ));
-        }
-        if self.rxbuf.len() < 4 + len {
-            return Ok(None);
-        }
-        let body: Vec<u8> = self.rxbuf[4..4 + len].to_vec();
-        self.rxbuf.drain(..4 + len);
-        Response::decode(&body).map(Some)
-    }
-
     /// Receives one response; `timeout: None` blocks, otherwise returns
     /// `Ok(None)` if no complete frame arrives in time. Partial frames
-    /// stay buffered — a timeout never desynchronizes the stream.
+    /// stay buffered in the [`FrameReader`] — a timeout never
+    /// desynchronizes the stream.
     fn pump_one(&mut self, timeout: Option<Duration>) -> io::Result<Option<Response>> {
-        use std::io::Read;
-        loop {
-            if let Some(resp) = self.take_buffered_frame()? {
-                return Ok(Some(resp));
+        // Drain already-buffered frames without touching the socket (or
+        // its timeout configuration).
+        if let Some(body) = self.reader.pop_buffered()? {
+            return Response::decode(&body).map(Some);
+        }
+        let Some(t) = timeout else {
+            return match self.reader.read_frame()? {
+                Some(body) => Response::decode(&body).map(Some),
+                None => Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed the session",
+                )),
+            };
+        };
+        // Timed probe: exactly one read syscall, so a frame arriving in
+        // pieces cannot stretch the wait past one timeout window
+        // (read_frame loops and would re-arm the timeout per chunk).
+        self.reader.get_ref().set_read_timeout(Some(t))?;
+        let result = self.reader.fill_once();
+        self.reader.get_ref().set_read_timeout(None)?;
+        match result {
+            Ok(0) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the session",
+            )),
+            Ok(_) => match self.reader.pop_buffered()? {
+                Some(body) => Response::decode(&body).map(Some),
+                None => Ok(None),
+            },
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
             }
-            self.stream.set_read_timeout(timeout)?;
-            let mut chunk = [0u8; 4096];
-            let result = self.stream.read(&mut chunk);
-            self.stream.set_read_timeout(None)?;
-            match result {
-                Ok(0) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "daemon closed the session",
-                    ))
-                }
-                Ok(n) => self.rxbuf.extend_from_slice(&chunk[..n]),
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    return Ok(None)
-                }
-                Err(e) => return Err(e),
-            }
+            Err(e) => Err(e),
         }
     }
 

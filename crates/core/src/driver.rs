@@ -61,7 +61,7 @@ impl PatternDriver {
     /// A driver naming outputs `<prefix>NNN…<suffix>` with `width`
     /// zero-padded digits and restarts `restart-NNN…<suffix>`.
     pub fn new(prefix: &str, suffix: &str, width: usize) -> PatternDriver {
-        assert!(width >= 1 && width <= 19, "pad width out of range");
+        assert!((1..=19).contains(&width), "pad width out of range");
         PatternDriver {
             prefix: prefix.to_string(),
             suffix: suffix.to_string(),

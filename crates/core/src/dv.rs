@@ -21,7 +21,7 @@ use crate::perfmodel::{Ema, IntervalTracker};
 use crate::prefetch::{Direction, PrefetchAgent, PrefetchInputs};
 use simcache::{policy_by_name, u64_map, CacheSim, U64Map};
 use simkit::{Dur, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::ops::RangeInclusive;
 
 /// Identifies an analysis client session.
@@ -158,7 +158,7 @@ pub struct DvStats {
 struct ClientState {
     agent: PrefetchAgent,
     /// Pin counts per key held by this client.
-    pins: HashMap<u64, u32>,
+    pins: U64Map<u32>,
     /// When the client's last request became ready: the start of its
     /// consumption phase. The gap to its next acquire is the `tau_cli`
     /// sample (§IV-A) — consumption time, not blocked-wait time.
@@ -174,6 +174,11 @@ struct SimState {
     launched_at: SimTime,
     started: bool,
     production: IntervalTracker,
+    /// Number of keys this sim is the pending producer of that have a
+    /// non-empty waiter list. Maintained incrementally so the §IV-C
+    /// kill check ("no one waits on anything this sim will produce")
+    /// is O(1) instead of a sims×keys scan.
+    waited_keys: u32,
 }
 
 struct QueuedLaunch {
@@ -187,14 +192,19 @@ struct QueuedLaunch {
 pub struct DataVirtualizer {
     cfg: ContextCfg,
     cache: CacheSim,
-    clients: HashMap<ClientId, ClientState>,
-    sims: HashMap<SimId, SimState>,
+    clients: U64Map<ClientState>,
+    sims: U64Map<SimState>,
     /// key -> simulation that will produce it.
     pending: U64Map<SimId>,
     /// key -> clients blocked on it.
     waiting: U64Map<Vec<ClientId>>,
+    /// client -> its live prefetch simulations (the §IV-C kill-path
+    /// index; avoids scanning every sim on direction changes).
+    prefetches_by_client: U64Map<Vec<SimId>>,
     /// Launches deferred because `s_max` simulations are active.
     launch_queue: VecDeque<QueuedLaunch>,
+    /// Reusable victim list for the kill path (no per-event allocs).
+    kill_scratch: Vec<SimId>,
     next_sim: SimId,
     alpha_sim: Ema,
     tau_sim: Ema,
@@ -216,11 +226,13 @@ impl DataVirtualizer {
             tau_sim: Ema::new(cfg.ema_alpha),
             cfg,
             cache,
-            clients: HashMap::new(),
-            sims: HashMap::new(),
+            clients: u64_map(),
+            sims: u64_map(),
             pending: u64_map(),
             waiting: u64_map(),
+            prefetches_by_client: u64_map(),
             launch_queue: VecDeque::new(),
+            kill_scratch: Vec::new(),
             next_sim: 1,
             stats: DvStats::default(),
         }
@@ -316,7 +328,7 @@ impl DataVirtualizer {
         let ema = self.cfg.ema_alpha;
         self.clients.entry(id).or_insert_with(|| ClientState {
             agent: PrefetchAgent::new(ema),
-            pins: HashMap::new(),
+            pins: u64_map(),
             last_ready: None,
         })
     }
@@ -335,8 +347,7 @@ impl DataVirtualizer {
         actions: &mut Vec<DvAction>,
         now: SimTime,
     ) {
-        let uncovered = keys
-            .clone()
+        let uncovered = (*keys.start()..=*keys.end())
             .any(|k| !self.cache.peek(k) && !self.pending.contains_key(&k));
         if !uncovered {
             return;
@@ -356,25 +367,38 @@ impl DataVirtualizer {
                 break;
             };
             // Re-check coverage: productions may have landed meanwhile.
-            let uncovered = q
-                .keys
-                .clone()
+            let uncovered = (*q.keys.start()..=*q.keys.end())
                 .any(|k| !self.cache.peek(k) && !self.pending.contains_key(&k));
             if !uncovered {
                 continue;
             }
             let sim = self.next_sim;
             self.next_sim += 1;
-            for k in q.keys.clone() {
-                // First producer wins; overlapping ranges refresh files
-                // but only one sim is "the" pending producer.
-                self.pending.entry(k).or_insert(sim);
+            // Claim the range as this sim's pending production (cached
+            // keys included — the simulator re-produces its whole range
+            // and refreshes their files). First producer wins;
+            // overlapping ranges refresh files but only one sim is "the"
+            // pending producer. Count claimed keys with live waiters for
+            // the O(1) kill check.
+            let mut waited_keys = 0u32;
+            for k in *q.keys.start()..=*q.keys.end() {
+                let std::collections::hash_map::Entry::Vacant(e) = self.pending.entry(k)
+                else {
+                    continue;
+                };
+                e.insert(sim);
+                if self.waiting.get(&k).is_some_and(|w| !w.is_empty()) {
+                    waited_keys += 1;
+                }
             }
             let n_keys = q.keys.end() - q.keys.start() + 1;
             self.stats.restarts += 1;
             self.stats.scheduled_steps += n_keys;
             if q.reason == LaunchReason::Prefetch {
                 self.stats.prefetch_launches += 1;
+                if let Some(c) = q.client {
+                    self.prefetches_by_client.entry(c).or_default().push(sim);
+                }
             }
             self.sims.insert(
                 sim,
@@ -386,6 +410,7 @@ impl DataVirtualizer {
                     launched_at: now,
                     started: false,
                     production: IntervalTracker::new(self.cfg.ema_alpha),
+                    waited_keys,
                 },
             );
             actions.push(DvAction::Launch {
@@ -397,34 +422,71 @@ impl DataVirtualizer {
         }
     }
 
+    /// Registers `client` as blocked on `key`, keeping the per-sim
+    /// waited-key counter in sync.
+    fn add_waiter(&mut self, key: u64, client: ClientId) {
+        let list = self.waiting.entry(key).or_default();
+        let was_empty = list.is_empty();
+        list.push(client);
+        if was_empty {
+            if let Some(&sim) = self.pending.get(&key) {
+                if let Some(s) = self.sims.get_mut(&sim) {
+                    s.waited_keys += 1;
+                }
+            }
+        }
+    }
+
+    /// Removes and returns `key`'s waiter list, keeping the per-sim
+    /// waited-key counter in sync. Call *before* removing the key's
+    /// `pending` entry so the producing sim is still resolvable.
+    fn take_waiters(&mut self, key: u64) -> Vec<ClientId> {
+        let waiters = self.waiting.remove(&key).unwrap_or_default();
+        if !waiters.is_empty() {
+            if let Some(&sim) = self.pending.get(&key) {
+                if let Some(s) = self.sims.get_mut(&sim) {
+                    s.waited_keys = s.waited_keys.saturating_sub(1);
+                }
+            }
+        }
+        waiters
+    }
+
     /// Kills the prefetch simulations launched for `client` that no one
     /// is waiting on (§IV-C: "a simulation can be killed only if there
     /// are no other analyses waiting for the files that are going to be
-    /// produced by it").
+    /// produced by it"). The per-client index plus the per-sim
+    /// waited-key counters make this O(victims), not O(sims × keys).
+    ///
+    /// Deliberate narrowing vs. a full range scan: `waited_keys` counts
+    /// only keys this sim is *the* registered pending producer of. When
+    /// production ranges overlap, a sim whose claim on a waited key
+    /// lost to another producer is killable even though it would also
+    /// have produced that key. The waiter stays safe — its registered
+    /// producer cannot be killed, and its failure notifies the waiter —
+    /// but the redundant overlap sim no longer doubles as a fallback.
     fn kill_client_prefetches(
         &mut self,
         client: ClientId,
         actions: &mut Vec<DvAction>,
         now: SimTime,
     ) {
-        let victims: Vec<SimId> = self
-            .sims
-            .iter()
-            .filter(|(_, s)| {
-                s.reason == LaunchReason::Prefetch
-                    && s.client == Some(client)
-                    && s.keys.clone().all(|k| {
-                        self.waiting.get(&k).map_or(true, Vec::is_empty)
-                    })
-            })
-            .map(|(&id, _)| id)
-            .collect();
-        for sim in victims {
-            self.remove_sim_pending(sim);
-            self.sims.remove(&sim);
+        let mut victims = std::mem::take(&mut self.kill_scratch);
+        victims.clear();
+        if let Some(sims) = self.prefetches_by_client.get(&client) {
+            for &sim in sims {
+                if self.sims.get(&sim).is_some_and(|s| s.waited_keys == 0) {
+                    victims.push(sim);
+                }
+            }
+        }
+        for &sim in &victims {
+            self.remove_sim(sim);
             self.stats.kills += 1;
             actions.push(DvAction::Kill { sim });
         }
+        victims.clear();
+        self.kill_scratch = victims;
         // Drop queued prefetches for this client as well.
         self.launch_queue.retain(|q| {
             !(q.reason == LaunchReason::Prefetch && q.client == Some(client))
@@ -436,8 +498,42 @@ impl DataVirtualizer {
         self.drain_launch_queue(actions, now);
     }
 
-    fn remove_sim_pending(&mut self, sim: SimId) {
-        self.pending.retain(|_, &mut s| s != sim);
+    /// Tears down an ended (finished/failed) sim, failing any waiters
+    /// on keys it claimed but never produced with `reason`. Unlike the
+    /// kill path ([`remove_sim`](Self::remove_sim), reachable only with
+    /// `waited_keys == 0`), an ended sim may leave waiters behind.
+    fn end_sim(&mut self, sim: SimId, reason: &str, actions: &mut Vec<DvAction>) {
+        let Some(state) = self.sims.remove(&sim) else {
+            return;
+        };
+        for k in *state.keys.start()..=*state.keys.end() {
+            if self.pending.get(&k) == Some(&sim) {
+                self.pending.remove(&k);
+                for c in self.waiting.remove(&k).unwrap_or_default() {
+                    actions.push(DvAction::NotifyFailed {
+                        client: c,
+                        key: k,
+                        reason: reason.to_string(),
+                    });
+                }
+            }
+        }
+        self.unindex_prefetch(&state, sim);
+    }
+
+    /// Removes a sim: its `sims` entry, its pending productions (walking
+    /// only its own key range — `pending` is the key→sim index) and its
+    /// slot in the per-client prefetch index. Waiter notification is the
+    /// caller's job.
+    fn remove_sim(&mut self, sim: SimId) -> Option<SimState> {
+        let state = self.sims.remove(&sim)?;
+        for k in *state.keys.start()..=*state.keys.end() {
+            if self.pending.get(&k) == Some(&sim) {
+                self.pending.remove(&k);
+            }
+        }
+        self.unindex_prefetch(&state, sim);
+        Some(state)
     }
 
     /// Applies a prefetch plan coming out of an agent.
@@ -466,11 +562,24 @@ impl DataVirtualizer {
     }
 
     /// Handles one event; returns the actions the front-end must apply.
+    ///
+    /// Thin allocating wrapper over [`handle_into`](Self::handle_into) —
+    /// hot front-ends (the daemon, the virtual harness, replay loops)
+    /// should hold a scratch buffer and call `handle_into` to avoid one
+    /// `Vec` allocation per event.
     pub fn handle(&mut self, now: SimTime, event: DvEvent) -> Vec<DvAction> {
         let mut actions = Vec::new();
+        self.handle_into(now, event, &mut actions);
+        actions
+    }
+
+    /// Handles one event, appending the actions the front-end must
+    /// apply to `actions` (which is *not* cleared — callers owning the
+    /// buffer clear it between transitions).
+    pub fn handle_into(&mut self, now: SimTime, event: DvEvent, actions: &mut Vec<DvAction>) {
         match event {
             DvEvent::Acquire { client, key } => {
-                self.on_acquire(client, key, now, &mut actions);
+                self.on_acquire(client, key, now, actions);
             }
             DvEvent::Release { client, key } => {
                 let state = self.client_mut(client);
@@ -500,32 +609,21 @@ impl DataVirtualizer {
                 }
             }
             DvEvent::FileProduced { sim, key, size } => {
-                self.on_file_produced(sim, key, size, now, &mut actions);
+                self.on_file_produced(sim, key, size, now, actions);
             }
             DvEvent::SimFinished { sim } => {
-                self.remove_sim_pending(sim);
-                self.sims.remove(&sim);
-                self.drain_launch_queue(&mut actions, now);
+                // A finished sim has normally produced (and so cleared
+                // the `pending` entry of) every key it claimed. If one
+                // finishes in violation of that contract, fail the
+                // orphaned waiters instead of leaving them blocked on a
+                // key nothing will ever produce.
+                self.end_sim(sim, "producer finished without this step", actions);
+                self.drain_launch_queue(actions, now);
             }
             DvEvent::SimFailed { sim } => {
                 self.stats.failures += 1;
-                if let Some(state) = self.sims.remove(&sim) {
-                    for k in state.keys.clone() {
-                        if self.pending.get(&k) == Some(&sim) {
-                            self.pending.remove(&k);
-                            if let Some(clients) = self.waiting.remove(&k) {
-                                for c in clients {
-                                    actions.push(DvAction::NotifyFailed {
-                                        client: c,
-                                        key: k,
-                                        reason: "re-simulation failed".to_string(),
-                                    });
-                                }
-                            }
-                        }
-                    }
-                }
-                self.drain_launch_queue(&mut actions, now);
+                self.end_sim(sim, "re-simulation failed", actions);
+                self.drain_launch_queue(actions, now);
             }
             DvEvent::ClientGone { client } => {
                 if let Some(state) = self.clients.remove(&client) {
@@ -535,13 +633,48 @@ impl DataVirtualizer {
                         }
                     }
                 }
-                for clients in self.waiting.values_mut() {
-                    clients.retain(|&c| c != client);
-                }
-                self.kill_client_prefetches(client, &mut actions, now);
+                // Strip the departed client from every waiter list,
+                // releasing per-sim waited-key counts for lists that
+                // empty out (no list in `waiting` is ever empty, so
+                // emptying one is exactly one count to release).
+                let DataVirtualizer {
+                    waiting,
+                    pending,
+                    sims,
+                    ..
+                } = self;
+                waiting.retain(|key, list| {
+                    list.retain(|&c| c != client);
+                    if !list.is_empty() {
+                        return true;
+                    }
+                    if let Some(&sim) = pending.get(key) {
+                        if let Some(s) = sims.get_mut(&sim) {
+                            s.waited_keys = s.waited_keys.saturating_sub(1);
+                        }
+                    }
+                    false
+                });
+                self.kill_client_prefetches(client, actions, now);
             }
         }
-        actions
+    }
+
+    /// Drops `sim` from the per-client prefetch index (after its
+    /// `SimState` was removed from `sims` by hand).
+    fn unindex_prefetch(&mut self, state: &SimState, sim: SimId) {
+        if state.reason != LaunchReason::Prefetch {
+            return;
+        }
+        let Some(c) = state.client else { return };
+        if let Some(list) = self.prefetches_by_client.get_mut(&c) {
+            if let Some(pos) = list.iter().position(|&s| s == sim) {
+                list.swap_remove(pos);
+            }
+            if list.is_empty() {
+                self.prefetches_by_client.remove(&c);
+            }
+        }
     }
 
     fn on_acquire(
@@ -610,7 +743,7 @@ impl DataVirtualizer {
             }
         }
 
-        self.waiting.entry(key).or_default().push(client);
+        self.add_waiter(key, client);
 
         let covered = self.pending.contains_key(&key);
         if !covered {
@@ -668,11 +801,14 @@ impl DataVirtualizer {
             }
             s.next_key = key + 1;
         }
+        // Take the waiters while `pending[key]` still names its producer
+        // (the waited-key counters resolve through it), then clear the
+        // pending entry.
+        let waiters = self.take_waiters(key);
         if self.pending.get(&key) == Some(&sim) {
             self.pending.remove(&key);
         }
 
-        let waiters = self.waiting.remove(&key).unwrap_or_default();
         if !self.cache.contains(key) {
             let cost = self.cfg.steps.miss_cost(key);
             let evicted = self
@@ -686,7 +822,8 @@ impl DataVirtualizer {
                 // With waiters it enters pinned and cannot be chosen.
                 debug_assert!(e != key || waiters.is_empty());
                 self.stats.evictions += 1;
-                self.waiting.remove(&e);
+                let dropped = self.take_waiters(e);
+                debug_assert!(dropped.is_empty(), "evicted a waited-on step");
                 actions.push(DvAction::Evict { key: e });
             }
         } else {

@@ -45,7 +45,7 @@ impl StepMath {
         assert!(dd > 0, "Δd must be positive");
         assert!(dr >= dd, "Δr must be at least Δd");
         assert!(
-            dr % dd == 0,
+            dr.is_multiple_of(dd),
             "Δr ({dr}) must be a multiple of Δd ({dd}); see model docs"
         );
         assert!(n_timesteps >= dd, "timeline shorter than one output step");
@@ -98,7 +98,7 @@ impl StepMath {
     pub fn resim_range(&self, key: u64) -> RangeInclusive<u64> {
         debug_assert!(self.valid_key(key), "invalid key {key}");
         let b = self.outputs_per_interval();
-        if key % b == 0 {
+        if key.is_multiple_of(b) {
             key..=key
         } else {
             let j = key / b;
@@ -109,12 +109,10 @@ impl StepMath {
 
     /// The restart index the re-simulation for `key` loads.
     pub fn resim_restart(&self, key: u64) -> u64 {
-        let b = self.outputs_per_interval();
-        if key % b == 0 {
-            key / b
-        } else {
-            key / b
-        }
+        // A boundary key (`key % b == 0`) loads the restart written at
+        // that very step; a non-boundary key loads the restart opening
+        // its interval. Both are `floor(key / b)`.
+        key / self.outputs_per_interval()
     }
 
     /// The output keys inside restart interval `j` (clamped), i.e. the
@@ -130,7 +128,7 @@ impl StepMath {
     /// boundary key belongs to the interval it terminates).
     pub fn interval_of(&self, key: u64) -> u64 {
         let b = self.outputs_per_interval();
-        (key + b - 1) / b - 1
+        key.div_ceil(b) - 1
     }
 
     /// Number of restart intervals covering the timeline.

@@ -492,14 +492,12 @@ mod tests {
             ramp: true,
         };
         let mut sizes = Vec::new();
-        let mut key = 1;
         a.note_planned(Direction::Forward, 4);
-        for _ in 0..2000 {
+        for key in 1..=2000 {
             let out = feed(&mut a, 1.0, &[key], &inp);
             if let Some(plan) = &out[0].plan {
                 sizes.push(plan.blocks.len());
             }
-            key += 1;
             if sizes.len() >= 3 {
                 break;
             }
@@ -522,13 +520,11 @@ mod tests {
         };
         a.note_planned(Direction::Forward, 2);
         let mut max_blocks = 0;
-        let mut key = 1;
-        for _ in 0..200 {
+        for key in 1..=200 {
             let out = feed(&mut a, 1.0, &[key], &inp);
             if let Some(plan) = &out[0].plan {
                 max_blocks = max_blocks.max(plan.blocks.len());
             }
-            key += 1;
         }
         assert!(max_blocks <= 2, "smax=2 exceeded: {max_blocks}");
     }

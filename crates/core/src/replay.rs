@@ -167,7 +167,7 @@ mod tests {
         for _ in 0..4000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             // Skewed reuse: half the accesses in the first interval span.
-            let key = if x % 2 == 0 {
+            let key = if x.is_multiple_of(2) {
                 1 + (x >> 33) % 12
             } else {
                 1 + (x >> 33) % 48

@@ -10,25 +10,62 @@
 //! [`JobLauncher`] and connect back as simulator clients to report
 //! `SimStarted` / `FileProduced` / `SimFinished`.
 //!
-//! Concurrency model: one coarse lock per context around the DV state
-//! plus the client writer map. Every transition (a few map operations)
-//! holds the lock briefly; notification writes are small frames into OS
-//! socket buffers. This is the classic coordination-daemon shape — the
-//! data path (bulk file I/O) never goes through the daemon, only
-//! control messages do, exactly as the paper separates control (TCP)
-//! from data (parallel file system).
+//! # Concurrency model
+//!
+//! The hot path is lock-minimized and write-coalesced:
+//!
+//! * **Split locks.** Each context runs the DV state machine under one
+//!   `Mutex<DvCore>` (pure state transitions, no I/O) and keeps client
+//!   writers in a separate map **sharded** across
+//!   [`WRITER_SHARDS`] mutexes keyed by client id, so connection
+//!   threads registering/notifying different clients do not contend on
+//!   the DV lock or on one another.
+//! * **Collect under lock, effect after release.** A transition locks
+//!   the DV, runs [`DataVirtualizer::handle_into`] into a reusable
+//!   scratch buffer, resolves actions into an [`Effects`] value
+//!   (response outbox + launch/kill/evict lists) and unlocks. Response
+//!   *encoding*, socket writes, job spawning and file deletion all
+//!   happen outside the DV lock.
+//! * **Coalesced wire I/O.** All responses a transition produces for
+//!   one destination client are encoded into a single
+//!   [`wire::FrameBatch`] and flushed with one `write_all`; request
+//!   frames are drained through a buffered [`wire::FrameReader`], so a
+//!   burst of queued control messages costs one syscall each way.
+//!   The bytes on the wire are identical to frame-at-a-time I/O.
+//! * **Launch ledger.** Because launches/kills now happen outside the
+//!   DV lock, a prefetch kill could otherwise race a not-yet-effected
+//!   launch of the same sim. A small per-context ledger serializes
+//!   *only* job-control bookkeeping (launch intents are registered
+//!   under the DV lock; the ledger lock itself is never held across
+//!   launcher I/O) and cancels launches whose kill won the race.
+//!   Deferred eviction deletes re-check the cache under the DV lock so
+//!   an overlapping re-production cannot lose its file to a stale
+//!   eviction.
+//!
+//! One consequence of effecting writes outside the lock: responses to
+//! *different* requests of one client may interleave differently than
+//! under the old coarse lock (e.g. a `Ready` from a production racing
+//! ahead of the `Queued` estimate for the same key). Per-request
+//! semantics are unchanged — DVLib treats `Queued` as informational.
+//!
+//! This remains the classic coordination-daemon shape — the data path
+//! (bulk file I/O) never goes through the daemon, only control messages
+//! do, exactly as the paper separates control (TCP) from data (parallel
+//! file system).
 
 use crate::driver::SimDriver;
 use crate::dv::{ClientId, DataVirtualizer, DvAction, DvEvent, SimId};
 use crate::model::ContextCfg;
-use crate::wire::{self, ClientKind, Request, Response};
+use crate::wire::{self, ClientKind, FrameBatch, FrameReader, Request, Response};
 use parking_lot::Mutex;
 use simbatch::{JobId, JobLauncher, SpawnSpec};
+use simcache::U64Set;
 use simkit::SimTime;
 use simstore::StorageArea;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::RangeInclusive;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -60,18 +97,72 @@ pub struct ServerConfig {
     pub checksums: HashMap<u64, u64>,
 }
 
-struct CtxState {
+/// Writer-map shard count. Client ids are assigned sequentially, so a
+/// simple modulo spreads registration and notification traffic evenly.
+const WRITER_SHARDS: usize = 8;
+
+/// The state guarded by the per-context DV lock: the state machine, the
+/// request bookkeeping its notifications resolve through, and the
+/// reusable action scratch buffer.
+struct DvCore {
     dv: DataVirtualizer,
     /// (client, key) → request ids awaiting Ready/Failed.
     pending: HashMap<(ClientId, u64), Vec<u64>>,
-    /// Analysis client writers.
-    writers: HashMap<ClientId, TcpStream>,
+    /// Scratch for [`DataVirtualizer::handle_into`]; reused across
+    /// transitions so the hot path allocates nothing.
+    actions: Vec<DvAction>,
+}
+
+/// Job-control ledger: serializes launch/kill effects (only those) and
+/// cancels launches whose kill won the race to the launcher.
+#[derive(Default)]
+struct LaunchLedger {
+    /// Sims whose `Launch` action has been collected (registered under
+    /// the DV lock) but not yet picked up by an effector thread. Lets a
+    /// racing kill tell "launch still in flight" (cancel it) from "sim
+    /// already completed" (drop it), so `cancelled` stays bounded.
+    pending_launch: U64Set,
+    /// Sims currently inside a `launcher.launch()` call (the ledger
+    /// lock is dropped for the I/O; this set covers the gap).
+    launching: U64Set,
+    /// Sims handed to the launcher and not yet known-complete.
+    launched: U64Set,
+    /// Sims killed before their launch was effected.
+    cancelled: U64Set,
+}
+
+/// Everything a DV transition wants done once the DV lock is released.
+/// Owned by each connection/reaper thread and reused, so a transition
+/// allocates nothing in steady state.
+#[derive(Default)]
+struct Effects {
+    /// Responses to send, in emission order.
+    outbox: Vec<(ClientId, Response)>,
+    /// Sims to launch.
+    launches: Vec<(SimId, RangeInclusive<u64>, u32)>,
+    /// Sims to kill.
+    kills: Vec<SimId>,
+    /// Output steps to delete from the storage area.
+    evicts: Vec<u64>,
+    /// Sims known complete (finished/failed): drop their ledger entry.
+    completed: Vec<SimId>,
+    /// Reusable per-destination write batches.
+    batches: Vec<(ClientId, FrameBatch)>,
+}
+
+impl Effects {
+    fn has_job_control(&self) -> bool {
+        !self.launches.is_empty() || !self.kills.is_empty() || !self.completed.is_empty()
+    }
 }
 
 /// Per-context runtime: the DV state machine plus its effectors.
 struct CtxRuntime {
     name: String,
-    state: Mutex<CtxState>,
+    state: Mutex<DvCore>,
+    /// Analysis client writers, sharded by client id.
+    writers: Vec<Mutex<HashMap<ClientId, TcpStream>>>,
+    ledger: Mutex<LaunchLedger>,
     driver: Arc<dyn SimDriver>,
     storage: StorageArea,
     launcher: Arc<dyn JobLauncher>,
@@ -106,74 +197,236 @@ impl Inner {
 }
 
 impl CtxRuntime {
-    fn send(&self, state: &mut CtxState, client: ClientId, resp: &Response) {
-        if let Some(stream) = state.writers.get_mut(&client) {
-            let _ = wire::write_frame(stream, &resp.encode());
+    fn shard(&self, client: ClientId) -> &Mutex<HashMap<ClientId, TcpStream>> {
+        &self.writers[(client % WRITER_SHARDS as u64) as usize]
+    }
+
+    fn register_writer(&self, client: ClientId, writer: TcpStream) {
+        self.shard(client).lock().insert(client, writer);
+    }
+
+    fn unregister_writer(&self, client: ClientId) {
+        self.shard(client).lock().remove(&client);
+    }
+
+    /// Resolves the actions of one DV transition into `fx` (called with
+    /// the DV lock held; does no I/O).
+    fn collect(&self, core: &mut DvCore, fx: &mut Effects) {
+        let launches_before = fx.launches.len();
+        for action in core.actions.drain(..) {
+            match action {
+                DvAction::NotifyReady { client, key } => {
+                    if let Some(reqs) = core.pending.remove(&(client, key)) {
+                        for req_id in reqs {
+                            fx.outbox.push((client, Response::Ready { req_id, key }));
+                        }
+                    }
+                }
+                DvAction::NotifyFailed {
+                    client,
+                    key,
+                    reason,
+                } => {
+                    if let Some(reqs) = core.pending.remove(&(client, key)) {
+                        for req_id in reqs {
+                            fx.outbox.push((
+                                client,
+                                Response::Failed {
+                                    req_id,
+                                    key,
+                                    reason: reason.clone(),
+                                },
+                            ));
+                        }
+                    }
+                }
+                DvAction::Launch {
+                    sim, keys, level, ..
+                } => fx.launches.push((sim, keys, level)),
+                DvAction::Kill { sim } => fx.kills.push(sim),
+                DvAction::Evict { key } => fx.evicts.push(key),
+            }
+        }
+        if fx.launches.len() > launches_before {
+            // Register in-flight launches while the DV lock is still
+            // held: any kill of these sims is collected strictly later,
+            // so it will find them here (or in `launched`) and never
+            // mistake a live launch for a completed sim. Launch events
+            // are rare (one per re-simulation), so the extra lock is
+            // off the hit path.
+            let mut ledger = self.ledger.lock();
+            for (sim, _, _) in &fx.launches[launches_before..] {
+                ledger.pending_launch.insert(*sim);
+            }
         }
     }
 
-    /// Applies DV actions; launch failures feed back as `SimFailed`
-    /// events until quiescence.
-    fn apply_actions(&self, inner: &Inner, state: &mut CtxState, mut actions: Vec<DvAction>) {
-        while !actions.is_empty() {
-            let mut feedback: Vec<DvEvent> = Vec::new();
-            for action in std::mem::take(&mut actions) {
-                match action {
-                    DvAction::NotifyReady { client, key } => {
-                        if let Some(reqs) = state.pending.remove(&(client, key)) {
-                            for req_id in reqs {
-                                self.send(state, client, &Response::Ready { req_id, key });
-                            }
-                        }
+    /// Locks the DV, applies one event, and collects its effects.
+    fn transition(&self, inner: &Inner, event: DvEvent, fx: &mut Effects) {
+        let now = inner.now();
+        let mut core = self.state.lock();
+        let DvCore { dv, actions, .. } = &mut *core;
+        dv.handle_into(now, event, actions);
+        self.collect(&mut core, fx);
+    }
+
+    /// Encodes and writes the outbox: one [`FrameBatch`] (one
+    /// `write_all`) per destination client. Departed clients are
+    /// dropped silently, matching the old behavior.
+    fn flush_outbox(&self, fx: &mut Effects) {
+        if fx.outbox.is_empty() {
+            return;
+        }
+        // Group per destination, preserving per-client emission order.
+        // Transitions touch a handful of clients, so linear scan beats
+        // a map. Batch entries (and their buffers) are retained across
+        // flushes — `used` counts the live prefix; entries past it are
+        // cleared spares from earlier flushes with stale client ids.
+        let mut used = 0;
+        for (client, resp) in fx.outbox.drain(..) {
+            match fx.batches[..used].iter_mut().find(|(c, _)| *c == client) {
+                Some((_, batch)) => batch.push_response(&resp),
+                None => {
+                    if let Some((c, batch)) = fx.batches.get_mut(used) {
+                        *c = client;
+                        batch.push_response(&resp);
+                    } else {
+                        let mut batch = FrameBatch::new();
+                        batch.push_response(&resp);
+                        fx.batches.push((client, batch));
                     }
-                    DvAction::NotifyFailed {
-                        client,
-                        key,
-                        reason,
-                    } => {
-                        if let Some(reqs) = state.pending.remove(&(client, key)) {
-                            for req_id in reqs {
-                                self.send(
-                                    state,
-                                    client,
-                                    &Response::Failed {
-                                        req_id,
-                                        key,
-                                        reason: reason.clone(),
-                                    },
-                                );
-                            }
-                        }
-                    }
-                    DvAction::Launch {
-                        sim, keys, level, ..
-                    } => {
-                        let spec = self
-                            .driver
-                            .make_job(*keys.start(), *keys.end(), level)
-                            .env(env_keys::DV_ADDR, inner.addr.to_string())
-                            .env(env_keys::SIM_ID, sim.to_string())
-                            .env(env_keys::CONTEXT, &self.name)
-                            .env(
-                                env_keys::DATA_DIR,
-                                self.storage.root().to_string_lossy().to_string(),
-                            );
-                        if self.launcher.launch(JobId(sim), &spec).is_err() {
-                            feedback.push(DvEvent::SimFailed { sim });
-                        }
-                    }
-                    DvAction::Kill { sim } => {
-                        let _ = self.launcher.kill(JobId(sim));
-                    }
-                    DvAction::Evict { key } => {
-                        let name = self.driver.filename_of(key);
-                        let _ = self.storage.delete(&name);
-                    }
+                    used += 1;
                 }
             }
-            let now = inner.now();
-            for ev in feedback {
-                actions.extend(state.dv.handle(now, ev));
+        }
+        for (client, batch) in &mut fx.batches[..used] {
+            {
+                let mut shard = self.shard(*client).lock();
+                if let Some(stream) = shard.get_mut(client) {
+                    let _ = batch.write_to(stream);
+                }
+            }
+            batch.clear();
+        }
+    }
+
+    /// Applies job-control effects. Returns sims whose launch failed
+    /// (fed back as `SimFailed`). The ledger lock is held only for set
+    /// bookkeeping — never across launcher I/O — because `collect`
+    /// takes it while holding the DV lock; holding it through a slow
+    /// job submission would convoy every transition on the context.
+    fn apply_job_control(&self, inner: &Inner, fx: &mut Effects, failed: &mut Vec<SimId>) {
+        if !fx.has_job_control() {
+            return;
+        }
+        let mut to_kill: Vec<SimId> = Vec::new();
+        let mut to_launch: Vec<(SimId, RangeInclusive<u64>, u32)> = Vec::new();
+        {
+            let mut ledger = self.ledger.lock();
+            for sim in fx.kills.drain(..) {
+                if ledger.launched.remove(&sim) {
+                    to_kill.push(sim);
+                } else if ledger.pending_launch.contains(&sim)
+                    || ledger.launching.contains(&sim)
+                {
+                    // Kill won the race against a launch another thread
+                    // has collected but not yet effected: cancel it.
+                    ledger.cancelled.insert(sim);
+                }
+                // Neither pending, launching nor launched: the sim
+                // already finished or failed; nothing to kill and
+                // nothing to remember.
+            }
+            for (sim, keys, level) in fx.launches.drain(..) {
+                ledger.pending_launch.remove(&sim);
+                if ledger.cancelled.remove(&sim) {
+                    continue;
+                }
+                ledger.launching.insert(sim);
+                to_launch.push((sim, keys, level));
+            }
+            for sim in fx.completed.drain(..) {
+                if ledger.launching.contains(&sim) {
+                    // Completed before its launching thread finalized
+                    // (possible with in-process launchers): route
+                    // through `cancelled` so finalization below does
+                    // not record a dead sim as launched.
+                    ledger.cancelled.insert(sim);
+                } else {
+                    ledger.launched.remove(&sim);
+                    ledger.cancelled.remove(&sim);
+                }
+            }
+        }
+        for sim in to_kill {
+            let _ = self.launcher.kill(JobId(sim));
+        }
+        for (sim, keys, level) in to_launch {
+            let spec = self
+                .driver
+                .make_job(*keys.start(), *keys.end(), level)
+                .env(env_keys::DV_ADDR, inner.addr.to_string())
+                .env(env_keys::SIM_ID, sim.to_string())
+                .env(env_keys::CONTEXT, &self.name)
+                .env(
+                    env_keys::DATA_DIR,
+                    self.storage.root().to_string_lossy().to_string(),
+                );
+            let launched = self.launcher.launch(JobId(sim), &spec).is_ok();
+            let kill_now = {
+                let mut ledger = self.ledger.lock();
+                ledger.launching.remove(&sim);
+                if !launched {
+                    ledger.cancelled.remove(&sim);
+                    failed.push(sim);
+                    false
+                } else if ledger.cancelled.remove(&sim) {
+                    // A kill (or an early completion) landed while the
+                    // launcher ran: take the job straight back down.
+                    true
+                } else {
+                    ledger.launched.insert(sim);
+                    false
+                }
+            };
+            if kill_now {
+                let _ = self.launcher.kill(JobId(sim));
+            }
+        }
+    }
+
+    /// Effects everything a transition collected: socket writes, job
+    /// control, evictions. Launch failures feed back as `SimFailed`
+    /// events until quiescence. Never holds the DV lock while doing
+    /// I/O.
+    fn commit(&self, inner: &Inner, fx: &mut Effects) {
+        let mut failed: Vec<SimId> = Vec::new();
+        loop {
+            self.flush_outbox(fx);
+            self.apply_job_control(inner, fx, &mut failed);
+            if !fx.evicts.is_empty() {
+                // The evictions were decided under a DV lock we have
+                // since released: an overlapping production may have
+                // re-materialized a key meanwhile. Re-check (one lock
+                // for the whole batch) so we do not delete files the
+                // cache now believes in. The residual write-then-delete
+                // window is inherent: simulators publish files before
+                // their FileProduced message reaches the DV.
+                {
+                    let core = self.state.lock();
+                    fx.evicts.retain(|&key| !core.dv.is_cached(key));
+                }
+                for key in fx.evicts.drain(..) {
+                    let name = self.driver.filename_of(key);
+                    let _ = self.storage.delete(&name);
+                }
+            }
+            if failed.is_empty() {
+                return;
+            }
+            for sim in failed.drain(..) {
+                fx.completed.push(sim);
+                self.transition(inner, DvEvent::SimFailed { sim }, fx);
             }
         }
     }
@@ -219,11 +472,15 @@ impl DvServer {
             }
             let runtime = Arc::new(CtxRuntime {
                 name: name.clone(),
-                state: Mutex::new(CtxState {
+                state: Mutex::new(DvCore {
                     dv,
                     pending: HashMap::new(),
-                    writers: HashMap::new(),
+                    actions: Vec::new(),
                 }),
+                writers: (0..WRITER_SHARDS)
+                    .map(|_| Mutex::new(HashMap::new()))
+                    .collect(),
+                ledger: Mutex::new(LaunchLedger::default()),
                 driver: config.driver,
                 storage: config.storage,
                 launcher: config.launcher,
@@ -273,6 +530,7 @@ impl DvServer {
         // analyses get an answer instead of a hang.
         let reap_inner = Arc::clone(&inner);
         std::thread::spawn(move || {
+            let mut fx = Effects::default();
             while !reap_inner.shutdown.load(Ordering::SeqCst) {
                 std::thread::sleep(std::time::Duration::from_millis(50));
                 for runtime in reap_inner.contexts.values() {
@@ -280,9 +538,7 @@ impl DvServer {
                     if exits.is_empty() {
                         continue;
                     }
-                    let mut state = runtime.state.lock();
                     for (job, success) in exits {
-                        let now = reap_inner.now();
                         // Unknown sims (already finished via the
                         // protocol) are no-ops inside the DV.
                         let event = if success {
@@ -290,8 +546,9 @@ impl DvServer {
                         } else {
                             DvEvent::SimFailed { sim: job.0 }
                         };
-                        let actions = state.dv.handle(now, event);
-                        runtime.apply_actions(&reap_inner, &mut state, actions);
+                        fx.completed.push(job.0);
+                        runtime.transition(&reap_inner, event, &mut fx);
+                        runtime.commit(&reap_inner, &mut fx);
                     }
                 }
             }
@@ -337,6 +594,25 @@ impl DvServer {
 
     /// Stops accepting connections.
     pub fn shutdown(&self) {
+        // Quiesce before stopping the machinery: in-flight
+        // re-simulations keep producing files until they report
+        // SimFinished, and the reaper (which must keep running here —
+        // it is how a *crashed* sim's exit reaches the DV) drains
+        // orphans. A bounded wait lets callers tear down the storage
+        // area without racing live writers.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        for ctx in self.inner.contexts.values() {
+            while Instant::now() < deadline {
+                let idle = {
+                    let core = ctx.state.lock();
+                    core.dv.active_sims() == 0 && core.dv.queued_launches() == 0
+                };
+                if idle {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
         self.inner.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.inner.addr);
@@ -349,8 +625,9 @@ impl Drop for DvServer {
     }
 }
 
-fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
-    let hello = match wire::read_frame(&mut stream) {
+fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
+    let mut reader = FrameReader::new(stream);
+    let hello = match reader.read_frame() {
         Ok(Some(body)) => match Request::decode(&body) {
             Ok(req) => req,
             Err(_) => return,
@@ -361,7 +638,9 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
         let resp = Response::Error {
             message: "expected Hello".to_string(),
         };
-        let _ = wire::write_frame(&mut stream, &resp.encode());
+        if let Ok(mut w) = reader.get_ref().try_clone() {
+            let _ = wire::write_frame(&mut w, &resp.encode());
+        }
         return;
     };
     let Some(runtime) = inner.route(&context).cloned() else {
@@ -376,73 +655,79 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
                 }
             ),
         };
-        let _ = wire::write_frame(&mut stream, &resp.encode());
+        if let Ok(mut w) = reader.get_ref().try_clone() {
+            let _ = wire::write_frame(&mut w, &resp.encode());
+        }
         return;
     };
     match kind {
-        ClientKind::Analysis => analysis_session(inner, runtime, stream),
-        ClientKind::Simulator { sim_id } => simulator_session(inner, runtime, stream, sim_id),
+        ClientKind::Analysis => analysis_session(inner, runtime, reader),
+        ClientKind::Simulator { sim_id } => simulator_session(inner, runtime, reader, sim_id),
     }
 }
 
-fn analysis_session(inner: Arc<Inner>, runtime: Arc<CtxRuntime>, mut stream: TcpStream) {
+fn analysis_session(
+    inner: Arc<Inner>,
+    runtime: Arc<CtxRuntime>,
+    mut reader: FrameReader<TcpStream>,
+) {
     let client: ClientId = inner.next_client.fetch_add(1, Ordering::SeqCst);
-    {
-        let mut state = runtime.state.lock();
-        match stream.try_clone() {
-            Ok(writer) => {
-                state.writers.insert(client, writer);
-            }
-            Err(_) => return,
-        }
-        runtime.send(&mut state, client, &Response::HelloOk { client_id: client });
+    let Ok(mut writer) = reader.get_ref().try_clone() else {
+        return;
+    };
+    if wire::write_frame(&mut writer, &Response::HelloOk { client_id: client }.encode()).is_err() {
+        return;
     }
+    runtime.register_writer(client, writer);
 
-    loop {
-        let frame = match wire::read_frame(&mut stream) {
-            Ok(Some(body)) => body,
-            _ => break,
-        };
+    let mut fx = Effects::default();
+    while let Ok(Some(frame)) = reader.read_frame() {
         let req = match Request::decode(&frame) {
             Ok(r) => r,
             Err(_) => break,
         };
         match req {
             Request::Acquire { req_id, keys } => {
-                let mut state = runtime.state.lock();
-                for key in keys {
-                    // Register interest before handling so a concurrent
-                    // production cannot race past the notification.
-                    state.pending.entry((client, key)).or_default().push(req_id);
+                // One DV lock acquisition for the whole request; all
+                // resulting responses leave as one coalesced batch per
+                // destination after release.
+                {
                     let now = inner.now();
-                    let actions = state.dv.handle(now, DvEvent::Acquire { client, key });
-                    runtime.apply_actions(&inner, &mut state, actions);
-                    // Still pending? Tell the client it is queued, with
-                    // the wait estimate (§III-C).
-                    if state.pending.contains_key(&(client, key)) {
-                        let est = state
-                            .dv
-                            .estimate_wait(key)
-                            .map_or(0, |d| d.as_nanos() / 1_000_000);
-                        runtime.send(
-                            &mut state,
-                            client,
-                            &Response::Queued {
-                                req_id,
-                                key,
-                                est_wait_ms: est,
-                            },
-                        );
+                    let mut core = runtime.state.lock();
+                    for &key in &keys {
+                        // Register interest before handling so a
+                        // concurrent production cannot race past the
+                        // notification.
+                        core.pending.entry((client, key)).or_default().push(req_id);
+                        let DvCore { dv, actions, .. } = &mut *core;
+                        dv.handle_into(now, DvEvent::Acquire { client, key }, actions);
+                        runtime.collect(&mut core, &mut fx);
+                        // Still pending? Tell the client it is queued,
+                        // with the wait estimate (§III-C).
+                        if core.pending.contains_key(&(client, key)) {
+                            let est = core
+                                .dv
+                                .estimate_wait(key)
+                                .map_or(0, |d| d.as_nanos() / 1_000_000);
+                            fx.outbox.push((
+                                client,
+                                Response::Queued {
+                                    req_id,
+                                    key,
+                                    est_wait_ms: est,
+                                },
+                            ));
+                        }
                     }
                 }
+                runtime.commit(&inner, &mut fx);
             }
             Request::Release { key } => {
-                let mut state = runtime.state.lock();
-                let now = inner.now();
-                let actions = state.dv.handle(now, DvEvent::Release { client, key });
-                runtime.apply_actions(&inner, &mut state, actions);
+                runtime.transition(&inner, DvEvent::Release { client, key }, &mut fx);
+                runtime.commit(&inner, &mut fx);
             }
             Request::Bitrep { req_id, key } => {
+                // Pure storage I/O: never touches the DV lock.
                 let name = runtime.driver.filename_of(key);
                 let result = runtime.storage.read(&name).ok().map(|bytes| {
                     let sum = runtime.driver.checksum(&bytes);
@@ -451,7 +736,6 @@ fn analysis_session(inner: Arc<Inner>, runtime: Arc<CtxRuntime>, mut stream: Tcp
                         None => (false, false),
                     }
                 });
-                let mut state = runtime.state.lock();
                 let resp = match result {
                     Some((matches, known)) => Response::BitrepResult {
                         req_id,
@@ -465,63 +749,64 @@ fn analysis_session(inner: Arc<Inner>, runtime: Arc<CtxRuntime>, mut stream: Tcp
                         reason: "file not materialized; acquire it first".to_string(),
                     },
                 };
-                runtime.send(&mut state, client, &resp);
+                fx.outbox.push((client, resp));
+                runtime.flush_outbox(&mut fx);
             }
             Request::Status { req_id } => {
-                let mut state = runtime.state.lock();
-                let stats = state.dv.stats().clone();
-                let resp = Response::StatusInfo {
-                    req_id,
-                    hits: stats.hits,
-                    misses: stats.misses,
-                    restarts: stats.restarts,
-                    produced_steps: stats.produced_steps,
-                    active_sims: state.dv.active_sims() as u64,
+                let resp = {
+                    let core = runtime.state.lock();
+                    let stats = core.dv.stats();
+                    Response::StatusInfo {
+                        req_id,
+                        hits: stats.hits,
+                        misses: stats.misses,
+                        restarts: stats.restarts,
+                        produced_steps: stats.produced_steps,
+                        active_sims: core.dv.active_sims() as u64,
+                    }
                 };
-                runtime.send(&mut state, client, &resp);
+                fx.outbox.push((client, resp));
+                runtime.flush_outbox(&mut fx);
             }
             Request::Bye => break,
             _ => {
-                let mut state = runtime.state.lock();
-                runtime.send(
-                    &mut state,
+                fx.outbox.push((
                     client,
-                    &Response::Error {
+                    Response::Error {
                         message: "unexpected analysis request".to_string(),
                     },
-                );
+                ));
+                runtime.flush_outbox(&mut fx);
                 break;
             }
         }
     }
 
-    let mut state = runtime.state.lock();
-    state.writers.remove(&client);
-    state.pending.retain(|(c, _), _| *c != client);
-    let now = inner.now();
-    let actions = state.dv.handle(now, DvEvent::ClientGone { client });
-    runtime.apply_actions(&inner, &mut state, actions);
+    runtime.unregister_writer(client);
+    {
+        let mut core = runtime.state.lock();
+        core.pending.retain(|(c, _), _| *c != client);
+    }
+    runtime.transition(&inner, DvEvent::ClientGone { client }, &mut fx);
+    runtime.commit(&inner, &mut fx);
 }
 
 fn simulator_session(
     inner: Arc<Inner>,
     runtime: Arc<CtxRuntime>,
-    mut stream: TcpStream,
+    mut reader: FrameReader<TcpStream>,
     sim: SimId,
 ) {
     {
-        let mut writer = match stream.try_clone() {
+        let mut writer = match reader.get_ref().try_clone() {
             Ok(w) => w,
             Err(_) => return,
         };
         let _ = wire::write_frame(&mut writer, &Response::HelloOk { client_id: sim }.encode());
     }
+    let mut fx = Effects::default();
     let mut finished = false;
-    loop {
-        let frame = match wire::read_frame(&mut stream) {
-            Ok(Some(body)) => body,
-            _ => break,
-        };
+    while let Ok(Some(frame)) = reader.read_frame() {
         let req = match Request::decode(&frame) {
             Ok(r) => r,
             Err(_) => break,
@@ -531,25 +816,23 @@ fn simulator_session(
             Request::FileProduced { key, size } => DvEvent::FileProduced { sim, key, size },
             Request::SimFinished => {
                 finished = true;
+                fx.completed.push(sim);
                 DvEvent::SimFinished { sim }
             }
             Request::Bye => break,
             _ => break,
         };
-        let mut state = runtime.state.lock();
-        let now = inner.now();
-        let actions = state.dv.handle(now, event);
-        runtime.apply_actions(&inner, &mut state, actions);
+        runtime.transition(&inner, event, &mut fx);
+        runtime.commit(&inner, &mut fx);
         if finished {
             break;
         }
     }
     if !finished {
         // Connection died mid-run: the re-simulation failed.
-        let mut state = runtime.state.lock();
-        let now = inner.now();
-        let actions = state.dv.handle(now, DvEvent::SimFailed { sim });
-        runtime.apply_actions(&inner, &mut state, actions);
+        fx.completed.push(sim);
+        runtime.transition(&inner, DvEvent::SimFailed { sim }, &mut fx);
+        runtime.commit(&inner, &mut fx);
     }
     let _ = runtime.launcher.reap();
 }

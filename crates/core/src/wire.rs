@@ -175,6 +175,12 @@ impl Request {
     /// Encodes into a frame body (no length prefix).
     pub fn encode(&self) -> BytesMut {
         let mut buf = BytesMut::with_capacity(32);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Appends the frame body to `buf` without allocating.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Request::Hello { kind, context } => {
                 buf.put_u8(0);
@@ -185,7 +191,7 @@ impl Request {
                         buf.put_u64_le(*sim_id);
                     }
                 }
-                put_string(&mut buf, context);
+                put_string(buf, context);
             }
             Request::Acquire { req_id, keys } => {
                 buf.put_u8(1);
@@ -217,7 +223,6 @@ impl Request {
                 buf.put_u64_le(*req_id);
             }
         }
-        buf
     }
 
     /// Decodes a frame body.
@@ -310,6 +315,12 @@ impl Response {
     /// Encodes into a frame body (no length prefix).
     pub fn encode(&self) -> BytesMut {
         let mut buf = BytesMut::with_capacity(32);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Appends the frame body to `buf` without allocating.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Response::HelloOk { client_id } => {
                 buf.put_u8(0);
@@ -328,7 +339,7 @@ impl Response {
                 buf.put_u8(2);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*key);
-                put_string(&mut buf, reason);
+                put_string(buf, reason);
             }
             Response::Queued {
                 req_id,
@@ -354,7 +365,7 @@ impl Response {
             }
             Response::Error { message } => {
                 buf.put_u8(5);
-                put_string(&mut buf, message);
+                put_string(buf, message);
             }
             Response::StatusInfo {
                 req_id,
@@ -373,7 +384,6 @@ impl Response {
                 buf.put_u64_le(*active_sims);
             }
         }
-        buf
     }
 
     /// Decodes a frame body.
@@ -453,6 +463,182 @@ impl Response {
             return Err(corrupt("trailing bytes in response"));
         }
         Ok(resp)
+    }
+}
+
+/// Coalesces several length-prefixed frames into one contiguous buffer
+/// so a burst of responses to the same destination costs one
+/// `write_all` (and typically one TCP segment) instead of one syscall
+/// per frame. The on-wire bytes are identical to a sequence of
+/// [`write_frame`] calls — batching happens strictly at the I/O layer,
+/// not in the protocol.
+#[derive(Debug, Default)]
+pub struct FrameBatch {
+    buf: BytesMut,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    pub fn new() -> FrameBatch {
+        FrameBatch::default()
+    }
+
+    /// Appends one frame encoded in place (no per-frame allocation):
+    /// reserves the length slot, encodes, then backfills the length.
+    fn push_with(&mut self, encode: impl FnOnce(&mut BytesMut)) {
+        let len_at = self.buf.len();
+        self.buf.put_u32_le(0);
+        encode(&mut self.buf);
+        let body_len = (self.buf.len() - len_at - 4) as u32;
+        debug_assert!(body_len <= MAX_FRAME);
+        self.buf[len_at..len_at + 4].copy_from_slice(&body_len.to_le_bytes());
+    }
+
+    /// Encodes a response directly into the batch.
+    pub fn push_response(&mut self, resp: &Response) {
+        self.push_with(|buf| resp.encode_into(buf));
+    }
+
+    /// Encodes a request directly into the batch (simulator sessions
+    /// batch their notifications the same way).
+    pub fn push_request(&mut self, req: &Request) {
+        self.push_with(|buf| req.encode_into(buf));
+    }
+
+    /// True if no frames were pushed since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Buffered wire bytes (length prefixes included).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Clears the batch, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Writes the whole batch in one `write_all` and clears it.
+    pub fn write_to(&mut self, w: &mut impl Write) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        w.write_all(&self.buf)?;
+        self.buf.clear();
+        w.flush()
+    }
+}
+
+/// Buffered frame reader: drains multiple queued frames per `read`
+/// syscall. Partial frames stay buffered across calls, so transient
+/// read timeouts (`WouldBlock`/`TimedOut`) never desynchronize the
+/// stream — callers can treat them as "no frame yet" and retry.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    /// Fixed-length scratch; `buf[start..end]` holds unconsumed bytes.
+    /// The length only ever grows (to `end + READ_CHUNK`), so refills
+    /// never re-zero the region they read into.
+    buf: Vec<u8>,
+    /// Consumed prefix of the filled region (compacted before refills).
+    start: usize,
+    /// Filled watermark of `buf`.
+    end: usize,
+}
+
+/// Read chunk size: large enough to drain dozens of queued control
+/// frames per syscall, small enough to stay cache-friendly.
+const READ_CHUNK: usize = 16 * 1024;
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// The wrapped stream (e.g. to set socket options).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Pops a complete buffered frame, if one is available, without
+    /// touching the underlying stream.
+    pub fn pop_buffered(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let avail = self.end - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4 bytes");
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME {
+            return Err(corrupt(&format!("oversized frame ({len} bytes)")));
+        }
+        let len = len as usize;
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let body = self.buf[self.start + 4..self.start + 4 + len].to_vec();
+        self.start += 4 + len;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        Ok(Some(body))
+    }
+
+    /// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a
+    /// frame boundary. `WouldBlock`/`TimedOut` errors from the stream
+    /// pass through with all partial data retained.
+    pub fn read_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            if let Some(body) = self.pop_buffered()? {
+                return Ok(Some(body));
+            }
+            if self.fill_once()? == 0 {
+                if self.buffered().is_empty() {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame",
+                ));
+            }
+        }
+    }
+
+    /// Performs at most one `read` into the buffer; returns the byte
+    /// count (0 = EOF). Pair with [`pop_buffered`](Self::pop_buffered)
+    /// when the caller needs an upper bound of one syscall per call —
+    /// timed polls, for instance, where [`read_frame`](Self::read_frame)
+    /// would re-arm the socket timeout for every partial chunk.
+    pub fn fill_once(&mut self) -> io::Result<usize> {
+        // Compact before refilling so the buffer does not creep.
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        // Grow (and zero) only when the high-water mark rises;
+        // steady-state refills reuse the same bytes.
+        if self.buf.len() < self.end + READ_CHUNK {
+            self.buf.resize(self.end + READ_CHUNK, 0);
+        }
+        let got = self.inner.read(&mut self.buf[self.end..])?;
+        self.end += got;
+        Ok(got)
     }
 }
 

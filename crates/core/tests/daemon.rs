@@ -373,12 +373,25 @@ fn multi_context_daemon_routes_by_name() {
     assert!(cb.acquire(&[2]).unwrap().ok());
     assert!(storage_a.exists("out-000002.sdf"));
     assert!(storage_b.exists("out-000002.sdf"));
+
+    // The acquires return as soon as key 2 is ready; the launched sims
+    // keep producing the rest of their intervals. Wait for quiescence
+    // before asserting totals.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let (mut sa, mut sb) = (
+        server.context_stats("coarse").unwrap(),
+        server.context_stats("fine").unwrap(),
+    );
+    while (sa.produced_steps, sb.produced_steps) != (4, 8)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+        sa = server.context_stats("coarse").unwrap();
+        sb = server.context_stats("fine").unwrap();
+    }
     // Different cadences: coarse interval is 1..=4, fine is 1..=8.
     assert!(!storage_a.exists("out-000008.sdf"));
     assert!(storage_b.exists("out-000008.sdf"));
-
-    let sa = server.context_stats("coarse").unwrap();
-    let sb = server.context_stats("fine").unwrap();
     assert_eq!(sa.misses, 1);
     assert_eq!(sb.misses, 1);
     assert_eq!(sa.produced_steps, 4);

@@ -7,6 +7,23 @@ use simfs_core::replay::replay;
 use simkit::SimTime;
 use std::collections::{HashMap, HashSet};
 
+/// Event generator over a small key/client/sim space so streams hit
+/// every DV code path (hits, misses, productions for both live and
+/// stale sims, failures, departures).
+fn arb_event() -> impl Strategy<Value = DvEvent> {
+    prop_oneof![
+        4 => (1u64..6, 1u64..30).prop_map(|(client, key)| DvEvent::Acquire { client, key }),
+        3 => (1u64..6, 1u64..30).prop_map(|(client, key)| DvEvent::Release { client, key }),
+        1 => (1u64..10).prop_map(|sim| DvEvent::SimStarted { sim }),
+        3 => (1u64..10, 1u64..30, 1u64..500).prop_map(|(sim, key, size)| {
+            DvEvent::FileProduced { sim, key, size }
+        }),
+        1 => (1u64..10).prop_map(|sim| DvEvent::SimFinished { sim }),
+        1 => (1u64..10).prop_map(|sim| DvEvent::SimFailed { sim }),
+        1 => (1u64..6).prop_map(|client| DvEvent::ClientGone { client }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -28,7 +45,7 @@ proptest! {
         // Restart mapping bounds.
         let r = steps.restart_before(key);
         prop_assert!(r * dr <= key * dd);
-        prop_assert!((r + 1) * dr > key * dd || key * dd % dr == 0);
+        prop_assert!((r + 1) * dr > key * dd || (key * dd).is_multiple_of(dr));
 
         // The resim range contains the key and stays in the timeline.
         let range = steps.resim_range(key);
@@ -38,7 +55,7 @@ proptest! {
         // Cost is the distance from the previous restart boundary.
         let cost = steps.miss_cost(key);
         prop_assert!(cost < steps.outputs_per_interval());
-        prop_assert_eq!(cost == 0, key % steps.outputs_per_interval() == 0);
+        prop_assert_eq!(cost == 0, key.is_multiple_of(steps.outputs_per_interval()));
     }
 
     /// Replay invariants: every miss restarts at most one simulation,
@@ -51,8 +68,8 @@ proptest! {
     ) {
         let steps = StepMath::new(1, 8, 160); // N = 160, B = 8
         let ctx = ContextCfg::new("prop", steps, 10, cache_steps * 10)
-            .with_policy(&policy);
-        let valid = accesses.iter().filter(|&&k| k >= 1 && k <= 160).count() as u64;
+            .with_policy(policy);
+        let valid = accesses.iter().filter(|&&k| (1..=160).contains(&k)).count() as u64;
         let stats = replay(&ctx, accesses.iter().copied());
         prop_assert_eq!(stats.hits + stats.misses, valid);
         prop_assert_eq!(stats.restarts, stats.misses);
@@ -193,5 +210,45 @@ proptest! {
         }
         prop_assert_eq!(dv.active_sims(), 0);
         prop_assert_eq!(dv.queued_launches(), 0);
+    }
+
+    /// The scratch-buffer API is observationally identical to the
+    /// allocating one: `handle_into` with one reused buffer produces
+    /// exactly the action sequences `handle` does, event for event, over
+    /// arbitrary streams (including nonsense events for unknown
+    /// sims/clients).
+    #[test]
+    fn handle_into_matches_handle(
+        events in prop::collection::vec(arb_event(), 1..200),
+        cache_steps in 2u64..20,
+        smax in 1u32..5,
+        prefetch in any::<bool>(),
+    ) {
+        let steps = StepMath::new(1, 4, 40);
+        let mk = || {
+            DataVirtualizer::new(
+                ContextCfg::new("equiv", steps, 10, cache_steps * 10)
+                    .with_policy("lru")
+                    .with_smax(smax)
+                    .with_prefetch(prefetch),
+            )
+        };
+        let mut alloc_dv = mk();
+        let mut scratch_dv = mk();
+        let mut scratch = Vec::new();
+        for (i, event) in events.into_iter().enumerate() {
+            let now = SimTime::from_nanos(1 + i as u64);
+            let fresh = alloc_dv.handle(now, event.clone());
+            scratch.clear();
+            scratch_dv.handle_into(now, event, &mut scratch);
+            prop_assert_eq!(&fresh, &scratch);
+        }
+        prop_assert_eq!(alloc_dv.stats().hits, scratch_dv.stats().hits);
+        prop_assert_eq!(alloc_dv.stats().misses, scratch_dv.stats().misses);
+        prop_assert_eq!(alloc_dv.stats().restarts, scratch_dv.stats().restarts);
+        prop_assert_eq!(alloc_dv.stats().kills, scratch_dv.stats().kills);
+        prop_assert_eq!(alloc_dv.stats().evictions, scratch_dv.stats().evictions);
+        prop_assert_eq!(alloc_dv.active_sims(), scratch_dv.active_sims());
+        prop_assert_eq!(alloc_dv.queued_launches(), scratch_dv.queued_launches());
     }
 }

@@ -2,7 +2,27 @@
 //! never panic or loop; valid messages roundtrip through real frames.
 
 use proptest::prelude::*;
-use simfs_core::wire::{read_frame, write_frame, ClientKind, Request, Response};
+use simfs_core::wire::{
+    read_frame, write_frame, ClientKind, FrameBatch, FrameReader, Request, Response,
+};
+use std::io::Read;
+
+/// A reader delivering at most `chunk` bytes per `read` call: simulates
+/// partial/split-frame TCP delivery.
+struct Chunked {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Chunked {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
@@ -111,5 +131,107 @@ proptest! {
             decoded.push(Request::decode(&body).unwrap());
         }
         prop_assert_eq!(decoded, reqs);
+    }
+
+    /// The coalescing batch encoder is bit-compatible with
+    /// frame-at-a-time `write_frame` and decodes to the same response
+    /// sequence.
+    #[test]
+    fn batched_responses_match_frame_at_a_time(
+        resps in prop::collection::vec(arb_response(), 0..20),
+    ) {
+        let mut batch = FrameBatch::new();
+        let mut reference = Vec::new();
+        for r in &resps {
+            batch.push_response(r);
+            write_frame(&mut reference, &r.encode()).unwrap();
+        }
+        prop_assert_eq!(batch.as_bytes(), &reference[..]);
+
+        let mut cursor = batch.as_bytes();
+        let mut decoded = Vec::new();
+        while let Some(body) = read_frame(&mut cursor).unwrap() {
+            decoded.push(Response::decode(&body).unwrap());
+        }
+        prop_assert_eq!(decoded, resps);
+    }
+
+    /// Ditto for requests (simulator-side batching).
+    #[test]
+    fn batched_requests_match_frame_at_a_time(
+        reqs in prop::collection::vec(arb_request(), 0..20),
+    ) {
+        let mut batch = FrameBatch::new();
+        let mut reference = Vec::new();
+        for r in &reqs {
+            batch.push_request(r);
+            write_frame(&mut reference, &r.encode()).unwrap();
+        }
+        prop_assert_eq!(batch.as_bytes(), &reference[..]);
+    }
+
+    /// A buffered reader over a coalesced batch recovers every frame
+    /// even when the transport splits delivery at arbitrary points
+    /// (including mid-length-prefix and mid-body).
+    #[test]
+    fn frame_reader_survives_split_delivery(
+        resps in prop::collection::vec(arb_response(), 1..20),
+        chunk in 1usize..64,
+    ) {
+        let mut batch = FrameBatch::new();
+        for r in &resps {
+            batch.push_response(r);
+        }
+        let mut reader = FrameReader::new(Chunked {
+            data: batch.as_bytes().to_vec(),
+            pos: 0,
+            chunk,
+        });
+        let mut decoded = Vec::new();
+        while let Some(body) = reader.read_frame().unwrap() {
+            decoded.push(Response::decode(&body).unwrap());
+        }
+        prop_assert_eq!(decoded, resps);
+    }
+
+    /// A batch truncated mid-frame errors out instead of yielding a
+    /// phantom frame.
+    #[test]
+    fn frame_reader_rejects_truncated_tail(
+        resps in prop::collection::vec(arb_response(), 1..8),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut batch = FrameBatch::new();
+        for r in &resps {
+            batch.push_response(r);
+        }
+        let bytes = batch.as_bytes();
+        prop_assume!(bytes.len() > 1);
+        let cut = 1 + cut.index(bytes.len() - 1);
+        prop_assume!(cut < bytes.len());
+        // A cut exactly on a frame boundary is a clean EOF, not a
+        // truncation.
+        let mut boundaries = Vec::new();
+        let mut at = 0usize;
+        let mut cursor = bytes;
+        while let Some(body) = read_frame(&mut cursor).unwrap() {
+            at += 4 + body.len();
+            boundaries.push(at);
+        }
+        prop_assume!(!boundaries.contains(&cut));
+        let mut reader = FrameReader::new(Chunked {
+            data: bytes[..cut].to_vec(),
+            pos: 0,
+            chunk: 7,
+        });
+        let mut result = Ok(());
+        loop {
+            match reader.read_frame() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => { result = Err(e); break; }
+            }
+        }
+        prop_assert!(result.is_err(), "truncated batch must error");
     }
 }

@@ -276,11 +276,9 @@ mod tests {
     #[test]
     fn node_accounting_is_conserved() {
         let mut c = Cluster::new(16);
-        let mut next = 0u64;
         // Random-ish churn with deterministic pattern.
-        for round in 0..50 {
-            let id = JobId(next);
-            next += 1;
+        for round in 0..50u64 {
+            let id = JobId(round);
             c.submit(id, 1 + (round % 5) as u32);
             if round % 3 == 0 && c.is_running(id) {
                 c.finish(id);

@@ -140,7 +140,7 @@ proptest! {
     ) {
         let unit = 100u64;
         let capacity = capacity_units * unit;
-        let mut cache = CacheSim::new(policy_by_name(&name, capacity_units as usize).unwrap(), capacity);
+        let mut cache = CacheSim::new(policy_by_name(name, capacity_units as usize).unwrap(), capacity);
         let mut pinned_now: Vec<u64> = Vec::new();
         for (i, (key, cost)) in accesses.iter().enumerate() {
             if !cache.access(*key) {

@@ -304,16 +304,16 @@ impl fmt::Display for Dur {
 fn format_nanos(ns: u64) -> String {
     if ns == 0 {
         "0s".to_string()
-    } else if ns % NANOS_PER_SEC == 0 {
+    } else if ns.is_multiple_of(NANOS_PER_SEC) {
         let s = ns / NANOS_PER_SEC;
-        if s % 3600 == 0 {
+        if s.is_multiple_of(3600) {
             format!("{}h", s / 3600)
         } else {
             format!("{s}s")
         }
-    } else if ns % NANOS_PER_MILLI == 0 {
+    } else if ns.is_multiple_of(NANOS_PER_MILLI) {
         format!("{}ms", ns / NANOS_PER_MILLI)
-    } else if ns % NANOS_PER_MICRO == 0 {
+    } else if ns.is_multiple_of(NANOS_PER_MICRO) {
         format!("{}us", ns / NANOS_PER_MICRO)
     } else {
         format!("{ns}ns")

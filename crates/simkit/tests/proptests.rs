@@ -103,7 +103,7 @@ fn engine_runs_are_reproducible() {
         let mut log = Vec::new();
         for stream in 0..20u64 {
             let mut rng = seq.rng(stream);
-            let at = SimTime::from_nanos(rng.gen_range(0..1_000));
+            let at = SimTime::from_nanos(rng.gen_range(0u64..1_000));
             en.schedule_at(at, move |en, log: &mut Vec<(u64, u64)>| {
                 log.push((stream, en.now().as_nanos()));
             });

@@ -83,8 +83,7 @@ impl EcmwfSpec {
             let continue_session =
                 session_cursor.is_some() && rng.gen_bool(self.session_p);
             let step = if continue_session {
-                let next = (session_cursor.unwrap() + 1) % self.n_files;
-                next
+                (session_cursor.unwrap() + 1) % self.n_files
             } else {
                 let rank = zipf.sample(rng);
                 rank_to_step[rank as usize]

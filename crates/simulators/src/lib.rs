@@ -151,10 +151,10 @@ pub fn run_segment(
     while sim.timestep() < stop_timestep {
         sim.step();
         let t = sim.timestep();
-        if t % dd == 0 {
+        if t.is_multiple_of(dd) {
             on_output(t / dd, sim.output());
         }
-        if t % dr == 0 {
+        if t.is_multiple_of(dr) {
             on_restart(t / dr, sim.save_restart());
         }
     }

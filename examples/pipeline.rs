@@ -200,7 +200,19 @@ fn main() -> io::Result<()> {
     client.finalize()?;
     fine.shutdown();
     coarse.shutdown();
-    std::fs::remove_dir_all(&base)?;
+    // The flag-based kill in FineLauncher is asynchronous: a killed
+    // prefetch thread may still drain its current step (re-creating
+    // storage paths) after the DVs report quiescent. Retry the cleanup
+    // while those threads wind down.
+    let mut cleaned = std::fs::remove_dir_all(&base);
+    for _ in 0..100 {
+        if cleaned.is_ok() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        cleaned = std::fs::remove_dir_all(&base);
+    }
+    cleaned?;
     println!("\npipeline virtualization OK");
     Ok(())
 }

@@ -99,7 +99,7 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
-    if args.dd == 0 || args.dr == 0 || args.dr % args.dd != 0 {
+    if args.dd == 0 || args.dr == 0 || !args.dr.is_multiple_of(args.dd) {
         return Err("require 0 < --dd and --dr a multiple of --dd".to_string());
     }
     Ok(args)
@@ -153,12 +153,12 @@ fn initial_simulation(args: &Args, area: &StorageArea) -> Result<(), String> {
     while sim.timestep() < args.timesteps {
         sim.step();
         let t = sim.timestep();
-        if t % args.dd == 0 {
+        if t.is_multiple_of(args.dd) {
             let key = t / args.dd;
             let bytes = sim.output().encode();
             checksums.insert(key, simstore::fnv1a64(&bytes));
         }
-        if t % args.dr == 0 {
+        if t.is_multiple_of(args.dr) {
             publish_restart(area, &restart_name(t / args.dr), &sim.save_restart())?;
         }
     }
@@ -186,7 +186,7 @@ fn resimulation(args: &Args, area: &StorageArea) -> Result<(), String> {
     let b = args.dr / args.dd;
     // §II-A: restart to load. A boundary-only dump (start == stop on a
     // boundary) loads the co-located restart; otherwise the previous one.
-    let restart_j = if args.start_key % b == 0 && args.start_key == args.stop_key {
+    let restart_j = if args.start_key.is_multiple_of(b) && args.start_key == args.stop_key {
         args.start_key / b
     } else {
         (args.start_key - 1) / b
@@ -245,7 +245,7 @@ fn resimulation(args: &Args, area: &StorageArea) -> Result<(), String> {
         while sim.timestep() < stop_timestep {
             sim.step();
             let t = sim.timestep();
-            if t % args.dd == 0 {
+            if t.is_multiple_of(args.dd) {
                 let key = t / args.dd;
                 if key >= args.start_key {
                     produce(key, &mut sim)?;

@@ -37,7 +37,7 @@ impl KernelLauncher {
     /// A launcher for the given kernel and cadence; `alpha`/`tau` pace
     /// the production so experiments exercise the prefetch machinery.
     pub fn new(kind: SimKind, dd: u64, dr: u64, alpha: Duration, tau: Duration) -> KernelLauncher {
-        assert!(dd > 0 && dr % dd == 0, "Δr must be a multiple of Δd");
+        assert!(dd > 0 && dr.is_multiple_of(dd), "Δr must be a multiple of Δd");
         KernelLauncher {
             kind,
             dd,
@@ -118,7 +118,7 @@ impl JobLauncher for KernelLauncher {
                         }
                         sim.step();
                         let t = sim.timestep();
-                        if t % dd == 0 && t / dd >= start {
+                        if t.is_multiple_of(dd) && t / dd >= start {
                             publish(t / dd, &mut sim)?;
                         }
                     }

@@ -33,7 +33,7 @@ pub fn run_initial_simulation(
     dr: u64,
     timesteps: u64,
 ) -> io::Result<InitialRun> {
-    assert!(dd > 0 && dr % dd == 0, "Δr must be a multiple of Δd");
+    assert!(dd > 0 && dr.is_multiple_of(dd), "Δr must be a multiple of Δd");
     let mut sim = build_sim(kind, seed);
     let mut checksums = HashMap::new();
 
@@ -42,11 +42,11 @@ pub fn run_initial_simulation(
     while sim.timestep() < timesteps {
         sim.step();
         let t = sim.timestep();
-        if t % dd == 0 {
+        if t.is_multiple_of(dd) {
             let bytes = sim.output().encode();
             checksums.insert(t / dd, simstore::fnv1a64(&bytes));
         }
-        if t % dr == 0 {
+        if t.is_multiple_of(dr) {
             let j = t / dr;
             area.publish(&format!("restart-{j:06}.sdf"), &sim.save_restart().encode())?;
             restarts += 1;

@@ -136,7 +136,7 @@ impl ContextSpec {
             })?,
             data_dir: get("data_dir")?.to_string(),
         };
-        if spec.dd == 0 || spec.dr % spec.dd != 0 {
+        if spec.dd == 0 || !spec.dr.is_multiple_of(spec.dd) {
             return Err(format!(
                 "dr ({}) must be a positive multiple of dd ({})",
                 spec.dr, spec.dd

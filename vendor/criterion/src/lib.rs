@@ -1,0 +1,239 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! Supports the API the workspace's benches use — `bench_function`,
+//! `benchmark_group` with `sample_size`/`throughput`/`bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros. Measurement is a warmup followed by timed
+//! batches; results print one line per benchmark
+//! (`<name>  time: <t> ns/iter (± <spread>)`) and are also appended as
+//! JSON lines to `target/vendored-criterion.jsonl` for scripting.
+//! No statistical regression analysis, plots, or saved baselines — see
+//! `vendor/README.md` for the vendoring rationale.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many samples each benchmark takes.
+const DEFAULT_SAMPLES: usize = 12;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        run_one(name, self.samples, None, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), self.samples, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.samples, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// A function-plus-parameter id.
+    pub fn new(function: &str, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            repr: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { repr: s.to_string() }
+    }
+}
+
+/// Declared per-iteration work for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration over all samples.
+    samples_ns: Vec<f64>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures `f`: warmup, then `samples` timed batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup and batch-size calibration: grow the batch until it
+        // takes ~5 ms so Instant overhead vanishes.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 30 {
+                break;
+            }
+            batch = (batch * 4).min(1 << 30);
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn run_one(name: &str, samples: usize, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples_ns: Vec::new(),
+        samples,
+    };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{name:<50} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mut xs = bencher.samples_ns;
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let median = xs[xs.len() / 2];
+    let spread = xs[xs.len() - 1] - xs[0];
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => format!(", {:.1} MiB/s", b as f64 / median * 1e9 / (1 << 20) as f64),
+        Throughput::Elements(e) => format!(", {:.0} elem/s", e as f64 / median * 1e9),
+    });
+    println!(
+        "{name:<50} time: {median:>12.1} ns/iter (± {spread:.1}{})",
+        rate.unwrap_or_default()
+    );
+    record_jsonl(name, median, xs[0], xs[xs.len() - 1]);
+}
+
+/// Appends a JSON line so scripts can diff runs without parsing stdout.
+fn record_jsonl(name: &str, median_ns: f64, min_ns: f64, max_ns: f64) {
+    use std::io::Write;
+    let path = std::path::Path::new("target");
+    if !path.exists() {
+        return;
+    }
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path.join("vendored-criterion.jsonl"))
+    {
+        let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = writeln!(
+            file,
+            "{{\"bench\":\"{escaped}\",\"median_ns\":{median_ns:.1},\"min_ns\":{min_ns:.1},\"max_ns\":{max_ns:.1}}}"
+        );
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

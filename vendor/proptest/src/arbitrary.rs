@@ -1,0 +1,64 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::AnyStrategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    /// Draws one value from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy generating any `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw bit patterns: covers NaNs, infinities, subnormals — the
+        // full domain, as real proptest's `any::<f64>()` can.
+        f64::from_bits(rng.gen::<u64>())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.gen::<u64>() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        char::from(rng.gen_range(0x20u8..0x7F))
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> crate::sample::Index {
+        crate::sample::Index::new(rng.gen())
+    }
+}

@@ -1,0 +1,48 @@
+//! Sampling helpers: `select` and `Index`.
+
+use crate::strategy::{Reject, Strategy};
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// Uniform choice from a fixed list.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from an empty list");
+    Select { options }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<T, Reject> {
+        let i = rng.gen_range(0..self.options.len());
+        Ok(self.options[i].clone())
+    }
+}
+
+/// A length-agnostic index: generated once, projected onto any
+/// collection length with [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    pub(crate) fn new(raw: u64) -> Index {
+        Index { raw }
+    }
+
+    /// Projects onto `0..len`.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}

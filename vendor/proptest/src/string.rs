@@ -1,0 +1,99 @@
+//! String strategies from `[class]{m,n}` patterns.
+//!
+//! Real proptest accepts arbitrary regexes as string strategies; every
+//! pattern in this workspace is a single character class with a bounded
+//! repetition (`"[a-z0-9-]{0,24}"`, `"[ -~]{0,40}"`, …), so only that
+//! shape is implemented. Unsupported patterns panic loudly rather than
+//! silently generating the wrong language.
+
+use crate::strategy::{Reject, Strategy};
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let rep = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+
+    let mut chars: Vec<char> = Vec::new();
+    let raw: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < raw.len() {
+        if i + 2 < raw.len() && raw[i + 1] == '-' {
+            let (lo, hi) = (raw[i], raw[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(raw[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+
+    let (lo, hi) = match rep.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = rep.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+/// A `&str` used as a strategy generates strings matching the pattern.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<String, Reject> {
+        let (chars, lo, hi) = parse_class_pattern(self).unwrap_or_else(|| {
+            panic!(
+                "vendored proptest supports only `[class]{{m,n}}` string \
+                 patterns, got {self:?}"
+            )
+        });
+        let len = rng.gen_range(lo..=hi);
+        Ok((0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_patterns_parse() {
+        let (chars, lo, hi) = parse_class_pattern("[a-z0-9-]{0,24}").unwrap();
+        assert!(chars.contains(&'a') && chars.contains(&'9') && chars.contains(&'-'));
+        assert_eq!((lo, hi), (0, 24));
+        let (chars, lo, hi) = parse_class_pattern("[ -~]{1,8}").unwrap();
+        assert_eq!(chars.len(), 95); // all printable ASCII
+        assert_eq!((lo, hi), (1, 8));
+        let (_, lo, hi) = parse_class_pattern("[ab]{3}").unwrap();
+        assert_eq!((lo, hi), (3, 3));
+        assert!(parse_class_pattern("plain").is_none());
+    }
+
+    #[test]
+    fn generated_strings_match_class_and_length() {
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = "[a-c]{2,5}".gen_value(&mut rng).unwrap();
+            assert!(s.len() >= 2 && s.len() <= 5);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Case execution: configuration, the per-case verdict, and the runner
+//! loop driving a test's cases.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Harness configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run per test.
+    pub cases: u32,
+    /// Maximum consecutive discarded cases before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case is invalid (failed `prop_assume!` or a filter); draw a
+    /// fresh one.
+    Reject(String),
+    /// A property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure verdict.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection verdict.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Outcome of one executed case, as the `proptest!` expansion reports
+/// it.
+pub enum CaseResult {
+    /// Property held.
+    Pass,
+    /// Case discarded (assumption/filter); retried without counting.
+    Discard(String),
+    /// Property violated.
+    Fail {
+        /// The assertion message.
+        message: String,
+        /// Debug renderings of the generated inputs.
+        inputs: Vec<String>,
+    },
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Runs `config.cases` cases of `case`, panicking (as `#[test]` expects)
+/// on the first failure with the generated inputs attached.
+///
+/// Seeding is deterministic per test name so failures reproduce across
+/// runs; set `PROPTEST_SEED` to explore a different sequence.
+pub fn run_cases(config: &Config, name: &str, mut case: impl FnMut(&mut TestRng) -> CaseResult) {
+    let base = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv1a(s.as_bytes())),
+        Err(_) => 0x005E_ED0F_5EED,
+    };
+    let mut discards: u32 = 0;
+    let mut executed: u32 = 0;
+    let mut draw: u64 = 0;
+    while executed < config.cases {
+        let seed = fnv1a(name.as_bytes()) ^ base.wrapping_add(draw.wrapping_mul(0x9E37_79B9));
+        draw += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            CaseResult::Pass => executed += 1,
+            CaseResult::Discard(_) => {
+                discards += 1;
+                assert!(
+                    discards <= config.max_global_rejects,
+                    "proptest '{name}': too many rejected cases ({discards}); \
+                     loosen the assumptions or filters"
+                );
+            }
+            CaseResult::Fail { message, inputs } => {
+                panic!(
+                    "proptest '{name}' case #{executed} failed: {message}\n\
+                     inputs:\n  {}\n(no shrinking in the vendored proptest; \
+                     seed base {base:#x}, draw {draw})",
+                    inputs.join("\n  ")
+                );
+            }
+        }
+    }
+}

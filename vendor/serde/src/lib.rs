@@ -1,0 +1,24 @@
+//! Offline marker-trait subset of `serde`.
+//!
+//! This workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` to stay source-compatible with
+//! upstream serde, but nothing serializes through serde at runtime (all
+//! output formats — the wire protocol, SDF files, CSV/JSON reports —
+//! are hand-encoded). Since the container has no crates.io access, the
+//! traits are vendored as blanket-implemented markers and the derives
+//! expand to nothing. See `vendor/README.md`.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

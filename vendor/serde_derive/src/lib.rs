@@ -1,0 +1,21 @@
+//! Offline no-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The vendored `serde` stub blanket-implements its marker traits for
+//! every type (nothing in this workspace actually serializes through
+//! serde — the derives exist so the type definitions keep their
+//! upstream-compatible annotations). The derive macros therefore have
+//! nothing to generate and expand to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: the trait is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: the trait is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
