@@ -1,22 +1,27 @@
-//! End-to-end daemon throughput: N concurrent analysis clients hammer a
-//! loopback daemon with hit-path `acquire`/`release` pairs — the Fig. 4
-//! control-message pattern that bounds how many concurrent analyses one
-//! context can serve. Every pair is one full request/response round
-//! trip through the wire codec, the sharded writer map and the DV lock,
-//! so the number directly tracks the lock-split + write-coalescing work
-//! in `server.rs`.
+//! End-to-end daemon throughput and latency: N concurrent analysis
+//! clients hammer a loopback daemon with hit-path `acquire`/`release`
+//! pairs — the Fig. 4 control-message pattern that bounds how many
+//! concurrent analyses one context can serve. Every pair is one full
+//! request/response round trip through the wire codec, the client
+//! routing table and the DV lock, so the numbers directly track the
+//! front-end work in `server.rs`/`reactor.rs`.
 //!
 //! `cargo run --release -p simfs-bench --bin bench_daemon -- \
-//!     [--clients 1,2,4,8,16,32] [--secs 2] [--out BENCH_daemon.json]`
+//!     [--frontend epoll|threads|both] \
+//!     [--clients 1,2,4,8,16,32,128,256,1024] [--secs 2] \
+//!     [--out BENCH_daemon.json]`
 //!
-//! Writes a JSON summary (round-trips/sec per client count) to seed the
-//! perf trajectory.
+//! Per point it records throughput plus p50/p99 round-trip latency, and
+//! per front-end the daemon's thread count before any client connects
+//! (the epoll reactor stays at shards + accept + reaper regardless of
+//! client count; the threaded front-end adds one thread per client).
+//! The JSON summary seeds the perf trajectory in `BENCH_daemon.json`.
 
 use simbatch::ParallelismMap;
 use simfs_core::client::SimfsClient;
 use simfs_core::driver::{PatternDriver, SimDriver};
 use simfs_core::model::{ContextCfg, StepMath};
-use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};
+use simfs_core::server::{DvServer, Frontend, ServerConfig, ThreadSimLauncher};
 use simstore::{Data, Dataset, StorageArea};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,7 +38,7 @@ fn step_bytes(key: u64) -> Vec<u8> {
     ds.encode().to_vec()
 }
 
-fn start_daemon(dir: &std::path::Path) -> (DvServer, StorageArea) {
+fn start_daemon(dir: &std::path::Path, frontend: Frontend) -> (DvServer, StorageArea) {
     let _ = std::fs::remove_dir_all(dir);
     let storage = StorageArea::create(dir, u64::MAX).unwrap();
     let size = step_bytes(1).len() as u64;
@@ -61,6 +66,7 @@ fn start_daemon(dir: &std::path::Path) -> (DvServer, StorageArea) {
             storage: storage.clone(),
             launcher,
             checksums: HashMap::new(),
+            frontend,
         },
         "127.0.0.1:0",
     )
@@ -68,33 +74,57 @@ fn start_daemon(dir: &std::path::Path) -> (DvServer, StorageArea) {
     (server, storage)
 }
 
-/// One throughput point: `clients` threads, each looping hit-path
-/// `acquire([key])` + `release(key)` for `secs`. Returns total round
-/// trips completed and the measured window (barrier release to stop
-/// flag — connect/handshake/teardown excluded).
-fn run_point(addr: std::net::SocketAddr, clients: usize, secs: f64) -> (u64, f64) {
+/// Threads currently alive in this process (daemon threads + main,
+/// sampled before any bench client exists).
+fn process_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|entries| entries.count())
+        .unwrap_or(0)
+}
+
+struct Point {
+    round_trips: u64,
+    elapsed: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// One point: `clients` threads, each looping a hit-path
+/// `acquire([key])`/`release(key)` pair for `secs`, timing every round
+/// trip. The measured window runs from barrier release to stop flag —
+/// connect, handshake and teardown are excluded.
+fn run_point(addr: std::net::SocketAddr, clients: usize, secs: f64) -> Point {
     let stop = Arc::new(AtomicBool::new(false));
     let start = Arc::new(Barrier::new(clients + 1));
     let mut handles = Vec::with_capacity(clients);
     for c in 0..clients {
         let stop = stop.clone();
         let start = start.clone();
-        handles.push(std::thread::spawn(move || -> u64 {
+        handles.push(std::thread::spawn(move || -> Vec<u64> {
             let mut client = SimfsClient::connect(addr, "bench-ctx").unwrap();
-            // Spread clients over the key space so writer shards and
+            // Spread clients over the key space so routing shards and
             // cache entries are all exercised.
             let mut key = 1 + (c as u64 * 17) % N_KEYS;
-            let mut ops = 0u64;
+            let mut lat_ns = Vec::with_capacity(4096);
             start.wait();
             while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
                 let status = client.acquire(&[key]).unwrap();
                 assert!(status.ok(), "hit-path acquire failed: {status:?}");
                 client.release(key).unwrap();
-                ops += 1;
+                lat_ns.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                 key = 1 + key % N_KEYS;
             }
             let _ = client.finalize();
-            ops
+            lat_ns
         }));
     }
     start.wait();
@@ -102,13 +132,32 @@ fn run_point(addr: std::net::SocketAddr, clients: usize, secs: f64) -> (u64, f64
     std::thread::sleep(Duration::from_secs_f64(secs));
     stop.store(true, Ordering::Relaxed);
     let elapsed = t0.elapsed().as_secs_f64();
-    (handles.into_iter().map(|h| h.join().unwrap()).sum(), elapsed)
+    let mut all_ns: Vec<u64> = Vec::new();
+    for handle in handles {
+        all_ns.extend(handle.join().unwrap());
+    }
+    let round_trips = all_ns.len() as u64;
+    all_ns.sort_unstable();
+    Point {
+        round_trips,
+        elapsed,
+        p50_us: percentile_us(&all_ns, 0.50),
+        p99_us: percentile_us(&all_ns, 0.99),
+    }
+}
+
+fn frontend_name(frontend: Frontend) -> &'static str {
+    match frontend {
+        Frontend::Epoll => "epoll",
+        Frontend::Threads => "threads",
+    }
 }
 
 fn main() {
-    let mut clients: Vec<usize> = vec![1, 2, 4, 8, 16, 32];
+    let mut clients: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 128, 256, 1024];
     let mut secs = 2.0f64;
     let mut out = String::from("BENCH_daemon.json");
+    let mut frontends: Vec<Frontend> = vec![Frontend::Threads, Frontend::Epoll];
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let val = args.next().unwrap_or_default();
@@ -121,36 +170,71 @@ fn main() {
             }
             "--secs" => secs = val.parse().expect("bad --secs"),
             "--out" => out = val,
+            "--frontend" => {
+                frontends = match val.as_str() {
+                    "epoll" => vec![Frontend::Epoll],
+                    "threads" => vec![Frontend::Threads],
+                    "both" => vec![Frontend::Threads, Frontend::Epoll],
+                    other => panic!("bad --frontend {other} (epoll|threads|both)"),
+                };
+            }
             other => panic!("unknown flag {other}"),
         }
     }
 
-    let dir = std::env::temp_dir().join(format!("simfs-bench-daemon-{}", std::process::id()));
-    let (server, _storage) = start_daemon(&dir);
-    let addr = server.addr();
-
-    // Materialize the whole timeline once so the measured loop is pure
-    // hit-path control traffic (no re-simulations in the timings).
-    {
-        let mut warm = SimfsClient::connect(addr, "bench-ctx").unwrap();
-        let keys: Vec<u64> = (1..=N_KEYS).collect();
-        let status = warm.acquire(&keys).unwrap();
-        assert!(status.ok(), "warmup failed: {status:?}");
-        for k in 1..=N_KEYS {
-            warm.release(k).unwrap();
-        }
-        warm.finalize().unwrap();
-    }
-
     let mut lines = Vec::new();
-    println!("{:>8} {:>12} {:>14}", "clients", "round_trips", "rtps");
-    for &n in &clients {
-        let (ops, elapsed) = run_point(addr, n, secs);
-        let rtps = ops as f64 / elapsed;
-        println!("{n:>8} {ops:>12} {rtps:>14.0}");
-        lines.push(format!(
-            "    {{\"clients\": {n}, \"secs\": {elapsed:.3}, \"round_trips\": {ops}, \"rtps\": {rtps:.1}}}"
+    for &frontend in &frontends {
+        let name = frontend_name(frontend);
+        let dir = std::env::temp_dir().join(format!(
+            "simfs-bench-daemon-{}-{}",
+            name,
+            std::process::id()
         ));
+        let (server, _storage) = start_daemon(&dir, frontend);
+        let addr = server.addr();
+
+        // Materialize the whole timeline once so the measured loop is
+        // pure hit-path control traffic (no re-simulations in the
+        // timings).
+        {
+            let mut warm = SimfsClient::connect(addr, "bench-ctx").unwrap();
+            let keys: Vec<u64> = (1..=N_KEYS).collect();
+            let status = warm.acquire(&keys).unwrap();
+            assert!(status.ok(), "warmup failed: {status:?}");
+            for k in 1..=N_KEYS {
+                warm.release(k).unwrap();
+            }
+            warm.finalize().unwrap();
+        }
+        // Let the warmup simulator threads wind down before counting.
+        std::thread::sleep(Duration::from_millis(100));
+        let daemon_threads = process_threads().saturating_sub(1); // minus main
+
+        println!(
+            "frontend {name}: {daemon_threads} daemon threads before clients"
+        );
+        println!(
+            "{:>8} {:>12} {:>12} {:>10} {:>10}",
+            "clients", "round_trips", "rtps", "p50_us", "p99_us"
+        );
+        for &n in &clients {
+            let point = run_point(addr, n, secs);
+            let rtps = point.round_trips as f64 / point.elapsed;
+            println!(
+                "{n:>8} {:>12} {rtps:>12.0} {:>10.1} {:>10.1}",
+                point.round_trips, point.p50_us, point.p99_us
+            );
+            lines.push(format!(
+                "    {{\"frontend\": \"{name}\", \"clients\": {n}, \"secs\": {:.3}, \
+                 \"round_trips\": {}, \"rtps\": {rtps:.1}, \"p50_us\": {:.1}, \
+                 \"p99_us\": {:.1}, \"daemon_threads_before_clients\": {daemon_threads}}}",
+                point.elapsed, point.round_trips, point.p50_us, point.p99_us
+            ));
+        }
+
+        server.shutdown();
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     let json = format!(
@@ -159,7 +243,4 @@ fn main() {
     );
     std::fs::write(&out, json).unwrap();
     println!("wrote {out}");
-
-    server.shutdown();
-    let _ = std::fs::remove_dir_all(&dir);
 }

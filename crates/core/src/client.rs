@@ -22,6 +22,17 @@
 //! [`SimulatorSession`] is the simulator-side half: the notifications a
 //! launched re-simulation sends as DVLib intercepts its create/close
 //! calls (§III-B).
+//!
+//! # Connection lifetime
+//!
+//! The daemon's epoll front-end closes the connection *actively* after
+//! `Bye`, after a `SimFinished`, and after any protocol error (the
+//! threaded front-end merely stopped reading and dropped the socket).
+//! Clients must treat EOF after a goodbye as a normal teardown — which
+//! these APIs do: [`SimfsClient::finalize`] consumes the session, and a
+//! mid-request EOF still surfaces as `UnexpectedEof`. Dropping a
+//! session without `Bye` is also safe: the daemon maps the hangup to
+//! `ClientGone` (releasing pins) or `SimFailed` exactly as before.
 
 use crate::wire::{self, ClientKind, FrameReader, Request, Response};
 use std::collections::HashSet;
@@ -352,7 +363,8 @@ impl SimfsClient {
     }
 
     /// `SIMFS_Finalize`: orderly goodbye; the DV releases this client's
-    /// pins and kills its idle prefetches.
+    /// pins and kills its idle prefetches. The daemon closes the
+    /// connection once the `Bye` is processed.
     pub fn finalize(mut self) -> io::Result<()> {
         wire::write_frame(&mut self.stream, &Request::Bye.encode())
     }

@@ -32,6 +32,9 @@
 //!   (TCP/IP)", Fig. 4), the daemon, the DVLib client API
 //!   (`SIMFS_Init/Acquire/Wait/.../Bitrep`, §III-C), and the
 //!   transparent-mode I/O facade (Table I).
+//! * [`reactor`], [`sys`] — the daemon's sharded epoll front-end: a
+//!   fixed pool of event-loop threads serves every connection (raw
+//!   `extern "C"` epoll/eventfd bindings; no external dependency).
 
 pub mod client;
 pub mod driver;
@@ -40,8 +43,10 @@ pub mod intercept;
 pub mod model;
 pub mod perfmodel;
 pub mod prefetch;
+pub mod reactor;
 pub mod replay;
 pub mod server;
+pub mod sys;
 pub mod vharness;
 pub mod wire;
 
@@ -50,5 +55,5 @@ pub use driver::{PatternDriver, SimDriver};
 pub use dv::{ClientId, DataVirtualizer, DvAction, DvEvent, DvStats, LaunchReason, SimId};
 pub use model::{ContextCfg, StepMath};
 pub use replay::{replay, ReplayStats};
-pub use server::{DvServer, ServerConfig};
+pub use server::{DvServer, Frontend, ServerConfig};
 pub use vharness::{AnalysisResult, VirtualExperiment};

@@ -1,0 +1,603 @@
+//! Sharded epoll reactor: the event-driven connection front-end.
+//!
+//! Replaces the thread-per-connection model with N reactor threads
+//! (shards), each owning one epoll instance and a disjoint subset of
+//! the daemon's connections, so one daemon serves thousands of clients
+//! with a fixed thread count.
+//!
+//! # Shard ownership
+//!
+//! A connection is owned by exactly one shard for its whole life: the
+//! accept loop round-robins new sockets across shards via each shard's
+//! *inbox* (a mutex-protected handoff queue) and wakes the shard
+//! through its eventfd. From then on only the owning shard thread
+//! touches the socket, its [`FrameReader`] (partial frames resume
+//! across `WouldBlock` without desynchronizing the stream) and its
+//! pending-write buffer — connection state needs no locks.
+//!
+//! # Wakeup protocol
+//!
+//! Cross-connection traffic (a simulator finishing fans Ready
+//! notifications out to analysis clients on other shards) goes through
+//! [`Reactor::send_bytes`]: the payload is enqueued into the owning
+//! shard's inbox and the shard's eventfd is signalled. A shard sending
+//! to a connection it owns itself skips the eventfd — its event loop
+//! drains the inbox again before blocking, so the bytes flush on the
+//! same pass. The dominant self-send (a response to the very
+//! connection whose frame is being dispatched) short-circuits further:
+//! it lands in a thread-local staging buffer merged straight into the
+//! connection's output after the handler returns — no allocation, no
+//! inbox lock, and it is on the wire before an orderly close. Client-id
+//! → connection routing lives in a sharded registry map; sends to
+//! departed clients are dropped silently (same contract as the old
+//! writer map).
+//!
+//! # Backpressure rules
+//!
+//! Writes never block a shard. Each connection keeps a pending-write
+//! buffer: bytes are appended, as much as possible is written
+//! immediately, and any residue arms `EPOLLOUT` until the socket
+//! drains, after which the interest set reverts to read-only. A slow
+//! reader therefore delays only itself; if its buffer exceeds
+//! [`MAX_OUTBUF`] the connection is dropped rather than buffering
+//! without bound. Per-wake dispatch is capped ([`MAX_FRAMES_PER_WAKE`])
+//! so one firehose connection cannot starve its shard either; a capped
+//! connection goes onto the shard's backlog and its remaining buffered
+//! frames are re-dispatched before the loop blocks again (they are in
+//! userspace, so level-triggered epoll alone would never re-report
+//! them). Handlers run *on* the shard thread, so their blocking work
+//! (Bitrep file reads, eviction deletes, job spawns — all outside the
+//! DV lock) briefly head-of-line blocks that shard's other
+//! connections; that is the accepted trade for a lock-free connection
+//! model, and moving those effects to a helper pool is the noted
+//! follow-up if profiles ever show it.
+//!
+//! # Lifecycle
+//!
+//! The protocol logic lives behind the [`Handler`] trait (implemented
+//! by the daemon in [`crate::server`]): one handler per connection,
+//! `on_frame` per complete frame (returning `false` requests an
+//! orderly close — pending output is flushed first), `on_close` exactly
+//! once per established connection on any teardown path. Reactor
+//! shutdown drops all connections without `on_close`, mirroring the
+//! threaded front-end where daemon shutdown never ran per-client
+//! teardown.
+
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::wire::FrameReader;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Hard cap on reactor shards (more shards than cores just adds
+/// contention on the DV locks behind them).
+pub const MAX_SHARDS: usize = 8;
+
+/// A connection buffering this much undelivered output is dead or
+/// pathologically slow; it is dropped rather than buffered further.
+const MAX_OUTBUF: usize = 16 << 20;
+
+/// Frames dispatched per readable event before yielding back to the
+/// event loop, so one saturated connection cannot starve its shard's
+/// siblings. A capped connection re-enters via the shard backlog (its
+/// leftover frames sit in userspace, invisible to epoll).
+const MAX_FRAMES_PER_WAKE: usize = 256;
+
+/// Registry shard count for the client-id → connection map.
+const REGISTRY_SHARDS: usize = 8;
+
+/// Event-loop token reserved for the shard's wakeup eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+const EVENTS_PER_WAIT: usize = 256;
+
+thread_local! {
+    /// Which shard's event loop is running on this thread (`usize::MAX`
+    /// elsewhere); lets [`Reactor::send_bytes`] skip the eventfd for
+    /// shard-local sends.
+    static CURRENT_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// The connection whose handler is currently dispatching on this
+    /// thread (`(usize::MAX, u64::MAX)` outside dispatch); self-sends
+    /// to it bypass the inbox entirely.
+    static CURRENT_CONN: Cell<(usize, u64)> = const { Cell::new((usize::MAX, u64::MAX)) };
+    /// Staging buffer for self-sends; merged into the connection's
+    /// output right after its handler returns.
+    static SELF_STAGE: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Per-connection protocol logic (implemented by the daemon).
+pub trait Handler: Send + 'static {
+    /// One complete frame arrived. Return `false` to close the
+    /// connection after pending output flushes.
+    fn on_frame(&mut self, frame: &[u8], cx: &mut ConnCtx<'_>) -> bool;
+
+    /// The connection is going away (EOF, error, or a `false` return
+    /// from [`on_frame`](Self::on_frame)). Called exactly once; not
+    /// called on whole-reactor shutdown.
+    fn on_close(&mut self);
+}
+
+/// Stable address of a connection: owning shard + shard-local token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnRef {
+    shard: usize,
+    token: u64,
+}
+
+/// What a [`Handler`] may do while processing a frame: write directly
+/// to its own connection and register it for cross-connection sends.
+pub struct ConnCtx<'a> {
+    reactor: &'a Reactor,
+    conn: ConnRef,
+    out: &'a mut Vec<u8>,
+}
+
+impl ConnCtx<'_> {
+    /// Appends raw wire bytes to this connection's output (flushed when
+    /// the dispatch round ends; ordered before any later
+    /// [`Reactor::send_bytes`] to the same connection).
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Routes future [`Reactor::send_bytes`]`(client, ..)` calls to
+    /// this connection.
+    pub fn register(&self, client: u64) {
+        self.reactor.register(client, self.conn);
+    }
+}
+
+#[derive(Default)]
+struct Inbox {
+    /// Connections handed off by the accept loop.
+    adopt: Vec<(TcpStream, Box<dyn Handler>)>,
+    /// (token, wire bytes) queued by [`Reactor::send_bytes`].
+    sends: Vec<(u64, Vec<u8>)>,
+}
+
+struct ShardHandle {
+    wake: EventFd,
+    inbox: Mutex<Inbox>,
+}
+
+impl ShardHandle {
+    fn inbox_is_empty(&self) -> bool {
+        let inbox = self.inbox.lock();
+        inbox.adopt.is_empty() && inbox.sends.is_empty()
+    }
+}
+
+/// The reactor: shard handles plus the client routing registry.
+pub struct Reactor {
+    shards: Vec<ShardHandle>,
+    registry: Vec<Mutex<HashMap<u64, ConnRef>>>,
+    next_shard: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Reactor {
+    /// Starts `shards` reactor threads (clamped to `1..=`[`MAX_SHARDS`]).
+    pub fn start(shards: usize) -> io::Result<Arc<Reactor>> {
+        let shards = shards.clamp(1, MAX_SHARDS);
+        let mut handles = Vec::with_capacity(shards);
+        let mut epolls = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let wake = EventFd::new()?;
+            let epoll = Epoll::new()?;
+            epoll.add(wake.fd(), EPOLLIN, WAKE_TOKEN)?;
+            handles.push(ShardHandle {
+                wake,
+                inbox: Mutex::new(Inbox::default()),
+            });
+            epolls.push(epoll);
+        }
+        let reactor = Arc::new(Reactor {
+            shards: handles,
+            registry: (0..REGISTRY_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            next_shard: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        for (idx, epoll) in epolls.into_iter().enumerate() {
+            let reactor = Arc::clone(&reactor);
+            std::thread::Builder::new()
+                .name(format!("dv-reactor-{idx}"))
+                .spawn(move || run_shard(&reactor, idx, &epoll))?;
+        }
+        Ok(reactor)
+    }
+
+    /// Number of shard threads.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Adopts a freshly accepted connection (round-robin shard choice).
+    /// The stream must already be non-blocking.
+    pub fn submit(&self, stream: TcpStream, handler: Box<dyn Handler>) {
+        let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[idx].inbox.lock().adopt.push((stream, handler));
+        self.shards[idx].wake.signal();
+    }
+
+    fn registry_shard(&self, client: u64) -> &Mutex<HashMap<u64, ConnRef>> {
+        &self.registry[(client % REGISTRY_SHARDS as u64) as usize]
+    }
+
+    fn register(&self, client: u64, conn: ConnRef) {
+        self.registry_shard(client).lock().insert(client, conn);
+    }
+
+    /// Removes a client's routing entry (later sends drop silently).
+    pub fn unregister(&self, client: u64) {
+        self.registry_shard(client).lock().remove(&client);
+    }
+
+    /// Delivers wire bytes to `client`'s connection: straight into the
+    /// thread-local staging buffer when the destination is the
+    /// connection currently dispatching on this thread (the hot
+    /// request→own-response path — no allocation, no locks), otherwise
+    /// into the owning shard's inbox with an eventfd wake (skipped when
+    /// the caller *is* that shard). Returns `false` — dropping the
+    /// bytes — for unknown clients.
+    pub fn send_bytes(&self, client: u64, bytes: &[u8]) -> bool {
+        let Some(conn) = self.registry_shard(client).lock().get(&client).copied() else {
+            return false;
+        };
+        if CURRENT_CONN.with(|c| c.get()) == (conn.shard, conn.token) {
+            SELF_STAGE.with(|s| s.borrow_mut().extend_from_slice(bytes));
+            return true;
+        }
+        let shard = &self.shards[conn.shard];
+        shard.inbox.lock().sends.push((conn.token, bytes.to_vec()));
+        if CURRENT_SHARD.with(|c| c.get()) != conn.shard {
+            shard.wake.signal();
+        }
+        true
+    }
+
+    /// Stops all shard threads; open connections are dropped without
+    /// `on_close` (the daemon is going away wholesale).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.wake.signal();
+        }
+    }
+}
+
+/// A shard-owned connection.
+struct Conn {
+    reader: FrameReader<TcpStream>,
+    handler: Box<dyn Handler>,
+    /// Pending output: `out[out_pos..]` is not yet written.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Currently registered epoll interest mask.
+    interest: u32,
+    /// Close requested; flush remaining output, then drop.
+    closing: bool,
+    /// `on_close` already ran (guards exactly-once delivery).
+    closed_called: bool,
+}
+
+const READ_INTEREST: u32 = EPOLLIN | EPOLLRDHUP;
+
+impl Conn {
+    fn fd(&self) -> i32 {
+        self.reader.get_ref().as_raw_fd()
+    }
+
+    fn out_pending(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Writes as much pending output as the socket takes; re-arms or
+    /// disarms `EPOLLOUT` to match. `Err` means the connection is dead.
+    fn flush(&mut self, epoll: &Epoll, token: u64) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match (&mut self.reader.get_ref()).write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+            if self.interest & EPOLLOUT != 0 {
+                self.interest = READ_INTEREST;
+                epoll.modify(self.fd(), self.interest, token)?;
+            }
+        } else {
+            // Reclaim the consumed prefix so a long-lived slow consumer
+            // does not pin an ever-growing buffer.
+            if self.out_pos >= 4096 {
+                self.out.drain(..self.out_pos);
+                self.out_pos = 0;
+            }
+            if self.out_pending() > MAX_OUTBUF {
+                return Err(io::ErrorKind::OutOfMemory.into());
+            }
+            if self.interest & EPOLLOUT == 0 {
+                self.interest = if self.closing {
+                    EPOLLOUT
+                } else {
+                    READ_INTEREST | EPOLLOUT
+                };
+                epoll.modify(self.fd(), self.interest, token)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+enum ReadOutcome {
+    /// Keep the connection open.
+    Open,
+    /// Open, but the per-wake cap stopped dispatch with frames possibly
+    /// still buffered in the `FrameReader` — the shard must re-dispatch
+    /// before blocking (epoll cannot see userspace buffers).
+    Capped,
+    /// The handler requested an orderly close (flush, then drop).
+    CloseRequested,
+    /// Clean EOF: the peer half-closed after its final frames; deliver
+    /// the responses it is still owed, then drop (the threaded
+    /// front-end wrote each response before reading the next frame, so
+    /// a pipelining-then-shutdown(WR) client could rely on this).
+    Eof,
+    /// Hard error or corrupt framing: drop now.
+    Dead,
+}
+
+fn read_and_dispatch(reactor: &Reactor, shard: usize, token: u64, conn: &mut Conn) -> ReadOutcome {
+    let mut dispatched = 0;
+    loop {
+        match conn.reader.pop_buffered() {
+            Ok(Some(frame)) => {
+                let Conn { handler, out, .. } = conn;
+                let mut cx = ConnCtx {
+                    reactor,
+                    conn: ConnRef { shard, token },
+                    out,
+                };
+                CURRENT_CONN.with(|c| c.set((shard, token)));
+                let keep = handler.on_frame(&frame, &mut cx);
+                CURRENT_CONN.with(|c| c.set((usize::MAX, u64::MAX)));
+                // Merge self-sends the handler staged, preserving their
+                // order relative to direct writes and later frames.
+                SELF_STAGE.with(|s| {
+                    let mut staged = s.borrow_mut();
+                    if !staged.is_empty() {
+                        out.extend_from_slice(&staged);
+                        staged.clear();
+                    }
+                });
+                if !keep {
+                    return ReadOutcome::CloseRequested;
+                }
+                dispatched += 1;
+                if dispatched >= MAX_FRAMES_PER_WAKE {
+                    return ReadOutcome::Capped;
+                }
+            }
+            Ok(None) => match conn.reader.fill_once() {
+                Ok(0) => return ReadOutcome::Eof,
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::Interrupted =>
+                {
+                    return ReadOutcome::Open;
+                }
+                Err(_) => return ReadOutcome::Dead,
+            },
+            // Corrupt framing (oversized length prefix).
+            Err(_) => return ReadOutcome::Dead,
+        }
+    }
+}
+
+/// Drops a connection, delivering `on_close` if it has not run yet.
+fn destroy(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(mut conn) = conns.remove(&token) {
+        let _ = epoll.delete(conn.fd());
+        if !conn.closed_called {
+            conn.handler.on_close();
+        }
+    }
+}
+
+/// Orderly close: run `on_close` now, then flush remaining output and
+/// drop (immediately if nothing is pending).
+fn begin_close(
+    reactor: &Reactor,
+    idx: usize,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    token: u64,
+) {
+    let Some(conn) = conns.get_mut(&token) else {
+        return;
+    };
+    if !conn.closed_called {
+        conn.handler.on_close();
+        conn.closed_called = true;
+    }
+    // Siphon sends already queued for this connection out of the shard
+    // inbox (e.g. a response another thread enqueued in the same
+    // dispatch round): they must reach the wire before the close, as
+    // they would have under the threaded front-end.
+    {
+        let mut inbox = reactor.shards[idx].inbox.lock();
+        let mut i = 0;
+        while i < inbox.sends.len() {
+            if inbox.sends[i].0 == token {
+                let (_, bytes) = inbox.sends.remove(i);
+                conn.out.extend_from_slice(&bytes);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    conn.closing = true;
+    if conn.flush(epoll, token).is_err() || conn.out_pending() == 0 {
+        destroy(epoll, conns, token);
+    } else if conn.interest != EPOLLOUT {
+        // Stop reading; only the flush matters now.
+        conn.interest = EPOLLOUT;
+        if epoll.modify(conn.fd(), EPOLLOUT, token).is_err() {
+            destroy(epoll, conns, token);
+        }
+    }
+}
+
+fn run_shard(reactor: &Arc<Reactor>, idx: usize, epoll: &Epoll) {
+    CURRENT_SHARD.with(|c| c.set(idx));
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut events = vec![EpollEvent::default(); EVENTS_PER_WAIT];
+    // Connections whose dispatch hit the per-wake cap with frames still
+    // buffered in userspace; re-dispatched before the loop blocks.
+    let mut backlog: Vec<u64> = Vec::new();
+    loop {
+        // Drain the inbox first: adopt new connections and apply queued
+        // sends. Shard-local sends rely on this running again after
+        // every dispatch round, before the loop blocks.
+        let (adopt, sends) = {
+            let mut inbox = reactor.shards[idx].inbox.lock();
+            (
+                std::mem::take(&mut inbox.adopt),
+                std::mem::take(&mut inbox.sends),
+            )
+        };
+        for (stream, handler) in adopt {
+            let token = next_token;
+            next_token += 1;
+            if epoll.add(stream.as_raw_fd(), READ_INTEREST, token).is_err() {
+                continue; // dropping the stream closes it
+            }
+            conns.insert(
+                token,
+                Conn {
+                    reader: FrameReader::new(stream),
+                    handler,
+                    out: Vec::new(),
+                    out_pos: 0,
+                    interest: READ_INTEREST,
+                    closing: false,
+                    closed_called: false,
+                },
+            );
+        }
+        for (token, bytes) in sends {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue; // connection already gone: drop silently
+            };
+            if conn.closing {
+                continue; // past its on_close; nothing more goes out
+            }
+            conn.out.extend_from_slice(&bytes);
+            if conn.flush(epoll, token).is_err() {
+                destroy(epoll, &mut conns, token);
+            }
+        }
+
+        if reactor.shutdown.load(Ordering::SeqCst) {
+            return; // conns (and their sockets) drop here
+        }
+
+        // Re-dispatch capped connections: their remaining frames sit in
+        // the FrameReader, invisible to epoll.
+        for token in std::mem::take(&mut backlog) {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            if conn.closing {
+                continue;
+            }
+            match read_and_dispatch(reactor, idx, token, conn) {
+                ReadOutcome::Open => {
+                    if conn.flush(epoll, token).is_err() {
+                        destroy(epoll, &mut conns, token);
+                    }
+                }
+                ReadOutcome::Capped => {
+                    if conn.flush(epoll, token).is_err() {
+                        destroy(epoll, &mut conns, token);
+                    } else {
+                        backlog.push(token);
+                    }
+                }
+                ReadOutcome::CloseRequested | ReadOutcome::Eof => {
+                    begin_close(reactor, idx, epoll, &mut conns, token)
+                }
+                ReadOutcome::Dead => destroy(epoll, &mut conns, token),
+            }
+        }
+
+        // Don't block while work is pending: a backlog of buffered
+        // frames, or inbox entries enqueued after the top-of-loop drain
+        // (a shard-local send during backlog dispatch skips the
+        // eventfd, so blocking here would strand it).
+        let timeout_ms = if backlog.is_empty() && reactor.shards[idx].inbox_is_empty() {
+            -1
+        } else {
+            0
+        };
+        let n = match epoll.wait(&mut events, timeout_ms) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        for ev in &events[..n] {
+            let (mask, token) = (ev.events, ev.data);
+            if token == WAKE_TOKEN {
+                reactor.shards[idx].wake.drain();
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&token) else {
+                continue; // destroyed earlier in this batch
+            };
+            if mask & (EPOLLERR | EPOLLHUP) != 0 {
+                destroy(epoll, &mut conns, token);
+                continue;
+            }
+            if mask & EPOLLOUT != 0
+                && (conn.flush(epoll, token).is_err()
+                    || (conn.closing && conn.out_pending() == 0))
+            {
+                destroy(epoll, &mut conns, token);
+                continue;
+            }
+            if mask & (EPOLLIN | EPOLLRDHUP) != 0 && !conn.closing {
+                match read_and_dispatch(reactor, idx, token, conn) {
+                    ReadOutcome::Open => {
+                        // Flush direct writes the handler produced.
+                        if conn.flush(epoll, token).is_err() {
+                            destroy(epoll, &mut conns, token);
+                        }
+                    }
+                    ReadOutcome::Capped => {
+                        if conn.flush(epoll, token).is_err() {
+                            destroy(epoll, &mut conns, token);
+                        } else if !backlog.contains(&token) {
+                            backlog.push(token);
+                        }
+                    }
+                    ReadOutcome::CloseRequested | ReadOutcome::Eof => {
+                        begin_close(reactor, idx, epoll, &mut conns, token)
+                    }
+                    ReadOutcome::Dead => destroy(epoll, &mut conns, token),
+                }
+            }
+        }
+    }
+}

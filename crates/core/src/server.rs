@@ -12,14 +12,29 @@
 //!
 //! # Concurrency model
 //!
-//! The hot path is lock-minimized and write-coalesced:
+//! Two connection front-ends share one protocol core
+//! (see [`Frontend`]):
+//!
+//! * **Epoll reactor (default).** min(cores, 8) reactor threads, each
+//!   owning an epoll instance and a disjoint subset of connections
+//!   ([`crate::reactor`]). Requests are dispatched on the owning shard
+//!   thread; responses to *other* clients are routed to their owning
+//!   shard's outbox and flushed there. Daemon thread count is fixed
+//!   (shards + accept + reaper) regardless of client count.
+//! * **Thread-per-connection (legacy).** One OS thread per client,
+//!   blocking reads and writes. Kept behind
+//!   [`ServerConfig::frontend`] for one release so `bench_daemon
+//!   --frontend {threads,epoll}` can A/B them; it caps concurrency at
+//!   OS thread limits.
+//!
+//! The hot path underneath is lock-minimized and write-coalesced:
 //!
 //! * **Split locks.** Each context runs the DV state machine under one
-//!   `Mutex<DvCore>` (pure state transitions, no I/O) and keeps client
-//!   writers in a separate map **sharded** across
-//!   [`WRITER_SHARDS`] mutexes keyed by client id, so connection
-//!   threads registering/notifying different clients do not contend on
-//!   the DV lock or on one another.
+//!   `Mutex<DvCore>` (pure state transitions, no I/O) and routes client
+//!   writers through a separate [`WriterTable`] (sharded stream map for
+//!   the threaded front-end, the reactor registry for epoll), so
+//!   threads notifying different clients do not contend on the DV lock
+//!   or on one another.
 //! * **Collect under lock, effect after release.** A transition locks
 //!   the DV, runs [`DataVirtualizer::handle_into`] into a reusable
 //!   scratch buffer, resolves actions into an [`Effects`] value
@@ -28,12 +43,12 @@
 //!   happen outside the DV lock.
 //! * **Coalesced wire I/O.** All responses a transition produces for
 //!   one destination client are encoded into a single
-//!   [`wire::FrameBatch`] and flushed with one `write_all`; request
-//!   frames are drained through a buffered [`wire::FrameReader`], so a
-//!   burst of queued control messages costs one syscall each way.
-//!   The bytes on the wire are identical to frame-at-a-time I/O.
-//! * **Launch ledger.** Because launches/kills now happen outside the
-//!   DV lock, a prefetch kill could otherwise race a not-yet-effected
+//!   [`wire::FrameBatch`] and delivered in one write; request frames
+//!   are drained through a buffered [`wire::FrameReader`], so a burst
+//!   of queued control messages costs one syscall each way. The bytes
+//!   on the wire are identical to frame-at-a-time I/O.
+//! * **Launch ledger.** Because launches/kills happen outside the DV
+//!   lock, a prefetch kill could otherwise race a not-yet-effected
 //!   launch of the same sim. A small per-context ledger serializes
 //!   *only* job-control bookkeeping (launch intents are registered
 //!   under the DV lock; the ledger lock itself is never held across
@@ -41,6 +56,13 @@
 //!   Deferred eviction deletes re-check the cache under the DV lock so
 //!   an overlapping re-production cannot lose its file to a stale
 //!   eviction.
+//! * **Event-driven maintenance.** The job reaper parks on a condvar
+//!   while no jobs are in flight (an idle daemon makes zero syscalls)
+//!   and polls launchers only while something is running; shutdown
+//!   quiesce waits on a condvar notified as sims complete instead of
+//!   spinning, and the accept loop is unblocked by a shutdown eventfd
+//!   (epoll) or a non-blocking poll (legacy) — never by the old
+//!   connect-to-self hack.
 //!
 //! One consequence of effecting writes outside the lock: responses to
 //! *different* requests of one client may interleave differently than
@@ -56,6 +78,8 @@
 use crate::driver::SimDriver;
 use crate::dv::{ClientId, DataVirtualizer, DvAction, DvEvent, SimId};
 use crate::model::ContextCfg;
+use crate::reactor::{ConnCtx, Reactor};
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLIN};
 use crate::wire::{self, ClientKind, FrameBatch, FrameReader, Request, Response};
 use parking_lot::Mutex;
 use simbatch::{JobId, JobLauncher, SpawnSpec};
@@ -66,9 +90,10 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::RangeInclusive;
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 /// Environment variables passed to launched simulator jobs.
 pub mod env_keys {
@@ -80,6 +105,20 @@ pub mod env_keys {
     pub const CONTEXT: &str = "SIMFS_CONTEXT";
     /// Storage-area directory the simulator writes into.
     pub const DATA_DIR: &str = "SIMFS_DATA_DIR";
+}
+
+/// Which connection front-end the daemon runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Frontend {
+    /// Sharded epoll reactor: min(cores, 8) event-loop threads serve
+    /// every connection; daemon thread count is independent of client
+    /// count.
+    #[default]
+    Epoll,
+    /// Legacy thread-per-connection front-end. Kept for one release
+    /// for A/B benchmarking (`bench_daemon --frontend threads`); to be
+    /// removed once the reactor has baked.
+    Threads,
 }
 
 /// Daemon configuration for one simulation context.
@@ -95,10 +134,15 @@ pub struct ServerConfig {
     /// Recorded checksums of the initial simulation (`SIMFS_Bitrep`
     /// reference data): key → checksum.
     pub checksums: HashMap<u64, u64>,
+    /// Connection front-end. Daemon-wide: with
+    /// [`start_multi`](DvServer::start_multi), the first context's
+    /// choice applies to the whole daemon.
+    pub frontend: Frontend,
 }
 
-/// Writer-map shard count. Client ids are assigned sequentially, so a
-/// simple modulo spreads registration and notification traffic evenly.
+/// Writer-map shard count (threaded front-end). Client ids are assigned
+/// sequentially, so a simple modulo spreads registration and
+/// notification traffic evenly.
 const WRITER_SHARDS: usize = 8;
 
 /// The state guarded by the per-context DV lock: the state machine, the
@@ -131,8 +175,16 @@ struct LaunchLedger {
     cancelled: U64Set,
 }
 
+impl LaunchLedger {
+    /// Any job somewhere between "launch collected" and "known
+    /// complete" — the condition under which the reaper must poll.
+    fn jobs_in_flight(&self) -> bool {
+        !(self.pending_launch.is_empty() && self.launching.is_empty() && self.launched.is_empty())
+    }
+}
+
 /// Everything a DV transition wants done once the DV lock is released.
-/// Owned by each connection/reaper thread and reused, so a transition
+/// Owned by each connection/reaper context and reused, so a transition
 /// allocates nothing in steady state.
 #[derive(Default)]
 struct Effects {
@@ -156,17 +208,88 @@ impl Effects {
     }
 }
 
+/// Routes responses to client connections; the front-ends differ only
+/// here.
+enum WriterTable {
+    /// Threaded front-end: client id → cloned write half, sharded.
+    Threads(Vec<Mutex<HashMap<ClientId, TcpStream>>>),
+    /// Epoll front-end: the reactor's registry routes to the owning
+    /// shard, which performs the write.
+    Reactor(Arc<Reactor>),
+}
+
+impl WriterTable {
+    fn threads_shard(
+        shards: &[Mutex<HashMap<ClientId, TcpStream>>],
+        client: ClientId,
+    ) -> &Mutex<HashMap<ClientId, TcpStream>> {
+        &shards[(client % WRITER_SHARDS as u64) as usize]
+    }
+
+    /// Registers a threaded session's write half.
+    ///
+    /// # Panics
+    /// Panics under the epoll front-end, which registers connections
+    /// with the reactor at handshake time instead.
+    fn register_stream(&self, client: ClientId, stream: TcpStream) {
+        match self {
+            WriterTable::Threads(shards) => {
+                Self::threads_shard(shards, client).lock().insert(client, stream);
+            }
+            WriterTable::Reactor(_) => unreachable!("threaded session under epoll front-end"),
+        }
+    }
+
+    fn unregister(&self, client: ClientId) {
+        match self {
+            WriterTable::Threads(shards) => {
+                Self::threads_shard(shards, client).lock().remove(&client);
+            }
+            WriterTable::Reactor(reactor) => reactor.unregister(client),
+        }
+    }
+
+    /// Delivers (and clears) one destination's batch. Departed clients
+    /// are dropped silently on both paths.
+    fn send_batch(&self, client: ClientId, batch: &mut FrameBatch) {
+        match self {
+            WriterTable::Threads(shards) => {
+                let mut shard = Self::threads_shard(shards, client).lock();
+                if let Some(stream) = shard.get_mut(&client) {
+                    let _ = batch.write_to(stream);
+                }
+            }
+            WriterTable::Reactor(reactor) => {
+                // Borrowed send: a response to the dispatching
+                // connection itself is staged with no allocation; only
+                // cross-connection traffic is copied into an inbox.
+                reactor.send_bytes(client, batch.as_bytes());
+            }
+        }
+    }
+}
+
 /// Per-context runtime: the DV state machine plus its effectors.
 struct CtxRuntime {
     name: String,
     state: Mutex<DvCore>,
-    /// Analysis client writers, sharded by client id.
-    writers: Vec<Mutex<HashMap<ClientId, TcpStream>>>,
+    writers: WriterTable,
     ledger: Mutex<LaunchLedger>,
     driver: Arc<dyn SimDriver>,
     storage: StorageArea,
     launcher: Arc<dyn JobLauncher>,
     checksums: HashMap<u64, u64>,
+}
+
+/// Front-end machinery owned by the daemon.
+enum FrontendRt {
+    Threads,
+    Epoll {
+        reactor: Arc<Reactor>,
+        /// Signalled at shutdown; registered in the accept loop's epoll
+        /// alongside the listener.
+        accept_wake: EventFd,
+    },
 }
 
 struct Inner {
@@ -175,6 +298,13 @@ struct Inner {
     addr: SocketAddr,
     next_client: AtomicU64,
     shutdown: AtomicBool,
+    frontend: FrontendRt,
+    /// Wakes the reaper when jobs enter flight (and at shutdown); the
+    /// guarded bool is the shutdown request.
+    reap_signal: (StdMutex<bool>, Condvar),
+    /// Notified whenever sims complete or die, so shutdown's quiesce
+    /// wait is event-driven instead of a sleep poll.
+    quiesce: (StdMutex<()>, Condvar),
 }
 
 impl Inner {
@@ -194,21 +324,19 @@ impl Inner {
         }
         None
     }
+
+    fn notify_reaper(&self) {
+        let _guard = self.reap_signal.0.lock().unwrap();
+        self.reap_signal.1.notify_all();
+    }
+
+    fn notify_quiesce(&self) {
+        let _guard = self.quiesce.0.lock().unwrap();
+        self.quiesce.1.notify_all();
+    }
 }
 
 impl CtxRuntime {
-    fn shard(&self, client: ClientId) -> &Mutex<HashMap<ClientId, TcpStream>> {
-        &self.writers[(client % WRITER_SHARDS as u64) as usize]
-    }
-
-    fn register_writer(&self, client: ClientId, writer: TcpStream) {
-        self.shard(client).lock().insert(client, writer);
-    }
-
-    fn unregister_writer(&self, client: ClientId) {
-        self.shard(client).lock().remove(&client);
-    }
-
     /// Resolves the actions of one DV transition into `fx` (called with
     /// the DV lock held; does no I/O).
     fn collect(&self, core: &mut DvCore, fx: &mut Effects) {
@@ -270,9 +398,9 @@ impl CtxRuntime {
         self.collect(&mut core, fx);
     }
 
-    /// Encodes and writes the outbox: one [`FrameBatch`] (one
-    /// `write_all`) per destination client. Departed clients are
-    /// dropped silently, matching the old behavior.
+    /// Encodes and delivers the outbox: one [`FrameBatch`] (one write)
+    /// per destination client. Departed clients are dropped silently,
+    /// matching the old behavior.
     fn flush_outbox(&self, fx: &mut Effects) {
         if fx.outbox.is_empty() {
             return;
@@ -300,12 +428,7 @@ impl CtxRuntime {
             }
         }
         for (client, batch) in &mut fx.batches[..used] {
-            {
-                let mut shard = self.shard(*client).lock();
-                if let Some(stream) = shard.get_mut(client) {
-                    let _ = batch.write_to(stream);
-                }
-            }
+            self.writers.send_batch(*client, batch);
             batch.clear();
         }
     }
@@ -361,6 +484,7 @@ impl CtxRuntime {
         for sim in to_kill {
             let _ = self.launcher.kill(JobId(sim));
         }
+        let launched_any = !to_launch.is_empty();
         for (sim, keys, level) in to_launch {
             let spec = self
                 .driver
@@ -393,6 +517,11 @@ impl CtxRuntime {
                 let _ = self.launcher.kill(JobId(sim));
             }
         }
+        if launched_any {
+            // Jobs are now in flight: the reaper must start polling for
+            // orphaned exits.
+            inner.notify_reaper();
+        }
     }
 
     /// Effects everything a transition collected: socket writes, job
@@ -401,7 +530,9 @@ impl CtxRuntime {
     /// I/O.
     fn commit(&self, inner: &Inner, fx: &mut Effects) {
         let mut failed: Vec<SimId> = Vec::new();
+        let mut sims_retired = false;
         loop {
+            sims_retired |= !fx.kills.is_empty() || !fx.completed.is_empty();
             self.flush_outbox(fx);
             self.apply_job_control(inner, fx, &mut failed);
             if !fx.evicts.is_empty() {
@@ -422,12 +553,194 @@ impl CtxRuntime {
                 }
             }
             if failed.is_empty() {
-                return;
+                break;
             }
             for sim in failed.drain(..) {
                 fx.completed.push(sim);
                 self.transition(inner, DvEvent::SimFailed { sim }, fx);
             }
+        }
+        if sims_retired {
+            // Sims finished, failed or were killed: a quiesce waiter
+            // (shutdown) may now observe an idle context.
+            inner.notify_quiesce();
+        }
+    }
+
+    /// Processes one analysis request; `false` ends the session.
+    /// Shared by both front-ends.
+    fn handle_analysis_request(
+        &self,
+        inner: &Inner,
+        client: ClientId,
+        req: Request,
+        fx: &mut Effects,
+    ) -> bool {
+        match req {
+            Request::Acquire { req_id, keys } => {
+                // One DV lock acquisition for the whole request; all
+                // resulting responses leave as one coalesced batch per
+                // destination after release.
+                {
+                    let now = inner.now();
+                    let mut core = self.state.lock();
+                    for &key in &keys {
+                        // Register interest before handling so a
+                        // concurrent production cannot race past the
+                        // notification.
+                        core.pending.entry((client, key)).or_default().push(req_id);
+                        let DvCore { dv, actions, .. } = &mut *core;
+                        dv.handle_into(now, DvEvent::Acquire { client, key }, actions);
+                        self.collect(&mut core, fx);
+                        // Still pending? Tell the client it is queued,
+                        // with the wait estimate (§III-C).
+                        if core.pending.contains_key(&(client, key)) {
+                            let est = core
+                                .dv
+                                .estimate_wait(key)
+                                .map_or(0, |d| d.as_nanos() / 1_000_000);
+                            fx.outbox.push((
+                                client,
+                                Response::Queued {
+                                    req_id,
+                                    key,
+                                    est_wait_ms: est,
+                                },
+                            ));
+                        }
+                    }
+                }
+                self.commit(inner, fx);
+                true
+            }
+            Request::Release { key } => {
+                self.transition(inner, DvEvent::Release { client, key }, fx);
+                self.commit(inner, fx);
+                true
+            }
+            Request::Bitrep { req_id, key } => {
+                // Pure storage I/O: never touches the DV lock.
+                let name = self.driver.filename_of(key);
+                let result = self.storage.read(&name).ok().map(|bytes| {
+                    let sum = self.driver.checksum(&bytes);
+                    match self.checksums.get(&key) {
+                        Some(recorded) => (sum == *recorded, true),
+                        None => (false, false),
+                    }
+                });
+                let resp = match result {
+                    Some((matches, known)) => Response::BitrepResult {
+                        req_id,
+                        key,
+                        matches,
+                        known,
+                    },
+                    None => Response::Failed {
+                        req_id,
+                        key,
+                        reason: "file not materialized; acquire it first".to_string(),
+                    },
+                };
+                fx.outbox.push((client, resp));
+                self.flush_outbox(fx);
+                true
+            }
+            Request::Status { req_id } => {
+                let resp = {
+                    let core = self.state.lock();
+                    let stats = core.dv.stats();
+                    Response::StatusInfo {
+                        req_id,
+                        hits: stats.hits,
+                        misses: stats.misses,
+                        restarts: stats.restarts,
+                        produced_steps: stats.produced_steps,
+                        active_sims: core.dv.active_sims() as u64,
+                    }
+                };
+                fx.outbox.push((client, resp));
+                self.flush_outbox(fx);
+                true
+            }
+            Request::Bye => false,
+            _ => {
+                fx.outbox.push((
+                    client,
+                    Response::Error {
+                        message: "unexpected analysis request".to_string(),
+                    },
+                ));
+                self.flush_outbox(fx);
+                false
+            }
+        }
+    }
+
+    /// Tears down an analysis session: drops the writer, clears pending
+    /// request bookkeeping, releases the client's pins via
+    /// `ClientGone`. Shared by both front-ends.
+    fn analysis_disconnect(&self, inner: &Inner, client: ClientId, fx: &mut Effects) {
+        self.writers.unregister(client);
+        {
+            let mut core = self.state.lock();
+            core.pending.retain(|(c, _), _| *c != client);
+        }
+        self.transition(inner, DvEvent::ClientGone { client }, fx);
+        self.commit(inner, fx);
+    }
+
+    /// Processes one simulator request; `false` ends the session.
+    /// Shared by both front-ends.
+    fn handle_simulator_request(
+        &self,
+        inner: &Inner,
+        sim: SimId,
+        req: Request,
+        finished: &mut bool,
+        fx: &mut Effects,
+    ) -> bool {
+        let event = match req {
+            Request::SimStarted => DvEvent::SimStarted { sim },
+            Request::FileProduced { key, size } => DvEvent::FileProduced { sim, key, size },
+            Request::SimFinished => {
+                *finished = true;
+                fx.completed.push(sim);
+                DvEvent::SimFinished { sim }
+            }
+            _ => return false, // Bye or protocol error: drop the session
+        };
+        self.transition(inner, event, fx);
+        self.commit(inner, fx);
+        !*finished
+    }
+
+    /// Tears down a simulator session; a connection dying before
+    /// `SimFinished` means the re-simulation failed.
+    fn simulator_disconnect(&self, inner: &Inner, sim: SimId, finished: bool, fx: &mut Effects) {
+        if !finished {
+            fx.completed.push(sim);
+            self.transition(inner, DvEvent::SimFailed { sim }, fx);
+            self.commit(inner, fx);
+        }
+        // Collect any already-exited jobs while we are here (launchers
+        // report each exit exactly once, so the results must be applied,
+        // not dropped — a discarded exit would hang its waiters forever).
+        self.reap_exits(inner, fx);
+    }
+
+    /// Drains the launcher's exited jobs and applies them as DV events.
+    /// Unknown sims (already finished via the protocol) are no-ops
+    /// inside the DV.
+    fn reap_exits(&self, inner: &Inner, fx: &mut Effects) {
+        for (job, success) in self.launcher.reap() {
+            let event = if success {
+                DvEvent::SimFinished { sim: job.0 }
+            } else {
+                DvEvent::SimFailed { sim: job.0 }
+            };
+            fx.completed.push(job.0);
+            self.transition(inner, event, fx);
+            self.commit(inner, fx);
         }
     }
 }
@@ -448,13 +761,28 @@ impl DvServer {
 
     /// Binds and starts a daemon serving several simulation contexts
     /// (§II) on one address; clients route by context name at hello
-    /// time.
+    /// time. The first context's [`ServerConfig::frontend`] selects the
+    /// connection front-end for the whole daemon.
     ///
     /// # Panics
     /// Panics on duplicate context names — a configuration error.
     pub fn start_multi(configs: Vec<ServerConfig>, bind: &str) -> io::Result<DvServer> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
+
+        let frontend = configs.first().map(|c| c.frontend).unwrap_or_default();
+        let frontend_rt = match frontend {
+            Frontend::Threads => FrontendRt::Threads,
+            Frontend::Epoll => {
+                let shards = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                FrontendRt::Epoll {
+                    reactor: Reactor::start(shards)?,
+                    accept_wake: EventFd::new()?,
+                }
+            }
+        };
 
         let mut contexts = HashMap::new();
         let mut prime_work: Vec<(Arc<CtxRuntime>, Vec<u64>)> = Vec::new();
@@ -470,6 +798,12 @@ impl DvServer {
                     evicted.extend(dv.prime(key, size));
                 }
             }
+            let writers = match &frontend_rt {
+                FrontendRt::Threads => WriterTable::Threads(
+                    (0..WRITER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+                ),
+                FrontendRt::Epoll { reactor, .. } => WriterTable::Reactor(Arc::clone(reactor)),
+            };
             let runtime = Arc::new(CtxRuntime {
                 name: name.clone(),
                 state: Mutex::new(DvCore {
@@ -477,9 +811,7 @@ impl DvServer {
                     pending: HashMap::new(),
                     actions: Vec::new(),
                 }),
-                writers: (0..WRITER_SHARDS)
-                    .map(|_| Mutex::new(HashMap::new()))
-                    .collect(),
+                writers,
                 ledger: Mutex::new(LaunchLedger::default()),
                 driver: config.driver,
                 storage: config.storage,
@@ -497,6 +829,9 @@ impl DvServer {
             addr,
             next_client: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            frontend: frontend_rt,
+            reap_signal: (StdMutex::new(false), Condvar::new()),
+            quiesce: (StdMutex::new(()), Condvar::new()),
         });
 
         // Delete whatever the priming evicted (storage shrunk between
@@ -508,52 +843,107 @@ impl DvServer {
             }
         }
 
-        let accept_inner = Arc::clone(&inner);
-        std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if accept_inner.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match conn {
-                    Ok(stream) => {
-                        let conn_inner = Arc::clone(&accept_inner);
-                        std::thread::spawn(move || handle_connection(conn_inner, stream));
-                    }
-                    Err(_) => break,
-                }
-            }
-        });
+        Self::spawn_accept_loop(&inner, listener)?;
 
         // Reaper: a launched job can die before it ever connects (bad
-        // restart file, scheduler rejection). Poll every launcher and
-        // translate orphaned exits into SimFailed/SimFinished so waiting
-        // analyses get an answer instead of a hang.
+        // restart file, scheduler rejection). While jobs are in flight,
+        // poll every launcher and translate orphaned exits into
+        // SimFailed/SimFinished so waiting analyses get an answer
+        // instead of a hang; while nothing runs, park on the condvar —
+        // an idle daemon makes zero syscalls.
         let reap_inner = Arc::clone(&inner);
-        std::thread::spawn(move || {
-            let mut fx = Effects::default();
-            while !reap_inner.shutdown.load(Ordering::SeqCst) {
-                std::thread::sleep(std::time::Duration::from_millis(50));
-                for runtime in reap_inner.contexts.values() {
-                    let exits = runtime.launcher.reap();
-                    if exits.is_empty() {
-                        continue;
-                    }
-                    for (job, success) in exits {
-                        // Unknown sims (already finished via the
-                        // protocol) are no-ops inside the DV.
-                        let event = if success {
-                            DvEvent::SimFinished { sim: job.0 }
-                        } else {
-                            DvEvent::SimFailed { sim: job.0 }
-                        };
-                        fx.completed.push(job.0);
-                        runtime.transition(&reap_inner, event, &mut fx);
-                        runtime.commit(&reap_inner, &mut fx);
-                    }
-                }
-            }
-        });
+        std::thread::Builder::new()
+            .name("dv-reaper".into())
+            .spawn(move || run_reaper(&reap_inner))?;
         Ok(DvServer { inner })
+    }
+
+    fn spawn_accept_loop(inner: &Arc<Inner>, listener: TcpListener) -> io::Result<()> {
+        match &inner.frontend {
+            FrontendRt::Threads => {
+                // Non-blocking accept + shutdown-flag poll: bounded
+                // shutdown latency without the old connect-to-self
+                // unblock hack.
+                listener.set_nonblocking(true)?;
+                let inner = Arc::clone(inner);
+                std::thread::Builder::new().name("dv-accept".into()).spawn(move || loop {
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let _ = stream.set_nodelay(true);
+                            let conn_inner = Arc::clone(&inner);
+                            std::thread::spawn(move || handle_connection(conn_inner, stream));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            // EMFILE, ECONNABORTED and friends are
+                            // transient at high connection counts; an
+                            // accept thread that exits takes the
+                            // listener with it and the daemon would
+                            // silently stop accepting forever. Back off
+                            // and retry; shutdown is the only exit.
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                })?;
+            }
+            FrontendRt::Epoll { accept_wake, .. } => {
+                // Event-driven accept: one epoll over the listener and
+                // the shutdown eventfd, so shutdown unblocks instantly.
+                listener.set_nonblocking(true)?;
+                let epoll = Epoll::new()?;
+                epoll.add(listener.as_raw_fd(), EPOLLIN, 0)?;
+                epoll.add(accept_wake.fd(), EPOLLIN, 1)?;
+                let inner = Arc::clone(inner);
+                std::thread::Builder::new().name("dv-accept".into()).spawn(move || {
+                    let FrontendRt::Epoll { reactor, .. } = &inner.frontend else {
+                        unreachable!("epoll accept loop without reactor");
+                    };
+                    let mut events = [EpollEvent::default(); 4];
+                    loop {
+                        let _ = epoll.wait(&mut events, -1);
+                        if inner.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        loop {
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    if stream.set_nonblocking(true).is_err() {
+                                        continue;
+                                    }
+                                    let _ = stream.set_nodelay(true);
+                                    reactor.submit(
+                                        stream,
+                                        Box::new(EpollConn {
+                                            inner: Arc::clone(&inner),
+                                            state: ConnState::Handshake,
+                                        }),
+                                    );
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                                Err(_) => {
+                                    // Transient (EMFILE/ECONNABORTED):
+                                    // never exit — the listener dies
+                                    // with this thread. Back off; the
+                                    // level-triggered epoll re-reports
+                                    // the pending connection.
+                                    std::thread::sleep(Duration::from_millis(10));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                })?;
+            }
+        }
+        Ok(())
     }
 
     /// The bound address clients should connect to.
@@ -599,10 +989,15 @@ impl DvServer {
         // SimFinished, and the reaper (which must keep running here —
         // it is how a *crashed* sim's exit reaches the DV) drains
         // orphans. A bounded wait lets callers tear down the storage
-        // area without racing live writers.
-        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        // area without racing live writers. The wait is event-driven:
+        // `commit` notifies the quiesce condvar as sims retire (the
+        // short timeout only backstops a wakeup lost to the unguarded
+        // DV-state read).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let (lock, cv) = &self.inner.quiesce;
         for ctx in self.inner.contexts.values() {
-            while Instant::now() < deadline {
+            let mut guard = lock.lock().unwrap();
+            loop {
                 let idle = {
                     let core = ctx.state.lock();
                     core.dv.active_sims() == 0 && core.dv.queued_launches() == 0
@@ -610,18 +1005,212 @@ impl DvServer {
                 if idle {
                     break;
                 }
-                std::thread::sleep(std::time::Duration::from_millis(2));
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let wait = (deadline - now).min(Duration::from_millis(100));
+                guard = cv.wait_timeout(guard, wait).unwrap().0;
             }
         }
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop.
-        let _ = TcpStream::connect(self.inner.addr);
+        match &self.inner.frontend {
+            FrontendRt::Threads => {
+                // The non-blocking accept loop observes the flag within
+                // one poll interval.
+            }
+            FrontendRt::Epoll {
+                reactor,
+                accept_wake,
+            } => {
+                accept_wake.signal();
+                reactor.shutdown();
+            }
+        }
+        // Release the reaper from its idle park.
+        {
+            let mut stop = self.inner.reap_signal.0.lock().unwrap();
+            *stop = true;
+        }
+        self.inner.reap_signal.1.notify_all();
     }
 }
 
 impl Drop for DvServer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+fn run_reaper(inner: &Arc<Inner>) {
+    let mut fx = Effects::default();
+    loop {
+        // Park until jobs are in flight (or shutdown). Zero wakeups,
+        // zero syscalls while the daemon is idle.
+        {
+            let mut stop = inner.reap_signal.0.lock().unwrap();
+            loop {
+                if *stop {
+                    return;
+                }
+                if inner.contexts.values().any(|rt| rt.ledger.lock().jobs_in_flight()) {
+                    break;
+                }
+                stop = inner.reap_signal.1.wait(stop).unwrap();
+            }
+        }
+        // Poll pass: translate orphaned exits into DV events.
+        for runtime in inner.contexts.values() {
+            runtime.reap_exits(inner, &mut fx);
+        }
+        // Re-poll cadence while jobs run; shutdown interrupts the wait.
+        {
+            let stop = inner.reap_signal.0.lock().unwrap();
+            if *stop {
+                return;
+            }
+            let _ = inner
+                .reap_signal
+                .1
+                .wait_timeout(stop, Duration::from_millis(50))
+                .unwrap();
+        }
+    }
+}
+
+/// Per-connection state machine of the epoll front-end. The handshake
+/// frame routes the connection to a context and a role; afterwards each
+/// frame is dispatched through the same shared request handlers the
+/// threaded front-end uses.
+struct EpollConn {
+    inner: Arc<Inner>,
+    state: ConnState,
+}
+
+enum ConnState {
+    /// Awaiting the Hello frame.
+    Handshake,
+    Analysis {
+        runtime: Arc<CtxRuntime>,
+        client: ClientId,
+        fx: Effects,
+    },
+    Simulator {
+        runtime: Arc<CtxRuntime>,
+        sim: SimId,
+        finished: bool,
+        fx: Effects,
+    },
+    /// Torn down; any further frame closes the connection.
+    Done,
+}
+
+/// Encodes one response as a complete wire frame for a direct
+/// connection write (handshake replies that precede registration).
+fn direct_frame(cx: &mut ConnCtx<'_>, resp: &Response) {
+    let mut batch = FrameBatch::new();
+    batch.push_response(resp);
+    cx.write(batch.as_bytes());
+}
+
+impl crate::reactor::Handler for EpollConn {
+    fn on_frame(&mut self, frame: &[u8], cx: &mut ConnCtx<'_>) -> bool {
+        match &mut self.state {
+            ConnState::Handshake => {
+                let Ok(req) = Request::decode(frame) else {
+                    return false;
+                };
+                let Request::Hello { kind, context } = req else {
+                    direct_frame(
+                        cx,
+                        &Response::Error {
+                            message: "expected Hello".to_string(),
+                        },
+                    );
+                    return false;
+                };
+                let Some(runtime) = self.inner.route(&context).cloned() else {
+                    direct_frame(cx, &unknown_context_error(&self.inner, &context));
+                    return false;
+                };
+                match kind {
+                    ClientKind::Analysis => {
+                        let client = self.inner.next_client.fetch_add(1, Ordering::SeqCst);
+                        // Route first, then greet: a notification can
+                        // only exist after a request, which can only
+                        // follow the HelloOk already in the buffer.
+                        cx.register(client);
+                        direct_frame(cx, &Response::HelloOk { client_id: client });
+                        self.state = ConnState::Analysis {
+                            runtime,
+                            client,
+                            fx: Effects::default(),
+                        };
+                    }
+                    ClientKind::Simulator { sim_id } => {
+                        // Simulators receive no post-handshake traffic;
+                        // they are not registered for routing.
+                        direct_frame(cx, &Response::HelloOk { client_id: sim_id });
+                        self.state = ConnState::Simulator {
+                            runtime,
+                            sim: sim_id,
+                            finished: false,
+                            fx: Effects::default(),
+                        };
+                    }
+                }
+                true
+            }
+            ConnState::Analysis {
+                runtime,
+                client,
+                fx,
+            } => {
+                let Ok(req) = Request::decode(frame) else {
+                    return false;
+                };
+                runtime.handle_analysis_request(&self.inner, *client, req, fx)
+            }
+            ConnState::Simulator {
+                runtime,
+                sim,
+                finished,
+                fx,
+            } => {
+                let Ok(req) = Request::decode(frame) else {
+                    return false;
+                };
+                runtime.handle_simulator_request(&self.inner, *sim, req, finished, fx)
+            }
+            ConnState::Done => false,
+        }
+    }
+
+    fn on_close(&mut self) {
+        match std::mem::replace(&mut self.state, ConnState::Done) {
+            ConnState::Handshake | ConnState::Done => {}
+            ConnState::Analysis {
+                runtime,
+                client,
+                mut fx,
+            } => runtime.analysis_disconnect(&self.inner, client, &mut fx),
+            ConnState::Simulator {
+                runtime,
+                sim,
+                finished,
+                mut fx,
+            } => runtime.simulator_disconnect(&self.inner, sim, finished, &mut fx),
+        }
+    }
+}
+
+fn unknown_context_error(inner: &Inner, context: &str) -> Response {
+    Response::Error {
+        message: format!("unknown simulation context {:?} (available: {:?})", context, {
+            let mut names: Vec<&String> = inner.contexts.keys().collect();
+            names.sort();
+            names
+        }),
     }
 }
 
@@ -644,17 +1233,7 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
         return;
     };
     let Some(runtime) = inner.route(&context).cloned() else {
-        let resp = Response::Error {
-            message: format!(
-                "unknown simulation context {:?} (available: {:?})",
-                context,
-                {
-                    let mut names: Vec<&String> = inner.contexts.keys().collect();
-                    names.sort();
-                    names
-                }
-            ),
-        };
+        let resp = unknown_context_error(&inner, &context);
         if let Ok(mut w) = reader.get_ref().try_clone() {
             let _ = wire::write_frame(&mut w, &resp.encode());
         }
@@ -678,117 +1257,18 @@ fn analysis_session(
     if wire::write_frame(&mut writer, &Response::HelloOk { client_id: client }.encode()).is_err() {
         return;
     }
-    runtime.register_writer(client, writer);
+    runtime.writers.register_stream(client, writer);
 
     let mut fx = Effects::default();
     while let Ok(Some(frame)) = reader.read_frame() {
-        let req = match Request::decode(&frame) {
-            Ok(r) => r,
-            Err(_) => break,
+        let Ok(req) = Request::decode(&frame) else {
+            break;
         };
-        match req {
-            Request::Acquire { req_id, keys } => {
-                // One DV lock acquisition for the whole request; all
-                // resulting responses leave as one coalesced batch per
-                // destination after release.
-                {
-                    let now = inner.now();
-                    let mut core = runtime.state.lock();
-                    for &key in &keys {
-                        // Register interest before handling so a
-                        // concurrent production cannot race past the
-                        // notification.
-                        core.pending.entry((client, key)).or_default().push(req_id);
-                        let DvCore { dv, actions, .. } = &mut *core;
-                        dv.handle_into(now, DvEvent::Acquire { client, key }, actions);
-                        runtime.collect(&mut core, &mut fx);
-                        // Still pending? Tell the client it is queued,
-                        // with the wait estimate (§III-C).
-                        if core.pending.contains_key(&(client, key)) {
-                            let est = core
-                                .dv
-                                .estimate_wait(key)
-                                .map_or(0, |d| d.as_nanos() / 1_000_000);
-                            fx.outbox.push((
-                                client,
-                                Response::Queued {
-                                    req_id,
-                                    key,
-                                    est_wait_ms: est,
-                                },
-                            ));
-                        }
-                    }
-                }
-                runtime.commit(&inner, &mut fx);
-            }
-            Request::Release { key } => {
-                runtime.transition(&inner, DvEvent::Release { client, key }, &mut fx);
-                runtime.commit(&inner, &mut fx);
-            }
-            Request::Bitrep { req_id, key } => {
-                // Pure storage I/O: never touches the DV lock.
-                let name = runtime.driver.filename_of(key);
-                let result = runtime.storage.read(&name).ok().map(|bytes| {
-                    let sum = runtime.driver.checksum(&bytes);
-                    match runtime.checksums.get(&key) {
-                        Some(recorded) => (sum == *recorded, true),
-                        None => (false, false),
-                    }
-                });
-                let resp = match result {
-                    Some((matches, known)) => Response::BitrepResult {
-                        req_id,
-                        key,
-                        matches,
-                        known,
-                    },
-                    None => Response::Failed {
-                        req_id,
-                        key,
-                        reason: "file not materialized; acquire it first".to_string(),
-                    },
-                };
-                fx.outbox.push((client, resp));
-                runtime.flush_outbox(&mut fx);
-            }
-            Request::Status { req_id } => {
-                let resp = {
-                    let core = runtime.state.lock();
-                    let stats = core.dv.stats();
-                    Response::StatusInfo {
-                        req_id,
-                        hits: stats.hits,
-                        misses: stats.misses,
-                        restarts: stats.restarts,
-                        produced_steps: stats.produced_steps,
-                        active_sims: core.dv.active_sims() as u64,
-                    }
-                };
-                fx.outbox.push((client, resp));
-                runtime.flush_outbox(&mut fx);
-            }
-            Request::Bye => break,
-            _ => {
-                fx.outbox.push((
-                    client,
-                    Response::Error {
-                        message: "unexpected analysis request".to_string(),
-                    },
-                ));
-                runtime.flush_outbox(&mut fx);
-                break;
-            }
+        if !runtime.handle_analysis_request(&inner, client, req, &mut fx) {
+            break;
         }
     }
-
-    runtime.unregister_writer(client);
-    {
-        let mut core = runtime.state.lock();
-        core.pending.retain(|(c, _), _| *c != client);
-    }
-    runtime.transition(&inner, DvEvent::ClientGone { client }, &mut fx);
-    runtime.commit(&inner, &mut fx);
+    runtime.analysis_disconnect(&inner, client, &mut fx);
 }
 
 fn simulator_session(
@@ -807,34 +1287,14 @@ fn simulator_session(
     let mut fx = Effects::default();
     let mut finished = false;
     while let Ok(Some(frame)) = reader.read_frame() {
-        let req = match Request::decode(&frame) {
-            Ok(r) => r,
-            Err(_) => break,
+        let Ok(req) = Request::decode(&frame) else {
+            break;
         };
-        let event = match req {
-            Request::SimStarted => DvEvent::SimStarted { sim },
-            Request::FileProduced { key, size } => DvEvent::FileProduced { sim, key, size },
-            Request::SimFinished => {
-                finished = true;
-                fx.completed.push(sim);
-                DvEvent::SimFinished { sim }
-            }
-            Request::Bye => break,
-            _ => break,
-        };
-        runtime.transition(&inner, event, &mut fx);
-        runtime.commit(&inner, &mut fx);
-        if finished {
+        if !runtime.handle_simulator_request(&inner, sim, req, &mut finished, &mut fx) {
             break;
         }
     }
-    if !finished {
-        // Connection died mid-run: the re-simulation failed.
-        fx.completed.push(sim);
-        runtime.transition(&inner, DvEvent::SimFailed { sim }, &mut fx);
-        runtime.commit(&inner, &mut fx);
-    }
-    let _ = runtime.launcher.reap();
+    runtime.simulator_disconnect(&inner, sim, finished, &mut fx);
 }
 
 /// In-process simulator launcher: "launches" jobs as threads that

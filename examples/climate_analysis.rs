@@ -55,6 +55,7 @@ fn main() -> std::io::Result<()> {
             storage: storage.clone(),
             launcher,
             checksums: init.checksums,
+            frontend: Frontend::default(),
         },
         "127.0.0.1:0",
     )?;

@@ -147,6 +147,7 @@ fn main() -> io::Result<()> {
             storage: coarse_storage.clone(),
             launcher: coarse_launcher,
             checksums: HashMap::new(),
+            frontend: Frontend::default(),
         },
         "127.0.0.1:0",
     )?;
@@ -169,6 +170,7 @@ fn main() -> io::Result<()> {
             storage: fine_storage.clone(),
             launcher: fine_launcher,
             checksums: HashMap::new(),
+            frontend: Frontend::default(),
         },
         "127.0.0.1:0",
     )?;

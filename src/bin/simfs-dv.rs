@@ -17,7 +17,7 @@
 
 use simbatch::ProcessLauncher;
 use simfs::spec::ContextSpec;
-use simfs_core::server::{DvServer, ServerConfig};
+use simfs_core::server::{DvServer, Frontend, ServerConfig};
 use simstore::{checksum_db, StorageArea};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -28,6 +28,7 @@ struct Args {
     listen: String,
     init: bool,
     simd_program: String,
+    frontend: Frontend,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         listen: "127.0.0.1:0".to_string(),
         init: false,
         simd_program: "simfs-simd".to_string(),
+        frontend: Frontend::default(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -54,12 +56,28 @@ fn parse_args() -> Result<Args, String> {
                 args.simd_program = argv.get(i).cloned().ok_or("--simd needs a path")?;
             }
             "--init" => args.init = true,
+            "--frontend" => {
+                i += 1;
+                args.frontend = match argv.get(i).map(String::as_str) {
+                    Some("epoll") => Frontend::Epoll,
+                    Some("threads") => Frontend::Threads,
+                    other => {
+                        return Err(format!(
+                            "--frontend must be epoll or threads, got {other:?}"
+                        ))
+                    }
+                };
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 1;
     }
     if args.spec_path.is_empty() {
-        return Err("usage: simfs-dv --spec <file> [--listen addr] [--simd path] [--init]".into());
+        return Err(
+            "usage: simfs-dv --spec <file> [--listen addr] [--simd path] \
+             [--frontend epoll|threads] [--init]"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -117,6 +135,7 @@ fn run() -> Result<(), String> {
             storage,
             launcher: Arc::new(ProcessLauncher::new()),
             checksums,
+            frontend: args.frontend,
         },
         &args.listen,
     )
