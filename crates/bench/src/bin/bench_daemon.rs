@@ -1,34 +1,111 @@
 //! End-to-end daemon throughput and latency: N concurrent analysis
-//! clients hammer a loopback daemon with hit-path `acquire`/`release`
-//! pairs — the Fig. 4 control-message pattern that bounds how many
-//! concurrent analyses one context can serve. Every pair is one full
-//! request/response round trip through the wire codec, the client
-//! routing table and the DV lock, so the numbers directly track the
-//! front-end work in `server.rs`/`reactor.rs`.
+//! clients hammer a loopback daemon with `acquire`/`release` pairs —
+//! the Fig. 4 control-message pattern that bounds how many concurrent
+//! analyses one context can serve. Every pair is one full
+//! request/response round trip through the wire codec, the reactor and
+//! the DV control plane (hit fast path, shard locks), so the numbers
+//! directly track the front-end work in `server.rs`/`reactor.rs`.
 //!
-//! `cargo run --release -p simfs-bench --bin bench_daemon -- \
-//!     [--frontend epoll|threads|both] \
-//!     [--clients 1,2,4,8,16,32,128,256,1024] [--secs 2] \
-//!     [--out BENCH_daemon.json]`
+//! ```sh
+//! cargo run --release -p simfs-bench --bin bench_daemon -- \
+//!     [--workloads uniform,hitheavy,zipf] \
+//!     [--clients 1,2,4,...] [--secs 2] [--dv-shards 4] \
+//!     [--out BENCH_daemon.json]
+//! ```
 //!
-//! Per point it records throughput plus p50/p99 round-trip latency, and
-//! per front-end the daemon's thread count before any client connects
-//! (the epoll reactor stays at shards + accept + reaper regardless of
-//! client count; the threaded front-end adds one thread per client).
-//! The JSON summary seeds the perf trajectory in `BENCH_daemon.json`.
+//! Three workloads:
+//!
+//! * **uniform** — every client strides uniformly over a fully warmed
+//!   64-key timeline: the pure hit path, comparable across releases
+//!   (PR 2's ladder).
+//! * **hitheavy** — a 1280-key timeline with 95% of the keyspace warmed
+//!   ahead of time; uniform requests mix fast-path hits with cold
+//!   misses that launch real re-simulations mid-measurement.
+//! * **zipf** — zipfian (θ = 0.99) requests over the warmed 64-key
+//!   timeline: the hottest keys cluster in one restart interval, so
+//!   both the hit-index shards and one DV shard see heavy skew.
+//!
+//! Per point it records throughput, p50/p99 round-trip latency, and the
+//! daemon's control-plane counter deltas: fast-path vs slow-path
+//! acquires, epoch fallbacks, misses, and DV-lock wait/hold time. The
+//! JSON summary seeds the perf trajectory in `BENCH_daemon.json`.
 
 use simbatch::ParallelismMap;
 use simfs_core::client::SimfsClient;
 use simfs_core::driver::{PatternDriver, SimDriver};
+use simfs_core::dv::DvStats;
 use simfs_core::model::{ContextCfg, StepMath};
-use simfs_core::server::{DvServer, Frontend, ServerConfig, ThreadSimLauncher};
+use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};
 use simstore::{Data, Dataset, StorageArea};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-const N_KEYS: u64 = 64;
+/// Zipf skew parameter (YCSB's classic θ).
+const ZIPF_THETA: f64 = 0.99;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Uniform,
+    HitHeavy,
+    Zipf,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Uniform => "uniform",
+            Workload::HitHeavy => "hitheavy",
+            Workload::Zipf => "zipf",
+        }
+    }
+
+    fn parse(s: &str) -> Workload {
+        match s {
+            "uniform" => Workload::Uniform,
+            "hitheavy" => Workload::HitHeavy,
+            "zipf" => Workload::Zipf,
+            other => panic!("unknown workload {other} (uniform|hitheavy|zipf)"),
+        }
+    }
+
+    /// Total timeline length.
+    fn n_keys(self) -> u64 {
+        match self {
+            Workload::Uniform | Workload::Zipf => 64,
+            Workload::HitHeavy => 1280,
+        }
+    }
+
+    /// Keys warmed (materialized + released) before measurement.
+    fn warm_keys(self) -> u64 {
+        match self {
+            Workload::Uniform | Workload::Zipf => 64,
+            // 95% of the keyspace cached: the remaining 5% miss and
+            // re-simulate during the measured window.
+            Workload::HitHeavy => 1216,
+        }
+    }
+
+    fn default_clients(self) -> Vec<usize> {
+        match self {
+            Workload::Uniform => vec![1, 2, 4, 8, 16, 32, 128, 256, 1024],
+            Workload::HitHeavy | Workload::Zipf => vec![1, 32, 256, 1024],
+        }
+    }
+
+    /// Cache budget in steps. Hit-heavy bounds the cache just above its
+    /// warmed set so the 5% cold tail keeps missing (and evicting) in
+    /// steady state instead of materializing once; the others never
+    /// evict.
+    fn cache_steps(self) -> u64 {
+        match self {
+            Workload::Uniform | Workload::Zipf => u64::MAX / (1 << 20),
+            Workload::HitHeavy => 1220,
+        }
+    }
+}
 
 fn step_bytes(key: u64) -> Vec<u8> {
     let mut ds = Dataset::new(key, key as f64);
@@ -38,16 +115,22 @@ fn step_bytes(key: u64) -> Vec<u8> {
     ds.encode().to_vec()
 }
 
-fn start_daemon(dir: &std::path::Path, frontend: Frontend) -> (DvServer, StorageArea) {
+fn start_daemon(
+    dir: &std::path::Path,
+    n_keys: u64,
+    cache_steps: u64,
+    dv_shards: u32,
+) -> (DvServer, StorageArea) {
     let _ = std::fs::remove_dir_all(dir);
     let storage = StorageArea::create(dir, u64::MAX).unwrap();
     let size = step_bytes(1).len() as u64;
     let ctx = ContextCfg::new(
         "bench-ctx",
-        StepMath::new(1, 4, N_KEYS),
+        StepMath::new(1, 4, n_keys),
         size,
-        u64::MAX / 4,
+        cache_steps.saturating_mul(size),
     )
+    .with_policy("lru")
     .with_prefetch(false)
     .with_smax(8);
     let launcher = Arc::new(ThreadSimLauncher::new(
@@ -66,7 +149,7 @@ fn start_daemon(dir: &std::path::Path, frontend: Frontend) -> (DvServer, Storage
             storage: storage.clone(),
             launcher,
             checksums: HashMap::new(),
-            frontend,
+            dv_shards,
         },
         "127.0.0.1:0",
     )
@@ -80,6 +163,38 @@ fn process_threads() -> usize {
     std::fs::read_dir("/proc/self/task")
         .map(|entries| entries.count())
         .unwrap_or(0)
+}
+
+/// xorshift64* — deterministic per-thread key sampling without
+/// cross-thread state.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Cumulative zipf distribution over ranks `0..n` (rank 0 hottest);
+/// sampled by binary search on a uniform draw.
+fn zipf_cdf(n: u64, theta: f64) -> Vec<f64> {
+    let mut weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    weights
 }
 
 struct Point {
@@ -97,31 +212,48 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[idx] as f64 / 1_000.0
 }
 
-/// One point: `clients` threads, each looping a hit-path
-/// `acquire([key])`/`release(key)` pair for `secs`, timing every round
-/// trip. The measured window runs from barrier release to stop flag —
-/// connect, handshake and teardown are excluded.
-fn run_point(addr: std::net::SocketAddr, clients: usize, secs: f64) -> Point {
+/// One point: `clients` threads, each looping an `acquire([key])` /
+/// `release(key)` pair for `secs` with workload-specific key choice,
+/// timing every round trip. The measured window runs from barrier
+/// release to stop flag — connect, handshake and teardown are excluded.
+fn run_point(
+    addr: std::net::SocketAddr,
+    workload: Workload,
+    clients: usize,
+    secs: f64,
+    cdf: Arc<Vec<f64>>,
+) -> Point {
     let stop = Arc::new(AtomicBool::new(false));
     let start = Arc::new(Barrier::new(clients + 1));
+    let n_keys = workload.n_keys();
     let mut handles = Vec::with_capacity(clients);
     for c in 0..clients {
         let stop = stop.clone();
         let start = start.clone();
+        let cdf = Arc::clone(&cdf);
         handles.push(std::thread::spawn(move || -> Vec<u64> {
             let mut client = SimfsClient::connect(addr, "bench-ctx").unwrap();
-            // Spread clients over the key space so routing shards and
-            // cache entries are all exercised.
-            let mut key = 1 + (c as u64 * 17) % N_KEYS;
+            let mut rng = Rng(0x9E37_79B9 ^ ((c as u64 + 1) * 0x1234_5677));
+            // Uniform keeps PR 2's deterministic stride walk so the
+            // ladder stays comparable across releases.
+            let mut key = 1 + (c as u64 * 17) % n_keys;
             let mut lat_ns = Vec::with_capacity(4096);
             start.wait();
             while !stop.load(Ordering::Relaxed) {
                 let t0 = Instant::now();
                 let status = client.acquire(&[key]).unwrap();
-                assert!(status.ok(), "hit-path acquire failed: {status:?}");
+                assert!(status.ok(), "acquire failed: {status:?}");
                 client.release(key).unwrap();
                 lat_ns.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-                key = 1 + key % N_KEYS;
+                key = match workload {
+                    Workload::Uniform => 1 + key % n_keys,
+                    Workload::HitHeavy => 1 + rng.next() % n_keys,
+                    Workload::Zipf => {
+                        let u = rng.next_f64();
+                        let rank = cdf.partition_point(|&p| p < u) as u64;
+                        1 + rank.min(n_keys - 1)
+                    }
+                };
             }
             let _ = client.finalize();
             lat_ns
@@ -146,63 +278,56 @@ fn run_point(addr: std::net::SocketAddr, clients: usize, secs: f64) -> Point {
     }
 }
 
-fn frontend_name(frontend: Frontend) -> &'static str {
-    match frontend {
-        Frontend::Epoll => "epoll",
-        Frontend::Threads => "threads",
-    }
-}
-
 fn main() {
-    let mut clients: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 128, 256, 1024];
+    let mut clients_override: Option<Vec<usize>> = None;
     let mut secs = 2.0f64;
     let mut out = String::from("BENCH_daemon.json");
-    let mut frontends: Vec<Frontend> = vec![Frontend::Threads, Frontend::Epoll];
+    let mut dv_shards = 4u32;
+    let mut workloads = vec![Workload::Uniform, Workload::HitHeavy, Workload::Zipf];
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let val = args.next().unwrap_or_default();
         match flag.as_str() {
             "--clients" => {
-                clients = val
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("bad --clients"))
-                    .collect();
+                clients_override = Some(
+                    val.split(',')
+                        .map(|s| s.trim().parse().expect("bad --clients"))
+                        .collect(),
+                );
             }
             "--secs" => secs = val.parse().expect("bad --secs"),
             "--out" => out = val,
-            "--frontend" => {
-                frontends = match val.as_str() {
-                    "epoll" => vec![Frontend::Epoll],
-                    "threads" => vec![Frontend::Threads],
-                    "both" => vec![Frontend::Threads, Frontend::Epoll],
-                    other => panic!("bad --frontend {other} (epoll|threads|both)"),
-                };
+            "--dv-shards" => dv_shards = val.parse().expect("bad --dv-shards"),
+            "--workloads" => {
+                workloads = val.split(',').map(|s| Workload::parse(s.trim())).collect();
             }
             other => panic!("unknown flag {other}"),
         }
     }
 
     let mut lines = Vec::new();
-    for &frontend in &frontends {
-        let name = frontend_name(frontend);
+    for &workload in &workloads {
+        let name = workload.name();
         let dir = std::env::temp_dir().join(format!(
             "simfs-bench-daemon-{}-{}",
             name,
             std::process::id()
         ));
-        let (server, _storage) = start_daemon(&dir, frontend);
+        let (server, _storage) =
+            start_daemon(&dir, workload.n_keys(), workload.cache_steps(), dv_shards);
         let addr = server.addr();
 
-        // Materialize the whole timeline once so the measured loop is
-        // pure hit-path control traffic (no re-simulations in the
-        // timings).
+        // Warm the workload's cached keyspace so measured misses are a
+        // workload property, not cold-start noise.
         {
             let mut warm = SimfsClient::connect(addr, "bench-ctx").unwrap();
-            let keys: Vec<u64> = (1..=N_KEYS).collect();
-            let status = warm.acquire(&keys).unwrap();
-            assert!(status.ok(), "warmup failed: {status:?}");
-            for k in 1..=N_KEYS {
-                warm.release(k).unwrap();
+            let keys: Vec<u64> = (1..=workload.warm_keys()).collect();
+            for chunk in keys.chunks(256) {
+                let status = warm.acquire(chunk).unwrap();
+                assert!(status.ok(), "warmup failed: {status:?}");
+                for &k in chunk {
+                    warm.release(k).unwrap();
+                }
             }
             warm.finalize().unwrap();
         }
@@ -210,24 +335,47 @@ fn main() {
         std::thread::sleep(Duration::from_millis(100));
         let daemon_threads = process_threads().saturating_sub(1); // minus main
 
+        let cdf = Arc::new(if workload == Workload::Zipf {
+            zipf_cdf(workload.n_keys(), ZIPF_THETA)
+        } else {
+            Vec::new()
+        });
+
+        println!("workload {name}: {daemon_threads} daemon threads before clients");
         println!(
-            "frontend {name}: {daemon_threads} daemon threads before clients"
+            "{:>8} {:>12} {:>9} {:>9} {:>9} {:>10} {:>10} {:>8} {:>8} {:>9}",
+            "clients", "round_trips", "rtps", "p50_us", "p99_us", "fast", "slow", "miss",
+            "fallback", "hold_ns/t"
         );
-        println!(
-            "{:>8} {:>12} {:>12} {:>10} {:>10}",
-            "clients", "round_trips", "rtps", "p50_us", "p99_us"
-        );
+        let clients = clients_override
+            .clone()
+            .unwrap_or_else(|| workload.default_clients());
         for &n in &clients {
-            let point = run_point(addr, n, secs);
+            let before = server.stats();
+            let point = run_point(addr, workload, n, secs, Arc::clone(&cdf));
+            let after = server.stats();
+            let d = |f: fn(&DvStats) -> u64| f(&after).saturating_sub(f(&before));
+            let (fast, slow) = (d(|s| s.acquired_fast), d(|s| s.acquired_slow));
+            let (misses, fallbacks) = (d(|s| s.misses), d(|s| s.hit_fallbacks));
+            let transitions = d(|s| s.lock_transitions);
+            let hold_per_transition =
+                d(|s| s.lock_hold_ns).checked_div(transitions).unwrap_or(0);
+            let wait_per_transition =
+                d(|s| s.lock_wait_ns).checked_div(transitions).unwrap_or(0);
             let rtps = point.round_trips as f64 / point.elapsed;
             println!(
-                "{n:>8} {:>12} {rtps:>12.0} {:>10.1} {:>10.1}",
+                "{n:>8} {:>12} {rtps:>9.0} {:>9.1} {:>9.1} {fast:>10} {slow:>10} {misses:>8} \
+                 {fallbacks:>8} {hold_per_transition:>9}",
                 point.round_trips, point.p50_us, point.p99_us
             );
             lines.push(format!(
-                "    {{\"frontend\": \"{name}\", \"clients\": {n}, \"secs\": {:.3}, \
+                "    {{\"workload\": \"{name}\", \"clients\": {n}, \"secs\": {:.3}, \
                  \"round_trips\": {}, \"rtps\": {rtps:.1}, \"p50_us\": {:.1}, \
-                 \"p99_us\": {:.1}, \"daemon_threads_before_clients\": {daemon_threads}}}",
+                 \"p99_us\": {:.1}, \"acquired_fast\": {fast}, \"acquired_slow\": {slow}, \
+                 \"misses\": {misses}, \"hit_fallbacks\": {fallbacks}, \
+                 \"lock_hold_ns_per_transition\": {hold_per_transition}, \
+                 \"lock_wait_ns_per_transition\": {wait_per_transition}, \
+                 \"daemon_threads_before_clients\": {daemon_threads}}}",
                 point.elapsed, point.round_trips, point.p50_us, point.p99_us
             ));
         }
@@ -238,7 +386,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"daemon_acquire_release_roundtrips\",\n  \"keys\": {N_KEYS},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"daemon_acquire_release_roundtrips\",\n  \"dv_shards\": {dv_shards},\n  \"results\": [\n{}\n  ]\n}}\n",
         lines.join(",\n")
     );
     std::fs::write(&out, json).unwrap();

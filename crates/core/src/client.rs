@@ -34,9 +34,9 @@
 //! session without `Bye` is also safe: the daemon maps the hangup to
 //! `ClientGone` (releasing pins) or `SimFailed` exactly as before.
 
-use crate::wire::{self, ClientKind, FrameReader, Request, Response};
+use crate::wire::{self, ClientKind, FrameBatch, FrameReader, Request, Response};
 use std::collections::HashSet;
-use std::io;
+use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -93,6 +93,13 @@ pub struct SimfsClient {
     /// `Ready` for an outstanding non-blocking acquire arriving during a
     /// `bitrep` round-trip). Consumed before reading the socket again.
     stray: Vec<Response>,
+    /// Write-coalescing buffer: fire-and-forget frames (`Release`) are
+    /// staged here and ride in the same write — and the same TCP
+    /// segment — as the next request, halving the syscalls of the
+    /// dominant release-then-acquire pattern. Flushed before anything
+    /// that reads a response, so buffering is never observable beyond
+    /// the release reaching the DV marginally later.
+    pending_out: FrameBatch,
 }
 
 impl SimfsClient {
@@ -120,6 +127,7 @@ impl SimfsClient {
                 context: context.to_string(),
                 next_req: 1,
                 stray: Vec::new(),
+                pending_out: FrameBatch::new(),
             }),
             Response::Error { message } => Err(io::Error::other(message)),
             other => Err(io::Error::new(
@@ -139,18 +147,31 @@ impl SimfsClient {
         &self.context
     }
 
+    /// Sends `req` together with any staged fire-and-forget frames in
+    /// one write.
+    fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.pending_out.push_request(req);
+        self.flush_pending()
+    }
+
+    /// Delivers staged frames (if any) in a single write.
+    fn flush_pending(&mut self) -> io::Result<()> {
+        if self.pending_out.is_empty() {
+            return Ok(());
+        }
+        let result = self.stream.write_all(self.pending_out.as_bytes());
+        self.pending_out.clear();
+        result
+    }
+
     /// `SIMFS_Acquire_nb`: requests `keys` without blocking.
     pub fn acquire_nb(&mut self, keys: &[u64]) -> io::Result<AcquireRequest> {
         let req_id = self.next_req;
         self.next_req += 1;
-        wire::write_frame(
-            &mut self.stream,
-            &Request::Acquire {
-                req_id,
-                keys: keys.to_vec(),
-            }
-            .encode(),
-        )?;
+        self.send(&Request::Acquire {
+            req_id,
+            keys: keys.to_vec(),
+        })?;
         Ok(AcquireRequest {
             req_id,
             outstanding: keys.iter().copied().collect(),
@@ -208,6 +229,9 @@ impl SimfsClient {
     /// stay buffered in the [`FrameReader`] — a timeout never
     /// desynchronizes the stream.
     fn pump_one(&mut self, timeout: Option<Duration>) -> io::Result<Option<Response>> {
+        // Anything still staged must be on the wire before we wait for
+        // responses (a buffered request would deadlock the wait).
+        self.flush_pending()?;
         // Drain already-buffered frames without touching the socket (or
         // its timeout configuration).
         if let Some(body) = self.reader.pop_buffered()? {
@@ -295,9 +319,24 @@ impl SimfsClient {
         Ok(status)
     }
 
-    /// `SIMFS_Release`: drops this client's pin on `key`.
+    /// `SIMFS_Release`: drops this client's pin on `key`. The frame is
+    /// staged and coalesced into the next request's write (releases
+    /// expect no response); sessions that release and then go idle
+    /// should call [`flush`](Self::flush) to push the pin drop out
+    /// immediately.
     pub fn release(&mut self, key: u64) -> io::Result<()> {
-        wire::write_frame(&mut self.stream, &Request::Release { key }.encode())
+        self.pending_out.push_request(&Request::Release { key });
+        // Cap the staging buffer: a pathological release-only loop
+        // still reaches the daemon in bounded batches.
+        if self.pending_out.as_bytes().len() >= 16 * 1024 {
+            self.flush_pending()?;
+        }
+        Ok(())
+    }
+
+    /// Delivers any staged fire-and-forget frames now.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.flush_pending()
     }
 
     /// `SIMFS_Bitrep`: checks the materialized file against the
@@ -306,7 +345,7 @@ impl SimfsClient {
     pub fn bitrep(&mut self, key: u64) -> io::Result<Option<bool>> {
         let req_id = self.next_req;
         self.next_req += 1;
-        wire::write_frame(&mut self.stream, &Request::Bitrep { req_id, key }.encode())?;
+        self.send(&Request::Bitrep { req_id, key })?;
         loop {
             let Some(resp) = self.pump_one(None)? else {
                 continue;
@@ -334,7 +373,7 @@ impl SimfsClient {
     pub fn status(&mut self) -> io::Result<ContextStats> {
         let req_id = self.next_req;
         self.next_req += 1;
-        wire::write_frame(&mut self.stream, &Request::Status { req_id }.encode())?;
+        self.send(&Request::Status { req_id })?;
         loop {
             let Some(resp) = self.pump_one(None)? else {
                 continue;
@@ -366,7 +405,7 @@ impl SimfsClient {
     /// pins and kills its idle prefetches. The daemon closes the
     /// connection once the `Bye` is processed.
     pub fn finalize(mut self) -> io::Result<()> {
-        wire::write_frame(&mut self.stream, &Request::Bye.encode())
+        self.send(&Request::Bye)
     }
 }
 

@@ -16,7 +16,7 @@
 //! back as [`DvEvent::FileProduced`] (4–5); waiting analyses get
 //! [`DvAction::NotifyReady`] (6).
 
-use crate::model::ContextCfg;
+use crate::model::{ContextCfg, StepMath};
 use crate::perfmodel::{Ema, IntervalTracker};
 use crate::prefetch::{Direction, PrefetchAgent, PrefetchInputs};
 use simcache::{policy_by_name, u64_map, CacheSim, U64Map};
@@ -153,6 +153,63 @@ pub struct DvStats {
     pub pollution_resets: u64,
     /// Simulations that failed.
     pub failures: u64,
+    /// Hit acquires served on the daemon's lock-free fast path (never
+    /// took a DV lock). Zero outside the daemon: the DV state machine
+    /// itself only ever sees slow-path events.
+    pub acquired_fast: u64,
+    /// Acquires that went through a DV shard lock (misses, hits in
+    /// prefetching contexts, and fast-path fallbacks).
+    pub acquired_slow: u64,
+    /// Fast-path attempts that raced an eviction and fell back to the
+    /// locked path (the epoch/generation check fired).
+    pub hit_fallbacks: u64,
+    /// Nanoseconds daemon threads spent *waiting* for DV shard locks.
+    pub lock_wait_ns: u64,
+    /// Nanoseconds daemon threads spent *holding* DV shard locks.
+    pub lock_hold_ns: u64,
+    /// Number of timed DV-lock acquisitions behind the two counters
+    /// above.
+    pub lock_transitions: u64,
+}
+
+impl DvStats {
+    /// Adds `other`'s counters into `self` (shard/context roll-ups).
+    pub fn accumulate(&mut self, other: &DvStats) {
+        let DvStats {
+            hits,
+            misses,
+            restarts,
+            prefetch_launches,
+            scheduled_steps,
+            produced_steps,
+            evictions,
+            kills,
+            pollution_resets,
+            failures,
+            acquired_fast,
+            acquired_slow,
+            hit_fallbacks,
+            lock_wait_ns,
+            lock_hold_ns,
+            lock_transitions,
+        } = other;
+        self.hits += hits;
+        self.misses += misses;
+        self.restarts += restarts;
+        self.prefetch_launches += prefetch_launches;
+        self.scheduled_steps += scheduled_steps;
+        self.produced_steps += produced_steps;
+        self.evictions += evictions;
+        self.kills += kills;
+        self.pollution_resets += pollution_resets;
+        self.failures += failures;
+        self.acquired_fast += acquired_fast;
+        self.acquired_slow += acquired_slow;
+        self.hit_fallbacks += hit_fallbacks;
+        self.lock_wait_ns += lock_wait_ns;
+        self.lock_hold_ns += lock_hold_ns;
+        self.lock_transitions += lock_transitions;
+    }
 }
 
 struct ClientState {
@@ -206,6 +263,10 @@ pub struct DataVirtualizer {
     /// Reusable victim list for the kill path (no per-event allocs).
     kill_scratch: Vec<SimId>,
     next_sim: SimId,
+    /// Distance between consecutive sim ids (1 unsharded; the shard
+    /// count under [`ShardedDv`], so `(sim - 1) % stride` recovers the
+    /// owning shard).
+    sim_stride: SimId,
     alpha_sim: Ema,
     tau_sim: Ema,
     stats: DvStats,
@@ -234,8 +295,31 @@ impl DataVirtualizer {
             launch_queue: VecDeque::new(),
             kill_scratch: Vec::new(),
             next_sim: 1,
+            sim_stride: 1,
             stats: DvStats::default(),
         }
+    }
+
+    /// Builder: allocate sim ids `first, first + stride, ...` instead
+    /// of `1, 2, ...` — the id-space partitioning that lets a sharded
+    /// deployment recover a sim's owning shard as `(sim - 1) % stride`.
+    ///
+    /// # Panics
+    /// Panics if `first == 0` or `stride == 0` (sim id 0 is reserved;
+    /// a zero stride would reuse ids).
+    pub fn with_sim_ids(mut self, first: SimId, stride: SimId) -> DataVirtualizer {
+        assert!(first > 0, "sim ids start at 1");
+        assert!(stride > 0, "sim id stride must be positive");
+        self.next_sim = first;
+        self.sim_stride = stride;
+        self
+    }
+
+    /// Attaches a concurrent [`simcache::HitIndex`] replica to the
+    /// cache: residents are published to it and evictions honour its
+    /// fast pins (the daemon's lock-free hit path).
+    pub fn attach_index(&mut self, index: std::sync::Arc<simcache::HitIndex>) {
+        self.cache.attach_index(index);
     }
 
     /// Pre-seeds the performance estimators (e.g. from the simulation
@@ -373,7 +457,7 @@ impl DataVirtualizer {
                 continue;
             }
             let sim = self.next_sim;
-            self.next_sim += 1;
+            self.next_sim += self.sim_stride;
             // Claim the range as this sim's pending production (cached
             // keys included — the simulator re-produces its whole range
             // and refreshes their files). First producer wins;
@@ -839,6 +923,187 @@ impl DataVirtualizer {
             state.last_ready = Some(now);
             actions.push(DvAction::NotifyReady { client: *c, key });
         }
+    }
+}
+
+/// Where the sharded DV must deliver an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventRoute {
+    /// Exactly one shard owns the event.
+    Shard(usize),
+    /// Every shard must see the event (client teardown).
+    Broadcast,
+}
+
+/// Key-range router for the sharded DV.
+///
+/// The granularity is the *restart interval*, not the raw key: a
+/// re-simulation always produces a contiguous interval
+/// ([`StepMath::resim_range`]), so interval-granular routing keeps each
+/// launch — its pending claims, its waiters, its productions — inside
+/// one shard. Raw `key % N` would scatter every launch across all
+/// shards and reintroduce cross-shard coordination on the miss path.
+///
+/// Sim ids are partitioned by [`DataVirtualizer::with_sim_ids`]: shard
+/// `s` of `n` allocates `s + 1, s + 1 + n, ...`, so the owner of sim
+/// lifecycle events is recovered arithmetically with no shared map.
+#[derive(Clone, Copy, Debug)]
+pub struct DvRouter {
+    steps: StepMath,
+    shards: u32,
+}
+
+impl DvRouter {
+    /// Creates a router over `shards` shards (clamped to ≥ 1).
+    pub fn new(steps: StepMath, shards: u32) -> DvRouter {
+        DvRouter {
+            steps,
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning `key`'s restart interval. Invalid keys route to
+    /// shard 0, which rejects them with the usual `NotifyFailed`.
+    pub fn shard_of_key(&self, key: u64) -> usize {
+        if !self.steps.valid_key(key) {
+            return 0;
+        }
+        (self.steps.interval_of(key) % self.shards as u64) as usize
+    }
+
+    /// The shard that launched `sim` (id-space partition). Unknown /
+    /// rogue ids resolve to *some* shard, which ignores them exactly as
+    /// the unsharded DV ignores unknown sims.
+    pub fn shard_of_sim(&self, sim: SimId) -> usize {
+        (sim.wrapping_sub(1) % self.shards as u64) as usize
+    }
+
+    /// Routes one event.
+    pub fn route(&self, event: &DvEvent) -> EventRoute {
+        match event {
+            DvEvent::Acquire { key, .. } | DvEvent::Release { key, .. } => {
+                EventRoute::Shard(self.shard_of_key(*key))
+            }
+            // Productions route by *key*: the waiters to notify and the
+            // cache to insert into live in the key's shard. For every
+            // miss launch (and any interval-sized prefetch block) this
+            // is also the sim's owner; a multi-interval prefetch block
+            // spills productions into neighbour shards, where they are
+            // absorbed exactly like the unsharded DV absorbs
+            // productions from unknown sims.
+            DvEvent::FileProduced { key, .. } => EventRoute::Shard(self.shard_of_key(*key)),
+            DvEvent::SimStarted { sim }
+            | DvEvent::SimFinished { sim }
+            | DvEvent::SimFailed { sim } => EventRoute::Shard(self.shard_of_sim(*sim)),
+            DvEvent::ClientGone { .. } => EventRoute::Broadcast,
+        }
+    }
+}
+
+/// The per-shard context slice: capacity is partitioned evenly and
+/// `s_max` divided (floored at one running sim per shard).
+pub fn shard_cfg(cfg: &ContextCfg, n: u32) -> ContextCfg {
+    let n = n.max(1);
+    let mut cfg = cfg.clone();
+    cfg.cache_capacity /= n as u64;
+    cfg.smax = (cfg.smax / n).max(1);
+    cfg
+}
+
+/// N independent [`DataVirtualizer`]s behind a [`DvRouter`]: the
+/// single-threaded composition the daemon's per-shard locking mirrors,
+/// and the reference object of the sharding equivalence tests. Each
+/// shard owns a disjoint set of restart intervals, a `1/N` slice of the
+/// cache budget and `s_max`, and its own waiter/prefetch state;
+/// `ClientGone` fans out to every shard in index order.
+pub struct ShardedDv {
+    shards: Vec<DataVirtualizer>,
+    router: DvRouter,
+}
+
+impl ShardedDv {
+    /// Creates `n` shards over `cfg` (see [`shard_cfg`]).
+    ///
+    /// # Panics
+    /// Panics if the context names an unknown replacement policy.
+    pub fn new(cfg: ContextCfg, n: u32) -> ShardedDv {
+        let n = n.max(1);
+        let router = DvRouter::new(cfg.steps, n);
+        let per_shard = shard_cfg(&cfg, n);
+        let shards = (0..n)
+            .map(|s| {
+                DataVirtualizer::new(per_shard.clone())
+                    .with_sim_ids(s as SimId + 1, n as SimId)
+            })
+            .collect();
+        ShardedDv { shards, router }
+    }
+
+    /// The router (for front-ends that lock shards independently).
+    pub fn router(&self) -> DvRouter {
+        self.router
+    }
+
+    /// Decomposes into the shard DVs and their router, in shard order —
+    /// for front-ends that wrap each shard in its own lock. Building
+    /// daemon shards through here (rather than re-deriving the per-shard
+    /// config slice and sim-id striding by hand) keeps them on exactly
+    /// the composition the sharding equivalence tests pin.
+    pub fn into_parts(self) -> (Vec<DataVirtualizer>, DvRouter) {
+        (self.shards, self.router)
+    }
+
+    /// Borrow one shard.
+    pub fn shard(&self, i: usize) -> &DataVirtualizer {
+        &self.shards[i]
+    }
+
+    /// Handles one event, appending resulting actions to `actions`.
+    pub fn handle_into(&mut self, now: SimTime, event: DvEvent, actions: &mut Vec<DvAction>) {
+        match self.router.route(&event) {
+            EventRoute::Shard(s) => self.shards[s].handle_into(now, event, actions),
+            EventRoute::Broadcast => {
+                for shard in &mut self.shards {
+                    shard.handle_into(now, event.clone(), actions);
+                }
+            }
+        }
+    }
+
+    /// Allocating wrapper over [`handle_into`](Self::handle_into).
+    pub fn handle(&mut self, now: SimTime, event: DvEvent) -> Vec<DvAction> {
+        let mut actions = Vec::new();
+        self.handle_into(now, event, &mut actions);
+        actions
+    }
+
+    /// Is `key` materialized (in its owning shard)?
+    pub fn is_cached(&self, key: u64) -> bool {
+        self.shards[self.router.shard_of_key(key)].is_cached(key)
+    }
+
+    /// Active sims across all shards.
+    pub fn active_sims(&self) -> usize {
+        self.shards.iter().map(DataVirtualizer::active_sims).sum()
+    }
+
+    /// Queued launches across all shards.
+    pub fn queued_launches(&self) -> usize {
+        self.shards.iter().map(DataVirtualizer::queued_launches).sum()
+    }
+
+    /// Lifetime statistics summed over the shards.
+    pub fn stats(&self) -> DvStats {
+        let mut total = DvStats::default();
+        for shard in &self.shards {
+            total.accumulate(shard.stats());
+        }
+        total
     }
 }
 

@@ -62,7 +62,12 @@ impl VirtualFs {
     /// [`open`](Self::open).
     pub fn close(&mut self, filename: &str) -> io::Result<()> {
         let key = self.key_for(filename)?;
-        self.client.release(key)
+        self.client.release(key)?;
+        // The transparent API promises the pin is dropped at close —
+        // an analysis may compute for hours before its next SimFS call,
+        // and a staged release would hold the step unevictable the
+        // whole time. Flush instead of riding the next request.
+        self.client.flush()
     }
 
     /// Does the file currently exist on disk? (No DV round-trip; the

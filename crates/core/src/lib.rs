@@ -52,8 +52,11 @@ pub mod wire;
 
 pub use client::{AcquireRequest, SimfsClient, SimfsStatus};
 pub use driver::{PatternDriver, SimDriver};
-pub use dv::{ClientId, DataVirtualizer, DvAction, DvEvent, DvStats, LaunchReason, SimId};
+pub use dv::{
+    ClientId, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, LaunchReason, ShardedDv,
+    SimId,
+};
 pub use model::{ContextCfg, StepMath};
 pub use replay::{replay, ReplayStats};
-pub use server::{DvServer, Frontend, ServerConfig};
+pub use server::{DvServer, ServerConfig};
 pub use vharness::{AnalysisResult, VirtualExperiment};

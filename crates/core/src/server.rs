@@ -10,65 +10,75 @@
 //! [`JobLauncher`] and connect back as simulator clients to report
 //! `SimStarted` / `FileProduced` / `SimFinished`.
 //!
-//! # Concurrency model
+//! # Concurrency model and lock hierarchy
 //!
-//! Two connection front-ends share one protocol core
-//! (see [`Frontend`]):
+//! Connections are served by the sharded epoll reactor
+//! ([`crate::reactor`]): min(cores, 8) event-loop threads, each owning
+//! an epoll instance and a disjoint subset of connections. Requests
+//! dispatch on the owning reactor thread; responses to *other* clients
+//! route through the reactor's registry to their owning shard. Daemon
+//! thread count is fixed (reactor shards + accept + reaper) regardless
+//! of client count.
 //!
-//! * **Epoll reactor (default).** min(cores, 8) reactor threads, each
-//!   owning an epoll instance and a disjoint subset of connections
-//!   ([`crate::reactor`]). Requests are dispatched on the owning shard
-//!   thread; responses to *other* clients are routed to their owning
-//!   shard's outbox and flushed there. Daemon thread count is fixed
-//!   (shards + accept + reaper) regardless of client count.
-//! * **Thread-per-connection (legacy).** One OS thread per client,
-//!   blocking reads and writes. Kept behind
-//!   [`ServerConfig::frontend`] for one release so `bench_daemon
-//!   --frontend {threads,epoll}` can A/B them; it caps concurrency at
-//!   OS thread limits.
+//! Beneath the reactor, each context's control plane is layered so that
+//! the §IV hot path — an acquire of an already-virtualized step — gets
+//! cheaper as it gets more common. From least to most exclusive:
 //!
-//! The hot path underneath is lock-minimized and write-coalesced:
+//! 1. **Concurrent hit index (no DV lock).** Contexts running without
+//!    prefetch agents keep a [`simcache::HitIndex`]: a sharded,
+//!    read-mostly replica of cache membership with atomic fast-pin
+//!    counts. A hit acquire pins the key under one index-shard *read*
+//!    lock, counts itself atomically, and replies — it never touches a
+//!    DV lock. Eviction (under the DV shard lock) must win
+//!    `try_retire` against the index, whose write lock excludes
+//!    in-flight pinners; a fast path that loses the race observes the
+//!    bumped shard generation and falls back to the slow path. Fast
+//!    releases likewise drop their pin with index atomics only; each
+//!    connection tracks its fast pins locally (reactor-thread-owned
+//!    state, no locks) and drains them on disconnect. Prefetching
+//!    contexts skip this layer: agents must observe the full access
+//!    stream, so their hits take the slow path as before.
+//! 2. **Per-key-range DV shard locks.** The DV state machine is split
+//!    into N independent shards routed by restart interval
+//!    ([`crate::dv::DvRouter`]): each shard owns a disjoint set of
+//!    intervals, a 1/N slice of the cache budget and `s_max`, its own
+//!    waiter/launch/prefetch state, and one `Mutex<DvCore>`. Misses on
+//!    disjoint key ranges proceed in parallel; client disconnects fan
+//!    out across shards (locked one at a time — no shard lock is ever
+//!    held while taking another). This is the intra-process rehearsal
+//!    for multi-daemon key-range sharding. Lock wait/hold times are
+//!    counted per context and surfaced through [`DvStats`].
+//! 3. **Writer routing.** Responses route through the reactor registry
+//!    (sharded map + per-shard inboxes), never under a DV lock.
+//!    Responses to the dispatching connection itself bypass the
+//!    registry into the connection's own output buffer.
+//! 4. **Launch ledger.** Because launches/kills happen outside the DV
+//!    locks, a prefetch kill could race a not-yet-effected launch of
+//!    the same sim. A small per-context ledger serializes *only*
+//!    job-control bookkeeping (launch intents are registered under the
+//!    owning DV shard lock; the ledger lock itself is never held
+//!    across launcher I/O) and cancels launches whose kill won the
+//!    race. Lock order is strictly shard → ledger.
 //!
-//! * **Split locks.** Each context runs the DV state machine under one
-//!   `Mutex<DvCore>` (pure state transitions, no I/O) and routes client
-//!   writers through a separate [`WriterTable`] (sharded stream map for
-//!   the threaded front-end, the reactor registry for epoll), so
-//!   threads notifying different clients do not contend on the DV lock
-//!   or on one another.
-//! * **Collect under lock, effect after release.** A transition locks
-//!   the DV, runs [`DataVirtualizer::handle_into`] into a reusable
-//!   scratch buffer, resolves actions into an [`Effects`] value
-//!   (response outbox + launch/kill/evict lists) and unlocks. Response
-//!   *encoding*, socket writes, job spawning and file deletion all
-//!   happen outside the DV lock.
-//! * **Coalesced wire I/O.** All responses a transition produces for
-//!   one destination client are encoded into a single
-//!   [`wire::FrameBatch`] and delivered in one write; request frames
-//!   are drained through a buffered [`wire::FrameReader`], so a burst
-//!   of queued control messages costs one syscall each way. The bytes
-//!   on the wire are identical to frame-at-a-time I/O.
-//! * **Launch ledger.** Because launches/kills happen outside the DV
-//!   lock, a prefetch kill could otherwise race a not-yet-effected
-//!   launch of the same sim. A small per-context ledger serializes
-//!   *only* job-control bookkeeping (launch intents are registered
-//!   under the DV lock; the ledger lock itself is never held across
-//!   launcher I/O) and cancels launches whose kill won the race.
-//!   Deferred eviction deletes re-check the cache under the DV lock so
-//!   an overlapping re-production cannot lose its file to a stale
-//!   eviction.
-//! * **Event-driven maintenance.** The job reaper parks on a condvar
-//!   while no jobs are in flight (an idle daemon makes zero syscalls)
-//!   and polls launchers only while something is running; shutdown
-//!   quiesce waits on a condvar notified as sims complete instead of
-//!   spinning, and the accept loop is unblocked by a shutdown eventfd
-//!   (epoll) or a non-blocking poll (legacy) — never by the old
-//!   connect-to-self hack.
+//! The transition discipline is unchanged from the split-lock design:
+//! **collect under lock, effect after release.** A transition locks one
+//! DV shard, runs [`DataVirtualizer::handle_into`] into a reusable
+//! scratch buffer, resolves actions into an [`Effects`] value and
+//! unlocks; response encoding, socket writes, job spawning and file
+//! deletion all happen outside every DV lock. All responses of one
+//! transition for one destination coalesce into a single
+//! [`wire::FrameBatch`] write. Deferred eviction deletes re-check the
+//! cache under the owning shard lock so an overlapping re-production
+//! cannot lose its file to a stale eviction.
 //!
-//! One consequence of effecting writes outside the lock: responses to
-//! *different* requests of one client may interleave differently than
-//! under the old coarse lock (e.g. a `Ready` from a production racing
-//! ahead of the `Queued` estimate for the same key). Per-request
-//! semantics are unchanged — DVLib treats `Queued` as informational.
+//! Two observable consequences of the lock-minimized design: responses
+//! to *different* requests of one client may interleave differently
+//! than under a coarse lock (per-request semantics are unchanged —
+//! DVLib treats `Queued` as informational), and replacement-policy
+//! recency for fast-path hits is approximate — a fast hit sets a
+//! CLOCK-style reference bit instead of reordering the policy's lists,
+//! so a hot key survives an eviction decision rather than never being
+//! considered.
 //!
 //! This remains the classic coordination-daemon shape — the data path
 //! (bulk file I/O) never goes through the daemon, only control messages
@@ -76,14 +86,16 @@
 //! file system).
 
 use crate::driver::SimDriver;
-use crate::dv::{ClientId, DataVirtualizer, DvAction, DvEvent, SimId};
+use crate::dv::{
+    ClientId, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, EventRoute, ShardedDv, SimId,
+};
 use crate::model::ContextCfg;
 use crate::reactor::{ConnCtx, Reactor};
 use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLIN};
-use crate::wire::{self, ClientKind, FrameBatch, FrameReader, Request, Response};
+use crate::wire::{self, ClientKind, FrameBatch, Request, Response};
 use parking_lot::Mutex;
 use simbatch::{JobId, JobLauncher, SpawnSpec};
-use simcache::U64Set;
+use simcache::{u64_map, HitIndex, U64Map, U64Set};
 use simkit::SimTime;
 use simstore::StorageArea;
 use std::collections::HashMap;
@@ -107,20 +119,6 @@ pub mod env_keys {
     pub const DATA_DIR: &str = "SIMFS_DATA_DIR";
 }
 
-/// Which connection front-end the daemon runs.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum Frontend {
-    /// Sharded epoll reactor: min(cores, 8) event-loop threads serve
-    /// every connection; daemon thread count is independent of client
-    /// count.
-    #[default]
-    Epoll,
-    /// Legacy thread-per-connection front-end. Kept for one release
-    /// for A/B benchmarking (`bench_daemon --frontend threads`); to be
-    /// removed once the reactor has baked.
-    Threads,
-}
-
 /// Daemon configuration for one simulation context.
 pub struct ServerConfig {
     /// The context (cadences, cache, policy, `s_max`, prefetching).
@@ -134,23 +132,32 @@ pub struct ServerConfig {
     /// Recorded checksums of the initial simulation (`SIMFS_Bitrep`
     /// reference data): key → checksum.
     pub checksums: HashMap<u64, u64>,
-    /// Connection front-end. Daemon-wide: with
-    /// [`start_multi`](DvServer::start_multi), the first context's
-    /// choice applies to the whole daemon.
-    pub frontend: Frontend,
+    /// Number of independent DV shards the context's control plane is
+    /// split into (key-range sharding by restart interval). `0` picks
+    /// `min(cores, 4, s_max)` for prefetch-off contexts and `1` for
+    /// prefetching ones — sharding splits the access stream each
+    /// prefetch agent observes (a sequential scan reaches a shard only
+    /// every Nth interval), so agents' cadence/direction estimates
+    /// degrade; opt in explicitly if that trade is acceptable. Values
+    /// above 1 partition the cache budget and `s_max` evenly across
+    /// shards — eviction pressure becomes per-key-range rather than
+    /// global, and because every shard keeps at least one launch slot,
+    /// explicitly requesting more shards than `s_max` raises the
+    /// effective concurrent-sim cap to the shard count.
+    pub dv_shards: u32,
 }
 
-/// Writer-map shard count (threaded front-end). Client ids are assigned
-/// sequentially, so a simple modulo spreads registration and
-/// notification traffic evenly.
-const WRITER_SHARDS: usize = 8;
+/// Hit-index lock shards (per context). Sixteen spreads neighbouring
+/// step keys over distinct read-write locks at negligible cost.
+const HIT_INDEX_SHARDS: usize = 16;
 
-/// The state guarded by the per-context DV lock: the state machine, the
-/// request bookkeeping its notifications resolve through, and the
+/// The state guarded by one DV shard lock: the shard's state machine,
+/// the request bookkeeping its notifications resolve through, and the
 /// reusable action scratch buffer.
 struct DvCore {
     dv: DataVirtualizer,
-    /// (client, key) → request ids awaiting Ready/Failed.
+    /// (client, key) → request ids awaiting Ready/Failed (keys of this
+    /// shard only — requests route by key).
     pending: HashMap<(ClientId, u64), Vec<u64>>,
     /// Scratch for [`DataVirtualizer::handle_into`]; reused across
     /// transitions so the hot path allocates nothing.
@@ -162,9 +169,10 @@ struct DvCore {
 #[derive(Default)]
 struct LaunchLedger {
     /// Sims whose `Launch` action has been collected (registered under
-    /// the DV lock) but not yet picked up by an effector thread. Lets a
-    /// racing kill tell "launch still in flight" (cancel it) from "sim
-    /// already completed" (drop it), so `cancelled` stays bounded.
+    /// the owning DV shard lock) but not yet picked up by an effector
+    /// thread. Lets a racing kill tell "launch still in flight" (cancel
+    /// it) from "sim already completed" (drop it), so `cancelled` stays
+    /// bounded.
     pending_launch: U64Set,
     /// Sims currently inside a `launcher.launch()` call (the ledger
     /// lock is dropped for the I/O; this set covers the gap).
@@ -183,9 +191,9 @@ impl LaunchLedger {
     }
 }
 
-/// Everything a DV transition wants done once the DV lock is released.
-/// Owned by each connection/reaper context and reused, so a transition
-/// allocates nothing in steady state.
+/// Everything a DV transition wants done once its shard lock is
+/// released. Owned by each connection/reaper context and reused, so a
+/// transition allocates nothing in steady state.
 #[derive(Default)]
 struct Effects {
     /// Responses to send, in emission order.
@@ -208,88 +216,55 @@ impl Effects {
     }
 }
 
-/// Routes responses to client connections; the front-ends differ only
-/// here.
-enum WriterTable {
-    /// Threaded front-end: client id → cloned write half, sharded.
-    Threads(Vec<Mutex<HashMap<ClientId, TcpStream>>>),
-    /// Epoll front-end: the reactor's registry routes to the owning
-    /// shard, which performs the write.
-    Reactor(Arc<Reactor>),
+/// Per-connection analysis-session state, owned by the connection's
+/// reactor thread (single-threaded access — no locks):
+struct ConnLocal {
+    /// key → pins this connection took on the fast path and has not
+    /// released. Drained via index atomics on release/disconnect; the
+    /// DV's per-client pin bookkeeping never sees them.
+    fast_pins: U64Map<u32>,
+    /// Reusable encode buffer for fast-path replies written straight
+    /// into the connection's output.
+    scratch: FrameBatch,
 }
 
-impl WriterTable {
-    fn threads_shard(
-        shards: &[Mutex<HashMap<ClientId, TcpStream>>],
-        client: ClientId,
-    ) -> &Mutex<HashMap<ClientId, TcpStream>> {
-        &shards[(client % WRITER_SHARDS as u64) as usize]
-    }
-
-    /// Registers a threaded session's write half.
-    ///
-    /// # Panics
-    /// Panics under the epoll front-end, which registers connections
-    /// with the reactor at handshake time instead.
-    fn register_stream(&self, client: ClientId, stream: TcpStream) {
-        match self {
-            WriterTable::Threads(shards) => {
-                Self::threads_shard(shards, client).lock().insert(client, stream);
-            }
-            WriterTable::Reactor(_) => unreachable!("threaded session under epoll front-end"),
-        }
-    }
-
-    fn unregister(&self, client: ClientId) {
-        match self {
-            WriterTable::Threads(shards) => {
-                Self::threads_shard(shards, client).lock().remove(&client);
-            }
-            WriterTable::Reactor(reactor) => reactor.unregister(client),
-        }
-    }
-
-    /// Delivers (and clears) one destination's batch. Departed clients
-    /// are dropped silently on both paths.
-    fn send_batch(&self, client: ClientId, batch: &mut FrameBatch) {
-        match self {
-            WriterTable::Threads(shards) => {
-                let mut shard = Self::threads_shard(shards, client).lock();
-                if let Some(stream) = shard.get_mut(&client) {
-                    let _ = batch.write_to(stream);
-                }
-            }
-            WriterTable::Reactor(reactor) => {
-                // Borrowed send: a response to the dispatching
-                // connection itself is staged with no allocation; only
-                // cross-connection traffic is copied into an inbox.
-                reactor.send_bytes(client, batch.as_bytes());
-            }
+impl ConnLocal {
+    fn new() -> ConnLocal {
+        ConnLocal {
+            fast_pins: u64_map(),
+            scratch: FrameBatch::new(),
         }
     }
 }
 
-/// Per-context runtime: the DV state machine plus its effectors.
+/// DV-lock timing/contention counters (satellite instrumentation of
+/// the shard locks; surfaced through [`DvStats`]).
+#[derive(Default)]
+struct LockPerf {
+    wait_ns: AtomicU64,
+    hold_ns: AtomicU64,
+    transitions: AtomicU64,
+    acquired_slow: AtomicU64,
+}
+
+/// Per-context runtime: the sharded DV state machine plus its
+/// effectors.
 struct CtxRuntime {
     name: String,
-    state: Mutex<DvCore>,
-    writers: WriterTable,
+    /// One lock per key-range shard; index `s` owns the restart
+    /// intervals with `interval % n == s`.
+    shards: Vec<Mutex<DvCore>>,
+    router: DvRouter,
+    /// The lock-free hit layer; present iff the context runs without
+    /// prefetch agents (which must see the full access stream).
+    fast: Option<Arc<HitIndex>>,
+    perf: LockPerf,
+    reactor: Arc<Reactor>,
     ledger: Mutex<LaunchLedger>,
     driver: Arc<dyn SimDriver>,
     storage: StorageArea,
     launcher: Arc<dyn JobLauncher>,
     checksums: HashMap<u64, u64>,
-}
-
-/// Front-end machinery owned by the daemon.
-enum FrontendRt {
-    Threads,
-    Epoll {
-        reactor: Arc<Reactor>,
-        /// Signalled at shutdown; registered in the accept loop's epoll
-        /// alongside the listener.
-        accept_wake: EventFd,
-    },
 }
 
 struct Inner {
@@ -298,7 +273,10 @@ struct Inner {
     addr: SocketAddr,
     next_client: AtomicU64,
     shutdown: AtomicBool,
-    frontend: FrontendRt,
+    reactor: Arc<Reactor>,
+    /// Signalled at shutdown; registered in the accept loop's epoll
+    /// alongside the listener.
+    accept_wake: EventFd,
     /// Wakes the reaper when jobs enter flight (and at shutdown); the
     /// guarded bool is the shutdown request.
     reap_signal: (StdMutex<bool>, Condvar),
@@ -338,7 +316,7 @@ impl Inner {
 
 impl CtxRuntime {
     /// Resolves the actions of one DV transition into `fx` (called with
-    /// the DV lock held; does no I/O).
+    /// the owning shard lock held; does no I/O).
     fn collect(&self, core: &mut DvCore, fx: &mut Effects) {
         let launches_before = fx.launches.len();
         for action in core.actions.drain(..) {
@@ -376,12 +354,12 @@ impl CtxRuntime {
             }
         }
         if fx.launches.len() > launches_before {
-            // Register in-flight launches while the DV lock is still
+            // Register in-flight launches while the shard lock is still
             // held: any kill of these sims is collected strictly later,
             // so it will find them here (or in `launched`) and never
             // mistake a live launch for a completed sim. Launch events
             // are rare (one per re-simulation), so the extra lock is
-            // off the hit path.
+            // off the hit path. Lock order: shard → ledger, always.
             let mut ledger = self.ledger.lock();
             for (sim, _, _) in &fx.launches[launches_before..] {
                 ledger.pending_launch.insert(*sim);
@@ -389,13 +367,66 @@ impl CtxRuntime {
         }
     }
 
-    /// Locks the DV, applies one event, and collects its effects.
+    /// Locks shard `s` with wait/hold accounting, runs `work` on its
+    /// core, collects the resulting effects, and runs `post` (e.g. the
+    /// Queued check, which needs the post-collect pending state) still
+    /// under the same lock. The single home of the lock-timing
+    /// discipline — every locked transition goes through here.
+    fn with_shard(
+        &self,
+        s: usize,
+        fx: &mut Effects,
+        work: impl FnOnce(&mut DvCore),
+        post: impl FnOnce(&mut DvCore, &mut Effects),
+    ) {
+        let t0 = Instant::now();
+        let mut core = self.shards[s].lock();
+        let t1 = Instant::now();
+        work(&mut core);
+        self.collect(&mut core, fx);
+        post(&mut core, fx);
+        let t2 = Instant::now();
+        drop(core);
+        self.perf
+            .wait_ns
+            .fetch_add((t1 - t0).as_nanos() as u64, Ordering::Relaxed);
+        self.perf
+            .hold_ns
+            .fetch_add((t2 - t1).as_nanos() as u64, Ordering::Relaxed);
+        self.perf.transitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Applies one event to its owning shard (or fans it out), and
+    /// collects its effects.
     fn transition(&self, inner: &Inner, event: DvEvent, fx: &mut Effects) {
         let now = inner.now();
-        let mut core = self.state.lock();
-        let DvCore { dv, actions, .. } = &mut *core;
-        dv.handle_into(now, event, actions);
-        self.collect(&mut core, fx);
+        match self.router.route(&event) {
+            EventRoute::Shard(s) => self.with_shard(
+                s,
+                fx,
+                |core| {
+                    let DvCore { dv, actions, .. } = core;
+                    dv.handle_into(now, event, actions);
+                },
+                |_, _| {},
+            ),
+            EventRoute::Broadcast => {
+                // One shard at a time: no transition ever holds two
+                // shard locks, so shard locks cannot deadlock.
+                for s in 0..self.shards.len() {
+                    let event = event.clone();
+                    self.with_shard(
+                        s,
+                        fx,
+                        |core| {
+                            let DvCore { dv, actions, .. } = core;
+                            dv.handle_into(now, event, actions);
+                        },
+                        |_, _| {},
+                    );
+                }
+            }
+        }
     }
 
     /// Encodes and delivers the outbox: one [`FrameBatch`] (one write)
@@ -428,7 +459,10 @@ impl CtxRuntime {
             }
         }
         for (client, batch) in &mut fx.batches[..used] {
-            self.writers.send_batch(*client, batch);
+            // Borrowed send: a response to the dispatching connection
+            // itself is staged with no allocation; only
+            // cross-connection traffic is copied into an inbox.
+            self.reactor.send_bytes(*client, batch.as_bytes());
             batch.clear();
         }
     }
@@ -436,8 +470,9 @@ impl CtxRuntime {
     /// Applies job-control effects. Returns sims whose launch failed
     /// (fed back as `SimFailed`). The ledger lock is held only for set
     /// bookkeeping — never across launcher I/O — because `collect`
-    /// takes it while holding the DV lock; holding it through a slow
-    /// job submission would convoy every transition on the context.
+    /// takes it while holding a DV shard lock; holding it through a
+    /// slow job submission would convoy every transition on the
+    /// context.
     fn apply_job_control(&self, inner: &Inner, fx: &mut Effects, failed: &mut Vec<SimId>) {
         if !fx.has_job_control() {
             return;
@@ -526,7 +561,7 @@ impl CtxRuntime {
 
     /// Effects everything a transition collected: socket writes, job
     /// control, evictions. Launch failures feed back as `SimFailed`
-    /// events until quiescence. Never holds the DV lock while doing
+    /// events until quiescence. Never holds a DV shard lock while doing
     /// I/O.
     fn commit(&self, inner: &Inner, fx: &mut Effects) {
         let mut failed: Vec<SimId> = Vec::new();
@@ -536,16 +571,36 @@ impl CtxRuntime {
             self.flush_outbox(fx);
             self.apply_job_control(inner, fx, &mut failed);
             if !fx.evicts.is_empty() {
-                // The evictions were decided under a DV lock we have
+                // The evictions were decided under a shard lock we have
                 // since released: an overlapping production may have
-                // re-materialized a key meanwhile. Re-check (one lock
-                // for the whole batch) so we do not delete files the
-                // cache now believes in. The residual write-then-delete
+                // re-materialized a key meanwhile. Re-check under the
+                // owning shard's lock so we do not delete files the
+                // cache now believes in — grouped by shard so a burst
+                // of evictions (usually all from the one shard whose
+                // insert decided them) takes each contended lock once,
+                // not once per key. The residual write-then-delete
                 // window is inherent: simulators publish files before
                 // their FileProduced message reaches the DV.
                 {
-                    let core = self.state.lock();
-                    fx.evicts.retain(|&key| !core.dv.is_cached(key));
+                    let router = self.router;
+                    fx.evicts
+                        .sort_unstable_by_key(|&key| router.shard_of_key(key));
+                    let (mut kept, mut i) = (0, 0);
+                    while i < fx.evicts.len() {
+                        let shard = router.shard_of_key(fx.evicts[i]);
+                        let core = self.shards[shard].lock();
+                        while i < fx.evicts.len()
+                            && router.shard_of_key(fx.evicts[i]) == shard
+                        {
+                            let key = fx.evicts[i];
+                            i += 1;
+                            if !core.dv.is_cached(key) {
+                                fx.evicts[kept] = key;
+                                kept += 1;
+                            }
+                        }
+                    }
+                    fx.evicts.truncate(kept);
                 }
                 for key in fx.evicts.drain(..) {
                     let name = self.driver.filename_of(key);
@@ -567,59 +622,130 @@ impl CtxRuntime {
         }
     }
 
+    /// Merged statistics snapshot: shard totals plus the fast-path and
+    /// lock counters the shards never see. Also returns the active-sim
+    /// total observed in the same per-shard lock acquisitions, so a
+    /// Status reply is self-consistent per shard.
+    fn stats_snapshot_with_active(&self) -> (DvStats, u64) {
+        let mut total = DvStats::default();
+        let mut active = 0u64;
+        for shard in &self.shards {
+            let core = shard.lock();
+            total.accumulate(core.dv.stats());
+            active += core.dv.active_sims() as u64;
+        }
+        if let Some(index) = &self.fast {
+            let fast_hits = index.fast_hits();
+            total.hits += fast_hits;
+            total.acquired_fast = fast_hits;
+            total.hit_fallbacks = index.race_fallbacks();
+        }
+        total.acquired_slow = self.perf.acquired_slow.load(Ordering::Relaxed);
+        total.lock_wait_ns = self.perf.wait_ns.load(Ordering::Relaxed);
+        total.lock_hold_ns = self.perf.hold_ns.load(Ordering::Relaxed);
+        total.lock_transitions = self.perf.transitions.load(Ordering::Relaxed);
+        (total, active)
+    }
+
+    fn stats_snapshot(&self) -> DvStats {
+        self.stats_snapshot_with_active().0
+    }
+
     /// Processes one analysis request; `false` ends the session.
-    /// Shared by both front-ends.
     fn handle_analysis_request(
         &self,
         inner: &Inner,
         client: ClientId,
         req: Request,
+        local: &mut ConnLocal,
+        cx: &mut ConnCtx<'_>,
         fx: &mut Effects,
     ) -> bool {
         match req {
             Request::Acquire { req_id, keys } => {
-                // One DV lock acquisition for the whole request; all
-                // resulting responses leave as one coalesced batch per
-                // destination after release.
-                {
-                    let now = inner.now();
-                    let mut core = self.state.lock();
-                    for &key in &keys {
-                        // Register interest before handling so a
-                        // concurrent production cannot race past the
-                        // notification.
-                        core.pending.entry((client, key)).or_default().push(req_id);
-                        let DvCore { dv, actions, .. } = &mut *core;
-                        dv.handle_into(now, DvEvent::Acquire { client, key }, actions);
-                        self.collect(&mut core, fx);
-                        // Still pending? Tell the client it is queued,
-                        // with the wait estimate (§III-C).
-                        if core.pending.contains_key(&(client, key)) {
-                            let est = core
-                                .dv
-                                .estimate_wait(key)
-                                .map_or(0, |d| d.as_nanos() / 1_000_000);
-                            fx.outbox.push((
-                                client,
-                                Response::Queued {
-                                    req_id,
-                                    key,
-                                    est_wait_ms: est,
-                                },
-                            ));
+                let mut slow_keys = 0u64;
+                for &key in &keys {
+                    // Layer 1: the lock-free hit path. A resident key is
+                    // pinned through the concurrent index (the pin is
+                    // eviction-visible before we reply) and answered
+                    // straight into this connection's output buffer —
+                    // no DV lock, no routing table.
+                    if let Some(index) = &self.fast {
+                        if index.try_hit_pin(key) {
+                            *local.fast_pins.entry(key).or_insert(0) += 1;
+                            local.scratch.push_response(&Response::Ready { req_id, key });
+                            continue;
                         }
                     }
+                    // Layer 2: the locked path, one shard lock per key
+                    // (multi-key requests may span shards).
+                    slow_keys += 1;
+                    let now = inner.now();
+                    let s = self.router.shard_of_key(key);
+                    self.with_shard(
+                        s,
+                        fx,
+                        |core| {
+                            // Register interest before handling so a
+                            // concurrent production cannot race past
+                            // the notification.
+                            core.pending.entry((client, key)).or_default().push(req_id);
+                            let DvCore { dv, actions, .. } = core;
+                            dv.handle_into(now, DvEvent::Acquire { client, key }, actions);
+                        },
+                        |core, fx| {
+                            // Still pending after collect? Tell the
+                            // client it is queued, with the wait
+                            // estimate (§III-C).
+                            if core.pending.contains_key(&(client, key)) {
+                                let est = core
+                                    .dv
+                                    .estimate_wait(key)
+                                    .map_or(0, |d| d.as_nanos() / 1_000_000);
+                                fx.outbox.push((
+                                    client,
+                                    Response::Queued {
+                                        req_id,
+                                        key,
+                                        est_wait_ms: est,
+                                    },
+                                ));
+                            }
+                        },
+                    );
                 }
-                self.commit(inner, fx);
+                if !local.scratch.is_empty() {
+                    cx.write(local.scratch.as_bytes());
+                    local.scratch.clear();
+                }
+                if slow_keys > 0 {
+                    self.perf
+                        .acquired_slow
+                        .fetch_add(slow_keys, Ordering::Relaxed);
+                    self.commit(inner, fx);
+                }
                 true
             }
             Request::Release { key } => {
+                // Fast pins are released with index atomics alone; pins
+                // taken through the DV (miss productions, prefetching
+                // contexts) release through the owning shard.
+                if let Some(index) = &self.fast {
+                    if let Some(n) = local.fast_pins.get_mut(&key) {
+                        *n -= 1;
+                        if *n == 0 {
+                            local.fast_pins.remove(&key);
+                        }
+                        index.unpin(key, 1);
+                        return true;
+                    }
+                }
                 self.transition(inner, DvEvent::Release { client, key }, fx);
                 self.commit(inner, fx);
                 true
             }
             Request::Bitrep { req_id, key } => {
-                // Pure storage I/O: never touches the DV lock.
+                // Pure storage I/O: never touches a DV lock.
                 let name = self.driver.filename_of(key);
                 let result = self.storage.read(&name).ok().map(|bytes| {
                     let sum = self.driver.checksum(&bytes);
@@ -646,17 +772,14 @@ impl CtxRuntime {
                 true
             }
             Request::Status { req_id } => {
-                let resp = {
-                    let core = self.state.lock();
-                    let stats = core.dv.stats();
-                    Response::StatusInfo {
-                        req_id,
-                        hits: stats.hits,
-                        misses: stats.misses,
-                        restarts: stats.restarts,
-                        produced_steps: stats.produced_steps,
-                        active_sims: core.dv.active_sims() as u64,
-                    }
+                let (stats, active) = self.stats_snapshot_with_active();
+                let resp = Response::StatusInfo {
+                    req_id,
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    restarts: stats.restarts,
+                    produced_steps: stats.produced_steps,
+                    active_sims: active,
                 };
                 fx.outbox.push((client, resp));
                 self.flush_outbox(fx);
@@ -676,13 +799,25 @@ impl CtxRuntime {
         }
     }
 
-    /// Tears down an analysis session: drops the writer, clears pending
-    /// request bookkeeping, releases the client's pins via
-    /// `ClientGone`. Shared by both front-ends.
-    fn analysis_disconnect(&self, inner: &Inner, client: ClientId, fx: &mut Effects) {
-        self.writers.unregister(client);
-        {
-            let mut core = self.state.lock();
+    /// Tears down an analysis session: drops the routing entry, returns
+    /// the connection's fast pins, clears pending request bookkeeping
+    /// in every shard, releases the client's DV-side pins via
+    /// `ClientGone`.
+    fn analysis_disconnect(
+        &self,
+        inner: &Inner,
+        client: ClientId,
+        local: &mut ConnLocal,
+        fx: &mut Effects,
+    ) {
+        self.reactor.unregister(client);
+        if let Some(index) = &self.fast {
+            for (key, pins) in local.fast_pins.drain() {
+                index.unpin(key, pins);
+            }
+        }
+        for shard in &self.shards {
+            let mut core = shard.lock();
             core.pending.retain(|(c, _), _| *c != client);
         }
         self.transition(inner, DvEvent::ClientGone { client }, fx);
@@ -690,7 +825,6 @@ impl CtxRuntime {
     }
 
     /// Processes one simulator request; `false` ends the session.
-    /// Shared by both front-ends.
     fn handle_simulator_request(
         &self,
         inner: &Inner,
@@ -761,8 +895,7 @@ impl DvServer {
 
     /// Binds and starts a daemon serving several simulation contexts
     /// (§II) on one address; clients route by context name at hello
-    /// time. The first context's [`ServerConfig::frontend`] selects the
-    /// connection front-end for the whole daemon.
+    /// time.
     ///
     /// # Panics
     /// Panics on duplicate context names — a configuration error.
@@ -770,48 +903,76 @@ impl DvServer {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
 
-        let frontend = configs.first().map(|c| c.frontend).unwrap_or_default();
-        let frontend_rt = match frontend {
-            Frontend::Threads => FrontendRt::Threads,
-            Frontend::Epoll => {
-                let shards = std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1);
-                FrontendRt::Epoll {
-                    reactor: Reactor::start(shards)?,
-                    accept_wake: EventFd::new()?,
-                }
-            }
-        };
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let reactor = Reactor::start(cores)?;
+        let accept_wake = EventFd::new()?;
 
         let mut contexts = HashMap::new();
         let mut prime_work: Vec<(Arc<CtxRuntime>, Vec<u64>)> = Vec::new();
         for config in configs {
             let name = config.ctx.name.clone();
-            let mut dv = DataVirtualizer::new(config.ctx);
+            let n_shards = if config.dv_shards == 0 {
+                if config.ctx.prefetch {
+                    // Auto never shards a prefetching context: agents
+                    // need the whole access stream (see `dv_shards`).
+                    1
+                } else {
+                    // Clamped by `s_max`: each shard runs at least one
+                    // sim (see `shard_cfg`), so more shards than launch
+                    // slots would silently raise the configured cap.
+                    (cores as u32).min(4).min(config.ctx.smax)
+                }
+            } else {
+                config.dv_shards
+            }
+            .max(1);
+            // The lock-free hit layer requires hits to bypass the DV —
+            // incompatible with prefetch agents, which must observe the
+            // full access stream to detect direction and cadence.
+            let fast = if config.ctx.prefetch {
+                None
+            } else {
+                Some(Arc::new(HitIndex::new(HIT_INDEX_SHARDS)))
+            };
+            // The shard composition (per-shard cfg slice, sim-id
+            // striding, routing) comes from `ShardedDv` — the reference
+            // object the CI-pinned equivalence tests verify — so the
+            // daemon cannot silently drift from the sharding contract.
+            let (mut shards, router) =
+                ShardedDv::new(config.ctx.clone(), n_shards).into_parts();
+            if let Some(index) = &fast {
+                for dv in &mut shards {
+                    dv.attach_index(Arc::clone(index));
+                }
+            }
 
-            // Prime: everything already on disk is cached state.
+            // Prime: everything already on disk is cached state, routed
+            // to its owning shard.
             let mut evicted = Vec::new();
             for file in config.storage.list()? {
                 if let Some(key) = config.driver.key_of(&file) {
                     let size = config.storage.size_of(&file).unwrap_or(0);
-                    evicted.extend(dv.prime(key, size));
+                    evicted.extend(shards[router.shard_of_key(key)].prime(key, size));
                 }
             }
-            let writers = match &frontend_rt {
-                FrontendRt::Threads => WriterTable::Threads(
-                    (0..WRITER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-                ),
-                FrontendRt::Epoll { reactor, .. } => WriterTable::Reactor(Arc::clone(reactor)),
-            };
             let runtime = Arc::new(CtxRuntime {
                 name: name.clone(),
-                state: Mutex::new(DvCore {
-                    dv,
-                    pending: HashMap::new(),
-                    actions: Vec::new(),
-                }),
-                writers,
+                shards: shards
+                    .into_iter()
+                    .map(|dv| {
+                        Mutex::new(DvCore {
+                            dv,
+                            pending: HashMap::new(),
+                            actions: Vec::new(),
+                        })
+                    })
+                    .collect(),
+                router,
+                fast,
+                perf: LockPerf::default(),
+                reactor: Arc::clone(&reactor),
                 ledger: Mutex::new(LaunchLedger::default()),
                 driver: config.driver,
                 storage: config.storage,
@@ -829,7 +990,8 @@ impl DvServer {
             addr,
             next_client: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
-            frontend: frontend_rt,
+            reactor,
+            accept_wake,
             reap_signal: (StdMutex::new(false), Condvar::new()),
             quiesce: (StdMutex::new(()), Condvar::new()),
         });
@@ -859,90 +1021,49 @@ impl DvServer {
     }
 
     fn spawn_accept_loop(inner: &Arc<Inner>, listener: TcpListener) -> io::Result<()> {
-        match &inner.frontend {
-            FrontendRt::Threads => {
-                // Non-blocking accept + shutdown-flag poll: bounded
-                // shutdown latency without the old connect-to-self
-                // unblock hack.
-                listener.set_nonblocking(true)?;
-                let inner = Arc::clone(inner);
-                std::thread::Builder::new().name("dv-accept".into()).spawn(move || loop {
-                    if inner.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
+        // Event-driven accept: one epoll over the listener and the
+        // shutdown eventfd, so shutdown unblocks instantly.
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, 0)?;
+        epoll.add(inner.accept_wake.fd(), EPOLLIN, 1)?;
+        let inner = Arc::clone(inner);
+        std::thread::Builder::new().name("dv-accept".into()).spawn(move || {
+            let mut events = [EpollEvent::default(); 4];
+            loop {
+                let _ = epoll.wait(&mut events, -1);
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                loop {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let _ = stream.set_nonblocking(false);
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
                             let _ = stream.set_nodelay(true);
-                            let conn_inner = Arc::clone(&inner);
-                            std::thread::spawn(move || handle_connection(conn_inner, stream));
+                            inner.reactor.submit(
+                                stream,
+                                Box::new(EpollConn {
+                                    inner: Arc::clone(&inner),
+                                    state: ConnState::Handshake,
+                                }),
+                            );
                         }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                         Err(_) => {
-                            // EMFILE, ECONNABORTED and friends are
-                            // transient at high connection counts; an
-                            // accept thread that exits takes the
-                            // listener with it and the daemon would
-                            // silently stop accepting forever. Back off
-                            // and retry; shutdown is the only exit.
+                            // Transient (EMFILE/ECONNABORTED): never
+                            // exit — the listener dies with this
+                            // thread. Back off; the level-triggered
+                            // epoll re-reports the pending connection.
                             std::thread::sleep(Duration::from_millis(10));
+                            break;
                         }
                     }
-                })?;
+                }
             }
-            FrontendRt::Epoll { accept_wake, .. } => {
-                // Event-driven accept: one epoll over the listener and
-                // the shutdown eventfd, so shutdown unblocks instantly.
-                listener.set_nonblocking(true)?;
-                let epoll = Epoll::new()?;
-                epoll.add(listener.as_raw_fd(), EPOLLIN, 0)?;
-                epoll.add(accept_wake.fd(), EPOLLIN, 1)?;
-                let inner = Arc::clone(inner);
-                std::thread::Builder::new().name("dv-accept".into()).spawn(move || {
-                    let FrontendRt::Epoll { reactor, .. } = &inner.frontend else {
-                        unreachable!("epoll accept loop without reactor");
-                    };
-                    let mut events = [EpollEvent::default(); 4];
-                    loop {
-                        let _ = epoll.wait(&mut events, -1);
-                        if inner.shutdown.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        loop {
-                            match listener.accept() {
-                                Ok((stream, _)) => {
-                                    if stream.set_nonblocking(true).is_err() {
-                                        continue;
-                                    }
-                                    let _ = stream.set_nodelay(true);
-                                    reactor.submit(
-                                        stream,
-                                        Box::new(EpollConn {
-                                            inner: Arc::clone(&inner),
-                                            state: ConnState::Handshake,
-                                        }),
-                                    );
-                                }
-                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                                Err(_) => {
-                                    // Transient (EMFILE/ECONNABORTED):
-                                    // never exit — the listener dies
-                                    // with this thread. Back off; the
-                                    // level-triggered epoll re-reports
-                                    // the pending connection.
-                                    std::thread::sleep(Duration::from_millis(10));
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                })?;
-            }
-        }
+        })?;
         Ok(())
     }
 
@@ -952,27 +1073,24 @@ impl DvServer {
     }
 
     /// Statistics snapshot of the only context (single-context
-    /// deployments).
+    /// deployments): shard totals merged with the fast-path counters.
     ///
     /// # Panics
     /// Panics if the daemon serves more than one context — use
     /// [`context_stats`](Self::context_stats) then.
-    pub fn stats(&self) -> crate::dv::DvStats {
+    pub fn stats(&self) -> DvStats {
         assert_eq!(
             self.inner.contexts.len(),
             1,
             "multi-context daemon: use context_stats(name)"
         );
         let runtime = self.inner.contexts.values().next().expect("one context");
-        runtime.state.lock().dv.stats().clone()
+        runtime.stats_snapshot()
     }
 
     /// Statistics snapshot of a named context.
-    pub fn context_stats(&self, name: &str) -> Option<crate::dv::DvStats> {
-        self.inner
-            .contexts
-            .get(name)
-            .map(|rt| rt.state.lock().dv.stats().clone())
+    pub fn context_stats(&self, name: &str) -> Option<DvStats> {
+        self.inner.contexts.get(name).map(|rt| rt.stats_snapshot())
     }
 
     /// The names of the contexts served.
@@ -998,10 +1116,10 @@ impl DvServer {
         for ctx in self.inner.contexts.values() {
             let mut guard = lock.lock().unwrap();
             loop {
-                let idle = {
-                    let core = ctx.state.lock();
+                let idle = ctx.shards.iter().all(|shard| {
+                    let core = shard.lock();
                     core.dv.active_sims() == 0 && core.dv.queued_launches() == 0
-                };
+                });
                 if idle {
                     break;
                 }
@@ -1014,19 +1132,8 @@ impl DvServer {
             }
         }
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        match &self.inner.frontend {
-            FrontendRt::Threads => {
-                // The non-blocking accept loop observes the flag within
-                // one poll interval.
-            }
-            FrontendRt::Epoll {
-                reactor,
-                accept_wake,
-            } => {
-                accept_wake.signal();
-                reactor.shutdown();
-            }
-        }
+        self.inner.accept_wake.signal();
+        self.inner.reactor.shutdown();
         // Release the reaper from its idle park.
         {
             let mut stop = self.inner.reap_signal.0.lock().unwrap();
@@ -1078,10 +1185,9 @@ fn run_reaper(inner: &Arc<Inner>) {
     }
 }
 
-/// Per-connection state machine of the epoll front-end. The handshake
+/// Per-connection state machine of the reactor front-end. The handshake
 /// frame routes the connection to a context and a role; afterwards each
-/// frame is dispatched through the same shared request handlers the
-/// threaded front-end uses.
+/// frame is dispatched through the shared request handlers.
 struct EpollConn {
     inner: Arc<Inner>,
     state: ConnState,
@@ -1093,6 +1199,7 @@ enum ConnState {
     Analysis {
         runtime: Arc<CtxRuntime>,
         client: ClientId,
+        local: ConnLocal,
         fx: Effects,
     },
     Simulator {
@@ -1144,6 +1251,7 @@ impl crate::reactor::Handler for EpollConn {
                         self.state = ConnState::Analysis {
                             runtime,
                             client,
+                            local: ConnLocal::new(),
                             fx: Effects::default(),
                         };
                     }
@@ -1164,12 +1272,13 @@ impl crate::reactor::Handler for EpollConn {
             ConnState::Analysis {
                 runtime,
                 client,
+                local,
                 fx,
             } => {
                 let Ok(req) = Request::decode(frame) else {
                     return false;
                 };
-                runtime.handle_analysis_request(&self.inner, *client, req, fx)
+                runtime.handle_analysis_request(&self.inner, *client, req, local, cx, fx)
             }
             ConnState::Simulator {
                 runtime,
@@ -1192,8 +1301,9 @@ impl crate::reactor::Handler for EpollConn {
             ConnState::Analysis {
                 runtime,
                 client,
+                mut local,
                 mut fx,
-            } => runtime.analysis_disconnect(&self.inner, client, &mut fx),
+            } => runtime.analysis_disconnect(&self.inner, client, &mut local, &mut fx),
             ConnState::Simulator {
                 runtime,
                 sim,
@@ -1212,89 +1322,6 @@ fn unknown_context_error(inner: &Inner, context: &str) -> Response {
             names
         }),
     }
-}
-
-fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
-    let mut reader = FrameReader::new(stream);
-    let hello = match reader.read_frame() {
-        Ok(Some(body)) => match Request::decode(&body) {
-            Ok(req) => req,
-            Err(_) => return,
-        },
-        _ => return,
-    };
-    let Request::Hello { kind, context } = hello else {
-        let resp = Response::Error {
-            message: "expected Hello".to_string(),
-        };
-        if let Ok(mut w) = reader.get_ref().try_clone() {
-            let _ = wire::write_frame(&mut w, &resp.encode());
-        }
-        return;
-    };
-    let Some(runtime) = inner.route(&context).cloned() else {
-        let resp = unknown_context_error(&inner, &context);
-        if let Ok(mut w) = reader.get_ref().try_clone() {
-            let _ = wire::write_frame(&mut w, &resp.encode());
-        }
-        return;
-    };
-    match kind {
-        ClientKind::Analysis => analysis_session(inner, runtime, reader),
-        ClientKind::Simulator { sim_id } => simulator_session(inner, runtime, reader, sim_id),
-    }
-}
-
-fn analysis_session(
-    inner: Arc<Inner>,
-    runtime: Arc<CtxRuntime>,
-    mut reader: FrameReader<TcpStream>,
-) {
-    let client: ClientId = inner.next_client.fetch_add(1, Ordering::SeqCst);
-    let Ok(mut writer) = reader.get_ref().try_clone() else {
-        return;
-    };
-    if wire::write_frame(&mut writer, &Response::HelloOk { client_id: client }.encode()).is_err() {
-        return;
-    }
-    runtime.writers.register_stream(client, writer);
-
-    let mut fx = Effects::default();
-    while let Ok(Some(frame)) = reader.read_frame() {
-        let Ok(req) = Request::decode(&frame) else {
-            break;
-        };
-        if !runtime.handle_analysis_request(&inner, client, req, &mut fx) {
-            break;
-        }
-    }
-    runtime.analysis_disconnect(&inner, client, &mut fx);
-}
-
-fn simulator_session(
-    inner: Arc<Inner>,
-    runtime: Arc<CtxRuntime>,
-    mut reader: FrameReader<TcpStream>,
-    sim: SimId,
-) {
-    {
-        let mut writer = match reader.get_ref().try_clone() {
-            Ok(w) => w,
-            Err(_) => return,
-        };
-        let _ = wire::write_frame(&mut writer, &Response::HelloOk { client_id: sim }.encode());
-    }
-    let mut fx = Effects::default();
-    let mut finished = false;
-    while let Ok(Some(frame)) = reader.read_frame() {
-        let Ok(req) = Request::decode(&frame) else {
-            break;
-        };
-        if !runtime.handle_simulator_request(&inner, sim, req, &mut finished, &mut fx) {
-            break;
-        }
-    }
-    runtime.simulator_disconnect(&inner, sim, finished, &mut fx);
 }
 
 /// In-process simulator launcher: "launches" jobs as threads that

@@ -6,7 +6,7 @@ use simfs_core::client::SimfsClient;
 use simfs_core::driver::{PatternDriver, SimDriver};
 use simfs_core::intercept::{netcdf, VirtualFs};
 use simfs_core::model::{ContextCfg, StepMath};
-use simfs_core::server::{DvServer, Frontend, ServerConfig, ThreadSimLauncher};
+use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};
 use simstore::{Data, Dataset, StorageArea};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -27,15 +27,24 @@ struct Fixture {
     _dir: std::path::PathBuf,
 }
 
-/// Starts a daemon over a fresh storage area with the default (epoll)
-/// front-end. B = 4, N = 64 output steps, cache of `cache_steps`
-/// steps, checksums recorded for keys 1..=8.
+/// Starts an unsharded (one DV shard) daemon over a fresh storage
+/// area. B = 4, N = 64 output steps, cache of `cache_steps` steps,
+/// checksums recorded for keys 1..=8, prefetching on (which keeps the
+/// lock-free hit path disabled — these tests pin the exact unsharded
+/// semantics).
 fn start_daemon(tag: &str, cache_steps: u64, smax: u32) -> Fixture {
-    start_daemon_with(tag, cache_steps, smax, Frontend::default())
+    start_daemon_cfg(tag, cache_steps, smax, 1, true)
 }
 
-/// [`start_daemon`] with an explicit connection front-end.
-fn start_daemon_with(tag: &str, cache_steps: u64, smax: u32, frontend: Frontend) -> Fixture {
+/// [`start_daemon`] with explicit DV shard count and prefetch switch
+/// (prefetch off enables the lock-free hit fast path).
+fn start_daemon_cfg(
+    tag: &str,
+    cache_steps: u64,
+    smax: u32,
+    dv_shards: u32,
+    prefetch: bool,
+) -> Fixture {
     let dir = std::env::temp_dir().join(format!(
         "simfs-daemon-{}-{}-{:?}",
         tag,
@@ -54,7 +63,7 @@ fn start_daemon_with(tag: &str, cache_steps: u64, smax: u32, frontend: Frontend)
     let ctx = ContextCfg::new("test-ctx", steps, size, cache_steps * size)
         .with_policy("dcl")
         .with_smax(smax)
-        .with_prefetch(true);
+        .with_prefetch(prefetch);
 
     let checksums: HashMap<u64, u64> = (1..=8)
         .map(|k| (k, simstore::fnv1a64(&step_bytes(k))))
@@ -73,7 +82,7 @@ fn start_daemon_with(tag: &str, cache_steps: u64, smax: u32, frontend: Frontend)
             storage: storage.clone(),
             launcher,
             checksums,
-            frontend,
+            dv_shards,
         },
         "127.0.0.1:0",
     )
@@ -300,7 +309,7 @@ fn daemon_restart_reprimes_existing_files() {
             storage,
             launcher,
             checksums: HashMap::new(),
-            frontend: Frontend::default(),
+            dv_shards: 1,
         },
         "127.0.0.1:0",
     )
@@ -362,7 +371,7 @@ fn multi_context_daemon_routes_by_name() {
         storage: storage_a.clone(),
         launcher: mk_launcher(),
         checksums: HashMap::new(),
-        frontend: Frontend::default(),
+        dv_shards: 1,
     };
     let fine = simfs_core::server::ServerConfig {
         ctx: ContextCfg::new("fine", StepMath::new(1, 8, 128), size, 1000 * size),
@@ -370,7 +379,7 @@ fn multi_context_daemon_routes_by_name() {
         storage: storage_b.clone(),
         launcher: mk_launcher(),
         checksums: HashMap::new(),
-        frontend: Frontend::default(),
+        dv_shards: 1,
     };
     let server = DvServer::start_multi(vec![coarse, fine], "127.0.0.1:0").unwrap();
     assert_eq!(server.context_names(), vec!["coarse", "fine"]);
@@ -512,19 +521,154 @@ fn rogue_simulator_ids_do_not_corrupt_state() {
 }
 
 #[test]
-fn threads_frontend_still_serves() {
-    // The legacy thread-per-connection front-end stays functional for
-    // one release behind the config flag: full miss → re-simulation →
-    // hit cycle.
-    let fx = start_daemon_with("threads-fe", 1000, 4, Frontend::Threads);
+fn fast_path_serves_hits_without_dv_lock() {
+    // Prefetch off ⇒ the lock-free hit layer is active: a re-acquire
+    // of a warm key must be served by the concurrent index (counted in
+    // acquired_fast), while the first (miss) acquire goes through a
+    // shard lock (acquired_slow). The full cycle — fast pin, fast
+    // release, later eviction — must stay coherent.
+    let fx = start_daemon_cfg("fastpath", 1000, 4, 1, false);
     let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
     let status = client.acquire(&[6]).unwrap();
     assert!(status.ok(), "{status:?}");
     client.release(6).unwrap();
     let status = client.acquire(&[6]).unwrap();
     assert!(status.ok());
-    assert_eq!(fx.server.stats().hits, 1);
+    client.release(6).unwrap();
+    let stats = fx.server.stats();
+    assert_eq!(stats.hits, 1, "second acquire is the hit");
+    assert_eq!(stats.acquired_fast, 1, "the hit came off the fast path");
+    assert_eq!(stats.misses, 1);
+    assert!(stats.acquired_slow >= 1, "the miss took a shard lock");
+    assert!(
+        stats.lock_transitions > 0 && stats.lock_hold_ns > 0,
+        "lock hold-time counters must be live: {stats:?}"
+    );
     client.finalize().unwrap();
+}
+
+#[test]
+fn sharded_daemon_serves_misses_and_hits_across_shards() {
+    // Four DV shards: intervals route round-robin, so keys 2, 6, 10,
+    // 14 land on four distinct shards. Misses must launch per shard,
+    // waiters must resolve, and merged stats must add up.
+    let fx = start_daemon_cfg("sharded", 1000, 8, 4, false);
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let status = client.acquire(&[2, 6, 10, 14]).unwrap();
+    assert!(status.ok(), "{status:?}");
+    let mut ready = status.ready.clone();
+    ready.sort_unstable();
+    assert_eq!(ready, vec![2, 6, 10, 14]);
+    for k in [2u64, 6, 10, 14] {
+        client.release(k).unwrap();
+        assert!(fx.storage.exists(&fx.driver.filename_of(k)), "key {k}");
+    }
+    // Re-acquire everything: all hits, all off the fast path.
+    let status = client.acquire(&[2, 6, 10, 14]).unwrap();
+    assert!(status.ok());
+    let stats = fx.server.stats();
+    assert_eq!(stats.misses, 4, "one miss per shard");
+    assert_eq!(stats.restarts, 4, "one launch per interval");
+    assert_eq!(stats.hits, 4);
+    assert_eq!(stats.acquired_fast, 4);
+    client.finalize().unwrap();
+}
+
+#[test]
+fn hit_path_stress_races_acquires_against_evictions() {
+    // The epoch-fallback scenario, stressed: a tiny cache (4 steps per
+    // shard is far less than the 16 keys in play) keeps evicting warm
+    // keys while several clients hammer hit-path acquires on them. A
+    // fast pin must always win or cleanly fall back — every acquire
+    // must succeed (possibly via a re-simulation), no response may be
+    // lost, and the counters must account for every request.
+    let fx = start_daemon_cfg("hitstress", 4, 8, 1, false);
+    let addr = fx.server.addr();
+    const HAMMERS: usize = 6;
+    const HAMMER_ROUNDS: usize = 80;
+    const FLOODS: usize = 2;
+    const FLOOD_ROUNDS: usize = 30;
+    const WARM: u64 = 8; // the hammered, mostly-resident zone
+    const COLD_SPAN: u64 = 32; // flood walks 9..=40, forcing inserts
+    {
+        let mut warm = SimfsClient::connect(addr, "test-ctx").unwrap();
+        let keys: Vec<u64> = (1..=WARM).collect();
+        let status = warm.acquire(&keys).unwrap();
+        assert!(status.ok(), "warmup failed: {status:?}");
+        for k in 1..=WARM {
+            warm.release(k).unwrap();
+        }
+        warm.finalize().unwrap();
+    }
+    let barrier = Arc::new(std::sync::Barrier::new(HAMMERS + FLOODS));
+    let mut handles = Vec::new();
+    for i in 0..HAMMERS {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = SimfsClient::connect(addr, "test-ctx").unwrap();
+            barrier.wait();
+            let mut key = 1 + (i as u64 * 3) % WARM;
+            for _ in 0..HAMMER_ROUNDS {
+                let status = client.acquire(&[key]).unwrap();
+                assert!(status.ok(), "hammer {i}: {status:?}");
+                assert_eq!(status.ready, vec![key]);
+                client.release(key).unwrap();
+                key = 1 + key % WARM;
+            }
+            client.finalize().unwrap();
+        }));
+    }
+    for i in 0..FLOODS {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = SimfsClient::connect(addr, "test-ctx").unwrap();
+            barrier.wait();
+            let mut key = WARM + 1 + (i as u64 * 16) % COLD_SPAN;
+            for _ in 0..FLOOD_ROUNDS {
+                let status = client.acquire(&[key]).unwrap();
+                assert!(status.ok(), "flood {i}: {status:?}");
+                client.release(key).unwrap();
+                key = WARM + 1 + (key - WARM) % COLD_SPAN;
+            }
+            client.finalize().unwrap();
+        }));
+    }
+    for (i, handle) in handles.into_iter().enumerate() {
+        handle.join().unwrap_or_else(|_| panic!("client {i} panicked"));
+    }
+    let stats = fx.server.stats();
+    let total = WARM + (HAMMERS * HAMMER_ROUNDS + FLOODS * FLOOD_ROUNDS) as u64;
+    assert_eq!(
+        stats.hits + stats.misses,
+        total,
+        "every acquire must be accounted as hit or miss: {stats:?}"
+    );
+    assert!(stats.acquired_fast > 0, "fast path never engaged: {stats:?}");
+    assert!(
+        stats.evictions > 0,
+        "cache pressure must have evicted: {stats:?}"
+    );
+    // Leak probe: every client is gone, so no fast pin may survive. A
+    // leaked pin makes its key unevictable (the index vetoes
+    // retirement), so flooding fresh intervals through the 4-step
+    // cache would leave leaked keys stranded on disk alongside the new
+    // residents. With clean accounting the area drains back to the
+    // budget's neighbourhood.
+    std::thread::sleep(Duration::from_millis(200));
+    let mut probe = SimfsClient::connect(addr, "test-ctx").unwrap();
+    for key in [41u64, 45, 49, 53] {
+        let status = probe.acquire(&[key]).unwrap();
+        assert!(status.ok(), "probe acquire of {key}: {status:?}");
+        probe.release(key).unwrap();
+    }
+    probe.finalize().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    let on_disk = fx.storage.list().unwrap();
+    assert!(
+        on_disk.len() <= 8,
+        "storage should drain near the 4-step budget once all pins are \
+         released; leaked fast pins would strand keys: {on_disk:?}"
+    );
 }
 
 #[test]
@@ -533,7 +677,7 @@ fn epoll_frontend_serves_256_concurrent_clients() {
     // analysis clients on a fixed daemon thread count. Every client
     // runs hit-path acquire/release rounds on warm keys; all must
     // complete without errors or lost responses.
-    let fx = start_daemon_with("c256", 1000, 4, Frontend::Epoll);
+    let fx = start_daemon("c256", 1000, 4);
     let addr = fx.server.addr();
     {
         // Warm keys 1..=8 so the measured traffic is pure control-path.
@@ -587,7 +731,7 @@ fn slow_client_never_stalls_others() {
     use std::io::Write;
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    let fx = start_daemon_with("slowloris", 1000, 4, Frontend::Epoll);
+    let fx = start_daemon("slowloris", 1000, 4);
     let addr = fx.server.addr();
     {
         let mut warm = SimfsClient::connect(addr, "test-ctx").unwrap();
@@ -675,7 +819,7 @@ fn deep_pipelined_burst_is_fully_answered() {
     // shard's backlog pass must re-dispatch it, so every request gets
     // its response.
     use std::io::Write;
-    let fx = start_daemon_with("burst", 1000, 4, Frontend::Epoll);
+    let fx = start_daemon("burst", 1000, 4);
     let mut sock = std::net::TcpStream::connect(fx.server.addr()).unwrap();
     sock.set_nodelay(true).unwrap();
     simfs_core::wire::write_frame(
@@ -719,7 +863,7 @@ fn protocol_error_response_precedes_close() {
     // final Error frame *before* the daemon closes the connection —
     // the response must not be lost to the close racing it through the
     // reactor.
-    let fx = start_daemon_with("err-close", 1000, 4, Frontend::Epoll);
+    let fx = start_daemon("err-close", 1000, 4);
     let mut sock = std::net::TcpStream::connect(fx.server.addr()).unwrap();
     sock.set_nodelay(true).unwrap();
     simfs_core::wire::write_frame(
@@ -754,7 +898,7 @@ fn half_close_still_receives_pending_responses() {
     // read responses until EOF (the threaded front-end always
     // supported this). The reactor must flush the responses it owes
     // before dropping the connection on the read-side EOF.
-    let fx = start_daemon_with("half-close", 1000, 4, Frontend::Epoll);
+    let fx = start_daemon("half-close", 1000, 4);
     let mut sock = std::net::TcpStream::connect(fx.server.addr()).unwrap();
     sock.set_nodelay(true).unwrap();
     simfs_core::wire::write_frame(

@@ -1,7 +1,7 @@
 //! Property tests for the Data Virtualizer and the model math.
 
 use proptest::prelude::*;
-use simfs_core::dv::{DataVirtualizer, DvAction, DvEvent};
+use simfs_core::dv::{shard_cfg, DataVirtualizer, DvAction, DvEvent, EventRoute, ShardedDv};
 use simfs_core::model::{ContextCfg, StepMath};
 use simfs_core::replay::replay;
 use simkit::SimTime;
@@ -250,5 +250,135 @@ proptest! {
         prop_assert_eq!(alloc_dv.stats().evictions, scratch_dv.stats().evictions);
         prop_assert_eq!(alloc_dv.active_sims(), scratch_dv.active_sims());
         prop_assert_eq!(alloc_dv.queued_launches(), scratch_dv.queued_launches());
+    }
+
+    /// The sharding contract: a 4-shard [`ShardedDv`] fed an arbitrary
+    /// interleaved event stream behaves exactly like four independent
+    /// unsharded DVs — each constructed with the 1/N context slice and
+    /// the shard's sim-id stride — fed the per-shard subsequences, with
+    /// `ClientGone` broadcast in shard order. This pins capacity
+    /// splitting, `s_max` splitting, sim-id striding, key/sim routing
+    /// and fan-out order against drift.
+    #[test]
+    fn sharded_dv_equivalent_to_per_shard_unsharded(
+        events in prop::collection::vec(arb_event(), 1..200),
+        cache_steps in 2u64..20,
+        smax in 1u32..8,
+        prefetch in any::<bool>(),
+    ) {
+        const N: u32 = 4;
+        let steps = StepMath::new(1, 4, 40);
+        let cfg = ContextCfg::new("shardeq", steps, 10, cache_steps * 10)
+            .with_policy("lru")
+            .with_smax(smax)
+            .with_prefetch(prefetch);
+        let mut sharded = ShardedDv::new(cfg.clone(), N);
+        let router = sharded.router();
+        let per_shard = shard_cfg(&cfg, N);
+        let mut reference: Vec<DataVirtualizer> = (0..N)
+            .map(|s| {
+                DataVirtualizer::new(per_shard.clone())
+                    .with_sim_ids(s as u64 + 1, N as u64)
+            })
+            .collect();
+
+        for (i, event) in events.into_iter().enumerate() {
+            let now = SimTime::from_nanos(1 + i as u64);
+            let got = sharded.handle(now, event.clone());
+            let mut want = Vec::new();
+            match router.route(&event) {
+                EventRoute::Shard(s) => {
+                    want.extend(reference[s].handle(now, event));
+                }
+                EventRoute::Broadcast => {
+                    for shard in reference.iter_mut() {
+                        want.extend(shard.handle(now, event.clone()));
+                    }
+                }
+            }
+            prop_assert_eq!(&got, &want);
+        }
+
+        let total = sharded.stats();
+        let mut want_hits = 0;
+        let mut want_misses = 0;
+        let mut want_restarts = 0;
+        let mut want_evictions = 0;
+        let mut want_kills = 0;
+        for shard in &reference {
+            let s = shard.stats();
+            want_hits += s.hits;
+            want_misses += s.misses;
+            want_restarts += s.restarts;
+            want_evictions += s.evictions;
+            want_kills += s.kills;
+        }
+        prop_assert_eq!(total.hits, want_hits);
+        prop_assert_eq!(total.misses, want_misses);
+        prop_assert_eq!(total.restarts, want_restarts);
+        prop_assert_eq!(total.evictions, want_evictions);
+        prop_assert_eq!(total.kills, want_kills);
+    }
+
+    /// Shard isolation: when every event routes to one shard (keys
+    /// confined to that shard's restart intervals), the 4-shard DV is
+    /// observably equivalent — responses, launches, evictions, stats
+    /// totals — to a single unsharded DV given that shard's context
+    /// slice. The other shards contribute nothing, so key-range
+    /// sharding cannot change single-range semantics.
+    #[test]
+    fn sharded_dv_matches_unsharded_on_same_shard_events(
+        picks in prop::collection::vec(
+            (0u8..8, 1u64..6, 0u64..12, 1u64..10, 1u64..500),
+            1..200,
+        ),
+        cache_steps in 2u64..20,
+        smax in 1u32..8,
+        prefetch in any::<bool>(),
+    ) {
+        const N: u32 = 4;
+        // B = 4, 12 intervals; shard 0 owns intervals 0, 4 and 8, i.e.
+        // keys 1..=4, 17..=20, 33..=36.
+        let steps = StepMath::new(1, 4, 48);
+        let shard0_key = |raw: u64| {
+            let interval = [0u64, 4, 8][(raw % 3) as usize];
+            interval * 4 + 1 + raw % 4
+        };
+        let events: Vec<DvEvent> = picks
+            .into_iter()
+            .map(|(kind, client, key_raw, sim, size)| match kind {
+                0..=2 => DvEvent::Acquire { client, key: shard0_key(key_raw) },
+                3..=4 => DvEvent::Release { client, key: shard0_key(key_raw) },
+                5 => DvEvent::FileProduced { sim, key: shard0_key(key_raw), size },
+                6 => DvEvent::SimFinished { sim },
+                _ => DvEvent::ClientGone { client },
+            })
+            .collect();
+
+        let cfg = ContextCfg::new("shardiso", steps, 10, N as u64 * cache_steps * 10)
+            .with_policy("lru")
+            .with_smax(N * smax)
+            .with_prefetch(prefetch);
+        let mut sharded = ShardedDv::new(cfg.clone(), N);
+        // The lone reference DV gets exactly shard 0's slice: 1/N of
+        // the budget and s_max, and shard 0's sim-id stride.
+        let mut reference =
+            DataVirtualizer::new(shard_cfg(&cfg, N)).with_sim_ids(1, N as u64);
+
+        for (i, event) in events.into_iter().enumerate() {
+            let now = SimTime::from_nanos(1 + i as u64);
+            let got = sharded.handle(now, event.clone());
+            let want = reference.handle(now, event);
+            prop_assert_eq!(&got, &want);
+        }
+        let total = sharded.stats();
+        let want = reference.stats();
+        prop_assert_eq!(total.hits, want.hits);
+        prop_assert_eq!(total.misses, want.misses);
+        prop_assert_eq!(total.restarts, want.restarts);
+        prop_assert_eq!(total.evictions, want.evictions);
+        prop_assert_eq!(total.produced_steps, want.produced_steps);
+        prop_assert_eq!(sharded.active_sims(), reference.active_sims());
+        prop_assert_eq!(sharded.queued_launches(), reference.queued_launches());
     }
 }

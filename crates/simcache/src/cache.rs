@@ -9,13 +9,19 @@
 //! can never be dropped.
 
 use crate::fasthash::{u64_map, U64Map};
+use crate::hitindex::{HitIndex, Retire};
 use crate::{PinFn, Policy};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 struct EntryInfo {
     size: u64,
     pins: u32,
+    /// Miss cost at insertion, kept so an eviction veto (fast pin /
+    /// reference bit in the attached [`HitIndex`]) can re-enter the
+    /// victim into the policy as freshly used.
+    cost: u64,
 }
 
 /// Cumulative counters for a [`CacheSim`] lifetime.
@@ -54,6 +60,10 @@ pub struct CacheSim {
     capacity: u64,
     used: u64,
     stats: CacheStats,
+    /// Concurrent membership replica consulted by lock-free hit paths.
+    /// When attached, inserts publish to it and evictions must win a
+    /// [`HitIndex::try_retire`] against concurrent fast pins.
+    index: Option<Arc<HitIndex>>,
 }
 
 impl CacheSim {
@@ -65,7 +75,20 @@ impl CacheSim {
             capacity: capacity_bytes,
             used: 0,
             stats: CacheStats::default(),
+            index: None,
         }
+    }
+
+    /// Attaches a concurrent [`HitIndex`] replica: current and future
+    /// residents are published to it, and evictions honour its fast
+    /// pins and reference bits. The index's *writes* stay serialized by
+    /// whatever lock guards this `CacheSim`; only readers are
+    /// concurrent.
+    pub fn attach_index(&mut self, index: Arc<HitIndex>) {
+        for key in self.entries.keys() {
+            index.publish(*key);
+        }
+        self.index = Some(index);
     }
 
     /// The policy's paper name (e.g. `"DCL"`).
@@ -124,19 +147,56 @@ impl CacheSim {
 
     fn evict_until_fits(&mut self) -> Vec<u64> {
         let mut evicted = Vec::new();
+        // Bounds the second-chance loop below: every resident entry can
+        // be vetoed at most once per cleared reference bit, so this cap
+        // is only reached under sustained concurrent pinning — which is
+        // exactly when tolerating overflow is the right call.
+        let mut vetoes = 0usize;
         while self.used > self.capacity {
             let entries = &self.entries;
-            let pinned = move |k: u64| entries.get(&k).is_some_and(|e| e.pins > 0);
+            let index = self.index.as_deref();
+            let pinned = move |k: u64| {
+                entries.get(&k).is_some_and(|e| e.pins > 0)
+                    || index.is_some_and(|idx| idx.is_pinned(k))
+            };
             match self.policy.evict(&pinned as PinFn<'_>) {
                 Some(victim) => {
-                    let info = self
-                        .entries
-                        .remove(&victim)
-                        .expect("policy evicted unknown key");
-                    debug_assert_eq!(info.pins, 0, "policy evicted a pinned key");
-                    self.used -= info.size;
-                    self.stats.evictions += 1;
-                    evicted.push(victim);
+                    // The index is the authoritative gate against
+                    // concurrent fast pins: its write lock excludes the
+                    // read-lock-holding pinners, so a Retired verdict
+                    // cannot race a pin.
+                    let verdict = match &self.index {
+                        Some(idx) => idx.try_retire(victim),
+                        None => Retire::Absent,
+                    };
+                    match verdict {
+                        Retire::Retired | Retire::Absent => {
+                            let info = self
+                                .entries
+                                .remove(&victim)
+                                .expect("policy evicted unknown key");
+                            debug_assert_eq!(info.pins, 0, "policy evicted a pinned key");
+                            self.used -= info.size;
+                            self.stats.evictions += 1;
+                            evicted.push(victim);
+                        }
+                        Retire::Pinned | Retire::Hot => {
+                            // A concurrent fast hit pinned or touched
+                            // the victim; had it gone through the lock
+                            // it would have refreshed the entry — give
+                            // it that refresh and pick another victim.
+                            let cost = self
+                                .entries
+                                .get(&victim)
+                                .map_or(0, |e| e.cost);
+                            self.policy.on_insert(victim, cost);
+                            vetoes += 1;
+                            if vetoes > self.entries.len() * 2 + 8 {
+                                self.stats.overflows += 1;
+                                break;
+                            }
+                        }
+                    }
                 }
                 None => {
                     // Everything resident is pinned: tolerate overflow.
@@ -167,10 +227,13 @@ impl CacheSim {
             !self.entries.contains_key(&key),
             "insert of resident key {key}"
         );
-        self.entries.insert(key, EntryInfo { size, pins });
+        self.entries.insert(key, EntryInfo { size, pins, cost });
         self.policy.on_insert(key, cost);
         self.used += size;
         self.stats.inserts += 1;
+        if let Some(idx) = &self.index {
+            idx.publish(key);
+        }
         self.evict_until_fits()
     }
 
@@ -206,7 +269,12 @@ impl CacheSim {
     }
 
     /// Removes `key` without an eviction decision (context teardown).
+    /// With an attached index, the caller must have quiesced fast-path
+    /// traffic first — a withdrawal does not honour fast pins.
     pub fn remove(&mut self, key: u64) -> bool {
+        if let Some(idx) = &self.index {
+            idx.withdraw(key);
+        }
         match self.entries.remove(&key) {
             Some(info) => {
                 self.used -= info.size;

@@ -40,6 +40,7 @@ pub mod fasthash;
 pub mod cache;
 pub mod costlru;
 pub mod fifo;
+pub mod hitindex;
 pub mod lirs;
 pub mod lru;
 pub mod order;
@@ -48,6 +49,7 @@ pub use arc::Arc;
 pub use cache::{CacheSim, CacheStats};
 pub use costlru::{Bcl, Dcl};
 pub use fifo::Fifo;
+pub use hitindex::{HitIndex, Retire};
 pub use lirs::Lirs;
 pub use fasthash::{u64_map, u64_set, U64Map, U64Set};
 pub use lru::Lru;

@@ -50,7 +50,7 @@ fn context(
             Duration::from_millis(3),
         )),
         checksums: init.checksums,
-        frontend: Frontend::default(),
+        dv_shards: 1,
     })
 }
 

@@ -147,7 +147,7 @@ fn main() -> io::Result<()> {
             storage: coarse_storage.clone(),
             launcher: coarse_launcher,
             checksums: HashMap::new(),
-            frontend: Frontend::default(),
+            dv_shards: 1,
         },
         "127.0.0.1:0",
     )?;
@@ -170,7 +170,7 @@ fn main() -> io::Result<()> {
             storage: fine_storage.clone(),
             launcher: fine_launcher,
             checksums: HashMap::new(),
-            frontend: Frontend::default(),
+            dv_shards: 1,
         },
         "127.0.0.1:0",
     )?;

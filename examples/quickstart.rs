@@ -53,7 +53,7 @@ fn main() -> std::io::Result<()> {
             storage: storage.clone(),
             launcher,
             checksums: HashMap::new(),
-            frontend: Frontend::default(),
+            dv_shards: 1,
         },
         "127.0.0.1:0",
     )?;

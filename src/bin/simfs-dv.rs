@@ -17,7 +17,7 @@
 
 use simbatch::ProcessLauncher;
 use simfs::spec::ContextSpec;
-use simfs_core::server::{DvServer, Frontend, ServerConfig};
+use simfs_core::server::{DvServer, ServerConfig};
 use simstore::{checksum_db, StorageArea};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -28,7 +28,7 @@ struct Args {
     listen: String,
     init: bool,
     simd_program: String,
-    frontend: Frontend,
+    dv_shards: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,7 +37,7 @@ fn parse_args() -> Result<Args, String> {
         listen: "127.0.0.1:0".to_string(),
         init: false,
         simd_program: "simfs-simd".to_string(),
-        frontend: Frontend::default(),
+        dv_shards: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -56,17 +56,12 @@ fn parse_args() -> Result<Args, String> {
                 args.simd_program = argv.get(i).cloned().ok_or("--simd needs a path")?;
             }
             "--init" => args.init = true,
-            "--frontend" => {
+            "--dv-shards" => {
                 i += 1;
-                args.frontend = match argv.get(i).map(String::as_str) {
-                    Some("epoll") => Frontend::Epoll,
-                    Some("threads") => Frontend::Threads,
-                    other => {
-                        return Err(format!(
-                            "--frontend must be epoll or threads, got {other:?}"
-                        ))
-                    }
-                };
+                args.dv_shards = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--dv-shards needs a shard count (0 = auto)")?;
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -75,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
     if args.spec_path.is_empty() {
         return Err(
             "usage: simfs-dv --spec <file> [--listen addr] [--simd path] \
-             [--frontend epoll|threads] [--init]"
+             [--dv-shards n] [--init]"
                 .into(),
         );
     }
@@ -135,7 +130,7 @@ fn run() -> Result<(), String> {
             storage,
             launcher: Arc::new(ProcessLauncher::new()),
             checksums,
-            frontend: args.frontend,
+            dv_shards: args.dv_shards,
         },
         &args.listen,
     )

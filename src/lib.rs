@@ -40,7 +40,7 @@
 //! # let launcher: Arc<dyn simbatch::JobLauncher> = unimplemented!();
 //! let server = DvServer::start(ServerConfig {
 //!     ctx, driver, storage, launcher, checksums: HashMap::new(),
-//!     frontend: Frontend::default(),
+//!     dv_shards: 0,
 //! }, "127.0.0.1:0").unwrap();
 //!
 //! // An analysis: acquire a step that does not exist yet — SimFS
@@ -74,7 +74,7 @@ pub mod prelude {
     pub use simfs_core::driver::{PatternDriver, SimDriver};
     pub use simfs_core::intercept::VirtualFs;
     pub use simfs_core::model::{ContextCfg, StepMath};
-    pub use simfs_core::server::{DvServer, Frontend, ServerConfig, ThreadSimLauncher};
+    pub use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};
     pub use simkit::{Dur, SimTime};
     pub use simstore::{Dataset, StorageArea};
 }

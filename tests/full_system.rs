@@ -67,7 +67,7 @@ fn subprocess_resimulation_end_to_end() {
             storage: storage.clone(),
             launcher: Arc::new(ProcessLauncher::new()),
             checksums,
-            frontend: Frontend::default(),
+            dv_shards: 1,
         },
         "127.0.0.1:0",
     )
@@ -149,7 +149,7 @@ fn subprocess_boundary_dump() {
             storage: storage.clone(),
             launcher: Arc::new(ProcessLauncher::new()),
             checksums,
-            frontend: Frontend::default(),
+            dv_shards: 1,
         },
         "127.0.0.1:0",
     )
@@ -191,7 +191,7 @@ fn subprocess_failure_reports_cleanly() {
             storage,
             launcher: Arc::new(ProcessLauncher::new()),
             checksums: HashMap::new(),
-            frontend: Frontend::default(),
+            dv_shards: 1,
         },
         "127.0.0.1:0",
     )
