@@ -10,8 +10,14 @@
 //! cargo run --release -p simfs-bench --bin bench_daemon -- \
 //!     [--workloads uniform,hitheavy,zipf] \
 //!     [--clients 1,2,4,...] [--secs 2] [--dv-shards 4] \
-//!     [--out BENCH_daemon.json]
+//!     [--cluster 1] [--out BENCH_daemon.json]
 //! ```
+//!
+//! `--cluster N` (N > 1) runs each workload against an N-daemon
+//! cluster (N `DvServer`s in this process, one shared storage area);
+//! clients route through DVLib's `DvCluster` interval hash, and each
+//! point reports the aggregate rtps plus a per-daemon acquire-rate
+//! roll-up from the members' counter deltas.
 //!
 //! Three workloads:
 //!
@@ -31,11 +37,11 @@
 //! JSON summary seeds the perf trajectory in `BENCH_daemon.json`.
 
 use simbatch::ParallelismMap;
-use simfs_core::client::SimfsClient;
+use simfs_core::client::{DvCluster, SimfsClient};
 use simfs_core::driver::{PatternDriver, SimDriver};
 use simfs_core::dv::DvStats;
 use simfs_core::model::{ContextCfg, StepMath};
-use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};
+use simfs_core::server::{ClusterMember, DvServer, ServerConfig, ThreadSimLauncher};
 use simstore::{Data, Dataset, StorageArea};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -98,11 +104,21 @@ impl Workload {
     /// Cache budget in steps. Hit-heavy bounds the cache just above its
     /// warmed set so the 5% cold tail keeps missing (and evicting) in
     /// steady state instead of materializing once; the others never
-    /// evict.
-    fn cache_steps(self) -> u64 {
+    /// evict. The hit-heavy budget scales with the cluster size: each
+    /// member takes a `1/K` slice, so every member must be granted its
+    /// warm slice *plus* one in-flight 4-step interval of slack —
+    /// sized for the largest member (`ceil(304/K)` of the 304 warm
+    /// intervals), since an uneven interval split would otherwise
+    /// under-budget that member and spiral its warm set out through
+    /// evictions, un-measuring the intended 5% miss rate. `K = 1`
+    /// reduces to the historical 1220.
+    fn cache_steps(self, cluster: u32) -> u64 {
         match self {
             Workload::Uniform | Workload::Zipf => u64::MAX / (1 << 20),
-            Workload::HitHeavy => 1220,
+            Workload::HitHeavy => {
+                let largest_member_intervals = 304u64.div_ceil(cluster as u64);
+                (largest_member_intervals * 4 + 4) * cluster as u64
+            }
         }
     }
 }
@@ -120,8 +136,8 @@ fn start_daemon(
     n_keys: u64,
     cache_steps: u64,
     dv_shards: u32,
+    member: ClusterMember,
 ) -> (DvServer, StorageArea) {
-    let _ = std::fs::remove_dir_all(dir);
     let storage = StorageArea::create(dir, u64::MAX).unwrap();
     let size = step_bytes(1).len() as u64;
     let ctx = ContextCfg::new(
@@ -150,11 +166,52 @@ fn start_daemon(
             launcher,
             checksums: HashMap::new(),
             dv_shards,
+            cluster: member,
         },
         "127.0.0.1:0",
     )
     .unwrap();
     (server, storage)
+}
+
+/// One measured session: direct for single daemons (keeping the ladder
+/// byte-identical to earlier releases), interval-routed via
+/// [`DvCluster`] for clusters.
+enum Session {
+    Single(SimfsClient),
+    Cluster(DvCluster),
+}
+
+impl Session {
+    fn connect(addrs: &[std::net::SocketAddr], steps: StepMath) -> Session {
+        if addrs.len() == 1 {
+            Session::Single(SimfsClient::connect(addrs[0], "bench-ctx").unwrap())
+        } else {
+            Session::Cluster(DvCluster::connect(addrs, "bench-ctx", steps).unwrap())
+        }
+    }
+
+    fn acquire_release(&mut self, key: u64) {
+        match self {
+            Session::Single(c) => {
+                let status = c.acquire(&[key]).unwrap();
+                assert!(status.ok(), "acquire failed: {status:?}");
+                c.release(key).unwrap();
+            }
+            Session::Cluster(c) => {
+                let status = c.acquire(&[key]).unwrap();
+                assert!(status.ok(), "acquire failed: {status:?}");
+                c.release(key).unwrap();
+            }
+        }
+    }
+
+    fn finalize(self) {
+        match self {
+            Session::Single(c) => drop(c.finalize()),
+            Session::Cluster(c) => drop(c.finalize()),
+        }
+    }
 }
 
 /// Threads currently alive in this process (daemon threads + main,
@@ -217,7 +274,8 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
 /// timing every round trip. The measured window runs from barrier
 /// release to stop flag — connect, handshake and teardown are excluded.
 fn run_point(
-    addr: std::net::SocketAddr,
+    addrs: Arc<Vec<std::net::SocketAddr>>,
+    steps: StepMath,
     workload: Workload,
     clients: usize,
     secs: f64,
@@ -231,8 +289,9 @@ fn run_point(
         let stop = stop.clone();
         let start = start.clone();
         let cdf = Arc::clone(&cdf);
+        let addrs = Arc::clone(&addrs);
         handles.push(std::thread::spawn(move || -> Vec<u64> {
-            let mut client = SimfsClient::connect(addr, "bench-ctx").unwrap();
+            let mut client = Session::connect(&addrs, steps);
             let mut rng = Rng(0x9E37_79B9 ^ ((c as u64 + 1) * 0x1234_5677));
             // Uniform keeps PR 2's deterministic stride walk so the
             // ladder stays comparable across releases.
@@ -241,9 +300,7 @@ fn run_point(
             start.wait();
             while !stop.load(Ordering::Relaxed) {
                 let t0 = Instant::now();
-                let status = client.acquire(&[key]).unwrap();
-                assert!(status.ok(), "acquire failed: {status:?}");
-                client.release(key).unwrap();
+                client.acquire_release(key);
                 lat_ns.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                 key = match workload {
                     Workload::Uniform => 1 + key % n_keys,
@@ -255,7 +312,7 @@ fn run_point(
                     }
                 };
             }
-            let _ = client.finalize();
+            client.finalize();
             lat_ns
         }));
     }
@@ -283,6 +340,7 @@ fn main() {
     let mut secs = 2.0f64;
     let mut out = String::from("BENCH_daemon.json");
     let mut dv_shards = 4u32;
+    let mut cluster = 1u32;
     let mut workloads = vec![Workload::Uniform, Workload::HitHeavy, Workload::Zipf];
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -298,29 +356,46 @@ fn main() {
             "--secs" => secs = val.parse().expect("bad --secs"),
             "--out" => out = val,
             "--dv-shards" => dv_shards = val.parse().expect("bad --dv-shards"),
+            "--cluster" => cluster = val.parse().expect("bad --cluster"),
             "--workloads" => {
                 workloads = val.split(',').map(|s| Workload::parse(s.trim())).collect();
             }
             other => panic!("unknown flag {other}"),
         }
     }
+    assert!(cluster >= 1, "--cluster needs at least one daemon");
 
     let mut lines = Vec::new();
     for &workload in &workloads {
         let name = workload.name();
+        let steps = StepMath::new(1, 4, workload.n_keys());
         let dir = std::env::temp_dir().join(format!(
             "simfs-bench-daemon-{}-{}",
             name,
             std::process::id()
         ));
-        let (server, _storage) =
-            start_daemon(&dir, workload.n_keys(), workload.cache_steps(), dv_shards);
-        let addr = server.addr();
+        let _ = std::fs::remove_dir_all(&dir);
+        // `--cluster N`: N daemons over one shared storage area, each
+        // owning its residue class of restart intervals.
+        let servers: Vec<DvServer> = (0..cluster)
+            .map(|k| {
+                start_daemon(
+                    &dir,
+                    workload.n_keys(),
+                    workload.cache_steps(cluster),
+                    dv_shards,
+                    ClusterMember::new(k, cluster),
+                )
+                .0
+            })
+            .collect();
+        let addrs = Arc::new(servers.iter().map(DvServer::addr).collect::<Vec<_>>());
 
         // Warm the workload's cached keyspace so measured misses are a
-        // workload property, not cold-start noise.
+        // workload property, not cold-start noise. DvCluster routes
+        // each warm key to its owning daemon.
         {
-            let mut warm = SimfsClient::connect(addr, "bench-ctx").unwrap();
+            let mut warm = DvCluster::connect(&addrs, "bench-ctx", steps).unwrap();
             let keys: Vec<u64> = (1..=workload.warm_keys()).collect();
             for chunk in keys.chunks(256) {
                 let status = warm.acquire(chunk).unwrap();
@@ -351,10 +426,23 @@ fn main() {
             .clone()
             .unwrap_or_else(|| workload.default_clients());
         for &n in &clients {
-            let before = server.stats();
-            let point = run_point(addr, workload, n, secs, Arc::clone(&cdf));
-            let after = server.stats();
-            let d = |f: fn(&DvStats) -> u64| f(&after).saturating_sub(f(&before));
+            let before: Vec<DvStats> = servers.iter().map(DvServer::stats).collect();
+            let point = run_point(
+                Arc::clone(&addrs),
+                steps,
+                workload,
+                n,
+                secs,
+                Arc::clone(&cdf),
+            );
+            let after: Vec<DvStats> = servers.iter().map(DvServer::stats).collect();
+            // Per-daemon deltas plus the cluster-wide roll-up.
+            let d_at = |i: usize, f: fn(&DvStats) -> u64| {
+                f(&after[i]).saturating_sub(f(&before[i]))
+            };
+            let d = |f: fn(&DvStats) -> u64| -> u64 {
+                (0..servers.len()).map(|i| d_at(i, f)).sum()
+            };
             let (fast, slow) = (d(|s| s.acquired_fast), d(|s| s.acquired_slow));
             let (misses, fallbacks) = (d(|s| s.misses), d(|s| s.hit_fallbacks));
             let transitions = d(|s| s.lock_transitions);
@@ -368,23 +456,52 @@ fn main() {
                  {fallbacks:>8} {hold_per_transition:>9}",
                 point.round_trips, point.p50_us, point.p99_us
             );
+            // Per-daemon acquire rates: how evenly the interval hash
+            // spread the load across the cluster.
+            let per_daemon: Vec<f64> = (0..servers.len())
+                .map(|i| {
+                    (d_at(i, |s| s.acquired_fast) + d_at(i, |s| s.acquired_slow)) as f64
+                        / point.elapsed
+                })
+                .collect();
+            if cluster > 1 {
+                let shares = per_daemon
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| format!("d{i} {r:.0}/s"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                println!("{:>8} per-daemon acquires: {shares}", "");
+            }
+            let per_daemon_json = per_daemon
+                .iter()
+                .map(|r| format!("{r:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             lines.push(format!(
-                "    {{\"workload\": \"{name}\", \"clients\": {n}, \"secs\": {:.3}, \
+                "    {{\"workload\": \"{name}\", \"cluster\": {cluster}, \"clients\": {n}, \
+                 \"secs\": {:.3}, \
                  \"round_trips\": {}, \"rtps\": {rtps:.1}, \"p50_us\": {:.1}, \
                  \"p99_us\": {:.1}, \"acquired_fast\": {fast}, \"acquired_slow\": {slow}, \
                  \"misses\": {misses}, \"hit_fallbacks\": {fallbacks}, \
                  \"lock_hold_ns_per_transition\": {hold_per_transition}, \
                  \"lock_wait_ns_per_transition\": {wait_per_transition}, \
+                 \"per_daemon_acquires_per_sec\": [{per_daemon_json}], \
                  \"daemon_threads_before_clients\": {daemon_threads}}}",
                 point.elapsed, point.round_trips, point.p50_us, point.p99_us
             ));
         }
 
-        server.shutdown();
-        drop(server);
+        for server in &servers {
+            server.shutdown();
+        }
+        drop(servers);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // No top-level "cluster" key: every result line carries its own,
+    // so runs at different cluster sizes can be merged into one file
+    // (as the committed BENCH_daemon.json is).
     let json = format!(
         "{{\n  \"bench\": \"daemon_acquire_release_roundtrips\",\n  \"dv_shards\": {dv_shards},\n  \"results\": [\n{}\n  ]\n}}\n",
         lines.join(",\n")

@@ -23,6 +23,14 @@
 //! launched re-simulation sends as DVLib intercepts its create/close
 //! calls (§III-B).
 //!
+//! [`DvCluster`] is the multi-daemon routing tier: the same API surface
+//! over K daemons, each owning a disjoint set of restart intervals.
+//! DVLib hashes every key's interval to its owning daemon (the exact
+//! rule [`crate::dv::DvRouter`] applies intra-process) and multiplexes
+//! one write-coalescing [`SimfsClient`] connection per daemon; teardown
+//! ([`DvCluster::finalize`] or drop) fans out to every member, so each
+//! daemon releases this client's pins.
+//!
 //! # Connection lifetime
 //!
 //! The daemon's epoll front-end closes the connection *actively* after
@@ -34,6 +42,8 @@
 //! session without `Bye` is also safe: the daemon maps the hangup to
 //! `ClientGone` (releasing pins) or `SimFailed` exactly as before.
 
+use crate::dv::DvRouter;
+use crate::model::StepMath;
 use crate::wire::{self, ClientKind, FrameBatch, FrameReader, Request, Response};
 use std::collections::HashSet;
 use std::io::{self, Write};
@@ -407,6 +417,27 @@ impl SimfsClient {
     pub fn finalize(mut self) -> io::Result<()> {
         self.send(&Request::Bye)
     }
+
+    /// Closes the session without the `Bye` handshake, after delivering
+    /// any staged `Release` frames. The daemon maps the resulting
+    /// hangup to `ClientGone` exactly as for a plain drop — but the
+    /// staged releases reach it first, so its pin counts drain through
+    /// the normal path instead of the disconnect GC.
+    pub fn close(mut self) -> io::Result<()> {
+        self.flush_pending()
+    }
+}
+
+impl Drop for SimfsClient {
+    fn drop(&mut self) {
+        // Best-effort: `Release` frames staged for write-coalescing
+        // must not die in the buffer — a dropped session with staged
+        // releases would otherwise strand daemon-side pins until the
+        // hangup-driven `ClientGone` GC runs. Errors are ignored; the
+        // socket is going away either way and `ClientGone` remains the
+        // backstop.
+        let _ = self.flush_pending();
+    }
 }
 
 /// Runtime statistics of a simulation context, as reported by the DV.
@@ -422,6 +453,238 @@ pub struct ContextStats {
     pub produced_steps: u64,
     /// Currently running re-simulations.
     pub active_sims: u64,
+}
+
+/// Handle for a non-blocking acquire spanning a [`DvCluster`]: one
+/// member-local [`AcquireRequest`] per daemon that received keys.
+#[derive(Debug)]
+pub struct ClusterAcquireRequest {
+    /// Indexed by cluster member; `None` where no keys routed.
+    parts: Vec<Option<AcquireRequest>>,
+}
+
+impl ClusterAcquireRequest {
+    /// Keys still pending across all members.
+    pub fn outstanding(&self) -> usize {
+        self.parts.iter().flatten().map(AcquireRequest::outstanding).sum()
+    }
+
+    /// True once every key resolved (ready or failed) on every member.
+    pub fn done(&self) -> bool {
+        self.parts.iter().flatten().all(AcquireRequest::done)
+    }
+
+    /// Merged status across the members so far.
+    fn merged(&self) -> SimfsStatus {
+        let mut status = SimfsStatus::default();
+        for part in self.parts.iter().flatten() {
+            status.ready.extend_from_slice(&part.status.ready);
+            status.failed.extend_from_slice(part.status.failed.as_slice());
+            status.est_wait = match (status.est_wait, part.status.est_wait) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        status
+    }
+}
+
+/// An analysis session spanning a cluster of DV daemons (§III scaled
+/// out): daemon `k` of `K` owns the restart intervals with
+/// `interval % K == k`, so every request routes to exactly one member —
+/// by the same interval-granularity hash [`crate::dv::DvRouter`] uses
+/// for intra-process shards (raw `key % K` would scatter each
+/// re-simulation's claims, waiters and productions across daemons).
+/// Each member connection is a full [`SimfsClient`], so the
+/// write-coalescing of fire-and-forget `Release` frames applies
+/// per-daemon unchanged.
+///
+/// The API mirrors [`SimfsClient`]; multi-key acquires are split by
+/// owning member and merged back into one [`SimfsStatus`].
+pub struct DvCluster {
+    members: Vec<SimfsClient>,
+    router: DvRouter,
+}
+
+impl DvCluster {
+    /// Connects to every daemon of the cluster, in member order.
+    /// `steps` must match the context's step math on the daemons —
+    /// it is what both sides hash intervals with.
+    ///
+    /// # Panics
+    /// Panics if `addrs` is empty.
+    pub fn connect<A: ToSocketAddrs>(
+        addrs: &[A],
+        context: &str,
+        steps: StepMath,
+    ) -> io::Result<DvCluster> {
+        assert!(!addrs.is_empty(), "a cluster needs at least one daemon");
+        let members = addrs
+            .iter()
+            .map(|addr| SimfsClient::connect(addr, context))
+            .collect::<io::Result<Vec<_>>>()?;
+        let router = DvRouter::new(steps, members.len() as u32);
+        Ok(DvCluster { members, router })
+    }
+
+    /// Number of daemons in the cluster.
+    pub fn members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member owning `key`'s restart interval.
+    pub fn member_of(&self, key: u64) -> usize {
+        self.router.shard_of_key(key)
+    }
+
+    /// `SIMFS_Acquire_nb` across the cluster: each member receives the
+    /// keys it owns in one request.
+    ///
+    /// On a partial failure (a member's daemon died mid-send) the
+    /// members that already took their subset are unwound — their
+    /// requests waited out and every key that became ready released —
+    /// before the error is returned. Without that, the orphaned
+    /// `Ready` frames would be dropped by later requests' dispatch and
+    /// the pins would survive on the healthy daemons until the whole
+    /// session's teardown.
+    pub fn acquire_nb(&mut self, keys: &[u64]) -> io::Result<ClusterAcquireRequest> {
+        let mut per_member: Vec<Vec<u64>> = vec![Vec::new(); self.members.len()];
+        for &key in keys {
+            per_member[self.member_of(key)].push(key);
+        }
+        let mut parts: Vec<Option<AcquireRequest>> = Vec::with_capacity(self.members.len());
+        for (i, keys) in per_member.iter().enumerate() {
+            if keys.is_empty() {
+                parts.push(None);
+                continue;
+            }
+            match self.members[i].acquire_nb(keys) {
+                Ok(part) => parts.push(Some(part)),
+                Err(e) => {
+                    for (member, part) in self.members.iter_mut().zip(&mut parts) {
+                        let Some(part) = part else { continue };
+                        if member.wait(part).is_ok() {
+                            for key in part.status.ready.clone() {
+                                let _ = member.release(key);
+                            }
+                            let _ = member.flush();
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ClusterAcquireRequest { parts })
+    }
+
+    /// `SIMFS_Acquire`: blocks until every key is ready or failed.
+    pub fn acquire(&mut self, keys: &[u64]) -> io::Result<SimfsStatus> {
+        let mut req = self.acquire_nb(keys)?;
+        self.wait(&mut req)
+    }
+
+    /// `SIMFS_Wait`: blocks until the request fully resolves on every
+    /// member (members resolve independently, so waiting them out one
+    /// at a time loses no concurrency — each daemon keeps producing
+    /// while another is being drained).
+    ///
+    /// If any member fails, the others are still waited out and every
+    /// key this request acquired is released before the error returns
+    /// — an erroring `wait` means the caller treats the whole acquire
+    /// as failed and will never release, so the cluster must not leave
+    /// its pins behind on the healthy daemons (the same unwind
+    /// [`acquire_nb`](Self::acquire_nb) applies to partial sends).
+    pub fn wait(&mut self, req: &mut ClusterAcquireRequest) -> io::Result<SimfsStatus> {
+        let mut first_err: Option<io::Error> = None;
+        for (member, part) in self.members.iter_mut().zip(&mut req.parts) {
+            let Some(part) = part else { continue };
+            if let Err(e) = member.wait(part) {
+                // Keep draining the remaining members: their requests
+                // are already in flight and abandoning them would
+                // strand whatever they pin.
+                first_err.get_or_insert(e);
+            }
+        }
+        let Some(err) = first_err else {
+            return Ok(req.merged());
+        };
+        for (member, part) in self.members.iter_mut().zip(&req.parts) {
+            let Some(part) = part else { continue };
+            for &key in &part.status.ready {
+                let _ = member.release(key);
+            }
+            let _ = member.flush();
+        }
+        Err(err)
+    }
+
+    /// `SIMFS_Test`: non-blocking completion probe over all members.
+    pub fn test(&mut self, req: &mut ClusterAcquireRequest) -> io::Result<(bool, SimfsStatus)> {
+        for (member, part) in self.members.iter_mut().zip(&mut req.parts) {
+            if let Some(part) = part {
+                member.test(part)?;
+            }
+        }
+        Ok((req.done(), req.merged()))
+    }
+
+    /// `SIMFS_Release`: staged for write-coalescing on the owning
+    /// member's connection.
+    pub fn release(&mut self, key: u64) -> io::Result<()> {
+        let member = self.member_of(key);
+        self.members[member].release(key)
+    }
+
+    /// Delivers staged fire-and-forget frames on every member now.
+    pub fn flush(&mut self) -> io::Result<()> {
+        for member in &mut self.members {
+            member.flush()?;
+        }
+        Ok(())
+    }
+
+    /// `SIMFS_Bitrep` on the member owning `key`.
+    pub fn bitrep(&mut self, key: u64) -> io::Result<Option<bool>> {
+        let member = self.member_of(key);
+        self.members[member].bitrep(key)
+    }
+
+    /// Context statistics summed over every member (each daemon counts
+    /// only the traffic of the intervals it owns).
+    pub fn status(&mut self) -> io::Result<ContextStats> {
+        let mut total = ContextStats {
+            hits: 0,
+            misses: 0,
+            restarts: 0,
+            produced_steps: 0,
+            active_sims: 0,
+        };
+        for member in &mut self.members {
+            let s = member.status()?;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.restarts += s.restarts;
+            total.produced_steps += s.produced_steps;
+            total.active_sims += s.active_sims;
+        }
+        Ok(total)
+    }
+
+    /// `SIMFS_Finalize` fanned out: an orderly goodbye to every daemon
+    /// in the cluster, so each releases this client's pins. The first
+    /// error is reported after all members were attempted (a failed
+    /// goodbye must not strand pins on the remaining daemons — their
+    /// sockets still close, mapping to `ClientGone`).
+    pub fn finalize(self) -> io::Result<()> {
+        let mut result = Ok(());
+        for member in self.members {
+            let r = member.finalize();
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
+    }
 }
 
 /// The simulator side of the protocol: what a launched re-simulation

@@ -170,6 +170,10 @@ pub struct DvStats {
     /// Number of timed DV-lock acquisitions behind the two counters
     /// above.
     pub lock_transitions: u64,
+    /// Transient accept-loop failures (EMFILE/ECONNABORTED) that were
+    /// retried with backoff instead of killing the listener. Counted
+    /// daemon-wide and mirrored into every context's snapshot.
+    pub accept_retries: u64,
 }
 
 impl DvStats {
@@ -192,6 +196,7 @@ impl DvStats {
             lock_wait_ns,
             lock_hold_ns,
             lock_transitions,
+            accept_retries,
         } = other;
         self.hits += hits;
         self.misses += misses;
@@ -209,6 +214,7 @@ impl DvStats {
         self.lock_wait_ns += lock_wait_ns;
         self.lock_hold_ns += lock_hold_ns;
         self.lock_transitions += lock_transitions;
+        self.accept_retries += accept_retries;
     }
 }
 
@@ -947,18 +953,50 @@ pub enum EventRoute {
 /// Sim ids are partitioned by [`DataVirtualizer::with_sim_ids`]: shard
 /// `s` of `n` allocates `s + 1, s + 1 + n, ...`, so the owner of sim
 /// lifecycle events is recovered arithmetically with no shared map.
+///
+/// Inside a daemon cluster ([`DvRouter::for_member`]) the member's
+/// local shards split only the intervals the member owns — those
+/// `≡ member.index (mod member.size)` — so the local hash first
+/// divides the cluster dimension out: interval `j` routes to local
+/// shard `(j / size) % n`, and sim ids (allocated as
+/// `s*size + index + 1` step `size*n`) recover locally as
+/// `((sim - 1 - index) / size) % n`. Hashing the raw interval (or raw
+/// sim residue) instead would leave the local shards whose indices
+/// never intersect the member's residue class unreachable — stranding
+/// their budget slices. With [`ClusterMember::SOLO`] both rules reduce
+/// to the plain `% n` above.
 #[derive(Clone, Copy, Debug)]
 pub struct DvRouter {
     steps: StepMath,
     shards: u32,
+    member: ClusterMember,
 }
 
 impl DvRouter {
     /// Creates a router over `shards` shards (clamped to ≥ 1).
     pub fn new(steps: StepMath, shards: u32) -> DvRouter {
+        Self::for_member(steps, shards, ClusterMember::SOLO)
+    }
+
+    /// A cluster member's local router: `shards` shards over the
+    /// intervals `member` owns.
+    ///
+    /// # Panics
+    /// Panics unless `member.index < member.size` (hand-built
+    /// `ClusterMember` literals can bypass [`ClusterMember::new`]'s
+    /// check; an invalid member here would divide by zero or silently
+    /// misroute every key).
+    pub fn for_member(steps: StepMath, shards: u32, member: ClusterMember) -> DvRouter {
+        assert!(
+            member.index < member.size,
+            "cluster index {} out of range 0..{}",
+            member.index,
+            member.size
+        );
         DvRouter {
             steps,
             shards: shards.max(1),
+            member,
         }
     }
 
@@ -969,18 +1007,27 @@ impl DvRouter {
 
     /// The shard owning `key`'s restart interval. Invalid keys route to
     /// shard 0, which rejects them with the usual `NotifyFailed`.
+    /// Intervals of *other* cluster members (which the daemon rejects
+    /// before routing an acquire, and absorbs like unknown-sim traffic
+    /// elsewhere) resolve to an arbitrary-but-deterministic shard.
     pub fn shard_of_key(&self, key: u64) -> usize {
         if !self.steps.valid_key(key) {
             return 0;
         }
-        (self.steps.interval_of(key) % self.shards as u64) as usize
+        let interval = self.steps.interval_of(key);
+        let local = interval.wrapping_sub(self.member.index as u64) / self.member.size as u64;
+        (local % self.shards as u64) as usize
     }
 
     /// The shard that launched `sim` (id-space partition). Unknown /
     /// rogue ids resolve to *some* shard, which ignores them exactly as
     /// the unsharded DV ignores unknown sims.
     pub fn shard_of_sim(&self, sim: SimId) -> usize {
-        (sim.wrapping_sub(1) % self.shards as u64) as usize
+        let local = sim
+            .wrapping_sub(1)
+            .wrapping_sub(self.member.index as u64)
+            / self.member.size as u64;
+        (local % self.shards as u64) as usize
     }
 
     /// Routes one event.
@@ -1015,6 +1062,53 @@ pub fn shard_cfg(cfg: &ContextCfg, n: u32) -> ContextCfg {
     cfg
 }
 
+/// Position of one daemon in a multi-daemon cluster: the daemon-level
+/// analogue of a shard index. Member `index` of `size` owns the restart
+/// intervals with `interval % size == index` (the same
+/// interval-granularity rule [`DvRouter`] applies intra-process), runs
+/// on the `1/size` context slice of [`shard_cfg`], and allocates sim
+/// ids from its own residue class of the cluster-wide stride so every
+/// daemon recovers sim owners arithmetically with no shared state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterMember {
+    /// This daemon's index (`0..size`).
+    pub index: u32,
+    /// Total daemons in the cluster.
+    pub size: u32,
+}
+
+impl ClusterMember {
+    /// The unclustered singleton: member 0 of 1.
+    pub const SOLO: ClusterMember = ClusterMember { index: 0, size: 1 };
+
+    /// Member `index` of a `size`-daemon cluster.
+    ///
+    /// # Panics
+    /// Panics unless `index < size` (which also forces `size >= 1`).
+    pub fn new(index: u32, size: u32) -> ClusterMember {
+        assert!(index < size, "cluster index {index} out of range 0..{size}");
+        ClusterMember { index, size }
+    }
+
+    /// True for real clusters (`size > 1`).
+    pub fn is_clustered(&self) -> bool {
+        self.size > 1
+    }
+
+    /// Does this member own `key`'s restart interval? Invalid keys
+    /// belong to member 0, which rejects them with the timeline error —
+    /// exactly as [`DvRouter::shard_of_key`] assigns them to shard 0.
+    pub fn owns_key(&self, steps: &StepMath, key: u64) -> bool {
+        DvRouter::new(*steps, self.size).shard_of_key(key) == self.index as usize
+    }
+}
+
+impl Default for ClusterMember {
+    fn default() -> ClusterMember {
+        ClusterMember::SOLO
+    }
+}
+
 /// N independent [`DataVirtualizer`]s behind a [`DvRouter`]: the
 /// single-threaded composition the daemon's per-shard locking mirrors,
 /// and the reference object of the sharding equivalence tests. Each
@@ -1032,13 +1126,44 @@ impl ShardedDv {
     /// # Panics
     /// Panics if the context names an unknown replacement policy.
     pub fn new(cfg: ContextCfg, n: u32) -> ShardedDv {
+        Self::cluster_member(cfg, n, ClusterMember::SOLO)
+    }
+
+    /// The shard composition of one daemon in a multi-daemon cluster:
+    /// `n` intra-process shards over `member`'s slice of `cfg`.
+    ///
+    /// This is [`new`](Self::new) generalized one level up. The member
+    /// first takes the `1/size` context slice ([`shard_cfg`] — the same
+    /// budget/`s_max` split the intra-process shards use), then splits
+    /// it `n` ways with a [`DvRouter::for_member`] local router. Sim
+    /// ids stride over the *whole cluster*: local shard `s` allocates
+    /// `s*size + member.index + 1` step `size*n`, so no two daemons
+    /// can ever collide on a sim id and both the local shard and the
+    /// owning daemon recover arithmetically from any id.
+    ///
+    /// The choice of id interleaving and local routing makes a
+    /// `size`-member cluster with `n` local shards each *exactly* the
+    /// flat `size*n`-shard [`ShardedDv::new`] composition, partitioned
+    /// by process: member `k`'s local shard `s` is flat shard
+    /// `s*size + k` — same config slice, same sim ids, same interval
+    /// ownership. With [`ClusterMember::SOLO`] this is byte-for-byte
+    /// what `new` produces, so the sharding equivalence property tests
+    /// pin the clustered construction too.
+    ///
+    /// # Panics
+    /// Panics if the context names an unknown replacement policy or if
+    /// `member.index >= member.size`.
+    pub fn cluster_member(cfg: ContextCfg, n: u32, member: ClusterMember) -> ShardedDv {
         let n = n.max(1);
-        let router = DvRouter::new(cfg.steps, n);
-        let per_shard = shard_cfg(&cfg, n);
+        let router = DvRouter::for_member(cfg.steps, n, member);
+        let member_cfg = shard_cfg(&cfg, member.size);
+        let per_shard = shard_cfg(&member_cfg, n);
+        let global_stride = member.size as SimId * n as SimId;
+        let first_of = |s: u32| s as SimId * member.size as SimId + member.index as SimId + 1;
         let shards = (0..n)
             .map(|s| {
                 DataVirtualizer::new(per_shard.clone())
-                    .with_sim_ids(s as SimId + 1, n as SimId)
+                    .with_sim_ids(first_of(s), global_stride)
             })
             .collect();
         ShardedDv { shards, router }

@@ -12,13 +12,27 @@
 //!
 //! # Concurrency model and lock hierarchy
 //!
-//! Connections are served by the sharded epoll reactor
-//! ([`crate::reactor`]): min(cores, 8) event-loop threads, each owning
-//! an epoll instance and a disjoint subset of connections. Requests
-//! dispatch on the owning reactor thread; responses to *other* clients
-//! route through the reactor's registry to their owning shard. Daemon
-//! thread count is fixed (reactor shards + accept + reaper) regardless
-//! of client count.
+//! Above everything sits the **cluster tier**, which involves no locks
+//! at all: a deployment may run K daemon *processes* per context
+//! ([`ServerConfig::cluster`]), each owning the restart intervals with
+//! `interval % K == index`, a `1/K` slice of the cache budget and
+//! `s_max`, and its own residue class of the cluster-wide sim-id
+//! stride. Daemons never talk to each other — DVLib's
+//! [`crate::client::DvCluster`] hashes each key's interval to its
+//! owning daemon (the same rule [`crate::dv::DvRouter`] applies to the
+//! intra-process shards below) and fans client teardown out to every
+//! member, so the cluster is, by construction, the `ShardedDv`
+//! composition the sharding equivalence tests pin — split across
+//! processes instead of locks. A member rejects acquires for intervals
+//! it does not own rather than serving them under the wrong budget.
+//!
+//! Within one daemon, connections are served by the sharded epoll
+//! reactor ([`crate::reactor`]): min(cores, 8) event-loop threads, each
+//! owning an epoll instance and a disjoint subset of connections.
+//! Requests dispatch on the owning reactor thread; responses to *other*
+//! clients route through the reactor's registry to their owning shard.
+//! Daemon thread count is fixed (reactor shards + accept + reaper)
+//! regardless of client count.
 //!
 //! Beneath the reactor, each context's control plane is layered so that
 //! the §IV hot path — an acquire of an already-virtualized step — gets
@@ -89,7 +103,7 @@ use crate::driver::SimDriver;
 use crate::dv::{
     ClientId, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, EventRoute, ShardedDv, SimId,
 };
-use crate::model::ContextCfg;
+use crate::model::{ContextCfg, StepMath};
 use crate::reactor::{ConnCtx, Reactor};
 use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLIN};
 use crate::wire::{self, ClientKind, FrameBatch, Request, Response};
@@ -106,6 +120,8 @@ use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
+
+pub use crate::dv::ClusterMember;
 
 /// Environment variables passed to launched simulator jobs.
 pub mod env_keys {
@@ -145,6 +161,16 @@ pub struct ServerConfig {
     /// explicitly requesting more shards than `s_max` raises the
     /// effective concurrent-sim cap to the shard count.
     pub dv_shards: u32,
+    /// This daemon's position in a multi-daemon cluster
+    /// ([`ClusterMember::SOLO`] for standalone deployments). Member `k`
+    /// of `K` owns the restart intervals with `interval % K == k`,
+    /// takes the `1/K` slice of the cache budget and `s_max` (exactly
+    /// the [`crate::dv::shard_cfg`] split the intra-process shards
+    /// use), and strides its sim-id space over the whole cluster.
+    /// Acquires for intervals owned by another member are rejected
+    /// (`Failed`) — DVLib's [`crate::client::DvCluster`] routes them to
+    /// the right daemon in the first place.
+    pub cluster: ClusterMember,
 }
 
 /// Hit-index lock shards (per context). Sixteen spreads neighbouring
@@ -252,9 +278,14 @@ struct LockPerf {
 struct CtxRuntime {
     name: String,
     /// One lock per key-range shard; index `s` owns the restart
-    /// intervals with `interval % n == s`.
+    /// intervals with `interval % n == s` (of the intervals this
+    /// cluster member owns).
     shards: Vec<Mutex<DvCore>>,
     router: DvRouter,
+    /// Position in the daemon cluster; `SOLO` outside clusters.
+    cluster: ClusterMember,
+    /// The context's step math (for cluster-ownership checks).
+    steps: StepMath,
     /// The lock-free hit layer; present iff the context runs without
     /// prefetch agents (which must see the full access stream).
     fast: Option<Arc<HitIndex>>,
@@ -265,6 +296,9 @@ struct CtxRuntime {
     storage: StorageArea,
     launcher: Arc<dyn JobLauncher>,
     checksums: HashMap<u64, u64>,
+    /// Daemon-wide accept-retry counter (shared with [`Inner`]), so
+    /// context snapshots surface it through [`DvStats`].
+    accept_retries: Arc<AtomicU64>,
 }
 
 struct Inner {
@@ -283,6 +317,8 @@ struct Inner {
     /// Notified whenever sims complete or die, so shutdown's quiesce
     /// wait is event-driven instead of a sleep poll.
     quiesce: (StdMutex<()>, Condvar),
+    /// Transient accept failures retried with backoff (EMFILE etc.).
+    accept_retries: Arc<AtomicU64>,
 }
 
 impl Inner {
@@ -315,6 +351,13 @@ impl Inner {
 }
 
 impl CtxRuntime {
+    /// The cluster member owning `key`'s restart interval (used only in
+    /// rejection diagnostics; the ownership test itself goes through
+    /// [`ClusterMember::owns_key`]).
+    fn router_member_of(&self, key: u64) -> u32 {
+        DvRouter::new(self.steps, self.cluster.size).shard_of_key(key) as u32
+    }
+
     /// Resolves the actions of one DV transition into `fx` (called with
     /// the owning shard lock held; does no I/O).
     fn collect(&self, core: &mut DvCore, fx: &mut Effects) {
@@ -644,6 +687,7 @@ impl CtxRuntime {
         total.lock_wait_ns = self.perf.wait_ns.load(Ordering::Relaxed);
         total.lock_hold_ns = self.perf.hold_ns.load(Ordering::Relaxed);
         total.lock_transitions = self.perf.transitions.load(Ordering::Relaxed);
+        total.accept_retries = self.accept_retries.load(Ordering::Relaxed);
         (total, active)
     }
 
@@ -664,7 +708,36 @@ impl CtxRuntime {
         match req {
             Request::Acquire { req_id, keys } => {
                 let mut slow_keys = 0u64;
+                let mut rejected = false;
                 for &key in &keys {
+                    // Layer 0 (clusters only): ownership. A key whose
+                    // interval hashes to another daemon is refused — a
+                    // correctly routing DVLib never sends one, and
+                    // accepting it would double-produce the interval
+                    // under a foreign budget slice. Invalid keys are
+                    // exempt (no member owns them): they fall through
+                    // to the DV for the same timeline error every
+                    // daemon reports.
+                    if self.cluster.is_clustered()
+                        && self.steps.valid_key(key)
+                        && !self.cluster.owns_key(&self.steps, key)
+                    {
+                        fx.outbox.push((
+                            client,
+                            Response::Failed {
+                                req_id,
+                                key,
+                                reason: format!(
+                                    "key {key} belongs to cluster member {} (this is {} of {})",
+                                    self.router_member_of(key),
+                                    self.cluster.index,
+                                    self.cluster.size
+                                ),
+                            },
+                        ));
+                        rejected = true;
+                        continue;
+                    }
                     // Layer 1: the lock-free hit path. A resident key is
                     // pinned through the concurrent index (the pin is
                     // eviction-visible before we reply) and answered
@@ -722,6 +795,8 @@ impl CtxRuntime {
                     self.perf
                         .acquired_slow
                         .fetch_add(slow_keys, Ordering::Relaxed);
+                }
+                if slow_keys > 0 || rejected {
                     self.commit(inner, fx);
                 }
                 true
@@ -911,18 +986,30 @@ impl DvServer {
 
         let mut contexts = HashMap::new();
         let mut prime_work: Vec<(Arc<CtxRuntime>, Vec<u64>)> = Vec::new();
+        let accept_retries = Arc::new(AtomicU64::new(0));
         for config in configs {
             let name = config.ctx.name.clone();
+            let cluster = config.cluster;
+            assert!(
+                cluster.index < cluster.size,
+                "cluster index {} out of range 0..{}",
+                cluster.index,
+                cluster.size
+            );
+            // The launch slots available to *this member* (the cluster
+            // takes its 1/K slice before intra-process sharding).
+            let member_smax = crate::dv::shard_cfg(&config.ctx, cluster.size).smax;
             let n_shards = if config.dv_shards == 0 {
                 if config.ctx.prefetch {
                     // Auto never shards a prefetching context: agents
                     // need the whole access stream (see `dv_shards`).
                     1
                 } else {
-                    // Clamped by `s_max`: each shard runs at least one
-                    // sim (see `shard_cfg`), so more shards than launch
-                    // slots would silently raise the configured cap.
-                    (cores as u32).min(4).min(config.ctx.smax)
+                    // Clamped by the member's `s_max` slice: each shard
+                    // runs at least one sim (see `shard_cfg`), so more
+                    // shards than launch slots would silently raise the
+                    // configured cap.
+                    (cores as u32).min(4).min(member_smax)
                 }
             } else {
                 config.dv_shards
@@ -936,12 +1023,13 @@ impl DvServer {
             } else {
                 Some(Arc::new(HitIndex::new(HIT_INDEX_SHARDS)))
             };
-            // The shard composition (per-shard cfg slice, sim-id
-            // striding, routing) comes from `ShardedDv` — the reference
-            // object the CI-pinned equivalence tests verify — so the
-            // daemon cannot silently drift from the sharding contract.
+            // The shard composition (per-member and per-shard cfg
+            // slices, cluster-wide sim-id striding, routing) comes from
+            // `ShardedDv` — the reference object the CI-pinned
+            // equivalence tests verify — so the daemon cannot silently
+            // drift from the sharding contract, clustered or not.
             let (mut shards, router) =
-                ShardedDv::new(config.ctx.clone(), n_shards).into_parts();
+                ShardedDv::cluster_member(config.ctx.clone(), n_shards, cluster).into_parts();
             if let Some(index) = &fast {
                 for dv in &mut shards {
                     dv.attach_index(Arc::clone(index));
@@ -949,10 +1037,17 @@ impl DvServer {
             }
 
             // Prime: everything already on disk is cached state, routed
-            // to its owning shard.
+            // to its owning shard. On a shared storage area a cluster
+            // member skips the intervals it does not own — they are
+            // another daemon's cached state, not ours to budget or
+            // evict.
+            let steps = config.ctx.steps;
             let mut evicted = Vec::new();
             for file in config.storage.list()? {
                 if let Some(key) = config.driver.key_of(&file) {
+                    if !cluster.owns_key(&steps, key) {
+                        continue;
+                    }
                     let size = config.storage.size_of(&file).unwrap_or(0);
                     evicted.extend(shards[router.shard_of_key(key)].prime(key, size));
                 }
@@ -970,6 +1065,8 @@ impl DvServer {
                     })
                     .collect(),
                 router,
+                cluster,
+                steps,
                 fast,
                 perf: LockPerf::default(),
                 reactor: Arc::clone(&reactor),
@@ -978,6 +1075,7 @@ impl DvServer {
                 storage: config.storage,
                 launcher: config.launcher,
                 checksums: config.checksums,
+                accept_retries: Arc::clone(&accept_retries),
             });
             prime_work.push((Arc::clone(&runtime), evicted));
             let previous = contexts.insert(name.clone(), runtime);
@@ -994,6 +1092,7 @@ impl DvServer {
             accept_wake,
             reap_signal: (StdMutex::new(false), Condvar::new()),
             quiesce: (StdMutex::new(()), Condvar::new()),
+            accept_retries,
         });
 
         // Delete whatever the priming evicted (storage shrunk between
@@ -1029,6 +1128,15 @@ impl DvServer {
         epoll.add(inner.accept_wake.fd(), EPOLLIN, 1)?;
         let inner = Arc::clone(inner);
         std::thread::Builder::new().name("dv-accept".into()).spawn(move || {
+            // Transient-error backoff: under fd exhaustion (EMFILE) the
+            // level-triggered epoll re-reports the un-accepted
+            // connection on every wait, so a fixed short sleep spins
+            // the loop at 100 Hz for as long as the condition lasts.
+            // Double the sleep per consecutive failure (bounded), reset
+            // on the first successful accept.
+            const BACKOFF_MIN: Duration = Duration::from_millis(10);
+            const BACKOFF_MAX: Duration = Duration::from_secs(1);
+            let mut backoff = BACKOFF_MIN;
             let mut events = [EpollEvent::default(); 4];
             loop {
                 let _ = epoll.wait(&mut events, -1);
@@ -1038,6 +1146,7 @@ impl DvServer {
                 loop {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            backoff = BACKOFF_MIN;
                             if stream.set_nonblocking(true).is_err() {
                                 continue;
                             }
@@ -1050,14 +1159,20 @@ impl DvServer {
                                 }),
                             );
                         }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            backoff = BACKOFF_MIN;
+                            break;
+                        }
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                         Err(_) => {
                             // Transient (EMFILE/ECONNABORTED): never
                             // exit — the listener dies with this
-                            // thread. Back off; the level-triggered
-                            // epoll re-reports the pending connection.
-                            std::thread::sleep(Duration::from_millis(10));
+                            // thread. Back off and re-enter the epoll
+                            // wait; shutdown still interrupts via the
+                            // eventfd after at most one backoff window.
+                            inner.accept_retries.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(BACKOFF_MAX);
                             break;
                         }
                     }
@@ -1091,6 +1206,16 @@ impl DvServer {
     /// Statistics snapshot of a named context.
     pub fn context_stats(&self, name: &str) -> Option<DvStats> {
         self.inner.contexts.get(name).map(|rt| rt.stats_snapshot())
+    }
+
+    /// Observability probe: is `key` currently fast-pinned in
+    /// `context`'s lock-free hit index? `None` when the context is
+    /// unknown or runs without the fast layer (prefetching contexts).
+    /// Used by the disconnect leak tests — a pin that survives its
+    /// owning connection would veto eviction forever.
+    pub fn fast_pinned(&self, context: &str, key: u64) -> Option<bool> {
+        let runtime = self.inner.contexts.get(context)?;
+        runtime.fast.as_ref().map(|index| index.is_pinned(key))
     }
 
     /// The names of the contexts served.

@@ -1,0 +1,297 @@
+//! Multi-daemon cluster integration tests: K daemon processes (here:
+//! K `DvServer`s in one process, each with its own listener, reactor
+//! and launcher) composing into one logical control plane, driven
+//! through DVLib's [`DvCluster`] routing tier.
+
+use simbatch::ParallelismMap;
+use simfs_core::client::{DvCluster, SimfsClient};
+use simfs_core::driver::{PatternDriver, SimDriver};
+use simfs_core::dv::ClusterMember;
+use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};
+use simstore::{Data, Dataset, StorageArea};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn step_bytes(key: u64) -> Vec<u8> {
+    let mut ds = Dataset::new(key, key as f64);
+    ds.set_attr("simulator", "synthetic");
+    let field: Vec<f64> = (0..16).map(|i| (key * 31 + i) as f64).collect();
+    ds.add_var("field", vec![16], Data::F64(field)).unwrap();
+    ds.encode().to_vec()
+}
+
+/// B = 4, N = 64 — the same timeline the daemon tests use.
+fn steps() -> StepMath {
+    StepMath::new(1, 4, 64)
+}
+
+/// Starts one cluster member (or, with `ClusterMember::SOLO`, the
+/// unsharded reference daemon) over `dir`. Prefetch off — the
+/// fast-path configuration clusters are built for.
+fn start_member(
+    dir: &std::path::Path,
+    member: ClusterMember,
+    cache_steps: u64,
+    smax: u32,
+    dv_shards: u32,
+) -> (DvServer, StorageArea) {
+    let storage = StorageArea::create(dir, u64::MAX).unwrap();
+    let size = step_bytes(1).len() as u64;
+    let ctx = ContextCfg::new("test-ctx", steps(), size, cache_steps * size)
+        .with_policy("lru")
+        .with_smax(smax)
+        .with_prefetch(false);
+    let launcher = Arc::new(ThreadSimLauncher::new(
+        step_bytes,
+        |key| PatternDriver::new("out-", ".sdf", 6).filename_of(key),
+        Duration::from_millis(3),
+        Duration::from_millis(1),
+    ));
+    let server = DvServer::start(
+        ServerConfig {
+            ctx,
+            driver: Arc::new(
+                PatternDriver::new("out-", ".sdf", 6)
+                    .with_parallelism(ParallelismMap::unconstrained(1, 2)),
+            ),
+            storage: storage.clone(),
+            launcher,
+            checksums: HashMap::new(),
+            dv_shards,
+            cluster: member,
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    (server, storage)
+}
+
+/// K members over one shared storage area (the paper's layout: one
+/// parallel-FS directory, many control-plane daemons).
+fn start_cluster(
+    tag: &str,
+    k: u32,
+    cache_steps: u64,
+    smax: u32,
+    dv_shards: u32,
+) -> (Vec<DvServer>, StorageArea, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "simfs-cluster-{}-{}-{:?}",
+        tag,
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut servers = Vec::new();
+    let mut storage = None;
+    for index in 0..k {
+        let (server, s) =
+            start_member(&dir, ClusterMember::new(index, k), cache_steps, smax, dv_shards);
+        servers.push(server);
+        storage.get_or_insert(s);
+    }
+    (servers, storage.unwrap(), dir)
+}
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}
+
+/// The cluster ≡ single-daemon contract, end to end over real sockets:
+/// the same deterministic request sequence driven through a 3-daemon
+/// cluster (via [`DvCluster`]) and through one unsharded daemon (via
+/// [`SimfsClient`]) must produce identical client-visible outcomes —
+/// per-request ready/failed sets and, after quiescence, identical
+/// hit/miss/restart/production totals. This is the wire-level mirror of
+/// the `ShardedDv` equivalence property tests.
+#[test]
+fn three_daemon_cluster_matches_single_daemon() {
+    // Big cache (no evictions on either side) keeps the outcome
+    // deterministic; smax 6 gives each member a slice of 2.
+    // Two local DV shards per member: the cluster tier and the
+    // intra-process tier compose (member k's local shard s is flat
+    // shard s*3 + k of the 6-way split).
+    let (cluster, _cstorage, cdir) = start_cluster("eq", 3, 1000, 6, 2);
+    let sdir = std::env::temp_dir().join(format!("simfs-cluster-eq-ref-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&sdir);
+    let (single, _sstorage) = start_member(&sdir, ClusterMember::SOLO, 1000, 6, 1);
+
+    let addrs: Vec<SocketAddr> = cluster.iter().map(DvServer::addr).collect();
+    let mut cc = DvCluster::connect(&addrs, "test-ctx", steps()).unwrap();
+    assert_eq!(cc.members(), 3);
+    let mut sc = SimfsClient::connect(single.addr(), "test-ctx").unwrap();
+
+    // A fixed op sequence touching every member: misses, hits on
+    // already-materialized keys, a multi-key acquire spanning all
+    // members, an invalid key, releases (write-coalesced on the member
+    // connections). Keys are only re-touched once their interval is
+    // fully settled by a prior blocking acquire of the same key, so
+    // hit/miss classification is timing-independent.
+    enum Op {
+        Acquire(&'static [u64]),
+        Release(u64),
+    }
+    let ops = [
+        Op::Acquire(&[6]),
+        Op::Acquire(&[2]),
+        Op::Release(2),
+        Op::Release(6),
+        Op::Acquire(&[6]),
+        Op::Acquire(&[2, 6, 10, 14]),
+        Op::Acquire(&[9999]),
+        Op::Acquire(&[33]),
+        Op::Acquire(&[64]),
+    ];
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Acquire(keys) => {
+                let got = cc.acquire(keys).unwrap();
+                let want = sc.acquire(keys).unwrap();
+                assert_eq!(
+                    sorted(got.ready.clone()),
+                    sorted(want.ready.clone()),
+                    "op {i}: ready sets diverge"
+                );
+                let got_failed: Vec<u64> = got.failed.iter().map(|(k, _)| *k).collect();
+                let want_failed: Vec<u64> = want.failed.iter().map(|(k, _)| *k).collect();
+                assert_eq!(
+                    sorted(got_failed),
+                    sorted(want_failed),
+                    "op {i}: failed sets diverge"
+                );
+            }
+            Op::Release(key) => {
+                cc.release(*key).unwrap();
+                sc.release(*key).unwrap();
+            }
+        }
+    }
+    cc.flush().unwrap();
+    sc.flush().unwrap();
+
+    // Quiesce: six launches (for keys 6, 2, 10, 14, 33, 64); the first
+    // five produce their whole 4-step interval, while 64 is a boundary
+    // key that re-simulates only itself (§II-A restart dump).
+    const EXPECT_PRODUCED: u64 = 5 * 4 + 1;
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let (mut cs, mut ss) = (cc.status().unwrap(), sc.status().unwrap());
+    while (cs.produced_steps, cs.active_sims, ss.produced_steps, ss.active_sims)
+        != (EXPECT_PRODUCED, 0, EXPECT_PRODUCED, 0)
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+        cs = cc.status().unwrap();
+        ss = sc.status().unwrap();
+    }
+    assert_eq!(cs.restarts, ss.restarts, "cluster {cs:?} vs single {ss:?}");
+    assert_eq!(cs.produced_steps, EXPECT_PRODUCED, "cluster never quiesced: {cs:?}");
+    assert_eq!(ss.produced_steps, EXPECT_PRODUCED, "single never quiesced: {ss:?}");
+    assert_eq!(cs.hits, ss.hits, "cluster {cs:?} vs single {ss:?}");
+    assert_eq!(cs.misses, ss.misses, "cluster {cs:?} vs single {ss:?}");
+
+    cc.finalize().unwrap();
+    sc.finalize().unwrap();
+    for server in &cluster {
+        server.shutdown();
+    }
+    single.shutdown();
+    drop(cluster);
+    drop(single);
+    let _ = std::fs::remove_dir_all(&cdir);
+    let _ = std::fs::remove_dir_all(&sdir);
+}
+
+/// Client teardown fans out: a [`DvCluster`] dropped without finalize
+/// closes every member connection, so each daemon runs `ClientGone`
+/// and releases this client's pins — including fast-path pins held in
+/// reactor-thread-local state.
+#[test]
+fn cluster_teardown_fans_out_to_every_member() {
+    let (cluster, _storage, dir) = start_cluster("teardown", 3, 1000, 6, 2);
+    let addrs: Vec<SocketAddr> = cluster.iter().map(DvServer::addr).collect();
+    // Keys 2, 6, 10 live on members 0, 1, 2 respectively.
+    let keys = [2u64, 6, 10];
+    {
+        let mut cc = DvCluster::connect(&addrs, "test-ctx", steps()).unwrap();
+        let status = cc.acquire(&keys).unwrap();
+        assert!(status.ok(), "{status:?}");
+        for &k in &keys {
+            cc.release(k).unwrap();
+        }
+        cc.flush().unwrap();
+        // Re-acquire: now warm, so every member grants a *fast* pin to
+        // this client's connection.
+        let status = cc.acquire(&keys).unwrap();
+        assert!(status.ok(), "{status:?}");
+        for (member, &key) in cluster.iter().zip(&keys) {
+            assert_eq!(
+                member.fast_pinned("test-ctx", key),
+                Some(true),
+                "member should hold a fast pin on {key}"
+            );
+        }
+        // Dropped here without finalize: teardown must reach all three.
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    for (member, &key) in cluster.iter().zip(&keys) {
+        while member.fast_pinned("test-ctx", key) == Some(true) {
+            assert!(
+                Instant::now() < deadline,
+                "member never released the departed client's pin on {key}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(member.fast_pinned("test-ctx", key), Some(false));
+    }
+    for server in &cluster {
+        server.shutdown();
+    }
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cluster member refuses keys whose interval another daemon owns:
+/// accepting them would double-produce the interval under the wrong
+/// budget slice. (DVLib never sends them; this pins the guard against
+/// misrouting clients.)
+#[test]
+fn member_rejects_foreign_interval() {
+    let dir = std::env::temp_dir().join(format!(
+        "simfs-cluster-foreign-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Member 1 of 3: owns intervals 1, 4, 7, ... — not key 2's interval 0.
+    let (server, storage) = start_member(&dir, ClusterMember::new(1, 3), 1000, 6, 2);
+    let mut client = SimfsClient::connect(server.addr(), "test-ctx").unwrap();
+    let status = client.acquire(&[2]).unwrap();
+    assert!(!status.ok());
+    assert_eq!(status.failed.len(), 1);
+    assert_eq!(status.failed[0].0, 2);
+    assert!(
+        status.failed[0].1.contains("cluster member 0"),
+        "reason should name the owner: {}",
+        status.failed[0].1
+    );
+    assert!(!storage.exists("out-000002.sdf"), "foreign interval must not launch");
+    // Invalid keys are nobody's: every member reports the uniform
+    // timeline error, not a bogus ownership claim.
+    let status = client.acquire(&[9999]).unwrap();
+    assert_eq!(status.failed.len(), 1);
+    assert!(
+        status.failed[0].1.contains("outside the timeline"),
+        "invalid key must get the timeline error on any member: {}",
+        status.failed[0].1
+    );
+    // A key it does own works normally (interval 1 → keys 5..=8).
+    let status = client.acquire(&[6]).unwrap();
+    assert!(status.ok(), "{status:?}");
+    client.finalize().unwrap();
+    server.shutdown();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,7 +6,7 @@ use simfs_core::client::SimfsClient;
 use simfs_core::driver::{PatternDriver, SimDriver};
 use simfs_core::intercept::{netcdf, VirtualFs};
 use simfs_core::model::{ContextCfg, StepMath};
-use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};
+use simfs_core::server::{ClusterMember, DvServer, ServerConfig, ThreadSimLauncher};
 use simstore::{Data, Dataset, StorageArea};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -83,6 +83,7 @@ fn start_daemon_cfg(
             launcher,
             checksums,
             dv_shards,
+            cluster: ClusterMember::SOLO,
         },
         "127.0.0.1:0",
     )
@@ -310,6 +311,7 @@ fn daemon_restart_reprimes_existing_files() {
             launcher,
             checksums: HashMap::new(),
             dv_shards: 1,
+            cluster: ClusterMember::SOLO,
         },
         "127.0.0.1:0",
     )
@@ -372,6 +374,7 @@ fn multi_context_daemon_routes_by_name() {
         launcher: mk_launcher(),
         checksums: HashMap::new(),
         dv_shards: 1,
+        cluster: ClusterMember::SOLO,
     };
     let fine = simfs_core::server::ServerConfig {
         ctx: ContextCfg::new("fine", StepMath::new(1, 8, 128), size, 1000 * size),
@@ -380,6 +383,7 @@ fn multi_context_daemon_routes_by_name() {
         launcher: mk_launcher(),
         checksums: HashMap::new(),
         dv_shards: 1,
+        cluster: ClusterMember::SOLO,
     };
     let server = DvServer::start_multi(vec![coarse, fine], "127.0.0.1:0").unwrap();
     assert_eq!(server.context_names(), vec!["coarse", "fine"]);
@@ -669,6 +673,145 @@ fn hit_path_stress_races_acquires_against_evictions() {
         "storage should drain near the 4-step budget once all pins are \
          released; leaked fast pins would strand keys: {on_disk:?}"
     );
+}
+
+#[test]
+fn socket_kill_mid_fast_pin_returns_pins_to_index() {
+    // A client dies abruptly — no Release, no Bye — while holding a
+    // fast-path pin. The reactor must return the connection's
+    // thread-local fast-pin counts to the HitIndex when it tears the
+    // connection down (before the DV-side ClientGone), otherwise
+    // try_retire would veto eviction on pins owned by a dead client
+    // forever.
+    let fx = start_daemon_cfg("midpin-kill", 4, 4, 1, false);
+    let addr = fx.server.addr();
+    {
+        // Warm key 2 so the kill victim's acquire is a fast-path hit.
+        let mut warm = SimfsClient::connect(addr, "test-ctx").unwrap();
+        let status = warm.acquire(&[2]).unwrap();
+        assert!(status.ok(), "{status:?}");
+        warm.release(2).unwrap();
+        warm.finalize().unwrap();
+    }
+    {
+        let mut victim = std::net::TcpStream::connect(addr).unwrap();
+        victim.set_nodelay(true).unwrap();
+        simfs_core::wire::write_frame(
+            &mut victim,
+            &simfs_core::wire::Request::Hello {
+                kind: simfs_core::wire::ClientKind::Analysis,
+                context: "test-ctx".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        let _ = simfs_core::wire::read_frame(&mut victim).unwrap().unwrap(); // HelloOk
+        simfs_core::wire::write_frame(
+            &mut victim,
+            &simfs_core::wire::Request::Acquire {
+                req_id: 1,
+                keys: vec![2],
+            }
+            .encode(),
+        )
+        .unwrap();
+        let frame = simfs_core::wire::read_frame(&mut victim).unwrap().unwrap();
+        match simfs_core::wire::Response::decode(&frame).unwrap() {
+            simfs_core::wire::Response::Ready { key: 2, .. } => {}
+            other => panic!("expected Ready for key 2, got {other:?}"),
+        }
+        // The pin is fast (taken through the index, visible to the
+        // probe) and owned by this connection alone.
+        assert_eq!(fx.server.fast_pinned("test-ctx", 2), Some(true));
+        // Killed mid-pin: the stream drops here without Release or Bye.
+    }
+    // The reactor's teardown must drain the dead connection's fast
+    // pins back into the index.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while fx.server.fast_pinned("test-ctx", 2) == Some(true) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fast pin stranded by the dead connection"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(fx.server.fast_pinned("test-ctx", 2), Some(false));
+    // And the key is evictable again: flooding the 4-step cache with
+    // two fresh intervals must push key 2's file out.
+    let mut other = SimfsClient::connect(addr, "test-ctx").unwrap();
+    for key in [6u64, 10] {
+        let status = other.acquire(&[key]).unwrap();
+        assert!(status.ok(), "{status:?}");
+        other.release(key).unwrap();
+    }
+    other.flush().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while fx.storage.exists(&fx.driver.filename_of(2)) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "key 2 should be evictable once the dead client's pin drains"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    other.finalize().unwrap();
+}
+
+#[test]
+fn dvlib_drop_flushes_staged_releases() {
+    // `release` coalesces its frame into the next request's write; a
+    // session dropped (or `close()`d) with frames still staged must
+    // flush them best-effort instead of stranding daemon-side pins
+    // until the hangup GC. A bare-wire "daemon" observes what actually
+    // reaches the socket before EOF.
+    use simfs_core::wire::{self, Request, Response};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || -> Vec<u64> {
+        let (mut sock, _) = listener.accept().unwrap();
+        let hello = wire::read_frame(&mut sock).unwrap().unwrap();
+        assert!(matches!(
+            Request::decode(&hello).unwrap(),
+            Request::Hello { .. }
+        ));
+        wire::write_frame(&mut sock, &Response::HelloOk { client_id: 7 }.encode()).unwrap();
+        let mut releases = Vec::new();
+        while let Some(frame) = wire::read_frame(&mut sock).unwrap() {
+            match Request::decode(&frame).unwrap() {
+                Request::Release { key } => releases.push(key),
+                other => panic!("expected only staged releases, got {other:?}"),
+            }
+        }
+        releases
+    });
+    let mut client = SimfsClient::connect(addr, "any").unwrap();
+    client.release(5).unwrap();
+    client.release(9).unwrap();
+    drop(client); // staged frames must hit the wire before the FIN
+    assert_eq!(server.join().unwrap(), vec![5, 9]);
+}
+
+#[test]
+fn explicit_close_flushes_staged_releases() {
+    use simfs_core::wire::{self, Request, Response};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || -> Vec<u64> {
+        let (mut sock, _) = listener.accept().unwrap();
+        let _ = wire::read_frame(&mut sock).unwrap().unwrap(); // Hello
+        wire::write_frame(&mut sock, &Response::HelloOk { client_id: 8 }.encode()).unwrap();
+        let mut releases = Vec::new();
+        while let Some(frame) = wire::read_frame(&mut sock).unwrap() {
+            match Request::decode(&frame).unwrap() {
+                Request::Release { key } => releases.push(key),
+                other => panic!("expected only staged releases, got {other:?}"),
+            }
+        }
+        releases
+    });
+    let mut client = SimfsClient::connect(addr, "any").unwrap();
+    client.release(3).unwrap();
+    client.close().unwrap();
+    assert_eq!(server.join().unwrap(), vec![3]);
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! Property tests for the Data Virtualizer and the model math.
 
 use proptest::prelude::*;
-use simfs_core::dv::{shard_cfg, DataVirtualizer, DvAction, DvEvent, EventRoute, ShardedDv};
+use simfs_core::dv::{
+    shard_cfg, ClusterMember, DataVirtualizer, DvAction, DvEvent, DvRouter, EventRoute, ShardedDv,
+};
 use simfs_core::model::{ContextCfg, StepMath};
 use simfs_core::replay::replay;
 use simkit::SimTime;
@@ -380,5 +382,140 @@ proptest! {
         prop_assert_eq!(total.produced_steps, want.produced_steps);
         prop_assert_eq!(sharded.active_sims(), reference.active_sims());
         prop_assert_eq!(sharded.queued_launches(), reference.queued_launches());
+    }
+
+    /// The multi-daemon contract: a 3-daemon cluster — each member an
+    /// unsharded [`ShardedDv::cluster_member`] receiving only the
+    /// events DVLib's interval hash routes to it, with `ClientGone`
+    /// fanned out to every member — behaves exactly like the 3-shard
+    /// [`ShardedDv`] fed the interleaved stream. This pins the
+    /// daemon-level composition (per-member budget slice, cluster-wide
+    /// sim-id striding, interval routing, teardown fan-out order) to
+    /// the intra-process reference the other equivalence tests verify.
+    #[test]
+    fn cluster_members_compose_to_sharded_dv(
+        events in prop::collection::vec(arb_event(), 1..200),
+        cache_steps in 2u64..20,
+        smax in 1u32..8,
+        prefetch in any::<bool>(),
+    ) {
+        const K: u32 = 3;
+        let steps = StepMath::new(1, 4, 40);
+        let cfg = ContextCfg::new("clustereq", steps, 10, cache_steps * 10)
+            .with_policy("lru")
+            .with_smax(smax)
+            .with_prefetch(prefetch);
+        let mut reference = ShardedDv::new(cfg.clone(), K);
+        // DVLib's routing tier: the same interval-granular router the
+        // intra-process shards use, one level up.
+        let dvlib = DvRouter::new(steps, K);
+        let mut members: Vec<ShardedDv> = (0..K)
+            .map(|k| ShardedDv::cluster_member(cfg.clone(), 1, ClusterMember::new(k, K)))
+            .collect();
+
+        for (i, event) in events.into_iter().enumerate() {
+            let now = SimTime::from_nanos(1 + i as u64);
+            let want = reference.handle(now, event.clone());
+            let mut got = Vec::new();
+            match dvlib.route(&event) {
+                EventRoute::Shard(k) => {
+                    members[k].handle_into(now, event, &mut got);
+                }
+                EventRoute::Broadcast => {
+                    for member in members.iter_mut() {
+                        member.handle_into(now, event.clone(), &mut got);
+                    }
+                }
+            }
+            prop_assert_eq!(&got, &want);
+        }
+
+        let want = reference.stats();
+        let mut got = simfs_core::dv::DvStats::default();
+        for member in &members {
+            got.accumulate(&member.stats());
+        }
+        prop_assert_eq!(got.hits, want.hits);
+        prop_assert_eq!(got.misses, want.misses);
+        prop_assert_eq!(got.restarts, want.restarts);
+        prop_assert_eq!(got.evictions, want.evictions);
+        prop_assert_eq!(got.kills, want.kills);
+        prop_assert_eq!(got.produced_steps, want.produced_steps);
+        let got_active: usize = members.iter().map(ShardedDv::active_sims).sum();
+        prop_assert_eq!(got_active, reference.active_sims());
+    }
+
+    /// Local shards inside cluster members must compose to flat
+    /// sharding: 2 members × 2 local shards each ≡ the flat 4-shard
+    /// [`ShardedDv`] (member `k`'s local shard `s` is flat shard
+    /// `s*2 + k`). This is the case the first cluster cut got wrong —
+    /// hashing the *raw* interval locally leaves local shards whose
+    /// index never intersects the member's residue class unreachable
+    /// (member 0 of 2 only ever sees even intervals, so raw `% 2`
+    /// never reaches local shard 1), stranding their budget slices;
+    /// the local router must divide the cluster dimension out. The
+    /// sizes are chosen with `gcd(K, n) > 1` precisely so raw hashing
+    /// cannot accidentally coincide with the correct rule. Broadcast
+    /// fan-out visits members (then locals) in a different order than
+    /// the flat shard walk, so broadcast actions are compared as
+    /// multisets.
+    #[test]
+    fn clustered_local_shards_compose_to_flat_sharding(
+        events in prop::collection::vec(arb_event(), 1..200),
+        cache_steps in 2u64..20,
+        smax in 1u32..12,
+        prefetch in any::<bool>(),
+    ) {
+        const K: u32 = 2;
+        const N_LOCAL: u32 = 2;
+        let steps = StepMath::new(1, 4, 40);
+        let cfg = ContextCfg::new("clusterflat", steps, 10, cache_steps * 10)
+            .with_policy("lru")
+            .with_smax(smax)
+            .with_prefetch(prefetch);
+        let mut reference = ShardedDv::new(cfg.clone(), K * N_LOCAL);
+        let dvlib = DvRouter::new(steps, K);
+        let mut members: Vec<ShardedDv> = (0..K)
+            .map(|k| ShardedDv::cluster_member(cfg.clone(), N_LOCAL, ClusterMember::new(k, K)))
+            .collect();
+
+        for (i, event) in events.into_iter().enumerate() {
+            let now = SimTime::from_nanos(1 + i as u64);
+            let want = reference.handle(now, event.clone());
+            let mut got = Vec::new();
+            match dvlib.route(&event) {
+                EventRoute::Shard(k) => {
+                    members[k].handle_into(now, event, &mut got);
+                    prop_assert_eq!(&got, &want);
+                }
+                EventRoute::Broadcast => {
+                    for member in members.iter_mut() {
+                        member.handle_into(now, event.clone(), &mut got);
+                    }
+                    // Same actions, member-major order instead of
+                    // flat-shard order: compare as multisets.
+                    let mut got_keys: Vec<String> =
+                        got.iter().map(|a| format!("{a:?}")).collect();
+                    let mut want_keys: Vec<String> =
+                        want.iter().map(|a| format!("{a:?}")).collect();
+                    got_keys.sort();
+                    want_keys.sort();
+                    prop_assert_eq!(got_keys, want_keys);
+                }
+            }
+        }
+
+        let want = reference.stats();
+        let mut got = simfs_core::dv::DvStats::default();
+        for member in &members {
+            got.accumulate(&member.stats());
+        }
+        prop_assert_eq!(got.hits, want.hits);
+        prop_assert_eq!(got.misses, want.misses);
+        prop_assert_eq!(got.restarts, want.restarts);
+        prop_assert_eq!(got.evictions, want.evictions);
+        prop_assert_eq!(got.produced_steps, want.produced_steps);
+        let got_active: usize = members.iter().map(ShardedDv::active_sims).sum();
+        prop_assert_eq!(got_active, reference.active_sims());
     }
 }

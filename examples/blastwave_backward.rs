@@ -48,6 +48,7 @@ fn main() -> std::io::Result<()> {
             launcher,
             checksums: init.checksums,
             dv_shards: 1,
+            cluster: ClusterMember::SOLO,
         },
         "127.0.0.1:0",
     )?;

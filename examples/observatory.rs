@@ -51,6 +51,7 @@ fn context(
         )),
         checksums: init.checksums,
         dv_shards: 1,
+        cluster: ClusterMember::SOLO,
     })
 }
 

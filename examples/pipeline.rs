@@ -148,6 +148,7 @@ fn main() -> io::Result<()> {
             launcher: coarse_launcher,
             checksums: HashMap::new(),
             dv_shards: 1,
+            cluster: ClusterMember::SOLO,
         },
         "127.0.0.1:0",
     )?;
@@ -171,6 +172,7 @@ fn main() -> io::Result<()> {
             launcher: fine_launcher,
             checksums: HashMap::new(),
             dv_shards: 1,
+            cluster: ClusterMember::SOLO,
         },
         "127.0.0.1:0",
     )?;

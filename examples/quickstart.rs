@@ -54,6 +54,7 @@ fn main() -> std::io::Result<()> {
             launcher,
             checksums: HashMap::new(),
             dv_shards: 1,
+            cluster: ClusterMember::SOLO,
         },
         "127.0.0.1:0",
     )?;

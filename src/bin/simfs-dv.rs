@@ -17,6 +17,7 @@
 
 use simbatch::ProcessLauncher;
 use simfs::spec::ContextSpec;
+use simfs_core::dv::ClusterMember;
 use simfs_core::server::{DvServer, ServerConfig};
 use simstore::{checksum_db, StorageArea};
 use std::collections::HashMap;
@@ -29,6 +30,8 @@ struct Args {
     init: bool,
     simd_program: String,
     dv_shards: u32,
+    cluster_index: u32,
+    cluster_size: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
         init: false,
         simd_program: "simfs-simd".to_string(),
         dv_shards: 0,
+        cluster_index: 0,
+        cluster_size: 1,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,6 +68,20 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--dv-shards needs a shard count (0 = auto)")?;
             }
+            "--cluster-index" => {
+                i += 1;
+                args.cluster_index = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cluster-index needs this daemon's index (0-based)")?;
+            }
+            "--cluster-size" => {
+                i += 1;
+                args.cluster_size = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cluster-size needs the total daemon count")?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -70,9 +89,15 @@ fn parse_args() -> Result<Args, String> {
     if args.spec_path.is_empty() {
         return Err(
             "usage: simfs-dv --spec <file> [--listen addr] [--simd path] \
-             [--dv-shards n] [--init]"
+             [--dv-shards n] [--cluster-index k --cluster-size n] [--init]"
                 .into(),
         );
+    }
+    if args.cluster_index >= args.cluster_size {
+        return Err(format!(
+            "--cluster-index {} out of range 0..{} (set --cluster-size first)",
+            args.cluster_index, args.cluster_size
+        ));
     }
     Ok(args)
 }
@@ -131,18 +156,24 @@ fn run() -> Result<(), String> {
             launcher: Arc::new(ProcessLauncher::new()),
             checksums,
             dv_shards: args.dv_shards,
+            cluster: ClusterMember::new(args.cluster_index, args.cluster_size),
         },
         &args.listen,
     )
     .map_err(|e| format!("cannot bind {}: {e}", args.listen))?;
 
     println!(
-        "simfs-dv serving context {:?} on {} (policy {}, smax {}, cache {} steps)",
+        "simfs-dv serving context {:?} on {} (policy {}, smax {}, cache {} steps{})",
         spec.name,
         server.addr(),
         spec.policy,
         spec.smax,
-        spec.cache_steps
+        spec.cache_steps,
+        if args.cluster_size > 1 {
+            format!(", cluster member {} of {}", args.cluster_index, args.cluster_size)
+        } else {
+            String::new()
+        }
     );
     println!("press Ctrl-C to stop");
     loop {

@@ -40,7 +40,7 @@
 //! # let launcher: Arc<dyn simbatch::JobLauncher> = unimplemented!();
 //! let server = DvServer::start(ServerConfig {
 //!     ctx, driver, storage, launcher, checksums: HashMap::new(),
-//!     dv_shards: 0,
+//!     dv_shards: 0, cluster: ClusterMember::SOLO,
 //! }, "127.0.0.1:0").unwrap();
 //!
 //! // An analysis: acquire a step that does not exist yet — SimFS
@@ -70,8 +70,9 @@ pub mod spec;
 /// The items most applications need.
 pub mod prelude {
     pub use simbatch::{JobLauncher, ParallelismMap, ProcessLauncher, QueueModel};
-    pub use simfs_core::client::{SimfsClient, SimfsStatus};
+    pub use simfs_core::client::{DvCluster, SimfsClient, SimfsStatus};
     pub use simfs_core::driver::{PatternDriver, SimDriver};
+    pub use simfs_core::dv::ClusterMember;
     pub use simfs_core::intercept::VirtualFs;
     pub use simfs_core::model::{ContextCfg, StepMath};
     pub use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};

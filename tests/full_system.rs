@@ -68,6 +68,7 @@ fn subprocess_resimulation_end_to_end() {
             launcher: Arc::new(ProcessLauncher::new()),
             checksums,
             dv_shards: 1,
+            cluster: ClusterMember::SOLO,
         },
         "127.0.0.1:0",
     )
@@ -150,6 +151,7 @@ fn subprocess_boundary_dump() {
             launcher: Arc::new(ProcessLauncher::new()),
             checksums,
             dv_shards: 1,
+            cluster: ClusterMember::SOLO,
         },
         "127.0.0.1:0",
     )
@@ -192,6 +194,7 @@ fn subprocess_failure_reports_cleanly() {
             launcher: Arc::new(ProcessLauncher::new()),
             checksums: HashMap::new(),
             dv_shards: 1,
+            cluster: ClusterMember::SOLO,
         },
         "127.0.0.1:0",
     )
