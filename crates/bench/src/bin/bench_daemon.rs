@@ -8,10 +8,17 @@
 //!
 //! ```sh
 //! cargo run --release -p simfs-bench --bin bench_daemon -- \
-//!     [--workloads uniform,hitheavy,zipf] \
+//!     [--workloads uniform,hitheavy,zipf,uniform+prefetch,hitheavy+prefetch] \
 //!     [--clients 1,2,4,...] [--secs 2] [--dv-shards 4] \
 //!     [--cluster 1] [--out BENCH_daemon.json]
 //! ```
+//!
+//! A `+prefetch` suffix runs the workload with prefetch agents on —
+//! the configuration that historically forfeited the fast path and DV
+//! sharding, and now keeps both through the access-stream digest. Those
+//! runs additionally report agent-quality counters per point: prefetch
+//! launches and hits, pollution resets, kills, and digest
+//! replayed/dropped records (the lossiness actually incurred).
 //!
 //! `--cluster N` (N > 1) runs each workload against an N-daemon
 //! cluster (N `DvServer`s in this process, one shared storage area);
@@ -72,7 +79,7 @@ impl Workload {
             "uniform" => Workload::Uniform,
             "hitheavy" => Workload::HitHeavy,
             "zipf" => Workload::Zipf,
-            other => panic!("unknown workload {other} (uniform|hitheavy|zipf)"),
+            other => panic!("unknown workload {other} (uniform|hitheavy|zipf[+prefetch])"),
         }
     }
 
@@ -123,6 +130,34 @@ impl Workload {
     }
 }
 
+/// One ladder: a workload at a prefetch setting.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct RunSpec {
+    workload: Workload,
+    prefetch: bool,
+}
+
+impl RunSpec {
+    fn parse(s: &str) -> RunSpec {
+        let (base, prefetch) = match s.strip_suffix("+prefetch") {
+            Some(base) => (base, true),
+            None => (s, false),
+        };
+        RunSpec {
+            workload: Workload::parse(base),
+            prefetch,
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.prefetch {
+            format!("{}+prefetch", self.workload.name())
+        } else {
+            self.workload.name().to_string()
+        }
+    }
+}
+
 fn step_bytes(key: u64) -> Vec<u8> {
     let mut ds = Dataset::new(key, key as f64);
     ds.set_attr("simulator", "synthetic");
@@ -137,6 +172,7 @@ fn start_daemon(
     cache_steps: u64,
     dv_shards: u32,
     member: ClusterMember,
+    prefetch: bool,
 ) -> (DvServer, StorageArea) {
     let storage = StorageArea::create(dir, u64::MAX).unwrap();
     let size = step_bytes(1).len() as u64;
@@ -147,7 +183,7 @@ fn start_daemon(
         cache_steps.saturating_mul(size),
     )
     .with_policy("lru")
-    .with_prefetch(false)
+    .with_prefetch(prefetch)
     .with_smax(8);
     let launcher = Arc::new(ThreadSimLauncher::new(
         step_bytes,
@@ -341,7 +377,13 @@ fn main() {
     let mut out = String::from("BENCH_daemon.json");
     let mut dv_shards = 4u32;
     let mut cluster = 1u32;
-    let mut workloads = vec![Workload::Uniform, Workload::HitHeavy, Workload::Zipf];
+    let mut specs = vec![
+        RunSpec { workload: Workload::Uniform, prefetch: false },
+        RunSpec { workload: Workload::HitHeavy, prefetch: false },
+        RunSpec { workload: Workload::Zipf, prefetch: false },
+        RunSpec { workload: Workload::Uniform, prefetch: true },
+        RunSpec { workload: Workload::HitHeavy, prefetch: true },
+    ];
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let val = args.next().unwrap_or_default();
@@ -358,7 +400,7 @@ fn main() {
             "--dv-shards" => dv_shards = val.parse().expect("bad --dv-shards"),
             "--cluster" => cluster = val.parse().expect("bad --cluster"),
             "--workloads" => {
-                workloads = val.split(',').map(|s| Workload::parse(s.trim())).collect();
+                specs = val.split(',').map(|s| RunSpec::parse(s.trim())).collect();
             }
             other => panic!("unknown flag {other}"),
         }
@@ -366,8 +408,9 @@ fn main() {
     assert!(cluster >= 1, "--cluster needs at least one daemon");
 
     let mut lines = Vec::new();
-    for &workload in &workloads {
-        let name = workload.name();
+    for &spec in &specs {
+        let workload = spec.workload;
+        let name = spec.label();
         let steps = StepMath::new(1, 4, workload.n_keys());
         let dir = std::env::temp_dir().join(format!(
             "simfs-bench-daemon-{}-{}",
@@ -385,6 +428,7 @@ fn main() {
                     workload.cache_steps(cluster),
                     dv_shards,
                     ClusterMember::new(k, cluster),
+                    spec.prefetch,
                 )
                 .0
             })
@@ -445,6 +489,13 @@ fn main() {
             };
             let (fast, slow) = (d(|s| s.acquired_fast), d(|s| s.acquired_slow));
             let (misses, fallbacks) = (d(|s| s.misses), d(|s| s.hit_fallbacks));
+            // Agent-quality counters (all zero for prefetch-off runs).
+            let prefetch_launches = d(|s| s.prefetch_launches);
+            let prefetch_hits = d(|s| s.prefetch_hits);
+            let pollution_resets = d(|s| s.pollution_resets);
+            let kills = d(|s| s.kills);
+            let digest_replayed = d(|s| s.digest_replayed);
+            let digest_dropped = d(|s| s.digest_dropped);
             let transitions = d(|s| s.lock_transitions);
             let hold_per_transition =
                 d(|s| s.lock_hold_ns).checked_div(transitions).unwrap_or(0);
@@ -456,6 +507,14 @@ fn main() {
                  {fallbacks:>8} {hold_per_transition:>9}",
                 point.round_trips, point.p50_us, point.p99_us
             );
+            if spec.prefetch {
+                println!(
+                    "{:>8} agents: {prefetch_launches} launches, {prefetch_hits} prefetch \
+                     hits, {pollution_resets} pollution resets, {kills} kills, digest \
+                     {digest_replayed} replayed / {digest_dropped} dropped",
+                    ""
+                );
+            }
             // Per-daemon acquire rates: how evenly the interval hash
             // spread the load across the cluster.
             let per_daemon: Vec<f64> = (0..servers.len())
@@ -479,15 +538,21 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(", ");
             lines.push(format!(
-                "    {{\"workload\": \"{name}\", \"cluster\": {cluster}, \"clients\": {n}, \
-                 \"secs\": {:.3}, \
+                "    {{\"workload\": \"{}\", \"prefetch\": {}, \"cluster\": {cluster}, \
+                 \"clients\": {n}, \"secs\": {:.3}, \
                  \"round_trips\": {}, \"rtps\": {rtps:.1}, \"p50_us\": {:.1}, \
                  \"p99_us\": {:.1}, \"acquired_fast\": {fast}, \"acquired_slow\": {slow}, \
                  \"misses\": {misses}, \"hit_fallbacks\": {fallbacks}, \
+                 \"prefetch_launches\": {prefetch_launches}, \
+                 \"prefetch_hits\": {prefetch_hits}, \
+                 \"pollution_resets\": {pollution_resets}, \"kills\": {kills}, \
+                 \"digest_replayed\": {digest_replayed}, \
+                 \"digest_dropped\": {digest_dropped}, \
                  \"lock_hold_ns_per_transition\": {hold_per_transition}, \
                  \"lock_wait_ns_per_transition\": {wait_per_transition}, \
                  \"per_daemon_acquires_per_sec\": [{per_daemon_json}], \
                  \"daemon_threads_before_clients\": {daemon_threads}}}",
+                workload.name(), spec.prefetch,
                 point.elapsed, point.round_trips, point.p50_us, point.p99_us
             ));
         }

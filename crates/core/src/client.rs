@@ -44,11 +44,12 @@
 
 use crate::dv::DvRouter;
 use crate::model::StepMath;
-use crate::wire::{self, ClientKind, FrameBatch, FrameReader, Request, Response};
+use crate::prefetch::{AccessLog, AccessRecord, ACCESS_LOG_CAPACITY};
+use crate::wire::{self, ClientKind, FrameBatch, FrameReader, Membership, Request, Response};
 use std::collections::HashSet;
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Status of an acquire operation (§III-C `SIMFS_Status`).
 #[derive(Clone, Debug, Default)]
@@ -75,6 +76,10 @@ pub struct AcquireRequest {
     req_id: u64,
     outstanding: HashSet<u64>,
     status: SimfsStatus,
+    /// Keys the daemon reported `Queued` (they blocked on production):
+    /// consumed by [`DvCluster`]'s digest recording — a blocked key's
+    /// acquire-time epoch is not a ready point.
+    queued: HashSet<u64>,
 }
 
 impl AcquireRequest {
@@ -115,6 +120,20 @@ pub struct SimfsClient {
 impl SimfsClient {
     /// `SIMFS_Init`: connects and performs the hello handshake.
     pub fn connect(addr: impl ToSocketAddrs, context: &str) -> io::Result<SimfsClient> {
+        Self::connect_with(addr, context, None)
+    }
+
+    /// [`connect`](Self::connect) carrying a cluster-membership claim:
+    /// the daemon verifies `(index, size, steps_hash)` against its own
+    /// configuration at hello time and refuses the session on mismatch
+    /// — the error names both sides' views. Used by [`DvCluster`] so a
+    /// misconfigured member list or divergent [`StepMath`] fails loudly
+    /// instead of silently misrouting intervals.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        context: &str,
+        membership: Option<Membership>,
+    ) -> io::Result<SimfsClient> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let mut reader = FrameReader::new(stream.try_clone()?);
@@ -123,6 +142,7 @@ impl SimfsClient {
             &Request::Hello {
                 kind: ClientKind::Analysis,
                 context: context.to_string(),
+                membership,
             }
             .encode(),
         )?;
@@ -164,6 +184,12 @@ impl SimfsClient {
         self.flush_pending()
     }
 
+    /// Stages a fire-and-forget frame to ride the next coalesced write
+    /// (how [`DvCluster`] attaches access digests to member traffic).
+    fn stage(&mut self, req: &Request) {
+        self.pending_out.push_request(req);
+    }
+
     /// Delivers staged frames (if any) in a single write.
     fn flush_pending(&mut self) -> io::Result<()> {
         if self.pending_out.is_empty() {
@@ -186,6 +212,7 @@ impl SimfsClient {
             req_id,
             outstanding: keys.iter().copied().collect(),
             status: SimfsStatus::default(),
+            queued: HashSet::new(),
         })
     }
 
@@ -212,9 +239,10 @@ impl SimfsClient {
                 }
             Response::Queued {
                 req_id,
+                key,
                 est_wait_ms,
-                ..
             } if req_id == req.req_id => {
+                req.queued.insert(key);
                 req.status.est_wait = Some(Duration::from_millis(est_wait_ms));
             }
             Response::Error { message } => {
@@ -461,6 +489,16 @@ pub struct ContextStats {
 pub struct ClusterAcquireRequest {
     /// Indexed by cluster member; `None` where no keys routed.
     parts: Vec<Option<AcquireRequest>>,
+    /// The requested keys in request order, with the acquire-time
+    /// epoch: the digest observation of this request, recorded into
+    /// the member logs only once the request resolves — at which point
+    /// the per-key `Queued` responses reveal which epochs were true
+    /// ready points.
+    keys: Vec<u64>,
+    epoch: u64,
+    /// Observation already recorded (guards double-recording when both
+    /// `test` and `wait` see the request complete).
+    observed: bool,
 }
 
 impl ClusterAcquireRequest {
@@ -501,15 +539,39 @@ impl ClusterAcquireRequest {
 ///
 /// The API mirrors [`SimfsClient`]; multi-key acquires are split by
 /// owning member and merged back into one [`SimfsStatus`].
+///
+/// # Access-stream digests
+///
+/// Routing splits the stream: each member daemon sees only the keys of
+/// the intervals it owns, so its prefetch agents — which need the full
+/// sequence to detect direction and cadence — would observe a
+/// subsequence full of artificial jumps. The cluster therefore records
+/// its **full pre-routing access stream** into one bounded lossy
+/// [`AccessLog`] per member and forwards each member's copy as a
+/// fire-and-forget `AccessDigest` frame riding that member's next
+/// coalesced write. Members told at hello time that they are clustered
+/// ignore their local (post-routing) view and observe the forwarded
+/// stream instead. Overflows degrade to counted drops, never blocking
+/// or unbounded memory; a single-daemon "cluster" skips forwarding —
+/// its local view already is the full stream.
 pub struct DvCluster {
     members: Vec<SimfsClient>,
     router: DvRouter,
+    /// Per-member copy of the full pre-routing access stream, drained
+    /// into an `AccessDigest` on that member's next coalesced write.
+    logs: Vec<AccessLog>,
+    /// Clock for record epochs (client-side; only gaps carry meaning).
+    epoch: Instant,
+    /// Reused drain buffer.
+    drain_scratch: Vec<AccessRecord>,
 }
 
 impl DvCluster {
     /// Connects to every daemon of the cluster, in member order.
     /// `steps` must match the context's step math on the daemons —
-    /// it is what both sides hash intervals with.
+    /// it is what both sides hash intervals with; the hello handshake
+    /// carries `(index, size, config_hash(steps))` so a daemon whose
+    /// position or cadence disagrees rejects the session immediately.
     ///
     /// # Panics
     /// Panics if `addrs` is empty.
@@ -519,12 +581,89 @@ impl DvCluster {
         steps: StepMath,
     ) -> io::Result<DvCluster> {
         assert!(!addrs.is_empty(), "a cluster needs at least one daemon");
+        let size = addrs.len() as u32;
+        let steps_hash = steps.config_hash();
         let members = addrs
             .iter()
-            .map(|addr| SimfsClient::connect(addr, context))
+            .enumerate()
+            .map(|(index, addr)| {
+                SimfsClient::connect_with(
+                    addr,
+                    context,
+                    Some(Membership {
+                        index: index as u32,
+                        size,
+                        steps_hash,
+                    }),
+                )
+            })
             .collect::<io::Result<Vec<_>>>()?;
-        let router = DvRouter::new(steps, members.len() as u32);
-        Ok(DvCluster { members, router })
+        let router = DvRouter::new(steps, size);
+        let logs = (0..members.len())
+            .map(|_| AccessLog::new(ACCESS_LOG_CAPACITY))
+            .collect();
+        Ok(DvCluster {
+            members,
+            router,
+            logs,
+            epoch: Instant::now(),
+            drain_scratch: Vec::new(),
+        })
+    }
+
+    /// Records a *resolved* request's accesses (in request order, at
+    /// their acquire-time epoch) into every member's digest log.
+    /// Deferred to resolution so the per-key `Queued` responses can
+    /// mark which epochs were true ready points — a blocked key's
+    /// following gap is production wait, not consumption, and must not
+    /// be sampled into tau_cli (the same rule the daemon applies to
+    /// its local records). Overlapping non-blocking requests may
+    /// record out of resolution order; replay skips the resulting
+    /// non-positive gaps, so disorder degrades sampling, never
+    /// corrupts it. No-op for single-member clusters: the one daemon's
+    /// local view already is the full stream.
+    fn observe_resolved(&mut self, req: &mut ClusterAcquireRequest) {
+        if self.members.len() <= 1 || req.observed {
+            return;
+        }
+        req.observed = true;
+        for &key in &req.keys {
+            let ready = !req
+                .parts
+                .iter()
+                .flatten()
+                .any(|part| part.queued.contains(&key));
+            for log in &mut self.logs {
+                // The member daemon attributes records to its own
+                // session client id; the field here is a placeholder.
+                log.push(AccessRecord {
+                    client: 0,
+                    key,
+                    epoch: req.epoch,
+                    ready,
+                });
+            }
+        }
+    }
+
+    /// Stages member `m`'s pending digest (if any) to ride its next
+    /// coalesced write.
+    fn stage_digest(&mut self, m: usize) {
+        if self.members.len() <= 1 {
+            return;
+        }
+        let log = &mut self.logs[m];
+        if log.is_empty() && log.dropped() == 0 {
+            return;
+        }
+        self.drain_scratch.clear();
+        let dropped = log.drain_into(&mut self.drain_scratch);
+        let records = self
+            .drain_scratch
+            .iter()
+            .map(|r| (r.key, r.epoch, r.ready))
+            .collect();
+        self.members[m].stage(&Request::AccessDigest { dropped, records });
     }
 
     /// Number of daemons in the cluster.
@@ -548,6 +687,13 @@ impl DvCluster {
     /// the pins would survive on the healthy daemons until the whole
     /// session's teardown.
     pub fn acquire_nb(&mut self, keys: &[u64]) -> io::Result<ClusterAcquireRequest> {
+        // The digest records the *pre-routing* stream — every member's
+        // agents must see the whole trajectory, not the interval
+        // subsequence the split below sends them. The observation is
+        // stamped now (acquire time) but recorded into the member logs
+        // only when the request resolves, once the Queued responses
+        // have revealed which keys blocked (see `observe_resolved`).
+        let epoch = self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let mut per_member: Vec<Vec<u64>> = vec![Vec::new(); self.members.len()];
         for &key in keys {
             per_member[self.member_of(key)].push(key);
@@ -558,6 +704,10 @@ impl DvCluster {
                 parts.push(None);
                 continue;
             }
+            // The member's digest rides in front of its acquire, in the
+            // same write: observation reaches it no later than the keys
+            // it will serve.
+            self.stage_digest(i);
             match self.members[i].acquire_nb(keys) {
                 Ok(part) => parts.push(Some(part)),
                 Err(e) => {
@@ -574,7 +724,12 @@ impl DvCluster {
                 }
             }
         }
-        Ok(ClusterAcquireRequest { parts })
+        Ok(ClusterAcquireRequest {
+            parts,
+            keys: keys.to_vec(),
+            epoch,
+            observed: false,
+        })
     }
 
     /// `SIMFS_Acquire`: blocks until every key is ready or failed.
@@ -606,6 +761,7 @@ impl DvCluster {
             }
         }
         let Some(err) = first_err else {
+            self.observe_resolved(req);
             return Ok(req.merged());
         };
         for (member, part) in self.members.iter_mut().zip(&req.parts) {
@@ -619,19 +775,43 @@ impl DvCluster {
     }
 
     /// `SIMFS_Test`: non-blocking completion probe over all members.
+    ///
+    /// A member error gets the same unwind as [`wait`](Self::wait): the
+    /// remaining members are still probed, and every key this request
+    /// already acquired is released before the error returns — an
+    /// erroring probe means the caller treats the whole acquire as
+    /// failed and will never release, so the pins must not survive on
+    /// the healthy daemons.
     pub fn test(&mut self, req: &mut ClusterAcquireRequest) -> io::Result<(bool, SimfsStatus)> {
+        let mut first_err: Option<io::Error> = None;
         for (member, part) in self.members.iter_mut().zip(&mut req.parts) {
-            if let Some(part) = part {
-                member.test(part)?;
+            let Some(part) = part else { continue };
+            if let Err(e) = member.test(part) {
+                first_err.get_or_insert(e);
             }
         }
-        Ok((req.done(), req.merged()))
+        let Some(err) = first_err else {
+            if req.done() {
+                self.observe_resolved(req);
+            }
+            return Ok((req.done(), req.merged()));
+        };
+        for (member, part) in self.members.iter_mut().zip(&req.parts) {
+            let Some(part) = part else { continue };
+            for &key in &part.status.ready {
+                let _ = member.release(key);
+            }
+            let _ = member.flush();
+        }
+        Err(err)
     }
 
     /// `SIMFS_Release`: staged for write-coalescing on the owning
-    /// member's connection.
+    /// member's connection (any pending digest for that member is
+    /// staged ahead of it).
     pub fn release(&mut self, key: u64) -> io::Result<()> {
         let member = self.member_of(key);
+        self.stage_digest(member);
         self.members[member].release(key)
     }
 
@@ -708,6 +888,7 @@ impl SimulatorSession {
             &Request::Hello {
                 kind: ClientKind::Simulator { sim_id },
                 context: context.to_string(),
+                membership: None,
             }
             .encode(),
         )?;

@@ -18,7 +18,7 @@
 
 use crate::model::{ContextCfg, StepMath};
 use crate::perfmodel::{Ema, IntervalTracker};
-use crate::prefetch::{Direction, PrefetchAgent, PrefetchInputs};
+use crate::prefetch::{AccessRecord, Direction, PrefetchAgent, PrefetchInputs};
 use simcache::{policy_by_name, u64_map, CacheSim, U64Map};
 use simkit::{Dur, SimTime};
 use std::collections::VecDeque;
@@ -174,6 +174,20 @@ pub struct DvStats {
     /// retried with backoff instead of killing the listener. Counted
     /// daemon-wide and mirrored into every context's snapshot.
     pub accept_retries: u64,
+    /// Access records replayed into the prefetch agents out-of-band
+    /// (digest drains). Each record is counted once, by the shard that
+    /// owns its key.
+    pub digest_replayed: u64,
+    /// Access records lost to digest-ring overflow before they reached
+    /// the agents (the lossiness half of the observation contract;
+    /// counted at the recording side and mirrored into snapshots).
+    pub digest_dropped: u64,
+    /// Replayed accesses of keys a prefetch agent had planned that were
+    /// materialized when observed — the numerator of the prefetch hit
+    /// rate. Approximate by design: replay happens after the fact, so a
+    /// pollution miss whose key was re-produced before the drain can
+    /// sneak in.
+    pub prefetch_hits: u64,
 }
 
 impl DvStats {
@@ -197,6 +211,9 @@ impl DvStats {
             lock_hold_ns,
             lock_transitions,
             accept_retries,
+            digest_replayed,
+            digest_dropped,
+            prefetch_hits,
         } = other;
         self.hits += hits;
         self.misses += misses;
@@ -215,6 +232,9 @@ impl DvStats {
         self.lock_hold_ns += lock_hold_ns;
         self.lock_transitions += lock_transitions;
         self.accept_retries += accept_retries;
+        self.digest_replayed += digest_replayed;
+        self.digest_dropped += digest_dropped;
+        self.prefetch_hits += prefetch_hits;
     }
 }
 
@@ -226,6 +246,23 @@ struct ClientState {
     /// consumption phase. The gap to its next acquire is the `tau_cli`
     /// sample (§IV-A) — consumption time, not blocked-wait time.
     last_ready: Option<SimTime>,
+    /// Epoch of the last digest record replayed for this client and
+    /// whether it was a ready point: the digest-mode source of
+    /// `tau_cli` samples (a gap is a consumption sample only when it
+    /// starts at a ready point — gaps after blocked misses would
+    /// otherwise fold the production wait into the estimate).
+    last_digest_epoch: Option<(u64, bool)>,
+    /// Set by a pollution reset: the client's next replayed digest
+    /// window (usually) predates the reset, so it must not re-confirm
+    /// the very trajectory the reset just discarded (the inline path
+    /// gets this for free by observing only post-reset accesses).
+    /// Deliberately coarse: a client whose log happened to be empty at
+    /// reset time loses one fully post-reset window too — record
+    /// epochs are per-recorder clocks, so the reset boundary cannot be
+    /// compared against them; the cost is one drain window of delayed
+    /// re-confirmation, bounded and loss-shaped like the rest of the
+    /// digest contract.
+    discard_digest_window: bool,
 }
 
 struct SimState {
@@ -273,6 +310,20 @@ pub struct DataVirtualizer {
     /// count under [`ShardedDv`], so `(sim - 1) % stride` recovers the
     /// owning shard).
     sim_stride: SimId,
+    /// Agent observation arrives out-of-band through
+    /// [`ingest_digest`](Self::ingest_digest) instead of inside
+    /// `on_acquire` (the daemon's digest-decoupled mode): acquires stop
+    /// feeding the agents and sampling `tau_cli`, so replayed records
+    /// are the single source of observation.
+    digest_observation: bool,
+    /// A §IV-C pollution reset fired in this DV since the flag was last
+    /// taken. In a sharded deployment every shard holds its own replica
+    /// of each client's agents, so the front-end must fan the reset out
+    /// ([`take_pollution_signal`](Self::take_pollution_signal) /
+    /// [`apply_pollution_reset`](Self::apply_pollution_reset)) — a
+    /// reset confined to one shard would leave the sibling replicas
+    /// planning from the very trajectory that polluted the cache.
+    pollution_signal: bool,
     alpha_sim: Ema,
     tau_sim: Ema,
     stats: DvStats,
@@ -302,6 +353,8 @@ impl DataVirtualizer {
             kill_scratch: Vec::new(),
             next_sim: 1,
             sim_stride: 1,
+            digest_observation: false,
+            pollution_signal: false,
             stats: DvStats::default(),
         }
     }
@@ -326,6 +379,132 @@ impl DataVirtualizer {
     /// fast pins (the daemon's lock-free hit path).
     pub fn attach_index(&mut self, index: std::sync::Arc<simcache::HitIndex>) {
         self.cache.attach_index(index);
+    }
+
+    /// Switches agent observation to digest mode: `on_acquire` stops
+    /// feeding the prefetch agents (and sampling `tau_cli`); the whole
+    /// access stream reaches them through
+    /// [`ingest_digest`](Self::ingest_digest) instead. Launch
+    /// bookkeeping that does not depend on stream order — miss-coverage
+    /// frontiers, pollution resets — stays on the acquire path.
+    pub fn set_digest_observation(&mut self, on: bool) {
+        self.digest_observation = on;
+    }
+
+    /// Replays a drained access digest into the prefetch agents — the
+    /// out-of-band observation half of the digest contract (records
+    /// come from fast-path hits that never took a DV lock, from
+    /// slow-path acquires, or forwarded from a clustered client's full
+    /// pre-routing stream).
+    ///
+    /// `owns_key` narrows *planning* and accounting to the keys this DV
+    /// instance owns: every record updates agent pattern state (agents
+    /// must see the full sequence to detect direction and cadence), but
+    /// plan blocks are split at ownership boundaries and only owned
+    /// runs launch, and each record is counted once cluster-wide (by
+    /// its owner). Pass `|_| true` when unsharded.
+    ///
+    /// `window_dropped` is the loss count of *this* window (from
+    /// [`AccessLog::drain_into`](crate::prefetch::AccessLog::drain_into)):
+    /// when records were lost, each client's first gap in the window
+    /// spans the dropped stretch and is not sampled — one overflow must
+    /// not feed a many-fold-inflated consumption sample into `tau_cli`
+    /// (loss degrades, never corrupts).
+    ///
+    /// Invalid keys are skipped — `on_acquire` fails them before its
+    /// agents ever see them, and replay mirrors that.
+    pub fn ingest_digest(
+        &mut self,
+        now: SimTime,
+        records: &[AccessRecord],
+        window_dropped: u64,
+        owns_key: &dyn Fn(u64) -> bool,
+        actions: &mut Vec<DvAction>,
+    ) {
+        if !self.cfg.prefetch {
+            return;
+        }
+        // Clients whose pre-reset window is being discarded *in this
+        // drain* (a pollution reset must not be undone by replaying the
+        // history that led to it), and clients already seen in this
+        // window (their first gap after a loss is unsampleable).
+        // Transitions touch a handful of clients, so linear scans beat
+        // sets.
+        let mut discarding: Vec<u64> = Vec::new();
+        let mut seen: Vec<u64> = Vec::new();
+        for r in records {
+            if !self.cfg.steps.valid_key(r.key) {
+                continue;
+            }
+            let inputs = self.prefetch_inputs();
+            let owned = owns_key(r.key);
+            let materialized = self.cache.peek(r.key);
+            let state = self.client_mut(r.client);
+            if state.discard_digest_window {
+                state.discard_digest_window = false;
+                discarding.push(r.client);
+            }
+            let suppressed = discarding.contains(&r.client);
+            let first_of_window = if seen.contains(&r.client) {
+                false
+            } else {
+                seen.push(r.client);
+                true
+            };
+            // A gap is a consumption sample only when it starts at a
+            // ready point and no records were lost inside it; epoch
+            // bookkeeping continues through suppressed records so
+            // post-window gaps stay truthful.
+            if let Some((prev, prev_ready)) =
+                state.last_digest_epoch.replace((r.epoch, r.ready))
+            {
+                let gap = r.epoch.saturating_sub(prev);
+                let lossy_gap = window_dropped > 0 && first_of_window;
+                if prev_ready && gap > 0 && !suppressed && !lossy_gap {
+                    state.agent.observe_tau_cli(Dur::from_nanos(gap));
+                }
+            }
+            if suppressed {
+                if owned {
+                    self.stats.digest_replayed += 1;
+                }
+                continue;
+            }
+            let was_planned = state.agent.was_prefetched(r.key);
+            let outcome = state.agent.on_access(r.key, &inputs);
+            if owned {
+                self.stats.digest_replayed += 1;
+                if was_planned && materialized {
+                    self.stats.prefetch_hits += 1;
+                }
+            }
+            self.apply_agent_outcome_owned(r.client, outcome, owns_key, actions, now);
+        }
+    }
+
+    /// Folds recorder-side digest losses into this DV's counters (the
+    /// drains themselves happen in the daemon, outside any shard).
+    pub fn note_digest_dropped(&mut self, n: u64) {
+        self.stats.digest_dropped += n;
+    }
+
+    /// Did a pollution reset fire since the last call? The daemon
+    /// checks this after every acquire transition and fans the reset
+    /// out to the context's sibling shards.
+    pub fn take_pollution_signal(&mut self) -> bool {
+        std::mem::take(&mut self.pollution_signal)
+    }
+
+    /// Applies a pollution reset another shard of this context
+    /// detected: every agent replica here resets (and, in digest mode,
+    /// discards its next stale window), without counting a second
+    /// `pollution_resets` — the detecting shard already did.
+    /// Idempotent, so the fan-out may include the detecting shard.
+    pub fn apply_pollution_reset(&mut self) {
+        for c in self.clients.values_mut() {
+            c.agent.reset();
+            c.discard_digest_window = self.digest_observation;
+        }
     }
 
     /// Pre-seeds the performance estimators (e.g. from the simulation
@@ -420,6 +599,8 @@ impl DataVirtualizer {
             agent: PrefetchAgent::new(ema),
             pins: u64_map(),
             last_ready: None,
+            last_digest_epoch: None,
+            discard_digest_window: false,
         })
     }
 
@@ -634,14 +815,33 @@ impl DataVirtualizer {
         actions: &mut Vec<DvAction>,
         now: SimTime,
     ) {
+        self.apply_agent_outcome_owned(client, outcome, &|_| true, actions, now)
+    }
+
+    /// [`apply_agent_outcome`](Self::apply_agent_outcome) restricted to
+    /// the keys this DV owns: plan blocks are split at ownership
+    /// boundaries (interval-granular, like all routing) and only the
+    /// owned runs launch here — the sibling shards, replaying the same
+    /// digest, launch theirs. Direction-change kills always apply: each
+    /// shard kills its own prefetch sims for the client.
+    fn apply_agent_outcome_owned(
+        &mut self,
+        client: ClientId,
+        outcome: crate::prefetch::AgentOutcome,
+        owns_key: &dyn Fn(u64) -> bool,
+        actions: &mut Vec<DvAction>,
+        now: SimTime,
+    ) {
         if outcome.direction_changed {
             self.kill_client_prefetches(client, actions, now);
         }
-        if let Some(plan) = outcome.plan {
-            for block in plan.blocks {
+        let Some(plan) = outcome.plan else { return };
+        let level = plan.level.min(self.cfg.parallelism.max_level);
+        for block in plan.blocks {
+            for run in owned_runs(&self.cfg.steps, block, owns_key) {
                 self.request_launch(
-                    block,
-                    plan.level.min(self.cfg.parallelism.max_level),
+                    run,
+                    level,
                     LaunchReason::Prefetch,
                     Some(client),
                     actions,
@@ -787,16 +987,23 @@ impl DataVirtualizer {
         }
 
         let prefetch_enabled = self.cfg.prefetch;
+        // Observation is decoupled in digest mode: acquires neither feed
+        // the agents nor sample tau_cli here — the recorded stream
+        // replays through `ingest_digest` instead.
+        let observe_inline = prefetch_enabled && !self.digest_observation;
         let inputs = self.prefetch_inputs();
 
         // Sample the client's consumption time: from its last data
         // becoming ready to this request.
+        let inline_tau_cli = !self.digest_observation;
         {
             let state = self.client_mut(client);
             if let Some(ready_at) = state.last_ready.take() {
-                state
-                    .agent
-                    .observe_tau_cli(now.saturating_since(ready_at));
+                if inline_tau_cli {
+                    state
+                        .agent
+                        .observe_tau_cli(now.saturating_since(ready_at));
+                }
             }
         }
 
@@ -807,7 +1014,7 @@ impl DataVirtualizer {
             *state.pins.entry(key).or_insert(0) += 1;
             state.last_ready = Some(now);
             actions.push(DvAction::NotifyReady { client, key });
-            if prefetch_enabled {
+            if observe_inline {
                 let outcome = state.agent.on_access(key, &inputs);
                 self.apply_agent_outcome(client, outcome, actions, now);
             }
@@ -828,8 +1035,13 @@ impl DataVirtualizer {
                 .is_some_and(|c| c.agent.was_prefetched(key));
         if polluted {
             self.stats.pollution_resets += 1;
+            self.pollution_signal = true;
             for c in self.clients.values_mut() {
                 c.agent.reset();
+                // Digest mode: the next replayed window predates this
+                // reset — discard it, as the inline path implicitly
+                // does by only ever observing post-reset accesses.
+                c.discard_digest_window = self.digest_observation;
             }
         }
 
@@ -862,7 +1074,7 @@ impl DataVirtualizer {
             self.request_launch(range, level, LaunchReason::Miss, Some(client), actions, now);
         }
 
-        if prefetch_enabled && !polluted {
+        if observe_inline && !polluted {
             let state = self.client_mut(client);
             let outcome = state.agent.on_access(key, &inputs);
             self.apply_agent_outcome(client, outcome, actions, now);
@@ -930,6 +1142,53 @@ impl DataVirtualizer {
             actions.push(DvAction::NotifyReady { client: *c, key });
         }
     }
+}
+
+/// Splits `block` into its maximal sub-ranges of owned keys. Ownership
+/// is interval-granular everywhere in SimFS (shards and cluster members
+/// both route whole restart intervals), so the walk advances one
+/// interval at a time and merges consecutive owned intervals back into
+/// one run — under full ownership the block comes back whole, and a
+/// launch can never claim a key its DV does not own.
+fn owned_runs(
+    steps: &StepMath,
+    block: RangeInclusive<u64>,
+    owns_key: &dyn Fn(u64) -> bool,
+) -> Vec<RangeInclusive<u64>> {
+    let (lo, hi) = (*block.start(), *block.end());
+    let mut runs = Vec::new();
+    let mut current: Option<(u64, u64)> = None;
+    let last = steps.interval_of(hi);
+    let mut j = steps.interval_of(lo);
+    loop {
+        let keys = steps.interval_keys(j);
+        let start = lo.max(*keys.start());
+        let end = hi.min(*keys.end());
+        if start <= end {
+            if owns_key(start) {
+                current = match current {
+                    Some((run_start, run_end)) if run_end + 1 == start => {
+                        Some((run_start, end))
+                    }
+                    Some((run_start, run_end)) => {
+                        runs.push(run_start..=run_end);
+                        Some((start, end))
+                    }
+                    None => Some((start, end)),
+                };
+            } else if let Some((run_start, run_end)) = current.take() {
+                runs.push(run_start..=run_end);
+            }
+        }
+        if j == last {
+            break;
+        }
+        j += 1;
+    }
+    if let Some((run_start, run_end)) = current {
+        runs.push(run_start..=run_end);
+    }
+    runs
 }
 
 /// Where the sharded DV must deliver an event.
@@ -1205,6 +1464,39 @@ impl ShardedDv {
         let mut actions = Vec::new();
         self.handle_into(now, event, &mut actions);
         actions
+    }
+
+    /// Switches every shard to digest-mode agent observation (see
+    /// [`DataVirtualizer::set_digest_observation`]).
+    pub fn set_digest_observation(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.set_digest_observation(on);
+        }
+    }
+
+    /// Replays a drained access digest into *every* shard's agents —
+    /// sharding is exactly why the digest exists: each shard's agents
+    /// must observe the full stream even though the shard serves only
+    /// its own intervals. Planning stays partitioned: shard `s` launches
+    /// only the plan runs whose intervals it owns, so the shards'
+    /// launches compose to the unsharded plan without overlap.
+    pub fn ingest_digest(
+        &mut self,
+        now: SimTime,
+        records: &[AccessRecord],
+        window_dropped: u64,
+        actions: &mut Vec<DvAction>,
+    ) {
+        let router = self.router;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.ingest_digest(
+                now,
+                records,
+                window_dropped,
+                &|key| router.shard_of_key(key) == s,
+                actions,
+            );
+        }
     }
 
     /// Is `key` materialized (in its owning shard)?
@@ -1487,6 +1779,323 @@ mod tests {
         let mut dv = DataVirtualizer::new(cfg(4));
         let actions = dv.handle(t(0), DvEvent::Release { client: 9, key: 3 });
         assert!(actions.is_empty());
+    }
+
+    fn digest_record(client: u64, key: u64, epoch_s: u64) -> crate::prefetch::AccessRecord {
+        crate::prefetch::AccessRecord {
+            client,
+            key,
+            epoch: epoch_s * 1_000_000_000,
+            ready: true,
+        }
+    }
+
+    #[test]
+    fn digest_replay_drives_prefetch_planning() {
+        // Digest mode: acquires do not feed the agents; the replayed
+        // records must carry observation (tau_cli from epoch gaps,
+        // pattern confirmation, plan triggers) on their own.
+        let mut dv = DataVirtualizer::new(cfg(100).with_prefetch(true));
+        dv.set_digest_observation(true);
+        dv.seed_estimates(Dur::from_secs(4), Dur::from_secs(1));
+
+        // A miss launches coverage 1..=4 and informs the agent frontier,
+        // but performs no observation.
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 2 });
+        produce_all(&mut dv, &a, t(0));
+        assert!(
+            dv.clients[&1].agent.direction().is_none(),
+            "acquires must not observe in digest mode"
+        );
+
+        // Replaying a forward scan confirms the pattern and triggers a
+        // prefetch plan beyond the miss coverage.
+        let records: Vec<_> = (2..=4).map(|k| digest_record(1, k, k)).collect();
+        let mut actions = Vec::new();
+        dv.ingest_digest(t(10), &records, 0, &|_| true, &mut actions);
+        let launch = actions
+            .iter()
+            .find_map(|a| match a {
+                DvAction::Launch { keys, reason, .. } => Some((keys.clone(), *reason)),
+                _ => None,
+            })
+            .expect("digest replay must plan a prefetch");
+        assert_eq!(launch.1, LaunchReason::Prefetch);
+        assert!(*launch.0.start() > 4, "plans beyond the miss coverage: {launch:?}");
+        assert_eq!(dv.stats().digest_replayed, 3);
+        assert_eq!(
+            dv.clients[&1].agent.direction(),
+            Some(crate::prefetch::Direction::Forward)
+        );
+        assert_eq!(
+            dv.clients[&1].agent.tau_cli(),
+            Some(Dur::from_secs(1)),
+            "tau_cli sampled from epoch gaps"
+        );
+    }
+
+    #[test]
+    fn digest_replay_skips_invalid_keys_and_counts_prefetch_hits() {
+        let mut dv = DataVirtualizer::new(cfg(100).with_prefetch(true));
+        dv.set_digest_observation(true);
+        dv.seed_estimates(Dur::from_secs(4), Dur::from_secs(1));
+        let mut actions = Vec::new();
+        dv.ingest_digest(
+            t(1),
+            &[digest_record(1, 0, 1), digest_record(1, 9999, 2)],
+            0,
+            &|_| true,
+            &mut actions,
+        );
+        assert!(actions.is_empty());
+        assert_eq!(dv.stats().digest_replayed, 0, "invalid keys never replay");
+
+        // Scan far enough that the agent plans ahead, produce the plan,
+        // then replay accesses of the planned keys: prefetch hits.
+        let records: Vec<_> = (1..=4).map(|k| digest_record(1, k, 2 + k)).collect();
+        dv.ingest_digest(t(10), &records, 0, &|_| true, &mut actions);
+        produce_all(&mut dv, &actions, t(11));
+        let planned: Vec<u64> = actions
+            .iter()
+            .filter_map(|a| match a {
+                DvAction::Launch { keys, reason: LaunchReason::Prefetch, .. } => {
+                    Some(keys.clone())
+                }
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert!(!planned.is_empty(), "scan must have planned prefetches");
+        let before = dv.stats().prefetch_hits;
+        let next_epoch = 20;
+        let follow: Vec<_> = planned
+            .iter()
+            .take(2)
+            .enumerate()
+            .map(|(i, &k)| digest_record(1, k, next_epoch + i as u64))
+            .collect();
+        let mut more = Vec::new();
+        dv.ingest_digest(t(30), &follow, 0, &|_| true, &mut more);
+        assert!(
+            dv.stats().prefetch_hits > before,
+            "materialized planned keys count as prefetch hits"
+        );
+    }
+
+    #[test]
+    fn digest_replay_skips_tau_cli_gap_after_blocked_miss() {
+        // A record that blocked on production carries its acquire-time
+        // epoch, so the gap it opens is wait + consumption, not
+        // consumption: replay must not sample it, or one slow restart
+        // would inflate tau_cli by orders of magnitude.
+        let mut dv = DataVirtualizer::new(cfg(100).with_prefetch(true));
+        dv.set_digest_observation(true);
+        let mk = |key: u64, epoch_s: u64, ready: bool| crate::prefetch::AccessRecord {
+            client: 1,
+            key,
+            epoch: epoch_s * 1_000_000_000,
+            ready,
+        };
+        let mut actions = Vec::new();
+        dv.ingest_digest(
+            t(100),
+            &[
+                mk(1, 1, true),
+                mk(2, 2, true),   // gap 1 s after a ready point: sampled
+                mk(3, 3, false),  // blocked miss (gap 1 s still sampled: starts at 2's ready point)
+                mk(4, 63, true),  // 60 s gap after the *blocked* record: skipped
+                mk(5, 64, true),  // 1 s after a ready point: sampled
+            ],
+            0,
+            &|_| true,
+            &mut actions,
+        );
+        assert_eq!(
+            dv.clients[&1].agent.tau_cli(),
+            Some(Dur::from_secs(1)),
+            "the production wait must not leak into tau_cli"
+        );
+    }
+
+    #[test]
+    fn lossy_window_skips_first_gap_per_client() {
+        // The gap into a drop window spans every lost record: sampling
+        // it would feed one many-fold-inflated consumption sample into
+        // tau_cli. Later gaps inside the same window are contiguous and
+        // sample normally.
+        let mut dv = DataVirtualizer::new(cfg(100).with_prefetch(true));
+        dv.set_digest_observation(true);
+        let mut actions = Vec::new();
+        dv.ingest_digest(t(1), &[digest_record(1, 1, 1)], 0, &|_| true, &mut actions);
+        // 500 records were dropped between the windows: the 2→502 gap
+        // must not be sampled; the following 1 s gaps must.
+        let lossy: Vec<_> = [(2u64, 502u64), (3, 503), (4, 504)]
+            .iter()
+            .map(|&(k, e)| digest_record(1, k, e))
+            .collect();
+        dv.ingest_digest(t(600), &lossy, 500, &|_| true, &mut actions);
+        assert_eq!(
+            dv.clients[&1].agent.tau_cli(),
+            Some(Dur::from_secs(1)),
+            "the drop-window gap must not inflate tau_cli"
+        );
+    }
+
+    #[test]
+    fn pollution_signal_fans_out_to_sibling_replicas() {
+        // The detecting shard raises a signal; applying it to a sibling
+        // resets that replica's agents (and arms its stale-window
+        // discard) without double-counting the reset.
+        let mk = || {
+            let mut dv = DataVirtualizer::new(cfg(100).with_prefetch(true));
+            dv.set_digest_observation(true);
+            dv
+        };
+        let mut detecting = mk();
+        let mut sibling = mk();
+        assert!(!detecting.take_pollution_signal(), "no signal before pollution");
+
+        // Sibling replica confirms a trajectory from the shared stream.
+        let records: Vec<_> = (1..=3).map(|k| digest_record(1, k, k)).collect();
+        let mut actions = Vec::new();
+        sibling.ingest_digest(t(5), &records, 0, &|_| true, &mut actions);
+        assert!(sibling.clients[&1].agent.direction().is_some());
+
+        // Pollution in the detecting shard: agent planned a key, nobody
+        // produces it, and the acquire misses.
+        detecting.ingest_digest(t(5), &records, 0, &|_| true, &mut actions);
+        let planned = *actions
+            .iter()
+            .find_map(|a| match a {
+                DvAction::Launch { keys, reason: LaunchReason::Prefetch, sim, .. } => {
+                    // Fail the launch so the key stays unproduced and
+                    // unpending.
+                    Some((keys.clone(), *sim))
+                }
+                _ => None,
+            })
+            .expect("setup: prefetch planned")
+            .0
+            .start();
+        let sim = actions
+            .iter()
+            .find_map(|a| match a {
+                DvAction::Launch { sim, reason: LaunchReason::Prefetch, .. } => Some(*sim),
+                _ => None,
+            })
+            .unwrap();
+        detecting.handle(t(6), DvEvent::SimFailed { sim });
+        detecting.handle(t(7), DvEvent::Acquire { client: 1, key: planned });
+        assert_eq!(detecting.stats().pollution_resets, 1, "setup: pollution");
+        assert!(detecting.take_pollution_signal(), "signal raised");
+        assert!(!detecting.take_pollution_signal(), "signal is one-shot");
+
+        // Fan-out: the sibling replica backs off too.
+        sibling.apply_pollution_reset();
+        assert!(sibling.clients[&1].agent.direction().is_none());
+        assert_eq!(sibling.stats().pollution_resets, 0, "no double count");
+    }
+
+    #[test]
+    fn pollution_reset_discards_stale_digest_window() {
+        // A pollution reset discards the trajectory; the next drained
+        // window predates the reset and must not instantly re-confirm
+        // it (the inline path only ever observes post-reset accesses).
+        let mut dv = DataVirtualizer::new(cfg(4).with_prefetch(true));
+        dv.set_digest_observation(true);
+        dv.seed_estimates(Dur::from_secs(4), Dur::from_secs(1));
+
+        // Scan far enough that the agent plans ahead, produce the plan
+        // into the tiny 4-step cache (evicting the early keys), then
+        // miss on an evicted planned key: pollution.
+        let records: Vec<_> = (1..=3).map(|k| digest_record(1, k, k)).collect();
+        let mut actions = Vec::new();
+        dv.ingest_digest(t(10), &records, 0, &|_| true, &mut actions);
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                DvAction::Launch { reason: LaunchReason::Prefetch, .. }
+            )),
+            "setup: the scan must plan a prefetch: {actions:?}"
+        );
+        produce_all(&mut dv, &actions.clone(), t(11));
+        let planned_low = 4u64; // 4..=11 was planned; cache keeps only 4
+        assert!(!dv.is_cached(planned_low), "setup: key 4 must be evicted");
+        let a = dv.handle(t(20), DvEvent::Acquire { client: 1, key: planned_low });
+        assert_eq!(dv.stats().pollution_resets, 1, "setup: miss on evicted planned key");
+        produce_all(&mut dv, &a, t(21));
+
+        // Replaying the stale pre-reset window must not re-confirm the
+        // killed trajectory or plan anything.
+        let stale: Vec<_> = (4..=7).map(|k| digest_record(1, k, 10 + k)).collect();
+        let mut after = Vec::new();
+        dv.ingest_digest(t(30), &stale, 0, &|_| true, &mut after);
+        assert!(
+            dv.clients[&1].agent.direction().is_none(),
+            "stale window re-confirmed the reset trajectory"
+        );
+        assert!(
+            !after.iter().any(|a| matches!(a, DvAction::Launch { .. })),
+            "stale window must not plan: {after:?}"
+        );
+
+        // Fresh post-reset observation works normally again.
+        let fresh: Vec<_> = (20..=22).map(|k| digest_record(1, k, 20 + k)).collect();
+        let mut more = Vec::new();
+        dv.ingest_digest(t(40), &fresh, 0, &|_| true, &mut more);
+        assert_eq!(
+            dv.clients[&1].agent.direction(),
+            Some(crate::prefetch::Direction::Forward),
+            "post-reset windows must observe normally"
+        );
+    }
+
+    #[test]
+    fn sharded_digest_launches_partition_by_ownership() {
+        let steps = StepMath::new(1, 4, 40);
+        let ctx = ContextCfg::new("digest-shard", steps, 100, 100 * 100)
+            .with_policy("lru")
+            .with_smax(8)
+            .with_prefetch(true);
+        let mut sharded = ShardedDv::new(ctx, 2);
+        sharded.set_digest_observation(true);
+        let router = sharded.router();
+        // Seed estimates via a real miss + production on each shard.
+        let mut warm = Vec::new();
+        sharded.handle_into(t(0), DvEvent::Acquire { client: 1, key: 2 }, &mut warm);
+        sharded.handle_into(t(0), DvEvent::Acquire { client: 1, key: 6 }, &mut warm);
+        for a in warm.clone() {
+            if let DvAction::Launch { sim, keys, .. } = a {
+                sharded.handle(t(1), DvEvent::SimStarted { sim });
+                for k in keys {
+                    sharded.handle(t(1), DvEvent::FileProduced { sim, key: k, size: 100 });
+                }
+                sharded.handle(t(1), DvEvent::SimFinished { sim });
+            }
+        }
+
+        // Replay a long forward scan into both shards.
+        let records: Vec<_> = (1..=10).map(|k| digest_record(1, k, k)).collect();
+        let mut actions = Vec::new();
+        sharded.ingest_digest(t(20), &records, 0, &mut actions);
+
+        // Every prefetch launch must stay inside one shard's ownership,
+        // and no key may be claimed by two launches.
+        let mut claimed = std::collections::HashSet::new();
+        for a in &actions {
+            if let DvAction::Launch { keys, reason: LaunchReason::Prefetch, sim, .. } = a {
+                let shard = router.shard_of_sim(*sim);
+                for k in keys.clone() {
+                    assert_eq!(
+                        router.shard_of_key(k),
+                        shard,
+                        "launch {keys:?} crosses shard ownership"
+                    );
+                    assert!(claimed.insert(k), "key {k} claimed twice: {actions:?}");
+                }
+            }
+        }
+        assert!(!claimed.is_empty(), "scan must plan prefetches: {actions:?}");
     }
 
     #[test]

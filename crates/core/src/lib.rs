@@ -23,8 +23,8 @@
 //! * [`driver`] — simulation drivers (§III-B): naming conventions,
 //!   key extraction, job creation (the paper's LUA scripts, as a Rust
 //!   trait + pattern driver).
-//! * [`replay`] — synchronous workload replay: computes `V(γ)` (number
-//!   of re-simulated steps) for the cost models and Fig. 5.
+//! * [`mod@replay`] — synchronous workload replay: computes `V(γ)`
+//!   (number of re-simulated steps) for the cost models and Fig. 5.
 //! * [`vharness`] — the virtual-time experiment harness tying the DV to
 //!   `simkit`'s engine and `simbatch`'s cluster (Figs. 16–19).
 //! * [`wire`], [`server`], [`client`], [`intercept`] — the real deal: a

@@ -135,6 +135,22 @@ impl StepMath {
     pub fn n_intervals(&self) -> u64 {
         self.n_outputs().div_ceil(self.outputs_per_interval())
     }
+
+    /// Stable fingerprint of the cadence configuration (FNV-1a over
+    /// `Δd`, `Δr`, `n`), exchanged in the cluster hello handshake: a
+    /// client and a daemon that disagree on the step math would hash
+    /// intervals differently and silently misroute every key, so the
+    /// daemon rejects mismatched fingerprints at session setup.
+    pub fn config_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for field in [self.dd, self.dr, self.n_timesteps] {
+            for byte in field.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 /// Full configuration of a simulation context (§II "Simulation
@@ -304,6 +320,15 @@ mod tests {
     #[should_panic(expected = "multiple of")]
     fn non_divisible_cadence_rejected() {
         StepMath::new(4, 10, 100);
+    }
+
+    #[test]
+    fn config_hash_separates_cadences() {
+        let a = StepMath::new(1, 4, 64).config_hash();
+        assert_eq!(a, StepMath::new(1, 4, 64).config_hash(), "deterministic");
+        assert_ne!(a, StepMath::new(1, 4, 68).config_hash());
+        assert_ne!(a, StepMath::new(1, 8, 64).config_hash());
+        assert_ne!(a, StepMath::new(2, 4, 64).config_hash());
     }
 
     #[test]

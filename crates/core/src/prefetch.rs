@@ -1,9 +1,18 @@
-//! Prefetch agents (§IV-B): one per analysis client.
+//! Prefetch agents (§IV-B) and the lossy access-stream digest that
+//! feeds them: one agent per analysis client, observation decoupled
+//! from the acquire path.
+//!
+//! # The agent algorithm (§IV-B)
 //!
 //! The agent watches the client's access stream, detects forward or
 //! backward k-strided trajectories "after two k-stride consecutive
 //! accesses", and plans re-simulations that (1) mask the restart latency
-//! and (2) match the analysis bandwidth:
+//! `alpha_sim` and (2) match the analysis bandwidth. The three inputs
+//! are exponential moving averages: `alpha_sim` (restart latency) and
+//! `tau_sim` (inter-production gap) maintained by the DV from simulator
+//! notifications, and `tau_cli` — the client's *consumption* time per
+//! step, sampled from ready-to-next-acquire gaps so a blocked analysis
+//! does not look as slow as the simulation that blocks it.
 //!
 //! * **Re-simulation length** (§IV-B1a): enough accesses must fit into
 //!   one block to cover the next restart latency, reserving two accesses
@@ -29,12 +38,188 @@
 //!
 //! The agent only *plans*; the Data Virtualizer filters blocks against
 //! cache/pending state, enforces `s_max`, and emits launches.
+//!
+//! # The pollution-kill rule (§IV-C)
+//!
+//! Two safety valves keep speculation from hurting the cache:
+//!
+//! * **Direction change kills.** When a client's stride changes, its
+//!   outstanding prefetch simulations are killed — but "a simulation can
+//!   be killed only if there are no other analyses waiting for the files
+//!   that are going to be produced by it".
+//! * **Pollution resets.** A *miss* on a key this client's own agent
+//!   prefetched, with nobody currently producing it, means the step was
+//!   produced and then evicted before it was consumed: prefetching is
+//!   running ahead of the cache budget. Every agent is reset (pattern,
+//!   ramp, prefetched-set; the `tau_cli` estimate survives — client
+//!   speed is not invalidated by cache pollution).
+//!
+//! # The access-stream digest: observation decoupled from acquisition
+//!
+//! Historically the agents observed the stream *inside* the acquire
+//! path: every hit took the DV lock so `on_access` could run. That made
+//! a prefetching context the slowest configuration — it disabled the
+//! daemon's lock-free [`simcache::HitIndex`] fast path and forced a
+//! single DV shard (sharding splits the stream each agent sees, and
+//! clustering splits it again across daemons).
+//!
+//! [`AccessLog`] breaks the coupling. Observation becomes a *record*,
+//! not a lock acquisition: each daemon connection appends
+//! [`AccessRecord`]s — `(client, key, epoch)` — to a bounded
+//! per-connection ring as it serves fast-path hits and slow-path
+//! acquires, and a drain step replays the ring into the prefetch agents
+//! under the DV shard locks later (piggybacked on the next slow-path
+//! transition, or on a periodic reactor tick when the stream is pure
+//! hits). Clustered DVLib sessions forward the same digest over the
+//! wire (`AccessDigest`) so every member's agents observe the full
+//! pre-routing sequence and direction/cadence detection survives
+//! clustering.
+//!
+//! The contract, precisely:
+//!
+//! * **Never blocks the hot path.** The ring is owned by one reactor
+//!   thread; `push` is a bounded array write. When the ring is full the
+//!   *oldest* record is overwritten and counted in
+//!   [`AccessLog::dropped`] — the freshest trajectory is what pattern
+//!   detection needs.
+//! * **Lossy, but order-preserving.** Records replay in observation
+//!   order; drops remove a *prefix* of the un-drained window. Loss can
+//!   delay pattern confirmation or skip a trigger (degraded prefetch
+//!   quality, visible in the drop counters) but never reorders the
+//!   stream, so it cannot fabricate a direction change or corrupt agent
+//!   state.
+//! * **Observation lags acquisition by a bounded window.** An agent may
+//!   learn about an access up to one drain interval after the DV served
+//!   it. Plans are still filtered against cache/pending state at drain
+//!   time, so the lag costs at most prefetch lead, never correctness.
+//! * **Epochs are per-client-clock.** Only the differences between one
+//!   client's consecutive epochs are used (as `tau_cli` consumption
+//!   samples); digests forwarded from DVLib carry client-side clocks.
 
 use crate::model::StepMath;
 use crate::perfmodel::Ema;
 use simcache::{u64_set, U64Set};
 use simkit::Dur;
 use std::ops::RangeInclusive;
+
+/// Default [`AccessLog`] capacity: deep enough that a drain every few
+/// hundred requests (the per-wake dispatch cap, or one reactor tick)
+/// loses nothing, small enough to be per-connection state.
+pub const ACCESS_LOG_CAPACITY: usize = 1024;
+
+/// One observed acquire, recorded off the acquire path: who accessed
+/// which key, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// The accessing client.
+    pub client: u64,
+    /// The accessed output-step key.
+    pub key: u64,
+    /// Monotonic observation timestamp in nanoseconds. Clock domain is
+    /// the *recorder's* (daemon or forwarding client); only differences
+    /// between one client's consecutive records carry meaning — they
+    /// become `tau_cli` consumption samples on replay.
+    pub epoch: u64,
+    /// `epoch` is a *ready point*: the request was served immediately,
+    /// so the gap from this record to the client's next access is pure
+    /// consumption time. False for accesses that blocked on production
+    /// (their acquire-time epoch is *earlier* than the data's ready
+    /// time) — replay must not turn the following gap into a `tau_cli`
+    /// sample, or every miss would inflate the estimate by the full
+    /// production wait and mis-size the §IV-B prefetch blocks.
+    pub ready: bool,
+}
+
+/// Bounded, lossy, order-preserving access log: the decoupling buffer
+/// between the lock-free acquire path and the prefetch agents (see the
+/// module docs for the full contract).
+///
+/// Single-owner by design — the daemon keeps one per connection on its
+/// reactor thread, DVLib one per cluster member — so `push` needs no
+/// synchronization. Overflow overwrites the oldest record and counts it;
+/// [`drain_into`](Self::drain_into) hands the window to the replayer
+/// together with the drop count accumulated since the previous drain.
+#[derive(Clone, Debug)]
+pub struct AccessLog {
+    buf: Vec<AccessRecord>,
+    capacity: usize,
+    /// Index of the oldest record.
+    head: usize,
+    len: usize,
+    /// Records lost since the last drain (ring overflows plus any
+    /// wire-reported upstream drops folded in via
+    /// [`note_dropped`](Self::note_dropped)).
+    dropped: u64,
+}
+
+impl AccessLog {
+    /// A log holding at most `capacity` records (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> AccessLog {
+        AccessLog {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one access. Never blocks and never allocates once the
+    /// ring has grown to capacity: a full ring overwrites its oldest
+    /// record and counts the loss.
+    pub fn push(&mut self, record: AccessRecord) {
+        if self.len == self.capacity {
+            // Full: the oldest record gives way. The survivors are the
+            // freshest suffix of the stream — exactly what trajectory
+            // detection wants to see after a gap.
+            self.buf[self.head] = record;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+            return;
+        }
+        let tail = (self.head + self.len) % self.capacity;
+        if tail == self.buf.len() {
+            self.buf.push(record);
+        } else {
+            self.buf[tail] = record;
+        }
+        self.len += 1;
+    }
+
+    /// Records buffered and not yet drained.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records lost since the last drain.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Folds in drops that happened upstream (a forwarded wire digest
+    /// reporting its own sender-side losses).
+    pub fn note_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
+    /// Moves the buffered window into `out` (appended in observation
+    /// order) and returns the loss count accumulated since the previous
+    /// drain, resetting both.
+    pub fn drain_into(&mut self, out: &mut Vec<AccessRecord>) -> u64 {
+        out.reserve(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(self.head + i) % self.capacity]);
+        }
+        self.head = 0;
+        self.len = 0;
+        std::mem::take(&mut self.dropped)
+    }
+}
 
 /// Detected access trajectory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -635,6 +820,73 @@ mod tests {
         let plan = outs[2].plan.as_ref().expect("trigger at frontier");
         let first = *plan.blocks[0].start();
         assert!(a.was_prefetched(first));
+    }
+
+    fn rec(key: u64, epoch: u64) -> AccessRecord {
+        AccessRecord {
+            client: 1,
+            key,
+            epoch,
+            ready: true,
+        }
+    }
+
+    #[test]
+    fn access_log_drains_in_observation_order() {
+        let mut log = AccessLog::new(8);
+        for k in 1..=5 {
+            log.push(rec(k, k * 10));
+        }
+        assert_eq!(log.len(), 5);
+        let mut out = Vec::new();
+        assert_eq!(log.drain_into(&mut out), 0, "no drops under capacity");
+        assert_eq!(out.iter().map(|r| r.key).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        assert!(log.is_empty());
+        // Reusable across drains.
+        log.push(rec(9, 90));
+        out.clear();
+        log.drain_into(&mut out);
+        assert_eq!(out[0].key, 9);
+    }
+
+    #[test]
+    fn access_log_overflow_drops_oldest_and_counts() {
+        let mut log = AccessLog::new(4);
+        for k in 1..=10 {
+            log.push(rec(k, k));
+        }
+        assert_eq!(log.len(), 4, "bounded");
+        assert_eq!(log.dropped(), 6);
+        let mut out = Vec::new();
+        assert_eq!(log.drain_into(&mut out), 6, "drain reports the loss");
+        assert_eq!(
+            out.iter().map(|r| r.key).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10],
+            "freshest suffix survives, in order"
+        );
+        assert_eq!(log.dropped(), 0, "drop counter resets per drain");
+        log.note_dropped(3);
+        assert_eq!(log.dropped(), 3, "upstream losses fold in");
+    }
+
+    #[test]
+    fn access_log_survives_partial_fill_drain_cycles() {
+        let mut log = AccessLog::new(4);
+        let mut out = Vec::new();
+        // Partial fill, drain, then overflow again: the ring indices
+        // must stay coherent across the reset.
+        log.push(rec(1, 1));
+        log.push(rec(2, 2));
+        log.drain_into(&mut out);
+        out.clear();
+        for k in 10..=16 {
+            log.push(rec(k, k));
+        }
+        assert_eq!(log.drain_into(&mut out), 3);
+        assert_eq!(
+            out.iter().map(|r| r.key).collect::<Vec<_>>(),
+            vec![13, 14, 15, 16]
+        );
     }
 
     #[test]

@@ -39,8 +39,8 @@
 //! immediately, and any residue arms `EPOLLOUT` until the socket
 //! drains, after which the interest set reverts to read-only. A slow
 //! reader therefore delays only itself; if its buffer exceeds
-//! [`MAX_OUTBUF`] the connection is dropped rather than buffering
-//! without bound. Per-wake dispatch is capped ([`MAX_FRAMES_PER_WAKE`])
+//! `MAX_OUTBUF` the connection is dropped rather than buffering
+//! without bound. Per-wake dispatch is capped (`MAX_FRAMES_PER_WAKE`)
 //! so one firehose connection cannot starve its shard either; a capped
 //! connection goes onto the shard's backlog and its remaining buffered
 //! frames are re-dispatched before the loop blocks again (they are in
@@ -116,11 +116,40 @@ pub trait Handler: Send + 'static {
     /// connection after pending output flushes.
     fn on_frame(&mut self, frame: &[u8], cx: &mut ConnCtx<'_>) -> bool;
 
+    /// Does this handler currently want periodic ticks? Re-consulted
+    /// after each time the handler runs (frame dispatch or tick) —
+    /// tick interest can only change when handler state does, so the
+    /// shard caches the answer per connection and keeps an O(1)
+    /// interest count instead of scanning every handler per wake.
+    /// While any connection on a shard is interested, that shard
+    /// bounds its epoll wait to the tick interval instead of blocking
+    /// indefinitely (a shard with no tick interest still sleeps fully
+    /// idle). The daemon uses this to drain access-stream digests for
+    /// connections whose traffic is pure fast-path hits — nothing else
+    /// would ever take a DV lock on their behalf.
+    fn wants_tick(&self) -> bool {
+        false
+    }
+
+    /// Periodic service, fired roughly every [`TICK`] while
+    /// [`wants_tick`](Self::wants_tick) holds. Runs on the owning shard
+    /// thread with the same self-send staging as
+    /// [`on_frame`](Self::on_frame).
+    fn on_tick(&mut self, cx: &mut ConnCtx<'_>) {
+        let _ = cx;
+    }
+
     /// The connection is going away (EOF, error, or a `false` return
     /// from [`on_frame`](Self::on_frame)). Called exactly once; not
     /// called on whole-reactor shutdown.
     fn on_close(&mut self);
 }
+
+/// Cadence of [`Handler::on_tick`] while a shard has tick interest:
+/// long enough that a pure-hit connection's digest drains cost nothing
+/// measurable, short enough that agent observation lags acquisition by
+/// at most a few round trips.
+pub const TICK: std::time::Duration = std::time::Duration::from_millis(20);
 
 /// Stable address of a connection: owning shard + shard-local token.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -285,6 +314,11 @@ struct Conn {
     closing: bool,
     /// `on_close` already ran (guards exactly-once delivery).
     closed_called: bool,
+    /// Cached [`Handler::wants_tick`], re-evaluated only after this
+    /// connection's handler actually ran (dispatch, tick) — the shard
+    /// keeps a live count of interested connections so the hot loop
+    /// never scans every handler per wake.
+    tick_interest: bool,
 }
 
 const READ_INTEREST: u32 = EPOLLIN | EPOLLRDHUP;
@@ -406,9 +440,27 @@ fn read_and_dispatch(reactor: &Reactor, shard: usize, token: u64, conn: &mut Con
     }
 }
 
+/// Re-evaluates a connection's tick interest after its handler ran,
+/// keeping the shard's interest count in sync. O(1) per dispatched
+/// connection — the event loop consults only the counter.
+fn refresh_tick(conn: &mut Conn, tick_count: &mut usize) {
+    let want = !conn.closing && conn.handler.wants_tick();
+    if want != conn.tick_interest {
+        conn.tick_interest = want;
+        if want {
+            *tick_count += 1;
+        } else {
+            *tick_count = tick_count.saturating_sub(1);
+        }
+    }
+}
+
 /// Drops a connection, delivering `on_close` if it has not run yet.
-fn destroy(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, token: u64) {
+fn destroy(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, token: u64, tick_count: &mut usize) {
     if let Some(mut conn) = conns.remove(&token) {
+        if conn.tick_interest {
+            *tick_count = tick_count.saturating_sub(1);
+        }
         let _ = epoll.delete(conn.fd());
         if !conn.closed_called {
             conn.handler.on_close();
@@ -424,10 +476,15 @@ fn begin_close(
     epoll: &Epoll,
     conns: &mut HashMap<u64, Conn>,
     token: u64,
+    tick_count: &mut usize,
 ) {
     let Some(conn) = conns.get_mut(&token) else {
         return;
     };
+    if conn.tick_interest {
+        conn.tick_interest = false;
+        *tick_count = tick_count.saturating_sub(1);
+    }
     if !conn.closed_called {
         conn.handler.on_close();
         conn.closed_called = true;
@@ -450,12 +507,12 @@ fn begin_close(
     }
     conn.closing = true;
     if conn.flush(epoll, token).is_err() || conn.out_pending() == 0 {
-        destroy(epoll, conns, token);
+        destroy(epoll, conns, token, tick_count);
     } else if conn.interest != EPOLLOUT {
         // Stop reading; only the flush matters now.
         conn.interest = EPOLLOUT;
         if epoll.modify(conn.fd(), EPOLLOUT, token).is_err() {
-            destroy(epoll, conns, token);
+            destroy(epoll, conns, token, tick_count);
         }
     }
 }
@@ -468,6 +525,14 @@ fn run_shard(reactor: &Arc<Reactor>, idx: usize, epoll: &Epoll) {
     // Connections whose dispatch hit the per-wake cap with frames still
     // buffered in userspace; re-dispatched before the loop blocks.
     let mut backlog: Vec<u64> = Vec::new();
+    let mut last_tick = std::time::Instant::now();
+    // Live count of connections whose handler wants ticks (maintained
+    // by `refresh_tick` at handler-run boundaries): the hot loop tests
+    // this counter instead of scanning every handler per wake.
+    let mut tick_count: usize = 0;
+    // Reused scratch for the tokens due a tick (conns cannot be
+    // mutably iterated while handlers run).
+    let mut tick_tokens: Vec<u64> = Vec::new();
     loop {
         // Drain the inbox first: adopt new connections and apply queued
         // sends. Shard-local sends rely on this running again after
@@ -495,6 +560,7 @@ fn run_shard(reactor: &Arc<Reactor>, idx: usize, epoll: &Epoll) {
                     interest: READ_INTEREST,
                     closing: false,
                     closed_called: false,
+                    tick_interest: false,
                 },
             );
         }
@@ -507,7 +573,7 @@ fn run_shard(reactor: &Arc<Reactor>, idx: usize, epoll: &Epoll) {
             }
             conn.out.extend_from_slice(&bytes);
             if conn.flush(epoll, token).is_err() {
-                destroy(epoll, &mut conns, token);
+                destroy(epoll, &mut conns, token, &mut tick_count);
             }
         }
 
@@ -526,30 +592,38 @@ fn run_shard(reactor: &Arc<Reactor>, idx: usize, epoll: &Epoll) {
             }
             match read_and_dispatch(reactor, idx, token, conn) {
                 ReadOutcome::Open => {
+                    refresh_tick(conn, &mut tick_count);
                     if conn.flush(epoll, token).is_err() {
-                        destroy(epoll, &mut conns, token);
+                        destroy(epoll, &mut conns, token, &mut tick_count);
                     }
                 }
                 ReadOutcome::Capped => {
+                    refresh_tick(conn, &mut tick_count);
                     if conn.flush(epoll, token).is_err() {
-                        destroy(epoll, &mut conns, token);
+                        destroy(epoll, &mut conns, token, &mut tick_count);
                     } else {
                         backlog.push(token);
                     }
                 }
                 ReadOutcome::CloseRequested | ReadOutcome::Eof => {
-                    begin_close(reactor, idx, epoll, &mut conns, token)
+                    begin_close(reactor, idx, epoll, &mut conns, token, &mut tick_count)
                 }
-                ReadOutcome::Dead => destroy(epoll, &mut conns, token),
+                ReadOutcome::Dead => destroy(epoll, &mut conns, token, &mut tick_count),
             }
         }
 
         // Don't block while work is pending: a backlog of buffered
         // frames, or inbox entries enqueued after the top-of-loop drain
         // (a shard-local send during backlog dispatch skips the
-        // eventfd, so blocking here would strand it).
+        // eventfd, so blocking here would strand it). Tick interest
+        // (the O(1) counter) bounds the wait instead of blocking it; a
+        // shard with neither still parks indefinitely.
         let timeout_ms = if backlog.is_empty() && reactor.shards[idx].inbox_is_empty() {
-            -1
+            if tick_count > 0 {
+                TICK.as_millis() as i32
+            } else {
+                -1
+            }
         } else {
             0
         };
@@ -557,6 +631,41 @@ fn run_shard(reactor: &Arc<Reactor>, idx: usize, epoll: &Epoll) {
             Ok(n) => n,
             Err(_) => continue,
         };
+        if tick_count > 0 && last_tick.elapsed() >= TICK {
+            last_tick = std::time::Instant::now();
+            tick_tokens.clear();
+            tick_tokens.extend(
+                conns
+                    .iter()
+                    .filter(|(_, c)| c.tick_interest)
+                    .map(|(&t, _)| t),
+            );
+            for &token in &tick_tokens {
+                let Some(conn) = conns.get_mut(&token) else {
+                    continue;
+                };
+                let Conn { handler, out, .. } = conn;
+                let mut cx = ConnCtx {
+                    reactor,
+                    conn: ConnRef { shard: idx, token },
+                    out,
+                };
+                CURRENT_CONN.with(|c| c.set((idx, token)));
+                handler.on_tick(&mut cx);
+                CURRENT_CONN.with(|c| c.set((usize::MAX, u64::MAX)));
+                SELF_STAGE.with(|s| {
+                    let mut staged = s.borrow_mut();
+                    if !staged.is_empty() {
+                        out.extend_from_slice(&staged);
+                        staged.clear();
+                    }
+                });
+                refresh_tick(conn, &mut tick_count);
+                if conn.flush(epoll, token).is_err() {
+                    destroy(epoll, &mut conns, token, &mut tick_count);
+                }
+            }
+        }
         for ev in &events[..n] {
             let (mask, token) = (ev.events, ev.data);
             if token == WAKE_TOKEN {
@@ -567,35 +676,37 @@ fn run_shard(reactor: &Arc<Reactor>, idx: usize, epoll: &Epoll) {
                 continue; // destroyed earlier in this batch
             };
             if mask & (EPOLLERR | EPOLLHUP) != 0 {
-                destroy(epoll, &mut conns, token);
+                destroy(epoll, &mut conns, token, &mut tick_count);
                 continue;
             }
             if mask & EPOLLOUT != 0
                 && (conn.flush(epoll, token).is_err()
                     || (conn.closing && conn.out_pending() == 0))
             {
-                destroy(epoll, &mut conns, token);
+                destroy(epoll, &mut conns, token, &mut tick_count);
                 continue;
             }
             if mask & (EPOLLIN | EPOLLRDHUP) != 0 && !conn.closing {
                 match read_and_dispatch(reactor, idx, token, conn) {
                     ReadOutcome::Open => {
+                        refresh_tick(conn, &mut tick_count);
                         // Flush direct writes the handler produced.
                         if conn.flush(epoll, token).is_err() {
-                            destroy(epoll, &mut conns, token);
+                            destroy(epoll, &mut conns, token, &mut tick_count);
                         }
                     }
                     ReadOutcome::Capped => {
+                        refresh_tick(conn, &mut tick_count);
                         if conn.flush(epoll, token).is_err() {
-                            destroy(epoll, &mut conns, token);
+                            destroy(epoll, &mut conns, token, &mut tick_count);
                         } else if !backlog.contains(&token) {
                             backlog.push(token);
                         }
                     }
                     ReadOutcome::CloseRequested | ReadOutcome::Eof => {
-                        begin_close(reactor, idx, epoll, &mut conns, token)
+                        begin_close(reactor, idx, epoll, &mut conns, token, &mut tick_count)
                     }
-                    ReadOutcome::Dead => destroy(epoll, &mut conns, token),
+                    ReadOutcome::Dead => destroy(epoll, &mut conns, token, &mut tick_count),
                 }
             }
         }

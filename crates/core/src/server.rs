@@ -38,20 +38,37 @@
 //! the §IV hot path — an acquire of an already-virtualized step — gets
 //! cheaper as it gets more common. From least to most exclusive:
 //!
-//! 1. **Concurrent hit index (no DV lock).** Contexts running without
-//!    prefetch agents keep a [`simcache::HitIndex`]: a sharded,
-//!    read-mostly replica of cache membership with atomic fast-pin
-//!    counts. A hit acquire pins the key under one index-shard *read*
-//!    lock, counts itself atomically, and replies — it never touches a
-//!    DV lock. Eviction (under the DV shard lock) must win
-//!    `try_retire` against the index, whose write lock excludes
-//!    in-flight pinners; a fast path that loses the race observes the
-//!    bumped shard generation and falls back to the slow path. Fast
-//!    releases likewise drop their pin with index atomics only; each
-//!    connection tracks its fast pins locally (reactor-thread-owned
-//!    state, no locks) and drains them on disconnect. Prefetching
-//!    contexts skip this layer: agents must observe the full access
-//!    stream, so their hits take the slow path as before.
+//! 1. **Concurrent hit index (no DV lock).** Every context keeps a
+//!    [`simcache::HitIndex`]: a sharded, read-mostly replica of cache
+//!    membership with atomic fast-pin counts. A hit acquire pins the
+//!    key under one index-shard *read* lock, counts itself atomically,
+//!    and replies — it never touches a DV lock. Eviction (under the DV
+//!    shard lock) must win `try_retire` against the index, whose write
+//!    lock excludes in-flight pinners; a fast path that loses the race
+//!    observes the bumped shard generation and falls back to the slow
+//!    path. Fast releases likewise drop their pin with index atomics
+//!    only; each connection tracks its fast pins locally
+//!    (reactor-thread-owned state, no locks) and drains them on
+//!    disconnect.
+//!
+//! 1a. **Access digest (no locks on record, shard locks on drain).**
+//!    Prefetching contexts need their agents to observe the *full*
+//!    access stream — which hits serving through layer 1 (and, under
+//!    clustering, requests routed to other daemons) would otherwise
+//!    bypass. Observation is therefore decoupled from acquisition:
+//!    each connection appends `(client, key, epoch)` records to a
+//!    bounded lossy [`crate::prefetch::AccessLog`] owned by its reactor
+//!    thread (a plain array write — overflow drops the oldest record
+//!    and counts it), and the log drains into the agents under the DV
+//!    shard locks later: piggybacked on the connection's next slow-path
+//!    transition (which takes locks anyway), on a periodic reactor tick
+//!    when the stream is pure hits, or when a clustered client's
+//!    forwarded `AccessDigest` frame arrives. Replay feeds every shard
+//!    (each agent replica sees the whole sequence) while planning is
+//!    partitioned by interval ownership, so the shards' prefetch
+//!    launches compose without overlap. The digest tier takes no lock
+//!    of its own and is the reason prefetching contexts keep both
+//!    layer 1 and N-way DV sharding.
 //! 2. **Per-key-range DV shard locks.** The DV state machine is split
 //!    into N independent shards routed by restart interval
 //!    ([`crate::dv::DvRouter`]): each shard owns a disjoint set of
@@ -77,7 +94,7 @@
 //! The transition discipline is unchanged from the split-lock design:
 //! **collect under lock, effect after release.** A transition locks one
 //! DV shard, runs [`DataVirtualizer::handle_into`] into a reusable
-//! scratch buffer, resolves actions into an [`Effects`] value and
+//! scratch buffer, resolves actions into an `Effects` value and
 //! unlocks; response encoding, socket writes, job spawning and file
 //! deletion all happen outside every DV lock. All responses of one
 //! transition for one destination coalesce into a single
@@ -104,6 +121,7 @@ use crate::dv::{
     ClientId, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, EventRoute, ShardedDv, SimId,
 };
 use crate::model::{ContextCfg, StepMath};
+use crate::prefetch::{AccessLog, AccessRecord, ACCESS_LOG_CAPACITY};
 use crate::reactor::{ConnCtx, Reactor};
 use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLIN};
 use crate::wire::{self, ClientKind, FrameBatch, Request, Response};
@@ -150,16 +168,15 @@ pub struct ServerConfig {
     pub checksums: HashMap<u64, u64>,
     /// Number of independent DV shards the context's control plane is
     /// split into (key-range sharding by restart interval). `0` picks
-    /// `min(cores, 4, s_max)` for prefetch-off contexts and `1` for
-    /// prefetching ones — sharding splits the access stream each
-    /// prefetch agent observes (a sequential scan reaches a shard only
-    /// every Nth interval), so agents' cadence/direction estimates
-    /// degrade; opt in explicitly if that trade is acceptable. Values
-    /// above 1 partition the cache budget and `s_max` evenly across
-    /// shards — eviction pressure becomes per-key-range rather than
-    /// global, and because every shard keeps at least one launch slot,
-    /// explicitly requesting more shards than `s_max` raises the
-    /// effective concurrent-sim cap to the shard count.
+    /// `min(cores, 4, s_max)`. Prefetching contexts shard like any
+    /// other: the access-stream digest replays the full sequence into
+    /// every shard's agents, so sharding no longer degrades
+    /// direction/cadence detection. Values above 1 partition the cache
+    /// budget and `s_max` evenly across shards — eviction pressure
+    /// becomes per-key-range rather than global, and because every
+    /// shard keeps at least one launch slot, explicitly requesting more
+    /// shards than `s_max` raises the effective concurrent-sim cap to
+    /// the shard count.
     pub dv_shards: u32,
     /// This daemon's position in a multi-daemon cluster
     /// ([`ClusterMember::SOLO`] for standalone deployments). Member `k`
@@ -252,6 +269,18 @@ struct ConnLocal {
     /// Reusable encode buffer for fast-path replies written straight
     /// into the connection's output.
     scratch: FrameBatch,
+    /// This connection's slice of the access-stream digest (prefetching
+    /// contexts only): every acquire — fast or slow — is recorded here
+    /// and replayed into the agents when the log drains.
+    log: AccessLog,
+    /// Reused drain buffer (records move here before replay so the log
+    /// can keep filling while shard locks are held).
+    drain_scratch: Vec<AccessRecord>,
+    /// Record the local request stream into `log`. Off for clustered
+    /// DVLib sessions: they see only the keys routed here, so they
+    /// forward their full pre-routing stream as `AccessDigest` frames
+    /// instead — recording both would feed every access twice.
+    observe_local: bool,
 }
 
 impl ConnLocal {
@@ -259,6 +288,9 @@ impl ConnLocal {
         ConnLocal {
             fast_pins: u64_map(),
             scratch: FrameBatch::new(),
+            log: AccessLog::new(ACCESS_LOG_CAPACITY),
+            drain_scratch: Vec::new(),
+            observe_local: true,
         }
     }
 }
@@ -286,9 +318,13 @@ struct CtxRuntime {
     cluster: ClusterMember,
     /// The context's step math (for cluster-ownership checks).
     steps: StepMath,
-    /// The lock-free hit layer; present iff the context runs without
-    /// prefetch agents (which must see the full access stream).
-    fast: Option<Arc<HitIndex>>,
+    /// The lock-free hit layer (every context — prefetching ones
+    /// observe through the digest instead of the acquire path).
+    fast: Arc<HitIndex>,
+    /// The context runs prefetch agents, fed by digest drains:
+    /// connections record their access streams and the daemon replays
+    /// them under the shard locks (layer 1a of the hierarchy).
+    digest: bool,
     perf: LockPerf,
     reactor: Arc<Reactor>,
     ledger: Mutex<LaunchLedger>,
@@ -677,12 +713,10 @@ impl CtxRuntime {
             total.accumulate(core.dv.stats());
             active += core.dv.active_sims() as u64;
         }
-        if let Some(index) = &self.fast {
-            let fast_hits = index.fast_hits();
-            total.hits += fast_hits;
-            total.acquired_fast = fast_hits;
-            total.hit_fallbacks = index.race_fallbacks();
-        }
+        let fast_hits = self.fast.fast_hits();
+        total.hits += fast_hits;
+        total.acquired_fast = fast_hits;
+        total.hit_fallbacks = self.fast.race_fallbacks();
         total.acquired_slow = self.perf.acquired_slow.load(Ordering::Relaxed);
         total.lock_wait_ns = self.perf.wait_ns.load(Ordering::Relaxed);
         total.lock_hold_ns = self.perf.hold_ns.load(Ordering::Relaxed);
@@ -709,6 +743,14 @@ impl CtxRuntime {
             Request::Acquire { req_id, keys } => {
                 let mut slow_keys = 0u64;
                 let mut rejected = false;
+                let mut polluted = false;
+                // Observation is a record, not a lock acquisition: in
+                // prefetching contexts every locally observed key —
+                // fast or slow — lands in the connection's digest log,
+                // stamped with one epoch per request (a multi-key
+                // acquire is one consumption point).
+                let digest_on = self.digest && local.observe_local;
+                let epoch = if digest_on { inner.now().as_nanos() } else { 0 };
                 for &key in &keys {
                     // Layer 0 (clusters only): ownership. A key whose
                     // interval hashes to another daemon is refused — a
@@ -743,18 +785,27 @@ impl CtxRuntime {
                     // eviction-visible before we reply) and answered
                     // straight into this connection's output buffer —
                     // no DV lock, no routing table.
-                    if let Some(index) = &self.fast {
-                        if index.try_hit_pin(key) {
-                            *local.fast_pins.entry(key).or_insert(0) += 1;
-                            local.scratch.push_response(&Response::Ready { req_id, key });
-                            continue;
+                    if self.fast.try_hit_pin(key) {
+                        *local.fast_pins.entry(key).or_insert(0) += 1;
+                        if digest_on {
+                            // Served instantly: the epoch is a true
+                            // ready point.
+                            local.log.push(AccessRecord {
+                                client,
+                                key,
+                                epoch,
+                                ready: true,
+                            });
                         }
+                        local.scratch.push_response(&Response::Ready { req_id, key });
+                        continue;
                     }
                     // Layer 2: the locked path, one shard lock per key
                     // (multi-key requests may span shards).
                     slow_keys += 1;
                     let now = inner.now();
                     let s = self.router.shard_of_key(key);
+                    let mut resolved = true;
                     self.with_shard(
                         s,
                         fx,
@@ -767,10 +818,12 @@ impl CtxRuntime {
                             dv.handle_into(now, DvEvent::Acquire { client, key }, actions);
                         },
                         |core, fx| {
+                            polluted |= core.dv.take_pollution_signal();
                             // Still pending after collect? Tell the
                             // client it is queued, with the wait
                             // estimate (§III-C).
                             if core.pending.contains_key(&(client, key)) {
+                                resolved = false;
                                 let est = core
                                     .dv
                                     .estimate_wait(key)
@@ -786,15 +839,47 @@ impl CtxRuntime {
                             }
                         },
                     );
+                    if digest_on {
+                        // A key that stayed pending blocks the client
+                        // until production: its acquire-time epoch is
+                        // not a ready point, so replay must not sample
+                        // the following gap as consumption time.
+                        local.log.push(AccessRecord {
+                            client,
+                            key,
+                            epoch,
+                            ready: resolved,
+                        });
+                    }
                 }
                 if !local.scratch.is_empty() {
                     cx.write(local.scratch.as_bytes());
                     local.scratch.clear();
                 }
+                if polluted {
+                    // A §IV-C pollution reset fired in one shard; every
+                    // shard holds its own replica of each client's
+                    // agents, so the reset must reach them all (and set
+                    // their stale-window discards) before the drain
+                    // below replays anything. One lock at a time, as
+                    // always.
+                    for s in 0..self.shards.len() {
+                        self.with_shard(
+                            s,
+                            fx,
+                            |core| core.dv.apply_pollution_reset(),
+                            |_, _| {},
+                        );
+                    }
+                }
                 if slow_keys > 0 {
                     self.perf
                         .acquired_slow
                         .fetch_add(slow_keys, Ordering::Relaxed);
+                    // Piggyback the digest drain on a request that took
+                    // shard locks anyway; pure-hit streams drain from
+                    // the reactor tick instead.
+                    self.drain_digest(inner, local, fx);
                 }
                 if slow_keys > 0 || rejected {
                     self.commit(inner, fx);
@@ -803,17 +888,15 @@ impl CtxRuntime {
             }
             Request::Release { key } => {
                 // Fast pins are released with index atomics alone; pins
-                // taken through the DV (miss productions, prefetching
-                // contexts) release through the owning shard.
-                if let Some(index) = &self.fast {
-                    if let Some(n) = local.fast_pins.get_mut(&key) {
-                        *n -= 1;
-                        if *n == 0 {
-                            local.fast_pins.remove(&key);
-                        }
-                        index.unpin(key, 1);
-                        return true;
+                // taken through the DV (miss productions) release
+                // through the owning shard.
+                if let Some(n) = local.fast_pins.get_mut(&key) {
+                    *n -= 1;
+                    if *n == 0 {
+                        local.fast_pins.remove(&key);
                     }
+                    self.fast.unpin(key, 1);
+                    return true;
                 }
                 self.transition(inner, DvEvent::Release { client, key }, fx);
                 self.commit(inner, fx);
@@ -860,6 +943,29 @@ impl CtxRuntime {
                 self.flush_outbox(fx);
                 true
             }
+            Request::AccessDigest { dropped, records } => {
+                // A clustered DVLib session forwarding its full
+                // pre-routing access stream (fire-and-forget, one frame
+                // per coalesced write). Fold it into the connection log
+                // — the ring bounds memory, so a hostile burst degrades
+                // to drops, never growth — and drain now: the frame is
+                // batched, so the lock cost is amortized. Contexts
+                // without agents ignore digests.
+                if self.digest {
+                    local.log.note_dropped(dropped);
+                    for (key, epoch, ready) in records {
+                        local.log.push(AccessRecord {
+                            client,
+                            key,
+                            epoch,
+                            ready,
+                        });
+                    }
+                    self.drain_digest(inner, local, fx);
+                    self.commit(inner, fx);
+                }
+                true
+            }
             Request::Bye => false,
             _ => {
                 fx.outbox.push((
@@ -871,6 +977,43 @@ impl CtxRuntime {
                 self.flush_outbox(fx);
                 false
             }
+        }
+    }
+
+    /// Drains the connection's access log into the prefetch agents
+    /// (layer 1a): records replay into *every* shard under its lock —
+    /// each agent replica must observe the full sequence — while
+    /// planning and accounting stay partitioned by interval ownership,
+    /// so the shards' prefetch launches compose without overlap. Drop
+    /// counts fold into shard 0's stats (one shard must own them or
+    /// roll-ups would multiply).
+    fn drain_digest(&self, inner: &Inner, local: &mut ConnLocal, fx: &mut Effects) {
+        if !self.digest || local.log.is_empty() {
+            return;
+        }
+        local.drain_scratch.clear();
+        let dropped = local.log.drain_into(&mut local.drain_scratch);
+        let records = &local.drain_scratch;
+        let now = inner.now();
+        let router = self.router;
+        let cluster = self.cluster;
+        let steps = self.steps;
+        for s in 0..self.shards.len() {
+            self.with_shard(
+                s,
+                fx,
+                |core| {
+                    if s == 0 && dropped > 0 {
+                        core.dv.note_digest_dropped(dropped);
+                    }
+                    let owns = |key: u64| {
+                        cluster.owns_key(&steps, key) && router.shard_of_key(key) == s
+                    };
+                    let DvCore { dv, actions, .. } = core;
+                    dv.ingest_digest(now, records, dropped, &owns, actions);
+                },
+                |_, _| {},
+            );
         }
     }
 
@@ -886,10 +1029,8 @@ impl CtxRuntime {
         fx: &mut Effects,
     ) {
         self.reactor.unregister(client);
-        if let Some(index) = &self.fast {
-            for (key, pins) in local.fast_pins.drain() {
-                index.unpin(key, pins);
-            }
+        for (key, pins) in local.fast_pins.drain() {
+            self.fast.unpin(key, pins);
         }
         for shard in &self.shards {
             let mut core = shard.lock();
@@ -1000,29 +1141,24 @@ impl DvServer {
             // takes its 1/K slice before intra-process sharding).
             let member_smax = crate::dv::shard_cfg(&config.ctx, cluster.size).smax;
             let n_shards = if config.dv_shards == 0 {
-                if config.ctx.prefetch {
-                    // Auto never shards a prefetching context: agents
-                    // need the whole access stream (see `dv_shards`).
-                    1
-                } else {
-                    // Clamped by the member's `s_max` slice: each shard
-                    // runs at least one sim (see `shard_cfg`), so more
-                    // shards than launch slots would silently raise the
-                    // configured cap.
-                    (cores as u32).min(4).min(member_smax)
-                }
+                // Clamped by the member's `s_max` slice: each shard
+                // runs at least one sim (see `shard_cfg`), so more
+                // shards than launch slots would silently raise the
+                // configured cap. Prefetching contexts shard too — the
+                // access-stream digest replays the full sequence into
+                // every shard's agents, so sharding no longer splits
+                // what they observe.
+                (cores as u32).min(4).min(member_smax)
             } else {
                 config.dv_shards
             }
             .max(1);
-            // The lock-free hit layer requires hits to bypass the DV —
-            // incompatible with prefetch agents, which must observe the
-            // full access stream to detect direction and cadence.
-            let fast = if config.ctx.prefetch {
-                None
-            } else {
-                Some(Arc::new(HitIndex::new(HIT_INDEX_SHARDS)))
-            };
+            // The lock-free hit layer serves every context. Prefetching
+            // contexts decouple observation from acquisition: fast hits
+            // are *recorded* into the per-connection digest and replayed
+            // into the agents out-of-band instead of taking a DV lock.
+            let fast = Arc::new(HitIndex::new(HIT_INDEX_SHARDS));
+            let digest = config.ctx.prefetch;
             // The shard composition (per-member and per-shard cfg
             // slices, cluster-wide sim-id striding, routing) comes from
             // `ShardedDv` — the reference object the CI-pinned
@@ -1030,10 +1166,9 @@ impl DvServer {
             // drift from the sharding contract, clustered or not.
             let (mut shards, router) =
                 ShardedDv::cluster_member(config.ctx.clone(), n_shards, cluster).into_parts();
-            if let Some(index) = &fast {
-                for dv in &mut shards {
-                    dv.attach_index(Arc::clone(index));
-                }
+            for dv in &mut shards {
+                dv.attach_index(Arc::clone(&fast));
+                dv.set_digest_observation(digest);
             }
 
             // Prime: everything already on disk is cached state, routed
@@ -1068,6 +1203,7 @@ impl DvServer {
                 cluster,
                 steps,
                 fast,
+                digest,
                 perf: LockPerf::default(),
                 reactor: Arc::clone(&reactor),
                 ledger: Mutex::new(LaunchLedger::default()),
@@ -1210,12 +1346,11 @@ impl DvServer {
 
     /// Observability probe: is `key` currently fast-pinned in
     /// `context`'s lock-free hit index? `None` when the context is
-    /// unknown or runs without the fast layer (prefetching contexts).
-    /// Used by the disconnect leak tests — a pin that survives its
-    /// owning connection would veto eviction forever.
+    /// unknown. Used by the disconnect leak tests — a pin that
+    /// survives its owning connection would veto eviction forever.
     pub fn fast_pinned(&self, context: &str, key: u64) -> Option<bool> {
         let runtime = self.inner.contexts.get(context)?;
-        runtime.fast.as_ref().map(|index| index.is_pinned(key))
+        Some(runtime.fast.is_pinned(key))
     }
 
     /// The names of the contexts served.
@@ -1352,7 +1487,12 @@ impl crate::reactor::Handler for EpollConn {
                 let Ok(req) = Request::decode(frame) else {
                     return false;
                 };
-                let Request::Hello { kind, context } = req else {
+                let Request::Hello {
+                    kind,
+                    context,
+                    membership,
+                } = req
+                else {
                     direct_frame(
                         cx,
                         &Response::Error {
@@ -1365,6 +1505,38 @@ impl crate::reactor::Handler for EpollConn {
                     direct_frame(cx, &unknown_context_error(&self.inner, &context));
                     return false;
                 };
+                // Membership handshake: a client whose member map or
+                // step math disagrees with this daemon would misroute
+                // every interval — reject it here, descriptively,
+                // instead of failing key-by-key later (or worse,
+                // silently accepting a stream hashed with different
+                // cadences). `None` (solo tools, simulators) skips the
+                // check: they route nothing.
+                if let Some(m) = membership {
+                    let want_hash = runtime.steps.config_hash();
+                    if m.index != runtime.cluster.index
+                        || m.size != runtime.cluster.size
+                        || m.steps_hash != want_hash
+                    {
+                        direct_frame(
+                            cx,
+                            &Response::Error {
+                                message: format!(
+                                    "cluster membership mismatch: client expects member \
+                                     {} of {} with steps hash {:#018x}, daemon is member \
+                                     {} of {} with steps hash {:#018x}",
+                                    m.index,
+                                    m.size,
+                                    m.steps_hash,
+                                    runtime.cluster.index,
+                                    runtime.cluster.size,
+                                    want_hash
+                                ),
+                            },
+                        );
+                        return false;
+                    }
+                }
                 match kind {
                     ClientKind::Analysis => {
                         let client = self.inner.next_client.fetch_add(1, Ordering::SeqCst);
@@ -1373,10 +1545,15 @@ impl crate::reactor::Handler for EpollConn {
                         // follow the HelloOk already in the buffer.
                         cx.register(client);
                         direct_frame(cx, &Response::HelloOk { client_id: client });
+                        let mut local = ConnLocal::new();
+                        // Clustered sessions see only the keys routed
+                        // here; their full stream arrives as forwarded
+                        // AccessDigest frames instead of local records.
+                        local.observe_local = membership.is_none_or(|m| m.size <= 1);
                         self.state = ConnState::Analysis {
                             runtime,
                             client,
-                            local: ConnLocal::new(),
+                            local,
                             fx: Effects::default(),
                         };
                     }
@@ -1417,6 +1594,33 @@ impl crate::reactor::Handler for EpollConn {
                 runtime.handle_simulator_request(&self.inner, *sim, req, finished, fx)
             }
             ConnState::Done => false,
+        }
+    }
+
+    fn wants_tick(&self) -> bool {
+        // A prefetching context's pure-hit connection never takes a DV
+        // lock, so its recorded accesses would otherwise sit in the log
+        // forever: ask the reactor for ticks while records wait.
+        match &self.state {
+            ConnState::Analysis { runtime, local, .. } => {
+                runtime.digest && !local.log.is_empty()
+            }
+            _ => false,
+        }
+    }
+
+    fn on_tick(&mut self, _cx: &mut ConnCtx<'_>) {
+        if let ConnState::Analysis {
+            runtime,
+            local,
+            fx,
+            ..
+        } = &mut self.state
+        {
+            if runtime.digest && !local.log.is_empty() {
+                runtime.drain_digest(&self.inner, local, fx);
+                runtime.commit(&self.inner, fx);
+            }
         }
     }
 
@@ -1528,6 +1732,7 @@ impl JobLauncher for ThreadSimLauncher {
                     &Request::Hello {
                         kind: ClientKind::Simulator { sim_id },
                         context,
+                        membership: None,
                     }
                     .encode(),
                 )?;

@@ -31,6 +31,24 @@ pub enum ClientKind {
     },
 }
 
+/// Cluster-membership claim attached to a [`Request::Hello`]: what the
+/// connecting client believes about the daemon it dialed. A cluster
+/// member compares it against its own configuration and rejects the
+/// session on mismatch — a client whose member list or
+/// [`StepMath`](crate::model::StepMath) disagrees with the daemon's
+/// would otherwise silently misroute every interval. `None` (solo
+/// tools, simulators, tests) skips the check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Membership {
+    /// The member index the client believes this daemon holds.
+    pub index: u32,
+    /// The cluster size the client routes over.
+    pub size: u32,
+    /// [`StepMath::config_hash`](crate::model::StepMath::config_hash)
+    /// of the step math the client hashes intervals with.
+    pub steps_hash: u64,
+}
+
 /// Client → DV messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -40,6 +58,9 @@ pub enum Request {
         kind: ClientKind,
         /// Context name (§II "Simulation Contexts").
         context: String,
+        /// Cluster-membership claim, verified by the daemon at hello
+        /// time (`None` skips the handshake check).
+        membership: Option<Membership>,
     },
     /// Request output steps (`SIMFS_Acquire`): the DV answers one
     /// `Ready`/`Failed` per key; `Queued` may precede them.
@@ -77,6 +98,22 @@ pub enum Request {
     Status {
         /// Request id echoed in the response.
         req_id: u64,
+    },
+    /// Analysis: a lossy digest of the client's access stream since the
+    /// last digest — `(key, epoch, ready)` records in observation order
+    /// plus the count of records the client's bounded log had to drop.
+    /// Sent by clustered DVLib sessions so every member's prefetch
+    /// agents observe the full (pre-routing) sequence; epochs come from
+    /// the *client's* monotonic clock, so only their differences carry
+    /// meaning (consumption-time gaps), and `ready` marks epochs that
+    /// are true ready points (see
+    /// [`AccessRecord::ready`](crate::prefetch::AccessRecord::ready)).
+    /// Fire-and-forget: no response.
+    AccessDigest {
+        /// Records the client-side log dropped since the last digest.
+        dropped: u64,
+        /// `(key, epoch_ns, ready)` in observation order.
+        records: Vec<(u64, u64, bool)>,
     },
     /// Orderly goodbye.
     Bye,
@@ -182,7 +219,11 @@ impl Request {
     /// Appends the frame body to `buf` without allocating.
     pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
-            Request::Hello { kind, context } => {
+            Request::Hello {
+                kind,
+                context,
+                membership,
+            } => {
                 buf.put_u8(0);
                 match kind {
                     ClientKind::Analysis => buf.put_u8(0),
@@ -192,6 +233,15 @@ impl Request {
                     }
                 }
                 put_string(buf, context);
+                match membership {
+                    None => buf.put_u8(0),
+                    Some(m) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(m.index);
+                        buf.put_u32_le(m.size);
+                        buf.put_u64_le(m.steps_hash);
+                    }
+                }
             }
             Request::Acquire { req_id, keys } => {
                 buf.put_u8(1);
@@ -222,6 +272,16 @@ impl Request {
                 buf.put_u8(8);
                 buf.put_u64_le(*req_id);
             }
+            Request::AccessDigest { dropped, records } => {
+                buf.put_u8(9);
+                buf.put_u64_le(*dropped);
+                buf.put_u32_le(records.len() as u32);
+                for (key, epoch, ready) in records {
+                    buf.put_u64_le(*key);
+                    buf.put_u64_le(*epoch);
+                    buf.put_u8(u8::from(*ready));
+                }
+            }
         }
     }
 
@@ -248,9 +308,28 @@ impl Request {
                     }
                     k => return Err(corrupt(&format!("unknown client kind {k}"))),
                 };
+                let context = get_string(&mut buf)?;
+                if buf.remaining() < 1 {
+                    return Err(corrupt("truncated membership flag"));
+                }
+                let membership = match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        if buf.remaining() < 16 {
+                            return Err(corrupt("truncated membership"));
+                        }
+                        Some(Membership {
+                            index: buf.get_u32_le(),
+                            size: buf.get_u32_le(),
+                            steps_hash: buf.get_u64_le(),
+                        })
+                    }
+                    f => return Err(corrupt(&format!("unknown membership flag {f}"))),
+                };
                 Request::Hello {
                     kind,
-                    context: get_string(&mut buf)?,
+                    context,
+                    membership,
                 }
             }
             1 => {
@@ -301,6 +380,20 @@ impl Request {
                 Request::Status {
                     req_id: buf.get_u64_le(),
                 }
+            }
+            9 => {
+                if buf.remaining() < 12 {
+                    return Err(corrupt("truncated access digest"));
+                }
+                let dropped = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n * 17 {
+                    return Err(corrupt("truncated access digest records"));
+                }
+                let records = (0..n)
+                    .map(|_| (buf.get_u64_le(), buf.get_u64_le(), buf.get_u8() != 0))
+                    .collect();
+                Request::AccessDigest { dropped, records }
             }
             t => return Err(corrupt(&format!("unknown request tag {t}"))),
         };
@@ -690,10 +783,29 @@ mod tests {
         roundtrip_req(Request::Hello {
             kind: ClientKind::Analysis,
             context: "cosmo-1km".into(),
+            membership: None,
+        });
+        roundtrip_req(Request::Hello {
+            kind: ClientKind::Analysis,
+            context: "cosmo-1km".into(),
+            membership: Some(Membership {
+                index: 2,
+                size: 3,
+                steps_hash: 0xDEAD_BEEF_CAFE_F00D,
+            }),
         });
         roundtrip_req(Request::Hello {
             kind: ClientKind::Simulator { sim_id: 42 },
             context: "flash".into(),
+            membership: None,
+        });
+        roundtrip_req(Request::AccessDigest {
+            dropped: 0,
+            records: vec![],
+        });
+        roundtrip_req(Request::AccessDigest {
+            dropped: 7,
+            records: vec![(1, 100, true), (2, 250, false), (3, 412, true)],
         });
         roundtrip_req(Request::Acquire {
             req_id: 7,
@@ -764,6 +876,7 @@ mod tests {
             Request::Hello {
                 kind: ClientKind::Analysis,
                 context: "c".into(),
+                membership: None,
             },
             Request::Acquire {
                 req_id: 1,

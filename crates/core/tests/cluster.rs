@@ -29,8 +29,9 @@ fn steps() -> StepMath {
 }
 
 /// Starts one cluster member (or, with `ClusterMember::SOLO`, the
-/// unsharded reference daemon) over `dir`. Prefetch off — the
-/// fast-path configuration clusters are built for.
+/// unsharded reference daemon) over `dir`. Prefetch off by default —
+/// the deterministic configuration the equivalence tests pin; the
+/// digest tests opt in via [`start_member_prefetch`].
 fn start_member(
     dir: &std::path::Path,
     member: ClusterMember,
@@ -38,12 +39,24 @@ fn start_member(
     smax: u32,
     dv_shards: u32,
 ) -> (DvServer, StorageArea) {
+    start_member_prefetch(dir, member, cache_steps, smax, dv_shards, false)
+}
+
+/// [`start_member`] with an explicit prefetch switch.
+fn start_member_prefetch(
+    dir: &std::path::Path,
+    member: ClusterMember,
+    cache_steps: u64,
+    smax: u32,
+    dv_shards: u32,
+    prefetch: bool,
+) -> (DvServer, StorageArea) {
     let storage = StorageArea::create(dir, u64::MAX).unwrap();
     let size = step_bytes(1).len() as u64;
     let ctx = ContextCfg::new("test-ctx", steps(), size, cache_steps * size)
         .with_policy("lru")
         .with_smax(smax)
-        .with_prefetch(false);
+        .with_prefetch(prefetch);
     let launcher = Arc::new(ThreadSimLauncher::new(
         step_bytes,
         |key| PatternDriver::new("out-", ".sdf", 6).filename_of(key),
@@ -293,5 +306,150 @@ fn member_rejects_foreign_interval() {
     client.finalize().unwrap();
     server.shutdown();
     drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The hello-time membership handshake: a client whose cluster map or
+/// step math disagrees with the daemon is rejected with an error that
+/// names both views — instead of being silently served misrouted
+/// intervals under the wrong budget slice.
+fn must_reject<T>(result: std::io::Result<T>, what: &str) -> std::io::Error {
+    match result {
+        Ok(_) => panic!("{what} must be rejected"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn hello_rejects_mismatched_membership() {
+    use simfs_core::wire::Membership;
+    let dir = std::env::temp_dir().join(format!(
+        "simfs-cluster-hello-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (server, _storage) = start_member(&dir, ClusterMember::new(1, 3), 1000, 6, 1);
+    let good_hash = steps().config_hash();
+
+    // Wrong member index: the client would route member 2's intervals
+    // here.
+    let err = must_reject(
+        SimfsClient::connect_with(
+            server.addr(),
+            "test-ctx",
+            Some(Membership { index: 2, size: 3, steps_hash: good_hash }),
+        ),
+        "index mismatch",
+    );
+    assert!(
+        err.to_string().contains("membership mismatch"),
+        "unexpected error: {err}"
+    );
+
+    // Wrong cluster size: every interval hash diverges.
+    let err = must_reject(
+        SimfsClient::connect_with(
+            server.addr(),
+            "test-ctx",
+            Some(Membership { index: 1, size: 2, steps_hash: good_hash }),
+        ),
+        "size mismatch",
+    );
+    assert!(err.to_string().contains("membership mismatch"), "{err}");
+
+    // Wrong step math: same member map, different cadence hash — the
+    // subtle one a silent daemon would misroute on.
+    let err = must_reject(
+        SimfsClient::connect_with(
+            server.addr(),
+            "test-ctx",
+            Some(Membership { index: 1, size: 3, steps_hash: good_hash ^ 1 }),
+        ),
+        "steps-hash mismatch",
+    );
+    assert!(err.to_string().contains("steps hash"), "{err}");
+
+    // The correct claim is accepted and serves owned intervals.
+    let mut ok = SimfsClient::connect_with(
+        server.addr(),
+        "test-ctx",
+        Some(Membership { index: 1, size: 3, steps_hash: good_hash }),
+    )
+    .unwrap();
+    let status = ok.acquire(&[6]).unwrap(); // interval 1: member 1's
+    assert!(status.ok(), "{status:?}");
+    ok.finalize().unwrap();
+
+    // Membership-less hellos (solo tools, simulators) still connect.
+    let bare = SimfsClient::connect(server.addr(), "test-ctx").unwrap();
+    drop(bare);
+
+    // DvCluster wires the check end to end: a divergent StepMath fails
+    // at connect time.
+    let err = must_reject(
+        DvCluster::connect(&[server.addr()], "test-ctx", StepMath::new(1, 4, 68)),
+        "cluster connect with divergent steps",
+    );
+    assert!(err.to_string().contains("membership mismatch"), "{err}");
+
+    server.shutdown();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cluster half of the access-stream digest: members of a
+/// prefetching cluster see only their routed subsequence locally, so
+/// DVLib forwards the full pre-routing stream — and every member's
+/// agents must end up observing it (each member counts the replayed
+/// records whose keys it owns).
+#[test]
+fn clustered_members_observe_forwarded_digests() {
+    let dir = std::env::temp_dir().join(format!(
+        "simfs-cluster-digest-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut servers = Vec::new();
+    for index in 0..2 {
+        let (server, _storage) =
+            start_member_prefetch(&dir, ClusterMember::new(index, 2), 1000, 6, 2, true);
+        servers.push(server);
+    }
+    let addrs: Vec<SocketAddr> = servers.iter().map(DvServer::addr).collect();
+    let mut cc = DvCluster::connect(&addrs, "test-ctx", steps()).unwrap();
+
+    // A sequential scan across both members' intervals: the full
+    // 16-access stream must reach both sets of agents even though each
+    // member serves only 8 of the keys.
+    const SCAN: u64 = 16;
+    for key in 1..=SCAN {
+        let status = cc.acquire(&[key]).unwrap();
+        assert!(status.ok(), "{status:?}");
+        cc.release(key).unwrap();
+    }
+    cc.flush().unwrap();
+
+    // Each member owns every other interval: 8 of the 16 records each.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let replayed: Vec<u64> = servers
+            .iter()
+            .map(|s| s.stats().digest_replayed)
+            .collect();
+        if replayed.iter().all(|&r| r >= SCAN / 2) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "members never observed the forwarded stream: {replayed:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    cc.finalize().unwrap();
+    for server in &servers {
+        server.shutdown();
+    }
+    drop(servers);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -2,12 +2,15 @@
 
 use proptest::prelude::*;
 use simfs_core::dv::{
-    shard_cfg, ClusterMember, DataVirtualizer, DvAction, DvEvent, DvRouter, EventRoute, ShardedDv,
+    shard_cfg, ClusterMember, DataVirtualizer, DvAction, DvEvent, DvRouter, EventRoute,
+    LaunchReason, ShardedDv,
 };
 use simfs_core::model::{ContextCfg, StepMath};
+use simfs_core::prefetch::{AccessLog, AccessRecord};
 use simfs_core::replay::replay;
 use simkit::SimTime;
 use std::collections::{HashMap, HashSet};
+use std::ops::RangeInclusive;
 
 /// Event generator over a small key/client/sim space so streams hit
 /// every DV code path (hits, misses, productions for both live and
@@ -26,8 +29,193 @@ fn arb_event() -> impl Strategy<Value = DvEvent> {
     ]
 }
 
+/// Runs every launch in `pending` to synchronous completion (FIFO, so
+/// launch order is the comparison order), recording `(range, reason)`
+/// per launch — including launches that only drain out of the `s_max`
+/// queue when an earlier sim finishes.
+fn settle(
+    dv: &mut DataVirtualizer,
+    mut pending: Vec<DvAction>,
+    now: SimTime,
+    launches: &mut Vec<(RangeInclusive<u64>, LaunchReason)>,
+) {
+    let mut i = 0;
+    while i < pending.len() {
+        let action = pending[i].clone();
+        i += 1;
+        if let DvAction::Launch {
+            sim, keys, reason, ..
+        } = action
+        {
+            launches.push((keys.clone(), reason));
+            pending.extend(dv.handle(now, DvEvent::SimStarted { sim }));
+            for k in keys {
+                pending.extend(dv.handle(
+                    now,
+                    DvEvent::FileProduced { sim, key: k, size: 10 },
+                ));
+            }
+            pending.extend(dv.handle(now, DvEvent::SimFinished { sim }));
+        }
+    }
+}
+
+/// The scan of `keys` driven the pre-digest way: every access goes
+/// through `on_acquire`, which feeds the agent inline.
+fn run_full_observation_scan(
+    cfg: &ContextCfg,
+    keys: &[u64],
+) -> (DataVirtualizer, Vec<(RangeInclusive<u64>, LaunchReason)>) {
+    let mut dv = DataVirtualizer::new(cfg.clone());
+    let mut launches = Vec::new();
+    for (i, &key) in keys.iter().enumerate() {
+        let now = SimTime::from_secs(1 + i as u64);
+        let acts = dv.handle(now, DvEvent::Acquire { client: 1, key });
+        settle(&mut dv, acts, now, &mut launches);
+    }
+    (dv, launches)
+}
+
+/// The same scan driven the daemon's digest-decoupled way: hits bypass
+/// the DV entirely (the lock-free fast path) and only leave a record;
+/// misses go through `on_acquire` (which no longer observes); records
+/// drain into `ingest_digest` every `drain_every` accesses and after
+/// every miss — the piggyback + tick schedule.
+fn run_digest_scan(
+    cfg: &ContextCfg,
+    keys: &[u64],
+    log_capacity: usize,
+    drain_every: usize,
+) -> (DataVirtualizer, Vec<(RangeInclusive<u64>, LaunchReason)>) {
+    let mut dv = DataVirtualizer::new(cfg.clone());
+    dv.set_digest_observation(true);
+    let mut log = AccessLog::new(log_capacity);
+    let mut scratch = Vec::new();
+    let mut launches = Vec::new();
+    for (i, &key) in keys.iter().enumerate() {
+        let now = SimTime::from_secs(1 + i as u64);
+        let missed = !dv.is_cached(key);
+        if missed {
+            let acts = dv.handle(now, DvEvent::Acquire { client: 1, key });
+            settle(&mut dv, acts, now, &mut launches);
+        }
+        // Productions in this harness complete at the same SimTime as
+        // the acquire, so every record's epoch is a true ready point —
+        // matching the inline path's ready-to-next-acquire sampling.
+        log.push(AccessRecord {
+            client: 1,
+            key,
+            epoch: now.as_nanos(),
+            ready: true,
+        });
+        if missed || (i + 1) % drain_every == 0 || i + 1 == keys.len() {
+            scratch.clear();
+            let dropped = log.drain_into(&mut scratch);
+            dv.note_digest_dropped(dropped);
+            let mut acts = Vec::new();
+            dv.ingest_digest(now, &scratch, dropped, &|_| true, &mut acts);
+            settle(&mut dv, acts, now, &mut launches);
+        }
+    }
+    (dv, launches)
+}
+
+fn scan_cfg(n_outputs: u64, smax: u32) -> ContextCfg {
+    let steps = StepMath::new(1, 4, n_outputs);
+    // Cache big enough that the scan never evicts: pollution resets off
+    // the table, so the comparison isolates the observation plumbing.
+    ContextCfg::new("digest-eq", steps, 10, n_outputs * 100)
+        .with_policy("lru")
+        .with_smax(smax)
+        .with_prefetch(true)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The digest contract's equivalence half: a strided scan served
+    /// through the lock-free fast path with lossless digest drains
+    /// reaches exactly the launch decisions — ranges, reasons, order —
+    /// of the pre-digest full-observation path, and the same agent
+    /// state. (The §IV-B planner is driven purely by what it observes,
+    /// so identical replayed streams must produce identical plans.)
+    #[test]
+    fn digest_drained_scan_matches_full_observation(
+        n_intervals in 4u64..16,
+        stride in 1u64..3,
+        backward in any::<bool>(),
+        smax in 1u32..5,
+    ) {
+        let n = n_intervals * 4;
+        let cfg = scan_cfg(n, smax);
+        let mut keys: Vec<u64> = (1..=n).step_by(stride as usize).collect();
+        if backward {
+            keys.reverse();
+        }
+
+        let (full_dv, full_launches) = run_full_observation_scan(&cfg, &keys);
+        // Capacity covers the whole scan and a drain follows every
+        // access: the lossless limit.
+        let (digest_dv, digest_launches) =
+            run_digest_scan(&cfg, &keys, keys.len() + 1, 1);
+
+        prop_assert_eq!(&digest_launches, &full_launches);
+        let (f, d) = (full_dv.stats(), digest_dv.stats());
+        prop_assert_eq!(d.restarts, f.restarts);
+        prop_assert_eq!(d.prefetch_launches, f.prefetch_launches);
+        prop_assert_eq!(d.kills, f.kills);
+        prop_assert_eq!(d.pollution_resets, f.pollution_resets);
+        prop_assert_eq!(d.digest_dropped, 0);
+        prop_assert_eq!(d.digest_replayed, keys.len() as u64);
+        prop_assert_eq!(digest_dv.active_sims(), full_dv.active_sims());
+        prop_assert_eq!(digest_dv.queued_launches(), full_dv.queued_launches());
+    }
+
+    /// The digest contract's lossy half: a tiny ring with sparse drains
+    /// loses records (counted), which may delay or skip prefetch
+    /// triggers and even fake a stride jump at a drop boundary — but it
+    /// can only *degrade* the agents, never corrupt the DV: every miss
+    /// still resolves, launches stay inside the timeline and inside
+    /// `s_max`, the system quiesces, and the surviving (contiguous,
+    /// order-preserved) suffix of the stream still re-confirms the
+    /// trajectory.
+    #[test]
+    fn digest_overflow_degrades_but_never_corrupts(
+        n_intervals in 6u64..16,
+        // B = 4 scans drain at every interval-opening miss, i.e. after
+        // at most 4 records: capacities below that guarantee overflow.
+        log_capacity in 2usize..4,
+        drain_every in 4usize..12,
+        smax in 1u32..5,
+    ) {
+        let n = n_intervals * 4;
+        let cfg = scan_cfg(n, smax);
+        let keys: Vec<u64> = (1..=n).collect();
+        let (dv, launches) = run_digest_scan(&cfg, &keys, log_capacity, drain_every);
+
+        let stats = dv.stats();
+        prop_assert!(stats.digest_dropped > 0, "parameters must force drops");
+        prop_assert_eq!(
+            stats.digest_replayed + stats.digest_dropped,
+            keys.len() as u64,
+            "every record is replayed or counted dropped"
+        );
+        for (range, _) in &launches {
+            prop_assert!(*range.start() >= 1 && *range.end() <= n,
+                "launch {range:?} outside the timeline");
+        }
+        // Degradation bound: with loss, the planner can only see fewer
+        // triggers than full observation, never invent extra coverage.
+        prop_assert!(stats.scheduled_steps <= 2 * n,
+            "lossy observation over-planned: {} steps for a {}-step scan",
+            stats.scheduled_steps, n);
+        // The scan itself always completes: every key materialized.
+        for key in 1..=n {
+            prop_assert!(dv.is_cached(key), "scan left key {key} unproduced");
+        }
+        prop_assert_eq!(dv.active_sims(), 0);
+        prop_assert_eq!(dv.queued_launches(), 0);
+    }
 
     /// R(d_i) and the resim range satisfy the §II-A contract for every
     /// cadence.

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use simfs_core::wire::{
-    read_frame, write_frame, ClientKind, FrameBatch, FrameReader, Request, Response,
+    read_frame, write_frame, ClientKind, FrameBatch, FrameReader, Membership, Request, Response,
 };
 use std::io::Read;
 
@@ -26,16 +26,32 @@ impl Read for Chunked {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        ("[a-z0-9-]{0,24}", any::<bool>(), any::<u64>()).prop_map(|(context, analysis, sim_id)| {
-            Request::Hello {
-                kind: if analysis {
-                    ClientKind::Analysis
-                } else {
-                    ClientKind::Simulator { sim_id }
-                },
-                context,
-            }
-        }),
+        (
+            "[a-z0-9-]{0,24}",
+            any::<bool>(),
+            any::<u64>(),
+            (any::<bool>(), any::<u32>(), any::<u32>(), any::<u64>()),
+        )
+            .prop_map(|(context, analysis, sim_id, (clustered, index, size, steps_hash))| {
+                Request::Hello {
+                    kind: if analysis {
+                        ClientKind::Analysis
+                    } else {
+                        ClientKind::Simulator { sim_id }
+                    },
+                    context,
+                    membership: clustered.then_some(Membership {
+                        index,
+                        size,
+                        steps_hash,
+                    }),
+                }
+            }),
+        (
+            any::<u64>(),
+            prop::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 0..20),
+        )
+            .prop_map(|(dropped, records)| Request::AccessDigest { dropped, records }),
         (any::<u64>(), prop::collection::vec(any::<u64>(), 0..20))
             .prop_map(|(req_id, keys)| Request::Acquire { req_id, keys }),
         any::<u64>().prop_map(|key| Request::Release { key }),

@@ -54,7 +54,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`fn@vec`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

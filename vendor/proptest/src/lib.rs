@@ -1,7 +1,7 @@
 //! Offline drop-in subset of the `proptest` crate.
 //!
 //! Implements the slice of proptest this workspace's property tests
-//! use: the [`proptest!`] harness macro, [`Strategy`] with
+//! use: the [`proptest!`] harness macro, [`strategy::Strategy`] with
 //! `prop_map`/`prop_flat_map`/`prop_filter`, range/tuple/collection
 //! strategies, [`prop_oneof!`] (weighted and unweighted), a
 //! character-class subset of the regex string strategies, and the
