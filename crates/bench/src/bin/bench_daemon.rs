@@ -48,7 +48,7 @@ use simfs_core::client::{DvCluster, SimfsClient};
 use simfs_core::driver::{PatternDriver, SimDriver};
 use simfs_core::dv::DvStats;
 use simfs_core::model::{ContextCfg, StepMath};
-use simfs_core::server::{ClusterMember, DvServer, ServerConfig, ThreadSimLauncher};
+use simfs_core::server::{ClusterMember, DurabilityCfg, DvServer, ServerConfig, ThreadSimLauncher};
 use simstore::{Data, Dataset, StorageArea};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -173,6 +173,7 @@ fn start_daemon(
     dv_shards: u32,
     member: ClusterMember,
     prefetch: bool,
+    durable: bool,
 ) -> (DvServer, StorageArea) {
     let storage = StorageArea::create(dir, u64::MAX).unwrap();
     let size = step_bytes(1).len() as u64;
@@ -203,6 +204,11 @@ fn start_daemon(
             checksums: HashMap::new(),
             dv_shards,
             cluster: member,
+            durability: if durable {
+                DurabilityCfg::durable(false)
+            } else {
+                DurabilityCfg::default()
+            },
         },
         "127.0.0.1:0",
     )
@@ -377,6 +383,7 @@ fn main() {
     let mut out = String::from("BENCH_daemon.json");
     let mut dv_shards = 4u32;
     let mut cluster = 1u32;
+    let mut durable = false;
     let mut specs = vec![
         RunSpec { workload: Workload::Uniform, prefetch: false },
         RunSpec { workload: Workload::HitHeavy, prefetch: false },
@@ -386,6 +393,12 @@ fn main() {
     ];
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        // `--durable` is a bare switch: the pin/lease WAL on, so the
+        // ladder can price the write-ahead work against the default.
+        if flag == "--durable" {
+            durable = true;
+            continue;
+        }
         let val = args.next().unwrap_or_default();
         match flag.as_str() {
             "--clients" => {
@@ -429,6 +442,7 @@ fn main() {
                     dv_shards,
                     ClusterMember::new(k, cluster),
                     spec.prefetch,
+                    durable,
                 )
                 .0
             })
@@ -496,6 +510,12 @@ fn main() {
             let kills = d(|s| s.kills);
             let digest_replayed = d(|s| s.digest_replayed);
             let digest_dropped = d(|s| s.digest_dropped);
+            // Durability counters (all zero with the WAL off).
+            let wal_appends = d(|s| s.wal_appends);
+            let wal_replayed = d(|s| s.wal_replayed);
+            let pins_recovered = d(|s| s.pins_recovered);
+            let leases_expired = d(|s| s.leases_expired);
+            let client_reconnects = d(|s| s.client_reconnects);
             let transitions = d(|s| s.lock_transitions);
             let hold_per_transition =
                 d(|s| s.lock_hold_ns).checked_div(transitions).unwrap_or(0);
@@ -512,6 +532,14 @@ fn main() {
                     "{:>8} agents: {prefetch_launches} launches, {prefetch_hits} prefetch \
                      hits, {pollution_resets} pollution resets, {kills} kills, digest \
                      {digest_replayed} replayed / {digest_dropped} dropped",
+                    ""
+                );
+            }
+            if durable {
+                println!(
+                    "{:>8} wal: {wal_appends} appends, {wal_replayed} replayed, \
+                     {pins_recovered} pins recovered, {leases_expired} leases expired, \
+                     {client_reconnects} reconnects",
                     ""
                 );
             }
@@ -548,6 +576,11 @@ fn main() {
                  \"pollution_resets\": {pollution_resets}, \"kills\": {kills}, \
                  \"digest_replayed\": {digest_replayed}, \
                  \"digest_dropped\": {digest_dropped}, \
+                 \"durable\": {durable}, \"wal_appends\": {wal_appends}, \
+                 \"wal_replayed\": {wal_replayed}, \
+                 \"pins_recovered\": {pins_recovered}, \
+                 \"leases_expired\": {leases_expired}, \
+                 \"client_reconnects\": {client_reconnects}, \
                  \"lock_hold_ns_per_transition\": {hold_per_transition}, \
                  \"lock_wait_ns_per_transition\": {wait_per_transition}, \
                  \"per_daemon_acquires_per_sec\": [{per_daemon_json}], \

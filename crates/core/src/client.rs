@@ -46,10 +46,71 @@ use crate::dv::DvRouter;
 use crate::model::StepMath;
 use crate::prefetch::{AccessLog, AccessRecord, ACCESS_LOG_CAPACITY};
 use crate::wire::{self, ClientKind, FrameBatch, FrameReader, Membership, Request, Response};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Typed deadline error: the payload of an
+/// [`io::ErrorKind::TimedOut`] error returned when a blocking DVLib
+/// call exceeds the configured [`SimfsClient::set_op_timeout`]
+/// deadline — a daemon that died without closing its socket would
+/// otherwise block the analysis forever. Recover it from the error via
+/// [`DvTimeout::from_io`]; with auto-reconnect enabled the timeout
+/// instead feeds the reconnect path and is only surfaced if that fails
+/// too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DvTimeout {
+    /// The DVLib operation that timed out (`"wait"`, `"bitrep"`, ...).
+    pub op: &'static str,
+    /// The deadline that elapsed.
+    pub after: Duration,
+}
+
+impl DvTimeout {
+    /// Downcasts an [`io::Error`] to the typed timeout, if that is
+    /// what it carries.
+    pub fn from_io(err: &io::Error) -> Option<&DvTimeout> {
+        err.get_ref().and_then(|inner| inner.downcast_ref::<DvTimeout>())
+    }
+
+    fn into_io(self) -> io::Error {
+        io::Error::new(io::ErrorKind::TimedOut, self)
+    }
+}
+
+impl fmt::Display for DvTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DV {} timed out after {:?}", self.op, self.after)
+    }
+}
+
+impl std::error::Error for DvTimeout {}
+
+/// Floor of the reconnect backoff ladder.
+const RECONNECT_MIN_DELAY: Duration = Duration::from_millis(10);
+/// Cap of the reconnect backoff ladder (doubling stops here).
+const RECONNECT_MAX_DELAY: Duration = Duration::from_secs(1);
+/// Total time a reconnect keeps retrying before giving up — generous
+/// enough to cover a daemon restart with `--recover`.
+const RECONNECT_WINDOW: Duration = Duration::from_secs(30);
+/// Connect-phase timeout of each individual reconnect attempt.
+const RECONNECT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Errors that mean "the connection is dead", not "the request is
+/// wrong" — the triggers of the reconnect path.
+fn is_disconnect(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::TimedOut
+    )
+}
 
 /// Status of an acquire operation (§III-C `SIMFS_Status`).
 #[derive(Clone, Debug, Default)]
@@ -68,6 +129,13 @@ impl SimfsStatus {
     pub fn ok(&self) -> bool {
         self.failed.is_empty()
     }
+}
+
+/// One step of a [`SimfsClient::call`] response loop: the matching
+/// reply resolves the call, anything else is stashed as a stray.
+enum CallStep<T> {
+    Done(T),
+    Stray(Response),
 }
 
 /// Handle for a non-blocking acquire (`SIMFS_Req`).
@@ -115,6 +183,31 @@ pub struct SimfsClient {
     /// that reads a response, so buffering is never observable beyond
     /// the release reaching the DV marginally later.
     pending_out: FrameBatch,
+    /// The daemon's recovery epoch from the hello handshake: tells a
+    /// reconnect whether it is talking to the same instance (pins are
+    /// gone) or a recovered one (pins may be re-asserted).
+    epoch: u64,
+    /// The resolved peer address, kept for reconnects.
+    addr: Option<SocketAddr>,
+    /// The membership claim of the original handshake, replayed on
+    /// reconnect.
+    membership: Option<Membership>,
+    /// key → pin count this session currently holds (Ready responses
+    /// minus releases): what a reconnect re-asserts.
+    held: HashMap<u64, u32>,
+    /// Reconnect with capped exponential backoff and re-assert held
+    /// pins when the connection dies (off by default — callers that
+    /// prefer fail-fast semantics see the raw error).
+    auto_reconnect: bool,
+    /// Deadline for blocking calls; `None` blocks forever.
+    op_timeout: Option<Duration>,
+    /// Successful reconnects over this session's lifetime.
+    reconnects: u64,
+    /// Pins restored via `Reassert` across all reconnects.
+    pins_reasserted: u64,
+    /// Re-entrancy guard: a failure *during* recovery must surface,
+    /// not recurse into another recovery.
+    recovering: bool,
 }
 
 impl SimfsClient {
@@ -134,7 +227,38 @@ impl SimfsClient {
         context: &str,
         membership: Option<Membership>,
     ) -> io::Result<SimfsClient> {
-        let mut stream = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr().ok();
+        let (stream, reader, client_id, epoch) =
+            Self::handshake(stream, context, membership, None)?;
+        Ok(SimfsClient {
+            stream,
+            reader,
+            client_id,
+            context: context.to_string(),
+            next_req: 1,
+            stray: Vec::new(),
+            pending_out: FrameBatch::new(),
+            epoch,
+            addr: peer,
+            membership,
+            held: HashMap::new(),
+            auto_reconnect: false,
+            op_timeout: None,
+            reconnects: 0,
+            pins_reasserted: 0,
+            recovering: false,
+        })
+    }
+
+    /// The hello exchange over an already-connected socket.
+    /// `prior_epoch` is `Some` on reconnects (the daemon counts them).
+    fn handshake(
+        mut stream: TcpStream,
+        context: &str,
+        membership: Option<Membership>,
+        prior_epoch: Option<u64>,
+    ) -> io::Result<(TcpStream, FrameReader<TcpStream>, u64, u64)> {
         stream.set_nodelay(true)?;
         let mut reader = FrameReader::new(stream.try_clone()?);
         wire::write_frame(
@@ -143,6 +267,7 @@ impl SimfsClient {
                 kind: ClientKind::Analysis,
                 context: context.to_string(),
                 membership,
+                epoch: prior_epoch,
             }
             .encode(),
         )?;
@@ -150,21 +275,173 @@ impl SimfsClient {
             .read_frame()?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no hello reply"))?;
         match Response::decode(&frame)? {
-            Response::HelloOk { client_id } => Ok(SimfsClient {
-                stream,
-                reader,
-                client_id,
-                context: context.to_string(),
-                next_req: 1,
-                stray: Vec::new(),
-                pending_out: FrameBatch::new(),
-            }),
+            Response::HelloOk { client_id, epoch } => Ok((stream, reader, client_id, epoch)),
             Response::Error { message } => Err(io::Error::other(message)),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected hello reply {other:?}"),
             )),
         }
+    }
+
+    /// Enables (or disables) automatic reconnection: when a blocking
+    /// call hits a dead connection, DVLib redials with capped
+    /// exponential backoff (10 ms doubling to 1 s, for up to 30 s),
+    /// re-asserts its held pins through `Reassert`, transparently
+    /// re-acquires any the daemon reports gone, and re-sends whatever
+    /// request was in flight. Off by default: fail-fast callers (and
+    /// the cluster unwind paths) see the raw error.
+    pub fn set_auto_reconnect(&mut self, on: bool) {
+        self.auto_reconnect = on;
+    }
+
+    /// Sets the deadline of blocking calls (`wait`, `bitrep`,
+    /// `status`, ...). On expiry they return an
+    /// [`io::ErrorKind::TimedOut`] error carrying a [`DvTimeout`] —
+    /// unless auto-reconnect is enabled, in which case the timeout
+    /// first feeds the reconnect path. `None` (the default) blocks
+    /// forever.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) {
+        self.op_timeout = timeout;
+    }
+
+    /// Successful reconnects over this session's lifetime.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Pins restored via `Reassert` across all reconnects.
+    pub fn pins_reasserted(&self) -> u64 {
+        self.pins_reasserted
+    }
+
+    /// The daemon's recovery epoch from the latest handshake.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `err` should trigger recovery, and recovery is possible.
+    fn try_recover(&mut self, err: &io::Error, op: &'static str) -> bool {
+        if !self.auto_reconnect || self.recovering || !is_disconnect(err) {
+            return false;
+        }
+        self.recovering = true;
+        let outcome = self.recover_session(op);
+        self.recovering = false;
+        outcome.is_ok()
+    }
+
+    /// Redials the daemon with capped exponential backoff, re-runs the
+    /// hello handshake carrying the prior epoch, re-asserts held pins,
+    /// and re-acquires the ones the daemon reports gone. The session's
+    /// identity (client id, epoch) is replaced on success.
+    fn recover_session(&mut self, op: &'static str) -> io::Result<()> {
+        let addr = self.addr.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, "no address to reconnect to")
+        })?;
+        let prior_client = self.client_id;
+        let prior_epoch = self.epoch;
+        // Everything staged or buffered belongs to the dead session:
+        // its pins are released by the daemon-side ClientGone (or the
+        // crash), so stale releases and stray frames must not leak
+        // into the new one.
+        self.pending_out.clear();
+        self.stray.clear();
+        let deadline = Instant::now() + RECONNECT_WINDOW;
+        let mut delay = RECONNECT_MIN_DELAY;
+        let (stream, reader, client_id, epoch) = loop {
+            let attempt = TcpStream::connect_timeout(&addr, RECONNECT_CONNECT_TIMEOUT)
+                .and_then(|s| Self::handshake(s, &self.context, self.membership, Some(prior_epoch)));
+            match attempt {
+                Ok(session) => break session,
+                Err(e) => {
+                    if Instant::now() + delay >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(RECONNECT_MAX_DELAY);
+                }
+            }
+        };
+        self.stream = stream;
+        self.reader = reader;
+        self.client_id = client_id;
+        self.epoch = epoch;
+        self.reconnects += 1;
+        if self.held.is_empty() {
+            return Ok(());
+        }
+        // Re-assert every held pin count; the daemon transfers what
+        // its recovery restored and names what is gone.
+        let keys: Vec<u64> = self
+            .held
+            .iter()
+            .flat_map(|(&key, &count)| std::iter::repeat_n(key, count as usize))
+            .collect();
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.send(&Request::Reassert {
+            req_id,
+            prior_client,
+            prior_epoch,
+            keys,
+        })?;
+        let gone = loop {
+            match self.pump_one(Some(RECONNECT_WINDOW))? {
+                Some(Response::Reasserted {
+                    req_id: r,
+                    restored,
+                    gone,
+                    ..
+                }) if r == req_id => {
+                    self.pins_reasserted += restored.len() as u64;
+                    break gone;
+                }
+                Some(Response::Error { message }) => return Err(io::Error::other(message)),
+                Some(_stray_from_dead_request) => {}
+                None => {
+                    return Err(DvTimeout {
+                        op,
+                        after: RECONNECT_WINDOW,
+                    }
+                    .into_io())
+                }
+            }
+        };
+        // Gone pins: the daemon no longer holds them — drop the counts
+        // and re-acquire, so the caller's view ("I hold these keys")
+        // is true again without its involvement.
+        let mut reacquire: Vec<u64> = Vec::new();
+        for (key, _reason) in gone {
+            if let Some(n) = self.held.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    self.held.remove(&key);
+                }
+            }
+            reacquire.push(key);
+        }
+        if !reacquire.is_empty() {
+            // Ready responses re-enter `held` through dispatch; keys
+            // that now fail outright stay dropped (the daemon named
+            // them gone and cannot serve them).
+            let _ = self.acquire(&reacquire)?;
+        }
+        Ok(())
+    }
+
+    /// Re-sends the unresolved keys of `req` after a reconnect (the
+    /// req_id is client-assigned, so the new daemon instance simply
+    /// echoes it and the existing dispatch bookkeeping keeps working).
+    fn resend_outstanding(&mut self, req: &AcquireRequest) -> io::Result<()> {
+        if req.outstanding.is_empty() {
+            return Ok(());
+        }
+        let keys: Vec<u64> = req.outstanding.iter().copied().collect();
+        self.send(&Request::Acquire {
+            req_id: req.req_id,
+            keys,
+        })
     }
 
     /// The DV-assigned client id.
@@ -228,6 +505,9 @@ impl SimfsClient {
             Response::Ready { req_id, key } if req_id == req.req_id
                 && req.outstanding.remove(&key) => {
                     req.status.ready.push(key);
+                    // A Ready is a pin grant: track it so a reconnect
+                    // knows what to re-assert.
+                    *self.held.entry(key).or_insert(0) += 1;
                 }
             Response::Failed {
                 req_id,
@@ -317,11 +597,61 @@ impl SimfsClient {
         self.pump_one(timeout)
     }
 
-    /// `SIMFS_Wait`: blocks until the request fully resolves.
-    pub fn wait(&mut self, req: &mut AcquireRequest) -> io::Result<SimfsStatus> {
-        while !req.done() {
-            if let Some(resp) = self.next_response(None)? {
+    /// One blocking receive step for `req`, honoring the op timeout
+    /// and the reconnect path. Returns `Ok(true)` when a recovery
+    /// replaced the session and re-sent the outstanding keys — the
+    /// caller must reset its deadline.
+    fn pump_for(
+        &mut self,
+        req: &mut AcquireRequest,
+        deadline: Option<Instant>,
+        op: &'static str,
+    ) -> io::Result<bool> {
+        // Probe in bounded chunks so a deadline is honored within
+        // ~250 ms even while frames for other requests keep arriving.
+        let chunk = deadline.map(|d| {
+            d.saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(250))
+                .max(Duration::from_millis(1))
+        });
+        match self.next_response(chunk) {
+            Ok(Some(resp)) => {
                 self.dispatch(req, resp)?;
+                Ok(false)
+            }
+            Ok(None) => {
+                let Some(d) = deadline else { return Ok(false) };
+                if Instant::now() < d {
+                    return Ok(false);
+                }
+                let err = DvTimeout {
+                    op,
+                    after: self.op_timeout.unwrap_or_default(),
+                }
+                .into_io();
+                if self.try_recover(&err, op) {
+                    self.resend_outstanding(req)?;
+                    return Ok(true);
+                }
+                Err(err)
+            }
+            Err(e) => {
+                if self.try_recover(&e, op) {
+                    self.resend_outstanding(req)?;
+                    return Ok(true);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// `SIMFS_Wait`: blocks until the request fully resolves (or the
+    /// [op timeout](Self::set_op_timeout) expires).
+    pub fn wait(&mut self, req: &mut AcquireRequest) -> io::Result<SimfsStatus> {
+        let mut deadline = self.op_timeout.map(|t| Instant::now() + t);
+        while !req.done() {
+            if self.pump_for(req, deadline, "wait")? {
+                deadline = self.op_timeout.map(|t| Instant::now() + t);
             }
         }
         Ok(req.status.clone())
@@ -331,9 +661,16 @@ impl SimfsClient {
     pub fn test(&mut self, req: &mut AcquireRequest) -> io::Result<(bool, SimfsStatus)> {
         // Drain whatever already arrived.
         while !req.done() {
-            match self.next_response(Some(Duration::from_millis(1)))? {
-                Some(resp) => self.dispatch(req, resp)?,
-                None => break,
+            match self.next_response(Some(Duration::from_millis(1))) {
+                Ok(Some(resp)) => self.dispatch(req, resp)?,
+                Ok(None) => break,
+                Err(e) => {
+                    if self.try_recover(&e, "test") {
+                        self.resend_outstanding(req)?;
+                        break;
+                    }
+                    return Err(e);
+                }
             }
         }
         Ok((req.done(), req.status.clone()))
@@ -343,9 +680,10 @@ impl SimfsClient {
     /// returns the status so far.
     pub fn waitsome(&mut self, req: &mut AcquireRequest) -> io::Result<SimfsStatus> {
         let resolved_before = req.status.ready.len() + req.status.failed.len();
+        let mut deadline = self.op_timeout.map(|t| Instant::now() + t);
         while !req.done() && req.status.ready.len() + req.status.failed.len() == resolved_before {
-            if let Some(resp) = self.next_response(None)? {
-                self.dispatch(req, resp)?;
+            if self.pump_for(req, deadline, "waitsome")? {
+                deadline = self.op_timeout.map(|t| Instant::now() + t);
             }
         }
         Ok(req.status.clone())
@@ -363,6 +701,12 @@ impl SimfsClient {
     /// should call [`flush`](Self::flush) to push the pin drop out
     /// immediately.
     pub fn release(&mut self, key: u64) -> io::Result<()> {
+        if let Some(n) = self.held.get_mut(&key) {
+            *n -= 1;
+            if *n == 0 {
+                self.held.remove(&key);
+            }
+        }
         self.pending_out.push_request(&Request::Release { key });
         // Cap the staging buffer: a pathological release-only loop
         // still reaches the daemon in bounded batches.
@@ -377,33 +721,81 @@ impl SimfsClient {
         self.flush_pending()
     }
 
+    /// Sends a request and blocks for the response that resolves it,
+    /// honoring the op timeout and the reconnect path (recovery simply
+    /// re-sends `req` — req_ids are client-assigned, so the new daemon
+    /// instance echoes the same one and `matcher` keeps working).
+    fn call<T>(
+        &mut self,
+        op: &'static str,
+        req: &Request,
+        mut matcher: impl FnMut(Response) -> io::Result<CallStep<T>>,
+    ) -> io::Result<T> {
+        let mut deadline = self.op_timeout.map(|t| Instant::now() + t);
+        if let Err(e) = self.send(req) {
+            if !self.try_recover(&e, op) {
+                return Err(e);
+            }
+            self.send(req)?;
+            deadline = self.op_timeout.map(|t| Instant::now() + t);
+        }
+        loop {
+            let chunk = deadline.map(|d| {
+                d.saturating_duration_since(Instant::now())
+                    .min(Duration::from_millis(250))
+                    .max(Duration::from_millis(1))
+            });
+            match self.pump_one(chunk) {
+                Ok(Some(resp)) => match matcher(resp)? {
+                    CallStep::Done(value) => return Ok(value),
+                    CallStep::Stray(other) => self.stray.push(other),
+                },
+                Ok(None) => {
+                    let Some(d) = deadline else { continue };
+                    if Instant::now() < d {
+                        continue;
+                    }
+                    let err = DvTimeout {
+                        op,
+                        after: self.op_timeout.unwrap_or_default(),
+                    }
+                    .into_io();
+                    if !self.try_recover(&err, op) {
+                        return Err(err);
+                    }
+                    self.send(req)?;
+                    deadline = self.op_timeout.map(|t| Instant::now() + t);
+                }
+                Err(e) => {
+                    if !self.try_recover(&e, op) {
+                        return Err(e);
+                    }
+                    self.send(req)?;
+                    deadline = self.op_timeout.map(|t| Instant::now() + t);
+                }
+            }
+        }
+    }
+
     /// `SIMFS_Bitrep`: checks the materialized file against the
     /// recorded checksum of the initial simulation. `Ok(None)` when no
     /// checksum was recorded for this key.
     pub fn bitrep(&mut self, key: u64) -> io::Result<Option<bool>> {
         let req_id = self.next_req;
         self.next_req += 1;
-        self.send(&Request::Bitrep { req_id, key })?;
-        loop {
-            let Some(resp) = self.pump_one(None)? else {
-                continue;
-            };
-            match resp {
-                Response::BitrepResult {
-                    req_id: r,
-                    matches,
-                    known,
-                    ..
-                } if r == req_id => {
-                    return Ok(known.then_some(matches));
-                }
-                Response::Failed { req_id: r, reason, .. } if r == req_id => {
-                    return Err(io::Error::other(reason));
-                }
-                Response::Error { message } => return Err(io::Error::other(message)),
-                other => self.stray.push(other),
+        self.call("bitrep", &Request::Bitrep { req_id, key }, |resp| match resp {
+            Response::BitrepResult {
+                req_id: r,
+                matches,
+                known,
+                ..
+            } if r == req_id => Ok(CallStep::Done(known.then_some(matches))),
+            Response::Failed { req_id: r, reason, .. } if r == req_id => {
+                Err(io::Error::other(reason))
             }
-        }
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Ok(CallStep::Stray(other)),
+        })
     }
 
     /// Queries the context's runtime statistics (the profiling support
@@ -411,32 +803,24 @@ impl SimfsClient {
     pub fn status(&mut self) -> io::Result<ContextStats> {
         let req_id = self.next_req;
         self.next_req += 1;
-        self.send(&Request::Status { req_id })?;
-        loop {
-            let Some(resp) = self.pump_one(None)? else {
-                continue;
-            };
-            match resp {
-                Response::StatusInfo {
-                    req_id: r,
-                    hits,
-                    misses,
-                    restarts,
-                    produced_steps,
-                    active_sims,
-                } if r == req_id => {
-                    return Ok(ContextStats {
-                        hits,
-                        misses,
-                        restarts,
-                        produced_steps,
-                        active_sims,
-                    });
-                }
-                Response::Error { message } => return Err(io::Error::other(message)),
-                other => self.stray.push(other),
-            }
-        }
+        self.call("status", &Request::Status { req_id }, |resp| match resp {
+            Response::StatusInfo {
+                req_id: r,
+                hits,
+                misses,
+                restarts,
+                produced_steps,
+                active_sims,
+            } if r == req_id => Ok(CallStep::Done(ContextStats {
+                hits,
+                misses,
+                restarts,
+                produced_steps,
+                active_sims,
+            })),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Ok(CallStep::Stray(other)),
+        })
     }
 
     /// `SIMFS_Finalize`: orderly goodbye; the DV releases this client's
@@ -671,6 +1055,33 @@ impl DvCluster {
         self.members.len()
     }
 
+    /// Fans [`SimfsClient::set_auto_reconnect`] out to every member:
+    /// a member daemon that dies and comes back (e.g. restarted with
+    /// `--recover`) is redialed and its pins re-asserted instead of
+    /// failing the whole cluster session.
+    pub fn set_auto_reconnect(&mut self, on: bool) {
+        for member in &mut self.members {
+            member.set_auto_reconnect(on);
+        }
+    }
+
+    /// Fans [`SimfsClient::set_op_timeout`] out to every member.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) {
+        for member in &mut self.members {
+            member.set_op_timeout(timeout);
+        }
+    }
+
+    /// Successful reconnects summed over every member.
+    pub fn reconnects(&self) -> u64 {
+        self.members.iter().map(SimfsClient::reconnects).sum()
+    }
+
+    /// Pins restored via `Reassert` summed over every member.
+    pub fn pins_reasserted(&self) -> u64 {
+        self.members.iter().map(SimfsClient::pins_reasserted).sum()
+    }
+
     /// The member owning `key`'s restart interval.
     pub fn member_of(&self, key: u64) -> usize {
         self.router.shard_of_key(key)
@@ -889,6 +1300,7 @@ impl SimulatorSession {
                 kind: ClientKind::Simulator { sim_id },
                 context: context.to_string(),
                 membership: None,
+                epoch: None,
             }
             .encode(),
         )?;

@@ -188,6 +188,20 @@ pub struct DvStats {
     /// pollution miss whose key was re-produced before the drain can
     /// sneak in.
     pub prefetch_hits: u64,
+    /// Write-ahead-log records appended (daemon-wide, mirrored into
+    /// snapshots like `accept_retries`). Zero when durability is off.
+    pub wal_appends: u64,
+    /// Write-ahead-log records replayed at the last recovery startup.
+    pub wal_replayed: u64,
+    /// Pins re-established from the WAL after a restart
+    /// ([`DataVirtualizer::restore_pin`]).
+    pub pins_recovered: u64,
+    /// Recovered client leases that expired before the client
+    /// re-asserted (their pins were released via `ClientGone`).
+    pub leases_expired: u64,
+    /// Clients that reconnected after a dropped connection (hellos
+    /// carrying a prior-epoch claim).
+    pub client_reconnects: u64,
 }
 
 impl DvStats {
@@ -214,6 +228,11 @@ impl DvStats {
             digest_replayed,
             digest_dropped,
             prefetch_hits,
+            wal_appends,
+            wal_replayed,
+            pins_recovered,
+            leases_expired,
+            client_reconnects,
         } = other;
         self.hits += hits;
         self.misses += misses;
@@ -235,6 +254,11 @@ impl DvStats {
         self.digest_replayed += digest_replayed;
         self.digest_dropped += digest_dropped;
         self.prefetch_hits += prefetch_hits;
+        self.wal_appends += wal_appends;
+        self.wal_replayed += wal_replayed;
+        self.pins_recovered += pins_recovered;
+        self.leases_expired += leases_expired;
+        self.client_reconnects += client_reconnects;
     }
 }
 
@@ -581,6 +605,50 @@ impl DataVirtualizer {
         }
         let cost = self.cfg.steps.miss_cost(key);
         self.cache.insert(key, size, cost)
+    }
+
+    /// Re-establishes one pin count recorded in the write-ahead log
+    /// after a restart: pins `key` for `client` iff it is materialized
+    /// (recovery re-primes the cache from the storage area first).
+    /// Never launches — a pin on unmaterialized data cannot be proven
+    /// still wanted; the client's re-assertion (or a fresh acquire)
+    /// re-establishes intent. Returns whether the pin was restored and
+    /// counts `pins_recovered` when it was.
+    pub fn restore_pin(&mut self, client: ClientId, key: u64) -> bool {
+        if !self.cfg.steps.valid_key(key) || !self.cache.peek(key) {
+            return false;
+        }
+        self.cache.pin(key);
+        *self.client_mut(client).pins.entry(key).or_insert(0) += 1;
+        self.stats.pins_recovered += 1;
+        true
+    }
+
+    /// Moves one pin count on `key` from `from` to `to` — the
+    /// re-assertion transfer: a reconnecting client (new id `to`)
+    /// claims a pin the WAL recovery restored under its prior id
+    /// `from`. The cache pin count is untouched (the pin itself
+    /// persists; only its owner changes). Returns whether `from`
+    /// actually held a pin to transfer.
+    pub fn transfer_pin(&mut self, from: ClientId, to: ClientId, key: u64) -> bool {
+        let held = match self.clients.get_mut(&from) {
+            Some(state) => match state.pins.get_mut(&key) {
+                Some(n) if *n > 1 => {
+                    *n -= 1;
+                    true
+                }
+                Some(_) => {
+                    state.pins.remove(&key);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        };
+        if held {
+            *self.client_mut(to).pins.entry(key).or_insert(0) += 1;
+        }
+        held
     }
 
     fn prefetch_inputs(&self) -> PrefetchInputs {
@@ -2112,5 +2180,65 @@ mod tests {
         let b = dv.handle(t(6), DvEvent::Acquire { client: 2, key: 6 });
         produce_all(&mut dv, &b, t(7));
         assert!(dv.is_cached(2));
+    }
+
+    #[test]
+    fn restore_pin_requires_materialized_key() {
+        let mut dv = DataVirtualizer::new(cfg(4));
+        // Nothing materialized yet: nothing to restore, never a launch.
+        assert!(!dv.restore_pin(7, 2));
+        assert_eq!(dv.stats().pins_recovered, 0);
+        assert_eq!(dv.active_sims(), 0);
+        // Invalid keys are refused like everywhere else.
+        assert!(!dv.restore_pin(7, 9999));
+        // Prime key 2 (recovery's storage rescan), then restore: the
+        // pin must hold against eviction pressure exactly like a live
+        // client's pin.
+        assert!(dv.prime(2, 100).is_empty());
+        assert!(dv.restore_pin(7, 2));
+        assert_eq!(dv.stats().pins_recovered, 1);
+        for key in [6u64, 10, 14, 18] {
+            let a = dv.handle(t(1), DvEvent::Acquire { client: 1, key });
+            produce_all(&mut dv, &a, t(2));
+            dv.handle(t(3), DvEvent::Release { client: 1, key });
+        }
+        assert!(dv.is_cached(2), "recovered pin must veto eviction");
+        // ClientGone (lease expiry) frees it normally.
+        dv.handle(t(4), DvEvent::ClientGone { client: 7 });
+        let b = dv.handle(t(5), DvEvent::Acquire { client: 1, key: 22 });
+        produce_all(&mut dv, &b, t(6));
+        assert!(!dv.is_cached(2), "expired lease pin must stop vetoing");
+    }
+
+    #[test]
+    fn transfer_pin_moves_ownership() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        assert!(dv.prime(2, 100).is_empty());
+        assert!(dv.restore_pin(7, 2));
+        assert!(dv.restore_pin(7, 2), "counts restore per recorded acquire");
+        // Claiming a pin the prior client never held fails.
+        assert!(!dv.transfer_pin(7, 40, 3));
+        assert!(!dv.transfer_pin(9, 40, 2));
+        // One count moves per transfer.
+        assert!(dv.transfer_pin(7, 40, 2));
+        assert!(dv.transfer_pin(7, 40, 2));
+        assert!(!dv.transfer_pin(7, 40, 2), "only two counts were held");
+        // The new owner's releases balance the transferred counts; the
+        // prior client's teardown no longer touches them.
+        dv.handle(t(1), DvEvent::ClientGone { client: 7 });
+        dv.handle(t(2), DvEvent::Release { client: 40, key: 2 });
+        dv.handle(t(3), DvEvent::Release { client: 40, key: 2 });
+        // All pins gone: key 2 is evictable under pressure.
+        let mut dv2 = DataVirtualizer::new(cfg(4));
+        assert!(dv2.prime(2, 100).is_empty());
+        assert!(dv2.restore_pin(7, 2));
+        assert!(dv2.transfer_pin(7, 40, 2));
+        dv2.handle(t(1), DvEvent::Release { client: 40, key: 2 });
+        for key in [6u64, 10, 14, 18] {
+            let a = dv2.handle(t(2), DvEvent::Acquire { client: 1, key });
+            produce_all(&mut dv2, &a, t(3));
+            dv2.handle(t(4), DvEvent::Release { client: 1, key });
+        }
+        assert!(!dv2.is_cached(2), "released transferred pin must not veto eviction");
     }
 }

@@ -69,6 +69,27 @@
 //!    launches compose without overlap. The digest tier takes no lock
 //!    of its own and is the reason prefetching contexts keep both
 //!    layer 1 and N-way DV sharding.
+//! 1b. **Durability tier (WAL; durable deployments only).** A context
+//!    started with [`DurabilityCfg::wal`] keeps one append-only
+//!    [`simstore::walog::WriteAheadLog`] in its storage area, guarded
+//!    by its own mutex *below* every DV shard lock in the order (shard
+//!    → WAL, never WAL → shard; the WAL lock is never held across
+//!    socket or launcher I/O either). Pin records ride the `Effects`
+//!    outbox: slow-path pins are derived from the `Ready` responses a
+//!    transition collected and appended + fsynced in `commit` *before*
+//!    the frames are sent (write-ahead ordering), while fast-path
+//!    hit pins — which never enter the outbox — buffer in the
+//!    connection-local window and are netted
+//!    ([`simstore::walog::net_pin_window`]) and synced when the frame
+//!    handler returns, i.e. after the reply. A crash can therefore
+//!    lose a fast pin's record but never a slow one's; the client
+//!    re-assertion protocol reconciles either way (an unlogged pin
+//!    re-acquires, a logged-but-released pin is freed by the
+//!    reassert's closing `ClientGone`). The log compacts to a
+//!    [`simstore::walog::WalState`] snapshot at sync points once it
+//!    passes [`simstore::walog::COMPACT_THRESHOLD`]. Contexts without
+//!    durability skip this tier entirely — one `Option` check on the
+//!    hot path.
 //! 2. **Per-key-range DV shard locks.** The DV state machine is split
 //!    into N independent shards routed by restart interval
 //!    ([`crate::dv::DvRouter`]): each shard owns a disjoint set of
@@ -129,6 +150,7 @@ use parking_lot::Mutex;
 use simbatch::{JobId, JobLauncher, SpawnSpec};
 use simcache::{u64_map, HitIndex, U64Map, U64Set};
 use simkit::SimTime;
+use simstore::walog::{self, WalRecord, WalState, WriteAheadLog};
 use simstore::StorageArea;
 use std::collections::HashMap;
 use std::io;
@@ -151,6 +173,47 @@ pub mod env_keys {
     pub const CONTEXT: &str = "SIMFS_CONTEXT";
     /// Storage-area directory the simulator writes into.
     pub const DATA_DIR: &str = "SIMFS_DATA_DIR";
+}
+
+/// Crash-safety configuration of one context (tier 1b of the lock
+/// hierarchy). Off by default: the WAL costs an fsync per durable
+/// transition, which non-durable deployments (benchmarks, ephemeral
+/// experiments) should not pay.
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityCfg {
+    /// Keep a write-ahead pin/lease log in the storage area.
+    pub wal: bool,
+    /// On startup, replay the WAL and restore the pins of the previous
+    /// instance under a new recovery epoch (the `--recover` flag).
+    /// Restored pins are held on behalf of their original clients until
+    /// those clients reconnect and re-assert them, or until
+    /// `lease_timeout` expires them.
+    pub recover: bool,
+    /// How long recovered pins wait for their client's re-assertion
+    /// before a synthetic `ClientGone` releases them — the backstop
+    /// that keeps a crash from leaking residency vetoes forever.
+    pub lease_timeout: Duration,
+}
+
+impl Default for DurabilityCfg {
+    fn default() -> DurabilityCfg {
+        DurabilityCfg {
+            wal: false,
+            recover: false,
+            lease_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl DurabilityCfg {
+    /// WAL on, recovery as given, default lease timeout.
+    pub fn durable(recover: bool) -> DurabilityCfg {
+        DurabilityCfg {
+            wal: true,
+            recover,
+            ..DurabilityCfg::default()
+        }
+    }
 }
 
 /// Daemon configuration for one simulation context.
@@ -188,11 +251,20 @@ pub struct ServerConfig {
     /// (`Failed`) — DVLib's [`crate::client::DvCluster`] routes them to
     /// the right daemon in the first place.
     pub cluster: ClusterMember,
+    /// Crash safety: write-ahead pin/lease logging and restart
+    /// recovery. [`DurabilityCfg::default`] turns both off.
+    pub durability: DurabilityCfg,
 }
 
 /// Hit-index lock shards (per context). Sixteen spreads neighbouring
 /// step keys over distinct read-write locks at negligible cost.
 const HIT_INDEX_SHARDS: usize = 16;
+
+/// Adaptive digest drain: once a connection's access ring is this full
+/// (¾ of [`ACCESS_LOG_CAPACITY`]), the next acquire drains it even on a
+/// pure-hit stream — a saturated single client would otherwise overflow
+/// the ring between 20 ms reactor ticks and drop its freshest records.
+const DIGEST_HIGH_WATER: usize = ACCESS_LOG_CAPACITY - ACCESS_LOG_CAPACITY / 4;
 
 /// The state guarded by one DV shard lock: the shard's state machine,
 /// the request bookkeeping its notifications resolve through, and the
@@ -259,6 +331,33 @@ impl Effects {
     }
 }
 
+/// The write-ahead log plus its in-memory mirror (the state a replay
+/// of the file would produce), guarded by one mutex per context. The
+/// mirror is what compaction snapshots — no re-reading the file.
+struct DaemonWal {
+    log: WriteAheadLog,
+    state: WalState,
+}
+
+impl DaemonWal {
+    /// Applies to the mirror and buffers for the file (no syscalls).
+    fn append(&mut self, r: WalRecord) {
+        self.state.apply(&r);
+        self.log.append(&r);
+    }
+
+    /// Batched durability point: fsync what is buffered, then compact
+    /// once the file outgrows the threshold (the snapshot is bounded by
+    /// live pins + leases, so a steady daemon's log stays small).
+    fn sync_and_compact(&mut self, epoch: u64) {
+        let _ = self.log.sync();
+        if self.log.file_bytes() > walog::COMPACT_THRESHOLD {
+            let snap = self.state.snapshot(epoch);
+            let _ = self.log.compact(&snap);
+        }
+    }
+}
+
 /// Per-connection analysis-session state, owned by the connection's
 /// reactor thread (single-threaded access — no locks):
 struct ConnLocal {
@@ -281,6 +380,11 @@ struct ConnLocal {
     /// forward their full pre-routing stream as `AccessDigest` frames
     /// instead — recording both would feed every access twice.
     observe_local: bool,
+    /// Durable contexts only: fast-path pin/release records buffered
+    /// for the WAL. Netted ([`walog::net_pin_window`]) and appended
+    /// when the frame handler returns — a hit-path acquire→release
+    /// round trip inside one window writes nothing.
+    wal_pending: Vec<WalRecord>,
 }
 
 impl ConnLocal {
@@ -291,6 +395,7 @@ impl ConnLocal {
             log: AccessLog::new(ACCESS_LOG_CAPACITY),
             drain_scratch: Vec::new(),
             observe_local: true,
+            wal_pending: Vec::new(),
         }
     }
 }
@@ -335,6 +440,26 @@ struct CtxRuntime {
     /// Daemon-wide accept-retry counter (shared with [`Inner`]), so
     /// context snapshots surface it through [`DvStats`].
     accept_retries: Arc<AtomicU64>,
+    /// Tier 1b: the write-ahead pin/lease log (`None` for non-durable
+    /// contexts — the hot path pays one `Option` check). Lock order:
+    /// any DV shard lock → WAL lock; never held across I/O other than
+    /// the log's own writes.
+    wal: Option<Mutex<DaemonWal>>,
+    /// This instance's recovery epoch: strictly above every epoch in
+    /// the replayed WAL, `0` without durability. Carried in `HelloOk`
+    /// so clients can tell a restarted daemon from a dropped
+    /// connection.
+    epoch: u64,
+    /// WAL records replayed at startup (stat; fixed after start).
+    wal_replayed: u64,
+    /// Recovery leases: prior-instance client → deadline by which it
+    /// must reconnect and re-assert, else its restored pins are
+    /// released. Entries leave via re-assertion or expiry (reaper).
+    leases: Mutex<HashMap<u64, Instant>>,
+    /// Sessions that handshook with a prior-epoch claim (reconnects).
+    client_reconnects: AtomicU64,
+    /// Recovery leases expired without re-assertion.
+    leases_expired: AtomicU64,
 }
 
 struct Inner {
@@ -647,6 +772,7 @@ impl CtxRuntime {
         let mut sims_retired = false;
         loop {
             sims_retired |= !fx.kills.is_empty() || !fx.completed.is_empty();
+            self.wal_log_outbox(fx);
             self.flush_outbox(fx);
             self.apply_job_control(inner, fx, &mut failed);
             if !fx.evicts.is_empty() {
@@ -701,6 +827,97 @@ impl CtxRuntime {
         }
     }
 
+    /// Write-ahead ordering (tier 1b): every slow-path pin a transition
+    /// granted shows up in the outbox as a `Ready` response; append and
+    /// fsync those pin records *before* [`flush_outbox`] puts the
+    /// frames on the wire, so a granted pin the client saw is always in
+    /// the log. No-op without durability.
+    fn wal_log_outbox(&self, fx: &Effects) {
+        let Some(wal) = &self.wal else { return };
+        if fx.outbox.is_empty() {
+            return;
+        }
+        let mut w = wal.lock();
+        let mut any = false;
+        for (client, resp) in &fx.outbox {
+            if let Response::Ready { key, .. } = resp {
+                w.append(WalRecord::PinAcquire {
+                    client: *client,
+                    key: *key,
+                    epoch: self.epoch,
+                });
+                any = true;
+            }
+        }
+        if any {
+            w.sync_and_compact(self.epoch);
+        }
+    }
+
+    /// Drains a connection's buffered fast-path pin window into the
+    /// WAL: net out acquire/release pairs that cancelled within the
+    /// window, append the rest, fsync. Called when the frame handler
+    /// returns — after the replies, so a crash can lose a fast pin's
+    /// record (the re-assertion protocol re-acquires it) but the log
+    /// never claims a pin the client does not hold longer than one
+    /// window. No-op without durability.
+    fn wal_drain_local(&self, local: &mut ConnLocal) {
+        let Some(wal) = &self.wal else { return };
+        if local.wal_pending.is_empty() {
+            return;
+        }
+        walog::net_pin_window(&mut local.wal_pending);
+        let mut w = wal.lock();
+        for r in local.wal_pending.drain(..) {
+            w.append(r);
+        }
+        w.sync_and_compact(self.epoch);
+    }
+
+    /// Appends a durable departure for `client` (disconnect or lease
+    /// expiry): voids all its pins and its lease in one record.
+    fn wal_client_gone(&self, client: ClientId) {
+        let Some(wal) = &self.wal else { return };
+        let mut w = wal.lock();
+        w.append(WalRecord::ClientGone {
+            client,
+            epoch: self.epoch,
+        });
+        w.sync_and_compact(self.epoch);
+    }
+
+    /// Any recovery leases still waiting for re-assertion?
+    fn has_leases(&self) -> bool {
+        !self.leases.lock().is_empty()
+    }
+
+    /// Expires recovery leases past their deadline: each expired client
+    /// gets a synthetic `ClientGone` (broadcast, releasing its restored
+    /// pins) and a durable departure record — the backstop that keeps
+    /// an unreturned client's crash-recovered pins from vetoing
+    /// eviction forever. Driven from the reaper thread.
+    fn expire_leases(&self, inner: &Inner, fx: &mut Effects) {
+        let expired: Vec<ClientId> = {
+            let mut leases = self.leases.lock();
+            let now = Instant::now();
+            let gone: Vec<ClientId> = leases
+                .iter()
+                .filter(|(_, deadline)| **deadline <= now)
+                .map(|(client, _)| *client)
+                .collect();
+            for client in &gone {
+                leases.remove(client);
+            }
+            gone
+        };
+        for client in expired {
+            self.leases_expired.fetch_add(1, Ordering::Relaxed);
+            self.wal_client_gone(client);
+            self.transition(inner, DvEvent::ClientGone { client }, fx);
+            self.commit(inner, fx);
+        }
+    }
+
     /// Merged statistics snapshot: shard totals plus the fast-path and
     /// lock counters the shards never see. Also returns the active-sim
     /// total observed in the same per-shard lock acquisitions, so a
@@ -722,6 +939,12 @@ impl CtxRuntime {
         total.lock_hold_ns = self.perf.hold_ns.load(Ordering::Relaxed);
         total.lock_transitions = self.perf.transitions.load(Ordering::Relaxed);
         total.accept_retries = self.accept_retries.load(Ordering::Relaxed);
+        if let Some(wal) = &self.wal {
+            total.wal_appends = wal.lock().log.appended();
+        }
+        total.wal_replayed = self.wal_replayed;
+        total.client_reconnects = self.client_reconnects.load(Ordering::Relaxed);
+        total.leases_expired = self.leases_expired.load(Ordering::Relaxed);
         (total, active)
     }
 
@@ -787,6 +1010,13 @@ impl CtxRuntime {
                     // no DV lock, no routing table.
                     if self.fast.try_hit_pin(key) {
                         *local.fast_pins.entry(key).or_insert(0) += 1;
+                        if self.wal.is_some() {
+                            local.wal_pending.push(WalRecord::PinAcquire {
+                                client,
+                                key,
+                                epoch: self.epoch,
+                            });
+                        }
                         if digest_on {
                             // Served instantly: the epoch is a true
                             // ready point.
@@ -880,13 +1110,30 @@ impl CtxRuntime {
                     // shard locks anyway; pure-hit streams drain from
                     // the reactor tick instead.
                     self.drain_digest(inner, local, fx);
+                } else if digest_on && local.log.len() >= DIGEST_HIGH_WATER {
+                    // Adaptive drain: a saturated pure-hit stream can
+                    // overflow the ring between 20 ms ticks; once it
+                    // passes the high-water mark, pay the shard locks
+                    // now instead of dropping the oldest records.
+                    self.drain_digest(inner, local, fx);
                 }
                 if slow_keys > 0 || rejected {
+                    self.commit(inner, fx);
+                } else if !fx.outbox.is_empty() || fx.has_job_control() || !fx.evicts.is_empty() {
+                    // The adaptive drain above may have planned
+                    // prefetch launches; effect them.
                     self.commit(inner, fx);
                 }
                 true
             }
             Request::Release { key } => {
+                if self.wal.is_some() {
+                    local.wal_pending.push(WalRecord::PinRelease {
+                        client,
+                        key,
+                        epoch: self.epoch,
+                    });
+                }
                 // Fast pins are released with index atomics alone; pins
                 // taken through the DV (miss productions) release
                 // through the owning shard.
@@ -900,6 +1147,15 @@ impl CtxRuntime {
                 }
                 self.transition(inner, DvEvent::Release { client, key }, fx);
                 self.commit(inner, fx);
+                true
+            }
+            Request::Reassert {
+                req_id,
+                prior_client,
+                prior_epoch,
+                keys,
+            } => {
+                self.handle_reassert(inner, client, req_id, prior_client, prior_epoch, keys, fx);
                 true
             }
             Request::Bitrep { req_id, key } => {
@@ -980,6 +1236,122 @@ impl CtxRuntime {
         }
     }
 
+    /// A reconnecting client re-claiming the pins it held before its
+    /// connection (or this daemon) died. Three cases, answered per key
+    /// so the client knows exactly what to re-acquire:
+    ///
+    /// * **Same epoch** — the daemon never restarted, so the dropped
+    ///   connection's `ClientGone` already released everything: all
+    ///   keys come back `gone`.
+    /// * **Cross epoch, lease live** — the daemon recovered and holds
+    ///   the prior client's restored pins under a lease: each key still
+    ///   held transfers to the new session (`restored`); keys the
+    ///   recovery could not restore (evicted, or their record was lost
+    ///   to the crash) come back `gone`. The prior identity is then
+    ///   retired with a `ClientGone` broadcast, releasing any restored
+    ///   pins the client no longer wanted.
+    /// * **Cross epoch, lease expired or unknown** — the reaper already
+    ///   released the pins: all keys come back `gone`.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_reassert(
+        &self,
+        inner: &Inner,
+        client: ClientId,
+        req_id: u64,
+        prior_client: u64,
+        prior_epoch: u64,
+        keys: Vec<u64>,
+        fx: &mut Effects,
+    ) {
+        let mut restored: Vec<u64> = Vec::new();
+        let mut gone: Vec<(u64, String)> = Vec::new();
+        if prior_epoch == self.epoch {
+            for key in keys {
+                gone.push((
+                    key,
+                    format!(
+                        "same-epoch reconnect: pins of client {prior_client} were released \
+                         when its connection dropped; re-acquire"
+                    ),
+                ));
+            }
+        } else {
+            // Claimed exactly once: a second session presenting the
+            // same prior identity races the first's ClientGone.
+            let lease = self.leases.lock().remove(&prior_client);
+            let lease_live = lease.is_some_and(|deadline| Instant::now() < deadline);
+            if !lease_live {
+                for key in keys {
+                    gone.push((
+                        key,
+                        format!(
+                            "recovery lease of client {prior_client} (epoch {prior_epoch}) \
+                             expired or unknown; re-acquire"
+                        ),
+                    ));
+                }
+                if lease.is_some() {
+                    // Expired but not yet reaped: release the restored
+                    // pins now instead of leaving them to the reaper's
+                    // next pass (we just took the lease entry it would
+                    // have acted on).
+                    self.leases_expired.fetch_add(1, Ordering::Relaxed);
+                    self.wal_client_gone(prior_client);
+                    self.transition(inner, DvEvent::ClientGone { client: prior_client }, fx);
+                }
+            } else {
+                for key in keys {
+                    let mut moved = false;
+                    self.with_shard(
+                        self.router.shard_of_key(key),
+                        fx,
+                        |core| moved = core.dv.transfer_pin(prior_client, client, key),
+                        |_, _| {},
+                    );
+                    if moved {
+                        restored.push(key);
+                    } else {
+                        gone.push((
+                            key,
+                            format!(
+                                "key {key} was not recovered (evicted, or its pin record \
+                                 was lost to the crash); re-acquire"
+                            ),
+                        ));
+                    }
+                }
+                // Retire the prior identity: releases restored pins the
+                // client did not re-claim, clears stale waiter state.
+                self.transition(inner, DvEvent::ClientGone { client: prior_client }, fx);
+                if let Some(wal) = &self.wal {
+                    let mut w = wal.lock();
+                    for &key in &restored {
+                        w.append(WalRecord::PinAcquire {
+                            client,
+                            key,
+                            epoch: self.epoch,
+                        });
+                    }
+                    w.append(WalRecord::ClientGone {
+                        client: prior_client,
+                        epoch: self.epoch,
+                    });
+                    w.sync_and_compact(self.epoch);
+                }
+            }
+        }
+        fx.outbox.push((
+            client,
+            Response::Reasserted {
+                req_id,
+                epoch: self.epoch,
+                restored,
+                gone,
+            },
+        ));
+        self.commit(inner, fx);
+    }
+
     /// Drains the connection's access log into the prefetch agents
     /// (layer 1a): records replay into *every* shard under its lock —
     /// each agent replica must observe the full sequence — while
@@ -1035,6 +1407,13 @@ impl CtxRuntime {
         for shard in &self.shards {
             let mut core = shard.lock();
             core.pending.retain(|(c, _), _| *c != client);
+        }
+        // Durable departure: one ClientGone voids every logged pin of
+        // this session, so the buffered fast-pin window can simply be
+        // dropped — nothing in it could survive the departure.
+        if self.wal.is_some() {
+            local.wal_pending.clear();
+            self.wal_client_gone(client);
         }
         self.transition(inner, DvEvent::ClientGone { client }, fx);
         self.commit(inner, fx);
@@ -1128,6 +1507,11 @@ impl DvServer {
         let mut contexts = HashMap::new();
         let mut prime_work: Vec<(Arc<CtxRuntime>, Vec<u64>)> = Vec::new();
         let accept_retries = Arc::new(AtomicU64::new(0));
+        // Client ids must never collide with a recovered instance's
+        // (their pins live on under the old ids until re-asserted or
+        // lease-expired); recovery raises the floor past every id the
+        // WAL knew.
+        let mut next_client_floor = 1u64;
         for config in configs {
             let name = config.ctx.name.clone();
             let cluster = config.cluster;
@@ -1187,6 +1571,60 @@ impl DvServer {
                     evicted.extend(shards[router.shard_of_key(key)].prime(key, size));
                 }
             }
+
+            // Tier 1b: open the WAL (one per cluster member, named so
+            // priming's `key_of` never mistakes it for an output step),
+            // replay it, and — with `recover` — restore the previous
+            // instance's pins under a fresh epoch and lease them to
+            // their owners' return.
+            let mut wal = None;
+            let mut epoch = 0u64;
+            let mut wal_replayed = 0u64;
+            let mut leases: HashMap<u64, Instant> = HashMap::new();
+            if config.durability.wal {
+                let path = config
+                    .storage
+                    .root()
+                    .join(format!("dv-member-{}.wal", cluster.index));
+                let (mut log, records, report) = WriteAheadLog::open(path)?;
+                wal_replayed = report.records;
+                let replayed = WalState::replay(&records);
+                // Strictly above every epoch the log has seen, even
+                // without recovery — a cross-epoch reassert must never
+                // be mistaken for a same-instance reconnect.
+                epoch = replayed.epoch + 1;
+                let mut state = WalState {
+                    epoch,
+                    ..WalState::default()
+                };
+                if config.durability.recover {
+                    // Priming already rebuilt the cache directory from
+                    // the storage area; restore each replayed pin whose
+                    // key is actually resident (one restore per count).
+                    let deadline = Instant::now() + config.durability.lease_timeout;
+                    let mut pins: Vec<(&(u64, u64), &u32)> = replayed.pins.iter().collect();
+                    pins.sort_unstable();
+                    for (&(client, key), &count) in pins {
+                        let shard = &mut shards[router.shard_of_key(key)];
+                        for _ in 0..count {
+                            if !shard.restore_pin(client, key) {
+                                break;
+                            }
+                            *state.pins.entry((client, key)).or_insert(0) += 1;
+                        }
+                    }
+                    for client in state.live_clients() {
+                        state.leases.push(client);
+                        leases.insert(client, deadline);
+                        next_client_floor = next_client_floor.max(client + 1);
+                    }
+                }
+                // Checkpoint: the log now holds exactly the recovered
+                // state under the new epoch — replay cost is bounded by
+                // live pins, not daemon uptime.
+                log.compact(&state.snapshot(epoch))?;
+                wal = Some(Mutex::new(DaemonWal { log, state }));
+            }
             let runtime = Arc::new(CtxRuntime {
                 name: name.clone(),
                 shards: shards
@@ -1212,6 +1650,12 @@ impl DvServer {
                 launcher: config.launcher,
                 checksums: config.checksums,
                 accept_retries: Arc::clone(&accept_retries),
+                wal,
+                epoch,
+                wal_replayed,
+                leases: Mutex::new(leases),
+                client_reconnects: AtomicU64::new(0),
+                leases_expired: AtomicU64::new(0),
             });
             prime_work.push((Arc::clone(&runtime), evicted));
             let previous = contexts.insert(name.clone(), runtime);
@@ -1222,7 +1666,7 @@ impl DvServer {
             contexts,
             epoch: Instant::now(),
             addr,
-            next_client: AtomicU64::new(1),
+            next_client: AtomicU64::new(next_client_floor),
             shutdown: AtomicBool::new(false),
             reactor,
             accept_wake,
@@ -1413,7 +1857,9 @@ fn run_reaper(inner: &Arc<Inner>) {
     let mut fx = Effects::default();
     loop {
         // Park until jobs are in flight (or shutdown). Zero wakeups,
-        // zero syscalls while the daemon is idle.
+        // zero syscalls while the daemon is idle — except while
+        // recovery leases await re-assertion, when the park becomes a
+        // timed wait so expiry fires without any job traffic.
         {
             let mut stop = inner.reap_signal.0.lock().unwrap();
             loop {
@@ -1423,11 +1869,25 @@ fn run_reaper(inner: &Arc<Inner>) {
                 if inner.contexts.values().any(|rt| rt.ledger.lock().jobs_in_flight()) {
                     break;
                 }
+                if inner.contexts.values().any(|rt| rt.has_leases()) {
+                    let (guard, _) = inner
+                        .reap_signal
+                        .1
+                        .wait_timeout(stop, Duration::from_millis(50))
+                        .unwrap();
+                    stop = guard;
+                    if *stop {
+                        return;
+                    }
+                    break;
+                }
                 stop = inner.reap_signal.1.wait(stop).unwrap();
             }
         }
-        // Poll pass: translate orphaned exits into DV events.
+        // Poll pass: translate orphaned exits into DV events, expire
+        // recovery leases whose client never returned.
         for runtime in inner.contexts.values() {
+            runtime.expire_leases(inner, &mut fx);
             runtime.reap_exits(inner, &mut fx);
         }
         // Re-poll cadence while jobs run; shutdown interrupts the wait.
@@ -1491,6 +1951,7 @@ impl crate::reactor::Handler for EpollConn {
                     kind,
                     context,
                     membership,
+                    epoch: prior_epoch,
                 } = req
                 else {
                     direct_frame(
@@ -1539,12 +2000,24 @@ impl crate::reactor::Handler for EpollConn {
                 }
                 match kind {
                     ClientKind::Analysis => {
+                        // A hello carrying a prior-epoch claim is a
+                        // reconnecting session (it will follow up with
+                        // a Reassert).
+                        if prior_epoch.is_some() {
+                            runtime.client_reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
                         let client = self.inner.next_client.fetch_add(1, Ordering::SeqCst);
                         // Route first, then greet: a notification can
                         // only exist after a request, which can only
                         // follow the HelloOk already in the buffer.
                         cx.register(client);
-                        direct_frame(cx, &Response::HelloOk { client_id: client });
+                        direct_frame(
+                            cx,
+                            &Response::HelloOk {
+                                client_id: client,
+                                epoch: runtime.epoch,
+                            },
+                        );
                         let mut local = ConnLocal::new();
                         // Clustered sessions see only the keys routed
                         // here; their full stream arrives as forwarded
@@ -1560,7 +2033,13 @@ impl crate::reactor::Handler for EpollConn {
                     ClientKind::Simulator { sim_id } => {
                         // Simulators receive no post-handshake traffic;
                         // they are not registered for routing.
-                        direct_frame(cx, &Response::HelloOk { client_id: sim_id });
+                        direct_frame(
+                            cx,
+                            &Response::HelloOk {
+                                client_id: sim_id,
+                                epoch: runtime.epoch,
+                            },
+                        );
                         self.state = ConnState::Simulator {
                             runtime,
                             sim: sim_id,
@@ -1580,7 +2059,14 @@ impl crate::reactor::Handler for EpollConn {
                 let Ok(req) = Request::decode(frame) else {
                     return false;
                 };
-                runtime.handle_analysis_request(&self.inner, *client, req, local, cx, fx)
+                let keep = runtime.handle_analysis_request(&self.inner, *client, req, local, cx, fx);
+                // Tier 1b: the frame's fast-path pin window becomes
+                // durable once the replies are staged (slow-path pins
+                // were logged before their sends, inside commit).
+                if keep {
+                    runtime.wal_drain_local(local);
+                }
+                keep
             }
             ConnState::Simulator {
                 runtime,
@@ -1733,6 +2219,7 @@ impl JobLauncher for ThreadSimLauncher {
                         kind: ClientKind::Simulator { sim_id },
                         context,
                         membership: None,
+                        epoch: None,
                     }
                     .encode(),
                 )?;

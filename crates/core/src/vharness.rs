@@ -9,12 +9,25 @@
 //! for the figure annotations.
 //!
 //! Everything is deterministic given the experiment seed.
+//!
+//! [`FaultedClusterExperiment`] extends the harness into a scripted
+//! fault-injection rig: a K-member virtual DV cluster (one
+//! [`DataVirtualizer`] per member over one shared virtual storage set,
+//! each journaling pins/leases to an in-memory WAL) driven by a
+//! [`FaultPlan`] — crash member k at virtual time t, restart it with or
+//! without `--recover`, drop the analysis connection, delay a member (a
+//! partition is `DelayMember` over a subset). Faults fire at exact
+//! virtual times, so every crash/recovery interleaving is replayable
+//! bit-for-bit and can be asserted equivalent to a faultless run.
 
-use crate::dv::{DataVirtualizer, DvAction, DvEvent, DvStats, SimId};
+use crate::dv::{
+    ClusterMember, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, ShardedDv, SimId,
+};
 use crate::model::ContextCfg;
 use simbatch::{Cluster, JobId, QueueModel};
 use simkit::{Dur, Engine, SeedSeq, SimRng, SimTime};
-use std::collections::HashMap;
+use simstore::walog::{WalRecord, WalState};
+use std::collections::{HashMap, VecDeque};
 
 /// One virtual-time experiment configuration.
 #[derive(Clone)]
@@ -294,6 +307,706 @@ fn produce(en: &mut Engine<World>, w: &mut World, sim: SimId) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scripted fault injection over a virtual DV cluster
+// ---------------------------------------------------------------------------
+
+/// One scripted fault, fired at an exact virtual time.
+#[derive(Clone, Copy, Debug)]
+pub enum Fault {
+    /// kill -9 member `member` at `at`: its in-memory DV state (pins,
+    /// waiters, running sims) vanishes; its WAL journal and the steps
+    /// already materialized in the shared storage survive.
+    CrashMember {
+        /// Member index.
+        member: usize,
+        /// Virtual time of the crash.
+        at: Dur,
+    },
+    /// Restart a crashed member at `at`. With `recover`, it replays
+    /// its WAL journal: re-primes owned resident steps, restores
+    /// pins under the prior client ids, and grants each prior client
+    /// a recovery lease. Without, it comes back empty-handed (pins
+    /// must be re-acquired).
+    RestartMember {
+        /// Member index.
+        member: usize,
+        /// Virtual time of the restart.
+        at: Dur,
+        /// Replay the WAL journal (the `--recover` flag).
+        recover: bool,
+    },
+    /// Drop the analysis connection to a *live* member at `at`: the
+    /// daemon maps the hangup to `ClientGone` (pins released); the
+    /// client re-handshakes on next use and, seeing the same epoch,
+    /// knows its pins are gone.
+    DropConnection {
+        /// Member index.
+        member: usize,
+        /// Virtual time of the drop.
+        at: Dur,
+    },
+    /// Member unreachable during `[from, from + lasting)`: requests to
+    /// it stall client-side and notifications defer until it heals;
+    /// the connection itself survives (contrast [`Fault::DropConnection`]).
+    /// A network partition is this fault over a member subset.
+    DelayMember {
+        /// Member index.
+        member: usize,
+        /// Virtual time the delay starts.
+        from: Dur,
+        /// How long the member stays unreachable.
+        lasting: Dur,
+    },
+}
+
+/// A deterministic fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The faults, fired in virtual-time order regardless of order here.
+    pub faults: Vec<Fault>,
+}
+
+/// Outcome of one faulted cluster run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Keys served (ready), in service order. Retried accesses appear
+    /// once — service, not attempts.
+    pub served: Vec<u64>,
+    /// Keys that failed (out-of-timeline), in failure order.
+    pub failed: Vec<u64>,
+    /// Virtual time from first access to last consumption.
+    pub completion: Dur,
+    /// Client re-handshakes across all members.
+    pub reconnects: u64,
+    /// Pins transferred to the reconnecting client via re-assertion.
+    pub pins_reasserted: u64,
+    /// Pins restored from WAL journals across all member recoveries.
+    pub pins_recovered: u64,
+    /// WAL records replayed across all member recoveries.
+    pub wal_replayed: u64,
+    /// Recovery leases that expired before their client re-asserted.
+    pub leases_expired: u64,
+}
+
+/// A K-member virtual cluster with scripted faults: the DES analogue
+/// of the real 3-daemon crash tests, minus wall-clock flakiness.
+#[derive(Clone)]
+pub struct FaultedClusterExperiment {
+    /// Context (cadences, cache, policy, `s_max`). The cache budget is
+    /// split across members exactly as the real cluster splits it.
+    pub cfg: ContextCfg,
+    /// Cluster size K (member k owns intervals with `i % K == k`).
+    pub members: u32,
+    /// True restart latency of the simulator.
+    pub alpha_sim: Dur,
+    /// True inter-production time of the simulator.
+    pub tau_sim: Dur,
+    /// Additional job queueing delay distribution.
+    pub queue: QueueModel,
+    /// How long a recovered pin waits for its client to re-assert.
+    pub lease_timeout: Dur,
+    /// The analysis' pinned working set: how many consumed steps stay
+    /// pinned before the oldest is released. A window > 1 is what makes
+    /// crash-time pins worth re-asserting after recovery.
+    pub pin_window: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+/// How long the virtual client waits between retries against an
+/// unreachable member (its reconnect backoff, virtualized).
+const VRETRY: Dur = Dur::from_millis(100);
+
+struct VMember {
+    /// `None` while crashed.
+    dv: Option<DataVirtualizer>,
+    /// Durable pin/lease journal — the in-memory stand-in for the
+    /// real daemon's WAL file. Survives crashes.
+    journal: Vec<WalRecord>,
+    /// Recovery epoch (bumped on every restart).
+    epoch: u64,
+    /// Restart generation: stale scheduled events (sims launched by a
+    /// previous incarnation) check this and die.
+    incarnation: u64,
+    /// The analysis' current session client id on this member.
+    client: u64,
+    /// The epoch the session handshook under (differs from `epoch`
+    /// after a restart — the reconnect-time re-assertion signal).
+    connected_epoch: u64,
+    /// key → pin count the session holds on this member (client view).
+    held: HashMap<u64, u32>,
+    /// The session must re-handshake before the next request.
+    needs_reconnect: bool,
+    /// Recovery leases: prior client → expiry deadline.
+    leases: HashMap<u64, SimTime>,
+    /// Unreachable until this time ([`Fault::DelayMember`]).
+    delayed_until: SimTime,
+}
+
+struct VSim {
+    keys_end: u64,
+    next_key: u64,
+    killed: bool,
+}
+
+struct FaultWorld {
+    members: Vec<VMember>,
+    /// Member-of-key map (interval % K).
+    router: DvRouter,
+    /// The shared storage area: key → size of every materialized step.
+    /// Survives member crashes; evictions delete from it.
+    storage: HashMap<u64, u64>,
+    /// Running sims keyed by (member, incarnation, sim id).
+    sims: HashMap<(usize, u64, SimId), VSim>,
+    rng: SimRng,
+    exp: ExpParams,
+    cfg: ContextCfg,
+    cluster_size: u32,
+    lease_timeout: Dur,
+    accesses: Vec<u64>,
+    cursor: usize,
+    /// `(member, client, key)` the analysis is blocked on.
+    waiting_for: Option<(usize, u64, u64)>,
+    /// Consumed keys still pinned, oldest first.
+    release_queue: VecDeque<u64>,
+    pin_window: usize,
+    done_at: Option<SimTime>,
+    next_client: u64,
+    served: Vec<u64>,
+    failed: Vec<u64>,
+    reconnects: u64,
+    pins_reasserted: u64,
+    pins_recovered: u64,
+    wal_replayed: u64,
+    leases_expired: u64,
+}
+
+impl FaultedClusterExperiment {
+    /// Runs a single analysis over `accesses` with think time `tau_cli`
+    /// while `plan`'s faults fire at their scheduled virtual times.
+    ///
+    /// # Panics
+    /// Panics if the run deadlocks — e.g. a member is crashed and never
+    /// restarted while un-served accesses still route to it. That is a
+    /// plan bug (or a DV recovery bug), not an experiment outcome.
+    pub fn run(&self, accesses: &[u64], tau_cli: Dur, plan: &FaultPlan) -> FaultReport {
+        assert!(!accesses.is_empty(), "empty analysis");
+        let k = self.members.max(1);
+        let members = (0..k)
+            .map(|index| {
+                let mut dv = fresh_member_dv(&self.cfg, index, k);
+                dv.seed_estimates(self.alpha_sim + self.queue.mean(), self.tau_sim);
+                VMember {
+                    dv: Some(dv),
+                    journal: Vec::new(),
+                    epoch: 0,
+                    incarnation: 0,
+                    client: ANALYSIS_CLIENT,
+                    connected_epoch: 0,
+                    held: HashMap::new(),
+                    needs_reconnect: false,
+                    leases: HashMap::new(),
+                    delayed_until: SimTime::ZERO,
+                }
+            })
+            .collect();
+        let mut world = FaultWorld {
+            members,
+            router: DvRouter::new(self.cfg.steps, k),
+            storage: HashMap::new(),
+            sims: HashMap::new(),
+            rng: SeedSeq::new(self.seed).rng(0),
+            exp: ExpParams {
+                alpha_sim: self.alpha_sim,
+                tau_sim: self.tau_sim,
+                tau_cli,
+                queue: self.queue,
+                nodes_per_sim: 1,
+                output_bytes: self.cfg.output_bytes,
+            },
+            cfg: self.cfg.clone(),
+            cluster_size: k,
+            lease_timeout: self.lease_timeout,
+            accesses: accesses.to_vec(),
+            cursor: 0,
+            waiting_for: None,
+            release_queue: VecDeque::new(),
+            pin_window: self.pin_window.max(1),
+            done_at: None,
+            next_client: ANALYSIS_CLIENT + 1,
+            served: Vec::new(),
+            failed: Vec::new(),
+            reconnects: 0,
+            pins_reasserted: 0,
+            pins_recovered: 0,
+            wal_replayed: 0,
+            leases_expired: 0,
+        };
+
+        let mut engine: Engine<FaultWorld> = Engine::new();
+        for &fault in &plan.faults {
+            match fault {
+                Fault::CrashMember { member, at } => {
+                    engine.schedule_at(SimTime::ZERO + at, move |en, w: &mut FaultWorld| {
+                        crash_member(en, w, member)
+                    });
+                }
+                Fault::RestartMember { member, at, recover } => {
+                    engine.schedule_at(SimTime::ZERO + at, move |en, w: &mut FaultWorld| {
+                        restart_member(en, w, member, recover)
+                    });
+                }
+                Fault::DropConnection { member, at } => {
+                    engine.schedule_at(SimTime::ZERO + at, move |en, w: &mut FaultWorld| {
+                        drop_connection(en, w, member)
+                    });
+                }
+                Fault::DelayMember { member, from, lasting } => {
+                    engine.schedule_at(SimTime::ZERO + from, move |en, w: &mut FaultWorld| {
+                        w.members[member].delayed_until = en.now() + lasting;
+                    });
+                }
+            }
+        }
+        engine.schedule_at(SimTime::ZERO, |en, w: &mut FaultWorld| issue_next(en, w));
+        engine.run(&mut world);
+
+        let done_at = world.done_at.unwrap_or_else(|| {
+            panic!(
+                "faulted analysis deadlocked at access {}/{} (waiting {:?}, failed {:?})",
+                world.cursor,
+                world.accesses.len(),
+                world.waiting_for,
+                world.failed
+            )
+        });
+        FaultReport {
+            served: world.served,
+            failed: world.failed,
+            completion: done_at.saturating_since(SimTime::ZERO),
+            reconnects: world.reconnects,
+            pins_reasserted: world.pins_reasserted,
+            pins_recovered: world.pins_recovered,
+            wal_replayed: world.wal_replayed,
+            leases_expired: world.leases_expired,
+        }
+    }
+}
+
+/// A member's DataVirtualizer, configured exactly as the real cluster
+/// configures one: interval-residue ownership and a `1/K` cache slice.
+fn fresh_member_dv(cfg: &ContextCfg, index: u32, k: u32) -> DataVirtualizer {
+    let (mut shards, _router) =
+        ShardedDv::cluster_member(cfg.clone(), 1, ClusterMember::new(index, k)).into_parts();
+    shards.pop().expect("one shard requested")
+}
+
+/// Can the analysis reach member `m` right now?
+fn reachable(w: &FaultWorld, m: usize, now: SimTime) -> bool {
+    w.members[m].dv.is_some() && now >= w.members[m].delayed_until
+}
+
+/// kill -9: in-memory state gone, journal and storage intact. The
+/// un-replied request of a blocked analysis dies with the daemon — the
+/// client re-issues it after the member returns.
+fn crash_member(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize) {
+    let member = &mut w.members[m];
+    member.dv = None;
+    member.incarnation += 1;
+    member.needs_reconnect = true;
+    member.leases.clear();
+    w.sims.retain(|&(owner, _, _), _| owner != m);
+    if let Some((wm, _, _)) = w.waiting_for {
+        if wm == m {
+            w.waiting_for = None;
+            w.cursor -= 1; // re-issue the in-flight access
+            en.schedule_in(VRETRY, issue_next);
+        }
+    }
+}
+
+/// Restart after a crash: re-prime owned resident steps from the
+/// shared storage, then (with `recover`) replay the journal — restore
+/// pins under prior client ids, grant recovery leases, compact.
+fn restart_member(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, recover: bool) {
+    assert!(w.members[m].dv.is_none(), "restarting a live member");
+    let mut dv = fresh_member_dv(&w.cfg, m as u32, w.cluster_size);
+    dv.seed_estimates(w.exp.alpha_sim + w.exp.queue.mean(), w.exp.tau_sim);
+    let mut owned: Vec<(u64, u64)> = w
+        .storage
+        .iter()
+        .filter(|&(&key, _)| w.router.shard_of_key(key) == m)
+        .map(|(&key, &size)| (key, size))
+        .collect();
+    owned.sort_unstable();
+    for (key, size) in owned {
+        for evicted in dv.prime(key, size) {
+            w.storage.remove(&evicted);
+        }
+    }
+
+    let member = &mut w.members[m];
+    let replayed = WalState::replay(&member.journal);
+    w.wal_replayed += member.journal.len() as u64;
+    member.epoch = replayed.epoch + 1;
+    let mut state = WalState {
+        epoch: member.epoch,
+        ..WalState::default()
+    };
+    if recover {
+        let mut pins: Vec<(&(u64, u64), &u32)> = replayed.pins.iter().collect();
+        pins.sort_unstable();
+        for (&(client, key), &count) in pins {
+            for _ in 0..count {
+                if !dv.restore_pin(client, key) {
+                    break;
+                }
+                w.pins_recovered += 1;
+                *state.pins.entry((client, key)).or_insert(0) += 1;
+            }
+        }
+        let deadline = en.now() + w.lease_timeout;
+        for client in state.live_clients() {
+            state.leases.push(client);
+            member.leases.insert(client, deadline);
+            en.schedule_at(deadline, move |_en, w: &mut FaultWorld| {
+                expire_lease(w, m, client, deadline)
+            });
+        }
+    }
+    member.journal = state.snapshot(member.epoch);
+    member.dv = Some(dv);
+}
+
+/// Recovery lease expiry: the prior client never re-asserted — release
+/// its restored pins through the normal `ClientGone` path.
+fn expire_lease(w: &mut FaultWorld, m: usize, client: u64, deadline: SimTime) {
+    let member = &mut w.members[m];
+    // The lease may have been claimed by a re-assertion, or replaced by
+    // a later incarnation's recovery: only the exact grant expires.
+    if member.leases.get(&client) != Some(&deadline) {
+        return;
+    }
+    member.leases.remove(&client);
+    w.leases_expired += 1;
+    let epoch = member.epoch;
+    member.journal.push(WalRecord::ClientGone { client, epoch });
+    if let Some(dv) = member.dv.as_mut() {
+        // Lease expiry launches nothing: releases at most unpin.
+        let _ = dv.handle(deadline, DvEvent::ClientGone { client });
+    }
+}
+
+/// TCP reset on a live member: the daemon sees the hangup and releases
+/// the session's pins; the client re-handshakes on next use.
+fn drop_connection(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize) {
+    let member = &mut w.members[m];
+    let Some(dv) = member.dv.as_mut() else {
+        return; // already crashed: nothing to drop
+    };
+    let client = member.client;
+    let epoch = member.epoch;
+    member.journal.push(WalRecord::ClientGone { client, epoch });
+    let actions = dv.handle(en.now(), DvEvent::ClientGone { client });
+    member.needs_reconnect = true;
+    apply_member_actions(en, w, m, actions);
+    if let Some((wm, _, _)) = w.waiting_for {
+        if wm == m {
+            // The blocked request died with the connection.
+            w.waiting_for = None;
+            w.cursor -= 1;
+            en.schedule_in(VRETRY, issue_next);
+        }
+    }
+}
+
+/// Re-handshake with member `m` if the previous connection died:
+/// cross-epoch sessions re-assert held pins (the daemon transfers what
+/// recovery restored under a live lease), same-epoch sessions know the
+/// daemon already released everything.
+fn ensure_session(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize) {
+    if !w.members[m].needs_reconnect {
+        return;
+    }
+    let now = en.now();
+    w.reconnects += 1;
+    let prior = w.members[m].client;
+    let new_client = w.next_client;
+    w.next_client += 1;
+    let member = &mut w.members[m];
+    let restarted = member.connected_epoch != member.epoch;
+    member.client = new_client;
+    member.connected_epoch = member.epoch;
+    member.needs_reconnect = false;
+    let epoch = member.epoch;
+    if !restarted {
+        // Same instance: the hangup's ClientGone already dropped the
+        // pins; the client simply forgets them (and re-acquires lazily
+        // on its next access — for this analysis, the release that was
+        // coming anyway).
+        member.held.clear();
+        return;
+    }
+    let lease = member.leases.remove(&prior);
+    if lease.is_none_or(|deadline| now >= deadline) {
+        member.held.clear();
+        if lease.is_some() {
+            // Claimed an already-expired (to-the-instant) lease: its
+            // scheduled expiry will no-op, so release the restored
+            // pins here — they must not outlive the lease.
+            w.leases_expired += 1;
+            member.journal.push(WalRecord::ClientGone { client: prior, epoch });
+            let actions = member
+                .dv
+                .as_mut()
+                .expect("reachable member has a DV")
+                .handle(now, DvEvent::ClientGone { client: prior });
+            apply_member_actions(en, w, m, actions);
+        }
+        return;
+    }
+    let mut held: Vec<(u64, u32)> = member.held.drain().collect();
+    held.sort_unstable();
+    let dv = member.dv.as_mut().expect("reachable member has a DV");
+    let mut restored: HashMap<u64, u32> = HashMap::new();
+    for (key, count) in held {
+        for _ in 0..count {
+            if dv.transfer_pin(prior, new_client, key) {
+                w.pins_reasserted += 1;
+                *restored.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    let actions = dv.handle(now, DvEvent::ClientGone { client: prior });
+    let mut log: Vec<(u64, u32)> = restored.iter().map(|(&k, &c)| (k, c)).collect();
+    log.sort_unstable();
+    let member = &mut w.members[m];
+    for (key, count) in log {
+        for _ in 0..count {
+            member.journal.push(WalRecord::PinAcquire {
+                client: new_client,
+                key,
+                epoch,
+            });
+        }
+    }
+    member.journal.push(WalRecord::ClientGone { client: prior, epoch });
+    member.held = restored;
+    apply_member_actions(en, w, m, actions);
+}
+
+/// Releases the previously consumed key, then issues the next access —
+/// retrying (in virtual time) while the owning member is unreachable.
+fn issue_next(en: &mut Engine<FaultWorld>, w: &mut FaultWorld) {
+    while w.release_queue.len() > w.pin_window {
+        let prev = w.release_queue.pop_front().expect("len checked");
+        let m = w.router.shard_of_key(prev);
+        let owner = &mut w.members[m];
+        let pinned = match owner.held.get_mut(&prev) {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    owner.held.remove(&prev);
+                }
+                true
+            }
+            None => false,
+        };
+        // A release only reaches a live, connected member; otherwise
+        // the pin is (or will be) dropped by ClientGone/recovery.
+        if pinned && !owner.needs_reconnect && reachable(w, m, en.now()) {
+            let client = w.members[m].client;
+            let epoch = w.members[m].epoch;
+            w.members[m].journal.push(WalRecord::PinRelease {
+                client,
+                key: prev,
+                epoch,
+            });
+            let actions = w.members[m]
+                .dv
+                .as_mut()
+                .expect("reachable member has a DV")
+                .handle(en.now(), DvEvent::Release { client, key: prev });
+            apply_member_actions(en, w, m, actions);
+        }
+    }
+    if w.cursor >= w.accesses.len() {
+        w.done_at = Some(en.now());
+        return;
+    }
+    let key = w.accesses[w.cursor];
+    let m = w.router.shard_of_key(key);
+    if !reachable(w, m, en.now()) {
+        en.schedule_in(VRETRY, issue_next);
+        return;
+    }
+    ensure_session(en, w, m);
+    w.cursor += 1;
+    let client = w.members[m].client;
+    let actions = w.members[m]
+        .dv
+        .as_mut()
+        .expect("reachable member has a DV")
+        .handle(en.now(), DvEvent::Acquire { client, key });
+    let mut ready = false;
+    let mut failed = false;
+    for a in &actions {
+        match a {
+            DvAction::NotifyReady { client: c, key: k } if *c == client && *k == key => {
+                ready = true
+            }
+            DvAction::NotifyFailed { key: k, .. } if *k == key => failed = true,
+            _ => {}
+        }
+    }
+    apply_member_actions(en, w, m, actions);
+    if failed {
+        w.failed.push(key);
+        en.schedule_in(Dur::ZERO, issue_next);
+    } else if ready {
+        grant(en, w, m, key);
+    } else {
+        w.waiting_for = Some((m, client, key));
+    }
+}
+
+/// A pin was granted: journal it, track it, consume, move on.
+fn grant(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, key: u64) {
+    let member = &mut w.members[m];
+    member.journal.push(WalRecord::PinAcquire {
+        client: member.client,
+        key,
+        epoch: member.epoch,
+    });
+    *member.held.entry(key).or_insert(0) += 1;
+    w.served.push(key);
+    w.release_queue.push_back(key);
+    en.schedule_in(w.exp.tau_cli, issue_next);
+}
+
+/// Applies member `m`'s DV actions to the virtual world.
+fn apply_member_actions(
+    en: &mut Engine<FaultWorld>,
+    w: &mut FaultWorld,
+    m: usize,
+    actions: Vec<DvAction>,
+) {
+    for action in actions {
+        match action {
+            DvAction::NotifyReady { client, key } => {
+                deliver_ready(en, w, m, client, key);
+            }
+            DvAction::NotifyFailed { client, key, .. } => {
+                if w.waiting_for == Some((m, client, key)) {
+                    w.waiting_for = None;
+                    w.failed.push(key);
+                    en.schedule_in(Dur::ZERO, issue_next);
+                }
+            }
+            DvAction::Launch { sim, keys, .. } => {
+                let inc = w.members[m].incarnation;
+                w.sims.insert(
+                    (m, inc, sim),
+                    VSim {
+                        keys_end: *keys.end(),
+                        next_key: *keys.start(),
+                        killed: false,
+                    },
+                );
+                let delay = w.exp.queue.sample(&mut w.rng) + w.exp.alpha_sim;
+                en.schedule_in(delay, move |en, w: &mut FaultWorld| {
+                    vsim_started(en, w, m, inc, sim)
+                });
+            }
+            DvAction::Kill { sim } => {
+                let inc = w.members[m].incarnation;
+                if let Some(s) = w.sims.get_mut(&(m, inc, sim)) {
+                    s.killed = true;
+                }
+            }
+            DvAction::Evict { key } => {
+                w.storage.remove(&key);
+            }
+        }
+    }
+}
+
+/// Delivers a `NotifyReady` to the blocked analysis — deferred while
+/// the member is delayed (the notification cannot cross a partition).
+fn deliver_ready(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, client: u64, key: u64) {
+    if w.waiting_for != Some((m, client, key)) {
+        return; // stale notify (pre-crash waiter or prefetch)
+    }
+    let now = en.now();
+    if now < w.members[m].delayed_until {
+        let wait = w.members[m].delayed_until.saturating_since(now);
+        en.schedule_in(wait, move |en, w: &mut FaultWorld| {
+            deliver_ready(en, w, m, client, key)
+        });
+        return;
+    }
+    w.waiting_for = None;
+    grant(en, w, m, key);
+}
+
+fn vsim_started(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, inc: u64, sim: SimId) {
+    if w.members[m].incarnation != inc || w.sims.get(&(m, inc, sim)).is_none_or(|s| s.killed) {
+        return;
+    }
+    let actions = w.members[m]
+        .dv
+        .as_mut()
+        .expect("live incarnation has a DV")
+        .handle(en.now(), DvEvent::SimStarted { sim });
+    apply_member_actions(en, w, m, actions);
+    en.schedule_in(w.exp.tau_sim, move |en, w: &mut FaultWorld| {
+        vsim_produce(en, w, m, inc, sim)
+    });
+}
+
+fn vsim_produce(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, inc: u64, sim: SimId) {
+    if w.members[m].incarnation != inc {
+        return; // the member crashed out from under this sim
+    }
+    let Some(s) = w.sims.get_mut(&(m, inc, sim)) else {
+        return;
+    };
+    if s.killed {
+        w.sims.remove(&(m, inc, sim));
+        return;
+    }
+    let key = s.next_key;
+    s.next_key += 1;
+    let finished = s.next_key > s.keys_end;
+    w.storage.insert(key, w.exp.output_bytes);
+    let actions = w.members[m]
+        .dv
+        .as_mut()
+        .expect("live incarnation has a DV")
+        .handle(en.now(), DvEvent::FileProduced {
+            sim,
+            key,
+            size: w.exp.output_bytes,
+        });
+    apply_member_actions(en, w, m, actions);
+    if finished {
+        w.sims.remove(&(m, inc, sim));
+        if w.members[m].incarnation == inc {
+            let actions = w.members[m]
+                .dv
+                .as_mut()
+                .expect("live incarnation has a DV")
+                .handle(en.now(), DvEvent::SimFinished { sim });
+            apply_member_actions(en, w, m, actions);
+        }
+    } else {
+        en.schedule_in(w.exp.tau_sim, move |en, w: &mut FaultWorld| {
+            vsim_produce(en, w, m, inc, sim)
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +1231,173 @@ mod tests {
             res.completion,
             t_lower
         );
+    }
+
+    // -- scripted fault injection ---------------------------------------
+
+    /// Three-member cluster, Δr = 4: member k owns intervals ≡ k mod 3
+    /// (keys 1-4 → member 0, 5-8 → member 1, 17-20 → member 1, ...).
+    fn faulted() -> FaultedClusterExperiment {
+        let steps = StepMath::new(1, 4, 10_000);
+        let cfg = ContextCfg::new("vf", steps, 1, 1_000_000)
+            .with_policy("lru")
+            .with_smax(4)
+            .with_prefetch(false);
+        FaultedClusterExperiment {
+            cfg,
+            members: 3,
+            alpha_sim: Dur::from_secs(2),
+            tau_sim: Dur::from_secs(1),
+            queue: QueueModel::None,
+            lease_timeout: Dur::from_secs(60),
+            pin_window: 4,
+            seed: 7,
+        }
+    }
+
+    const TAU_CLI: Dur = Dur::from_millis(500);
+
+    #[test]
+    fn faultless_cluster_serves_in_order() {
+        let exp = faulted();
+        let accesses: Vec<u64> = (1..=24).collect();
+        let rep = exp.run(&accesses, TAU_CLI, &FaultPlan::default());
+        assert_eq!(rep.served, accesses);
+        assert!(rep.failed.is_empty());
+        assert_eq!(rep.reconnects, 0);
+        assert_eq!(rep.pins_recovered, 0);
+        assert_eq!(rep.leases_expired, 0);
+    }
+
+    #[test]
+    fn kill9_then_recover_matches_faultless_run() {
+        // The analysis consumes interval 1 (keys 5-8, all member 1,
+        // all pinned: window 4), then blocks on 17 (member 1 again).
+        // Member 1 dies mid-wait, restarts with recovery: the WAL
+        // restores the 4 pins, the client reconnects and re-asserts
+        // them, and the run ends exactly where the faultless run does.
+        let exp = faulted();
+        let accesses = [5, 6, 7, 8, 17];
+        let clean = exp.run(&accesses, TAU_CLI, &FaultPlan::default());
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::CrashMember { member: 1, at: Dur::from_millis(7_200) },
+                Fault::RestartMember { member: 1, at: Dur::from_secs(9), recover: true },
+            ],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep.served, clean.served, "recovery changed the answer");
+        assert!(rep.failed.is_empty());
+        assert_eq!(rep.reconnects, 1);
+        assert_eq!(rep.pins_recovered, 4, "window pins restored from the WAL");
+        assert_eq!(rep.pins_reasserted, 4, "client re-claimed every pin");
+        assert!(rep.wal_replayed > 0);
+        assert_eq!(rep.leases_expired, 0, "re-assertion beat the lease");
+        assert!(rep.completion > clean.completion, "the crash was not free");
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let exp = faulted();
+        let accesses: Vec<u64> = (1..=32).collect();
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::CrashMember { member: 1, at: Dur::from_millis(5_300) },
+                Fault::RestartMember { member: 1, at: Dur::from_secs(8), recover: true },
+                Fault::DropConnection { member: 0, at: Dur::from_millis(11_700) },
+            ],
+        };
+        let a = exp.run(&accesses, TAU_CLI, &plan);
+        let b = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(a, b, "same seed + same plan must replay bit-for-bit");
+    }
+
+    #[test]
+    fn restart_without_recover_forgets_pins_but_still_serves() {
+        let exp = faulted();
+        let accesses = [5, 6, 7, 8, 17];
+        let clean = exp.run(&accesses, TAU_CLI, &FaultPlan::default());
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::CrashMember { member: 1, at: Dur::from_millis(7_200) },
+                Fault::RestartMember { member: 1, at: Dur::from_secs(9), recover: false },
+            ],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep.served, clean.served);
+        assert!(rep.failed.is_empty());
+        assert_eq!(rep.reconnects, 1);
+        assert_eq!(rep.pins_recovered, 0, "no WAL replay without --recover");
+        assert_eq!(rep.pins_reasserted, 0, "nothing restored, nothing to claim");
+    }
+
+    #[test]
+    fn dropped_connection_reconnects_in_the_same_epoch() {
+        let exp = faulted();
+        let accesses: Vec<u64> = (1..=24).collect();
+        let clean = exp.run(&accesses, TAU_CLI, &FaultPlan::default());
+        let plan = FaultPlan {
+            faults: vec![Fault::DropConnection { member: 0, at: Dur::from_millis(5_700) }],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep.served, clean.served);
+        assert!(rep.failed.is_empty());
+        assert_eq!(rep.reconnects, 1);
+        // Same instance, same epoch: nothing was recovered or leased.
+        assert_eq!(rep.pins_recovered, 0);
+        assert_eq!(rep.pins_reasserted, 0);
+        assert_eq!(rep.leases_expired, 0);
+    }
+
+    #[test]
+    fn delayed_member_stalls_the_run_but_answers_do_not_change() {
+        let exp = faulted();
+        let accesses = [5u64, 6, 7, 8];
+        let clean = exp.run(&accesses, TAU_CLI, &FaultPlan::default());
+        let plan = FaultPlan {
+            faults: vec![Fault::DelayMember {
+                member: 1,
+                from: Dur::from_secs(2),
+                lasting: Dur::from_secs(30),
+            }],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep.served, clean.served);
+        assert!(rep.failed.is_empty());
+        assert_eq!(rep.reconnects, 0, "a delay is not a disconnect");
+        assert!(
+            rep.completion >= clean.completion + Dur::from_secs(25),
+            "a 30 s partition must show up in completion: {} vs {}",
+            rep.completion,
+            clean.completion
+        );
+    }
+
+    #[test]
+    fn unclaimed_recovery_lease_expires_and_frees_the_pins() {
+        // The analysis pins interval 1 (member 1), then spends the rest
+        // of the run on members 0 and 2. Member 1 crashes and recovers,
+        // but its client never comes back: the recovery lease must
+        // expire and the restored pins must be released — without
+        // disturbing the analysis.
+        let mut exp = faulted();
+        exp.lease_timeout = Dur::from_secs(5);
+        let mut accesses = vec![5u64, 6, 7, 8];
+        accesses.extend((1..=24).filter(|k| StepMath::new(1, 4, 10_000).interval_of(*k) % 3 != 1));
+        let clean = exp.run(&accesses, TAU_CLI, &FaultPlan::default());
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::CrashMember { member: 1, at: Dur::from_millis(7_200) },
+                Fault::RestartMember { member: 1, at: Dur::from_secs(8), recover: true },
+            ],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep.served, clean.served);
+        assert!(rep.failed.is_empty());
+        assert_eq!(rep.reconnects, 0, "the client never returned to member 1");
+        assert_eq!(rep.pins_recovered, 4);
+        assert_eq!(rep.pins_reasserted, 0);
+        assert_eq!(rep.leases_expired, 1, "the unclaimed lease must expire");
     }
 }
 

@@ -61,6 +61,12 @@ pub enum Request {
         /// Cluster-membership claim, verified by the daemon at hello
         /// time (`None` skips the handshake check).
         membership: Option<Membership>,
+        /// Recovery-epoch claim, Membership-style: `Some(e)` marks a
+        /// *reconnect* — the client previously held a session under
+        /// daemon epoch `e` and intends to re-assert pins. Fresh
+        /// sessions send `None`. The daemon counts reconnects and
+        /// answers its current epoch in [`Response::HelloOk`].
+        epoch: Option<u64>,
     },
     /// Request output steps (`SIMFS_Acquire`): the DV answers one
     /// `Ready`/`Failed` per key; `Queued` may precede them.
@@ -115,6 +121,24 @@ pub enum Request {
         /// `(key, epoch_ns, ready)` in observation order.
         records: Vec<(u64, u64, bool)>,
     },
+    /// Analysis: re-assert pins held before a connection drop. Sent
+    /// right after a reconnect hello: `prior_client`/`prior_epoch`
+    /// name the dead session, `keys` list its held pins (repeated per
+    /// pin count). The daemon transfers whatever restart recovery
+    /// restored under the prior id to this session and answers
+    /// per-key in [`Response::Reasserted`]; anything it no longer
+    /// holds comes back `gone` with a reason, so the client can
+    /// re-acquire instead of trusting a phantom pin.
+    Reassert {
+        /// Request id echoed in the response.
+        req_id: u64,
+        /// The client id of the dropped session.
+        prior_client: u64,
+        /// The daemon epoch the dropped session ran under.
+        prior_epoch: u64,
+        /// Pinned keys to re-assert, one entry per held pin count.
+        keys: Vec<u64>,
+    },
     /// Orderly goodbye.
     Bye,
 }
@@ -126,6 +150,10 @@ pub enum Response {
     HelloOk {
         /// DV-assigned client id.
         client_id: u64,
+        /// The daemon's current recovery epoch (0 when durability is
+        /// off). Clients carry it back in reconnect hellos and
+        /// re-assertions.
+        epoch: u64,
     },
     /// `key` is on disk and pinned for this client.
     Ready {
@@ -179,6 +207,20 @@ pub enum Response {
         /// Currently running re-simulations.
         active_sims: u64,
     },
+    /// Answer to a [`Request::Reassert`]: which pins were restored to
+    /// the new session and which are gone (with per-key reasons).
+    Reasserted {
+        /// Originating request id.
+        req_id: u64,
+        /// The daemon's current recovery epoch.
+        epoch: u64,
+        /// Keys whose pins now belong to the new session (one entry
+        /// per transferred pin count).
+        restored: Vec<u64>,
+        /// Keys the daemon no longer holds pinned for the prior
+        /// session, each with a descriptive reason.
+        gone: Vec<(u64, String)>,
+    },
     /// Protocol-level error; the session is closed after this.
     Error {
         /// Description.
@@ -223,6 +265,7 @@ impl Request {
                 kind,
                 context,
                 membership,
+                epoch,
             } => {
                 buf.put_u8(0);
                 match kind {
@@ -240,6 +283,13 @@ impl Request {
                         buf.put_u32_le(m.index);
                         buf.put_u32_le(m.size);
                         buf.put_u64_le(m.steps_hash);
+                    }
+                }
+                match epoch {
+                    None => buf.put_u8(0),
+                    Some(e) => {
+                        buf.put_u8(1);
+                        buf.put_u64_le(*e);
                     }
                 }
             }
@@ -280,6 +330,21 @@ impl Request {
                     buf.put_u64_le(*key);
                     buf.put_u64_le(*epoch);
                     buf.put_u8(u8::from(*ready));
+                }
+            }
+            Request::Reassert {
+                req_id,
+                prior_client,
+                prior_epoch,
+                keys,
+            } => {
+                buf.put_u8(10);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(*prior_client);
+                buf.put_u64_le(*prior_epoch);
+                buf.put_u32_le(keys.len() as u32);
+                for k in keys {
+                    buf.put_u64_le(*k);
                 }
             }
         }
@@ -326,10 +391,24 @@ impl Request {
                     }
                     f => return Err(corrupt(&format!("unknown membership flag {f}"))),
                 };
+                if buf.remaining() < 1 {
+                    return Err(corrupt("truncated epoch flag"));
+                }
+                let epoch = match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        if buf.remaining() < 8 {
+                            return Err(corrupt("truncated epoch"));
+                        }
+                        Some(buf.get_u64_le())
+                    }
+                    f => return Err(corrupt(&format!("unknown epoch flag {f}"))),
+                };
                 Request::Hello {
                     kind,
                     context,
                     membership,
+                    epoch,
                 }
             }
             1 => {
@@ -395,6 +474,25 @@ impl Request {
                     .collect();
                 Request::AccessDigest { dropped, records }
             }
+            10 => {
+                if buf.remaining() < 28 {
+                    return Err(corrupt("truncated reassert"));
+                }
+                let req_id = buf.get_u64_le();
+                let prior_client = buf.get_u64_le();
+                let prior_epoch = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n * 8 {
+                    return Err(corrupt("truncated reassert keys"));
+                }
+                let keys = (0..n).map(|_| buf.get_u64_le()).collect();
+                Request::Reassert {
+                    req_id,
+                    prior_client,
+                    prior_epoch,
+                    keys,
+                }
+            }
             t => return Err(corrupt(&format!("unknown request tag {t}"))),
         };
         if buf.has_remaining() {
@@ -415,9 +513,10 @@ impl Response {
     /// Appends the frame body to `buf` without allocating.
     pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
-            Response::HelloOk { client_id } => {
+            Response::HelloOk { client_id, epoch } => {
                 buf.put_u8(0);
                 buf.put_u64_le(*client_id);
+                buf.put_u64_le(*epoch);
             }
             Response::Ready { req_id, key } => {
                 buf.put_u8(1);
@@ -476,6 +575,25 @@ impl Response {
                 buf.put_u64_le(*produced_steps);
                 buf.put_u64_le(*active_sims);
             }
+            Response::Reasserted {
+                req_id,
+                epoch,
+                restored,
+                gone,
+            } => {
+                buf.put_u8(7);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(restored.len() as u32);
+                for k in restored {
+                    buf.put_u64_le(*k);
+                }
+                buf.put_u32_le(gone.len() as u32);
+                for (k, reason) in gone {
+                    buf.put_u64_le(*k);
+                    put_string(buf, reason);
+                }
+            }
         }
     }
 
@@ -487,11 +605,12 @@ impl Response {
         let tag = buf.get_u8();
         let resp = match tag {
             0 => {
-                if buf.remaining() < 8 {
+                if buf.remaining() < 16 {
                     return Err(corrupt("truncated hello-ok"));
                 }
                 Response::HelloOk {
                     client_id: buf.get_u64_le(),
+                    epoch: buf.get_u64_le(),
                 }
             }
             1 => {
@@ -548,6 +667,36 @@ impl Response {
                     restarts: buf.get_u64_le(),
                     produced_steps: buf.get_u64_le(),
                     active_sims: buf.get_u64_le(),
+                }
+            }
+            7 => {
+                if buf.remaining() < 20 {
+                    return Err(corrupt("truncated reasserted"));
+                }
+                let req_id = buf.get_u64_le();
+                let epoch = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n * 8 {
+                    return Err(corrupt("truncated reasserted keys"));
+                }
+                let restored = (0..n).map(|_| buf.get_u64_le()).collect();
+                if buf.remaining() < 4 {
+                    return Err(corrupt("truncated reasserted gone count"));
+                }
+                let n_gone = buf.get_u32_le() as usize;
+                let mut gone = Vec::with_capacity(n_gone.min(1024));
+                for _ in 0..n_gone {
+                    if buf.remaining() < 8 {
+                        return Err(corrupt("truncated reasserted gone key"));
+                    }
+                    let k = buf.get_u64_le();
+                    gone.push((k, get_string(&mut buf)?));
+                }
+                Response::Reasserted {
+                    req_id,
+                    epoch,
+                    restored,
+                    gone,
                 }
             }
             t => return Err(corrupt(&format!("unknown response tag {t}"))),
@@ -784,6 +933,7 @@ mod tests {
             kind: ClientKind::Analysis,
             context: "cosmo-1km".into(),
             membership: None,
+            epoch: None,
         });
         roundtrip_req(Request::Hello {
             kind: ClientKind::Analysis,
@@ -793,11 +943,35 @@ mod tests {
                 size: 3,
                 steps_hash: 0xDEAD_BEEF_CAFE_F00D,
             }),
+            epoch: None,
+        });
+        roundtrip_req(Request::Hello {
+            kind: ClientKind::Analysis,
+            context: "cosmo-1km".into(),
+            membership: Some(Membership {
+                index: 0,
+                size: 3,
+                steps_hash: 1,
+            }),
+            epoch: Some(4),
         });
         roundtrip_req(Request::Hello {
             kind: ClientKind::Simulator { sim_id: 42 },
             context: "flash".into(),
             membership: None,
+            epoch: None,
+        });
+        roundtrip_req(Request::Reassert {
+            req_id: 8,
+            prior_client: 17,
+            prior_epoch: 3,
+            keys: vec![5, 5, 9],
+        });
+        roundtrip_req(Request::Reassert {
+            req_id: 0,
+            prior_client: 1,
+            prior_epoch: 0,
+            keys: vec![],
         });
         roundtrip_req(Request::AccessDigest {
             dropped: 0,
@@ -826,7 +1000,20 @@ mod tests {
 
     #[test]
     fn all_responses_roundtrip() {
-        roundtrip_resp(Response::HelloOk { client_id: 3 });
+        roundtrip_resp(Response::HelloOk { client_id: 3, epoch: 0 });
+        roundtrip_resp(Response::HelloOk { client_id: 9, epoch: 12 });
+        roundtrip_resp(Response::Reasserted {
+            req_id: 6,
+            epoch: 2,
+            restored: vec![4, 4, 11],
+            gone: vec![(7, "evicted during recovery".into()), (8, String::new())],
+        });
+        roundtrip_resp(Response::Reasserted {
+            req_id: 0,
+            epoch: 1,
+            restored: vec![],
+            gone: vec![],
+        });
         roundtrip_resp(Response::Ready { req_id: 1, key: 2 });
         roundtrip_resp(Response::Failed {
             req_id: 1,
@@ -877,6 +1064,7 @@ mod tests {
                 kind: ClientKind::Analysis,
                 context: "c".into(),
                 membership: None,
+                epoch: None,
             },
             Request::Acquire {
                 req_id: 1,

@@ -6,7 +6,7 @@ use simfs_core::client::SimfsClient;
 use simfs_core::driver::{PatternDriver, SimDriver};
 use simfs_core::intercept::{netcdf, VirtualFs};
 use simfs_core::model::{ContextCfg, StepMath};
-use simfs_core::server::{ClusterMember, DvServer, ServerConfig, ThreadSimLauncher};
+use simfs_core::server::{ClusterMember, DurabilityCfg, DvServer, ServerConfig, ThreadSimLauncher};
 use simstore::{Data, Dataset, StorageArea};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -83,6 +83,7 @@ fn start_daemon_cfg(
             checksums,
             dv_shards,
             cluster: ClusterMember::SOLO,
+            durability: DurabilityCfg::default(),
         },
         "127.0.0.1:0",
     )
@@ -311,6 +312,7 @@ fn daemon_restart_reprimes_existing_files() {
             checksums: HashMap::new(),
             dv_shards: 1,
             cluster: ClusterMember::SOLO,
+            durability: DurabilityCfg::default(),
         },
         "127.0.0.1:0",
     )
@@ -374,6 +376,7 @@ fn multi_context_daemon_routes_by_name() {
         checksums: HashMap::new(),
         dv_shards: 1,
         cluster: ClusterMember::SOLO,
+        durability: simfs_core::server::DurabilityCfg::default(),
     };
     let fine = simfs_core::server::ServerConfig {
         ctx: ContextCfg::new("fine", StepMath::new(1, 8, 128), size, 1000 * size),
@@ -383,6 +386,7 @@ fn multi_context_daemon_routes_by_name() {
         checksums: HashMap::new(),
         dv_shards: 1,
         cluster: ClusterMember::SOLO,
+        durability: simfs_core::server::DurabilityCfg::default(),
     };
     let server = DvServer::start_multi(vec![coarse, fine], "127.0.0.1:0").unwrap();
     assert_eq!(server.context_names(), vec!["coarse", "fine"]);
@@ -464,6 +468,7 @@ fn malformed_frames_drop_session_without_crashing_daemon() {
                 kind: simfs_core::wire::ClientKind::Analysis,
                 context: "test-ctx".into(),
                 membership: None,
+            epoch: None,
             }
             .encode(),
         )
@@ -498,6 +503,7 @@ fn rogue_simulator_ids_do_not_corrupt_state() {
                 kind: simfs_core::wire::ClientKind::Simulator { sim_id: 9999 },
                 context: "test-ctx".into(),
                 membership: None,
+            epoch: None,
             }
             .encode(),
         )
@@ -703,6 +709,7 @@ fn socket_kill_mid_fast_pin_returns_pins_to_index() {
                 kind: simfs_core::wire::ClientKind::Analysis,
                 context: "test-ctx".into(),
                 membership: None,
+            epoch: None,
             }
             .encode(),
         )
@@ -775,7 +782,7 @@ fn dvlib_drop_flushes_staged_releases() {
             Request::decode(&hello).unwrap(),
             Request::Hello { .. }
         ));
-        wire::write_frame(&mut sock, &Response::HelloOk { client_id: 7 }.encode()).unwrap();
+        wire::write_frame(&mut sock, &Response::HelloOk { client_id: 7, epoch: 0 }.encode()).unwrap();
         let mut releases = Vec::new();
         while let Some(frame) = wire::read_frame(&mut sock).unwrap() {
             match Request::decode(&frame).unwrap() {
@@ -800,7 +807,7 @@ fn explicit_close_flushes_staged_releases() {
     let server = std::thread::spawn(move || -> Vec<u64> {
         let (mut sock, _) = listener.accept().unwrap();
         let _ = wire::read_frame(&mut sock).unwrap().unwrap(); // Hello
-        wire::write_frame(&mut sock, &Response::HelloOk { client_id: 8 }.encode()).unwrap();
+        wire::write_frame(&mut sock, &Response::HelloOk { client_id: 8, epoch: 0 }.encode()).unwrap();
         let mut releases = Vec::new();
         while let Some(frame) = wire::read_frame(&mut sock).unwrap() {
             match Request::decode(&frame).unwrap() {
@@ -896,6 +903,7 @@ fn slow_client_never_stalls_others() {
             kind: simfs_core::wire::ClientKind::Analysis,
             context: "test-ctx".into(),
             membership: None,
+            epoch: None,
         }
         .encode(),
     )
@@ -974,6 +982,7 @@ fn deep_pipelined_burst_is_fully_answered() {
             kind: simfs_core::wire::ClientKind::Analysis,
             context: "test-ctx".into(),
             membership: None,
+            epoch: None,
         }
         .encode(),
     )
@@ -1019,6 +1028,7 @@ fn protocol_error_response_precedes_close() {
             kind: simfs_core::wire::ClientKind::Analysis,
             context: "test-ctx".into(),
             membership: None,
+            epoch: None,
         }
         .encode(),
     )
@@ -1055,6 +1065,7 @@ fn half_close_still_receives_pending_responses() {
             kind: simfs_core::wire::ClientKind::Analysis,
             context: "test-ctx".into(),
             membership: None,
+            epoch: None,
         }
         .encode(),
     )

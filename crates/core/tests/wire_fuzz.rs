@@ -31,22 +31,27 @@ fn arb_request() -> impl Strategy<Value = Request> {
             any::<bool>(),
             any::<u64>(),
             (any::<bool>(), any::<u32>(), any::<u32>(), any::<u64>()),
+            (any::<bool>(), any::<u64>()),
         )
-            .prop_map(|(context, analysis, sim_id, (clustered, index, size, steps_hash))| {
-                Request::Hello {
-                    kind: if analysis {
-                        ClientKind::Analysis
-                    } else {
-                        ClientKind::Simulator { sim_id }
-                    },
-                    context,
-                    membership: clustered.then_some(Membership {
-                        index,
-                        size,
-                        steps_hash,
-                    }),
+            .prop_map(
+                |(context, analysis, sim_id, (clustered, index, size, steps_hash), epoch)| {
+                    let epoch = epoch.0.then_some(epoch.1);
+                    Request::Hello {
+                        kind: if analysis {
+                            ClientKind::Analysis
+                        } else {
+                            ClientKind::Simulator { sim_id }
+                        },
+                        context,
+                        membership: clustered.then_some(Membership {
+                            index,
+                            size,
+                            steps_hash,
+                        }),
+                        epoch,
+                    }
                 }
-            }),
+            ),
         (
             any::<u64>(),
             prop::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 0..20),
@@ -60,13 +65,26 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::SimStarted),
         Just(Request::SimFinished),
         any::<u64>().prop_map(|req_id| Request::Status { req_id }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u64>(), 0..20),
+        )
+            .prop_map(|(req_id, prior_client, prior_epoch, keys)| Request::Reassert {
+                req_id,
+                prior_client,
+                prior_epoch,
+                keys,
+            }),
         Just(Request::Bye),
     ]
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
-        any::<u64>().prop_map(|client_id| Response::HelloOk { client_id }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(client_id, epoch)| Response::HelloOk { client_id, epoch }),
         (any::<u64>(), any::<u64>()).prop_map(|(req_id, key)| Response::Ready { req_id, key }),
         (any::<u64>(), any::<u64>(), "[ -~]{0,40}")
             .prop_map(|(req_id, key, reason)| Response::Failed { req_id, key, reason }),
@@ -86,6 +104,18 @@ fn arb_response() -> impl Strategy<Value = Response> {
             }
         ),
         "[ -~]{0,40}".prop_map(|message| Response::Error { message }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u64>(), 0..10),
+            prop::collection::vec((any::<u64>(), "[ -~]{0,20}"), 0..10),
+        )
+            .prop_map(|(req_id, epoch, restored, gone)| Response::Reasserted {
+                req_id,
+                epoch,
+                restored,
+                gone,
+            }),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
             .prop_map(|(req_id, hits, misses, restarts, produced_steps, active_sims)| {
                 Response::StatusInfo {

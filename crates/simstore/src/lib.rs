@@ -16,12 +16,18 @@
 //!   redirects simulator output into (§III-A), with atomic
 //!   write-then-rename publication so analyses never observe partially
 //!   written output steps.
+//! * [`walog`] — the write-ahead pin/lease log: fixed-size checksummed
+//!   records, torn-tail-tolerant replay and checkpoint compaction, the
+//!   durability substrate that lets a crashed DV daemon re-establish
+//!   its authority over the storage area on restart.
 
 pub mod area;
 pub mod checksum;
 pub mod checksum_db;
 pub mod sdf;
+pub mod walog;
 
 pub use area::StorageArea;
 pub use checksum::{crc32, fnv1a64, Fnv1a};
 pub use sdf::{Data, Dataset, DType, SdfError, Variable};
+pub use walog::{WalRecord, WalState, WriteAheadLog};

@@ -49,6 +49,7 @@ fn main() -> std::io::Result<()> {
             checksums: init.checksums,
             dv_shards: 1,
             cluster: ClusterMember::SOLO,
+            durability: DurabilityCfg::default(),
         },
         "127.0.0.1:0",
     )?;

@@ -52,6 +52,7 @@ fn context(
         checksums: init.checksums,
         dv_shards: 1,
         cluster: ClusterMember::SOLO,
+        durability: DurabilityCfg::default(),
     })
 }
 

@@ -149,6 +149,7 @@ fn main() -> io::Result<()> {
             checksums: HashMap::new(),
             dv_shards: 1,
             cluster: ClusterMember::SOLO,
+            durability: DurabilityCfg::default(),
         },
         "127.0.0.1:0",
     )?;
@@ -173,6 +174,7 @@ fn main() -> io::Result<()> {
             checksums: HashMap::new(),
             dv_shards: 1,
             cluster: ClusterMember::SOLO,
+            durability: DurabilityCfg::default(),
         },
         "127.0.0.1:0",
     )?;

@@ -55,6 +55,7 @@ fn main() -> std::io::Result<()> {
             checksums: HashMap::new(),
             dv_shards: 1,
             cluster: ClusterMember::SOLO,
+            durability: DurabilityCfg::default(),
         },
         "127.0.0.1:0",
     )?;

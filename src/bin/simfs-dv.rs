@@ -18,7 +18,7 @@
 use simbatch::ProcessLauncher;
 use simfs::spec::ContextSpec;
 use simfs_core::dv::ClusterMember;
-use simfs_core::server::{DvServer, ServerConfig};
+use simfs_core::server::{DurabilityCfg, DvServer, ServerConfig};
 use simstore::{checksum_db, StorageArea};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -32,6 +32,8 @@ struct Args {
     dv_shards: u32,
     cluster_index: u32,
     cluster_size: u32,
+    durable: bool,
+    recover: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +45,8 @@ fn parse_args() -> Result<Args, String> {
         dv_shards: 0,
         cluster_index: 0,
         cluster_size: 1,
+        durable: false,
+        recover: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -61,6 +65,11 @@ fn parse_args() -> Result<Args, String> {
                 args.simd_program = argv.get(i).cloned().ok_or("--simd needs a path")?;
             }
             "--init" => args.init = true,
+            "--durable" => args.durable = true,
+            "--recover" => {
+                args.durable = true;
+                args.recover = true;
+            }
             "--dv-shards" => {
                 i += 1;
                 args.dv_shards = argv
@@ -89,7 +98,8 @@ fn parse_args() -> Result<Args, String> {
     if args.spec_path.is_empty() {
         return Err(
             "usage: simfs-dv --spec <file> [--listen addr] [--simd path] \
-             [--dv-shards n] [--cluster-index k --cluster-size n] [--init]"
+             [--dv-shards n] [--cluster-index k --cluster-size n] \
+             [--durable] [--recover] [--init]"
                 .into(),
         );
     }
@@ -157,6 +167,11 @@ fn run() -> Result<(), String> {
             checksums,
             dv_shards: args.dv_shards,
             cluster: ClusterMember::new(args.cluster_index, args.cluster_size),
+            durability: if args.durable {
+                DurabilityCfg::durable(args.recover)
+            } else {
+                DurabilityCfg::default()
+            },
         },
         &args.listen,
     )
@@ -175,6 +190,12 @@ fn run() -> Result<(), String> {
             String::new()
         }
     );
+    if args.durable {
+        println!(
+            "durability on: pin/lease WAL in the storage area{}",
+            if args.recover { ", recovered prior state" } else { "" }
+        );
+    }
     println!("press Ctrl-C to stop");
     loop {
         std::thread::park();

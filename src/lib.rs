@@ -41,6 +41,7 @@
 //! let server = DvServer::start(ServerConfig {
 //!     ctx, driver, storage, launcher, checksums: HashMap::new(),
 //!     dv_shards: 0, cluster: ClusterMember::SOLO,
+//!     durability: DurabilityCfg::default(),
 //! }, "127.0.0.1:0").unwrap();
 //!
 //! // An analysis: acquire a step that does not exist yet — SimFS
@@ -75,7 +76,7 @@ pub mod prelude {
     pub use simfs_core::dv::ClusterMember;
     pub use simfs_core::intercept::VirtualFs;
     pub use simfs_core::model::{ContextCfg, StepMath};
-    pub use simfs_core::server::{DvServer, ServerConfig, ThreadSimLauncher};
+    pub use simfs_core::server::{DurabilityCfg, DvServer, ServerConfig, ThreadSimLauncher};
     pub use simkit::{Dur, SimTime};
     pub use simstore::{Dataset, StorageArea};
 }

@@ -69,6 +69,7 @@ fn subprocess_resimulation_end_to_end() {
             checksums,
             dv_shards: 1,
             cluster: ClusterMember::SOLO,
+            durability: DurabilityCfg::default(),
         },
         "127.0.0.1:0",
     )
@@ -152,6 +153,7 @@ fn subprocess_boundary_dump() {
             checksums,
             dv_shards: 1,
             cluster: ClusterMember::SOLO,
+            durability: DurabilityCfg::default(),
         },
         "127.0.0.1:0",
     )
@@ -195,6 +197,7 @@ fn subprocess_failure_reports_cleanly() {
             checksums: HashMap::new(),
             dv_shards: 1,
             cluster: ClusterMember::SOLO,
+            durability: DurabilityCfg::default(),
         },
         "127.0.0.1:0",
     )
