@@ -26,6 +26,13 @@
 //! point reports the aggregate rtps plus a per-daemon acquire-rate
 //! roll-up from the members' counter deltas.
 //!
+//! `--degraded` (requires `--cluster` ≥ 2) prices interval failover:
+//! sessions enable `set_failover`, and member 1 is shut down halfway
+//! through each workload's first point — the surviving members take its
+//! intervals over mid-measurement. Every JSON result line carries a
+//! `degraded` field so the ladder separates healthy from degraded
+//! numbers.
+//!
 //! Three workloads:
 //!
 //! * **uniform** — every client strides uniformly over a fully warmed
@@ -221,15 +228,25 @@ fn start_daemon(
 /// [`DvCluster`] for clusters.
 enum Session {
     Single(SimfsClient),
-    Cluster(DvCluster),
+    /// The bool is the failover flag: degraded-mode sessions tolerate a
+    /// release racing a member death.
+    Cluster(DvCluster, bool),
 }
 
 impl Session {
-    fn connect(addrs: &[std::net::SocketAddr], steps: StepMath) -> Session {
+    fn connect(addrs: &[std::net::SocketAddr], steps: StepMath, failover: bool) -> Session {
         if addrs.len() == 1 {
             Session::Single(SimfsClient::connect(addrs[0], "bench-ctx").unwrap())
         } else {
-            Session::Cluster(DvCluster::connect(addrs, "bench-ctx", steps).unwrap())
+            let mut c = DvCluster::connect(addrs, "bench-ctx", steps).unwrap();
+            if failover {
+                c.set_auto_reconnect(true);
+                c.set_failover(true);
+                // Fast down-detection so the degraded window dominates
+                // the measurement, not the probing.
+                c.set_down_window(Duration::from_millis(500));
+            }
+            Session::Cluster(c, failover)
         }
     }
 
@@ -240,10 +257,17 @@ impl Session {
                 assert!(status.ok(), "acquire failed: {status:?}");
                 c.release(key).unwrap();
             }
-            Session::Cluster(c) => {
+            Session::Cluster(c, failover) => {
                 let status = c.acquire(&[key]).unwrap();
                 assert!(status.ok(), "acquire failed: {status:?}");
-                c.release(key).unwrap();
+                match c.release(key) {
+                    Ok(()) => {}
+                    // A member can die between the acquire and this
+                    // release; the pin dies with it and the next acquire
+                    // reroutes. Only tolerable in degraded mode.
+                    Err(_) if *failover => {}
+                    Err(e) => panic!("release failed: {e}"),
+                }
             }
         }
     }
@@ -251,7 +275,7 @@ impl Session {
     fn finalize(self) {
         match self {
             Session::Single(c) => drop(c.finalize()),
-            Session::Cluster(c) => drop(c.finalize()),
+            Session::Cluster(c, _) => drop(c.finalize()),
         }
     }
 }
@@ -322,6 +346,7 @@ fn run_point(
     clients: usize,
     secs: f64,
     cdf: Arc<Vec<f64>>,
+    failover: bool,
 ) -> Point {
     let stop = Arc::new(AtomicBool::new(false));
     let start = Arc::new(Barrier::new(clients + 1));
@@ -333,7 +358,7 @@ fn run_point(
         let cdf = Arc::clone(&cdf);
         let addrs = Arc::clone(&addrs);
         handles.push(std::thread::spawn(move || -> Vec<u64> {
-            let mut client = Session::connect(&addrs, steps);
+            let mut client = Session::connect(&addrs, steps, failover);
             let mut rng = Rng(0x9E37_79B9 ^ ((c as u64 + 1) * 0x1234_5677));
             // Uniform keeps PR 2's deterministic stride walk so the
             // ladder stays comparable across releases.
@@ -384,6 +409,7 @@ fn main() {
     let mut dv_shards = 4u32;
     let mut cluster = 1u32;
     let mut durable = false;
+    let mut degraded = false;
     let mut specs = vec![
         RunSpec { workload: Workload::Uniform, prefetch: false },
         RunSpec { workload: Workload::HitHeavy, prefetch: false },
@@ -397,6 +423,12 @@ fn main() {
         // ladder can price the write-ahead work against the default.
         if flag == "--durable" {
             durable = true;
+            continue;
+        }
+        // `--degraded` is a bare switch: kill member 1 mid-run and
+        // measure failover service by the survivors.
+        if flag == "--degraded" {
+            degraded = true;
             continue;
         }
         let val = args.next().unwrap_or_default();
@@ -419,6 +451,10 @@ fn main() {
         }
     }
     assert!(cluster >= 1, "--cluster needs at least one daemon");
+    assert!(
+        !degraded || cluster >= 2,
+        "--degraded needs --cluster 2+ (someone must survive to take over)"
+    );
 
     let mut lines = Vec::new();
     for &spec in &specs {
@@ -483,16 +519,42 @@ fn main() {
         let clients = clients_override
             .clone()
             .unwrap_or_else(|| workload.default_clients());
+        let mut victim_killed = false;
         for &n in &clients {
             let before: Vec<DvStats> = servers.iter().map(DvServer::stats).collect();
-            let point = run_point(
-                Arc::clone(&addrs),
-                steps,
-                workload,
-                n,
-                secs,
-                Arc::clone(&cdf),
-            );
+            let kill_now = degraded && !victim_killed;
+            let point = if kill_now {
+                victim_killed = true;
+                let victim = &servers[1];
+                std::thread::scope(|scope| {
+                    scope.spawn(|| {
+                        std::thread::sleep(Duration::from_secs_f64(secs / 2.0));
+                        victim.shutdown();
+                    });
+                    run_point(
+                        Arc::clone(&addrs),
+                        steps,
+                        workload,
+                        n,
+                        secs,
+                        Arc::clone(&cdf),
+                        degraded,
+                    )
+                })
+            } else {
+                run_point(
+                    Arc::clone(&addrs),
+                    steps,
+                    workload,
+                    n,
+                    secs,
+                    Arc::clone(&cdf),
+                    degraded,
+                )
+            };
+            if kill_now {
+                println!("{:>8} member 1 killed mid-point: failover service by survivors", "");
+            }
             let after: Vec<DvStats> = servers.iter().map(DvServer::stats).collect();
             // Per-daemon deltas plus the cluster-wide roll-up.
             let d_at = |i: usize, f: fn(&DvStats) -> u64| {
@@ -516,6 +578,9 @@ fn main() {
             let pins_recovered = d(|s| s.pins_recovered);
             let leases_expired = d(|s| s.leases_expired);
             let client_reconnects = d(|s| s.client_reconnects);
+            // Failover counters (all zero outside degraded runs).
+            let takeover_acquires = d(|s| s.takeover_acquires);
+            let takeover_intervals_primed = d(|s| s.takeover_intervals_primed);
             let transitions = d(|s| s.lock_transitions);
             let hold_per_transition =
                 d(|s| s.lock_hold_ns).checked_div(transitions).unwrap_or(0);
@@ -543,6 +608,13 @@ fn main() {
                     ""
                 );
             }
+            if degraded {
+                println!(
+                    "{:>8} failover: {takeover_acquires} takeover acquires, \
+                     {takeover_intervals_primed} intervals primed on takers",
+                    ""
+                );
+            }
             // Per-daemon acquire rates: how evenly the interval hash
             // spread the load across the cluster.
             let per_daemon: Vec<f64> = (0..servers.len())
@@ -567,6 +639,7 @@ fn main() {
                 .join(", ");
             lines.push(format!(
                 "    {{\"workload\": \"{}\", \"prefetch\": {}, \"cluster\": {cluster}, \
+                 \"degraded\": {degraded}, \
                  \"clients\": {n}, \"secs\": {:.3}, \
                  \"round_trips\": {}, \"rtps\": {rtps:.1}, \"p50_us\": {:.1}, \
                  \"p99_us\": {:.1}, \"acquired_fast\": {fast}, \"acquired_slow\": {slow}, \
@@ -581,6 +654,8 @@ fn main() {
                  \"pins_recovered\": {pins_recovered}, \
                  \"leases_expired\": {leases_expired}, \
                  \"client_reconnects\": {client_reconnects}, \
+                 \"takeover_acquires\": {takeover_acquires}, \
+                 \"takeover_intervals_primed\": {takeover_intervals_primed}, \
                  \"lock_hold_ns_per_transition\": {hold_per_transition}, \
                  \"lock_wait_ns_per_transition\": {wait_per_transition}, \
                  \"per_daemon_acquires_per_sec\": [{per_daemon_json}], \

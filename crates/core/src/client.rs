@@ -88,6 +88,54 @@ impl fmt::Display for DvTimeout {
 
 impl std::error::Error for DvTimeout {}
 
+/// Typed member-failure error: the payload of an
+/// [`io::ErrorKind::NotConnected`] error returned when a [`DvCluster`]
+/// operation needed a member daemon that stayed unreachable through
+/// the whole down-detection window (see
+/// [`DvCluster::set_down_window`]). With failover enabled
+/// ([`DvCluster::set_failover`]) the cluster instead reroutes the dead
+/// member's intervals to a live taker and only surfaces `MemberDown`
+/// when no live taker remains. Recover it from the error via
+/// [`MemberDown::from_io`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemberDown {
+    /// Index of the unreachable cluster member.
+    pub member: usize,
+    /// The DVLib operation that needed it (`"wait"`, `"acquire"`, ...).
+    pub op: &'static str,
+}
+
+impl MemberDown {
+    /// Downcasts an [`io::Error`] to the typed member failure, if that
+    /// is what it carries.
+    pub fn from_io(err: &io::Error) -> Option<&MemberDown> {
+        err.get_ref().and_then(|inner| inner.downcast_ref::<MemberDown>())
+    }
+
+    fn into_io(self) -> io::Error {
+        io::Error::new(io::ErrorKind::NotConnected, self)
+    }
+}
+
+impl fmt::Display for MemberDown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster member {} is down (during {})", self.member, self.op)
+    }
+}
+
+impl std::error::Error for MemberDown {}
+
+/// The fixed successor rule of interval failover: the taker of dead
+/// member `dead` is the first member clockwise on the membership ring
+/// that is not itself down. Every client evaluates this rule
+/// independently and — because the ring order is the member-list order
+/// all of them share — picks the same taker without coordination. The
+/// virtual harness applies the identical function, so scripted
+/// takeover plans pin the real routing bit-for-bit.
+pub(crate) fn successor_taker(dead: usize, size: usize, down: &[bool]) -> Option<usize> {
+    (1..size).map(|i| (dead + i) % size).find(|&m| !down[m])
+}
+
 /// Floor of the reconnect backoff ladder.
 const RECONNECT_MIN_DELAY: Duration = Duration::from_millis(10);
 /// Cap of the reconnect backoff ladder (doubling stops here).
@@ -97,6 +145,10 @@ const RECONNECT_MAX_DELAY: Duration = Duration::from_secs(1);
 const RECONNECT_WINDOW: Duration = Duration::from_secs(30);
 /// Connect-phase timeout of each individual reconnect attempt.
 const RECONNECT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+/// Connect-phase timeout of a cluster liveness probe: long enough for
+/// a loaded daemon's accept queue, short enough that probing a dead
+/// address does not dominate the down-detection window.
+const PROBE_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// Errors that mean "the connection is dead", not "the request is
 /// wrong" — the triggers of the reconnect path.
@@ -138,6 +190,31 @@ enum CallStep<T> {
     Stray(Response),
 }
 
+/// [`DvCluster`]'s verdict on a member-op error, after probing the
+/// member's liveness.
+enum MemberVerdict {
+    /// The member answers its port: the error is a session problem,
+    /// not a member death — surface it unchanged.
+    Surface,
+    /// The cluster's *injected* bounded-wait deadline fired but the
+    /// member is alive (just slow, e.g. a long re-simulation): resume
+    /// waiting.
+    KeepWaiting,
+    /// Unreachable through the whole down-detection window: the member
+    /// is dead.
+    Down,
+}
+
+/// Which member-local request of a [`ClusterAcquireRequest`] an
+/// internal wait/probe step addresses.
+#[derive(Clone, Copy)]
+enum Slot {
+    /// `parts[i]` — a native acquire at the key's home member.
+    Native(usize),
+    /// `takeover[i]` — a tagged takeover acquire parked on a taker.
+    Takeover(usize),
+}
+
 /// Handle for a non-blocking acquire (`SIMFS_Req`).
 #[derive(Debug)]
 pub struct AcquireRequest {
@@ -148,6 +225,11 @@ pub struct AcquireRequest {
     /// consumed by [`DvCluster`]'s digest recording — a blocked key's
     /// acquire-time epoch is not a ready point.
     queued: HashSet<u64>,
+    /// `Some((dead_member, origin_epoch))` when this request was sent
+    /// as a tagged `TakeoverAcquire` — a reconnect re-send must carry
+    /// the same tag, or the taker would reject the foreign keys as
+    /// misrouted.
+    takeover: Option<(u32, u64)>,
 }
 
 impl AcquireRequest {
@@ -201,6 +283,9 @@ pub struct SimfsClient {
     auto_reconnect: bool,
     /// Deadline for blocking calls; `None` blocks forever.
     op_timeout: Option<Duration>,
+    /// Total time [`recover_session`](Self::recover_session) keeps
+    /// redialing before giving up.
+    reconnect_window: Duration,
     /// Successful reconnects over this session's lifetime.
     reconnects: u64,
     /// Pins restored via `Reassert` across all reconnects.
@@ -245,6 +330,7 @@ impl SimfsClient {
             held: HashMap::new(),
             auto_reconnect: false,
             op_timeout: None,
+            reconnect_window: RECONNECT_WINDOW,
             reconnects: 0,
             pins_reasserted: 0,
             recovering: false,
@@ -305,6 +391,14 @@ impl SimfsClient {
         self.op_timeout = timeout;
     }
 
+    /// Sets how long a reconnect keeps redialing before giving up
+    /// (default 30 s — generous enough to cover a daemon restart with
+    /// `--recover`). Tests and failover-enabled clusters shrink it so
+    /// a dead member is confirmed dead quickly.
+    pub fn set_reconnect_window(&mut self, window: Duration) {
+        self.reconnect_window = window;
+    }
+
     /// Successful reconnects over this session's lifetime.
     pub fn reconnects(&self) -> u64 {
         self.reconnects
@@ -347,7 +441,8 @@ impl SimfsClient {
         // into the new one.
         self.pending_out.clear();
         self.stray.clear();
-        let deadline = Instant::now() + RECONNECT_WINDOW;
+        let window = self.reconnect_window;
+        let deadline = Instant::now() + window;
         let mut delay = RECONNECT_MIN_DELAY;
         let (stream, reader, client_id, epoch) = loop {
             let attempt = TcpStream::connect_timeout(&addr, RECONNECT_CONNECT_TIMEOUT)
@@ -387,7 +482,7 @@ impl SimfsClient {
             keys,
         })?;
         let gone = loop {
-            match self.pump_one(Some(RECONNECT_WINDOW))? {
+            match self.pump_one(Some(window))? {
                 Some(Response::Reasserted {
                     req_id: r,
                     restored,
@@ -400,11 +495,7 @@ impl SimfsClient {
                 Some(Response::Error { message }) => return Err(io::Error::other(message)),
                 Some(_stray_from_dead_request) => {}
                 None => {
-                    return Err(DvTimeout {
-                        op,
-                        after: RECONNECT_WINDOW,
-                    }
-                    .into_io())
+                    return Err(DvTimeout { op, after: window }.into_io())
                 }
             }
         };
@@ -438,10 +529,18 @@ impl SimfsClient {
             return Ok(());
         }
         let keys: Vec<u64> = req.outstanding.iter().copied().collect();
-        self.send(&Request::Acquire {
-            req_id: req.req_id,
-            keys,
-        })
+        match req.takeover {
+            Some((dead_member, origin_epoch)) => self.send(&Request::TakeoverAcquire {
+                req_id: req.req_id,
+                dead_member,
+                origin_epoch,
+                keys,
+            }),
+            None => self.send(&Request::Acquire {
+                req_id: req.req_id,
+                keys,
+            }),
+        }
     }
 
     /// The DV-assigned client id.
@@ -490,6 +589,7 @@ impl SimfsClient {
             outstanding: keys.iter().copied().collect(),
             status: SimfsStatus::default(),
             queued: HashSet::new(),
+            takeover: None,
         })
     }
 
@@ -497,6 +597,98 @@ impl SimfsClient {
     pub fn acquire(&mut self, keys: &[u64]) -> io::Result<SimfsStatus> {
         let mut req = self.acquire_nb(keys)?;
         self.wait(&mut req)
+    }
+
+    /// Tagged foreign-interval acquire (failover): requests `keys` the
+    /// daemon does **not** own, declaring their home to be dead
+    /// cluster member `dead_member`. The daemon validates the claim
+    /// against its own membership view, rebuilds residency for each
+    /// foreign interval by rescanning shared storage, and serves or
+    /// re-simulates the keys under its own budget; responses resolve
+    /// through [`wait`](Self::wait) exactly like a plain acquire.
+    /// `origin_epoch` is the client's takeover epoch, echoed in
+    /// rejections for diagnosis.
+    pub fn takeover_acquire_nb(
+        &mut self,
+        keys: &[u64],
+        dead_member: u32,
+        origin_epoch: u64,
+    ) -> io::Result<AcquireRequest> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.send(&Request::TakeoverAcquire {
+            req_id,
+            dead_member,
+            origin_epoch,
+            keys: keys.to_vec(),
+        })?;
+        Ok(AcquireRequest {
+            req_id,
+            outstanding: keys.iter().copied().collect(),
+            status: SimfsStatus::default(),
+            queued: HashSet::new(),
+            takeover: Some((dead_member, origin_epoch)),
+        })
+    }
+
+    /// Hand-back RPC (failover teardown): asks this daemon — the
+    /// *taker* — to drop the takeover pins it holds for `keys`, whose
+    /// home member `dead_member` has been restored. One pin release is
+    /// applied per listed key occurrence; the reply reports how many.
+    /// The caller must have re-acquired every listed key at the
+    /// restored home member *before* this call, so the residency veto
+    /// never lapses. The released pins leave this session's held set.
+    pub fn hand_back(&mut self, dead_member: u32, keys: &[u64]) -> io::Result<u64> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let released = self.call(
+            "hand_back",
+            &Request::HandBack {
+                req_id,
+                dead_member,
+                keys: keys.to_vec(),
+            },
+            |resp| match resp {
+                Response::HandedBack { req_id: r, released } if r == req_id => {
+                    Ok(CallStep::Done(released))
+                }
+                Response::Error { message } => Err(io::Error::other(message)),
+                other => Ok(CallStep::Stray(other)),
+            },
+        )?;
+        for &key in keys {
+            self.forget_pin(key);
+        }
+        Ok(released)
+    }
+
+    /// Drops one held-pin count without wire traffic: the pin's daemon
+    /// is gone (its pins died with it) or the release was carried by a
+    /// `HandBack` frame.
+    fn forget_pin(&mut self, key: u64) {
+        if let Some(n) = self.held.get_mut(&key) {
+            *n -= 1;
+            if *n == 0 {
+                self.held.remove(&key);
+            }
+        }
+    }
+
+    /// Forces a reconnect (plus `Reassert` of held pins) now,
+    /// regardless of the auto-reconnect setting — how the cluster
+    /// re-adopts a revived member whose session died while the member
+    /// was down.
+    fn reconnect_now(&mut self, op: &'static str) -> io::Result<()> {
+        if self.recovering {
+            return Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "recovery already in progress",
+            ));
+        }
+        self.recovering = true;
+        let outcome = self.recover_session(op);
+        self.recovering = false;
+        outcome
     }
 
     /// Processes one incoming frame into the request's bookkeeping.
@@ -873,6 +1065,19 @@ pub struct ContextStats {
 pub struct ClusterAcquireRequest {
     /// Indexed by cluster member; `None` where no keys routed.
     parts: Vec<Option<AcquireRequest>>,
+    /// Failover re-routes: tagged `TakeoverAcquire` requests parked on
+    /// a live *taker* member because the keys' home member is down.
+    /// `(taker index, request)`; grows mid-wait when a member dies
+    /// with keys in flight.
+    takeover: Vec<(usize, AcquireRequest)>,
+    /// Resolved status carried over from parts whose member died after
+    /// resolving them: merges into the final status but is never
+    /// scanned for takeover-grant recording (its re-pinned ready keys
+    /// were recorded at failover time).
+    carry: SimfsStatus,
+    /// Queued-key markers carried over alongside `carry` (they feed
+    /// the digest's ready-point flags).
+    carry_queued: HashSet<u64>,
     /// The requested keys in request order, with the acquire-time
     /// epoch: the digest observation of this request, recorded into
     /// the member logs only once the request resolves — at which point
@@ -888,18 +1093,27 @@ pub struct ClusterAcquireRequest {
 impl ClusterAcquireRequest {
     /// Keys still pending across all members.
     pub fn outstanding(&self) -> usize {
-        self.parts.iter().flatten().map(AcquireRequest::outstanding).sum()
+        self.all_parts().map(AcquireRequest::outstanding).sum()
     }
 
     /// True once every key resolved (ready or failed) on every member.
     pub fn done(&self) -> bool {
-        self.parts.iter().flatten().all(AcquireRequest::done)
+        self.all_parts().all(AcquireRequest::done)
+    }
+
+    /// Every member-local request: native parts plus takeover
+    /// re-routes.
+    fn all_parts(&self) -> impl Iterator<Item = &AcquireRequest> {
+        self.parts
+            .iter()
+            .flatten()
+            .chain(self.takeover.iter().map(|(_, part)| part))
     }
 
     /// Merged status across the members so far.
     fn merged(&self) -> SimfsStatus {
-        let mut status = SimfsStatus::default();
-        for part in self.parts.iter().flatten() {
+        let mut status = self.carry.clone();
+        for part in self.all_parts() {
             status.ready.extend_from_slice(&part.status.ready);
             status.failed.extend_from_slice(part.status.failed.as_slice());
             status.est_wait = match (status.est_wait, part.status.est_wait) {
@@ -948,6 +1162,22 @@ pub struct DvCluster {
     epoch: Instant,
     /// Reused drain buffer.
     drain_scratch: Vec<AccessRecord>,
+    /// Interval failover: reroute a dead member's intervals to a live
+    /// taker instead of failing the op (off by default — without it a
+    /// confirmed-dead member surfaces a typed [`MemberDown`]).
+    failover: bool,
+    /// Members currently considered dead. Down members are probed for
+    /// revival at the next acquire; with failover on, a revived
+    /// member gets its taken-over pins handed back.
+    down: Vec<bool>,
+    /// key → (taker index, pin count) for pins this session re-homed
+    /// onto takers: routes their releases and drives hand-back.
+    taken_over: HashMap<u64, (usize, u32)>,
+    /// Bumped on every down-detection and hand-back; tags takeover
+    /// traffic so stale or misrouted claims are attributable.
+    takeover_epoch: u64,
+    /// How long a silent member is probed before it is declared down.
+    down_window: Duration,
 }
 
 impl DvCluster {
@@ -986,12 +1216,18 @@ impl DvCluster {
         let logs = (0..members.len())
             .map(|_| AccessLog::new(ACCESS_LOG_CAPACITY))
             .collect();
+        let down = vec![false; members.len()];
         Ok(DvCluster {
             members,
             router,
             logs,
             epoch: Instant::now(),
             drain_scratch: Vec::new(),
+            failover: false,
+            down,
+            taken_over: HashMap::new(),
+            takeover_epoch: 0,
+            down_window: RECONNECT_WINDOW,
         })
     }
 
@@ -1007,16 +1243,25 @@ impl DvCluster {
     /// corrupts it. No-op for single-member clusters: the one daemon's
     /// local view already is the full stream.
     fn observe_resolved(&mut self, req: &mut ClusterAcquireRequest) {
-        if self.members.len() <= 1 || req.observed {
+        if req.observed {
             return;
         }
         req.observed = true;
+        // Record takeover grants before the digest work: keys a taker
+        // served are pinned *there*, so their releases — and an
+        // eventual hand-back — must route to it, not to the (dead)
+        // home member.
+        for (taker, part) in &req.takeover {
+            for &key in &part.status.ready {
+                self.note_taken(key, *taker);
+            }
+        }
+        if self.members.len() <= 1 {
+            return;
+        }
         for &key in &req.keys {
-            let ready = !req
-                .parts
-                .iter()
-                .flatten()
-                .any(|part| part.queued.contains(&key));
+            let ready = !req.carry_queued.contains(&key)
+                && !req.all_parts().any(|part| part.queued.contains(&key));
             for log in &mut self.logs {
                 // The member daemon attributes records to its own
                 // session client id; the field here is a placeholder.
@@ -1031,13 +1276,26 @@ impl DvCluster {
     }
 
     /// Stages member `m`'s pending digest (if any) to ride its next
-    /// coalesced write.
+    /// coalesced write. While the member is down, the digest is
+    /// dropped and *counted* instead of staged: frames queued onto a
+    /// dead connection would grow that session's write buffer without
+    /// bound, and the bounded ring behind it already degrades to
+    /// counted drops — so the first digest after revival reports the
+    /// outage's records in its drop counter, exactly like ring
+    /// overflow.
     fn stage_digest(&mut self, m: usize) {
         if self.members.len() <= 1 {
             return;
         }
         let log = &mut self.logs[m];
         if log.is_empty() && log.dropped() == 0 {
+            return;
+        }
+        if self.down[m] {
+            self.drain_scratch.clear();
+            let overflow = log.drain_into(&mut self.drain_scratch);
+            log.note_dropped(overflow + self.drain_scratch.len() as u64);
+            self.drain_scratch.clear();
             return;
         }
         self.drain_scratch.clear();
@@ -1082,9 +1340,215 @@ impl DvCluster {
         self.members.iter().map(SimfsClient::pins_reasserted).sum()
     }
 
+    /// Enables (or disables) interval failover: when a member stays
+    /// unreachable through the [down window](Self::set_down_window),
+    /// its intervals are rerouted to the live *taker* the fixed
+    /// successor rule names (first live member clockwise on the ring),
+    /// the pins this session held there are re-homed onto the taker
+    /// via tagged `TakeoverAcquire` requests, and in-flight keys
+    /// complete on the taker — the cluster degrades instead of
+    /// failing. When the dead member answers its port again, the next
+    /// acquire re-adopts it and hands its pins back (re-acquire at
+    /// home first, then `HandBack` at the taker, so the residency veto
+    /// never lapses). Off by default: a confirmed-dead member then
+    /// surfaces a typed [`MemberDown`] instead of rerouting (never an
+    /// indefinite hang).
+    pub fn set_failover(&mut self, on: bool) {
+        self.failover = on;
+    }
+
+    /// Sets the down-detection window: how long an unresponsive member
+    /// is probed (capped-backoff TCP connects) before the cluster
+    /// declares it dead — and, symmetrically, each member session's
+    /// own reconnect window. Default 30 s.
+    pub fn set_down_window(&mut self, window: Duration) {
+        self.down_window = window;
+        for member in &mut self.members {
+            member.set_reconnect_window(window);
+        }
+    }
+
+    /// True while at least one member is considered down (degraded
+    /// mode).
+    pub fn degraded(&self) -> bool {
+        self.down.iter().any(|&d| d)
+    }
+
+    /// Number of members currently considered down.
+    pub fn members_down(&self) -> usize {
+        self.down.iter().filter(|&&d| d).count()
+    }
+
+    /// The current takeover epoch: bumped on every down-detection and
+    /// hand-back, zero while the cluster has never degraded.
+    pub fn takeover_epoch(&self) -> u64 {
+        self.takeover_epoch
+    }
+
+    /// Pins currently parked on takers (counts summed over keys).
+    pub fn taken_over_pins(&self) -> u64 {
+        self.taken_over.values().map(|&(_, count)| count as u64).sum()
+    }
+
     /// The member owning `key`'s restart interval.
     pub fn member_of(&self, key: u64) -> usize {
         self.router.shard_of_key(key)
+    }
+
+    /// The taker of dead member `dead` under the fixed successor rule.
+    fn taker_of(&self, dead: usize) -> Option<usize> {
+        successor_taker(dead, self.members.len(), &self.down)
+    }
+
+    /// One quick liveness probe: does the member answer its TCP port?
+    fn probe_alive(&self, m: usize) -> bool {
+        let Some(addr) = self.members[m].addr else {
+            return false;
+        };
+        TcpStream::connect_timeout(&addr, PROBE_CONNECT_TIMEOUT).is_ok()
+    }
+
+    /// Probes member `m` with capped backoff for the down window.
+    /// Returns true if it stayed unreachable throughout (confirmed
+    /// down).
+    fn probe_until_down(&self, m: usize) -> bool {
+        let deadline = Instant::now() + self.down_window;
+        let mut delay = RECONNECT_MIN_DELAY;
+        loop {
+            if self.probe_alive(m) {
+                return false;
+            }
+            if Instant::now() + delay >= deadline {
+                return true;
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(RECONNECT_MAX_DELAY);
+        }
+    }
+
+    /// Classifies a member-op error by probing the member.
+    /// `injected_deadline` marks errors produced by the cluster's own
+    /// bounded-wait harness (no caller-set op timeout): those resume
+    /// instead of surfacing when the member turns out to be alive.
+    fn classify(&self, m: usize, err: &io::Error, injected_deadline: bool) -> MemberVerdict {
+        if !is_disconnect(err) {
+            return MemberVerdict::Surface;
+        }
+        let alive = self.probe_alive(m) || !self.probe_until_down(m);
+        if !alive {
+            return MemberVerdict::Down;
+        }
+        if injected_deadline && DvTimeout::from_io(err).is_some() {
+            MemberVerdict::KeepWaiting
+        } else {
+            MemberVerdict::Surface
+        }
+    }
+
+    /// Declares member `m` dead: marks it down, bumps the takeover
+    /// epoch, and discards whatever its session had staged (the frames
+    /// belong to a connection that no longer exists).
+    fn mark_down(&mut self, m: usize) {
+        if self.down[m] {
+            return;
+        }
+        self.down[m] = true;
+        self.takeover_epoch += 1;
+        self.members[m].pending_out.clear();
+        self.members[m].stray.clear();
+    }
+
+    /// Re-homes every pin this session held at dead member `m` onto
+    /// `taker` via one tagged takeover acquire. Keys the taker cannot
+    /// serve lose their pin (the data may be re-simulated on a later
+    /// acquire); keys it grants are recorded in `taken_over` so their
+    /// releases route to it.
+    fn reroute_pins(&mut self, m: usize, taker: usize) -> io::Result<()> {
+        let held = std::mem::take(&mut self.members[m].held);
+        if held.is_empty() {
+            return Ok(());
+        }
+        let keys: Vec<u64> = held
+            .iter()
+            .flat_map(|(&key, &count)| std::iter::repeat_n(key, count as usize))
+            .collect();
+        let origin = self.takeover_epoch;
+        let mut req = self.members[taker].takeover_acquire_nb(&keys, m as u32, origin)?;
+        self.members[taker].wait(&mut req)?;
+        for &key in &req.status.ready {
+            self.note_taken(key, taker);
+        }
+        Ok(())
+    }
+
+    /// Records one takeover pin grant: `key` is now pinned at `taker`.
+    fn note_taken(&mut self, key: u64, taker: usize) {
+        let entry = self.taken_over.entry(key).or_insert((taker, 0));
+        entry.0 = taker;
+        entry.1 += 1;
+    }
+
+    /// Fails slot `slot` of `req` over from dead member `m` to its
+    /// taker: re-homes the session's pins there, re-pins the slot's
+    /// already-granted keys (their pins died with the member), moves
+    /// the slot's resolved status into the request's carry set, and
+    /// re-issues its unresolved keys as a tagged takeover acquire on
+    /// the taker. Without failover (or with no live taker left) this
+    /// is where the typed [`MemberDown`] surfaces.
+    fn fail_over_slot(
+        &mut self,
+        m: usize,
+        req: &mut ClusterAcquireRequest,
+        slot: Slot,
+        op: &'static str,
+    ) -> io::Result<()> {
+        if !self.failover {
+            return Err(MemberDown { member: m, op }.into_io());
+        }
+        let Some(taker) = self.taker_of(m) else {
+            return Err(MemberDown { member: m, op }.into_io());
+        };
+        self.reroute_pins(m, taker)?;
+        let old = match slot {
+            Slot::Native(i) => req.parts[i].take(),
+            Slot::Takeover(i) => Some(req.takeover.remove(i).1),
+        };
+        let Some(mut old) = old else { return Ok(()) };
+        // A takeover slot keeps its original dead-member tag (the
+        // keys' true home); a native slot's home is `m` itself.
+        let dead_member = old.takeover.map_or(m as u32, |(dead, _)| dead);
+        let origin = self.takeover_epoch;
+        // Keys the dead member had already granted: re-pin them on the
+        // taker so the caller's ready set keeps a live veto behind it.
+        // Keys the taker cannot re-grant move to the failed set — the
+        // caller must not believe it holds a veto nobody enforces.
+        if !old.status.ready.is_empty() {
+            let ready = old.status.ready.clone();
+            let mut repin = self.members[taker].takeover_acquire_nb(&ready, dead_member, origin)?;
+            self.members[taker].wait(&mut repin)?;
+            for &key in &repin.status.ready {
+                self.note_taken(key, taker);
+            }
+            if !repin.status.ok() {
+                let lost: HashSet<u64> =
+                    repin.status.failed.iter().map(|&(key, _)| key).collect();
+                old.status.ready.retain(|key| !lost.contains(key));
+                old.status.failed.extend(repin.status.failed);
+            }
+        }
+        // The resolved status carries over *outside* the new part:
+        // `observe_resolved` records takeover grants from part ready
+        // sets, and the re-pinned keys above are already recorded.
+        req.carry.ready.extend_from_slice(&old.status.ready);
+        req.carry.failed.extend(old.status.failed);
+        req.carry_queued.extend(old.queued.iter().copied());
+        let keys: Vec<u64> = old.outstanding.iter().copied().collect();
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let part = self.members[taker].takeover_acquire_nb(&keys, dead_member, origin)?;
+        req.takeover.push((taker, part));
+        Ok(())
     }
 
     /// `SIMFS_Acquire_nb` across the cluster: each member receives the
@@ -1098,6 +1562,12 @@ impl DvCluster {
     /// the pins would survive on the healthy daemons until the whole
     /// session's teardown.
     pub fn acquire_nb(&mut self, keys: &[u64]) -> io::Result<ClusterAcquireRequest> {
+        // Down members are probed for revival before new work routes:
+        // a restarted daemon is re-adopted (and handed its pins back)
+        // on the first acquire after it answers its port again.
+        if self.degraded() {
+            self.try_revive();
+        }
         // The digest records the *pre-routing* stream — every member's
         // agents must see the whole trajectory, not the interval
         // subsequence the split below sends them. The observation is
@@ -1109,38 +1579,117 @@ impl DvCluster {
         for &key in keys {
             per_member[self.member_of(key)].push(key);
         }
-        let mut parts: Vec<Option<AcquireRequest>> = Vec::with_capacity(self.members.len());
-        for (i, keys) in per_member.iter().enumerate() {
-            if keys.is_empty() {
-                parts.push(None);
+        let mut req = ClusterAcquireRequest {
+            parts: (0..self.members.len()).map(|_| None).collect(),
+            takeover: Vec::new(),
+            carry: SimfsStatus::default(),
+            carry_queued: HashSet::new(),
+            keys: keys.to_vec(),
+            epoch,
+            observed: false,
+        };
+        for (m, slot) in per_member.iter_mut().enumerate() {
+            if slot.is_empty() {
+                continue;
+            }
+            let send_keys = std::mem::take(slot);
+            if self.down[m] {
+                // Known-dead home: route straight to its taker (or
+                // surface the typed MemberDown without failover).
+                if let Err(e) = self.reroute_keys_nb(m, &send_keys, &mut req, "acquire") {
+                    self.unwind_request(&mut req);
+                    return Err(e);
+                }
                 continue;
             }
             // The member's digest rides in front of its acquire, in the
             // same write: observation reaches it no later than the keys
             // it will serve.
-            self.stage_digest(i);
-            match self.members[i].acquire_nb(keys) {
-                Ok(part) => parts.push(Some(part)),
-                Err(e) => {
-                    for (member, part) in self.members.iter_mut().zip(&mut parts) {
-                        let Some(part) = part else { continue };
-                        if member.wait(part).is_ok() {
-                            for key in part.status.ready.clone() {
-                                let _ = member.release(key);
-                            }
-                            let _ = member.flush();
+            self.stage_digest(m);
+            match self.members[m].acquire_nb(&send_keys) {
+                Ok(part) => req.parts[m] = Some(part),
+                Err(e) => match self.classify(m, &e, false) {
+                    MemberVerdict::Surface | MemberVerdict::KeepWaiting => {
+                        self.unwind_request(&mut req);
+                        return Err(e);
+                    }
+                    MemberVerdict::Down => {
+                        self.mark_down(m);
+                        if let Err(e) = self.reroute_keys_nb(m, &send_keys, &mut req, "acquire")
+                        {
+                            self.unwind_request(&mut req);
+                            return Err(e);
                         }
                     }
-                    return Err(e);
-                }
+                },
             }
         }
-        Ok(ClusterAcquireRequest {
-            parts,
-            keys: keys.to_vec(),
-            epoch,
-            observed: false,
-        })
+        Ok(req)
+    }
+
+    /// Routes `keys` — homed on down member `m` — to its taker as a
+    /// tagged takeover acquire, re-homing the session's pins there
+    /// first. The typed [`MemberDown`] surfaces here when failover is
+    /// off or no live taker remains.
+    fn reroute_keys_nb(
+        &mut self,
+        m: usize,
+        keys: &[u64],
+        req: &mut ClusterAcquireRequest,
+        op: &'static str,
+    ) -> io::Result<()> {
+        if !self.failover {
+            return Err(MemberDown { member: m, op }.into_io());
+        }
+        let Some(taker) = self.taker_of(m) else {
+            return Err(MemberDown { member: m, op }.into_io());
+        };
+        self.reroute_pins(m, taker)?;
+        self.stage_digest(taker);
+        let part = self.members[taker].takeover_acquire_nb(keys, m as u32, self.takeover_epoch)?;
+        req.takeover.push((taker, part));
+        Ok(())
+    }
+
+    /// Best-effort abandonment of a partially completed request: waits
+    /// out whatever is in flight on live members and releases every
+    /// key the request pinned, so an erroring cluster op never leaves
+    /// pins behind on the healthy daemons. Pins on down members died
+    /// with them — only the local counts are dropped.
+    fn unwind_request(&mut self, req: &mut ClusterAcquireRequest) {
+        for m in 0..self.members.len() {
+            let Some(part) = req.parts[m].as_mut() else { continue };
+            if self.down[m] {
+                for &key in &part.status.ready {
+                    self.members[m].forget_pin(key);
+                }
+                continue;
+            }
+            let _ = self.members[m].wait(part);
+            for key in part.status.ready.clone() {
+                let _ = self.members[m].release(key);
+            }
+            let _ = self.members[m].flush();
+        }
+        for i in 0..req.takeover.len() {
+            let m = req.takeover[i].0;
+            if self.down[m] {
+                for &key in &req.takeover[i].1.status.ready {
+                    self.members[m].forget_pin(key);
+                }
+                continue;
+            }
+            let _ = self.members[m].wait(&mut req.takeover[i].1);
+            for key in req.takeover[i].1.status.ready.clone() {
+                let _ = self.members[m].release(key);
+            }
+            let _ = self.members[m].flush();
+        }
+        // Carried-over ready keys were re-pinned on takers and
+        // recorded: route their releases through the takeover map.
+        for key in req.carry.ready.clone() {
+            let _ = self.release(key);
+        }
     }
 
     /// `SIMFS_Acquire`: blocks until every key is ready or failed.
@@ -1162,12 +1711,28 @@ impl DvCluster {
     /// [`acquire_nb`](Self::acquire_nb) applies to partial sends).
     pub fn wait(&mut self, req: &mut ClusterAcquireRequest) -> io::Result<SimfsStatus> {
         let mut first_err: Option<io::Error> = None;
-        for (member, part) in self.members.iter_mut().zip(&mut req.parts) {
-            let Some(part) = part else { continue };
-            if let Err(e) = member.wait(part) {
+        for m in 0..self.members.len() {
+            if req.parts[m].is_none() {
+                continue;
+            }
+            if let Err(e) = self.wait_slot(m, req, Slot::Native(m), "wait") {
                 // Keep draining the remaining members: their requests
                 // are already in flight and abandoning them would
-                // strand whatever they pin.
+                // strand whatever they pin (the unwind below waits
+                // them out too, but an error here must not short-cut
+                // the healthy members' grants).
+                first_err.get_or_insert(e);
+            }
+        }
+        // Takeover slots can *grow* while being waited out (a taker
+        // dying fails its slot over to the next live member), so this
+        // re-scans until every slot is done.
+        while first_err.is_none() {
+            let Some(i) = (0..req.takeover.len()).find(|&i| !req.takeover[i].1.done()) else {
+                break;
+            };
+            let m = req.takeover[i].0;
+            if let Err(e) = self.wait_slot(m, req, Slot::Takeover(i), "wait") {
                 first_err.get_or_insert(e);
             }
         }
@@ -1175,14 +1740,50 @@ impl DvCluster {
             self.observe_resolved(req);
             return Ok(req.merged());
         };
-        for (member, part) in self.members.iter_mut().zip(&req.parts) {
-            let Some(part) = part else { continue };
-            for &key in &part.status.ready {
-                let _ = member.release(key);
-            }
-            let _ = member.flush();
-        }
+        self.unwind_request(req);
         Err(err)
+    }
+
+    /// Waits out one member-local slot with down-detection: when the
+    /// caller set no op timeout, a bounded one is injected so a dead
+    /// member can never block the analysis forever — injected
+    /// expiries are probed and either resumed (member alive, just
+    /// slow: a long re-simulation is not a death) or escalated to
+    /// failover / [`MemberDown`].
+    fn wait_slot(
+        &mut self,
+        m: usize,
+        req: &mut ClusterAcquireRequest,
+        slot: Slot,
+        op: &'static str,
+    ) -> io::Result<()> {
+        loop {
+            let injected = self.members[m].op_timeout.is_none();
+            if injected {
+                self.members[m].set_op_timeout(Some(self.down_window));
+            }
+            let result = {
+                let part = match slot {
+                    Slot::Native(i) => req.parts[i].as_mut().expect("native slot present"),
+                    Slot::Takeover(i) => &mut req.takeover[i].1,
+                };
+                self.members[m].wait(part)
+            };
+            if injected {
+                self.members[m].set_op_timeout(None);
+            }
+            match result {
+                Ok(_) => return Ok(()),
+                Err(e) => match self.classify(m, &e, injected) {
+                    MemberVerdict::Surface => return Err(e),
+                    MemberVerdict::KeepWaiting => continue,
+                    MemberVerdict::Down => {
+                        self.mark_down(m);
+                        return self.fail_over_slot(m, req, slot, op);
+                    }
+                },
+            }
+        }
     }
 
     /// `SIMFS_Test`: non-blocking completion probe over all members.
@@ -1195,11 +1796,21 @@ impl DvCluster {
     /// the healthy daemons.
     pub fn test(&mut self, req: &mut ClusterAcquireRequest) -> io::Result<(bool, SimfsStatus)> {
         let mut first_err: Option<io::Error> = None;
-        for (member, part) in self.members.iter_mut().zip(&mut req.parts) {
-            let Some(part) = part else { continue };
-            if let Err(e) = member.test(part) {
+        for m in 0..self.members.len() {
+            if req.parts[m].is_none() {
+                continue;
+            }
+            if let Err(e) = self.test_slot(m, req, Slot::Native(m), "test") {
                 first_err.get_or_insert(e);
             }
+        }
+        let mut i = 0;
+        while first_err.is_none() && i < req.takeover.len() {
+            let m = req.takeover[i].0;
+            if let Err(e) = self.test_slot(m, req, Slot::Takeover(i), "test") {
+                first_err.get_or_insert(e);
+            }
+            i += 1;
         }
         let Some(err) = first_err else {
             if req.done() {
@@ -1207,23 +1818,132 @@ impl DvCluster {
             }
             return Ok((req.done(), req.merged()));
         };
-        for (member, part) in self.members.iter_mut().zip(&req.parts) {
-            let Some(part) = part else { continue };
-            for &key in &part.status.ready {
-                let _ = member.release(key);
-            }
-            let _ = member.flush();
-        }
+        self.unwind_request(req);
         Err(err)
+    }
+
+    /// One non-blocking probe of a member-local slot, with the same
+    /// death classification as [`wait_slot`](Self::wait_slot) — a
+    /// probe that trips over a dead member fails the slot over rather
+    /// than erroring the whole request.
+    fn test_slot(
+        &mut self,
+        m: usize,
+        req: &mut ClusterAcquireRequest,
+        slot: Slot,
+        op: &'static str,
+    ) -> io::Result<()> {
+        let result = {
+            let part = match slot {
+                Slot::Native(i) => req.parts[i].as_mut().expect("native slot present"),
+                Slot::Takeover(i) => &mut req.takeover[i].1,
+            };
+            self.members[m].test(part).map(|_| ())
+        };
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) => match self.classify(m, &e, false) {
+                MemberVerdict::Surface | MemberVerdict::KeepWaiting => Err(e),
+                MemberVerdict::Down => {
+                    self.mark_down(m);
+                    self.fail_over_slot(m, req, slot, op)
+                }
+            },
+        }
     }
 
     /// `SIMFS_Release`: staged for write-coalescing on the owning
     /// member's connection (any pending digest for that member is
-    /// staged ahead of it).
+    /// staged ahead of it). A pin parked on a taker routes there
+    /// instead; a pin whose home member is down and was never taken
+    /// over died with the member — the release is a local no-op.
     pub fn release(&mut self, key: u64) -> io::Result<()> {
+        if let Some(&(taker, _)) = self.taken_over.get(&key) {
+            self.note_released_taken(key);
+            self.stage_digest(taker);
+            return self.members[taker].release(key);
+        }
         let member = self.member_of(key);
+        if self.down[member] {
+            self.members[member].forget_pin(key);
+            return Ok(());
+        }
         self.stage_digest(member);
         self.members[member].release(key)
+    }
+
+    /// Drops one taken-over pin count for `key` (its release is on its
+    /// way to the taker).
+    fn note_released_taken(&mut self, key: u64) {
+        if let Some(entry) = self.taken_over.get_mut(&key) {
+            entry.1 -= 1;
+            if entry.1 == 0 {
+                self.taken_over.remove(&key);
+            }
+        }
+    }
+
+    /// Probes every down member once; one that answers its port is
+    /// re-adopted: its session is redialed (nothing to re-assert — the
+    /// pins it held moved to takers at down-detection) and, with
+    /// failover on, the taken-over pins of its intervals are handed
+    /// back under a bumped takeover epoch.
+    fn try_revive(&mut self) {
+        for m in 0..self.members.len() {
+            if !self.down[m] || !self.probe_alive(m) {
+                continue;
+            }
+            if self.members[m].reconnect_now("revive").is_err() {
+                continue;
+            }
+            self.down[m] = false;
+            self.takeover_epoch += 1;
+            if self.failover {
+                self.hand_back_member(m);
+            }
+        }
+    }
+
+    /// Hand-back for revived member `m`: every pin of its intervals
+    /// parked on a taker is re-acquired at the restored home member
+    /// *first* — so the residency veto never lapses — and only then
+    /// dropped at the taker via one `HandBack` per taker. A key whose
+    /// home re-acquire fails stays parked on its taker (routing for it
+    /// remains degraded; the next revival retries).
+    fn hand_back_member(&mut self, m: usize) {
+        let parked: Vec<(u64, usize, u32)> = self
+            .taken_over
+            .iter()
+            .filter(|&(&key, _)| self.member_of(key) == m)
+            .map(|(&key, &(taker, count))| (key, taker, count))
+            .collect();
+        if parked.is_empty() {
+            return;
+        }
+        let mut by_taker: HashMap<usize, Vec<u64>> = HashMap::new();
+        for (key, taker, count) in parked {
+            let mut home_ok = true;
+            for _ in 0..count {
+                match self.members[m].acquire(&[key]) {
+                    Ok(status) if status.ok() => {}
+                    _ => {
+                        home_ok = false;
+                        break;
+                    }
+                }
+            }
+            if !home_ok {
+                continue;
+            }
+            by_taker
+                .entry(taker)
+                .or_default()
+                .extend(std::iter::repeat_n(key, count as usize));
+            self.taken_over.remove(&key);
+        }
+        for (taker, keys) in by_taker {
+            let _ = self.members[taker].hand_back(m as u32, &keys);
+        }
     }
 
     /// Delivers staged fire-and-forget frames on every member now.
@@ -1234,14 +1954,28 @@ impl DvCluster {
         Ok(())
     }
 
-    /// `SIMFS_Bitrep` on the member owning `key`.
+    /// `SIMFS_Bitrep` on the member owning `key` — or, while that
+    /// member is down with failover on, on its taker (which typically
+    /// has no recorded checksum for the foreign key and answers
+    /// "unknown" rather than failing).
     pub fn bitrep(&mut self, key: u64) -> io::Result<Option<bool>> {
         let member = self.member_of(key);
-        self.members[member].bitrep(key)
+        let target = if self.down[member] {
+            if !self.failover {
+                return Err(MemberDown { member, op: "bitrep" }.into_io());
+            }
+            self.taker_of(member)
+                .ok_or_else(|| MemberDown { member, op: "bitrep" }.into_io())?
+        } else {
+            member
+        };
+        self.members[target].bitrep(key)
     }
 
     /// Context statistics summed over every member (each daemon counts
-    /// only the traffic of the intervals it owns).
+    /// only the traffic of the intervals it owns). Down members are
+    /// skipped — their counters are unreachable; degraded-mode totals
+    /// therefore undercount the outage window.
     pub fn status(&mut self) -> io::Result<ContextStats> {
         let mut total = ContextStats {
             hits: 0,
@@ -1250,13 +1984,28 @@ impl DvCluster {
             produced_steps: 0,
             active_sims: 0,
         };
-        for member in &mut self.members {
-            let s = member.status()?;
-            total.hits += s.hits;
-            total.misses += s.misses;
-            total.restarts += s.restarts;
-            total.produced_steps += s.produced_steps;
-            total.active_sims += s.active_sims;
+        for m in 0..self.members.len() {
+            if self.down[m] {
+                continue;
+            }
+            match self.members[m].status() {
+                Ok(s) => {
+                    total.hits += s.hits;
+                    total.misses += s.misses;
+                    total.restarts += s.restarts;
+                    total.produced_steps += s.produced_steps;
+                    total.active_sims += s.active_sims;
+                }
+                Err(e) => match self.classify(m, &e, false) {
+                    MemberVerdict::Surface | MemberVerdict::KeepWaiting => return Err(e),
+                    MemberVerdict::Down => {
+                        self.mark_down(m);
+                        if !self.failover {
+                            return Err(MemberDown { member: m, op: "status" }.into_io());
+                        }
+                    }
+                },
+            }
         }
         Ok(total)
     }
@@ -1267,8 +2016,15 @@ impl DvCluster {
     /// goodbye must not strand pins on the remaining daemons — their
     /// sockets still close, mapping to `ClientGone`).
     pub fn finalize(self) -> io::Result<()> {
+        let down = self.down;
         let mut result = Ok(());
-        for member in self.members {
+        for (m, member) in self.members.into_iter().enumerate() {
+            if down.get(m).copied().unwrap_or(false) {
+                // A down member's session is already dead: drop it
+                // without `Bye` — the daemon-side hangup mapped to
+                // `ClientGone` when the connection died.
+                continue;
+            }
             let r = member.finalize();
             if result.is_ok() {
                 result = r;
@@ -1329,5 +2085,37 @@ impl SimulatorSession {
     /// The assigned range is complete.
     pub fn finished(mut self) -> io::Result<()> {
         wire::write_frame(&mut self.stream, &Request::SimFinished.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_rule_walks_the_ring_past_down_members() {
+        // 3-member ring, only member 1 down: its taker is member 2.
+        assert_eq!(successor_taker(1, 3, &[false, true, false]), Some(2));
+        // Member 2 down: wraps to member 0.
+        assert_eq!(successor_taker(2, 3, &[false, false, true]), Some(0));
+        // Members 1 and 2 both down: 1's taker skips 2, lands on 0.
+        assert_eq!(successor_taker(1, 3, &[false, true, true]), Some(0));
+        // Everyone else down: no taker.
+        assert_eq!(successor_taker(0, 3, &[true, true, true]), None);
+        // Single-member "cluster": nobody to take over.
+        assert_eq!(successor_taker(0, 1, &[true]), None);
+    }
+
+    #[test]
+    fn member_down_roundtrips_through_io_error() {
+        let err = MemberDown { member: 1, op: "wait" }.into_io();
+        assert_eq!(err.kind(), io::ErrorKind::NotConnected);
+        let down = MemberDown::from_io(&err).expect("payload survives");
+        assert_eq!(down.member, 1);
+        assert_eq!(down.op, "wait");
+        // A DvTimeout is not a MemberDown and vice versa.
+        let timeout = DvTimeout { op: "wait", after: Duration::from_secs(1) }.into_io();
+        assert!(MemberDown::from_io(&timeout).is_none());
+        assert!(DvTimeout::from_io(&err).is_none());
     }
 }

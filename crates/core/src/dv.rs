@@ -202,6 +202,15 @@ pub struct DvStats {
     /// Clients that reconnected after a dropped connection (hellos
     /// carrying a prior-epoch claim).
     pub client_reconnects: u64,
+    /// Takeover acquires accepted on behalf of a dead cluster member
+    /// (degraded-mode serving; daemon-wide, mirrored into snapshots).
+    pub takeover_acquires: u64,
+    /// Foreign intervals whose residency was rebuilt from the storage
+    /// area to serve takeover acquires.
+    pub takeover_intervals_primed: u64,
+    /// Takeover pin counts drained by `HandBack` after the dead member
+    /// restarted.
+    pub takeover_pins_handed_back: u64,
 }
 
 impl DvStats {
@@ -233,6 +242,9 @@ impl DvStats {
             pins_recovered,
             leases_expired,
             client_reconnects,
+            takeover_acquires,
+            takeover_intervals_primed,
+            takeover_pins_handed_back,
         } = other;
         self.hits += hits;
         self.misses += misses;
@@ -259,6 +271,9 @@ impl DvStats {
         self.pins_recovered += pins_recovered;
         self.leases_expired += leases_expired;
         self.client_reconnects += client_reconnects;
+        self.takeover_acquires += takeover_acquires;
+        self.takeover_intervals_primed += takeover_intervals_primed;
+        self.takeover_pins_handed_back += takeover_pins_handed_back;
     }
 }
 

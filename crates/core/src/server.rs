@@ -152,7 +152,7 @@ use simcache::{u64_map, HitIndex, U64Map, U64Set};
 use simkit::SimTime;
 use simstore::walog::{self, WalRecord, WalState, WriteAheadLog};
 use simstore::StorageArea;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::RangeInclusive;
@@ -460,6 +460,18 @@ struct CtxRuntime {
     client_reconnects: AtomicU64,
     /// Recovery leases expired without re-assertion.
     leases_expired: AtomicU64,
+    /// Foreign restart intervals whose residency this member has
+    /// rebuilt from the shared storage area to serve takeover acquires
+    /// for a dead member. Lock order: this lock is taken *before* any
+    /// shard lock (priming locks shards one at a time beneath it) and
+    /// never while one is held.
+    takeover_primed: Mutex<HashSet<u64>>,
+    /// Takeover acquires accepted (degraded-mode serving).
+    takeover_acquires: AtomicU64,
+    /// Foreign intervals primed for takeover serving.
+    takeover_intervals_primed: AtomicU64,
+    /// Takeover pin counts drained by `HandBack`.
+    takeover_pins_handed_back: AtomicU64,
 }
 
 struct Inner {
@@ -841,11 +853,31 @@ impl CtxRuntime {
         let mut any = false;
         for (client, resp) in &fx.outbox {
             if let Response::Ready { key, .. } = resp {
-                w.append(WalRecord::PinAcquire {
-                    client: *client,
-                    key: *key,
-                    epoch: self.epoch,
-                });
+                // A Ready for a key this member does not own can only be
+                // a takeover grant (untagged foreign acquires are
+                // rejected before any Ready exists): journal it with the
+                // takeover tag so the degraded-mode pins are
+                // distinguishable in the log. The check is stateless —
+                // deferred Readys (production completions) carry no
+                // request context, but ownership is a pure function of
+                // the key.
+                let foreign = self.cluster.is_clustered()
+                    && self.steps.valid_key(*key)
+                    && !self.cluster.owns_key(&self.steps, *key);
+                let record = if foreign {
+                    WalRecord::TakeoverPin {
+                        client: *client,
+                        key: *key,
+                        epoch: self.epoch,
+                    }
+                } else {
+                    WalRecord::PinAcquire {
+                        client: *client,
+                        key: *key,
+                        epoch: self.epoch,
+                    }
+                };
+                w.append(record);
                 any = true;
             }
         }
@@ -945,6 +977,9 @@ impl CtxRuntime {
         total.wal_replayed = self.wal_replayed;
         total.client_reconnects = self.client_reconnects.load(Ordering::Relaxed);
         total.leases_expired = self.leases_expired.load(Ordering::Relaxed);
+        total.takeover_acquires = self.takeover_acquires.load(Ordering::Relaxed);
+        total.takeover_intervals_primed = self.takeover_intervals_primed.load(Ordering::Relaxed);
+        total.takeover_pins_handed_back = self.takeover_pins_handed_back.load(Ordering::Relaxed);
         (total, active)
     }
 
@@ -1222,6 +1257,29 @@ impl CtxRuntime {
                 }
                 true
             }
+            Request::TakeoverAcquire {
+                req_id,
+                dead_member,
+                origin_epoch,
+                keys,
+            } => {
+                self.handle_takeover_acquire(
+                    inner,
+                    client,
+                    req_id,
+                    dead_member,
+                    origin_epoch,
+                    keys,
+                    local,
+                    cx,
+                    fx,
+                );
+                true
+            }
+            Request::HandBack { req_id, keys, .. } => {
+                self.handle_hand_back(inner, client, req_id, keys, local, fx);
+                true
+            }
             Request::Bye => false,
             _ => {
                 fx.outbox.push((
@@ -1349,6 +1407,206 @@ impl CtxRuntime {
                 gone,
             },
         ));
+        self.commit(inner, fx);
+    }
+
+    /// Serves an explicit takeover acquire: keys of a *dead* member's
+    /// intervals, asserted down by the client and routed here by the
+    /// successor rule. The request-level claim is validated (this
+    /// member must not be the "dead" one; the index must exist), then
+    /// per key: a valid key must actually route to the dead member.
+    /// First touch of a foreign interval rebuilds its residency from
+    /// the shared storage area (the recovery rescan, scoped to one
+    /// interval); from there keys serve exactly like native acquires —
+    /// fast path, shard transitions, re-simulation under *this*
+    /// member's budget — with pins journaled under the takeover tag.
+    /// Takeover keys skip digest observation: this member's prefetch
+    /// agents must not learn trajectories it will hand back.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_takeover_acquire(
+        &self,
+        inner: &Inner,
+        client: ClientId,
+        req_id: u64,
+        dead_member: u32,
+        origin_epoch: u64,
+        keys: Vec<u64>,
+        local: &mut ConnLocal,
+        cx: &mut ConnCtx<'_>,
+        fx: &mut Effects,
+    ) {
+        let reject_all = if !self.cluster.is_clustered() {
+            Some("takeover acquire on an unclustered daemon".to_string())
+        } else if dead_member >= self.cluster.size {
+            Some(format!(
+                "takeover of member {dead_member} (takeover epoch {origin_epoch}): \
+                 cluster has {} members",
+                self.cluster.size
+            ))
+        } else if dead_member == self.cluster.index {
+            Some(format!(
+                "takeover of member {dead_member} (takeover epoch {origin_epoch}): \
+                 that member is this daemon, and it is alive"
+            ))
+        } else {
+            None
+        };
+        if let Some(reason) = reject_all {
+            for key in keys {
+                fx.outbox.push((
+                    client,
+                    Response::Failed {
+                        req_id,
+                        key,
+                        reason: reason.clone(),
+                    },
+                ));
+            }
+            self.flush_outbox(fx);
+            return;
+        }
+        self.takeover_acquires.fetch_add(1, Ordering::Relaxed);
+        let mut slow_keys = 0u64;
+        for &key in &keys {
+            if self.steps.valid_key(key) {
+                let owner = self.router_member_of(key);
+                if owner != dead_member {
+                    let reason = if owner == self.cluster.index {
+                        format!(
+                            "key {key} belongs to this member ({owner}); \
+                             acquire it without the takeover tag"
+                        )
+                    } else {
+                        format!(
+                            "key {key} belongs to member {owner}, not to dead member \
+                             {dead_member} (takeover epoch {origin_epoch})"
+                        )
+                    };
+                    fx.outbox.push((client, Response::Failed { req_id, key, reason }));
+                    continue;
+                }
+                fx.evicts
+                    .extend(self.prime_takeover_interval(self.steps.interval_of(key)));
+            }
+            // Invalid keys fall through to the DV for the same timeline
+            // error every daemon reports.
+            if self.fast.try_hit_pin(key) {
+                *local.fast_pins.entry(key).or_insert(0) += 1;
+                if self.wal.is_some() {
+                    local.wal_pending.push(WalRecord::TakeoverPin {
+                        client,
+                        key,
+                        epoch: self.epoch,
+                    });
+                }
+                local.scratch.push_response(&Response::Ready { req_id, key });
+                continue;
+            }
+            slow_keys += 1;
+            let now = inner.now();
+            let s = self.router.shard_of_key(key);
+            self.with_shard(
+                s,
+                fx,
+                |core| {
+                    core.pending.entry((client, key)).or_default().push(req_id);
+                    let DvCore { dv, actions, .. } = core;
+                    dv.handle_into(now, DvEvent::Acquire { client, key }, actions);
+                },
+                |core, fx| {
+                    if core.pending.contains_key(&(client, key)) {
+                        let est = core
+                            .dv
+                            .estimate_wait(key)
+                            .map_or(0, |d| d.as_nanos() / 1_000_000);
+                        fx.outbox.push((
+                            client,
+                            Response::Queued {
+                                req_id,
+                                key,
+                                est_wait_ms: est,
+                            },
+                        ));
+                    }
+                },
+            );
+        }
+        if !local.scratch.is_empty() {
+            cx.write(local.scratch.as_bytes());
+            local.scratch.clear();
+        }
+        if slow_keys > 0 {
+            self.perf.acquired_slow.fetch_add(slow_keys, Ordering::Relaxed);
+        }
+        self.commit(inner, fx);
+    }
+
+    /// Rebuilds cache residency for one foreign restart interval from
+    /// the shared storage area — the first-takeover-touch half of the
+    /// `--recover` rescan, scoped to one interval. Idempotent: primed
+    /// intervals are remembered. Returns the keys the insertions
+    /// evicted under this member's budget, for the caller's deferred
+    /// delete path ([`Effects::evicts`] re-checks under the shard lock).
+    fn prime_takeover_interval(&self, interval: u64) -> Vec<u64> {
+        let mut primed = self.takeover_primed.lock();
+        if primed.contains(&interval) {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        if let Ok(files) = self.storage.list() {
+            for file in files {
+                let Some(key) = self.driver.key_of(&file) else {
+                    continue;
+                };
+                if !self.steps.valid_key(key) || self.steps.interval_of(key) != interval {
+                    continue;
+                }
+                let size = self.storage.size_of(&file).unwrap_or(0);
+                let mut core = self.shards[self.router.shard_of_key(key)].lock();
+                evicted.extend(core.dv.prime(key, size));
+            }
+        }
+        primed.insert(interval);
+        self.takeover_intervals_primed.fetch_add(1, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Drains this session's takeover pins for a restarted member: one
+    /// release per listed key occurrence, journaled like native
+    /// releases. The client re-acquires at the restarted home member
+    /// *before* sending this, so the residency veto never lapses across
+    /// the hand-back; releases of keys the session does not hold are DV
+    /// no-ops.
+    fn handle_hand_back(
+        &self,
+        inner: &Inner,
+        client: ClientId,
+        req_id: u64,
+        keys: Vec<u64>,
+        local: &mut ConnLocal,
+        fx: &mut Effects,
+    ) {
+        let released = keys.len() as u64;
+        for &key in &keys {
+            if self.wal.is_some() {
+                local.wal_pending.push(WalRecord::PinRelease {
+                    client,
+                    key,
+                    epoch: self.epoch,
+                });
+            }
+            if let Some(n) = local.fast_pins.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    local.fast_pins.remove(&key);
+                }
+                self.fast.unpin(key, 1);
+                continue;
+            }
+            self.transition(inner, DvEvent::Release { client, key }, fx);
+        }
+        self.takeover_pins_handed_back.fetch_add(released, Ordering::Relaxed);
+        fx.outbox.push((client, Response::HandedBack { req_id, released }));
         self.commit(inner, fx);
     }
 
@@ -1656,6 +1914,10 @@ impl DvServer {
                 leases: Mutex::new(leases),
                 client_reconnects: AtomicU64::new(0),
                 leases_expired: AtomicU64::new(0),
+                takeover_primed: Mutex::new(HashSet::new()),
+                takeover_acquires: AtomicU64::new(0),
+                takeover_intervals_primed: AtomicU64::new(0),
+                takeover_pins_handed_back: AtomicU64::new(0),
             });
             prime_work.push((Arc::clone(&runtime), evicted));
             let previous = contexts.insert(name.clone(), runtime);

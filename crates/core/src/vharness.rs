@@ -20,6 +20,7 @@
 //! virtual times, so every crash/recovery interleaving is replayable
 //! bit-for-bit and can be asserted equivalent to a faultless run.
 
+use crate::client::successor_taker;
 use crate::dv::{
     ClusterMember, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, ShardedDv, SimId,
 };
@@ -27,7 +28,7 @@ use crate::model::ContextCfg;
 use simbatch::{Cluster, JobId, QueueModel};
 use simkit::{Dur, Engine, SeedSeq, SimRng, SimTime};
 use simstore::walog::{WalRecord, WalState};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// One virtual-time experiment configuration.
 #[derive(Clone)]
@@ -387,6 +388,20 @@ pub struct FaultReport {
     pub wal_replayed: u64,
     /// Recovery leases that expired before their client re-asserted.
     pub leases_expired: u64,
+    /// Keys acquired through tagged takeover requests at a taker —
+    /// re-homed crash-time pins plus accesses rerouted while the home
+    /// member was down.
+    pub takeovers: u64,
+    /// Foreign intervals a taker primed from the shared storage.
+    pub takeover_intervals_primed: u64,
+    /// Takeover pins drained back to their restored home member.
+    pub pins_handed_back: u64,
+    /// Final takeover epoch (bumped once per down-detection and once
+    /// per revival — a full crash/hand-back cycle adds two).
+    pub takeover_epoch: u64,
+    /// Per-member WAL journals at the end of the run, for invariant
+    /// assertions (exactly-once `ClientGone`, no leaked pins).
+    pub journals: Vec<Vec<WalRecord>>,
 }
 
 /// A K-member virtual cluster with scripted faults: the DES analogue
@@ -410,6 +425,12 @@ pub struct FaultedClusterExperiment {
     /// pinned before the oldest is released. A window > 1 is what makes
     /// crash-time pins worth re-asserting after recovery.
     pub pin_window: usize,
+    /// Interval failover (mirrors `DvCluster::set_failover`): when a
+    /// member is crashed (not merely delayed), its intervals are served
+    /// by the successor-rule taker until the member restarts, at which
+    /// point the parked pins are handed back. Off by default so
+    /// non-failover plans replay exactly as before.
+    pub failover: bool,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -480,6 +501,19 @@ struct FaultWorld {
     pins_recovered: u64,
     wal_replayed: u64,
     leases_expired: u64,
+    /// Interval failover enabled (opt-in).
+    failover: bool,
+    /// Members the virtual client has declared down.
+    down: Vec<bool>,
+    /// key → (taker, pin count) for pins parked on a taker.
+    taken_over: HashMap<u64, (usize, u32)>,
+    /// Foreign intervals each member has primed as a taker. Cleared
+    /// when that member crashes (its primed cache dies with it).
+    taken_intervals: Vec<HashSet<u64>>,
+    takeover_epoch: u64,
+    takeovers: u64,
+    takeover_intervals_primed: u64,
+    pins_handed_back: u64,
 }
 
 impl FaultedClusterExperiment {
@@ -542,6 +576,14 @@ impl FaultedClusterExperiment {
             pins_recovered: 0,
             wal_replayed: 0,
             leases_expired: 0,
+            failover: self.failover,
+            down: vec![false; k as usize],
+            taken_over: HashMap::new(),
+            taken_intervals: vec![HashSet::new(); k as usize],
+            takeover_epoch: 0,
+            takeovers: 0,
+            takeover_intervals_primed: 0,
+            pins_handed_back: 0,
         };
 
         let mut engine: Engine<FaultWorld> = Engine::new();
@@ -590,6 +632,11 @@ impl FaultedClusterExperiment {
             pins_recovered: world.pins_recovered,
             wal_replayed: world.wal_replayed,
             leases_expired: world.leases_expired,
+            takeovers: world.takeovers,
+            takeover_intervals_primed: world.takeover_intervals_primed,
+            pins_handed_back: world.pins_handed_back,
+            takeover_epoch: world.takeover_epoch,
+            journals: world.members.iter().map(|m| m.journal.clone()).collect(),
         }
     }
 }
@@ -616,6 +663,8 @@ fn crash_member(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize) {
     member.incarnation += 1;
     member.needs_reconnect = true;
     member.leases.clear();
+    // Whatever this member had primed as a taker died with it.
+    w.taken_intervals[m].clear();
     w.sims.retain(|&(owner, _, _), _| owner != m);
     if let Some((wm, _, _)) = w.waiting_for {
         if wm == m {
@@ -801,7 +850,18 @@ fn ensure_session(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize) {
 fn issue_next(en: &mut Engine<FaultWorld>, w: &mut FaultWorld) {
     while w.release_queue.len() > w.pin_window {
         let prev = w.release_queue.pop_front().expect("len checked");
-        let m = w.router.shard_of_key(prev);
+        // A pin parked on a taker releases there, not at its home.
+        let m = match w.taken_over.get_mut(&prev) {
+            Some(entry) => {
+                let taker = entry.0;
+                entry.1 -= 1;
+                if entry.1 == 0 {
+                    w.taken_over.remove(&prev);
+                }
+                taker
+            }
+            None => w.router.shard_of_key(prev),
+        };
         let owner = &mut w.members[m];
         let pinned = match owner.held.get_mut(&prev) {
             Some(n) => {
@@ -835,14 +895,37 @@ fn issue_next(en: &mut Engine<FaultWorld>, w: &mut FaultWorld) {
         w.done_at = Some(en.now());
         return;
     }
+    if w.failover {
+        revive_members(en, w);
+    }
     let key = w.accesses[w.cursor];
-    let m = w.router.shard_of_key(key);
-    if !reachable(w, m, en.now()) {
+    let home = w.router.shard_of_key(key);
+    let m = if reachable(w, home, en.now()) {
+        home
+    } else if w.failover && w.members[home].dv.is_none() {
+        // The home member is crashed — not merely delayed (a delayed
+        // member keeps its connection, so the client just retries).
+        // Fail its intervals over to the successor-rule taker.
+        match detect_down(en, w, home) {
+            Some(taker) => taker,
+            None => {
+                // Every other member is down too: nothing to take over.
+                en.schedule_in(VRETRY, issue_next);
+                return;
+            }
+        }
+    } else {
         en.schedule_in(VRETRY, issue_next);
         return;
-    }
+    };
     ensure_session(en, w, m);
     w.cursor += 1;
+    if m != home && w.cfg.steps.valid_key(key) {
+        // Tagged takeover acquire: the taker primes the dead member's
+        // interval from the shared storage before serving it.
+        w.takeovers += 1;
+        takeover_prime(w, m, w.cfg.steps.interval_of(key));
+    }
     let client = w.members[m].client;
     let actions = w.members[m]
         .dv
@@ -871,18 +954,203 @@ fn issue_next(en: &mut Engine<FaultWorld>, w: &mut FaultWorld) {
     }
 }
 
-/// A pin was granted: journal it, track it, consume, move on.
+/// A pin was granted: journal it, track it, consume, move on. A grant
+/// for a key the member does not own is a takeover pin — journaled as
+/// such (the daemon's stateless ownership check) and tracked in
+/// `taken_over` so its release routes back to the taker.
 fn grant(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, key: u64) {
+    let foreign = w.router.shard_of_key(key) != m;
     let member = &mut w.members[m];
-    member.journal.push(WalRecord::PinAcquire {
-        client: member.client,
-        key,
-        epoch: member.epoch,
+    let (client, epoch) = (member.client, member.epoch);
+    member.journal.push(if foreign {
+        WalRecord::TakeoverPin { client, key, epoch }
+    } else {
+        WalRecord::PinAcquire { client, key, epoch }
     });
     *member.held.entry(key).or_insert(0) += 1;
+    if foreign {
+        let entry = w.taken_over.entry(key).or_insert((m, 0));
+        entry.0 = m;
+        entry.1 += 1;
+    }
     w.served.push(key);
     w.release_queue.push_back(key);
     en.schedule_in(w.exp.tau_cli, issue_next);
+}
+
+/// Declares a crashed member down (idempotent), re-homes the pins the
+/// session held there onto the taker, and returns the taker — `None`
+/// when no live taker exists. Uses the same successor rule as the real
+/// `DvCluster`, so scripted plans pin the real routing bit-for-bit.
+fn detect_down(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize) -> Option<usize> {
+    // Sweep every crashed member, not just `m`: the successor rule
+    // consults the down set, so a crashed-but-undetected member must
+    // never be picked as a taker. Flags first, then re-homing, so the
+    // re-homes see the complete down set.
+    let newly: Vec<usize> = (0..w.members.len())
+        .filter(|&i| w.members[i].dv.is_none() && !w.down[i])
+        .collect();
+    for &i in &newly {
+        w.down[i] = true;
+        w.takeover_epoch += 1;
+    }
+    for i in newly {
+        rehome_pins(en, w, i);
+    }
+    successor_taker(m, w.members.len(), &w.down)
+}
+
+/// Re-homes the pins the session held at dead member `m` onto its
+/// taker, as `DvCluster` does at down-detection: one tagged takeover
+/// acquire per held pin. A pin whose key cannot be granted
+/// synchronously from the taker's primed cache is dropped — the real
+/// client blocks on the taker's re-simulation there; the virtual
+/// analysis must not.
+fn rehome_pins(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize) {
+    let mut held: Vec<(u64, u32)> = w.members[m].held.drain().collect();
+    let Some(taker) = successor_taker(m, w.members.len(), &w.down) else {
+        return; // no live taker: the pins are simply lost
+    };
+    held.sort_unstable();
+    ensure_session(en, w, taker);
+    for (key, count) in held {
+        // If the key was itself parked on `m` (a dead taker), the old
+        // entry counts pins that died with it: start over.
+        if w.taken_over.get(&key).is_some_and(|e| e.0 == m) {
+            w.taken_over.remove(&key);
+        }
+        takeover_prime(w, taker, w.cfg.steps.interval_of(key));
+        for _ in 0..count {
+            w.takeovers += 1;
+            let client = w.members[taker].client;
+            let actions = w.members[taker]
+                .dv
+                .as_mut()
+                .expect("taker is alive")
+                .handle(en.now(), DvEvent::Acquire { client, key });
+            let granted = actions.iter().any(|a| {
+                matches!(a, DvAction::NotifyReady { client: c, key: k }
+                    if *c == client && *k == key)
+            });
+            apply_member_actions(en, w, taker, actions);
+            if !granted {
+                continue;
+            }
+            let member = &mut w.members[taker];
+            let epoch = member.epoch;
+            member.journal.push(WalRecord::TakeoverPin { client, key, epoch });
+            *member.held.entry(key).or_insert(0) += 1;
+            let entry = w.taken_over.entry(key).or_insert((taker, 0));
+            entry.0 = taker;
+            entry.1 += 1;
+        }
+    }
+}
+
+/// Primes a foreign `interval` on taker `t` from the shared storage —
+/// the virtual analogue of the daemon's per-interval rescan on the
+/// first tagged takeover acquire. Idempotent per (taker, interval)
+/// until the taker crashes.
+fn takeover_prime(w: &mut FaultWorld, t: usize, interval: u64) {
+    if !w.taken_intervals[t].insert(interval) {
+        return;
+    }
+    w.takeover_intervals_primed += 1;
+    let mut owned: Vec<(u64, u64)> = w
+        .storage
+        .iter()
+        .filter(|&(&key, _)| {
+            w.cfg.steps.valid_key(key) && w.cfg.steps.interval_of(key) == interval
+        })
+        .map(|(&key, &size)| (key, size))
+        .collect();
+    owned.sort_unstable();
+    let dv = w.members[t].dv.as_mut().expect("taker is alive");
+    let mut evicted = Vec::new();
+    for (key, size) in owned {
+        evicted.extend(dv.prime(key, size));
+    }
+    for key in evicted {
+        w.storage.remove(&key);
+    }
+}
+
+/// Probes down members for revival (the virtual `try_revive`): a
+/// restarted member is re-adopted under a bumped takeover epoch and the
+/// pins parked on takers for its intervals are handed back.
+fn revive_members(en: &mut Engine<FaultWorld>, w: &mut FaultWorld) {
+    for m in 0..w.members.len() {
+        if !w.down[m] || !reachable(w, m, en.now()) {
+            continue;
+        }
+        w.down[m] = false;
+        w.takeover_epoch += 1;
+        ensure_session(en, w, m);
+        hand_back_home(en, w, m);
+    }
+}
+
+/// Hands the takeover pins for member `m`'s intervals back: re-acquire
+/// at the restored home member FIRST, then release at the taker — the
+/// residency veto never lapses. A key the home member cannot grant
+/// synchronously (not yet re-primed) stays parked on its taker.
+fn hand_back_home(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize) {
+    let mut parked: Vec<(u64, usize, u32)> = w
+        .taken_over
+        .iter()
+        .filter(|&(&key, _)| w.router.shard_of_key(key) == m)
+        .map(|(&key, &(taker, count))| (key, taker, count))
+        .collect();
+    parked.sort_unstable();
+    for (key, taker, count) in parked {
+        let mut granted = 0u32;
+        for _ in 0..count {
+            let client = w.members[m].client;
+            let actions = w.members[m]
+                .dv
+                .as_mut()
+                .expect("revived member has a DV")
+                .handle(en.now(), DvEvent::Acquire { client, key });
+            let ready = actions.iter().any(|a| {
+                matches!(a, DvAction::NotifyReady { client: c, key: k }
+                    if *c == client && *k == key)
+            });
+            apply_member_actions(en, w, m, actions);
+            if !ready {
+                break;
+            }
+            let member = &mut w.members[m];
+            let epoch = member.epoch;
+            member.journal.push(WalRecord::PinAcquire { client, key, epoch });
+            *member.held.entry(key).or_insert(0) += 1;
+            granted += 1;
+        }
+        if granted < count {
+            continue; // stays parked on the taker
+        }
+        if !reachable(w, taker, en.now()) {
+            continue; // taker unreachable: hand back on a later pass
+        }
+        for _ in 0..count {
+            let t = &mut w.members[taker];
+            let (tclient, tepoch) = (t.client, t.epoch);
+            t.journal.push(WalRecord::PinRelease { client: tclient, key, epoch: tepoch });
+            if let Some(n) = t.held.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    t.held.remove(&key);
+                }
+            }
+            let actions = t
+                .dv
+                .as_mut()
+                .expect("reachable taker has a DV")
+                .handle(en.now(), DvEvent::Release { client: tclient, key });
+            apply_member_actions(en, w, taker, actions);
+            w.pins_handed_back += 1;
+        }
+        w.taken_over.remove(&key);
+    }
 }
 
 /// Applies member `m`'s DV actions to the virtual world.
@@ -1251,6 +1519,7 @@ mod tests {
             queue: QueueModel::None,
             lease_timeout: Dur::from_secs(60),
             pin_window: 4,
+            failover: false,
             seed: 7,
         }
     }
@@ -1398,6 +1667,147 @@ mod tests {
         assert_eq!(rep.pins_recovered, 4);
         assert_eq!(rep.pins_reasserted, 0);
         assert_eq!(rep.leases_expired, 1, "the unclaimed lease must expire");
+    }
+
+    // -- interval failover ----------------------------------------------
+
+    #[test]
+    fn failover_serves_dead_members_intervals_then_hands_back() {
+        // The scripted twin of the real-process kill-9 failover test:
+        // the analysis pins interval 1 (member 1), blocks on 17, and
+        // member 1 dies mid-wait. With failover on, member 2 takes the
+        // intervals over (re-homed window pins + the blocked access),
+        // the run never waits for the restart, and once member 1 is
+        // back the parked pins are handed home again.
+        let mut exp = faulted();
+        exp.failover = true;
+        let accesses = [5u64, 6, 7, 8, 17, 18, 1, 2];
+        let clean = exp.run(&accesses, TAU_CLI, &FaultPlan::default());
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::CrashMember { member: 1, at: Dur::from_millis(7_200) },
+                Fault::RestartMember { member: 1, at: Dur::from_secs(9), recover: true },
+            ],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep.served, clean.served, "degraded mode changed the answer");
+        assert!(rep.failed.is_empty());
+        // Four re-homed window pins plus the rerouted access.
+        assert!(rep.takeovers >= 5, "takeovers: {}", rep.takeovers);
+        assert!(rep.takeover_intervals_primed >= 1);
+        assert!(
+            rep.journals[2]
+                .iter()
+                .any(|r| matches!(r, WalRecord::TakeoverPin { .. })),
+            "the taker must journal takeover pins"
+        );
+        assert!(rep.pins_handed_back > 0, "hand-back must run: {rep:?}");
+        // One down-detection plus one revival.
+        assert_eq!(rep.takeover_epoch, 2);
+        let again = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep, again, "failover plans must replay bit-for-bit");
+    }
+
+    #[test]
+    fn failover_completes_with_no_restart_at_all() {
+        // Without failover this plan deadlocks (member 1 never comes
+        // back); with it, the run degrades and still answers.
+        let mut exp = faulted();
+        exp.failover = true;
+        let accesses = [5u64, 6, 7, 8, 17];
+        let clean = exp.run(&accesses, TAU_CLI, &FaultPlan::default());
+        let plan = FaultPlan {
+            faults: vec![Fault::CrashMember { member: 1, at: Dur::from_millis(7_200) }],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep.served, clean.served);
+        assert!(rep.failed.is_empty());
+        assert!(rep.takeovers >= 5);
+        assert_eq!(rep.pins_handed_back, 0, "nobody came back to hand back to");
+        assert_eq!(rep.takeover_epoch, 1);
+    }
+
+    #[test]
+    fn taker_death_chains_to_the_next_successor() {
+        // Member 1 dies, member 2 takes over, then member 2 dies too:
+        // the successor rule walks past both and member 0 ends up
+        // serving everything.
+        let mut exp = faulted();
+        exp.failover = true;
+        let accesses = [5u64, 6, 7, 8, 9, 17];
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::CrashMember { member: 1, at: Dur::from_millis(7_200) },
+                Fault::CrashMember { member: 2, at: Dur::from_secs(11) },
+            ],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep.served, accesses.to_vec());
+        assert!(rep.failed.is_empty());
+        assert!(
+            rep.journals[0]
+                .iter()
+                .filter(|r| matches!(r, WalRecord::TakeoverPin { .. }))
+                .count()
+                >= 4,
+            "the second taker must hold the chained takeover pins"
+        );
+        assert_eq!(rep.takeover_epoch, 2, "two down-detections, no revival");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// A recovery lease that expires while the dead member's keys
+        /// are parked on a taker must run `ClientGone` exactly once:
+        /// no double release, no leaked veto.
+        #[test]
+        fn lease_expiry_on_taker_held_keys_runs_client_gone_exactly_once(
+            restart_ms in 11_000u64..13_000,
+            lease_s in 1u64..5,
+        ) {
+            let mut exp = faulted();
+            exp.failover = true;
+            exp.lease_timeout = Dur::from_secs(lease_s);
+            // The analysis finishes degraded (all of member 1's keys on
+            // the taker) before member 1 restarts, so the restored pins'
+            // lease is never claimed.
+            let accesses = [5u64, 6, 7, 8, 17];
+            let plan = FaultPlan {
+                faults: vec![
+                    Fault::CrashMember { member: 1, at: Dur::from_millis(7_200) },
+                    Fault::RestartMember {
+                        member: 1,
+                        at: Dur::from_millis(restart_ms),
+                        recover: true,
+                    },
+                ],
+            };
+            let rep = exp.run(&accesses, TAU_CLI, &plan);
+            proptest::prop_assert!(rep.failed.is_empty());
+            proptest::prop_assert_eq!(rep.pins_handed_back, 0);
+            proptest::prop_assert!(
+                rep.journals[2]
+                    .iter()
+                    .filter(|r| matches!(r, WalRecord::TakeoverPin { .. }))
+                    .count()
+                    >= 4,
+                "the taker still parks the dead member's pins"
+            );
+            proptest::prop_assert_eq!(rep.leases_expired, 1);
+            proptest::prop_assert_eq!(
+                rep.journals[1]
+                    .iter()
+                    .filter(|r| matches!(r, WalRecord::ClientGone { .. }))
+                    .count(),
+                1,
+                "ClientGone must run exactly once"
+            );
+            proptest::prop_assert!(
+                WalState::replay(&rep.journals[1]).pins.is_empty(),
+                "no pin may outlive the expired lease"
+            );
+        }
     }
 }
 

@@ -139,6 +139,41 @@ pub enum Request {
         /// Pinned keys to re-assert, one entry per held pin count.
         keys: Vec<u64>,
     },
+    /// Analysis: acquire keys belonging to a *dead* cluster member at
+    /// its deterministic taker. The taker daemon verifies that
+    /// `dead_member` routes every key to that member (and is not
+    /// itself), lazily rebuilds residency for the foreign interval from
+    /// the shared storage area, and serves the keys under its own
+    /// budget — answering `Ready`/`Failed`/`Queued` per key exactly
+    /// like [`Request::Acquire`]. Untagged foreign-interval acquires
+    /// stay hard-rejected; this tag is the client's explicit assertion
+    /// that it observed the member down and routed by the successor
+    /// rule.
+    TakeoverAcquire {
+        /// Client-chosen request id echoed in responses.
+        req_id: u64,
+        /// The member index the client observed down.
+        dead_member: u32,
+        /// The takeover epoch the client routed under (diagnostic: the
+        /// taker echoes it in rejections so split routing is visible).
+        origin_epoch: u64,
+        /// Foreign-interval keys to acquire.
+        keys: Vec<u64>,
+    },
+    /// Analysis: the dead member is back — release this session's
+    /// takeover pins on its keys so normal routing can resume. `keys`
+    /// lists the pins to drain, one entry per held pin count (the
+    /// client re-acquires at the restarted home member *before* sending
+    /// this, so the residency veto never lapses). Answered by
+    /// [`Response::HandedBack`].
+    HandBack {
+        /// Request id echoed in the response.
+        req_id: u64,
+        /// The member whose intervals are being handed back.
+        dead_member: u32,
+        /// Takeover-pinned keys to release, repeated per pin count.
+        keys: Vec<u64>,
+    },
     /// Orderly goodbye.
     Bye,
 }
@@ -220,6 +255,16 @@ pub enum Response {
         /// Keys the daemon no longer holds pinned for the prior
         /// session, each with a descriptive reason.
         gone: Vec<(u64, String)>,
+    },
+    /// Answer to a [`Request::HandBack`]: how many takeover pin counts
+    /// the daemon drained for this session.
+    HandedBack {
+        /// Originating request id.
+        req_id: u64,
+        /// Pin-release counts applied, one per listed key occurrence
+        /// (a release of a key the session did not hold is a DV no-op
+        /// but still counts — the client lists exactly its held pins).
+        released: u64,
     },
     /// Protocol-level error; the session is closed after this.
     Error {
@@ -342,6 +387,34 @@ impl Request {
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*prior_client);
                 buf.put_u64_le(*prior_epoch);
+                buf.put_u32_le(keys.len() as u32);
+                for k in keys {
+                    buf.put_u64_le(*k);
+                }
+            }
+            Request::TakeoverAcquire {
+                req_id,
+                dead_member,
+                origin_epoch,
+                keys,
+            } => {
+                buf.put_u8(11);
+                buf.put_u64_le(*req_id);
+                buf.put_u32_le(*dead_member);
+                buf.put_u64_le(*origin_epoch);
+                buf.put_u32_le(keys.len() as u32);
+                for k in keys {
+                    buf.put_u64_le(*k);
+                }
+            }
+            Request::HandBack {
+                req_id,
+                dead_member,
+                keys,
+            } => {
+                buf.put_u8(12);
+                buf.put_u64_le(*req_id);
+                buf.put_u32_le(*dead_member);
                 buf.put_u32_le(keys.len() as u32);
                 for k in keys {
                     buf.put_u64_le(*k);
@@ -493,6 +566,42 @@ impl Request {
                     keys,
                 }
             }
+            11 => {
+                if buf.remaining() < 24 {
+                    return Err(corrupt("truncated takeover acquire"));
+                }
+                let req_id = buf.get_u64_le();
+                let dead_member = buf.get_u32_le();
+                let origin_epoch = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n * 8 {
+                    return Err(corrupt("truncated takeover acquire keys"));
+                }
+                let keys = (0..n).map(|_| buf.get_u64_le()).collect();
+                Request::TakeoverAcquire {
+                    req_id,
+                    dead_member,
+                    origin_epoch,
+                    keys,
+                }
+            }
+            12 => {
+                if buf.remaining() < 16 {
+                    return Err(corrupt("truncated hand-back"));
+                }
+                let req_id = buf.get_u64_le();
+                let dead_member = buf.get_u32_le();
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n * 8 {
+                    return Err(corrupt("truncated hand-back keys"));
+                }
+                let keys = (0..n).map(|_| buf.get_u64_le()).collect();
+                Request::HandBack {
+                    req_id,
+                    dead_member,
+                    keys,
+                }
+            }
             t => return Err(corrupt(&format!("unknown request tag {t}"))),
         };
         if buf.has_remaining() {
@@ -593,6 +702,11 @@ impl Response {
                     buf.put_u64_le(*k);
                     put_string(buf, reason);
                 }
+            }
+            Response::HandedBack { req_id, released } => {
+                buf.put_u8(8);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(*released);
             }
         }
     }
@@ -697,6 +811,15 @@ impl Response {
                     epoch,
                     restored,
                     gone,
+                }
+            }
+            8 => {
+                if buf.remaining() < 16 {
+                    return Err(corrupt("truncated handed-back"));
+                }
+                Response::HandedBack {
+                    req_id: buf.get_u64_le(),
+                    released: buf.get_u64_le(),
                 }
             }
             t => return Err(corrupt(&format!("unknown response tag {t}"))),
@@ -995,6 +1118,28 @@ mod tests {
         roundtrip_req(Request::SimStarted);
         roundtrip_req(Request::SimFinished);
         roundtrip_req(Request::Status { req_id: 12 });
+        roundtrip_req(Request::TakeoverAcquire {
+            req_id: 14,
+            dead_member: 1,
+            origin_epoch: 3,
+            keys: vec![5, 6, 17],
+        });
+        roundtrip_req(Request::TakeoverAcquire {
+            req_id: 0,
+            dead_member: 0,
+            origin_epoch: 0,
+            keys: vec![],
+        });
+        roundtrip_req(Request::HandBack {
+            req_id: 15,
+            dead_member: 1,
+            keys: vec![5, 5, 17],
+        });
+        roundtrip_req(Request::HandBack {
+            req_id: 0,
+            dead_member: 2,
+            keys: vec![],
+        });
         roundtrip_req(Request::Bye);
     }
 
@@ -1034,6 +1179,8 @@ mod tests {
         roundtrip_resp(Response::Error {
             message: "unknown context".into(),
         });
+        roundtrip_resp(Response::HandedBack { req_id: 7, released: 3 });
+        roundtrip_resp(Response::HandedBack { req_id: 0, released: 0 });
         roundtrip_resp(Response::StatusInfo {
             req_id: 2,
             hits: 10,

@@ -689,3 +689,208 @@ fn kill9_member_recovers_with_reassert() {
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&ref_dir);
 }
+
+/// Interval failover, end to end with a real kill -9: member 1 dies
+/// mid-pin and is NOT restarted — with failover enabled, every request
+/// still completes because member 2 (the successor-rule taker) primes
+/// the dead member's intervals from shared storage, re-simulates the
+/// cold ones under its own budget, and parks the re-homed pins. When
+/// member 1 later restarts with `--recover`, the client hands the
+/// parked pins back and the final storage listing matches a cluster
+/// that never crashed.
+#[test]
+fn kill9_member_fails_over_to_taker_and_hands_back() {
+    // Reference: an uncrashed in-process 3-member cluster.
+    let (reference, _rstorage, ref_dir) = start_cluster("failover-ref", 3, 1000, 6, 2);
+    let ref_addrs: Vec<SocketAddr> = reference.iter().map(DvServer::addr).collect();
+    let mut rc = DvCluster::connect(&ref_addrs, "test-ctx", steps()).unwrap();
+
+    // Faulted cluster: members 0 and 2 in-process, member 1 a child.
+    let dir = std::env::temp_dir().join(format!("simfs-cluster-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (m0, _storage) = start_member(&dir, ClusterMember::new(0, 3), 1000, 6, 2);
+    let (m2, _) = start_member(&dir, ClusterMember::new(2, 3), 1000, 6, 2);
+    let port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let worker_addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+    let child = spawn_member_worker(&dir, port, false);
+    await_listening(worker_addr);
+
+    let addrs = [m0.addr(), worker_addr, m2.addr()];
+    let mut cc = DvCluster::connect(&addrs, "test-ctx", steps()).unwrap();
+    cc.set_auto_reconnect(true);
+    cc.set_failover(true);
+    // Short probe window: down-detection in ~1.5 s instead of 30.
+    cc.set_down_window(Duration::from_millis(1500));
+
+    let acquire_both = |cc: &mut DvCluster, rc: &mut DvCluster, keys: &[u64], tag: &str| {
+        let got = cc.acquire(keys).unwrap();
+        let want = rc.acquire(keys).unwrap();
+        assert_eq!(
+            sorted(got.ready.clone()),
+            sorted(want.ready.clone()),
+            "{tag}: ready sets diverge"
+        );
+        let got_failed: Vec<u64> = got.failed.iter().map(|(k, _)| *k).collect();
+        let want_failed: Vec<u64> = want.failed.iter().map(|(k, _)| *k).collect();
+        assert_eq!(sorted(got_failed), sorted(want_failed), "{tag}: failed sets diverge");
+    };
+
+    // Phase A — pins on every member; 5 and 6 (member 1's interval 1)
+    // stay pinned across the crash and will be re-homed onto the taker.
+    acquire_both(&mut cc, &mut rc, &[6], "A:6");
+    acquire_both(&mut cc, &mut rc, &[5], "A:5");
+    acquire_both(&mut cc, &mut rc, &[2], "A:2");
+    acquire_both(&mut cc, &mut rc, &[10], "A:10");
+
+    const PRODUCED_A: u64 = 3 * 4; // intervals 1, 0, 2 fully materialized
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let (c, r) = (cc.status().unwrap(), rc.status().unwrap());
+        if (c.produced_steps, c.active_sims, r.produced_steps, r.active_sims)
+            == (PRODUCED_A, 0, PRODUCED_A, 0)
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "clusters never quiesced: {c:?} vs {r:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // kill -9 member 1 — and do NOT restart it.
+    let mut child = child;
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Phase B — every request completes without member 1.
+    // 7: dead member's warm interval — the taker primes it from shared
+    // storage. The first touch also re-homes the pins on 5 and 6.
+    acquire_both(&mut cc, &mut rc, &[7], "B:7 takeover");
+    assert!(cc.degraded(), "down member must be detected");
+    assert_eq!(cc.members_down(), 1);
+    assert!(
+        cc.taken_over_pins() >= 2,
+        "pins on 5 and 6 must be re-homed: {}",
+        cc.taken_over_pins()
+    );
+    // 17: dead member's cold interval — the taker re-simulates it.
+    acquire_both(&mut cc, &mut rc, &[17], "B:17 cold takeover");
+    // Native members are unaffected.
+    acquire_both(&mut cc, &mut rc, &[2, 10], "B:native");
+    // Takeover pins are live pins: release + re-acquire routes to the
+    // taker and behaves exactly as on the uncrashed cluster.
+    cc.release(6).unwrap();
+    rc.release(6).unwrap();
+    acquire_both(&mut cc, &mut rc, &[6], "B:6 again");
+    assert!(
+        m2.stats().takeover_acquires >= 1,
+        "the taker must have served tagged takeover acquires"
+    );
+
+    // Quiesce phase B (interval 4 re-simulated: by the taker on the
+    // faulted side, by member 1 on the reference).
+    const PRODUCED_REF: u64 = PRODUCED_A + 4;
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let (c, r) = (cc.status().unwrap(), rc.status().unwrap());
+        if r.produced_steps == PRODUCED_REF && r.active_sims == 0 && c.active_sims == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "phase B never quiesced: {c:?} vs {r:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Phase C — restart member 1 with --recover. The next acquire
+    // revives it and hands the parked pins back: re-acquired at the
+    // restored home member first, then released at the taker.
+    let mut child = spawn_member_worker(&dir, port, true);
+    await_listening(worker_addr);
+    acquire_both(&mut cc, &mut rc, &[8], "C:8 home again");
+    assert!(!cc.degraded(), "revived member must clear degraded mode");
+    assert_eq!(cc.taken_over_pins(), 0, "every parked pin must be handed back");
+    assert!(cc.reconnects() >= 1);
+    assert!(
+        m2.stats().takeover_pins_handed_back >= 2,
+        "the taker must have drained hand-backs"
+    );
+    acquire_both(&mut cc, &mut rc, &[2, 6, 10], "C:multi");
+
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let (c, r) = (cc.status().unwrap(), rc.status().unwrap());
+        if r.produced_steps == PRODUCED_REF && r.active_sims == 0 && c.active_sims == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "phase C never quiesced: {c:?} vs {r:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Degraded service must converge to the same on-disk residency as
+    // the uncrashed reference.
+    assert_eq!(
+        sdf_listing(&dir),
+        sdf_listing(&ref_dir),
+        "storage diverged from the uncrashed reference"
+    );
+
+    cc.finalize().unwrap();
+    rc.finalize().unwrap();
+    child.kill().unwrap();
+    child.wait().unwrap();
+    m0.shutdown();
+    m2.shutdown();
+    for server in &reference {
+        server.shutdown();
+    }
+    drop((m0, m2, reference));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// Satellite: with auto-reconnect OFF, an op against a dead member must
+/// surface a typed [`MemberDown`] after the probe window — not hang.
+#[test]
+fn dead_member_surfaces_member_down_instead_of_hanging() {
+    use simfs_core::client::MemberDown;
+    let dir = std::env::temp_dir().join(format!(
+        "simfs-cluster-memberdown-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (m0, _storage) = start_member(&dir, ClusterMember::new(0, 3), 1000, 6, 2);
+    let (m2, _) = start_member(&dir, ClusterMember::new(2, 3), 1000, 6, 2);
+    let port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let worker_addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+    let child = spawn_member_worker(&dir, port, false);
+    await_listening(worker_addr);
+
+    let addrs = [m0.addr(), worker_addr, m2.addr()];
+    let mut cc = DvCluster::connect(&addrs, "test-ctx", steps()).unwrap();
+    // No auto-reconnect, no failover: the op must fail typed, fast.
+    cc.set_down_window(Duration::from_millis(800));
+
+    let mut child = child;
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let started = Instant::now();
+    let err = cc.acquire(&[6]).unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(
+        MemberDown::from_io(&err).is_some_and(|d| d.member == 1),
+        "expected a typed MemberDown for member 1, got: {err}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "down detection took {elapsed:?} — the op effectively hung"
+    );
+
+    m0.shutdown();
+    m2.shutdown();
+    drop((m0, m2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -77,6 +77,28 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 prior_epoch,
                 keys,
             }),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u64>(), 0..20),
+        )
+            .prop_map(|(req_id, dead_member, origin_epoch, keys)| Request::TakeoverAcquire {
+                req_id,
+                dead_member,
+                origin_epoch,
+                keys,
+            }),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            prop::collection::vec(any::<u64>(), 0..20),
+        )
+            .prop_map(|(req_id, dead_member, keys)| Request::HandBack {
+                req_id,
+                dead_member,
+                keys,
+            }),
         Just(Request::Bye),
     ]
 }
@@ -127,6 +149,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     active_sims,
                 }
             }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(req_id, released)| Response::HandedBack { req_id, released }),
     ]
 }
 

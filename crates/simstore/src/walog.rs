@@ -78,6 +78,21 @@ pub enum WalRecord {
         /// Epoch of the departure.
         epoch: u64,
     },
+    /// `client` pinned `key` (one count) on behalf of a *dead cluster
+    /// member* — a takeover pin granted while this daemon serves a
+    /// foreign interval. Replays and nets exactly like
+    /// [`PinAcquire`](WalRecord::PinAcquire) (the residency veto is the
+    /// same); the tag distinguishes takeover-held pins in the journal
+    /// so operators can see degraded-mode state. Compaction snapshots
+    /// canonicalize it back to `PinAcquire`.
+    TakeoverPin {
+        /// Pinning client (at the taker).
+        client: u64,
+        /// Pinned foreign-interval key.
+        key: u64,
+        /// The *taker's* epoch the pin was taken under.
+        epoch: u64,
+    },
 }
 
 const TAG_EPOCH: u8 = 1;
@@ -85,6 +100,7 @@ const TAG_PIN_ACQUIRE: u8 = 2;
 const TAG_PIN_RELEASE: u8 = 3;
 const TAG_LEASE: u8 = 4;
 const TAG_CLIENT_GONE: u8 = 5;
+const TAG_TAKEOVER_PIN: u8 = 6;
 
 impl WalRecord {
     fn parts(&self) -> (u8, u64, u64, u64) {
@@ -94,6 +110,7 @@ impl WalRecord {
             WalRecord::PinRelease { client, key, epoch } => (TAG_PIN_RELEASE, client, key, epoch),
             WalRecord::Lease { client, epoch } => (TAG_LEASE, client, 0, epoch),
             WalRecord::ClientGone { client, epoch } => (TAG_CLIENT_GONE, client, 0, epoch),
+            WalRecord::TakeoverPin { client, key, epoch } => (TAG_TAKEOVER_PIN, client, key, epoch),
         }
     }
 
@@ -139,6 +156,7 @@ pub fn decode_record(buf: &[u8]) -> Option<WalRecord> {
         TAG_PIN_RELEASE => WalRecord::PinRelease { client, key, epoch },
         TAG_LEASE => WalRecord::Lease { client, epoch },
         TAG_CLIENT_GONE => WalRecord::ClientGone { client, epoch },
+        TAG_TAKEOVER_PIN => WalRecord::TakeoverPin { client, key, epoch },
         _ => return None,
     })
 }
@@ -185,7 +203,8 @@ pub fn net_pin_window(records: &mut Vec<WalRecord>) {
     let mut delta: HashMap<(u64, u64), i64> = HashMap::new();
     for r in records.iter() {
         match *r {
-            WalRecord::PinAcquire { client, key, .. } => {
+            WalRecord::PinAcquire { client, key, .. }
+            | WalRecord::TakeoverPin { client, key, .. } => {
                 *delta.entry((client, key)).or_insert(0) += 1;
             }
             WalRecord::PinRelease { client, key, .. } => {
@@ -195,7 +214,7 @@ pub fn net_pin_window(records: &mut Vec<WalRecord>) {
         }
     }
     records.retain(|r| match *r {
-        WalRecord::PinAcquire { client, key, .. } => {
+        WalRecord::PinAcquire { client, key, .. } | WalRecord::TakeoverPin { client, key, .. } => {
             let d = delta.get_mut(&(client, key)).unwrap();
             if *d > 0 {
                 *d -= 1;
@@ -237,7 +256,8 @@ impl WalState {
         self.epoch = self.epoch.max(r.epoch());
         match *r {
             WalRecord::Epoch { .. } => {}
-            WalRecord::PinAcquire { client, key, .. } => {
+            WalRecord::PinAcquire { client, key, .. }
+            | WalRecord::TakeoverPin { client, key, .. } => {
                 *self.pins.entry((client, key)).or_insert(0) += 1;
             }
             WalRecord::PinRelease { client, key, .. } => {
@@ -503,6 +523,42 @@ mod tests {
     }
 
     #[test]
+    fn takeover_pin_replays_and_nets_like_acquire() {
+        let r = WalRecord::TakeoverPin { client: 4, key: 9, epoch: 2 };
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf);
+        assert_eq!(decode_record(&buf), Some(r));
+        // Replay: a takeover pin is a pin.
+        let state = WalState::replay(&[
+            r,
+            WalRecord::TakeoverPin { client: 4, key: 9, epoch: 2 },
+            WalRecord::PinRelease { client: 4, key: 9, epoch: 2 },
+        ]);
+        assert_eq!(state.pins.get(&(4, 9)), Some(&1));
+        // ClientGone voids takeover pins like native ones.
+        let mut state = state;
+        state.apply(&WalRecord::ClientGone { client: 4, epoch: 2 });
+        assert!(state.pins.is_empty());
+        // Netting cancels takeover-pin/release pairs within a window.
+        let mut w = vec![
+            WalRecord::TakeoverPin { client: 4, key: 9, epoch: 2 },
+            WalRecord::PinRelease { client: 4, key: 9, epoch: 2 },
+            WalRecord::TakeoverPin { client: 4, key: 10, epoch: 2 },
+        ];
+        net_pin_window(&mut w);
+        assert_eq!(w, vec![WalRecord::TakeoverPin { client: 4, key: 10, epoch: 2 }]);
+        // Compaction snapshots canonicalize to PinAcquire.
+        let state = WalState::replay(&w);
+        assert_eq!(
+            state.snapshot(3),
+            vec![
+                WalRecord::Epoch { epoch: 3 },
+                WalRecord::PinAcquire { client: 4, key: 10, epoch: 3 },
+            ]
+        );
+    }
+
+    #[test]
     fn netting_cancels_window_pairs() {
         let mut w = vec![
             WalRecord::PinAcquire { client: 1, key: 5, epoch: 1 },
@@ -608,8 +664,10 @@ mod tests {
                 (1u64..5).prop_map(|epoch| WalRecord::Epoch { epoch }),
                 (client.clone(), key.clone(), epoch.clone())
                     .prop_map(|(client, key, epoch)| WalRecord::PinAcquire { client, key, epoch }),
-                (client.clone(), key, epoch.clone())
+                (client.clone(), key.clone(), epoch.clone())
                     .prop_map(|(client, key, epoch)| WalRecord::PinRelease { client, key, epoch }),
+                (client.clone(), key, epoch.clone())
+                    .prop_map(|(client, key, epoch)| WalRecord::TakeoverPin { client, key, epoch }),
                 (client.clone(), epoch.clone())
                     .prop_map(|(client, epoch)| WalRecord::Lease { client, epoch }),
                 (client, epoch)
@@ -667,7 +725,8 @@ mod tests {
                     std::collections::HashMap::new();
                 for r in prefix {
                     match *r {
-                        WalRecord::PinAcquire { client, key, .. } => {
+                        WalRecord::PinAcquire { client, key, .. }
+                        | WalRecord::TakeoverPin { client, key, .. } => {
                             *expect.entry((client, key)).or_insert(0) += 1;
                         }
                         WalRecord::PinRelease { client, key, .. } => {
@@ -692,6 +751,7 @@ mod tests {
                             matches!(
                                 **r,
                                 WalRecord::PinAcquire { client: c, key: k, .. }
+                                | WalRecord::TakeoverPin { client: c, key: k, .. }
                                     if (c, k) == (client, key)
                             )
                         })
@@ -734,7 +794,8 @@ mod tests {
                     let mut d = std::collections::HashMap::new();
                     for r in w {
                         match *r {
-                            WalRecord::PinAcquire { client, key, .. } => {
+                            WalRecord::PinAcquire { client, key, .. }
+                            | WalRecord::TakeoverPin { client, key, .. } => {
                                 *d.entry((client, key)).or_insert(0) += 1
                             }
                             WalRecord::PinRelease { client, key, .. } => {
@@ -751,7 +812,9 @@ mod tests {
                         .filter(|r| {
                             !matches!(
                                 r,
-                                WalRecord::PinAcquire { .. } | WalRecord::PinRelease { .. }
+                                WalRecord::PinAcquire { .. }
+                                    | WalRecord::PinRelease { .. }
+                                    | WalRecord::TakeoverPin { .. }
                             )
                         })
                         .copied()
@@ -767,7 +830,8 @@ mod tests {
                 let mut counts = std::collections::HashMap::new();
                 for r in &window {
                     if let WalRecord::PinAcquire { client, key, .. }
-                    | WalRecord::PinRelease { client, key, .. } = *r
+                    | WalRecord::PinRelease { client, key, .. }
+                    | WalRecord::TakeoverPin { client, key, .. } = *r
                     {
                         *counts.entry((client, key)).or_insert(0i64) += 1;
                     }
