@@ -33,6 +33,17 @@
 //! `degraded` field so the ladder separates healthy from degraded
 //! numbers.
 //!
+//! `--sim-faults N` injects production faults into the bench simulator:
+//! the first production of every Nth key is corrupt, so the daemon's
+//! integrity gate rejects it, kills the producer, and the supervisor
+//! retries (transparently — the retried production is clean). Pair it
+//! with `hitheavy`, whose cold tail keeps launching real sims
+//! mid-measurement; every JSON line then reports the supervision
+//! counters (`sim_retries`, `intervals_poisoned`, `sims_hung_killed`,
+//! `corrupt_outputs`) so fault-smoke ladders pin the retry machinery's
+//! cost. Fault-free runs report the same counters, all zero — the
+//! supervision tier must stay off the hot path.
+//!
 //! Three workloads:
 //!
 //! * **uniform** — every client strides uniformly over a fully warmed
@@ -55,7 +66,9 @@ use simfs_core::client::{DvCluster, SimfsClient};
 use simfs_core::driver::{PatternDriver, SimDriver};
 use simfs_core::dv::DvStats;
 use simfs_core::model::{ContextCfg, StepMath};
-use simfs_core::server::{ClusterMember, DurabilityCfg, DvServer, ServerConfig, ThreadSimLauncher};
+use simfs_core::server::{
+    ClusterMember, DurabilityCfg, DvServer, ServerConfig, SimFaultSpec, ThreadSimLauncher,
+};
 use simstore::{Data, Dataset, StorageArea};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -173,6 +186,7 @@ fn step_bytes(key: u64) -> Vec<u8> {
     ds.encode().to_vec()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn start_daemon(
     dir: &std::path::Path,
     n_keys: u64,
@@ -181,6 +195,7 @@ fn start_daemon(
     member: ClusterMember,
     prefetch: bool,
     durable: bool,
+    faults: SimFaultSpec,
 ) -> (DvServer, StorageArea) {
     let storage = StorageArea::create(dir, u64::MAX).unwrap();
     let size = step_bytes(1).len() as u64;
@@ -193,12 +208,15 @@ fn start_daemon(
     .with_policy("lru")
     .with_prefetch(prefetch)
     .with_smax(8);
-    let launcher = Arc::new(ThreadSimLauncher::new(
-        step_bytes,
-        |key| PatternDriver::new("out-", ".sdf", 6).filename_of(key),
-        Duration::from_millis(1),
-        Duration::from_micros(200),
-    ));
+    let launcher = Arc::new(
+        ThreadSimLauncher::new(
+            step_bytes,
+            |key| PatternDriver::new("out-", ".sdf", 6).filename_of(key),
+            Duration::from_millis(1),
+            Duration::from_micros(200),
+        )
+        .with_faults(faults),
+    );
     let server = DvServer::start(
         ServerConfig {
             ctx,
@@ -410,6 +428,7 @@ fn main() {
     let mut cluster = 1u32;
     let mut durable = false;
     let mut degraded = false;
+    let mut sim_faults = 0u64;
     let mut specs = vec![
         RunSpec { workload: Workload::Uniform, prefetch: false },
         RunSpec { workload: Workload::HitHeavy, prefetch: false },
@@ -444,6 +463,7 @@ fn main() {
             "--out" => out = val,
             "--dv-shards" => dv_shards = val.parse().expect("bad --dv-shards"),
             "--cluster" => cluster = val.parse().expect("bad --cluster"),
+            "--sim-faults" => sim_faults = val.parse().expect("bad --sim-faults"),
             "--workloads" => {
                 specs = val.split(',').map(|s| RunSpec::parse(s.trim())).collect();
             }
@@ -479,6 +499,7 @@ fn main() {
                     ClusterMember::new(k, cluster),
                     spec.prefetch,
                     durable,
+                    SimFaultSpec { crash_quota: 0, corrupt_every: sim_faults },
                 )
                 .0
             })
@@ -581,6 +602,12 @@ fn main() {
             // Failover counters (all zero outside degraded runs).
             let takeover_acquires = d(|s| s.takeover_acquires);
             let takeover_intervals_primed = d(|s| s.takeover_intervals_primed);
+            // Supervision counters (all zero without --sim-faults:
+            // the retry tier must stay off the hot path).
+            let sim_retries = d(|s| s.sim_retries);
+            let sims_hung_killed = d(|s| s.sims_hung_killed);
+            let intervals_poisoned = d(|s| s.intervals_poisoned);
+            let corrupt_outputs = d(|s| s.corrupt_outputs);
             let transitions = d(|s| s.lock_transitions);
             let hold_per_transition =
                 d(|s| s.lock_hold_ns).checked_div(transitions).unwrap_or(0);
@@ -612,6 +639,14 @@ fn main() {
                 println!(
                     "{:>8} failover: {takeover_acquires} takeover acquires, \
                      {takeover_intervals_primed} intervals primed on takers",
+                    ""
+                );
+            }
+            if sim_faults > 0 {
+                println!(
+                    "{:>8} supervision: {corrupt_outputs} corrupt outputs rejected, \
+                     {sim_retries} sim retries, {sims_hung_killed} hung kills, \
+                     {intervals_poisoned} intervals poisoned",
                     ""
                 );
             }
@@ -656,6 +691,10 @@ fn main() {
                  \"client_reconnects\": {client_reconnects}, \
                  \"takeover_acquires\": {takeover_acquires}, \
                  \"takeover_intervals_primed\": {takeover_intervals_primed}, \
+                 \"sim_faults\": {sim_faults}, \"sim_retries\": {sim_retries}, \
+                 \"sims_hung_killed\": {sims_hung_killed}, \
+                 \"intervals_poisoned\": {intervals_poisoned}, \
+                 \"corrupt_outputs\": {corrupt_outputs}, \
                  \"lock_hold_ns_per_transition\": {hold_per_transition}, \
                  \"lock_wait_ns_per_transition\": {wait_per_transition}, \
                  \"per_daemon_acquires_per_sec\": [{per_daemon_json}], \

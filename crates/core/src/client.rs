@@ -42,7 +42,7 @@
 //! session without `Bye` is also safe: the daemon maps the hangup to
 //! `ClientGone` (releasing pins) or `SimFailed` exactly as before.
 
-use crate::dv::DvRouter;
+use crate::dv::{DvRouter, FailCode};
 use crate::model::StepMath;
 use crate::prefetch::{AccessLog, AccessRecord, ACCESS_LOG_CAPACITY};
 use crate::wire::{self, ClientKind, FrameBatch, FrameReader, Membership, Request, Response};
@@ -164,13 +164,30 @@ fn is_disconnect(err: &io::Error) -> bool {
     )
 }
 
+/// A typed acquire failure: the daemon's stable machine-readable
+/// classification plus its human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailError {
+    /// Stable classification (retriable / poisoned / hang-killed /
+    /// corrupt-output / other) — match on this, not on the message.
+    pub code: FailCode,
+    /// Human-readable reason (surfaced in `SIMFS_Status`).
+    pub reason: String,
+}
+
+impl std::fmt::Display for FailError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.reason)
+    }
+}
+
 /// Status of an acquire operation (§III-C `SIMFS_Status`).
 #[derive(Clone, Debug, Default)]
 pub struct SimfsStatus {
     /// Keys now available (and pinned for this client).
     pub ready: Vec<u64>,
-    /// Keys that failed, with reasons (e.g. "restart failed").
-    pub failed: Vec<(u64, String)>,
+    /// Keys that failed, with their typed errors.
+    pub failed: Vec<(u64, FailError)>,
     /// Estimated waiting time for the pending keys, if the DV provided
     /// one.
     pub est_wait: Option<Duration>,
@@ -704,10 +721,11 @@ impl SimfsClient {
             Response::Failed {
                 req_id,
                 key,
+                code,
                 reason,
             } if req_id == req.req_id
                 && req.outstanding.remove(&key) => {
-                    req.status.failed.push((key, reason));
+                    req.status.failed.push((key, FailError { code, reason }));
                 }
             Response::Queued {
                 req_id,
@@ -982,8 +1000,8 @@ impl SimfsClient {
                 known,
                 ..
             } if r == req_id => Ok(CallStep::Done(known.then_some(matches))),
-            Response::Failed { req_id: r, reason, .. } if r == req_id => {
-                Err(io::Error::other(reason))
+            Response::Failed { req_id: r, code, reason, .. } if r == req_id => {
+                Err(io::Error::other(FailError { code, reason }.to_string()))
             }
             Response::Error { message } => Err(io::Error::other(message)),
             other => Ok(CallStep::Stray(other)),

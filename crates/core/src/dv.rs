@@ -15,6 +15,49 @@
 //! [`DvAction::Launch`] (3); the simulator's `close` notifications come
 //! back as [`DvEvent::FileProduced`] (4–5); waiting analyses get
 //! [`DvAction::NotifyReady`] (6).
+//!
+//! # Production supervision: the retry/poison state machine
+//!
+//! A re-simulation can fail transiently (OOM, scheduler hiccup), fail
+//! persistently (broken restart file), stall without exiting, or write
+//! corrupt output. The DV supervises all four per *restart interval*
+//! (the launch granularity), with knobs in
+//! [`SupervisorCfg`](crate::model::SupervisorCfg):
+//!
+//! * **Retry with backoff.** A failed *demand* production — the launch
+//!   reason is [`LaunchReason::Miss`], or a claimed key has live
+//!   waiters — does not fail its waiters. The uncovered range is
+//!   re-enqueued on the launch queue with a `not_before` deadline of
+//!   capped exponential backoff plus deterministic jitter, and drains
+//!   through the same `s_max` gate as any other launch once the
+//!   deadline passes ([`tick`](DataVirtualizer::tick) or any queue
+//!   drain). Speculative prefetch failures are never retried: the sim
+//!   is dropped and counted, exactly like a §IV-C kill frees its slot.
+//! * **Poison quarantine.** Each interval carries an attempt budget.
+//!   Exhausting it quarantines the interval for a cooldown window:
+//!   waiters get an immediate typed [`DvAction::NotifyFailed`] (code
+//!   [`FailCode::Poisoned`], or the terminal cause), subsequent
+//!   acquires short-circuit without launching, and queued launches
+//!   into the interval are purged — a circuit breaker against retry
+//!   storms. The quarantine expires by time, or instantly when a
+//!   foreign production lands a key of the interval (overlapping
+//!   prefetch blocks can cover a poisoned interval). Expiry resets the
+//!   attempt budget. Cache *hits* inside a quarantined interval still
+//!   serve — poison gates production, not residency.
+//! * **Hang watchdog.** Every sim records `last_progress` (launch,
+//!   `SimStarted`, each production). [`tick`](DataVirtualizer::tick)
+//!   compares it against a deadline derived from the live
+//!   `alpha_sim`/`tau_sim` estimates (scaled and clamped by the
+//!   supervisor knobs) and emits [`DvAction::Kill`] plus an internal
+//!   failure for stalled sims, so the retry machinery above takes
+//!   over. [`next_due`](DataVirtualizer::next_due) tells a reactor
+//!   front-end when the earliest backoff/watchdog/quarantine timer
+//!   fires.
+//! * **Interaction with pollution kills.** The §IV-C kill path and the
+//!   queued-prefetch purge are unchanged: killed prefetches were never
+//!   demand work, so they hit the "drop, never retry" branch. Retried
+//!   launches re-enter the queue as `Miss` work and are therefore
+//!   immune to the prefetch purge.
 
 use crate::model::{ContextCfg, StepMath};
 use crate::perfmodel::{Ema, IntervalTracker};
@@ -36,6 +79,66 @@ pub enum LaunchReason {
     Miss,
     /// Speculative launch by a prefetch agent (§IV-B).
     Prefetch,
+}
+
+/// Machine-readable classification of a failed acquire, carried on
+/// [`DvAction::NotifyFailed`] and over the wire on `Response::Failed`.
+/// Stable: new causes must extend the enum, not repurpose a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FailCode {
+    /// A transient production failure; retrying may succeed (surfaced
+    /// only when the supervisor cannot retry, e.g. a producer finished
+    /// in violation of its range contract and re-launch is impossible).
+    Retriable,
+    /// The key's restart interval exhausted its attempt budget and is
+    /// quarantined for the supervisor's cooldown window.
+    Poisoned,
+    /// The producer stalled and was killed by the hang watchdog; the
+    /// interval poisoned on that terminal attempt.
+    HangKilled,
+    /// The producer's output failed the integrity gate; the interval
+    /// poisoned on that terminal attempt.
+    CorruptOutput,
+    /// Anything else: invalid keys, misrouted cluster keys, protocol
+    /// errors — the legacy free-text failures.
+    Other,
+}
+
+impl FailCode {
+    /// Stable wire value.
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            FailCode::Retriable => 1,
+            FailCode::Poisoned => 2,
+            FailCode::HangKilled => 3,
+            FailCode::CorruptOutput => 4,
+            FailCode::Other => 0,
+        }
+    }
+
+    /// Decodes a wire value; unknown values degrade to
+    /// [`FailCode::Other`] (a newer daemon must not crash an older
+    /// client).
+    pub const fn from_u8(b: u8) -> FailCode {
+        match b {
+            1 => FailCode::Retriable,
+            2 => FailCode::Poisoned,
+            3 => FailCode::HangKilled,
+            4 => FailCode::CorruptOutput,
+            _ => FailCode::Other,
+        }
+    }
+
+    /// Short stable label (log/JSON friendly).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            FailCode::Retriable => "retriable",
+            FailCode::Poisoned => "poisoned",
+            FailCode::HangKilled => "hang-killed",
+            FailCode::CorruptOutput => "corrupt-output",
+            FailCode::Other => "other",
+        }
+    }
 }
 
 /// Input events (all front-ends translate into these).
@@ -80,6 +183,16 @@ pub enum DvEvent {
         /// The simulation.
         sim: SimId,
     },
+    /// The front-end's integrity gate rejected a produced file (torn
+    /// sdf, checksum mismatch): the bytes were already deleted; the DV
+    /// kills the producer and treats the attempt as a failure. Routed
+    /// by key, like the [`DvEvent::FileProduced`] it replaces.
+    OutputCorrupt {
+        /// Producing simulation.
+        sim: SimId,
+        /// The rejected key.
+        key: u64,
+    },
     /// A client disconnected: release its pins, kill its prefetches.
     ClientGone {
         /// The departed client.
@@ -103,6 +216,8 @@ pub enum DvAction {
         client: ClientId,
         /// Failed key.
         key: u64,
+        /// Machine-readable classification (stable across releases).
+        code: FailCode,
         /// Human-readable reason (surfaced in `SIMFS_Status`).
         reason: String,
     },
@@ -131,7 +246,7 @@ pub enum DvAction {
 
 /// Lifetime counters (Fig. 5 reports `simulated_steps` as bars and
 /// `restarts` as points).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DvStats {
     /// Cache hits on acquire.
     pub hits: u64,
@@ -211,6 +326,18 @@ pub struct DvStats {
     /// Takeover pin counts drained by `HandBack` after the dead member
     /// restarted.
     pub takeover_pins_handed_back: u64,
+    /// Demand launches re-enqueued with backoff after a production
+    /// failure (the supervision tier's retries; never prefetches).
+    pub sim_retries: u64,
+    /// Simulations killed by the hang watchdog (stalled past the
+    /// alpha/tau-derived deadline). Disjoint from `kills`, which counts
+    /// §IV-C prefetch kills.
+    pub sims_hung_killed: u64,
+    /// Restart intervals quarantined after exhausting their attempt
+    /// budget.
+    pub intervals_poisoned: u64,
+    /// Produced files rejected (and deleted) by the integrity gate.
+    pub corrupt_outputs: u64,
 }
 
 impl DvStats {
@@ -245,6 +372,10 @@ impl DvStats {
             takeover_acquires,
             takeover_intervals_primed,
             takeover_pins_handed_back,
+            sim_retries,
+            sims_hung_killed,
+            intervals_poisoned,
+            corrupt_outputs,
         } = other;
         self.hits += hits;
         self.misses += misses;
@@ -274,6 +405,10 @@ impl DvStats {
         self.takeover_acquires += takeover_acquires;
         self.takeover_intervals_primed += takeover_intervals_primed;
         self.takeover_pins_handed_back += takeover_pins_handed_back;
+        self.sim_retries += sim_retries;
+        self.sims_hung_killed += sims_hung_killed;
+        self.intervals_poisoned += intervals_poisoned;
+        self.corrupt_outputs += corrupt_outputs;
     }
 }
 
@@ -318,6 +453,9 @@ struct SimState {
     /// kill check ("no one waits on anything this sim will produce")
     /// is O(1) instead of a sims×keys scan.
     waited_keys: u32,
+    /// Last sign of life (launch, start, each production): the hang
+    /// watchdog's progress marker.
+    last_progress: SimTime,
 }
 
 struct QueuedLaunch {
@@ -325,6 +463,23 @@ struct QueuedLaunch {
     level: u32,
     reason: LaunchReason,
     client: Option<ClientId>,
+    /// Earliest time this entry may launch (retry backoff); `ZERO` for
+    /// ordinary launches.
+    not_before: SimTime,
+}
+
+/// Retry/quarantine bookkeeping of one restart interval (keyed by the
+/// interval index). Cleared by a successful production in the interval
+/// or by quarantine expiry — both reset the attempt budget.
+struct RetryState {
+    /// Failed demand attempts so far.
+    attempts: u32,
+    /// Classification of the most recent failure: colours the code the
+    /// poison verdict surfaces.
+    last_cause: FailCode,
+    /// `Some(expiry)` once poisoned: acquires short-circuit and
+    /// launches are refused until then.
+    quarantined_until: Option<SimTime>,
 }
 
 /// The Data Virtualizer for one simulation context.
@@ -340,8 +495,11 @@ pub struct DataVirtualizer {
     /// client -> its live prefetch simulations (the §IV-C kill-path
     /// index; avoids scanning every sim on direction changes).
     prefetches_by_client: U64Map<Vec<SimId>>,
-    /// Launches deferred because `s_max` simulations are active.
+    /// Launches deferred because `s_max` simulations are active (or,
+    /// for retries, because their backoff deadline is in the future).
     launch_queue: VecDeque<QueuedLaunch>,
+    /// interval index -> retry/quarantine state (the supervision tier).
+    retry: U64Map<RetryState>,
     /// Reusable victim list for the kill path (no per-event allocs).
     kill_scratch: Vec<SimId>,
     next_sim: SimId,
@@ -389,6 +547,7 @@ impl DataVirtualizer {
             waiting: u64_map(),
             prefetches_by_client: u64_map(),
             launch_queue: VecDeque::new(),
+            retry: u64_map(),
             kill_scratch: Vec::new(),
             next_sim: 1,
             sim_stride: 1,
@@ -584,6 +743,103 @@ impl DataVirtualizer {
         self.launch_queue.len()
     }
 
+    /// Number of keys with a registered pending producer (leak probe
+    /// for the supervision tests).
+    pub fn pending_keys(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of keys with a non-empty waiter list (leak probe for the
+    /// supervision tests).
+    pub fn waiting_keys(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Number of intervals currently inside a quarantine window.
+    pub fn quarantined_intervals(&self, now: SimTime) -> usize {
+        self.retry
+            .values()
+            .filter(|r| r.quarantined_until.is_some_and(|u| now < u))
+            .count()
+    }
+
+    /// Runs the supervision timers: kills sims stalled past their
+    /// hang deadline (handing them to the retry machinery), expires
+    /// quarantines, and drains launch-queue entries whose backoff
+    /// deadline has passed. Front-ends call this from their periodic
+    /// tick (the daemon's reaper, the harness's scheduled wake-ups);
+    /// [`next_due`](Self::next_due) says when the next call matters.
+    pub fn tick(&mut self, now: SimTime, actions: &mut Vec<DvAction>) {
+        let mut stalled = std::mem::take(&mut self.kill_scratch);
+        stalled.clear();
+        for (&sim, s) in self.sims.iter() {
+            if now >= self.sim_deadline(s) {
+                stalled.push(sim);
+            }
+        }
+        for &sim in &stalled {
+            self.stats.sims_hung_killed += 1;
+            actions.push(DvAction::Kill { sim });
+            self.fail_sim(sim, FailCode::HangKilled, now, actions);
+        }
+        stalled.clear();
+        self.kill_scratch = stalled;
+        // Expired quarantines reset their interval's budget even
+        // without an acquire to observe it — prefetches into the
+        // interval are gated on this map.
+        self.retry
+            .retain(|_, r| r.quarantined_until.is_none_or(|u| now < u));
+        self.drain_launch_queue(actions, now);
+    }
+
+    /// Earliest supervision deadline (backoff expiry, hang deadline,
+    /// quarantine expiry), if any: when the front-end should call
+    /// [`tick`](Self::tick) again absent other events. A deadline that
+    /// has already lapsed (time advanced between ticks) reports as due
+    /// `now` — never `None`, which would let an event-less front-end
+    /// park forever over ready work. Queue entries with no backoff
+    /// stamp are excluded: they are slot-blocked, and the SimFinished
+    /// that frees the slot drains them without a timer.
+    pub fn next_due(&self, now: SimTime) -> Option<SimTime> {
+        let mut due: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            let t = t.max(now);
+            due = Some(due.map_or(t, |d| d.min(t)));
+        };
+        for q in &self.launch_queue {
+            if q.not_before != SimTime::ZERO {
+                consider(q.not_before);
+            }
+        }
+        for s in self.sims.values() {
+            consider(self.sim_deadline(s));
+        }
+        for r in self.retry.values() {
+            if let Some(u) = r.quarantined_until {
+                consider(u);
+            }
+        }
+        due
+    }
+
+    /// The instant after which `s` counts as hung: last progress plus
+    /// the relevant estimate (restart latency before the first sign of
+    /// life, inter-production time after) scaled and clamped by the
+    /// supervisor knobs.
+    fn sim_deadline(&self, s: &SimState) -> SimTime {
+        let sup = &self.cfg.supervisor;
+        let est = if s.started {
+            self.tau_sim.estimate_or(Dur::from_secs(1))
+        } else {
+            self.alpha_sim.estimate_or(Dur::from_secs(1))
+        };
+        let window = est
+            .mul_f64(sup.hang_multiplier.max(1.0))
+            .max(sup.hang_floor)
+            .min(sup.hang_ceiling);
+        s.last_progress.saturating_add(window)
+    }
+
     /// Current restart-latency estimate.
     pub fn alpha_estimate(&self) -> Option<Dur> {
         self.alpha_sim.estimate()
@@ -706,20 +962,57 @@ impl DataVirtualizer {
         if !uncovered {
             return;
         }
+        // Poison gate: speculative launches must not touch a
+        // quarantined interval (a prefetch retrying a poisoned range
+        // would be exactly the retry storm the quarantine breaks).
+        // Demand launches cannot get here — `on_acquire`
+        // short-circuits them first.
+        if reason == LaunchReason::Prefetch
+            && (*keys.start()..=*keys.end()).any(|k| self.quarantined(k, now))
+        {
+            return;
+        }
         self.launch_queue.push_back(QueuedLaunch {
             keys,
             level,
             reason,
             client,
+            not_before: SimTime::ZERO,
         });
         self.drain_launch_queue(actions, now);
     }
 
+    /// Is `key`'s interval inside a live quarantine window?
+    fn quarantined(&self, key: u64, now: SimTime) -> bool {
+        self.retry
+            .get(&self.cfg.steps.interval_of(key))
+            .and_then(|r| r.quarantined_until)
+            .is_some_and(|until| now < until)
+    }
+
+    /// Does a queued *demand* launch cover `key`? Miss entries are
+    /// never purged (only prefetches are, on direction changes), so
+    /// they count as coverage: a fresh miss on a key whose retry is
+    /// parked in backoff must add a waiter, not a duplicate launch.
+    fn queued_miss_covers(&self, key: u64) -> bool {
+        self.launch_queue
+            .iter()
+            .any(|q| q.reason == LaunchReason::Miss && q.keys.contains(&key))
+    }
+
     fn drain_launch_queue(&mut self, actions: &mut Vec<DvAction>, now: SimTime) {
-        while self.sims.len() < self.cfg.smax as usize {
+        // Entries inspected and re-parked this pass (backoff deadline
+        // still in the future): bounds the rotation.
+        let mut parked = 0usize;
+        while self.sims.len() < self.cfg.smax as usize && parked < self.launch_queue.len() {
             let Some(q) = self.launch_queue.pop_front() else {
                 break;
             };
+            if q.not_before > now {
+                self.launch_queue.push_back(q);
+                parked += 1;
+                continue;
+            }
             // Re-check coverage: productions may have landed meanwhile.
             let uncovered = (*q.keys.start()..=*q.keys.end())
                 .any(|k| !self.cache.peek(k) && !self.pending.contains_key(&k));
@@ -765,6 +1058,7 @@ impl DataVirtualizer {
                     started: false,
                     production: IntervalTracker::new(self.cfg.ema_alpha),
                     waited_keys,
+                    last_progress: now,
                 },
             );
             actions.push(DvAction::Launch {
@@ -852,27 +1146,99 @@ impl DataVirtualizer {
         self.drain_launch_queue(actions, now);
     }
 
-    /// Tears down an ended (finished/failed) sim, failing any waiters
-    /// on keys it claimed but never produced with `reason`. Unlike the
-    /// kill path ([`remove_sim`](Self::remove_sim), reachable only with
-    /// `waited_keys == 0`), an ended sim may leave waiters behind.
-    fn end_sim(&mut self, sim: SimId, reason: &str, actions: &mut Vec<DvAction>) {
+    /// A production attempt failed (crash, watchdog kill, corrupt
+    /// output): the supervision tier decides between retry, drop, and
+    /// poison. See the module doc's state machine.
+    fn fail_sim(&mut self, sim: SimId, cause: FailCode, now: SimTime, actions: &mut Vec<DvAction>) {
         let Some(state) = self.sims.remove(&sim) else {
             return;
         };
+        self.stats.failures += 1;
+        self.unindex_prefetch(&state, sim);
+        // Release the sim's pending claims; remember whether any
+        // released key has live waiters (a prefetch someone caught up
+        // with is demand work now).
+        let mut waited = false;
         for k in *state.keys.start()..=*state.keys.end() {
             if self.pending.get(&k) == Some(&sim) {
                 self.pending.remove(&k);
-                for c in self.waiting.remove(&k).unwrap_or_default() {
-                    actions.push(DvAction::NotifyFailed {
-                        client: c,
-                        key: k,
-                        reason: reason.to_string(),
-                    });
+                if self.waiting.get(&k).is_some_and(|w| !w.is_empty()) {
+                    waited = true;
                 }
             }
         }
-        self.unindex_prefetch(&state, sim);
+        let demand = state.reason == LaunchReason::Miss || waited;
+        if !demand {
+            // Speculative failure: drop. The slot it frees may unblock
+            // queued work.
+            self.drain_launch_queue(actions, now);
+            return;
+        }
+        let interval = self.cfg.steps.interval_of(*state.keys.start());
+        let sup = self.cfg.supervisor;
+        let entry = self.retry.entry(interval).or_insert(RetryState {
+            attempts: 0,
+            last_cause: cause,
+            quarantined_until: None,
+        });
+        entry.attempts += 1;
+        entry.last_cause = cause;
+        let attempts = entry.attempts;
+        if attempts < sup.attempt_budget {
+            // Retry: park the range on the queue behind a backoff
+            // deadline. Waiters stay registered — the retried launch
+            // re-claims their keys when it drains.
+            self.stats.sim_retries += 1;
+            let delay = backoff_delay(&sup, interval, attempts);
+            self.launch_queue.push_back(QueuedLaunch {
+                keys: state.keys.clone(),
+                level: 0,
+                reason: LaunchReason::Miss,
+                client: state.client,
+                not_before: now.saturating_add(delay),
+            });
+            self.drain_launch_queue(actions, now);
+            return;
+        }
+        // Budget exhausted: poison the interval. Waiters on its keys
+        // get a typed failure coloured by the terminal cause; the
+        // quarantine short-circuits everything after them.
+        entry.quarantined_until = Some(now.saturating_add(sup.quarantine));
+        self.stats.intervals_poisoned += 1;
+        let verdict = match cause {
+            FailCode::HangKilled => FailCode::HangKilled,
+            FailCode::CorruptOutput => FailCode::CorruptOutput,
+            _ => FailCode::Poisoned,
+        };
+        let reason = format!(
+            "interval {interval} poisoned: {} production attempts failed (last: {})",
+            attempts,
+            cause.as_str()
+        );
+        let keys = self.cfg.steps.interval_keys(interval);
+        for k in *keys.start()..=*keys.end() {
+            // A key another live sim still claims keeps its waiters —
+            // that producer may yet deliver.
+            if self.pending.contains_key(&k) {
+                continue;
+            }
+            for c in self.take_waiters(k) {
+                actions.push(DvAction::NotifyFailed {
+                    client: c,
+                    key: k,
+                    code: verdict,
+                    reason: reason.clone(),
+                });
+            }
+        }
+        // Purge parked retries of the poisoned interval (there can be
+        // stale ones when overlapping ranges failed at different
+        // times); prefetches into it are refused at request time.
+        let steps = self.cfg.steps;
+        self.launch_queue.retain(|q| {
+            !(q.reason == LaunchReason::Miss && steps.interval_of(*q.keys.start()) == interval)
+        });
+        self.drain_launch_queue(actions, now);
     }
 
     /// Removes a sim: its `sims` entry, its pending productions (walking
@@ -974,6 +1340,7 @@ impl DataVirtualizer {
             }
             DvEvent::SimStarted { sim } => {
                 if let Some(s) = self.sims.get_mut(&sim) {
+                    s.last_progress = now;
                     if !s.started {
                         s.started = true;
                         let latency = now.saturating_since(s.launched_at);
@@ -986,17 +1353,38 @@ impl DataVirtualizer {
             }
             DvEvent::SimFinished { sim } => {
                 // A finished sim has normally produced (and so cleared
-                // the `pending` entry of) every key it claimed. If one
-                // finishes in violation of that contract, fail the
-                // orphaned waiters instead of leaving them blocked on a
-                // key nothing will ever produce.
-                self.end_sim(sim, "producer finished without this step", actions);
-                self.drain_launch_queue(actions, now);
+                // the `pending` entry of) every key it claimed. One
+                // that finishes in violation of that contract is a
+                // failed production attempt: the supervisor retries it
+                // (waiters stay parked) or poisons the interval.
+                let violated = self.sims.get(&sim).is_some_and(|s| {
+                    (*s.keys.start()..=*s.keys.end())
+                        .any(|k| self.pending.get(&k) == Some(&sim))
+                });
+                if violated {
+                    self.fail_sim(sim, FailCode::Retriable, now, actions);
+                } else {
+                    self.remove_sim(sim);
+                    self.drain_launch_queue(actions, now);
+                }
             }
             DvEvent::SimFailed { sim } => {
-                self.stats.failures += 1;
-                self.end_sim(sim, "re-simulation failed", actions);
-                self.drain_launch_queue(actions, now);
+                self.fail_sim(sim, FailCode::Retriable, now, actions);
+            }
+            DvEvent::OutputCorrupt { sim, key } => {
+                self.stats.corrupt_outputs += 1;
+                // The producer may still be alive, writing more junk:
+                // kill it, then let the supervisor decide retry/poison.
+                // An unknown sim (already reaped/killed; or a prefetch
+                // spill into a foreign shard) has nothing to supervise
+                // beyond the count — `key`'s claim, if any, belongs to
+                // a sim this shard does know.
+                if self.sims.contains_key(&sim) {
+                    actions.push(DvAction::Kill { sim });
+                    self.fail_sim(sim, FailCode::CorruptOutput, now, actions);
+                } else {
+                    let _ = key;
+                }
             }
             DvEvent::ClientGone { client } => {
                 if let Some(state) = self.clients.remove(&client) {
@@ -1061,6 +1449,7 @@ impl DataVirtualizer {
             actions.push(DvAction::NotifyFailed {
                 client,
                 key,
+                code: FailCode::Other,
                 reason: format!(
                     "key {key} outside the timeline 1..={}",
                     self.cfg.steps.n_outputs()
@@ -1106,6 +1495,37 @@ impl DataVirtualizer {
 
         self.stats.misses += 1;
 
+        // Poison quarantine: a miss inside a quarantined interval gets
+        // an immediate typed failure — no waiter, no launch, no retry
+        // storm. (Hits above still serve: poison gates production, not
+        // residency.) An expired quarantine clears here, resetting the
+        // interval's attempt budget.
+        let interval = self.cfg.steps.interval_of(key);
+        if let Some(r) = self.retry.get(&interval) {
+            if let Some(until) = r.quarantined_until {
+                if now < until {
+                    let attempts = r.attempts;
+                    let verdict = match r.last_cause {
+                        FailCode::HangKilled => FailCode::HangKilled,
+                        FailCode::CorruptOutput => FailCode::CorruptOutput,
+                        _ => FailCode::Poisoned,
+                    };
+                    actions.push(DvAction::NotifyFailed {
+                        client,
+                        key,
+                        code: verdict,
+                        reason: format!(
+                            "interval {interval} quarantined: {attempts} production \
+                             attempts failed (last: {})",
+                            r.last_cause.as_str()
+                        ),
+                    });
+                    return;
+                }
+                self.retry.remove(&interval);
+            }
+        }
+
         // Pollution detection (§IV-C): a miss on a step this client's
         // own agent prefetched *and nobody is producing* means it was
         // produced and evicted before use — reset every agent. A
@@ -1130,7 +1550,11 @@ impl DataVirtualizer {
 
         self.add_waiter(key, client);
 
-        let covered = self.pending.contains_key(&key);
+        // A queued Miss entry (an `s_max`-deferred launch or a parked
+        // retry) counts as coverage: piggyback on it instead of
+        // enqueueing a duplicate — and, for retries, instead of
+        // bypassing the backoff.
+        let covered = self.pending.contains_key(&key) || self.queued_miss_covers(key);
         if !covered {
             let range = self.cfg.steps.resim_range(key);
             let level = self
@@ -1174,6 +1598,7 @@ impl DataVirtualizer {
     ) {
         self.stats.produced_steps += 1;
         if let Some(s) = self.sims.get_mut(&sim) {
+            s.last_progress = now;
             if !s.started {
                 // Front-ends that do not report SimStarted separately:
                 // the first production marks the start.
@@ -1186,6 +1611,11 @@ impl DataVirtualizer {
             }
             s.next_key = key + 1;
         }
+        // A successful production clears its interval's retry record:
+        // fresh attempt budget, and an active quarantine lifts early
+        // when a foreign producer (an overlapping prefetch block)
+        // covers the poisoned range after all.
+        self.retry.remove(&self.cfg.steps.interval_of(key));
         // Take the waiters while `pending[key]` still names its producer
         // (the waited-key counters resolve through it), then clear the
         // pending entry.
@@ -1225,6 +1655,25 @@ impl DataVirtualizer {
             actions.push(DvAction::NotifyReady { client: *c, key });
         }
     }
+}
+
+/// Backoff before retry attempt `attempt` (1-based) of `interval`:
+/// `base · 2^(attempt-1)` capped, with deterministic ±25 % jitter from
+/// an FNV-1a hash of `(interval, attempt)` — deterministic so virtual
+/// replays are bit-reproducible, spread so a cluster-wide outage does
+/// not re-launch every interval on the same tick.
+fn backoff_delay(sup: &crate::model::SupervisorCfg, interval: u64, attempt: u32) -> Dur {
+    let base = sup.backoff_base.as_nanos().max(1);
+    let exp = base.saturating_mul(1u64 << (attempt.saturating_sub(1)).min(32));
+    let capped = exp.min(sup.backoff_cap.as_nanos().max(1));
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in interval.to_le_bytes().into_iter().chain(attempt.to_le_bytes()) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let span = capped / 4;
+    let jitter = if span == 0 { 0 } else { h % (2 * span + 1) };
+    Dur::from_nanos(capped - span + jitter)
 }
 
 /// Splits `block` into its maximal sub-ranges of owned keys. Ownership
@@ -1385,7 +1834,9 @@ impl DvRouter {
             // spills productions into neighbour shards, where they are
             // absorbed exactly like the unsharded DV absorbs
             // productions from unknown sims.
-            DvEvent::FileProduced { key, .. } => EventRoute::Shard(self.shard_of_key(*key)),
+            DvEvent::FileProduced { key, .. } | DvEvent::OutputCorrupt { key, .. } => {
+                EventRoute::Shard(self.shard_of_key(*key))
+            }
             DvEvent::SimStarted { sim }
             | DvEvent::SimFinished { sim }
             | DvEvent::SimFailed { sim } => EventRoute::Shard(self.shard_of_sim(*sim)),
@@ -1597,6 +2048,38 @@ impl ShardedDv {
         self.shards.iter().map(DataVirtualizer::queued_launches).sum()
     }
 
+    /// Pending-producer claims across all shards (leak probe).
+    pub fn pending_keys(&self) -> usize {
+        self.shards.iter().map(DataVirtualizer::pending_keys).sum()
+    }
+
+    /// Non-empty waiter lists across all shards (leak probe).
+    pub fn waiting_keys(&self) -> usize {
+        self.shards.iter().map(DataVirtualizer::waiting_keys).sum()
+    }
+
+    /// Quarantined intervals across all shards.
+    pub fn quarantined_intervals(&self, now: SimTime) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.quarantined_intervals(now))
+            .sum()
+    }
+
+    /// Runs every shard's supervision timers (see
+    /// [`DataVirtualizer::tick`]).
+    pub fn tick(&mut self, now: SimTime, actions: &mut Vec<DvAction>) {
+        for shard in &mut self.shards {
+            shard.tick(now, actions);
+        }
+    }
+
+    /// Earliest supervision deadline across the shards (see
+    /// [`DataVirtualizer::next_due`]).
+    pub fn next_due(&self, now: SimTime) -> Option<SimTime> {
+        self.shards.iter().filter_map(|s| s.next_due(now)).min()
+    }
+
     /// Lifetime statistics summed over the shards.
     pub fn stats(&self) -> DvStats {
         let mut total = DvStats::default();
@@ -1781,23 +2264,242 @@ mod tests {
         assert!(dv.stats().evictions > 0);
     }
 
-    #[test]
-    fn sim_failure_fails_waiters() {
-        let mut dv = DataVirtualizer::new(cfg(100));
-        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 6 });
-        let sim = a
+    fn launched_sim(actions: &[DvAction]) -> SimId {
+        actions
             .iter()
             .find_map(|x| match x {
                 DvAction::Launch { sim, .. } => Some(*sim),
                 _ => None,
             })
-            .unwrap();
+            .expect("expected a launch")
+    }
+
+    #[test]
+    fn sim_failure_retries_instead_of_failing_waiters() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 6 });
+        let sim = launched_sim(&a);
         let actions = dv.handle(t(1), DvEvent::SimFailed { sim });
-        assert!(actions
-            .iter()
-            .any(|x| matches!(x, DvAction::NotifyFailed { client: 1, key: 6, .. })));
+        assert!(
+            !actions
+                .iter()
+                .any(|x| matches!(x, DvAction::NotifyFailed { .. })),
+            "attempt 1 must retry, not fail the waiter: {actions:?}"
+        );
         assert_eq!(dv.stats().failures, 1);
+        assert_eq!(dv.stats().sim_retries, 1);
         assert_eq!(dv.active_sims(), 0);
+        assert_eq!(dv.queued_launches(), 1, "retry parked in backoff");
+
+        // The backoff deadline is strictly future and bounded by
+        // cap · 1.25; a tick before it must not launch.
+        let due = dv.next_due(t(1)).expect("a parked retry has a deadline");
+        assert!(due > t(1));
+        let mut early = Vec::new();
+        dv.tick(t(1), &mut early);
+        assert!(!early.iter().any(|x| matches!(x, DvAction::Launch { .. })));
+
+        // At the deadline the retry launches; production then serves
+        // the original waiter — the failure was transparent.
+        let mut retried = Vec::new();
+        dv.tick(due, &mut retried);
+        let sim2 = launched_sim(&retried);
+        assert_ne!(sim2, sim);
+        let notifs = produce_all(&mut dv, &retried, due);
+        assert!(notifs
+            .iter()
+            .any(|x| matches!(x, DvAction::NotifyReady { client: 1, key: 6 })));
+        assert_eq!(dv.pending_keys(), 0);
+        assert_eq!(dv.waiting_keys(), 0);
+        assert_eq!(dv.quarantined_intervals(due), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_poisons_and_quarantine_expires() {
+        let sup = crate::model::SupervisorCfg {
+            attempt_budget: 2,
+            backoff_base: Dur::from_nanos(1),
+            backoff_cap: Dur::from_nanos(1),
+            quarantine: Dur::from_secs(100),
+            ..Default::default()
+        };
+        let mut dv = DataVirtualizer::new(cfg(100).with_supervisor(sup));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 6 });
+        let sim = launched_sim(&a);
+        dv.handle(t(1), DvEvent::SimFailed { sim });
+        let mut retried = Vec::new();
+        dv.tick(t(2), &mut retried);
+        let sim2 = launched_sim(&retried);
+
+        // Second failure exhausts the budget: typed poison verdict.
+        let actions = dv.handle(t(3), DvEvent::SimFailed { sim: sim2 });
+        let code = actions
+            .iter()
+            .find_map(|x| match x {
+                DvAction::NotifyFailed { client: 1, key: 6, code, .. } => Some(*code),
+                _ => None,
+            })
+            .expect("waiter must fail on exhaustion");
+        assert_eq!(code, FailCode::Poisoned);
+        assert_eq!(dv.stats().intervals_poisoned, 1);
+        assert_eq!(dv.stats().sim_retries, 1);
+        // Nothing leaked.
+        assert_eq!(dv.active_sims(), 0);
+        assert_eq!(dv.queued_launches(), 0);
+        assert_eq!(dv.pending_keys(), 0);
+        assert_eq!(dv.waiting_keys(), 0);
+        assert_eq!(dv.quarantined_intervals(t(3)), 1);
+
+        // Short-circuit inside the window: typed failure, no launch.
+        let b = dv.handle(t(4), DvEvent::Acquire { client: 2, key: 7 });
+        assert!(matches!(
+            b[0],
+            DvAction::NotifyFailed { client: 2, key: 7, code: FailCode::Poisoned, .. }
+        ));
+        assert!(!b.iter().any(|x| matches!(x, DvAction::Launch { .. })));
+        assert_eq!(dv.waiting_keys(), 0, "short-circuit must not park a waiter");
+
+        // After expiry the interval gets a fresh budget.
+        let c = dv.handle(t(3 + 100), DvEvent::Acquire { client: 2, key: 7 });
+        let sim3 = launched_sim(&c);
+        let notifs = produce_all(&mut dv, &c, t(104));
+        assert!(notifs
+            .iter()
+            .any(|x| matches!(x, DvAction::NotifyReady { client: 2, key: 7 })));
+        let _ = sim3;
+        assert_eq!(dv.quarantined_intervals(t(104)), 0);
+    }
+
+    #[test]
+    fn hang_watchdog_kills_and_retries_stalled_sim() {
+        let sup = crate::model::SupervisorCfg {
+            hang_multiplier: 1.0,
+            hang_floor: Dur::from_secs(5),
+            hang_ceiling: Dur::from_secs(5),
+            backoff_base: Dur::from_nanos(1),
+            backoff_cap: Dur::from_nanos(1),
+            ..Default::default()
+        };
+        let mut dv = DataVirtualizer::new(cfg(100).with_supervisor(sup));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 6 });
+        let sim = launched_sim(&a);
+
+        // Alive sims are left alone.
+        let mut quiet = Vec::new();
+        dv.tick(t(4), &mut quiet);
+        assert!(quiet.is_empty(), "{quiet:?}");
+
+        // Past the deadline: kill + retry, waiter still parked.
+        let mut acted = Vec::new();
+        dv.tick(t(100), &mut acted);
+        assert!(acted.iter().any(|x| matches!(x, DvAction::Kill { sim: s } if *s == sim)));
+        assert_eq!(dv.stats().sims_hung_killed, 1);
+        assert_eq!(dv.stats().sim_retries, 1);
+        assert!(!acted.iter().any(|x| matches!(x, DvAction::NotifyFailed { .. })));
+
+        // The retry drains (backoff ~1ns) and production unwedges the
+        // interval.
+        let mut retried = Vec::new();
+        dv.tick(t(101), &mut retried);
+        let notifs = produce_all(&mut dv, &retried, t(102));
+        assert!(notifs
+            .iter()
+            .any(|x| matches!(x, DvAction::NotifyReady { client: 1, key: 6 })));
+        assert_eq!(dv.pending_keys(), 0);
+        assert_eq!(dv.waiting_keys(), 0);
+    }
+
+    #[test]
+    fn corrupt_output_kills_producer_and_colours_the_poison() {
+        let sup = crate::model::SupervisorCfg {
+            attempt_budget: 1,
+            ..Default::default()
+        };
+        let mut dv = DataVirtualizer::new(cfg(100).with_supervisor(sup));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 6 });
+        let sim = launched_sim(&a);
+        dv.handle(t(1), DvEvent::SimStarted { sim });
+        let actions = dv.handle(t(2), DvEvent::OutputCorrupt { sim, key: 5 });
+        assert!(actions.iter().any(|x| matches!(x, DvAction::Kill { sim: s } if *s == sim)));
+        assert_eq!(dv.stats().corrupt_outputs, 1);
+        // Budget of 1: the terminal cause colours the verdict.
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            DvAction::NotifyFailed { client: 1, key: 6, code: FailCode::CorruptOutput, .. }
+        )));
+        assert_eq!(dv.stats().intervals_poisoned, 1);
+        // A second report for the dead sim only counts.
+        let again = dv.handle(t(3), DvEvent::OutputCorrupt { sim, key: 6 });
+        assert!(again.is_empty());
+        assert_eq!(dv.stats().corrupt_outputs, 2);
+    }
+
+    #[test]
+    fn failed_prefetch_is_dropped_not_retried() {
+        // Digest-driven prefetch launch (as in the pollution tests),
+        // then fail it with nobody waiting: the speculative attempt is
+        // dropped — no retry entry, no queued launch, no poison.
+        let mut dv = DataVirtualizer::new(cfg(100).with_prefetch(true));
+        dv.set_digest_observation(true);
+        dv.seed_estimates(Dur::from_secs(4), Dur::from_secs(1));
+        let records: Vec<_> = (1..=4).map(|k| digest_record(1, k, k)).collect();
+        let mut actions = Vec::new();
+        dv.ingest_digest(t(10), &records, 0, &|_| true, &mut actions);
+        let sim = actions
+            .iter()
+            .find_map(|a| match a {
+                DvAction::Launch { sim, reason: LaunchReason::Prefetch, .. } => Some(*sim),
+                _ => None,
+            })
+            .expect("scan must plan a prefetch");
+        let after = dv.handle(t(11), DvEvent::SimFailed { sim });
+        assert!(!after.iter().any(|x| matches!(x, DvAction::NotifyFailed { .. })));
+        assert_eq!(dv.stats().sim_retries, 0);
+        assert_eq!(dv.stats().intervals_poisoned, 0);
+        assert_eq!(dv.stats().failures, 1);
+        assert_eq!(dv.quarantined_intervals(t(11)), 0);
+    }
+
+    #[test]
+    fn duplicate_miss_piggybacks_on_parked_retry() {
+        let mut dv = DataVirtualizer::new(cfg(100));
+        let a = dv.handle(t(0), DvEvent::Acquire { client: 1, key: 6 });
+        let sim = launched_sim(&a);
+        dv.handle(t(1), DvEvent::SimFailed { sim });
+        assert_eq!(dv.queued_launches(), 1);
+        // A second client missing on the same interval while the retry
+        // is parked must wait on it, not bypass the backoff.
+        let b = dv.handle(t(1), DvEvent::Acquire { client: 2, key: 7 });
+        assert!(!b.iter().any(|x| matches!(x, DvAction::Launch { .. })));
+        assert_eq!(dv.queued_launches(), 1);
+        let due = dv.next_due(t(1)).unwrap();
+        let mut retried = Vec::new();
+        dv.tick(due, &mut retried);
+        let notifs = produce_all(&mut dv, &retried, due);
+        assert!(notifs
+            .iter()
+            .any(|x| matches!(x, DvAction::NotifyReady { client: 1, key: 6 })));
+        assert!(notifs
+            .iter()
+            .any(|x| matches!(x, DvAction::NotifyReady { client: 2, key: 7 })));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let sup = crate::model::SupervisorCfg::default();
+        let d1 = backoff_delay(&sup, 3, 1);
+        assert_eq!(d1, backoff_delay(&sup, 3, 1), "deterministic");
+        // Within ±25 % of the nominal value.
+        let nominal = sup.backoff_base.as_nanos();
+        assert!(d1.as_nanos() >= nominal - nominal / 4);
+        assert!(d1.as_nanos() <= nominal + nominal / 4);
+        // Monotone cap: huge attempt counts saturate at cap · 1.25.
+        let dmax = backoff_delay(&sup, 3, 40);
+        let cap = sup.backoff_cap.as_nanos();
+        assert!(dmax.as_nanos() <= cap + cap / 4);
+        assert!(dmax.as_nanos() >= cap - cap / 4);
+        // Different intervals jitter differently (with these inputs).
+        assert_ne!(backoff_delay(&sup, 1, 2), backoff_delay(&sup, 2, 2));
     }
 
     #[test]

@@ -50,11 +50,11 @@ pub mod sys;
 pub mod vharness;
 pub mod wire;
 
-pub use client::{AcquireRequest, SimfsClient, SimfsStatus};
+pub use client::{AcquireRequest, FailError, SimfsClient, SimfsStatus};
 pub use driver::{PatternDriver, SimDriver};
 pub use dv::{
-    ClientId, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, LaunchReason, ShardedDv,
-    SimId,
+    ClientId, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, FailCode, LaunchReason,
+    ShardedDv, SimId,
 };
 pub use model::{ContextCfg, StepMath};
 pub use replay::{replay, ReplayStats};

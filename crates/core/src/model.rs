@@ -22,6 +22,7 @@
 
 use serde::{Deserialize, Serialize};
 use simbatch::ParallelismMap;
+use simkit::Dur;
 use std::ops::RangeInclusive;
 
 /// Cadence math for one simulation context.
@@ -186,6 +187,11 @@ pub struct ContextCfg {
     /// (§IV-C1c: "the smoothing factor is a parameter defined in the
     /// simulation context").
     pub ema_alpha: f64,
+    /// Production-supervision knobs: retry/backoff, poison quarantine,
+    /// hang watchdog (see the [`crate::dv`] module doc). Defaulted so
+    /// configurations written before supervision existed still load.
+    #[serde(default)]
+    pub supervisor: SupervisorCfg,
 }
 
 impl ContextCfg {
@@ -203,6 +209,7 @@ impl ContextCfg {
             prefetch_ramp: false,
             parallelism: ParallelismMap::unconstrained(1, 4),
             ema_alpha: 0.5,
+            supervisor: SupervisorCfg::default(),
         }
     }
 
@@ -233,6 +240,56 @@ impl ContextCfg {
     pub fn with_prefetch_ramp(mut self, on: bool) -> Self {
         self.prefetch_ramp = on;
         self
+    }
+
+    /// Builder: production-supervision knobs.
+    pub fn with_supervisor(mut self, supervisor: SupervisorCfg) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+}
+
+/// Production-supervision knobs of one context: how the DV reacts when
+/// a re-simulation fails, stalls, or produces corrupt output (see the
+/// retry/poison state machine in the [`crate::dv`] module doc).
+///
+/// Defaults are sized for real deployments — wall-clock floors in the
+/// tens of seconds — so millisecond-scale test productions never trip
+/// the watchdog by accident; the fault-injection tests shrink them
+/// explicitly.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SupervisorCfg {
+    /// Launch attempts per restart interval before it is poisoned.
+    pub attempt_budget: u32,
+    /// Backoff before retry attempt `n` is `backoff_base · 2^(n-1)`,
+    /// capped at [`backoff_cap`](Self::backoff_cap), with deterministic
+    /// ±25 % jitter.
+    pub backoff_base: Dur,
+    /// Upper bound of the exponential backoff ladder.
+    pub backoff_cap: Dur,
+    /// How long a poisoned interval short-circuits acquires before the
+    /// quarantine expires and the attempt budget resets.
+    pub quarantine: Dur,
+    /// The hang deadline is the current `alpha_sim` (not yet started)
+    /// or `tau_sim` (producing) estimate scaled by this factor ...
+    pub hang_multiplier: f64,
+    /// ... clamped to no less than this floor ...
+    pub hang_floor: Dur,
+    /// ... and no more than this ceiling.
+    pub hang_ceiling: Dur,
+}
+
+impl Default for SupervisorCfg {
+    fn default() -> SupervisorCfg {
+        SupervisorCfg {
+            attempt_budget: 3,
+            backoff_base: Dur::from_millis(100),
+            backoff_cap: Dur::from_secs(10),
+            quarantine: Dur::from_secs(30),
+            hang_multiplier: 8.0,
+            hang_floor: Dur::from_secs(30),
+            hang_ceiling: Dur::from_mins(10),
+        }
     }
 }
 

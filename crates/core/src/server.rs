@@ -139,7 +139,8 @@
 
 use crate::driver::SimDriver;
 use crate::dv::{
-    ClientId, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, EventRoute, ShardedDv, SimId,
+    ClientId, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, EventRoute, FailCode,
+    ShardedDv, SimId,
 };
 use crate::model::{ContextCfg, StepMath};
 use crate::prefetch::{AccessLog, AccessRecord, ACCESS_LOG_CAPACITY};
@@ -547,6 +548,7 @@ impl CtxRuntime {
                 DvAction::NotifyFailed {
                     client,
                     key,
+                    code,
                     reason,
                 } => {
                     if let Some(reqs) = core.pending.remove(&(client, key)) {
@@ -556,6 +558,7 @@ impl CtxRuntime {
                                 Response::Failed {
                                     req_id,
                                     key,
+                                    code,
                                     reason: reason.clone(),
                                 },
                             ));
@@ -836,6 +839,40 @@ impl CtxRuntime {
             // Sims finished, failed or were killed: a quiesce waiter
             // (shutdown) may now observe an idle context.
             inner.notify_quiesce();
+            // A failure may have scheduled supervision work (a
+            // backed-off retry, a quarantine expiry) with no job left
+            // in flight to keep the reaper polling: wake it so it
+            // re-arms its timer against the new earliest deadline.
+            inner.notify_reaper();
+        }
+    }
+
+    /// Earliest supervision deadline across this context's shards
+    /// (parked retry launches, hang-watchdog deadlines, quarantine
+    /// expiries); `None` when nothing is scheduled.
+    fn supervision_due(&self, now: SimTime) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(|shard| shard.lock().dv.next_due(now))
+            .min()
+    }
+
+    /// One supervision pass: fire each shard's watchdog/retry tick and
+    /// commit the effects (hang kills, retry launches, typed failure
+    /// notifications, quarantine expiries).
+    fn supervise(&self, inner: &Inner, fx: &mut Effects) {
+        let now = inner.now();
+        for s in 0..self.shards.len() {
+            self.with_shard(
+                s,
+                fx,
+                |core| {
+                    let DvCore { dv, actions, .. } = core;
+                    dv.tick(now, actions);
+                },
+                |_, _| {},
+            );
+            self.commit(inner, fx);
         }
     }
 
@@ -1027,6 +1064,7 @@ impl CtxRuntime {
                             Response::Failed {
                                 req_id,
                                 key,
+                                code: FailCode::Other,
                                 reason: format!(
                                     "key {key} belongs to cluster member {} (this is {} of {})",
                                     self.router_member_of(key),
@@ -1213,6 +1251,7 @@ impl CtxRuntime {
                     None => Response::Failed {
                         req_id,
                         key,
+                        code: FailCode::Other,
                         reason: "file not materialized; acquire it first".to_string(),
                     },
                 };
@@ -1458,6 +1497,7 @@ impl CtxRuntime {
                     Response::Failed {
                         req_id,
                         key,
+                        code: FailCode::Other,
                         reason: reason.clone(),
                     },
                 ));
@@ -1482,7 +1522,15 @@ impl CtxRuntime {
                              {dead_member} (takeover epoch {origin_epoch})"
                         )
                     };
-                    fx.outbox.push((client, Response::Failed { req_id, key, reason }));
+                    fx.outbox.push((
+                        client,
+                        Response::Failed {
+                            req_id,
+                            key,
+                            code: FailCode::Other,
+                            reason,
+                        },
+                    ));
                     continue;
                 }
                 fx.evicts
@@ -1677,6 +1725,33 @@ impl CtxRuntime {
         self.commit(inner, fx);
     }
 
+    /// Output-integrity gate: a file a simulator claims to have
+    /// produced must exist, structurally verify as SDF when it carries
+    /// the SDF magic, and match the recorded `SIMFS_Bitrep` checksum
+    /// when one exists for the key. Returns why the file is
+    /// unacceptable, or `Ok` to admit it to residency.
+    fn verify_produced(&self, key: u64) -> Result<(), String> {
+        let name = self.driver.filename_of(key);
+        let bytes = self
+            .storage
+            .read(&name)
+            .map_err(|e| format!("claimed output {name} unreadable: {e}"))?;
+        if simstore::sdf::looks_like_sdf(&bytes) {
+            simstore::sdf::verify(&bytes)
+                .map_err(|e| format!("produced {name} fails SDF verification: {e}"))?;
+        }
+        if let Some(&recorded) = self.checksums.get(&key) {
+            let produced = self.driver.checksum(&bytes);
+            if produced != recorded {
+                return Err(format!(
+                    "produced {name} checksum {produced:#018x} differs from \
+                     recorded {recorded:#018x}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Processes one simulator request; `false` ends the session.
     fn handle_simulator_request(
         &self,
@@ -1688,7 +1763,17 @@ impl CtxRuntime {
     ) -> bool {
         let event = match req {
             Request::SimStarted => DvEvent::SimStarted { sim },
-            Request::FileProduced { key, size } => DvEvent::FileProduced { sim, key, size },
+            Request::FileProduced { key, size } => match self.verify_produced(key) {
+                Ok(()) => DvEvent::FileProduced { sim, key, size },
+                Err(_why) => {
+                    // Never let a bad file reach residency: delete it so
+                    // a retry re-produces from scratch, then hand the DV
+                    // the corruption (kills the producer, colours the
+                    // interval's retry state).
+                    let _ = self.storage.delete(&self.driver.filename_of(key));
+                    DvEvent::OutputCorrupt { sim, key }
+                }
+            },
             Request::SimFinished => {
                 *finished = true;
                 fx.completed.push(sim);
@@ -2120,8 +2205,12 @@ fn run_reaper(inner: &Arc<Inner>) {
     loop {
         // Park until jobs are in flight (or shutdown). Zero wakeups,
         // zero syscalls while the daemon is idle — except while
-        // recovery leases await re-assertion, when the park becomes a
-        // timed wait so expiry fires without any job traffic.
+        // recovery leases await re-assertion (50 ms timed wait) or
+        // supervision work is scheduled (a backed-off retry, a hang
+        // deadline, a quarantine expiry), when the park becomes a timed
+        // wait until the earliest deadline. Transitions that create
+        // supervision work notify the condvar, so a long wait re-arms
+        // against any newly earlier deadline.
         {
             let mut stop = inner.reap_signal.0.lock().unwrap();
             loop {
@@ -2129,6 +2218,22 @@ fn run_reaper(inner: &Arc<Inner>) {
                     return;
                 }
                 if inner.contexts.values().any(|rt| rt.ledger.lock().jobs_in_flight()) {
+                    break;
+                }
+                let now = inner.now();
+                if let Some(due) = inner
+                    .contexts
+                    .values()
+                    .filter_map(|rt| rt.supervision_due(now))
+                    .min()
+                {
+                    let wait = Duration::from_nanos(due.saturating_since(now).as_nanos())
+                        .max(Duration::from_millis(1));
+                    let (guard, _) = inner.reap_signal.1.wait_timeout(stop, wait).unwrap();
+                    stop = guard;
+                    if *stop {
+                        return;
+                    }
                     break;
                 }
                 if inner.contexts.values().any(|rt| rt.has_leases()) {
@@ -2147,10 +2252,13 @@ fn run_reaper(inner: &Arc<Inner>) {
             }
         }
         // Poll pass: translate orphaned exits into DV events, expire
-        // recovery leases whose client never returned.
+        // recovery leases whose client never returned, and run the
+        // supervision tick (hang watchdog, due retries, quarantine
+        // sweeps).
         for runtime in inner.contexts.values() {
             runtime.expire_leases(inner, &mut fx);
             runtime.reap_exits(inner, &mut fx);
+            runtime.supervise(inner, &mut fx);
         }
         // Re-poll cadence while jobs run; shutdown interrupts the wait.
         {
@@ -2401,6 +2509,24 @@ fn unknown_context_error(inner: &Inner, context: &str) -> Response {
     }
 }
 
+/// Deterministic fault injection for [`ThreadSimLauncher`]: exercises
+/// the daemon's supervision tier (retry, integrity gate) end to end in
+/// tests and `bench_daemon --sim-faults`. Both knobs are once-only: a
+/// retried production succeeds, so faults are transient by
+/// construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimFaultSpec {
+    /// The first this-many sims to launch each crash once (disconnect
+    /// after `SimStarted`, producing nothing). Retries are fresh sim
+    /// ids, so they run clean once the quota is spent; a quota at or
+    /// above `attempt_budget` therefore drives an interval to poison.
+    pub crash_quota: u64,
+    /// When non-zero, each key divisible by this is first published as
+    /// a truncated SDF container (magic but no valid body), tripping
+    /// the daemon's output-integrity gate.
+    pub corrupt_every: u64,
+}
+
 /// In-process simulator launcher: "launches" jobs as threads that
 /// connect back to the daemon like a real simulator process would. Used
 /// by tests and the virtual examples; production deployments use
@@ -2416,6 +2542,11 @@ pub struct ThreadSimLauncher {
     /// Restart latency before the first step (simulates `alpha_sim`).
     restart_delay: std::time::Duration,
     kill_flags: Mutex<HashMap<JobId, Arc<AtomicBool>>>,
+    faults: SimFaultSpec,
+    /// Sim ids that already crashed (each id fails at most once).
+    crashed_sims: Arc<Mutex<HashSet<u64>>>,
+    /// Keys already published corrupt (each key corrupts at most once).
+    corrupted_keys: Arc<Mutex<HashSet<u64>>>,
 }
 
 impl ThreadSimLauncher {
@@ -2433,7 +2564,16 @@ impl ThreadSimLauncher {
             step_delay,
             restart_delay,
             kill_flags: Mutex::new(HashMap::new()),
+            faults: SimFaultSpec::default(),
+            crashed_sims: Arc::new(Mutex::new(HashSet::new())),
+            corrupted_keys: Arc::new(Mutex::new(HashSet::new())),
         }
+    }
+
+    /// Builder: inject deterministic transient faults.
+    pub fn with_faults(mut self, faults: SimFaultSpec) -> Self {
+        self.faults = faults;
+        self
     }
 
     fn parse_arg(spec: &SpawnSpec, flag: &str) -> Option<u64> {
@@ -2471,6 +2611,12 @@ impl JobLauncher for ThreadSimLauncher {
         let make_bytes = Arc::clone(&self.make_bytes);
         let name_of = Arc::clone(&self.name_of);
         let (restart_delay, step_delay) = (self.restart_delay, self.step_delay);
+        let faults = self.faults;
+        let crash_this_sim = faults.crash_quota != 0 && {
+            let mut crashed = self.crashed_sims.lock();
+            (crashed.len() as u64) < faults.crash_quota && crashed.insert(sim_id)
+        };
+        let corrupted_keys = Arc::clone(&self.corrupted_keys);
 
         std::thread::spawn(move || {
             let run = || -> io::Result<()> {
@@ -2488,6 +2634,13 @@ impl JobLauncher for ThreadSimLauncher {
                 let _ = wire::read_frame(&mut stream)?; // HelloOk
                 std::thread::sleep(restart_delay);
                 wire::write_frame(&mut stream, &Request::SimStarted.encode())?;
+                if crash_this_sim {
+                    // Injected transient crash: disconnect without
+                    // SimFinished, producing nothing. The daemon maps
+                    // the hangup to SimFailed and the supervision tier
+                    // retries with a fresh sim.
+                    return Ok(());
+                }
                 let area = StorageArea::create(&data_dir, u64::MAX)?;
                 for key in start..=stop {
                     if killed.load(Ordering::SeqCst) {
@@ -2497,7 +2650,16 @@ impl JobLauncher for ThreadSimLauncher {
                         return Ok(());
                     }
                     std::thread::sleep(step_delay);
-                    let bytes = make_bytes(key);
+                    let corrupt = faults.corrupt_every != 0
+                        && key % faults.corrupt_every == 0
+                        && corrupted_keys.lock().insert(key);
+                    let bytes = if corrupt {
+                        // SDF magic with a truncated body: fails the
+                        // daemon's structural verification.
+                        b"SDF1".to_vec()
+                    } else {
+                        make_bytes(key)
+                    };
                     let size = area.publish(&name_of(key), &bytes)?;
                     wire::write_frame(&mut stream, &Request::FileProduced { key, size }.encode())?;
                 }

@@ -19,10 +19,21 @@
 //! partition is `DelayMember` over a subset). Faults fire at exact
 //! virtual times, so every crash/recovery interleaving is replayable
 //! bit-for-bit and can be asserted equivalent to a faultless run.
+//!
+//! Besides whole-member faults, the plan can script *production*
+//! faults against the DV's supervision tier: [`Fault::FailSim`]
+//! crashes sim attempts (transient or persistent), [`Fault::HangSim`]
+//! wedges a started sim so only the hang watchdog can reclaim it, and
+//! [`Fault::CorruptOutput`] feeds the integrity gate a bad step. The
+//! harness plays the daemon reaper's role by scheduling a wake-up at
+//! each member DV's [`next_due`](DataVirtualizer::next_due) deadline,
+//! so backoff retries, watchdog kills, and quarantine expiries all
+//! happen at exact virtual times.
 
 use crate::client::successor_taker;
 use crate::dv::{
-    ClusterMember, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, ShardedDv, SimId,
+    ClusterMember, DataVirtualizer, DvAction, DvEvent, DvRouter, DvStats, FailCode, ShardedDv,
+    SimId,
 };
 use crate::model::ContextCfg;
 use simbatch::{Cluster, JobId, QueueModel};
@@ -359,6 +370,39 @@ pub enum Fault {
         /// How long the member stays unreachable.
         lasting: Dur,
     },
+    /// From `at` on, sim attempts at `member` crash right after being
+    /// scheduled (`SimFailed` before producing anything). Transient
+    /// crashes exactly one attempt — the supervised backoff retry then
+    /// succeeds; persistent crashes every attempt, marching the
+    /// interval through its budget into poison quarantine.
+    FailSim {
+        /// Member index.
+        member: usize,
+        /// Virtual time the fault arms.
+        at: Dur,
+        /// Crash every attempt (vs exactly one).
+        persistent: bool,
+    },
+    /// The next sim started at `member` after `at` hangs: it reports
+    /// `SimStarted` and then never produces. Only the member's hang
+    /// watchdog ([`DataVirtualizer::tick`]) can reclaim its slot and
+    /// its waiters.
+    HangSim {
+        /// Member index.
+        member: usize,
+        /// Virtual time the fault arms.
+        at: Dur,
+    },
+    /// The next step produced at `member` after `at` is corrupt: the
+    /// integrity gate rejects it (`OutputCorrupt`) before residency,
+    /// the producing sim is killed, and the retry machinery takes
+    /// over.
+    CorruptOutput {
+        /// Member index.
+        member: usize,
+        /// Virtual time the fault arms.
+        at: Dur,
+    },
 }
 
 /// A deterministic fault schedule.
@@ -374,8 +418,11 @@ pub struct FaultReport {
     /// Keys served (ready), in service order. Retried accesses appear
     /// once — service, not attempts.
     pub served: Vec<u64>,
-    /// Keys that failed (out-of-timeline), in failure order.
+    /// Keys that failed (out-of-timeline, poisoned, ...), in failure
+    /// order.
     pub failed: Vec<u64>,
+    /// Machine-readable failure codes, aligned with `failed`.
+    pub failed_codes: Vec<FailCode>,
     /// Virtual time from first access to last consumption.
     pub completion: Dur,
     /// Client re-handshakes across all members.
@@ -402,6 +449,16 @@ pub struct FaultReport {
     /// Per-member WAL journals at the end of the run, for invariant
     /// assertions (exactly-once `ClientGone`, no leaked pins).
     pub journals: Vec<Vec<WalRecord>>,
+    /// Supervision and production counters summed over the members
+    /// still alive at the end of the run (a crashed member's counters
+    /// die with it, exactly as in the real daemon).
+    pub stats: DvStats,
+    /// Supervision state left behind once every event has drained:
+    /// running sims + queued launches + pending-production claims +
+    /// un-notified waiters, summed over live members. Any non-zero
+    /// value is a leak — faults must never strand an `s_max` slot, a
+    /// claim, or a waiter.
+    pub residue: u64,
 }
 
 /// A K-member virtual cluster with scripted faults: the DES analogue
@@ -463,6 +520,15 @@ struct VMember {
     leases: HashMap<u64, SimTime>,
     /// Unreachable until this time ([`Fault::DelayMember`]).
     delayed_until: SimTime,
+    /// Armed [`Fault::FailSim`] crashes left (`u64::MAX` = persistent).
+    fail_next: u64,
+    /// Armed [`Fault::HangSim`] hangs left.
+    hang_next: u64,
+    /// Armed [`Fault::CorruptOutput`] corruptions left.
+    corrupt_next: u64,
+    /// Earliest supervision wake-up already scheduled (dedups the
+    /// reaper-analogue events; `None` = nothing armed).
+    tick_at: Option<SimTime>,
 }
 
 struct VSim {
@@ -496,6 +562,7 @@ struct FaultWorld {
     next_client: u64,
     served: Vec<u64>,
     failed: Vec<u64>,
+    failed_codes: Vec<FailCode>,
     reconnects: u64,
     pins_reasserted: u64,
     pins_recovered: u64,
@@ -542,6 +609,10 @@ impl FaultedClusterExperiment {
                     needs_reconnect: false,
                     leases: HashMap::new(),
                     delayed_until: SimTime::ZERO,
+                    fail_next: 0,
+                    hang_next: 0,
+                    corrupt_next: 0,
+                    tick_at: None,
                 }
             })
             .collect();
@@ -571,6 +642,7 @@ impl FaultedClusterExperiment {
             next_client: ANALYSIS_CLIENT + 1,
             served: Vec::new(),
             failed: Vec::new(),
+            failed_codes: Vec::new(),
             reconnects: 0,
             pins_reasserted: 0,
             pins_recovered: 0,
@@ -609,6 +681,26 @@ impl FaultedClusterExperiment {
                         w.members[member].delayed_until = en.now() + lasting;
                     });
                 }
+                Fault::FailSim { member, at, persistent } => {
+                    engine.schedule_at(SimTime::ZERO + at, move |_en, w: &mut FaultWorld| {
+                        let m = &mut w.members[member];
+                        m.fail_next = if persistent {
+                            u64::MAX
+                        } else {
+                            m.fail_next.saturating_add(1)
+                        };
+                    });
+                }
+                Fault::HangSim { member, at } => {
+                    engine.schedule_at(SimTime::ZERO + at, move |_en, w: &mut FaultWorld| {
+                        w.members[member].hang_next += 1;
+                    });
+                }
+                Fault::CorruptOutput { member, at } => {
+                    engine.schedule_at(SimTime::ZERO + at, move |_en, w: &mut FaultWorld| {
+                        w.members[member].corrupt_next += 1;
+                    });
+                }
             }
         }
         engine.schedule_at(SimTime::ZERO, |en, w: &mut FaultWorld| issue_next(en, w));
@@ -623,9 +715,21 @@ impl FaultedClusterExperiment {
                 world.failed
             )
         });
+        let mut stats = DvStats::default();
+        let mut residue = 0u64;
+        for m in &world.members {
+            if let Some(dv) = &m.dv {
+                stats.accumulate(dv.stats());
+                residue += (dv.active_sims()
+                    + dv.queued_launches()
+                    + dv.pending_keys()
+                    + dv.waiting_keys()) as u64;
+            }
+        }
         FaultReport {
             served: world.served,
             failed: world.failed,
+            failed_codes: world.failed_codes,
             completion: done_at.saturating_since(SimTime::ZERO),
             reconnects: world.reconnects,
             pins_reasserted: world.pins_reasserted,
@@ -637,6 +741,8 @@ impl FaultedClusterExperiment {
             pins_handed_back: world.pins_handed_back,
             takeover_epoch: world.takeover_epoch,
             journals: world.members.iter().map(|m| m.journal.clone()).collect(),
+            stats,
+            residue,
         }
     }
 }
@@ -663,6 +769,7 @@ fn crash_member(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize) {
     member.incarnation += 1;
     member.needs_reconnect = true;
     member.leases.clear();
+    member.tick_at = None;
     // Whatever this member had primed as a taker died with it.
     w.taken_intervals[m].clear();
     w.sims.retain(|&(owner, _, _), _| owner != m);
@@ -725,6 +832,7 @@ fn restart_member(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, rec
         }
     }
     member.journal = state.snapshot(member.epoch);
+    member.tick_at = None;
     member.dv = Some(dv);
 }
 
@@ -933,19 +1041,20 @@ fn issue_next(en: &mut Engine<FaultWorld>, w: &mut FaultWorld) {
         .expect("reachable member has a DV")
         .handle(en.now(), DvEvent::Acquire { client, key });
     let mut ready = false;
-    let mut failed = false;
+    let mut failed: Option<FailCode> = None;
     for a in &actions {
         match a {
             DvAction::NotifyReady { client: c, key: k } if *c == client && *k == key => {
                 ready = true
             }
-            DvAction::NotifyFailed { key: k, .. } if *k == key => failed = true,
+            DvAction::NotifyFailed { key: k, code, .. } if *k == key => failed = Some(*code),
             _ => {}
         }
     }
     apply_member_actions(en, w, m, actions);
-    if failed {
+    if let Some(code) = failed {
         w.failed.push(key);
+        w.failed_codes.push(code);
         en.schedule_in(Dur::ZERO, issue_next);
     } else if ready {
         grant(en, w, m, key);
@@ -1165,10 +1274,11 @@ fn apply_member_actions(
             DvAction::NotifyReady { client, key } => {
                 deliver_ready(en, w, m, client, key);
             }
-            DvAction::NotifyFailed { client, key, .. } => {
+            DvAction::NotifyFailed { client, key, code, .. } => {
                 if w.waiting_for == Some((m, client, key)) {
                     w.waiting_for = None;
                     w.failed.push(key);
+                    w.failed_codes.push(code);
                     en.schedule_in(Dur::ZERO, issue_next);
                 }
             }
@@ -1198,6 +1308,48 @@ fn apply_member_actions(
             }
         }
     }
+    // Any of the above may have armed a backoff retry, a hang
+    // deadline, or a quarantine: play the daemon reaper and make sure
+    // a wake-up is scheduled at the earliest one.
+    schedule_member_tick(en, w, m);
+}
+
+/// Arms member `m`'s supervision wake-up at its DV's next deadline —
+/// the DES analogue of the daemon's reaper thread. A deadline that is
+/// already due reports as `now`; that only happens for slot-blocked
+/// queue entries, which drain event-driven when `SimFinished` frees a
+/// slot, so only strictly-future deadlines need a timer (scheduling at
+/// `now` would spin the engine without advancing virtual time).
+fn schedule_member_tick(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize) {
+    let now = en.now();
+    let Some(dv) = w.members[m].dv.as_ref() else {
+        return;
+    };
+    let Some(due) = dv.next_due(now) else {
+        return;
+    };
+    if due <= now || w.members[m].tick_at.is_some_and(|t| t <= due) {
+        return;
+    }
+    w.members[m].tick_at = Some(due);
+    let inc = w.members[m].incarnation;
+    en.schedule_at(due, move |en, w: &mut FaultWorld| member_tick(en, w, m, inc));
+}
+
+/// One supervision wake-up: run the member DV's timers (watchdog
+/// kills, quarantine expiry, backoff drains), apply what falls out,
+/// re-arm.
+fn member_tick(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, inc: u64) {
+    if w.members[m].incarnation != inc {
+        return; // armed by a previous incarnation
+    }
+    w.members[m].tick_at = None;
+    let Some(dv) = w.members[m].dv.as_mut() else {
+        return;
+    };
+    let mut actions = Vec::new();
+    dv.tick(en.now(), &mut actions);
+    apply_member_actions(en, w, m, actions);
 }
 
 /// Delivers a `NotifyReady` to the blocked analysis — deferred while
@@ -1222,12 +1374,31 @@ fn vsim_started(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, inc: 
     if w.members[m].incarnation != inc || w.sims.get(&(m, inc, sim)).is_none_or(|s| s.killed) {
         return;
     }
+    if w.members[m].fail_next > 0 {
+        // Armed FailSim: the attempt dies before a sign of life (OOM,
+        // scheduler kill). The supervisor decides retry vs poison.
+        w.members[m].fail_next -= 1;
+        w.sims.remove(&(m, inc, sim));
+        let actions = w.members[m]
+            .dv
+            .as_mut()
+            .expect("live incarnation has a DV")
+            .handle(en.now(), DvEvent::SimFailed { sim });
+        apply_member_actions(en, w, m, actions);
+        return;
+    }
     let actions = w.members[m]
         .dv
         .as_mut()
         .expect("live incarnation has a DV")
         .handle(en.now(), DvEvent::SimStarted { sim });
     apply_member_actions(en, w, m, actions);
+    if w.members[m].hang_next > 0 {
+        // Armed HangSim: one sign of life, then silence — no produce
+        // is ever scheduled, so only the watchdog can reclaim it.
+        w.members[m].hang_next -= 1;
+        return;
+    }
     en.schedule_in(w.exp.tau_sim, move |en, w: &mut FaultWorld| {
         vsim_produce(en, w, m, inc, sim)
     });
@@ -1245,6 +1416,21 @@ fn vsim_produce(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, inc: 
         return;
     }
     let key = s.next_key;
+    if w.members[m].corrupt_next > 0 {
+        // Armed CorruptOutput: the step never reaches the shared
+        // storage — the integrity gate rejects it before residency,
+        // and the DV kills the producer and hands it to the retry
+        // machinery.
+        w.members[m].corrupt_next -= 1;
+        w.sims.remove(&(m, inc, sim));
+        let actions = w.members[m]
+            .dv
+            .as_mut()
+            .expect("live incarnation has a DV")
+            .handle(en.now(), DvEvent::OutputCorrupt { sim, key });
+        apply_member_actions(en, w, m, actions);
+        return;
+    }
     s.next_key += 1;
     let finished = s.next_key > s.keys_end;
     w.storage.insert(key, w.exp.output_bytes);
@@ -1278,7 +1464,7 @@ fn vsim_produce(en: &mut Engine<FaultWorld>, w: &mut FaultWorld, m: usize, inc: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::StepMath;
+    use crate::model::{StepMath, SupervisorCfg};
 
     /// Fig. 7/8-style micro configuration: Δr = 4 outputs per interval,
     /// alpha = 2 s, tau_sim = 1 s, tau_cli = 0.5 s.
@@ -1807,6 +1993,160 @@ mod tests {
                 WalState::replay(&rep.journals[1]).pins.is_empty(),
                 "no pin may outlive the expired lease"
             );
+        }
+    }
+
+    /// A single-member cluster with a supervision profile scaled to
+    /// the virtual timescale: fast backoff and a 2 s quarantine (so
+    /// its expiry is observable inside one run), a 5 s hang floor.
+    fn supervised() -> FaultedClusterExperiment {
+        let steps = StepMath::new(1, 4, 10_000);
+        let supervisor = SupervisorCfg {
+            backoff_base: Dur::from_millis(100),
+            backoff_cap: Dur::from_secs(1),
+            quarantine: Dur::from_secs(2),
+            hang_floor: Dur::from_secs(5),
+            ..SupervisorCfg::default()
+        };
+        let cfg = ContextCfg::new("vp", steps, 1, 1_000_000)
+            .with_policy("lru")
+            .with_smax(4)
+            .with_prefetch(false)
+            .with_supervisor(supervisor);
+        FaultedClusterExperiment {
+            cfg,
+            members: 1,
+            alpha_sim: Dur::from_secs(2),
+            tau_sim: Dur::from_secs(1),
+            queue: QueueModel::None,
+            lease_timeout: Dur::from_secs(60),
+            pin_window: 4,
+            failover: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn transient_sim_failure_retries_transparently() {
+        let exp = supervised();
+        let accesses: Vec<u64> = (1..=12).collect();
+        let clean = exp.run(&accesses, TAU_CLI, &FaultPlan::default());
+        assert_eq!(clean.stats.sim_retries, 0);
+        assert_eq!(clean.stats.failures, 0);
+        let plan = FaultPlan {
+            faults: vec![Fault::FailSim { member: 0, at: Dur::ZERO, persistent: false }],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        // Same final ready set as the faultless run: the retry is
+        // invisible to the analysis except for the time it cost.
+        assert_eq!(rep.served, clean.served);
+        assert!(rep.failed.is_empty());
+        assert_eq!(rep.stats.sim_retries, 1);
+        assert_eq!(rep.stats.failures, 1);
+        assert_eq!(rep.stats.intervals_poisoned, 0);
+        assert_eq!(rep.residue, 0);
+        assert!(rep.completion > clean.completion);
+    }
+
+    #[test]
+    fn persistent_failure_poisons_within_budget() {
+        let exp = supervised();
+        let accesses: Vec<u64> = vec![1, 2, 3];
+        let plan = FaultPlan {
+            faults: vec![Fault::FailSim { member: 0, at: Dur::ZERO, persistent: true }],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert!(rep.served.is_empty());
+        // The first waiter rides the full attempt ladder; the interval
+        // then short-circuits the rest from quarantine, all typed.
+        assert_eq!(rep.failed, vec![1, 2, 3]);
+        assert_eq!(rep.failed_codes, vec![FailCode::Poisoned; 3]);
+        assert_eq!(rep.stats.failures, 3, "exactly the attempt budget");
+        assert_eq!(rep.stats.sim_retries, 2);
+        assert_eq!(rep.stats.intervals_poisoned, 1);
+        assert_eq!(rep.residue, 0, "no leaked slot, claim, or waiter");
+    }
+
+    #[test]
+    fn hung_sim_is_killed_by_watchdog_and_retried() {
+        let exp = supervised();
+        let accesses: Vec<u64> = (1..=8).collect();
+        let clean = exp.run(&accesses, TAU_CLI, &FaultPlan::default());
+        let plan = FaultPlan {
+            faults: vec![Fault::HangSim { member: 0, at: Dur::ZERO }],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep.served, clean.served);
+        assert!(rep.failed.is_empty());
+        assert_eq!(rep.stats.sims_hung_killed, 1);
+        assert_eq!(rep.stats.sim_retries, 1);
+        assert_eq!(rep.stats.intervals_poisoned, 0);
+        assert_eq!(rep.residue, 0);
+        // The interval sat wedged until the hang deadline (8× the 1 s
+        // tau estimate) lapsed and the watchdog stepped in.
+        assert!(rep.completion >= clean.completion + Dur::from_secs(5));
+    }
+
+    #[test]
+    fn corrupt_output_poisons_then_heals_after_quarantine() {
+        let exp = supervised();
+        // Three armed corruptions exhaust interval 1's budget through
+        // the integrity gate; serving key 6 (interval 2) then burns
+        // enough virtual time for the 2 s quarantine to lapse, so the
+        // re-access of key 2 relaunches cleanly.
+        let accesses: Vec<u64> = vec![2, 6, 2];
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::CorruptOutput { member: 0, at: Dur::ZERO },
+                Fault::CorruptOutput { member: 0, at: Dur::ZERO },
+                Fault::CorruptOutput { member: 0, at: Dur::ZERO },
+            ],
+        };
+        let rep = exp.run(&accesses, TAU_CLI, &plan);
+        assert_eq!(rep.failed, vec![2]);
+        assert_eq!(rep.failed_codes, vec![FailCode::CorruptOutput]);
+        assert_eq!(rep.served, vec![6, 2]);
+        assert_eq!(rep.stats.corrupt_outputs, 3);
+        assert_eq!(rep.stats.failures, 3);
+        assert_eq!(rep.stats.sim_retries, 2);
+        assert_eq!(rep.stats.intervals_poisoned, 1);
+        assert_eq!(rep.residue, 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Under any scripted mix of production faults, every acquire
+        /// resolves — Ready or a typed Failed (`run` panics on
+        /// deadlock, so completing at all is the liveness half) — and
+        /// the supervision tier leaks nothing: no `s_max` slot, no
+        /// pending-production claim, no waiter.
+        #[test]
+        fn production_faults_never_leak_slots_claims_or_waiters(
+            faults in proptest::collection::vec(
+                (0u8..3, 0u64..15_000, proptest::arbitrary::any::<bool>()),
+                0..4,
+            ),
+        ) {
+            let exp = supervised();
+            let accesses: Vec<u64> = (1..=12).collect();
+            let plan = FaultPlan {
+                faults: faults
+                    .into_iter()
+                    .map(|(kind, at_ms, persistent)| {
+                        let at = Dur::from_millis(at_ms);
+                        match kind {
+                            0 => Fault::FailSim { member: 0, at, persistent },
+                            1 => Fault::HangSim { member: 0, at },
+                            _ => Fault::CorruptOutput { member: 0, at },
+                        }
+                    })
+                    .collect(),
+            };
+            let rep = exp.run(&accesses, TAU_CLI, &plan);
+            proptest::prop_assert_eq!(rep.residue, 0);
+            proptest::prop_assert_eq!(rep.served.len() + rep.failed.len(), accesses.len());
+            proptest::prop_assert_eq!(rep.failed.len(), rep.failed_codes.len());
         }
     }
 }

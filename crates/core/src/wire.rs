@@ -11,6 +11,7 @@
 //! the interposition points of §III-B ("we intercept the create and
 //! close calls issued by the simulator").
 
+use crate::dv::FailCode;
 use bytes::{Buf, BufMut, BytesMut};
 use std::io::{self, Read, Write};
 
@@ -203,6 +204,9 @@ pub enum Response {
         req_id: u64,
         /// Failed key.
         key: u64,
+        /// Machine-readable failure classification (stable; unknown
+        /// values decode as [`FailCode::Other`]).
+        code: FailCode,
         /// Reason string (surfaced in `SIMFS_Status`).
         reason: String,
     },
@@ -635,11 +639,13 @@ impl Response {
             Response::Failed {
                 req_id,
                 key,
+                code,
                 reason,
             } => {
                 buf.put_u8(2);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*key);
+                buf.put_u8(code.as_u8());
                 put_string(buf, reason);
             }
             Response::Queued {
@@ -737,12 +743,13 @@ impl Response {
                 }
             }
             2 => {
-                if buf.remaining() < 16 {
+                if buf.remaining() < 17 {
                     return Err(corrupt("truncated failed"));
                 }
                 Response::Failed {
                     req_id: buf.get_u64_le(),
                     key: buf.get_u64_le(),
+                    code: FailCode::from_u8(buf.get_u8()),
                     reason: get_string(&mut buf)?,
                 }
             }
@@ -1163,8 +1170,22 @@ mod tests {
         roundtrip_resp(Response::Failed {
             req_id: 1,
             key: 2,
+            code: FailCode::Other,
             reason: "restart failed".into(),
         });
+        for code in [
+            FailCode::Retriable,
+            FailCode::Poisoned,
+            FailCode::HangKilled,
+            FailCode::CorruptOutput,
+        ] {
+            roundtrip_resp(Response::Failed {
+                req_id: 9,
+                key: 3,
+                code,
+                reason: code.as_str().into(),
+            });
+        }
         roundtrip_resp(Response::Queued {
             req_id: 4,
             key: 8,

@@ -312,7 +312,7 @@ fn member_rejects_foreign_interval() {
     assert_eq!(status.failed.len(), 1);
     assert_eq!(status.failed[0].0, 2);
     assert!(
-        status.failed[0].1.contains("cluster member 0"),
+        status.failed[0].1.reason.contains("cluster member 0"),
         "reason should name the owner: {}",
         status.failed[0].1
     );
@@ -322,7 +322,7 @@ fn member_rejects_foreign_interval() {
     let status = client.acquire(&[9999]).unwrap();
     assert_eq!(status.failed.len(), 1);
     assert!(
-        status.failed[0].1.contains("outside the timeline"),
+        status.failed[0].1.reason.contains("outside the timeline"),
         "invalid key must get the timeline error on any member: {}",
         status.failed[0].1
     );

@@ -1161,3 +1161,167 @@ fn tick_drain_feeds_agents_from_pure_hit_stream() {
     }
     client.finalize().unwrap();
 }
+
+/// [`start_daemon_cfg`] with supervision knobs tightened for test
+/// timescales and a fault-injecting launcher. Prefetching is off so the
+/// fault counters are exactly the demand path's.
+fn start_supervised_daemon(
+    tag: &str,
+    faults: simfs_core::server::SimFaultSpec,
+    supervisor: simfs_core::model::SupervisorCfg,
+) -> Fixture {
+    let dir = std::env::temp_dir().join(format!(
+        "simfs-daemon-{}-{}-{:?}",
+        tag,
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let storage = StorageArea::create(&dir, u64::MAX).unwrap();
+    let driver = Arc::new(
+        PatternDriver::new("out-", ".sdf", 6)
+            .with_parallelism(ParallelismMap::unconstrained(1, 2)),
+    );
+    let size = step_bytes(1).len() as u64;
+    let steps = StepMath::new(1, 4, 64);
+    let ctx = ContextCfg::new("test-ctx", steps, size, 1000 * size)
+        .with_policy("dcl")
+        .with_smax(4)
+        .with_prefetch(false)
+        .with_supervisor(supervisor);
+    let checksums: HashMap<u64, u64> = (1..=8)
+        .map(|k| (k, simstore::fnv1a64(&step_bytes(k))))
+        .collect();
+    let launcher = Arc::new(
+        ThreadSimLauncher::new(
+            step_bytes,
+            |key| PatternDriver::new("out-", ".sdf", 6).filename_of(key),
+            Duration::from_millis(2),
+            Duration::from_millis(1),
+        )
+        .with_faults(faults),
+    );
+    let server = DvServer::start(
+        ServerConfig {
+            ctx,
+            driver: driver.clone(),
+            storage: storage.clone(),
+            launcher,
+            checksums,
+            dv_shards: 1,
+            cluster: ClusterMember::SOLO,
+            durability: DurabilityCfg::default(),
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    Fixture {
+        server,
+        storage,
+        driver,
+        _dir: dir,
+    }
+}
+
+/// Supervision knobs scaled to test timescales: fast backoff, short
+/// quarantine, watchdog far away (sims here run in milliseconds).
+fn test_supervisor() -> simfs_core::model::SupervisorCfg {
+    simfs_core::model::SupervisorCfg {
+        backoff_base: simkit::Dur::from_millis(2),
+        backoff_cap: simkit::Dur::from_millis(10),
+        quarantine: simkit::Dur::from_secs(2),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn transient_sim_crash_is_retried_transparently() {
+    // One injected crash: the first launched sim dies after SimStarted.
+    // The supervision tier re-enqueues the production after backoff and
+    // the acquire completes as if nothing happened.
+    let faults = simfs_core::server::SimFaultSpec {
+        crash_quota: 1,
+        corrupt_every: 0,
+    };
+    let fx = start_supervised_daemon("retry", faults, test_supervisor());
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let status = client.acquire(&[2]).unwrap();
+    assert!(status.ok(), "{status:?}");
+    assert_eq!(status.ready, vec![2]);
+    let stats = fx.server.stats();
+    assert_eq!(stats.sim_retries, 1, "{stats:?}");
+    assert_eq!(stats.failures, 1, "{stats:?}");
+    assert_eq!(stats.intervals_poisoned, 0, "{stats:?}");
+    client.finalize().unwrap();
+}
+
+#[test]
+fn corrupt_output_is_deleted_killed_and_reproduced() {
+    // Key 7's first production is published as a truncated SDF
+    // container. The integrity gate must delete it, kill the producer,
+    // and the retry must re-produce the whole interval cleanly.
+    let faults = simfs_core::server::SimFaultSpec {
+        crash_quota: 0,
+        corrupt_every: 7,
+    };
+    let fx = start_supervised_daemon("corrupt", faults, test_supervisor());
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let status = client.acquire(&[7]).unwrap();
+    assert!(status.ok(), "{status:?}");
+    assert_eq!(status.ready, vec![7]);
+    let stats = fx.server.stats();
+    assert_eq!(stats.corrupt_outputs, 1, "{stats:?}");
+    assert_eq!(stats.sim_retries, 1, "{stats:?}");
+    assert_eq!(stats.intervals_poisoned, 0, "{stats:?}");
+    // What ended up resident must be a structurally valid container
+    // matching the recorded checksum — the corrupt attempt left no
+    // trace.
+    let bytes = fx.storage.read(&fx.driver.filename_of(7)).unwrap();
+    simstore::Dataset::decode(&bytes).expect("resident file must verify");
+    assert_eq!(simstore::fnv1a64(&bytes), simstore::fnv1a64(&step_bytes(7)));
+    client.finalize().unwrap();
+}
+
+#[test]
+fn persistent_crash_exhausts_budget_and_poisons_with_typed_code() {
+    // Every sim crashes once (unbounded quota; each retry is a fresh
+    // sim id, so every attempt dies). The interval must poison after
+    // the attempt budget and the waiter must receive a typed Poisoned
+    // failure; later acquires of the interval short-circuit without
+    // launching.
+    let faults = simfs_core::server::SimFaultSpec {
+        crash_quota: u64::MAX,
+        corrupt_every: 0,
+    };
+    let fx = start_supervised_daemon("poison", faults, test_supervisor());
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let status = client.acquire(&[2]).unwrap();
+    assert!(!status.ok(), "{status:?}");
+    assert_eq!(status.failed.len(), 1);
+    assert_eq!(status.failed[0].0, 2);
+    assert_eq!(
+        status.failed[0].1.code,
+        simfs_core::dv::FailCode::Poisoned,
+        "{status:?}"
+    );
+    assert!(
+        status.failed[0].1.reason.contains("poisoned"),
+        "{status:?}"
+    );
+    let stats = fx.server.stats();
+    assert_eq!(stats.failures, 3, "one per attempt: {stats:?}");
+    assert_eq!(stats.sim_retries, 2, "{stats:?}");
+    assert_eq!(stats.intervals_poisoned, 1, "{stats:?}");
+    // A different key of the same interval: immediate typed failure,
+    // no new production attempt.
+    let status = client.acquire(&[3]).unwrap();
+    assert!(!status.ok(), "{status:?}");
+    assert_eq!(
+        status.failed[0].1.code,
+        simfs_core::dv::FailCode::Poisoned,
+        "{status:?}"
+    );
+    let stats = fx.server.stats();
+    assert_eq!(stats.failures, 3, "quarantine must not relaunch: {stats:?}");
+    client.finalize().unwrap();
+}

@@ -2,6 +2,7 @@
 //! never panic or loop; valid messages roundtrip through real frames.
 
 use proptest::prelude::*;
+use simfs_core::dv::FailCode;
 use simfs_core::wire::{
     read_frame, write_frame, ClientKind, FrameBatch, FrameReader, Membership, Request, Response,
 };
@@ -108,8 +109,24 @@ fn arb_response() -> impl Strategy<Value = Response> {
         (any::<u64>(), any::<u64>())
             .prop_map(|(client_id, epoch)| Response::HelloOk { client_id, epoch }),
         (any::<u64>(), any::<u64>()).prop_map(|(req_id, key)| Response::Ready { req_id, key }),
-        (any::<u64>(), any::<u64>(), "[ -~]{0,40}")
-            .prop_map(|(req_id, key, reason)| Response::Failed { req_id, key, reason }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::sample::select(vec![
+                FailCode::Retriable,
+                FailCode::Poisoned,
+                FailCode::HangKilled,
+                FailCode::CorruptOutput,
+                FailCode::Other,
+            ]),
+            "[ -~]{0,40}",
+        )
+            .prop_map(|(req_id, key, code, reason)| Response::Failed {
+                req_id,
+                key,
+                code,
+                reason,
+            }),
         (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(req_id, key, est_wait_ms)| {
             Response::Queued {
                 req_id,

@@ -137,18 +137,26 @@ impl JobLauncher for ProcessLauncher {
     fn reap(&self) -> Vec<(JobId, bool)> {
         let mut children = self.children.lock().expect("launcher lock");
         let mut done = Vec::new();
-        children.retain(|&job, child| match child.try_wait() {
-            Ok(Some(status)) => {
-                done.push((job, status.success()));
+        children.retain(|&job, child| match classify_exit(child.try_wait()) {
+            Some(success) => {
+                done.push((job, success));
                 false
             }
-            Ok(None) => true,
-            Err(_) => {
-                done.push((job, false));
-                false
-            }
+            None => true,
         });
         done
+    }
+}
+
+/// Maps one `try_wait` poll to a reap decision: `Some(success)` retires
+/// the child, `None` keeps polling. An `Err` from the poll retires the
+/// child as failed — carrying it would re-poll a wedged handle forever
+/// and hang the job's waiters, the exact silent-carry bug this replaces.
+fn classify_exit(poll: io::Result<Option<std::process::ExitStatus>>) -> Option<bool> {
+    match poll {
+        Ok(Some(status)) => Some(status.success()),
+        Ok(None) => None,
+        Err(_) => Some(false),
     }
 }
 
@@ -224,6 +232,24 @@ mod tests {
     fn kill_unknown_job_is_noop() {
         let launcher = ProcessLauncher::new();
         launcher.kill(JobId(9)).unwrap();
+    }
+
+    #[test]
+    fn classify_exit_covers_all_poll_outcomes() {
+        use std::os::unix::process::ExitStatusExt;
+        let clean = std::process::ExitStatus::from_raw(0);
+        assert_eq!(classify_exit(Ok(Some(clean))), Some(true));
+        // Non-zero exit and death-by-signal both fail.
+        let failed = std::process::ExitStatus::from_raw(1 << 8);
+        assert_eq!(classify_exit(Ok(Some(failed))), Some(false));
+        let signalled = std::process::ExitStatus::from_raw(9);
+        assert_eq!(classify_exit(Ok(Some(signalled))), Some(false));
+        // Still running: keep polling.
+        assert_eq!(classify_exit(Ok(None)), None);
+        // A broken poll retires the job as failed instead of carrying
+        // it forever.
+        let err = io::Error::other("waitpid exploded");
+        assert_eq!(classify_exit(Err(err)), Some(false));
     }
 
     #[test]

@@ -435,6 +435,21 @@ impl Dataset {
     }
 }
 
+/// Is this byte buffer an SDF container at all? (Magic check only —
+/// used to decide whether [`verify`] applies to a produced file.)
+pub fn looks_like_sdf(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC
+}
+
+/// Structural verification of an encoded SDF container: footer
+/// checksum, magic, version, shapes, truncation. Exactly the checks
+/// [`Dataset::decode`] performs, discarding the decoded dataset — the
+/// daemon's output-integrity gate calls this on every produced file
+/// before declaring it resident.
+pub fn verify(bytes: &[u8]) -> Result<(), SdfError> {
+    Dataset::decode(bytes).map(|_| ())
+}
+
 fn tmp_sibling(path: &Path) -> std::path::PathBuf {
     let mut name = path
         .file_name()

@@ -8,14 +8,16 @@
 
 use proc_macro::TokenStream;
 
-/// No-op `#[derive(Serialize)]`: the trait is blanket-implemented.
-#[proc_macro_derive(Serialize)]
+/// No-op `#[derive(Serialize)]`: the trait is blanket-implemented. The
+/// `serde` helper attribute is registered so upstream-style field
+/// annotations (`#[serde(default)]`, ...) parse; they are ignored.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// No-op `#[derive(Deserialize)]`: the trait is blanket-implemented.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
