@@ -586,6 +586,16 @@ fn main() {
             };
             let (fast, slow) = (d(|s| s.acquired_fast), d(|s| s.acquired_slow));
             let (misses, fallbacks) = (d(|s| s.misses), d(|s| s.hit_fallbacks));
+            // Roll-up counters: every DvStats field reaches the JSON
+            // line (simlint's stats check pins this contract).
+            let hits = d(|s| s.hits);
+            let restarts = d(|s| s.restarts);
+            let scheduled_steps = d(|s| s.scheduled_steps);
+            let produced_steps = d(|s| s.produced_steps);
+            let evictions = d(|s| s.evictions);
+            let failures = d(|s| s.failures);
+            let accept_retries = d(|s| s.accept_retries);
+            let takeover_pins_handed_back = d(|s| s.takeover_pins_handed_back);
             // Agent-quality counters (all zero for prefetch-off runs).
             let prefetch_launches = d(|s| s.prefetch_launches);
             let prefetch_hits = d(|s| s.prefetch_hits);
@@ -679,6 +689,11 @@ fn main() {
                  \"round_trips\": {}, \"rtps\": {rtps:.1}, \"p50_us\": {:.1}, \
                  \"p99_us\": {:.1}, \"acquired_fast\": {fast}, \"acquired_slow\": {slow}, \
                  \"misses\": {misses}, \"hit_fallbacks\": {fallbacks}, \
+                 \"hits\": {hits}, \"restarts\": {restarts}, \
+                 \"scheduled_steps\": {scheduled_steps}, \
+                 \"produced_steps\": {produced_steps}, \
+                 \"evictions\": {evictions}, \"failures\": {failures}, \
+                 \"accept_retries\": {accept_retries}, \
                  \"prefetch_launches\": {prefetch_launches}, \
                  \"prefetch_hits\": {prefetch_hits}, \
                  \"pollution_resets\": {pollution_resets}, \"kills\": {kills}, \
@@ -691,6 +706,7 @@ fn main() {
                  \"client_reconnects\": {client_reconnects}, \
                  \"takeover_acquires\": {takeover_acquires}, \
                  \"takeover_intervals_primed\": {takeover_intervals_primed}, \
+                 \"takeover_pins_handed_back\": {takeover_pins_handed_back}, \
                  \"sim_faults\": {sim_faults}, \"sim_retries\": {sim_retries}, \
                  \"sims_hung_killed\": {sims_hung_killed}, \
                  \"intervals_poisoned\": {intervals_poisoned}, \

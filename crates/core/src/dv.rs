@@ -63,6 +63,7 @@ use crate::model::{ContextCfg, StepMath};
 use crate::perfmodel::{Ema, IntervalTracker};
 use crate::prefetch::{AccessRecord, Direction, PrefetchAgent, PrefetchInputs};
 use simcache::{policy_by_name, u64_map, CacheSim, U64Map};
+use simkit::lockrank;
 use simkit::{Dur, SimTime};
 use std::collections::VecDeque;
 use std::ops::RangeInclusive;
@@ -770,6 +771,7 @@ impl DataVirtualizer {
     /// tick (the daemon's reaper, the harness's scheduled wake-ups);
     /// [`next_due`](Self::next_due) says when the next call matters.
     pub fn tick(&mut self, now: SimTime, actions: &mut Vec<DvAction>) {
+        lockrank::assert_none_held_below(lockrank::DV_SHARD.level, "DataVirtualizer::tick");
         let mut stalled = std::mem::take(&mut self.kill_scratch);
         stalled.clear();
         for (&sim, s) in self.sims.iter() {
@@ -1316,6 +1318,11 @@ impl DataVirtualizer {
     /// apply to `actions` (which is *not* cleared — callers owning the
     /// buffer clear it between transitions).
     pub fn handle_into(&mut self, now: SimTime, event: DvEvent, actions: &mut Vec<DvAction>) {
+        // Legal with no locks held (harness use) or under exactly the
+        // owning DV shard lock (daemon use) — never while an inner-tier
+        // lock (WAL, ledger, hit-index) is held, since eviction inside
+        // this call re-enters the hit-index tier.
+        lockrank::assert_none_held_below(lockrank::DV_SHARD.level, "DataVirtualizer::handle_into");
         match event {
             DvEvent::Acquire { client, key } => {
                 self.on_acquire(client, key, now, actions);

@@ -66,6 +66,7 @@
 use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::wire::FrameReader;
 use parking_lot::Mutex;
+use simkit::lockrank;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::io::{self, Write};
@@ -196,6 +197,7 @@ struct ShardHandle {
 
 impl ShardHandle {
     fn inbox_is_empty(&self) -> bool {
+        let _rank = lockrank::held(lockrank::REACTOR_INBOX);
         let inbox = self.inbox.lock();
         inbox.adopt.is_empty() && inbox.sends.is_empty()
     }
@@ -251,7 +253,10 @@ impl Reactor {
     /// The stream must already be non-blocking.
     pub fn submit(&self, stream: TcpStream, handler: Box<dyn Handler>) {
         let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        self.shards[idx].inbox.lock().adopt.push((stream, handler));
+        {
+            let _rank = lockrank::held(lockrank::REACTOR_INBOX);
+            self.shards[idx].inbox.lock().adopt.push((stream, handler));
+        }
         self.shards[idx].wake.signal();
     }
 
@@ -260,11 +265,13 @@ impl Reactor {
     }
 
     fn register(&self, client: u64, conn: ConnRef) {
+        let _rank = lockrank::held(lockrank::REACTOR_REGISTRY);
         self.registry_shard(client).lock().insert(client, conn);
     }
 
     /// Removes a client's routing entry (later sends drop silently).
     pub fn unregister(&self, client: u64) {
+        let _rank = lockrank::held(lockrank::REACTOR_REGISTRY);
         self.registry_shard(client).lock().remove(&client);
     }
 
@@ -276,15 +283,22 @@ impl Reactor {
     /// the caller *is* that shard). Returns `false` — dropping the
     /// bytes — for unknown clients.
     pub fn send_bytes(&self, client: u64, bytes: &[u8]) -> bool {
-        let Some(conn) = self.registry_shard(client).lock().get(&client).copied() else {
-            return false;
+        let conn = {
+            let _rank = lockrank::held(lockrank::REACTOR_REGISTRY);
+            let Some(conn) = self.registry_shard(client).lock().get(&client).copied() else {
+                return false;
+            };
+            conn
         };
         if CURRENT_CONN.with(|c| c.get()) == (conn.shard, conn.token) {
             SELF_STAGE.with(|s| s.borrow_mut().extend_from_slice(bytes));
             return true;
         }
         let shard = &self.shards[conn.shard];
-        shard.inbox.lock().sends.push((conn.token, bytes.to_vec()));
+        {
+            let _rank = lockrank::held(lockrank::REACTOR_INBOX);
+            shard.inbox.lock().sends.push((conn.token, bytes.to_vec()));
+        }
         if CURRENT_SHARD.with(|c| c.get()) != conn.shard {
             shard.wake.signal();
         }
@@ -494,6 +508,7 @@ fn begin_close(
     // dispatch round): they must reach the wire before the close, as
     // they would have under the threaded front-end.
     {
+        let _rank = lockrank::held(lockrank::REACTOR_INBOX);
         let mut inbox = reactor.shards[idx].inbox.lock();
         let mut i = 0;
         while i < inbox.sends.len() {
@@ -538,6 +553,7 @@ fn run_shard(reactor: &Arc<Reactor>, idx: usize, epoll: &Epoll) {
         // sends. Shard-local sends rely on this running again after
         // every dispatch round, before the loop blocks.
         let (adopt, sends) = {
+            let _rank = lockrank::held(lockrank::REACTOR_INBOX);
             let mut inbox = reactor.shards[idx].inbox.lock();
             (
                 std::mem::take(&mut inbox.adopt),

@@ -12,6 +12,16 @@
 //!
 //! # Concurrency model and lock hierarchy
 //!
+//! The machine-readable form of this hierarchy — acquisition levels,
+//! blocking rules, and the source patterns that mark each acquisition
+//! site — lives in `crates/core/LOCKS.md`. That registry is enforced
+//! two ways: statically by `cargo run -p simlint` (lock order and the
+//! blocking denylist, on the source text) and dynamically by
+//! [`simkit::lockrank`] (a debug-build thread-local held-rank stack
+//! asserted on every annotated acquisition). The prose below explains
+//! *why* the tiers exist; when in doubt about what is allowed where,
+//! the registry wins.
+//!
 //! Above everything sits the **cluster tier**, which involves no locks
 //! at all: a deployment may run K daemon *processes* per context
 //! ([`ServerConfig::cluster`]), each owning the restart intervals with
@@ -150,6 +160,7 @@ use crate::wire::{self, ClientKind, FrameBatch, Request, Response};
 use parking_lot::Mutex;
 use simbatch::{JobId, JobLauncher, SpawnSpec};
 use simcache::{u64_map, HitIndex, U64Map, U64Set};
+use simkit::lockrank;
 use simkit::SimTime;
 use simstore::walog::{self, WalRecord, WalState, WriteAheadLog};
 use simstore::StorageArea;
@@ -514,11 +525,13 @@ impl Inner {
     }
 
     fn notify_reaper(&self) {
+        let _rank = lockrank::held(lockrank::REAP_SIGNAL);
         let _guard = self.reap_signal.0.lock().unwrap();
         self.reap_signal.1.notify_all();
     }
 
     fn notify_quiesce(&self) {
+        let _rank = lockrank::held(lockrank::QUIESCE);
         let _guard = self.quiesce.0.lock().unwrap();
         self.quiesce.1.notify_all();
     }
@@ -579,6 +592,7 @@ impl CtxRuntime {
             // mistake a live launch for a completed sim. Launch events
             // are rare (one per re-simulation), so the extra lock is
             // off the hit path. Lock order: shard → ledger, always.
+            let _rank = lockrank::held(lockrank::LEDGER);
             let mut ledger = self.ledger.lock();
             for (sim, _, _) in &fx.launches[launches_before..] {
                 ledger.pending_launch.insert(*sim);
@@ -599,6 +613,7 @@ impl CtxRuntime {
         post: impl FnOnce(&mut DvCore, &mut Effects),
     ) {
         let t0 = Instant::now();
+        let rank = lockrank::held(lockrank::DV_SHARD);
         let mut core = self.shards[s].lock();
         let t1 = Instant::now();
         work(&mut core);
@@ -606,6 +621,7 @@ impl CtxRuntime {
         post(&mut core, fx);
         let t2 = Instant::now();
         drop(core);
+        drop(rank);
         self.perf
             .wait_ns
             .fetch_add((t1 - t0).as_nanos() as u64, Ordering::Relaxed);
@@ -699,6 +715,7 @@ impl CtxRuntime {
         let mut to_kill: Vec<SimId> = Vec::new();
         let mut to_launch: Vec<(SimId, RangeInclusive<u64>, u32)> = Vec::new();
         {
+            let _rank = lockrank::held(lockrank::LEDGER);
             let mut ledger = self.ledger.lock();
             for sim in fx.kills.drain(..) {
                 if ledger.launched.remove(&sim) {
@@ -752,6 +769,7 @@ impl CtxRuntime {
                 );
             let launched = self.launcher.launch(JobId(sim), &spec).is_ok();
             let kill_now = {
+                let _rank = lockrank::held(lockrank::LEDGER);
                 let mut ledger = self.ledger.lock();
                 ledger.launching.remove(&sim);
                 if !launched {
@@ -808,6 +826,7 @@ impl CtxRuntime {
                     let (mut kept, mut i) = (0, 0);
                     while i < fx.evicts.len() {
                         let shard = router.shard_of_key(fx.evicts[i]);
+                        let _rank = lockrank::held(lockrank::DV_SHARD);
                         let core = self.shards[shard].lock();
                         while i < fx.evicts.len()
                             && router.shard_of_key(fx.evicts[i]) == shard
@@ -853,7 +872,10 @@ impl CtxRuntime {
     fn supervision_due(&self, now: SimTime) -> Option<SimTime> {
         self.shards
             .iter()
-            .filter_map(|shard| shard.lock().dv.next_due(now))
+            .filter_map(|shard| {
+                let _rank = lockrank::held(lockrank::DV_SHARD);
+                shard.lock().dv.next_due(now)
+            })
             .min()
     }
 
@@ -886,6 +908,7 @@ impl CtxRuntime {
         if fx.outbox.is_empty() {
             return;
         }
+        let _rank = lockrank::held(lockrank::WAL);
         let mut w = wal.lock();
         let mut any = false;
         for (client, resp) in &fx.outbox {
@@ -936,6 +959,7 @@ impl CtxRuntime {
             return;
         }
         walog::net_pin_window(&mut local.wal_pending);
+        let _rank = lockrank::held(lockrank::WAL);
         let mut w = wal.lock();
         for r in local.wal_pending.drain(..) {
             w.append(r);
@@ -947,6 +971,7 @@ impl CtxRuntime {
     /// expiry): voids all its pins and its lease in one record.
     fn wal_client_gone(&self, client: ClientId) {
         let Some(wal) = &self.wal else { return };
+        let _rank = lockrank::held(lockrank::WAL);
         let mut w = wal.lock();
         w.append(WalRecord::ClientGone {
             client,
@@ -957,6 +982,7 @@ impl CtxRuntime {
 
     /// Any recovery leases still waiting for re-assertion?
     fn has_leases(&self) -> bool {
+        let _rank = lockrank::held(lockrank::LEASES);
         !self.leases.lock().is_empty()
     }
 
@@ -967,6 +993,7 @@ impl CtxRuntime {
     /// eviction forever. Driven from the reaper thread.
     fn expire_leases(&self, inner: &Inner, fx: &mut Effects) {
         let expired: Vec<ClientId> = {
+            let _rank = lockrank::held(lockrank::LEASES);
             let mut leases = self.leases.lock();
             let now = Instant::now();
             let gone: Vec<ClientId> = leases
@@ -995,6 +1022,7 @@ impl CtxRuntime {
         let mut total = DvStats::default();
         let mut active = 0u64;
         for shard in &self.shards {
+            let _rank = lockrank::held(lockrank::DV_SHARD);
             let core = shard.lock();
             total.accumulate(core.dv.stats());
             active += core.dv.active_sims() as u64;
@@ -1009,6 +1037,7 @@ impl CtxRuntime {
         total.lock_transitions = self.perf.transitions.load(Ordering::Relaxed);
         total.accept_retries = self.accept_retries.load(Ordering::Relaxed);
         if let Some(wal) = &self.wal {
+            let _rank = lockrank::held(lockrank::WAL);
             total.wal_appends = wal.lock().log.appended();
         }
         total.wal_replayed = self.wal_replayed;
@@ -1375,7 +1404,10 @@ impl CtxRuntime {
         } else {
             // Claimed exactly once: a second session presenting the
             // same prior identity races the first's ClientGone.
-            let lease = self.leases.lock().remove(&prior_client);
+            let lease = {
+                let _rank = lockrank::held(lockrank::LEASES);
+                self.leases.lock().remove(&prior_client)
+            };
             let lease_live = lease.is_some_and(|deadline| Instant::now() < deadline);
             if !lease_live {
                 for key in keys {
@@ -1421,6 +1453,7 @@ impl CtxRuntime {
                 // client did not re-claim, clears stale waiter state.
                 self.transition(inner, DvEvent::ClientGone { client: prior_client }, fx);
                 if let Some(wal) = &self.wal {
+                    let _rank = lockrank::held(lockrank::WAL);
                     let mut w = wal.lock();
                     for &key in &restored {
                         w.append(WalRecord::PinAcquire {
@@ -1596,6 +1629,7 @@ impl CtxRuntime {
     /// evicted under this member's budget, for the caller's deferred
     /// delete path ([`Effects::evicts`] re-checks under the shard lock).
     fn prime_takeover_interval(&self, interval: u64) -> Vec<u64> {
+        let _rank = lockrank::held(lockrank::TAKEOVER_PRIMED);
         let mut primed = self.takeover_primed.lock();
         if primed.contains(&interval) {
             return Vec::new();
@@ -1610,6 +1644,7 @@ impl CtxRuntime {
                     continue;
                 }
                 let size = self.storage.size_of(&file).unwrap_or(0);
+                let _shard_rank = lockrank::held(lockrank::DV_SHARD);
                 let mut core = self.shards[self.router.shard_of_key(key)].lock();
                 evicted.extend(core.dv.prime(key, size));
             }
@@ -1711,6 +1746,7 @@ impl CtxRuntime {
             self.fast.unpin(key, pins);
         }
         for shard in &self.shards {
+            let _rank = lockrank::held(lockrank::DV_SHARD);
             let mut core = shard.lock();
             core.pending.retain(|(c, _), _| *c != client);
         }
@@ -2163,11 +2199,13 @@ impl DvServer {
         // short timeout only backstops a wakeup lost to the unguarded
         // DV-state read).
         let deadline = Instant::now() + Duration::from_secs(5);
-        let (lock, cv) = &self.inner.quiesce;
+        let (qlock, qcv) = &self.inner.quiesce;
         for ctx in self.inner.contexts.values() {
-            let mut guard = lock.lock().unwrap();
+            let _rank = lockrank::held(lockrank::QUIESCE);
+            let mut guard = qlock.lock().unwrap();
             loop {
                 let idle = ctx.shards.iter().all(|shard| {
+                    let _shard_rank = lockrank::held(lockrank::DV_SHARD);
                     let core = shard.lock();
                     core.dv.active_sims() == 0 && core.dv.queued_launches() == 0
                 });
@@ -2179,7 +2217,7 @@ impl DvServer {
                     break;
                 }
                 let wait = (deadline - now).min(Duration::from_millis(100));
-                guard = cv.wait_timeout(guard, wait).unwrap().0;
+                guard = qcv.wait_timeout(guard, wait).unwrap().0;
             }
         }
         self.inner.shutdown.store(true, Ordering::SeqCst);
@@ -2187,6 +2225,7 @@ impl DvServer {
         self.inner.reactor.shutdown();
         // Release the reaper from its idle park.
         {
+            let _rank = lockrank::held(lockrank::REAP_SIGNAL);
             let mut stop = self.inner.reap_signal.0.lock().unwrap();
             *stop = true;
         }
@@ -2212,12 +2251,17 @@ fn run_reaper(inner: &Arc<Inner>) {
         // supervision work notify the condvar, so a long wait re-arms
         // against any newly earlier deadline.
         {
+            let _rank = lockrank::held(lockrank::REAP_SIGNAL);
             let mut stop = inner.reap_signal.0.lock().unwrap();
             loop {
                 if *stop {
                     return;
                 }
-                if inner.contexts.values().any(|rt| rt.ledger.lock().jobs_in_flight()) {
+                let busy = inner.contexts.values().any(|rt| {
+                    let _ledger_rank = lockrank::held(lockrank::LEDGER);
+                    rt.ledger.lock().jobs_in_flight()
+                });
+                if busy {
                     break;
                 }
                 let now = inner.now();
@@ -2262,6 +2306,7 @@ fn run_reaper(inner: &Arc<Inner>) {
         }
         // Re-poll cadence while jobs run; shutdown interrupts the wait.
         {
+            let _rank = lockrank::held(lockrank::REAP_SIGNAL);
             let stop = inner.reap_signal.0.lock().unwrap();
             if *stop {
                 return;

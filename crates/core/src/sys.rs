@@ -69,12 +69,16 @@ pub struct Epoll {
 impl Epoll {
     /// Creates a close-on-exec epoll instance.
     pub fn new() -> io::Result<Epoll> {
+        // SAFETY: no pointers cross the boundary; the flags value is a
+        // valid epoll_create1 argument and the return is error-checked.
         let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
         Ok(Epoll { fd })
     }
 
     fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
         let mut ev = EpollEvent { events, data: token };
+        // SAFETY: `ev` is a live, properly laid-out (repr(C)) stack
+        // value for the duration of the call; the kernel only reads it.
         cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) }).map(|_| ())
     }
 
@@ -97,6 +101,9 @@ impl Epoll {
     /// the number of filled entries; an interrupting signal returns
     /// `Ok(0)` so callers just re-loop.
     pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: the events pointer and clamped length describe the
+        // caller's live slice; the kernel writes at most that many
+        // entries, each a plain-old-data EpollEvent.
         let n = unsafe {
             epoll_wait(
                 self.fd,
@@ -118,6 +125,8 @@ impl Epoll {
 
 impl Drop for Epoll {
     fn drop(&mut self) {
+        // SAFETY: `self.fd` is the epoll fd this struct owns
+        // exclusively; it is closed exactly once, here.
         unsafe {
             close(self.fd);
         }
@@ -138,6 +147,8 @@ pub struct EventFd {
 impl EventFd {
     /// Creates a non-blocking, close-on-exec eventfd.
     pub fn new() -> io::Result<EventFd> {
+        // SAFETY: no pointers cross the boundary; the flags value is a
+        // valid eventfd argument and the return is error-checked.
         let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
         Ok(EventFd { fd })
     }
@@ -150,6 +161,9 @@ impl EventFd {
     /// Increments the counter, waking any epoll waiting on it.
     pub fn signal(&self) {
         let one: u64 = 1;
+        // SAFETY: the buffer is a live 8-byte stack value matching the
+        // count; eventfd writes never retain the pointer. WouldBlock
+        // (saturated counter) is success — a wakeup is already pending.
         unsafe {
             write(self.fd, (&one as *const u64).cast::<c_void>(), 8);
         }
@@ -158,6 +172,9 @@ impl EventFd {
     /// Resets the counter (returns silently if it was already zero).
     pub fn drain(&self) {
         let mut buf: u64 = 0;
+        // SAFETY: the buffer is a live, writable 8-byte stack value
+        // matching the count; eventfd reads fill exactly 8 bytes or
+        // fail with WouldBlock (counter already zero), which is fine.
         unsafe {
             read(self.fd, (&mut buf as *mut u64).cast::<c_void>(), 8);
         }
@@ -166,6 +183,8 @@ impl EventFd {
 
 impl Drop for EventFd {
     fn drop(&mut self) {
+        // SAFETY: `self.fd` is the eventfd this struct owns
+        // exclusively; it is closed exactly once, here.
         unsafe {
             close(self.fd);
         }

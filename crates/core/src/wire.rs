@@ -295,6 +295,62 @@ fn get_string(buf: &mut &[u8]) -> io::Result<String> {
     String::from_utf8(raw).map_err(|_| corrupt("invalid UTF-8"))
 }
 
+/// The wire-tag registry: every frame-discriminator byte, by name.
+///
+/// `cargo run -p simlint` parses this module and enforces that each
+/// constant is unique within its family, appears in both the matching
+/// `encode_into` and `decode` below (encode/decode arm symmetry), and
+/// is exercised by name in `tests/wire_fuzz.rs`. Add a new frame by
+/// adding its constant here first; the lint fails until every site
+/// exists.
+pub mod tag {
+    /// `Request::Hello`.
+    pub const REQ_HELLO: u8 = 0;
+    /// `Request::Acquire`.
+    pub const REQ_ACQUIRE: u8 = 1;
+    /// `Request::Release`.
+    pub const REQ_RELEASE: u8 = 2;
+    /// `Request::Bitrep`.
+    pub const REQ_BITREP: u8 = 3;
+    /// `Request::FileProduced`.
+    pub const REQ_FILE_PRODUCED: u8 = 4;
+    /// `Request::SimStarted`.
+    pub const REQ_SIM_STARTED: u8 = 5;
+    /// `Request::SimFinished`.
+    pub const REQ_SIM_FINISHED: u8 = 6;
+    /// `Request::Bye`.
+    pub const REQ_BYE: u8 = 7;
+    /// `Request::Status`.
+    pub const REQ_STATUS: u8 = 8;
+    /// `Request::AccessDigest`.
+    pub const REQ_ACCESS_DIGEST: u8 = 9;
+    /// `Request::Reassert`.
+    pub const REQ_REASSERT: u8 = 10;
+    /// `Request::TakeoverAcquire`.
+    pub const REQ_TAKEOVER_ACQUIRE: u8 = 11;
+    /// `Request::HandBack`.
+    pub const REQ_HAND_BACK: u8 = 12;
+
+    /// `Response::HelloOk`.
+    pub const RESP_HELLO_OK: u8 = 0;
+    /// `Response::Ready`.
+    pub const RESP_READY: u8 = 1;
+    /// `Response::Failed`.
+    pub const RESP_FAILED: u8 = 2;
+    /// `Response::Queued`.
+    pub const RESP_QUEUED: u8 = 3;
+    /// `Response::BitrepResult`.
+    pub const RESP_BITREP_RESULT: u8 = 4;
+    /// `Response::Error`.
+    pub const RESP_ERROR: u8 = 5;
+    /// `Response::StatusInfo`.
+    pub const RESP_STATUS_INFO: u8 = 6;
+    /// `Response::Reasserted`.
+    pub const RESP_REASSERTED: u8 = 7;
+    /// `Response::HandedBack`.
+    pub const RESP_HANDED_BACK: u8 = 8;
+}
+
 fn corrupt(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("wire: {msg}"))
 }
@@ -316,7 +372,7 @@ impl Request {
                 membership,
                 epoch,
             } => {
-                buf.put_u8(0);
+                buf.put_u8(tag::REQ_HELLO);
                 match kind {
                     ClientKind::Analysis => buf.put_u8(0),
                     ClientKind::Simulator { sim_id } => {
@@ -343,7 +399,7 @@ impl Request {
                 }
             }
             Request::Acquire { req_id, keys } => {
-                buf.put_u8(1);
+                buf.put_u8(tag::REQ_ACQUIRE);
                 buf.put_u64_le(*req_id);
                 buf.put_u32_le(keys.len() as u32);
                 for k in keys {
@@ -351,28 +407,28 @@ impl Request {
                 }
             }
             Request::Release { key } => {
-                buf.put_u8(2);
+                buf.put_u8(tag::REQ_RELEASE);
                 buf.put_u64_le(*key);
             }
             Request::Bitrep { req_id, key } => {
-                buf.put_u8(3);
+                buf.put_u8(tag::REQ_BITREP);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*key);
             }
             Request::FileProduced { key, size } => {
-                buf.put_u8(4);
+                buf.put_u8(tag::REQ_FILE_PRODUCED);
                 buf.put_u64_le(*key);
                 buf.put_u64_le(*size);
             }
-            Request::SimStarted => buf.put_u8(5),
-            Request::SimFinished => buf.put_u8(6),
-            Request::Bye => buf.put_u8(7),
+            Request::SimStarted => buf.put_u8(tag::REQ_SIM_STARTED),
+            Request::SimFinished => buf.put_u8(tag::REQ_SIM_FINISHED),
+            Request::Bye => buf.put_u8(tag::REQ_BYE),
             Request::Status { req_id } => {
-                buf.put_u8(8);
+                buf.put_u8(tag::REQ_STATUS);
                 buf.put_u64_le(*req_id);
             }
             Request::AccessDigest { dropped, records } => {
-                buf.put_u8(9);
+                buf.put_u8(tag::REQ_ACCESS_DIGEST);
                 buf.put_u64_le(*dropped);
                 buf.put_u32_le(records.len() as u32);
                 for (key, epoch, ready) in records {
@@ -387,7 +443,7 @@ impl Request {
                 prior_epoch,
                 keys,
             } => {
-                buf.put_u8(10);
+                buf.put_u8(tag::REQ_REASSERT);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*prior_client);
                 buf.put_u64_le(*prior_epoch);
@@ -402,7 +458,7 @@ impl Request {
                 origin_epoch,
                 keys,
             } => {
-                buf.put_u8(11);
+                buf.put_u8(tag::REQ_TAKEOVER_ACQUIRE);
                 buf.put_u64_le(*req_id);
                 buf.put_u32_le(*dead_member);
                 buf.put_u64_le(*origin_epoch);
@@ -416,7 +472,7 @@ impl Request {
                 dead_member,
                 keys,
             } => {
-                buf.put_u8(12);
+                buf.put_u8(tag::REQ_HAND_BACK);
                 buf.put_u64_le(*req_id);
                 buf.put_u32_le(*dead_member);
                 buf.put_u32_le(keys.len() as u32);
@@ -434,7 +490,7 @@ impl Request {
         }
         let tag = buf.get_u8();
         let req = match tag {
-            0 => {
+            tag::REQ_HELLO => {
                 if buf.remaining() < 1 {
                     return Err(corrupt("truncated hello"));
                 }
@@ -488,7 +544,7 @@ impl Request {
                     epoch,
                 }
             }
-            1 => {
+            tag::REQ_ACQUIRE => {
                 if buf.remaining() < 12 {
                     return Err(corrupt("truncated acquire"));
                 }
@@ -500,7 +556,7 @@ impl Request {
                 let keys = (0..n).map(|_| buf.get_u64_le()).collect();
                 Request::Acquire { req_id, keys }
             }
-            2 => {
+            tag::REQ_RELEASE => {
                 if buf.remaining() < 8 {
                     return Err(corrupt("truncated release"));
                 }
@@ -508,7 +564,7 @@ impl Request {
                     key: buf.get_u64_le(),
                 }
             }
-            3 => {
+            tag::REQ_BITREP => {
                 if buf.remaining() < 16 {
                     return Err(corrupt("truncated bitrep"));
                 }
@@ -517,7 +573,7 @@ impl Request {
                     key: buf.get_u64_le(),
                 }
             }
-            4 => {
+            tag::REQ_FILE_PRODUCED => {
                 if buf.remaining() < 16 {
                     return Err(corrupt("truncated file-produced"));
                 }
@@ -526,10 +582,10 @@ impl Request {
                     size: buf.get_u64_le(),
                 }
             }
-            5 => Request::SimStarted,
-            6 => Request::SimFinished,
-            7 => Request::Bye,
-            8 => {
+            tag::REQ_SIM_STARTED => Request::SimStarted,
+            tag::REQ_SIM_FINISHED => Request::SimFinished,
+            tag::REQ_BYE => Request::Bye,
+            tag::REQ_STATUS => {
                 if buf.remaining() < 8 {
                     return Err(corrupt("truncated status"));
                 }
@@ -537,7 +593,7 @@ impl Request {
                     req_id: buf.get_u64_le(),
                 }
             }
-            9 => {
+            tag::REQ_ACCESS_DIGEST => {
                 if buf.remaining() < 12 {
                     return Err(corrupt("truncated access digest"));
                 }
@@ -551,7 +607,7 @@ impl Request {
                     .collect();
                 Request::AccessDigest { dropped, records }
             }
-            10 => {
+            tag::REQ_REASSERT => {
                 if buf.remaining() < 28 {
                     return Err(corrupt("truncated reassert"));
                 }
@@ -570,7 +626,7 @@ impl Request {
                     keys,
                 }
             }
-            11 => {
+            tag::REQ_TAKEOVER_ACQUIRE => {
                 if buf.remaining() < 24 {
                     return Err(corrupt("truncated takeover acquire"));
                 }
@@ -589,7 +645,7 @@ impl Request {
                     keys,
                 }
             }
-            12 => {
+            tag::REQ_HAND_BACK => {
                 if buf.remaining() < 16 {
                     return Err(corrupt("truncated hand-back"));
                 }
@@ -627,12 +683,12 @@ impl Response {
     pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Response::HelloOk { client_id, epoch } => {
-                buf.put_u8(0);
+                buf.put_u8(tag::RESP_HELLO_OK);
                 buf.put_u64_le(*client_id);
                 buf.put_u64_le(*epoch);
             }
             Response::Ready { req_id, key } => {
-                buf.put_u8(1);
+                buf.put_u8(tag::RESP_READY);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*key);
             }
@@ -642,7 +698,7 @@ impl Response {
                 code,
                 reason,
             } => {
-                buf.put_u8(2);
+                buf.put_u8(tag::RESP_FAILED);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*key);
                 buf.put_u8(code.as_u8());
@@ -653,7 +709,7 @@ impl Response {
                 key,
                 est_wait_ms,
             } => {
-                buf.put_u8(3);
+                buf.put_u8(tag::RESP_QUEUED);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*key);
                 buf.put_u64_le(*est_wait_ms);
@@ -664,14 +720,14 @@ impl Response {
                 matches,
                 known,
             } => {
-                buf.put_u8(4);
+                buf.put_u8(tag::RESP_BITREP_RESULT);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*key);
                 buf.put_u8(u8::from(*matches));
                 buf.put_u8(u8::from(*known));
             }
             Response::Error { message } => {
-                buf.put_u8(5);
+                buf.put_u8(tag::RESP_ERROR);
                 put_string(buf, message);
             }
             Response::StatusInfo {
@@ -682,7 +738,7 @@ impl Response {
                 produced_steps,
                 active_sims,
             } => {
-                buf.put_u8(6);
+                buf.put_u8(tag::RESP_STATUS_INFO);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*hits);
                 buf.put_u64_le(*misses);
@@ -696,7 +752,7 @@ impl Response {
                 restored,
                 gone,
             } => {
-                buf.put_u8(7);
+                buf.put_u8(tag::RESP_REASSERTED);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*epoch);
                 buf.put_u32_le(restored.len() as u32);
@@ -710,7 +766,7 @@ impl Response {
                 }
             }
             Response::HandedBack { req_id, released } => {
-                buf.put_u8(8);
+                buf.put_u8(tag::RESP_HANDED_BACK);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(*released);
             }
@@ -724,7 +780,7 @@ impl Response {
         }
         let tag = buf.get_u8();
         let resp = match tag {
-            0 => {
+            tag::RESP_HELLO_OK => {
                 if buf.remaining() < 16 {
                     return Err(corrupt("truncated hello-ok"));
                 }
@@ -733,7 +789,7 @@ impl Response {
                     epoch: buf.get_u64_le(),
                 }
             }
-            1 => {
+            tag::RESP_READY => {
                 if buf.remaining() < 16 {
                     return Err(corrupt("truncated ready"));
                 }
@@ -742,7 +798,7 @@ impl Response {
                     key: buf.get_u64_le(),
                 }
             }
-            2 => {
+            tag::RESP_FAILED => {
                 if buf.remaining() < 17 {
                     return Err(corrupt("truncated failed"));
                 }
@@ -753,7 +809,7 @@ impl Response {
                     reason: get_string(&mut buf)?,
                 }
             }
-            3 => {
+            tag::RESP_QUEUED => {
                 if buf.remaining() < 24 {
                     return Err(corrupt("truncated queued"));
                 }
@@ -763,7 +819,7 @@ impl Response {
                     est_wait_ms: buf.get_u64_le(),
                 }
             }
-            4 => {
+            tag::RESP_BITREP_RESULT => {
                 if buf.remaining() < 18 {
                     return Err(corrupt("truncated bitrep result"));
                 }
@@ -774,10 +830,10 @@ impl Response {
                     known: buf.get_u8() != 0,
                 }
             }
-            5 => Response::Error {
+            tag::RESP_ERROR => Response::Error {
                 message: get_string(&mut buf)?,
             },
-            6 => {
+            tag::RESP_STATUS_INFO => {
                 if buf.remaining() < 48 {
                     return Err(corrupt("truncated status info"));
                 }
@@ -790,7 +846,7 @@ impl Response {
                     active_sims: buf.get_u64_le(),
                 }
             }
-            7 => {
+            tag::RESP_REASSERTED => {
                 if buf.remaining() < 20 {
                     return Err(corrupt("truncated reasserted"));
                 }
@@ -820,7 +876,7 @@ impl Response {
                     gone,
                 }
             }
-            8 => {
+            tag::RESP_HANDED_BACK => {
                 if buf.remaining() < 16 {
                     return Err(corrupt("truncated handed-back"));
                 }

@@ -1325,3 +1325,39 @@ fn persistent_crash_exhausts_budget_and_poisons_with_typed_code() {
     assert_eq!(stats.failures, 3, "quarantine must not relaunch: {stats:?}");
     client.finalize().unwrap();
 }
+
+#[test]
+fn lock_rank_tracker_is_engaged_and_clean_across_supervision() {
+    // Drives the supervision machinery — crash retries with backoff,
+    // the reaper's `next_due` scans, integrity-gate kill/re-produce —
+    // with the debug lock-rank tracker live on every daemon thread.
+    // Any out-of-order acquisition or blocking call under a no-block
+    // lock panics inside the daemon (and fails the acquire), so the
+    // green path is the assertion; the final check pins that the
+    // tracker actually ran, so a regression that stopped annotating
+    // lock sites could not pass silently.
+    let baseline = simkit::lockrank::checks();
+    let faults = simfs_core::server::SimFaultSpec {
+        crash_quota: 2,
+        corrupt_every: 3,
+    };
+    let fx = start_supervised_daemon("lockrank", faults, test_supervisor());
+    let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
+    let status = client.acquire(&[1, 2, 3, 4]).unwrap();
+    assert!(status.ok(), "{status:?}");
+    let stats = fx.server.stats();
+    assert!(
+        stats.sim_retries >= 1,
+        "faults must have exercised the retry path: {stats:?}"
+    );
+    client.finalize().unwrap();
+    drop(fx);
+    if cfg!(debug_assertions) {
+        assert!(
+            simkit::lockrank::checks() > baseline,
+            "debug builds must be running the rank tracker"
+        );
+    } else {
+        assert_eq!(simkit::lockrank::checks(), 0, "release tracker is compiled out");
+    }
+}

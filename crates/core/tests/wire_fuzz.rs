@@ -322,3 +322,115 @@ proptest! {
         prop_assert!(result.is_err(), "truncated batch must error");
     }
 }
+
+/// The wire-tag registry, exercised by name: one canonical value per
+/// frame kind, each asserted to encode under exactly its registered tag
+/// byte and to roundtrip. simlint's wire check requires every `tag::`
+/// constant to appear in this file, so adding a frame without coverage
+/// here fails `cargo run -p simlint`.
+mod tag_registry {
+    use super::*;
+    use simfs_core::wire::tag;
+
+    #[test]
+    fn every_request_tag_is_exercised_by_name() {
+        let cases: Vec<(u8, Request)> = vec![
+            (
+                tag::REQ_HELLO,
+                Request::Hello {
+                    kind: ClientKind::Analysis,
+                    context: "ctx".into(),
+                    membership: None,
+                    epoch: None,
+                },
+            ),
+            (tag::REQ_ACQUIRE, Request::Acquire { req_id: 1, keys: vec![2, 3] }),
+            (tag::REQ_RELEASE, Request::Release { key: 4 }),
+            (tag::REQ_BITREP, Request::Bitrep { req_id: 5, key: 6 }),
+            (tag::REQ_FILE_PRODUCED, Request::FileProduced { key: 7, size: 8 }),
+            (tag::REQ_SIM_STARTED, Request::SimStarted),
+            (tag::REQ_SIM_FINISHED, Request::SimFinished),
+            (tag::REQ_BYE, Request::Bye),
+            (tag::REQ_STATUS, Request::Status { req_id: 9 }),
+            (
+                tag::REQ_ACCESS_DIGEST,
+                Request::AccessDigest { dropped: 1, records: vec![(2, 3, true)] },
+            ),
+            (
+                tag::REQ_REASSERT,
+                Request::Reassert { req_id: 1, prior_client: 2, prior_epoch: 3, keys: vec![4] },
+            ),
+            (
+                tag::REQ_TAKEOVER_ACQUIRE,
+                Request::TakeoverAcquire {
+                    req_id: 1,
+                    dead_member: 2,
+                    origin_epoch: 3,
+                    keys: vec![4],
+                },
+            ),
+            (
+                tag::REQ_HAND_BACK,
+                Request::HandBack { req_id: 1, dead_member: 2, keys: vec![3] },
+            ),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (tag_byte, req) in cases {
+            assert!(seen.insert(tag_byte), "duplicate request tag {tag_byte}");
+            let body = req.encode();
+            assert_eq!(body[0], tag_byte, "wrong tag byte for {req:?}");
+            assert_eq!(Request::decode(&body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn every_response_tag_is_exercised_by_name() {
+        let cases: Vec<(u8, Response)> = vec![
+            (tag::RESP_HELLO_OK, Response::HelloOk { client_id: 1, epoch: 2 }),
+            (tag::RESP_READY, Response::Ready { req_id: 1, key: 2 }),
+            (
+                tag::RESP_FAILED,
+                Response::Failed {
+                    req_id: 1,
+                    key: 2,
+                    code: FailCode::Retriable,
+                    reason: "r".into(),
+                },
+            ),
+            (tag::RESP_QUEUED, Response::Queued { req_id: 1, key: 2, est_wait_ms: 3 }),
+            (
+                tag::RESP_BITREP_RESULT,
+                Response::BitrepResult { req_id: 1, key: 2, matches: true, known: false },
+            ),
+            (tag::RESP_ERROR, Response::Error { message: "m".into() }),
+            (
+                tag::RESP_STATUS_INFO,
+                Response::StatusInfo {
+                    req_id: 1,
+                    hits: 2,
+                    misses: 3,
+                    restarts: 4,
+                    produced_steps: 5,
+                    active_sims: 6,
+                },
+            ),
+            (
+                tag::RESP_REASSERTED,
+                Response::Reasserted {
+                    req_id: 1,
+                    epoch: 2,
+                    restored: vec![3],
+                    gone: vec![(4, "g".into())],
+                },
+            ),
+            (tag::RESP_HANDED_BACK, Response::HandedBack { req_id: 1, released: 2 }),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (tag_byte, resp) in cases {
+            assert!(seen.insert(tag_byte), "duplicate response tag {tag_byte}");
+            let body = resp.encode();
+            assert_eq!(body[0], tag_byte, "wrong tag byte for {resp:?}");
+            assert_eq!(Response::decode(&body).unwrap(), resp);
+        }
+    }
+}

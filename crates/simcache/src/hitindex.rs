@@ -35,6 +35,7 @@
 //! [`CacheSim`]: crate::CacheSim
 
 use crate::fasthash::{u64_map, U64Map};
+use simkit::lockrank;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::RwLock;
 
@@ -114,6 +115,7 @@ impl HitIndex {
     /// Idempotent: re-publishing a resident key resets nothing.
     pub fn publish(&self, key: u64) {
         let shard = self.shard(key);
+        let _rank = lockrank::held(lockrank::HIT_INDEX);
         let mut map = shard.map.write().unwrap_or_else(|e| e.into_inner());
         map.entry(key).or_insert_with(|| Entry {
             pins: AtomicU32::new(0),
@@ -129,6 +131,7 @@ impl HitIndex {
         let shard = self.shard(key);
         let gen_before = shard.generation.load(Ordering::Acquire);
         {
+            let _rank = lockrank::held(lockrank::HIT_INDEX);
             let map = shard.map.read().unwrap_or_else(|e| e.into_inner());
             if let Some(entry) = map.get(&key) {
                 // Still under the read lock: retirement (write lock)
@@ -159,6 +162,7 @@ impl HitIndex {
     /// resident).
     pub fn unpin(&self, key: u64, n: u32) {
         let shard = self.shard(key);
+        let _rank = lockrank::held(lockrank::HIT_INDEX);
         let map = shard.map.read().unwrap_or_else(|e| e.into_inner());
         if let Some(entry) = map.get(&key) {
             let before = entry.pins.fetch_sub(n, Ordering::AcqRel);
@@ -173,6 +177,7 @@ impl HitIndex {
     /// authoritative gate.
     pub fn is_pinned(&self, key: u64) -> bool {
         let shard = self.shard(key);
+        let _rank = lockrank::held(lockrank::HIT_INDEX);
         let map = shard.map.read().unwrap_or_else(|e| e.into_inner());
         map.get(&key)
             .is_some_and(|e| e.pins.load(Ordering::Acquire) > 0)
@@ -181,6 +186,7 @@ impl HitIndex {
     /// Attempts to retire `key` ahead of an eviction. See [`Retire`].
     pub fn try_retire(&self, key: u64) -> Retire {
         let shard = self.shard(key);
+        let _rank = lockrank::held(lockrank::HIT_INDEX);
         let mut map = shard.map.write().unwrap_or_else(|e| e.into_inner());
         let Some(entry) = map.get(&key) else {
             return Retire::Absent;
@@ -205,6 +211,7 @@ impl HitIndex {
     /// *not* honoured. The owner must have quiesced fast-path traffic.
     pub fn withdraw(&self, key: u64) {
         let shard = self.shard(key);
+        let _rank = lockrank::held(lockrank::HIT_INDEX);
         let mut map = shard.map.write().unwrap_or_else(|e| e.into_inner());
         if map.remove(&key).is_some() {
             shard.last_retired.store(key, Ordering::Release);
@@ -217,7 +224,10 @@ impl HitIndex {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.map.read().unwrap_or_else(|e| e.into_inner()).len())
+            .map(|s| {
+                let _rank = lockrank::held(lockrank::HIT_INDEX);
+                s.map.read().unwrap_or_else(|e| e.into_inner()).len()
+            })
             .sum()
     }
 

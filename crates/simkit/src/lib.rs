@@ -39,6 +39,7 @@
 //! ```
 
 pub mod engine;
+pub mod lockrank;
 pub mod rng;
 pub mod stats;
 pub mod time;

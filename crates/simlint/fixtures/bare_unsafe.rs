@@ -1,0 +1,13 @@
+// Fixture: unsafe hygiene. The first block is justified; the second
+// has no SAFETY comment and must be flagged. Not compiled — consumed
+// by include_str! in tests.
+
+fn justified(fd: i32) -> i64 {
+    // SAFETY: fd was returned open by epoll_create1 and is owned by
+    // this struct; close is called exactly once, in Drop.
+    unsafe { close(fd) }
+}
+
+fn bare(fd: i32) -> i64 {
+    unsafe { close(fd) }
+}

@@ -1,0 +1,42 @@
+// Fixture: duplicate wire tag value inside one family. A miniature
+// wire.rs shape; REQ_PIN and REQ_UNPIN collide on 2. Not compiled —
+// consumed by include_str! in tests.
+
+pub mod tag {
+    pub const REQ_HELLO: u8 = 0;
+    pub const REQ_PIN: u8 = 2;
+    pub const REQ_UNPIN: u8 = 2; // <-- duplicate value
+    pub const RESP_OK: u8 = 0;
+}
+
+impl Request {
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            Request::Hello => buf.put_u8(tag::REQ_HELLO),
+            Request::Pin => buf.put_u8(tag::REQ_PIN),
+            Request::Unpin => buf.put_u8(tag::REQ_UNPIN),
+        }
+    }
+    pub fn decode(mut buf: &[u8]) -> io::Result<Request> {
+        match take_u8(&mut buf)? {
+            tag::REQ_HELLO => Ok(Request::Hello),
+            tag::REQ_PIN => Ok(Request::Pin),
+            tag::REQ_UNPIN => Ok(Request::Unpin),
+            other => Err(bad_tag(other)),
+        }
+    }
+}
+
+impl Response {
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            Response::Ok => buf.put_u8(tag::RESP_OK),
+        }
+    }
+    pub fn decode(mut buf: &[u8]) -> io::Result<Response> {
+        match take_u8(&mut buf)? {
+            tag::RESP_OK => Ok(Response::Ok),
+            other => Err(bad_tag(other)),
+        }
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: a DvStats field missing from accumulate(). `evictions`
+// is declared and emitted by the bench, but the roll-up uses a `..`
+// rest pattern and never touches it — both are findings. Not
+// compiled — consumed by include_str! in tests.
+
+pub struct DvStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl DvStats {
+    pub fn accumulate(&mut self, other: &DvStats) {
+        let DvStats { hits, misses, .. } = *other;
+        self.hits += hits;
+        self.misses += misses;
+    }
+}

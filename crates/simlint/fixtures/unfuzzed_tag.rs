@@ -1,0 +1,40 @@
+// Fixture: a tag that is encoded and decoded but never exercised by
+// name in the wire fuzz tests (the paired fuzz source in the test
+// omits REQ_PIN). Tag values are otherwise well-formed. Not compiled —
+// consumed by include_str! in tests.
+
+pub mod tag {
+    pub const REQ_HELLO: u8 = 0;
+    pub const REQ_PIN: u8 = 1;
+    pub const RESP_OK: u8 = 0;
+}
+
+impl Request {
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            Request::Hello => buf.put_u8(tag::REQ_HELLO),
+            Request::Pin => buf.put_u8(tag::REQ_PIN),
+        }
+    }
+    pub fn decode(mut buf: &[u8]) -> io::Result<Request> {
+        match take_u8(&mut buf)? {
+            tag::REQ_HELLO => Ok(Request::Hello),
+            tag::REQ_PIN => Ok(Request::Pin),
+            other => Err(bad_tag(other)),
+        }
+    }
+}
+
+impl Response {
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            Response::Ok => buf.put_u8(tag::RESP_OK),
+        }
+    }
+    pub fn decode(mut buf: &[u8]) -> io::Result<Response> {
+        match take_u8(&mut buf)? {
+            tag::RESP_OK => Ok(Response::Ok),
+            other => Err(bad_tag(other)),
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! simlint — repo-specific static analysis for the SimFS daemon.
+//!
+//! Four checks, all driven by in-repo registries so the rules and the
+//! code cannot drift apart silently:
+//!
+//! * **Lock hierarchy + Effects-outbox** ([`lockcheck`]): seeded from
+//!   `crates/core/LOCKS.md`. Inside a scope holding a documented lock,
+//!   no equal-or-higher lock may be acquired, and no blocking-denylist
+//!   call may appear while a `blocking: no` lock is held. The registry
+//!   is also cross-checked against the runtime constants in
+//!   `simkit::lockrank` ([`registry::check_lockrank_consistency`]).
+//! * **Wire tags** ([`wirecheck`]): `wire::tag` constants must be
+//!   unique per family, referenced in both `encode_into` and `decode`,
+//!   and exercised by name in `tests/wire_fuzz.rs`.
+//! * **Stats completeness** ([`statscheck`]): every `DvStats` field
+//!   reaches `accumulate()` and the `bench_daemon` JSON emitter.
+//! * **Unsafe hygiene** ([`unsafecheck`]): every `unsafe` carries a
+//!   `// SAFETY:` justification.
+//!
+//! No dependencies: the lexer in [`lexer`] is hand-rolled, because
+//! this crate must build in the vendored-offline environment and run
+//! as a cheap CI gate (`cargo run -p simlint`).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod lockcheck;
+pub mod registry;
+pub mod statscheck;
+pub mod unsafecheck;
+pub mod wirecheck;
+
+/// One diagnostic. `file` is repo-relative; `line` is 1-based.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub check: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(check: &'static str, file: &str, line: usize, message: String) -> Self {
+        Finding {
+            check,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.check, self.message
+        )
+    }
+}
+
+/// Result of a full run: the findings plus how many files were
+/// scanned (so "clean" output can show the lint actually looked).
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+/// Walks up from `start` to the workspace root, identified by the
+/// lock registry's presence.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("crates/core/LOCKS.md").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn read(root: &Path, rel: &str, findings: &mut Vec<Finding>) -> Option<String> {
+    match std::fs::read_to_string(root.join(rel)) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            findings.push(Finding::new("io", rel, 1, format!("cannot read: {e}")));
+            None
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, repo-relative.
+fn rs_files_under(root: &Path, rel: &str, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(root.join(rel)) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let child = format!("{rel}/{name}");
+        let path = entry.path();
+        if path.is_dir() {
+            rs_files_under(root, &child, out);
+        } else if name.ends_with(".rs") {
+            out.push(child);
+        }
+    }
+}
+
+/// Runs every check against the repo at `root`.
+pub fn run_all(root: &Path) -> Report {
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+
+    // Registry + lockrank.rs consistency.
+    let reg_label = "crates/core/LOCKS.md";
+    let Some(reg_src) = read(root, reg_label, &mut findings) else {
+        return Report {
+            findings,
+            files_scanned,
+        };
+    };
+    let (reg, reg_findings) = registry::parse(&reg_src, reg_label);
+    findings.extend(reg_findings);
+    let lockrank_label = "crates/simkit/src/lockrank.rs";
+    if let Some(src) = read(root, lockrank_label, &mut findings) {
+        findings.extend(registry::check_lockrank_consistency(&reg, &src, reg_label));
+        files_scanned += 1;
+    }
+
+    // Lock order + blocking denylist over every registered file.
+    let mut lock_files: Vec<&str> = reg
+        .rows
+        .iter()
+        .flat_map(|r| r.files.iter().map(String::as_str))
+        .collect();
+    lock_files.sort_unstable();
+    lock_files.dedup();
+    for file in lock_files {
+        if let Some(src) = read(root, file, &mut findings) {
+            findings.extend(lockcheck::check_source(file, &src, &reg));
+            files_scanned += 1;
+        }
+    }
+
+    // Wire tags.
+    let wire_label = "crates/core/src/wire.rs";
+    let fuzz_label = "crates/core/tests/wire_fuzz.rs";
+    if let (Some(wire_src), Some(fuzz_src)) = (
+        read(root, wire_label, &mut findings),
+        read(root, fuzz_label, &mut findings),
+    ) {
+        findings.extend(wirecheck::check(wire_label, &wire_src, fuzz_label, &fuzz_src));
+        files_scanned += 2;
+    }
+
+    // Stats completeness.
+    let dv_label = "crates/core/src/dv.rs";
+    let bench_label = "crates/bench/src/bin/bench_daemon.rs";
+    if let (Some(dv_src), Some(bench_src)) = (
+        read(root, dv_label, &mut findings),
+        read(root, bench_label, &mut findings),
+    ) {
+        findings.extend(statscheck::check(dv_label, &dv_src, bench_label, &bench_src));
+        files_scanned += 2;
+    }
+
+    // Unsafe hygiene over every crate source tree (fixtures and tests
+    // live outside src/ and are exempt by construction).
+    let mut unsafe_files = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                let krate = entry.file_name();
+                rs_files_under(root, &format!("crates/{}/src", krate.to_string_lossy()), &mut unsafe_files);
+            }
+        }
+    }
+    unsafe_files.sort_unstable();
+    for file in &unsafe_files {
+        if let Ok(src) = std::fs::read_to_string(root.join(file)) {
+            findings.extend(unsafecheck::check_source(file, &src));
+            files_scanned += 1;
+        }
+    }
+
+    Report {
+        findings,
+        files_scanned,
+    }
+}

@@ -1,0 +1,259 @@
+//! Lock-order and blocking-denylist enforcement over source text.
+//!
+//! The scanner walks the token stream of each file listed in the
+//! registry, tracking which documented locks are held at every point:
+//!
+//! * An acquisition site is an identifier matching a row's receiver,
+//!   followed by a chain of field accesses (`.ident`), tuple indices
+//!   (`.0`), calls and index expressions, ending in `.method(` where
+//!   `method` matches the row (or any method for a `*` matcher).
+//! * Chaining `.unwrap(` / `.expect(` / `.unwrap_or_else(` after the
+//!   lock method preserves the guard (std poison handling).
+//! * If the expression continues past that (more method calls, `?`),
+//!   the guard is a **statement temporary**: it expires at the `;`
+//!   that ends the statement, or when the enclosing brace closes.
+//! * Otherwise, if the statement began with `let [mut] name =`, the
+//!   guard is **bound** to `name`: it lives until the enclosing brace
+//!   closes or an explicit `drop(name)`.
+//!
+//! While any lock is held, acquiring a lock of **equal or higher**
+//! level is an order violation. While any `blocking: no` lock is held,
+//! a call to a denylist token is an Effects-outbox violation.
+
+use crate::lexer::{self, Tok, Token};
+use crate::registry::Registry;
+use crate::Finding;
+
+/// One tracked held lock.
+struct HeldLock {
+    /// Index into `reg.rows`.
+    row: usize,
+    /// Line of the acquisition, for diagnostics.
+    line: u32,
+    /// `Some(name)` for a let-bound guard, `None` for a temporary.
+    binding: Option<String>,
+    /// Brace depth at the acquisition site.
+    depth: usize,
+}
+
+const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Walks a receiver chain starting at the token *after* the receiver
+/// ident. Returns `(method_name, index_of_open_paren)` for the first
+/// chain segment that is a method call matching `methods` (any call if
+/// `star`), or `None` if the chain ends first.
+fn walk_chain(
+    toks: &[Token],
+    mut j: usize,
+    methods: &[&str],
+    star: bool,
+) -> Option<(String, usize)> {
+    loop {
+        match toks.get(j).map(|t| &t.tok) {
+            Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => j = lexer::skip_balanced(toks, j),
+            Some(Tok::Punct('?')) => j += 1,
+            Some(Tok::Punct('.')) => match toks.get(j + 1).map(|t| &t.tok) {
+                Some(Tok::Num(_)) => j += 2,
+                Some(Tok::Ident(m)) => {
+                    let is_call = matches!(toks.get(j + 2).map(|t| &t.tok), Some(Tok::Punct('(')));
+                    if is_call && (star || methods.iter().any(|w| w == m)) {
+                        return Some((m.clone(), j + 2));
+                    }
+                    j += 2;
+                }
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+}
+
+/// After the matched method's argument list, skips guard-preserving
+/// `.unwrap()`-family calls and reports whether the expression
+/// continues (→ temporary) or ends (→ bindable).
+fn guard_is_consumed(toks: &[Token], open_paren: usize) -> bool {
+    let mut k = lexer::skip_balanced(toks, open_paren);
+    loop {
+        if matches!(toks.get(k).map(|t| &t.tok), Some(Tok::Punct('.'))) {
+            if let Some(Tok::Ident(m)) = toks.get(k + 1).map(|t| &t.tok) {
+                if GUARD_PRESERVING.iter().any(|w| w == m)
+                    && matches!(toks.get(k + 2).map(|t| &t.tok), Some(Tok::Punct('(')))
+                {
+                    k = lexer::skip_balanced(toks, k + 2);
+                    continue;
+                }
+            }
+            return true; // further chaining consumes the guard
+        }
+        return matches!(toks.get(k).map(|t| &t.tok), Some(Tok::Punct('?')));
+    }
+}
+
+/// Scans one file's source against the registry. `file_label` is the
+/// repo-relative path: it selects which rows apply and prefixes the
+/// diagnostics.
+pub fn check_source(file_label: &str, src: &str, reg: &Registry) -> Vec<Finding> {
+    let applicable: Vec<usize> = reg
+        .rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.files.iter().any(|f| f == file_label))
+        .map(|(i, _)| i)
+        .collect();
+    if applicable.is_empty() {
+        return Vec::new();
+    }
+    let (toks, _) = lexer::lex(src);
+    let mut findings = Vec::new();
+    let mut held: Vec<HeldLock> = Vec::new();
+    let mut depth = 0usize;
+    // The binding of the statement currently being scanned, if it
+    // started with `let [mut] name =` / `let [mut] name:`.
+    let mut stmt_let: Option<String> = None;
+    let mut i = 0usize;
+
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                // Closing a brace ends every guard scoped deeper, and
+                // ends temporaries at this depth too: a `}` returning
+                // to the temporary's depth closes the statement that
+                // spawned it (`match x.lock() { .. }`, `if let ... {}`)
+                // — bound guards live on to their scope's end.
+                held.retain(|h| h.depth < depth || (h.depth == depth && h.binding.is_some()));
+                i += 1;
+            }
+            Tok::Punct(';') => {
+                held.retain(|h| h.binding.is_some() || h.depth < depth);
+                stmt_let = None;
+                i += 1;
+            }
+            Tok::Ident(w) if w == "let" => {
+                let mut j = i + 1;
+                if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Ident(m)) if m == "mut") {
+                    j += 1;
+                }
+                if let Some(Tok::Ident(name)) = toks.get(j).map(|t| &t.tok) {
+                    if matches!(
+                        toks.get(j + 1).map(|t| &t.tok),
+                        Some(Tok::Punct('=')) | Some(Tok::Punct(':'))
+                    ) {
+                        stmt_let = Some(name.clone());
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(w) if w == "drop" => {
+                if let (Some(Tok::Punct('(')), Some(Tok::Ident(name)), Some(Tok::Punct(')'))) = (
+                    toks.get(i + 1).map(|t| &t.tok),
+                    toks.get(i + 2).map(|t| &t.tok),
+                    toks.get(i + 3).map(|t| &t.tok),
+                ) {
+                    held.retain(|h| h.binding.as_deref() != Some(name.as_str()));
+                }
+                i += 1;
+            }
+            Tok::Ident(w) if reg.denylist.iter().any(|d| d == w) => {
+                let is_call = matches!(
+                    toks.get(i + 1).map(|t| &t.tok),
+                    Some(Tok::Punct('(')) | Some(Tok::Punct(':'))
+                );
+                if is_call {
+                    for h in held.iter().filter(|h| !reg.rows[h.row].blocking) {
+                        findings.push(Finding::new(
+                            "blocking-under-lock",
+                            file_label,
+                            toks[i].line as usize,
+                            format!(
+                                "call to denylisted `{}` while holding {:?} (level {}, blocking: no; acquired line {}) — collect under the lock, effect after release",
+                                w,
+                                reg.rows[h.row].name,
+                                reg.rows[h.row].level,
+                                h.line
+                            ),
+                        ));
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(recv) => {
+                // Acquisition site? Gather methods for this receiver.
+                let mut methods: Vec<&str> = Vec::new();
+                let mut star = false;
+                let mut row_for_method: Vec<(usize, Option<&str>)> = Vec::new();
+                for &ri in &applicable {
+                    for m in &reg.rows[ri].matchers {
+                        if m.receiver == *recv {
+                            match &m.method {
+                                None => {
+                                    star = true;
+                                    row_for_method.push((ri, None));
+                                }
+                                Some(meth) => {
+                                    methods.push(meth);
+                                    row_for_method.push((ri, Some(meth)));
+                                }
+                            }
+                        }
+                    }
+                }
+                if row_for_method.is_empty() {
+                    i += 1;
+                    continue;
+                }
+                let Some((method, open)) = walk_chain(&toks, i + 1, &methods, star) else {
+                    i += 1;
+                    continue;
+                };
+                let row = row_for_method
+                    .iter()
+                    .find(|(_, m)| *m == Some(method.as_str()))
+                    .or_else(|| row_for_method.iter().find(|(_, m)| m.is_none()))
+                    .map(|(ri, _)| *ri);
+                let Some(row) = row else {
+                    i += 1;
+                    continue;
+                };
+                let line = toks[i].line;
+                for h in &held {
+                    if reg.rows[row].level >= reg.rows[h.row].level {
+                        findings.push(Finding::new(
+                            "lock-order",
+                            file_label,
+                            line as usize,
+                            format!(
+                                "acquired {:?} (level {}) while holding {:?} (level {}, line {}); a new lock must be strictly below every held level",
+                                reg.rows[row].name,
+                                reg.rows[row].level,
+                                reg.rows[h.row].name,
+                                reg.rows[h.row].level,
+                                h.line
+                            ),
+                        ));
+                    }
+                }
+                let binding = if guard_is_consumed(&toks, open) {
+                    None
+                } else {
+                    stmt_let.clone()
+                };
+                held.push(HeldLock {
+                    row,
+                    line,
+                    binding,
+                    depth,
+                });
+                // Resume inside the argument list so nested
+                // acquisitions are seen with this lock held.
+                i = open;
+            }
+            _ => i += 1,
+        }
+    }
+    findings
+}

@@ -1,0 +1,264 @@
+//! Parser for `crates/core/LOCKS.md`, the machine-readable lock
+//! registry, plus the cross-check against the runtime constants in
+//! `crates/simkit/src/lockrank.rs`.
+
+use crate::lexer::{self, Tok};
+use crate::Finding;
+
+/// One acquisition-site matcher: `receiver.method`, or `receiver.*`
+/// (method `None`) for "any method call on this receiver".
+#[derive(Clone, Debug)]
+pub struct Matcher {
+    pub receiver: String,
+    pub method: Option<String>,
+}
+
+/// One row of the `## Registry` table.
+#[derive(Clone, Debug)]
+pub struct LockRow {
+    pub level: u16,
+    pub name: String,
+    pub blocking: bool,
+    pub konst: String,
+    pub files: Vec<String>,
+    pub matchers: Vec<Matcher>,
+    /// 1-based line of the row in LOCKS.md, for diagnostics.
+    pub line: usize,
+}
+
+/// The parsed registry: lock rows plus the blocking denylist tokens.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    pub rows: Vec<LockRow>,
+    pub denylist: Vec<String>,
+}
+
+/// Splits a markdown table line `| a | b | c |` into trimmed cells.
+fn cells(line: &str) -> Vec<String> {
+    let t = line.trim();
+    let t = t.strip_prefix('|').unwrap_or(t);
+    let t = t.strip_suffix('|').unwrap_or(t);
+    t.split('|').map(|c| c.trim().to_string()).collect()
+}
+
+fn is_separator_row(c: &[String]) -> bool {
+    c.iter().all(|s| s.chars().all(|ch| ch == '-' || ch == ':') && !s.is_empty())
+}
+
+/// Parses LOCKS.md. Malformed rows become findings rather than panics,
+/// so a broken registry fails the lint with a pointer instead of a
+/// stack trace.
+pub fn parse(src: &str, label: &str) -> (Registry, Vec<Finding>) {
+    let mut reg = Registry::default();
+    let mut findings = Vec::new();
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Registry,
+        Denylist,
+    }
+    let mut section = Section::None;
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let t = line.trim();
+        if let Some(h) = t.strip_prefix("##") {
+            let h = h.trim().to_ascii_lowercase();
+            section = if h == "registry" {
+                Section::Registry
+            } else if h.starts_with("blocking denylist") {
+                Section::Denylist
+            } else {
+                Section::None
+            };
+            continue;
+        }
+        if !t.starts_with('|') {
+            continue;
+        }
+        let c = cells(t);
+        if is_separator_row(&c) {
+            continue;
+        }
+        match section {
+            Section::Registry => {
+                if c.first().is_some_and(|h| h == "level") {
+                    continue; // header
+                }
+                if c.len() != 6 {
+                    findings.push(Finding::new(
+                        "registry",
+                        label,
+                        lineno,
+                        format!("registry row has {} cells, expected 6", c.len()),
+                    ));
+                    continue;
+                }
+                let Ok(level) = c[0].parse::<u16>() else {
+                    findings.push(Finding::new(
+                        "registry",
+                        label,
+                        lineno,
+                        format!("bad level {:?}", c[0]),
+                    ));
+                    continue;
+                };
+                let blocking = match c[2].as_str() {
+                    "yes" => true,
+                    "no" => false,
+                    other => {
+                        findings.push(Finding::new(
+                            "registry",
+                            label,
+                            lineno,
+                            format!("blocking column must be yes/no, got {other:?}"),
+                        ));
+                        continue;
+                    }
+                };
+                let mut matchers = Vec::new();
+                for m in c[5].split_whitespace() {
+                    match m.rsplit_once('.') {
+                        Some((recv, "*")) => matchers.push(Matcher {
+                            receiver: recv.to_string(),
+                            method: None,
+                        }),
+                        Some((recv, meth)) => matchers.push(Matcher {
+                            receiver: recv.to_string(),
+                            method: Some(meth.to_string()),
+                        }),
+                        None => findings.push(Finding::new(
+                            "registry",
+                            label,
+                            lineno,
+                            format!("matcher {m:?} is not receiver.method"),
+                        )),
+                    }
+                }
+                reg.rows.push(LockRow {
+                    level,
+                    name: c[1].clone(),
+                    blocking,
+                    konst: c[3].clone(),
+                    files: c[4].split_whitespace().map(String::from).collect(),
+                    matchers,
+                    line: lineno,
+                });
+            }
+            Section::Denylist => {
+                if c.first().is_some_and(|h| h == "token") {
+                    continue;
+                }
+                if let Some(tok) = c.first() {
+                    if !tok.is_empty() {
+                        reg.denylist.push(tok.clone());
+                    }
+                }
+            }
+            Section::None => {}
+        }
+    }
+    if reg.rows.is_empty() {
+        findings.push(Finding::new(
+            "registry",
+            label,
+            1,
+            "no rows parsed from ## Registry".to_string(),
+        ));
+    }
+    if reg.denylist.is_empty() {
+        findings.push(Finding::new(
+            "registry",
+            label,
+            1,
+            "no tokens parsed from ## Blocking denylist".to_string(),
+        ));
+    }
+    (reg, findings)
+}
+
+/// Cross-checks the registry against `lockrank.rs` source: every row's
+/// `const` must exist as `pub const NAME: Rank = Rank { level: N, ...,
+/// blocking: B }` with matching level and blocking flag.
+pub fn check_lockrank_consistency(
+    reg: &Registry,
+    lockrank_src: &str,
+    label: &str,
+) -> Vec<Finding> {
+    let (toks, _) = lexer::lex(lockrank_src);
+    // Collect (const_name, level, blocking, line) triples.
+    let mut consts: Vec<(String, u16, bool, usize)> = Vec::new();
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        if lexer::is_ident(&toks[i].tok, "const") {
+            if let Tok::Ident(name) = &toks[i + 1].tok {
+                // Scan forward within the initializer for `level: N`
+                // and `blocking: true/false` up to the terminating `;`.
+                let line = toks[i].line as usize;
+                let mut level: Option<u16> = None;
+                let mut blocking: Option<bool> = None;
+                let mut j = i + 2;
+                while j < toks.len() && toks[j].tok != Tok::Punct(';') {
+                    if lexer::is_ident(&toks[j].tok, "level") {
+                        if let Some(Tok::Num(n)) = toks.get(j + 2).map(|t| &t.tok) {
+                            level = n.parse().ok();
+                        }
+                    }
+                    if lexer::is_ident(&toks[j].tok, "blocking") {
+                        match toks.get(j + 2).map(|t| &t.tok) {
+                            Some(Tok::Ident(b)) if b == "true" => blocking = Some(true),
+                            Some(Tok::Ident(b)) if b == "false" => blocking = Some(false),
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                if let (Some(lv), Some(bl)) = (level, blocking) {
+                    consts.push((name.clone(), lv, bl, line));
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    let mut findings = Vec::new();
+    for row in &reg.rows {
+        match consts.iter().find(|(n, ..)| *n == row.konst) {
+            None => findings.push(Finding::new(
+                "lockrank-sync",
+                label,
+                row.line,
+                format!(
+                    "registry row {:?} names const {} which does not exist in lockrank.rs",
+                    row.name, row.konst
+                ),
+            )),
+            Some((_, lv, bl, cline)) => {
+                if *lv != row.level {
+                    findings.push(Finding::new(
+                        "lockrank-sync",
+                        label,
+                        row.line,
+                        format!(
+                            "{}: registry level {} but lockrank.rs:{} says {}",
+                            row.konst, row.level, cline, lv
+                        ),
+                    ));
+                }
+                if *bl != row.blocking {
+                    findings.push(Finding::new(
+                        "lockrank-sync",
+                        label,
+                        row.line,
+                        format!(
+                            "{}: registry blocking={} but lockrank.rs:{} says {}",
+                            row.konst, row.blocking, cline, bl
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,178 @@
+//! Stats completeness enforcement: every `DvStats` field must be
+//! rolled up by `DvStats::accumulate` and emitted by the
+//! `bench_daemon` JSON reporter.
+//!
+//! Both sinks are checked by name. `accumulate` must reference each
+//! field as an identifier (the exhaustive destructure guarantees this
+//! and is itself pinned: a `..` rest pattern in the body is flagged).
+//! `bench_daemon.rs` may reference a field as code *or* inside a
+//! string literal — the JSON keys live in the format string — but
+//! comments do not count.
+
+use crate::lexer::{self, Tok, Token};
+use crate::Finding;
+
+/// Collects the field names of `pub struct <name> { pub f: ty, ... }`.
+fn struct_fields(toks: &[Token], name: &str) -> Option<(Vec<(String, u32)>, usize)> {
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if lexer::is_ident(&toks[i].tok, "struct") && lexer::is_ident(&toks[i + 1].tok, name) {
+            let mut j = i + 2;
+            while j < toks.len() && toks[j].tok != Tok::Punct('{') {
+                j += 1;
+            }
+            let end = lexer::skip_balanced(toks, j) - 1;
+            let mut fields = Vec::new();
+            let mut k = j + 1;
+            let mut depth = 0usize;
+            while k < end {
+                match &toks[k].tok {
+                    Tok::Punct('<') | Tok::Punct('(') => depth += 1,
+                    Tok::Punct('>') | Tok::Punct(')') => depth = depth.saturating_sub(1),
+                    Tok::Ident(f)
+                        if depth == 0
+                            && matches!(
+                                toks.get(k + 1).map(|t| &t.tok),
+                                Some(Tok::Punct(':'))
+                            )
+                            && matches!(
+                                toks.get(k.wrapping_sub(1)).map(|t| &t.tok),
+                                Some(Tok::Ident(p)) if p == "pub"
+                            ) =>
+                    {
+                        fields.push((f.clone(), toks[k].line));
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            return Some((fields, toks[i].line as usize));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Body token range of `fn <name>` anywhere in the stream.
+fn any_fn_body(toks: &[Token], name: &str) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if lexer::is_ident(&toks[i].tok, "fn") && lexer::is_ident(&toks[i + 1].tok, name) {
+            let mut j = i + 2;
+            while j < toks.len() {
+                match toks[j].tok {
+                    Tok::Punct('(') => j = lexer::skip_balanced(toks, j),
+                    Tok::Punct('{') => return Some((j + 1, lexer::skip_balanced(toks, j) - 1)),
+                    _ => j += 1,
+                }
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// True if `word` appears in `text` bounded by non-identifier chars.
+fn word_in(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre_ok = start == 0 || {
+            let c = bytes[start - 1] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let post_ok = end == bytes.len() || {
+            let c = bytes[end] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Runs the stats checks over dv.rs (struct + accumulate) and
+/// bench_daemon.rs (JSON emitter).
+pub fn check(dv_label: &str, dv_src: &str, bench_label: &str, bench_src: &str) -> Vec<Finding> {
+    let (dv_toks, _) = lexer::lex(dv_src);
+    let (bench_toks, _) = lexer::lex(bench_src);
+    let mut findings = Vec::new();
+
+    let Some((fields, struct_line)) = struct_fields(&dv_toks, "DvStats") else {
+        findings.push(Finding::new(
+            "stats",
+            dv_label,
+            1,
+            "no `struct DvStats` found".to_string(),
+        ));
+        return findings;
+    };
+    if fields.is_empty() {
+        findings.push(Finding::new(
+            "stats",
+            dv_label,
+            struct_line,
+            "struct DvStats parsed with zero pub fields".to_string(),
+        ));
+        return findings;
+    }
+
+    match any_fn_body(&dv_toks, "accumulate") {
+        None => findings.push(Finding::new(
+            "stats",
+            dv_label,
+            struct_line,
+            "no fn accumulate found for DvStats".to_string(),
+        )),
+        Some(body) => {
+            // A `..` rest pattern would let fields silently skip the
+            // roll-up; the destructure must stay exhaustive.
+            for w in dv_toks[body.0..body.1].windows(2) {
+                if w[0].tok == Tok::Punct('.') && w[1].tok == Tok::Punct('.') {
+                    findings.push(Finding::new(
+                        "stats",
+                        dv_label,
+                        w[0].line as usize,
+                        "accumulate() contains `..` — the DvStats destructure must be exhaustive so new fields cannot be silently dropped".to_string(),
+                    ));
+                    break;
+                }
+            }
+            for (f, line) in &fields {
+                if !dv_toks[body.0..body.1]
+                    .iter()
+                    .any(|t| lexer::is_ident(&t.tok, f))
+                {
+                    findings.push(Finding::new(
+                        "stats",
+                        dv_label,
+                        *line as usize,
+                        format!("DvStats field `{f}` is not rolled up in accumulate()"),
+                    ));
+                }
+            }
+        }
+    }
+
+    for (f, line) in &fields {
+        let present = bench_toks.iter().any(|t| match &t.tok {
+            Tok::Ident(s) => s == f,
+            Tok::Str(s) => word_in(s, f),
+            _ => false,
+        });
+        if !present {
+            findings.push(Finding::new(
+                "stats",
+                bench_label,
+                *line as usize,
+                format!("DvStats field `{f}` (dv.rs:{line}) never reaches the bench_daemon JSON emitter"),
+            ));
+        }
+    }
+    findings
+}

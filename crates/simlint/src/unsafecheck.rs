@@ -1,0 +1,55 @@
+//! Unsafe hygiene: every `unsafe` keyword must be justified by a
+//! `// SAFETY:` comment immediately above it (or on the same line).
+//!
+//! The FFI surface is deliberately tiny (`crates/core/src/sys.rs`
+//! hand-rolls epoll/eventfd), and each block's correctness argument —
+//! which invariants the raw call relies on, who owns the fd — belongs
+//! next to the block, not in a commit message.
+
+use crate::lexer;
+use crate::Finding;
+
+/// How many lines above an `unsafe` token a SAFETY comment may sit
+/// (allows a multi-line justification ending just above the block).
+const SAFETY_WINDOW: u32 = 4;
+
+pub fn check_source(file_label: &str, src: &str) -> Vec<Finding> {
+    let (toks, comments) = lexer::lex(src);
+    let mut findings = Vec::new();
+    for t in &toks {
+        if !lexer::is_ident(&t.tok, "unsafe") {
+            continue;
+        }
+        let justified = comments.iter().any(|c| {
+            c.text.contains("SAFETY")
+                && c.end_line <= t.line
+                && c.end_line + SAFETY_WINDOW >= t.line
+        });
+        if !justified {
+            findings.push(Finding::new(
+                "unsafe-hygiene",
+                file_label,
+                t.line as usize,
+                "unsafe block without a `// SAFETY:` comment justifying it".to_string(),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_comment_satisfies() {
+        let src = "// SAFETY: fd is owned by us.\nlet x = unsafe { f() };\n";
+        assert!(check_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_ignored() {
+        let src = "let s = \"unsafe\"; // unsafe mention\n";
+        assert!(check_source("t.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Wire-tag registry enforcement over `crates/core/src/wire.rs` and
+//! `crates/core/tests/wire_fuzz.rs`.
+//!
+//! The protocol's frame tags live in `wire::tag` as named `pub const`
+//! bytes (`REQ_*` for requests, `RESP_*` for responses). This check
+//! pins three properties per family:
+//!
+//! 1. **Uniqueness** — no two tags in a family share a byte value.
+//! 2. **Encode/decode symmetry** — every tag name appears in both the
+//!    family's `encode_into` body and its `decode` body, so a tag
+//!    cannot be writable-but-unreadable (or vice versa).
+//! 3. **Fuzz coverage** — every tag name appears in
+//!    `tests/wire_fuzz.rs`, which asserts the byte-level roundtrip for
+//!    each variant by name.
+
+use crate::lexer::{self, Tok, Token};
+use crate::Finding;
+
+struct TagConst {
+    name: String,
+    value: String,
+    line: u32,
+}
+
+/// Finds the token range (exclusive of braces) of `mod tag { ... }`.
+fn mod_tag_body(toks: &[Token]) -> Option<(usize, usize)> {
+    for i in 0..toks.len().saturating_sub(2) {
+        if lexer::is_ident(&toks[i].tok, "mod")
+            && lexer::is_ident(&toks[i + 1].tok, "tag")
+            && toks[i + 2].tok == Tok::Punct('{')
+        {
+            return Some((i + 3, lexer::skip_balanced(toks, i + 2) - 1));
+        }
+    }
+    None
+}
+
+/// Finds the body token range of `impl <ty> { ... }`.
+fn impl_body(toks: &[Token], ty: &str) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if lexer::is_ident(&toks[i].tok, "impl")
+            && lexer::is_ident(&toks[i + 1].tok, ty)
+            && toks[i + 2].tok == Tok::Punct('{')
+        {
+            return Some((i + 3, lexer::skip_balanced(toks, i + 2) - 1));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds the body token range of `fn <name>` inside `range`.
+fn fn_body(toks: &[Token], range: (usize, usize), name: &str) -> Option<(usize, usize)> {
+    let mut i = range.0;
+    while i + 1 < range.1 {
+        if lexer::is_ident(&toks[i].tok, "fn") && lexer::is_ident(&toks[i + 1].tok, name) {
+            // Skip the signature: the body is the first `{` at the
+            // signature's bracket level (params are parens, so the
+            // first `{` after the name opens the body).
+            let mut j = i + 2;
+            while j < range.1 {
+                match toks[j].tok {
+                    Tok::Punct('(') => j = lexer::skip_balanced(toks, j),
+                    Tok::Punct('{') => {
+                        return Some((j + 1, lexer::skip_balanced(toks, j) - 1));
+                    }
+                    _ => j += 1,
+                }
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+fn ident_in_range(toks: &[Token], range: (usize, usize), name: &str) -> bool {
+    toks[range.0..range.1]
+        .iter()
+        .any(|t| lexer::is_ident(&t.tok, name))
+}
+
+fn collect_tags(toks: &[Token], range: (usize, usize)) -> Vec<TagConst> {
+    let mut tags = Vec::new();
+    let mut i = range.0;
+    while i + 1 < range.1 {
+        if lexer::is_ident(&toks[i].tok, "const") {
+            if let Tok::Ident(name) = &toks[i + 1].tok {
+                // const NAME: u8 = <num>;
+                let line = toks[i + 1].line;
+                let mut j = i + 2;
+                let mut value = None;
+                while j < range.1 && toks[j].tok != Tok::Punct(';') {
+                    if toks[j].tok == Tok::Punct('=') {
+                        if let Some(Tok::Num(v)) = toks.get(j + 1).map(|t| &t.tok) {
+                            value = Some(v.clone());
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(value) = value {
+                    tags.push(TagConst {
+                        name: name.clone(),
+                        value,
+                        line,
+                    });
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    tags
+}
+
+/// Runs the wire-tag checks. `wire_label`/`fuzz_label` are the
+/// repo-relative paths used in diagnostics.
+pub fn check(wire_label: &str, wire_src: &str, fuzz_label: &str, fuzz_src: &str) -> Vec<Finding> {
+    let (toks, _) = lexer::lex(wire_src);
+    let (fuzz_toks, _) = lexer::lex(fuzz_src);
+    let mut findings = Vec::new();
+
+    let Some(tag_body) = mod_tag_body(&toks) else {
+        findings.push(Finding::new(
+            "wire-tags",
+            wire_label,
+            1,
+            "no `mod tag { ... }` found".to_string(),
+        ));
+        return findings;
+    };
+    let tags = collect_tags(&toks, tag_body);
+    let fuzz_range = (0usize, fuzz_toks.len());
+
+    for (family, prefix, ty) in [
+        ("request", "REQ_", "Request"),
+        ("response", "RESP_", "Response"),
+    ] {
+        let fam: Vec<&TagConst> = tags
+            .iter()
+            .filter(|t| t.name.starts_with(prefix))
+            .collect();
+        if fam.is_empty() {
+            findings.push(Finding::new(
+                "wire-tags",
+                wire_label,
+                toks[tag_body.0].line as usize,
+                format!("no {prefix}* constants found in mod tag"),
+            ));
+            continue;
+        }
+        // 1. Uniqueness.
+        for (a_i, a) in fam.iter().enumerate() {
+            for b in &fam[a_i + 1..] {
+                if a.value == b.value {
+                    findings.push(Finding::new(
+                        "wire-tags",
+                        wire_label,
+                        b.line as usize,
+                        format!(
+                            "duplicate {family} tag value {}: {} (line {}) and {}",
+                            b.value, a.name, a.line, b.name
+                        ),
+                    ));
+                }
+            }
+        }
+        // 2. Encode/decode symmetry.
+        let Some(body) = impl_body(&toks, ty) else {
+            findings.push(Finding::new(
+                "wire-tags",
+                wire_label,
+                1,
+                format!("no `impl {ty}` block found"),
+            ));
+            continue;
+        };
+        for (fname, what) in [("encode_into", "encoded"), ("decode", "decoded")] {
+            match fn_body(&toks, body, fname) {
+                None => findings.push(Finding::new(
+                    "wire-tags",
+                    wire_label,
+                    toks[body.0].line as usize,
+                    format!("impl {ty} has no fn {fname}"),
+                )),
+                Some(r) => {
+                    for t in &fam {
+                        if !ident_in_range(&toks, r, &t.name) {
+                            findings.push(Finding::new(
+                                "wire-tags",
+                                wire_label,
+                                t.line as usize,
+                                format!(
+                                    "tag {} is never {what}: not referenced in {ty}::{fname}",
+                                    t.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Fuzz coverage, by name.
+        for t in &fam {
+            if !ident_in_range(&fuzz_toks, fuzz_range, &t.name) {
+                findings.push(Finding::new(
+                    "wire-tags",
+                    fuzz_label,
+                    t.line as usize,
+                    format!(
+                        "tag {} (wire.rs:{}) is not exercised by name in the wire fuzz tests",
+                        t.name, t.line
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}

@@ -30,6 +30,7 @@
 //!   time exactly as the daemon replays files.
 
 use crate::checksum::fnv1a64;
+use simkit::lockrank;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -394,6 +395,7 @@ impl WriteAheadLog {
     /// Writes buffered records to the file (no fsync); returns the
     /// bytes written.
     pub fn flush(&mut self) -> io::Result<usize> {
+        lockrank::assert_blocking_ok("walog flush");
         if self.pending.is_empty() {
             return Ok(0);
         }
@@ -408,6 +410,7 @@ impl WriteAheadLog {
     /// Flushes and, if anything was written since the last sync,
     /// fsyncs — the batched durability point.
     pub fn sync(&mut self) -> io::Result<()> {
+        lockrank::assert_blocking_ok("walog sync");
         self.flush()?;
         if self.dirty {
             self.file.sync_data()?;
@@ -421,6 +424,7 @@ impl WriteAheadLog {
     /// checkpoint. Pending unflushed records are discarded — the
     /// snapshot is expected to already reflect them.
     pub fn compact(&mut self, records: &[WalRecord]) -> io::Result<()> {
+        lockrank::assert_blocking_ok("walog compact");
         let tmp = self.path.with_extension("tmp-compact");
         let mut bytes = Vec::with_capacity(records.len() * RECORD_LEN);
         for r in records {
