@@ -196,6 +196,7 @@ fn start_daemon(
     prefetch: bool,
     durable: bool,
     faults: SimFaultSpec,
+    effect_helpers: Option<usize>,
 ) -> (DvServer, StorageArea) {
     let storage = StorageArea::create(dir, u64::MAX).unwrap();
     let size = step_bytes(1).len() as u64;
@@ -217,8 +218,8 @@ fn start_daemon(
         )
         .with_faults(faults),
     );
-    let server = DvServer::start(
-        ServerConfig {
+    let server = DvServer::start_tuned(
+        vec![ServerConfig {
             ctx,
             driver: Arc::new(
                 PatternDriver::new("out-", ".sdf", 6)
@@ -234,8 +235,9 @@ fn start_daemon(
             } else {
                 DurabilityCfg::default()
             },
-        },
+        }],
         "127.0.0.1:0",
+        simfs_core::server::DaemonTuning { effect_helpers, ..Default::default() },
     )
     .unwrap();
     (server, storage)
@@ -429,6 +431,9 @@ fn main() {
     let mut durable = false;
     let mut degraded = false;
     let mut sim_faults = 0u64;
+    // None = auto (one helper per reactor shard); Some(0) = inline
+    // compatibility mode, pricing the pre-effect-tier daemon.
+    let mut effect_helpers: Option<usize> = None;
     let mut specs = vec![
         RunSpec { workload: Workload::Uniform, prefetch: false },
         RunSpec { workload: Workload::HitHeavy, prefetch: false },
@@ -464,6 +469,9 @@ fn main() {
             "--dv-shards" => dv_shards = val.parse().expect("bad --dv-shards"),
             "--cluster" => cluster = val.parse().expect("bad --cluster"),
             "--sim-faults" => sim_faults = val.parse().expect("bad --sim-faults"),
+            "--effect-helpers" => {
+                effect_helpers = Some(val.parse().expect("bad --effect-helpers"));
+            }
             "--workloads" => {
                 specs = val.split(',').map(|s| RunSpec::parse(s.trim())).collect();
             }
@@ -499,7 +507,8 @@ fn main() {
                     ClusterMember::new(k, cluster),
                     spec.prefetch,
                     durable,
-                    SimFaultSpec { crash_quota: 0, corrupt_every: sim_faults },
+                    SimFaultSpec { crash_quota: 0, corrupt_every: sim_faults, ..Default::default() },
+                    effect_helpers,
                 )
                 .0
             })
@@ -618,6 +627,21 @@ fn main() {
             let sims_hung_killed = d(|s| s.sims_hung_killed);
             let intervals_poisoned = d(|s| s.intervals_poisoned);
             let corrupt_outputs = d(|s| s.corrupt_outputs);
+            // Effect-tier counters (all zero with --effect-helpers 0).
+            let effects_offloaded = d(|s| s.effects_offloaded);
+            let helper_queue_full = d(|s| s.helper_queue_full);
+            let wal_syncs = d(|s| s.wal_syncs);
+            let per_class = |ns: fn(&DvStats) -> u64, ops: fn(&DvStats) -> u64| {
+                d(ns).checked_div(d(ops)).unwrap_or(0)
+            };
+            let effect_spawn_ns = per_class(|s| s.effect_spawn_ns, |s| s.effect_spawn_ops);
+            let effect_spawn_ops = d(|s| s.effect_spawn_ops);
+            let effect_wal_ns = per_class(|s| s.effect_wal_ns, |s| s.effect_wal_ops);
+            let effect_wal_ops = d(|s| s.effect_wal_ops);
+            let effect_evict_ns = per_class(|s| s.effect_evict_ns, |s| s.effect_evict_ops);
+            let effect_evict_ops = d(|s| s.effect_evict_ops);
+            let effect_read_ns = per_class(|s| s.effect_read_ns, |s| s.effect_read_ops);
+            let effect_read_ops = d(|s| s.effect_read_ops);
             let transitions = d(|s| s.lock_transitions);
             let hold_per_transition =
                 d(|s| s.lock_hold_ns).checked_div(transitions).unwrap_or(0);
@@ -657,6 +681,14 @@ fn main() {
                     "{:>8} supervision: {corrupt_outputs} corrupt outputs rejected, \
                      {sim_retries} sim retries, {sims_hung_killed} hung kills, \
                      {intervals_poisoned} intervals poisoned",
+                    ""
+                );
+            }
+            if effects_offloaded > 0 {
+                println!(
+                    "{:>8} effects: {effects_offloaded} offloaded, {helper_queue_full} \
+                     queue-full stalls, {wal_syncs} wal syncs; ns/op spawn {effect_spawn_ns} \
+                     wal {effect_wal_ns} evict {effect_evict_ns} read {effect_read_ns}",
                     ""
                 );
             }
@@ -711,6 +743,17 @@ fn main() {
                  \"sims_hung_killed\": {sims_hung_killed}, \
                  \"intervals_poisoned\": {intervals_poisoned}, \
                  \"corrupt_outputs\": {corrupt_outputs}, \
+                 \"effects_offloaded\": {effects_offloaded}, \
+                 \"helper_queue_full\": {helper_queue_full}, \
+                 \"wal_syncs\": {wal_syncs}, \
+                 \"effect_spawn_ns_per_op\": {effect_spawn_ns}, \
+                 \"effect_spawn_ops\": {effect_spawn_ops}, \
+                 \"effect_wal_ns_per_op\": {effect_wal_ns}, \
+                 \"effect_wal_ops\": {effect_wal_ops}, \
+                 \"effect_evict_ns_per_op\": {effect_evict_ns}, \
+                 \"effect_evict_ops\": {effect_evict_ops}, \
+                 \"effect_read_ns_per_op\": {effect_read_ns}, \
+                 \"effect_read_ops\": {effect_read_ops}, \
                  \"lock_hold_ns_per_transition\": {hold_per_transition}, \
                  \"lock_wait_ns_per_transition\": {wait_per_transition}, \
                  \"per_daemon_acquires_per_sec\": [{per_daemon_json}], \

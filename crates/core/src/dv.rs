@@ -339,6 +339,36 @@ pub struct DvStats {
     pub intervals_poisoned: u64,
     /// Produced files rejected (and deleted) by the integrity gate.
     pub corrupt_outputs: u64,
+    /// Blocking effect jobs reactor shard threads handed to the effect
+    /// tier's helper pool instead of executing inline (daemon-side,
+    /// mirrored into snapshots; zero in inline compatibility mode).
+    pub effects_offloaded: u64,
+    /// Submissions that found their per-shard effect queue full and
+    /// parked until a helper freed space (backpressure events, not
+    /// drops).
+    pub helper_queue_full: u64,
+    /// WAL `fdatasync` calls (group fsync folds many appends into one;
+    /// compare against `wal_appends` for the batching factor).
+    pub wal_syncs: u64,
+    /// Helper-side nanoseconds executing job-control effect jobs
+    /// (launch/kill commits).
+    pub effect_spawn_ns: u64,
+    /// Job-control effect jobs executed.
+    pub effect_spawn_ops: u64,
+    /// Helper-side nanoseconds executing WAL-only effect jobs (durable
+    /// outboxes, fast-pin windows, departures).
+    pub effect_wal_ns: u64,
+    /// WAL-only effect jobs executed.
+    pub effect_wal_ops: u64,
+    /// Helper-side nanoseconds executing eviction effect jobs.
+    pub effect_evict_ns: u64,
+    /// Eviction effect jobs executed.
+    pub effect_evict_ops: u64,
+    /// Helper-side nanoseconds executing storage-read effect jobs
+    /// (simulator output verification, Bitrep re-reads).
+    pub effect_read_ns: u64,
+    /// Storage-read effect jobs executed.
+    pub effect_read_ops: u64,
 }
 
 impl DvStats {
@@ -377,6 +407,17 @@ impl DvStats {
             sims_hung_killed,
             intervals_poisoned,
             corrupt_outputs,
+            effects_offloaded,
+            helper_queue_full,
+            wal_syncs,
+            effect_spawn_ns,
+            effect_spawn_ops,
+            effect_wal_ns,
+            effect_wal_ops,
+            effect_evict_ns,
+            effect_evict_ops,
+            effect_read_ns,
+            effect_read_ops,
         } = other;
         self.hits += hits;
         self.misses += misses;
@@ -410,6 +451,17 @@ impl DvStats {
         self.sims_hung_killed += sims_hung_killed;
         self.intervals_poisoned += intervals_poisoned;
         self.corrupt_outputs += corrupt_outputs;
+        self.effects_offloaded += effects_offloaded;
+        self.helper_queue_full += helper_queue_full;
+        self.wal_syncs += wal_syncs;
+        self.effect_spawn_ns += effect_spawn_ns;
+        self.effect_spawn_ops += effect_spawn_ops;
+        self.effect_wal_ns += effect_wal_ns;
+        self.effect_wal_ops += effect_wal_ops;
+        self.effect_evict_ns += effect_evict_ns;
+        self.effect_evict_ops += effect_evict_ops;
+        self.effect_read_ns += effect_read_ns;
+        self.effect_read_ops += effect_read_ops;
     }
 }
 

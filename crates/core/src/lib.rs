@@ -35,10 +35,15 @@
 //! * [`reactor`], [`sys`] — the daemon's sharded epoll front-end: a
 //!   fixed pool of event-loop threads serves every connection (raw
 //!   `extern "C"` epoll/eventfd bindings; no external dependency).
+//! * [`effectpool`] — the effect-execution tier: bounded per-shard
+//!   queues feeding helper threads that own every blocking effect
+//!   (sim launch/kill, WAL group-fsync, eviction deletes, storage
+//!   reads), so a reactor shard never waits on disk or `fork`.
 
 pub mod client;
 pub mod driver;
 pub mod dv;
+pub mod effectpool;
 pub mod intercept;
 pub mod model;
 pub mod perfmodel;
@@ -58,5 +63,5 @@ pub use dv::{
 };
 pub use model::{ContextCfg, StepMath};
 pub use replay::{replay, ReplayStats};
-pub use server::{DvServer, ServerConfig};
+pub use server::{DaemonTuning, DvServer, ServerConfig};
 pub use vharness::{AnalysisResult, VirtualExperiment};

@@ -41,8 +41,32 @@
 //! owning an epoll instance and a disjoint subset of connections.
 //! Requests dispatch on the owning reactor thread; responses to *other*
 //! clients route through the reactor's registry to their owning shard.
-//! Daemon thread count is fixed (reactor shards + accept + reaper)
-//! regardless of client count.
+//! Daemon thread count is fixed (reactor shards + effect helpers +
+//! accept + reaper) regardless of client count.
+//!
+//! Alongside the reactor runs the **effect-execution tier**
+//! ([`crate::effectpool`]): a pool of helper threads (one per reactor
+//! shard by default, [`DaemonTuning::effect_helpers`]) fed by bounded
+//! per-shard queues. With the pool active, reactor shard threads are
+//! *non-blocking by contract* — they register with
+//! [`simkit::lockrank::mark_thread_nonblocking`] and every blocking
+//! effect site asserts it is not on one. A transition still collects
+//! its `Effects` under the shard lock exactly as before, but `commit`
+//! now routes any outbox that needs blocking work — sim launch/kill,
+//! WAL append + fsync, eviction deletes, storage reads — to the
+//! helpers; pure socket-frame outboxes (the hit hot path) are flushed
+//! inline because frame sends are wait-free into per-connection
+//! buffers. Helpers drain a queue in FIFO order and in batches, which
+//! both preserves the sim wire-event order a simulator connection
+//! produced (`FileProduced` before `SimFinished`) and opens the WAL
+//! **group-fsync** window: one `fsync` covers every pin record in the
+//! batch ([`DvStats::wal_syncs`] vs [`DvStats::wal_appends`] is the
+//! evidence). A full queue parks the *submitting* shard thread on the
+//! queue condvar — backpressure, counted in
+//! [`DvStats::helper_queue_full`], bounds memory instead of dropping
+//! effects. Setting `effect_helpers = Some(0)` restores the old inline
+//! behaviour (compatibility mode; the equivalence tests pin that both
+//! modes produce identical client-visible outcomes).
 //!
 //! Beneath the reactor, each context's control plane is layered so that
 //! the §IV hot path — an acquire of an already-virtualized step — gets
@@ -87,12 +111,15 @@
 //!    socket or launcher I/O either). Pin records ride the `Effects`
 //!    outbox: slow-path pins are derived from the `Ready` responses a
 //!    transition collected and appended + fsynced in `commit` *before*
-//!    the frames are sent (write-ahead ordering), while fast-path
-//!    hit pins — which never enter the outbox — buffer in the
-//!    connection-local window and are netted
-//!    ([`simstore::walog::net_pin_window`]) and synced when the frame
-//!    handler returns, i.e. after the reply. A crash can therefore
-//!    lose a fast pin's record but never a slow one's; the client
+//!    the frames are sent (write-ahead ordering, preserved batch-wide
+//!    by the effect tier: every pin in a helper batch is fsynced before
+//!    any of the batch's frames go out), while fast-path hit pins —
+//!    which never enter the outbox — buffer in the connection-local
+//!    window, are netted ([`simstore::walog::net_pin_window`]) when the
+//!    frame handler returns, i.e. after the reply, and ride
+//!    `Effects::wal_records` into the same commit pass. A crash can
+//!    therefore lose a fast pin's record but never a slow one's; the
+//!    client
 //!    re-assertion protocol reconciles either way (an unlogged pin
 //!    re-acquires, a logged-but-released pin is freed by the
 //!    reassert's closing `ClientGone`). The log compacts to a
@@ -122,25 +149,33 @@
 //!    across launcher I/O) and cancels launches whose kill won the
 //!    race. Lock order is strictly shard → ledger.
 //!
-//! The transition discipline is unchanged from the split-lock design:
-//! **collect under lock, effect after release.** A transition locks one
-//! DV shard, runs [`DataVirtualizer::handle_into`] into a reusable
-//! scratch buffer, resolves actions into an `Effects` value and
-//! unlocks; response encoding, socket writes, job spawning and file
-//! deletion all happen outside every DV lock. All responses of one
-//! transition for one destination coalesce into a single
-//! [`wire::FrameBatch`] write. Deferred eviction deletes re-check the
-//! cache under the owning shard lock so an overlapping re-production
-//! cannot lose its file to a stale eviction.
+//! The transition discipline extends the split-lock design one step:
+//! **collect under lock, effect after release — and blocking effects
+//! off the shard thread entirely.** A transition locks one DV shard,
+//! runs [`DataVirtualizer::handle_into`] into a reusable scratch
+//! buffer, resolves actions into an `Effects` value and unlocks;
+//! response encoding and socket writes happen outside every DV lock on
+//! the shard thread, while job spawning, file deletion and WAL fsyncs
+//! are submitted to the effect tier (or run inline in compatibility
+//! mode). All responses of one transition for one destination coalesce
+//! into a single [`wire::FrameBatch`] write. Deferred eviction deletes
+//! re-check the cache under the owning shard lock so an overlapping
+//! re-production cannot lose its file to a stale eviction — the
+//! re-check happens on the helper thread, under the same shard lock,
+//! so the guarantee is unchanged.
 //!
-//! Two observable consequences of the lock-minimized design: responses
-//! to *different* requests of one client may interleave differently
-//! than under a coarse lock (per-request semantics are unchanged —
-//! DVLib treats `Queued` as informational), and replacement-policy
-//! recency for fast-path hits is approximate — a fast hit sets a
-//! CLOCK-style reference bit instead of reordering the policy's lists,
-//! so a hot key survives an eviction decision rather than never being
-//! considered.
+//! Three observable consequences of the lock-minimized design:
+//! responses to *different* requests of one client may interleave
+//! differently than under a coarse lock — including a `Status` reply
+//! overtaking a pooled slow-path `Ready` still queued in the effect
+//! tier (per-request semantics are unchanged — DVLib treats `Queued`
+//! as informational); replacement-policy recency for fast-path hits is
+//! approximate — a fast hit sets a CLOCK-style reference bit instead
+//! of reordering the policy's lists, so a hot key survives an eviction
+//! decision rather than never being considered; and the fast-pin WAL
+//! window (1b above) is widened by effect-queue latency — a crash can
+//! lose the records of fast pins still queued for their group fsync,
+//! which the existing client re-assertion protocol already reconciles.
 //!
 //! This remains the classic coordination-daemon shape — the data path
 //! (bulk file I/O) never goes through the daemon, only control messages
@@ -268,6 +303,39 @@ pub struct ServerConfig {
     pub durability: DurabilityCfg,
 }
 
+/// Thread-topology knobs of one daemon process (every context in the
+/// daemon shares the reactor and the effect tier). The defaults are
+/// what [`DvServer::start`] uses; [`DvServer::start_tuned`] takes an
+/// explicit value — tests pin shard counts with it, benchmarks sweep
+/// helper counts, and `effect_helpers: Some(0)` is the inline
+/// compatibility mode the equivalence tests run against.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonTuning {
+    /// Reactor event-loop threads; `0` picks `min(cores, 8)` (the
+    /// reactor clamps to `1..=`[`crate::reactor::MAX_SHARDS`]).
+    pub reactor_shards: usize,
+    /// Effect-tier helper threads. `None` matches the reactor shard
+    /// count (one helper per submission queue); `Some(0)` disables the
+    /// tier entirely — effects run inline on shard threads as they did
+    /// before the tier existed, and the non-blocking thread contract is
+    /// not enforced.
+    pub effect_helpers: Option<usize>,
+    /// Per-shard effect queue capacity; a submitting shard thread parks
+    /// once its queue holds this many unexecuted effects
+    /// (backpressure — effects are never dropped).
+    pub effect_queue_cap: usize,
+}
+
+impl Default for DaemonTuning {
+    fn default() -> DaemonTuning {
+        DaemonTuning {
+            reactor_shards: 0,
+            effect_helpers: None,
+            effect_queue_cap: 256,
+        }
+    }
+}
+
 /// Hit-index lock shards (per context). Sixteen spreads neighbouring
 /// step keys over distinct read-write locks at negligible cost.
 const HIT_INDEX_SHARDS: usize = 16;
@@ -335,6 +403,11 @@ struct Effects {
     completed: Vec<SimId>,
     /// Reusable per-destination write batches.
     batches: Vec<(ClientId, FrameBatch)>,
+    /// Durable contexts only: explicit WAL records this transition must
+    /// append (fast-pin windows, reassert restorations, client
+    /// departures) — appended and fsynced by the same group-fsync pass
+    /// that logs the outbox's `Ready` pins, before any frame is sent.
+    wal_records: Vec<WalRecord>,
 }
 
 impl Effects {
@@ -422,10 +495,98 @@ struct LockPerf {
     acquired_slow: AtomicU64,
 }
 
+/// Effect-tier counters (surfaced through [`DvStats`]): how often shard
+/// threads offloaded blocking work, how often they hit queue
+/// backpressure, and per-class helper-side execution latency.
+#[derive(Default)]
+struct EffectPerf {
+    offloaded: AtomicU64,
+    queue_full: AtomicU64,
+    spawn_ns: AtomicU64,
+    spawn_ops: AtomicU64,
+    wal_ns: AtomicU64,
+    wal_ops: AtomicU64,
+    evict_ns: AtomicU64,
+    evict_ops: AtomicU64,
+    read_ns: AtomicU64,
+    read_ops: AtomicU64,
+}
+
+/// Latency class of one effect job, decided from its dominant blocking
+/// operation (a commit carrying both a launch and evictions counts as
+/// `Spawn` — job control is the costliest and rarest class).
+#[derive(Clone, Copy)]
+enum EffectClass {
+    Spawn,
+    Wal,
+    Evict,
+    Read,
+}
+
+impl EffectPerf {
+    fn record(&self, class: EffectClass, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        let (ns_ctr, ops_ctr) = match class {
+            EffectClass::Spawn => (&self.spawn_ns, &self.spawn_ops),
+            EffectClass::Wal => (&self.wal_ns, &self.wal_ops),
+            EffectClass::Evict => (&self.evict_ns, &self.evict_ops),
+            EffectClass::Read => (&self.read_ns, &self.read_ops),
+        };
+        ns_ctr.fetch_add(ns, Ordering::Relaxed);
+        ops_ctr.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One unit of blocking work submitted by a reactor shard to the effect
+/// tier. Jobs carry their context so one pool serves every context in
+/// the daemon; per-shard queue FIFO plus static queue→helper assignment
+/// preserve the submission order of any single connection.
+enum EffectJob {
+    /// A collected `Effects` value whose execution needs blocking
+    /// operations (WAL fsync, launcher, eviction deletes). `wal_logged`
+    /// is set by the batch executor once the group-fsync pass has
+    /// appended the outbox's pin records.
+    Commit {
+        ctx: Arc<CtxRuntime>,
+        fx: Box<Effects>,
+        wal_logged: bool,
+    },
+    /// A simulator protocol event: output verification (storage read)
+    /// plus the resulting transition and commit run on the helper.
+    SimEvent {
+        ctx: Arc<CtxRuntime>,
+        sim: SimId,
+        event: SimWireEvent,
+    },
+    /// A `Bitrep` re-read: storage read + checksum compare, reply sent
+    /// from the helper through the reactor registry.
+    BitrepRead {
+        ctx: Arc<CtxRuntime>,
+        client: ClientId,
+        req_id: u64,
+        key: u64,
+    },
+}
+
+/// Simulator wire events in submittable form (the request decoded on
+/// the shard thread, verification deferred to the helper).
+enum SimWireEvent {
+    Started,
+    Produced { key: u64, size: u64 },
+    Finished,
+    /// Connection lost before `SimFinished` (from `on_close`).
+    Failed,
+}
+
 /// Per-context runtime: the sharded DV state machine plus its
 /// effectors.
 struct CtxRuntime {
     name: String,
+    /// Back-reference to this runtime's own `Arc` (set at construction
+    /// via `Arc::new_cyclic`), so methods running on shard threads can
+    /// package `self` into an [`EffectJob`] without threading the `Arc`
+    /// through every call site.
+    weak_self: std::sync::Weak<CtxRuntime>,
     /// One lock per key-range shard; index `s` owns the restart
     /// intervals with `interval % n == s` (of the intervals this
     /// cluster member owns).
@@ -443,6 +604,7 @@ struct CtxRuntime {
     /// them under the shard locks (layer 1a of the hierarchy).
     digest: bool,
     perf: LockPerf,
+    effects: EffectPerf,
     reactor: Arc<Reactor>,
     ledger: Mutex<LaunchLedger>,
     driver: Arc<dyn SimDriver>,
@@ -504,6 +666,11 @@ struct Inner {
     quiesce: (StdMutex<()>, Condvar),
     /// Transient accept failures retried with backoff (EMFILE etc.).
     accept_retries: Arc<AtomicU64>,
+    /// The effect-execution tier (empty in inline compatibility mode,
+    /// `effect_helpers == Some(0)`). Set once during startup — after
+    /// `Inner` exists (the executor captures a `Weak<Inner>`) and
+    /// before the accept loop admits any connection.
+    pool: std::sync::OnceLock<crate::effectpool::EffectPool<EffectJob>>,
 }
 
 impl Inner {
@@ -753,10 +920,12 @@ impl CtxRuntime {
             }
         }
         for sim in to_kill {
+            lockrank::assert_blocking_ok("launcher-kill");
             let _ = self.launcher.kill(JobId(sim));
         }
         let launched_any = !to_launch.is_empty();
         for (sim, keys, level) in to_launch {
+            lockrank::assert_blocking_ok("launcher-launch");
             let spec = self
                 .driver
                 .make_job(*keys.start(), *keys.end(), level)
@@ -796,16 +965,72 @@ impl CtxRuntime {
         }
     }
 
-    /// Effects everything a transition collected: socket writes, job
-    /// control, evictions. Launch failures feed back as `SimFailed`
-    /// events until quiescence. Never holds a DV shard lock while doing
-    /// I/O.
+    /// Effects everything a transition collected. On a reactor shard
+    /// thread with the effect tier active, blocking effects (WAL fsync,
+    /// job control, eviction deletes) are packaged into an
+    /// [`EffectJob::Commit`] and submitted to the shard's effect queue
+    /// — the shard thread never waits on disk or the launcher, and the
+    /// helper executes the job with identical semantics via
+    /// [`commit_inline`](Self::commit_inline). A purely non-durable
+    /// outbox (hit-path `Failed`s, `Queued`, status) still flushes
+    /// inline: socket staging is non-blocking. Everywhere else (reaper,
+    /// helper threads, inline compatibility mode) the commit executes
+    /// in place.
     fn commit(&self, inner: &Inner, fx: &mut Effects) {
+        if let Some(pool) = inner.pool.get() {
+            if let Some(shard) = crate::reactor::current_shard() {
+                if self.commit_needs_helper(fx) {
+                    let Some(ctx) = self.weak_self.upgrade() else {
+                        return;
+                    };
+                    self.effects.offloaded.fetch_add(1, Ordering::Relaxed);
+                    let job = EffectJob::Commit {
+                        ctx,
+                        fx: Box::new(std::mem::take(fx)),
+                        wal_logged: false,
+                    };
+                    if pool.submit(shard, job) {
+                        self.effects.queue_full.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    self.flush_outbox(fx);
+                }
+                return;
+            }
+        }
+        self.commit_inline(inner, fx, false);
+    }
+
+    /// Does executing `fx` involve a blocking operation (and so belong
+    /// on a helper thread)? Job control means launcher I/O, evicts mean
+    /// storage deletes, and on a durable context `Ready` responses and
+    /// explicit records mean a WAL append + fsync.
+    fn commit_needs_helper(&self, fx: &Effects) -> bool {
+        fx.has_job_control()
+            || !fx.evicts.is_empty()
+            || !fx.wal_records.is_empty()
+            || (self.wal.is_some()
+                && fx
+                    .outbox
+                    .iter()
+                    .any(|(_, r)| matches!(r, Response::Ready { .. })))
+    }
+
+    /// The commit loop itself: socket writes, job control, evictions.
+    /// Launch failures feed back as `SimFailed` events until
+    /// quiescence. Never holds a DV shard lock while doing I/O; runs on
+    /// blocking-permitted threads only when the effect tier is active.
+    /// `wal_logged` skips the first iteration's WAL pass when the batch
+    /// executor already group-fsynced this commit's pin records.
+    fn commit_inline(&self, inner: &Inner, fx: &mut Effects, mut wal_logged: bool) {
         let mut failed: Vec<SimId> = Vec::new();
         let mut sims_retired = false;
         loop {
             sims_retired |= !fx.kills.is_empty() || !fx.completed.is_empty();
-            self.wal_log_outbox(fx);
+            if !wal_logged {
+                self.wal_log_outbox(fx);
+            }
+            wal_logged = false;
             self.flush_outbox(fx);
             self.apply_job_control(inner, fx, &mut failed);
             if !fx.evicts.is_empty() {
@@ -842,6 +1067,7 @@ impl CtxRuntime {
                     fx.evicts.truncate(kept);
                 }
                 for key in fx.evicts.drain(..) {
+                    lockrank::assert_blocking_ok("evict-delete");
                     let name = self.driver.filename_of(key);
                     let _ = self.storage.delete(&name);
                 }
@@ -898,19 +1124,18 @@ impl CtxRuntime {
         }
     }
 
-    /// Write-ahead ordering (tier 1b): every slow-path pin a transition
-    /// granted shows up in the outbox as a `Ready` response; append and
-    /// fsync those pin records *before* [`flush_outbox`] puts the
-    /// frames on the wire, so a granted pin the client saw is always in
-    /// the log. No-op without durability.
-    fn wal_log_outbox(&self, fx: &Effects) {
-        let Some(wal) = &self.wal else { return };
-        if fx.outbox.is_empty() {
-            return;
-        }
-        let _rank = lockrank::held(lockrank::WAL);
-        let mut w = wal.lock();
+    /// Appends `fx`'s durable records to an already-locked WAL without
+    /// syncing: the explicit `wal_records` first, then a pin record for
+    /// every `Ready` the outbox carries. Returns whether anything was
+    /// appended — the caller owns the durability point, which is what
+    /// lets the effect tier's batch executor fold the appends of a
+    /// whole batch into one group fsync.
+    fn wal_append_outbox(&self, w: &mut DaemonWal, fx: &mut Effects) -> bool {
         let mut any = false;
+        for r in fx.wal_records.drain(..) {
+            w.append(r);
+            any = true;
+        }
         for (client, resp) in &fx.outbox {
             if let Response::Ready { key, .. } = resp {
                 // A Ready for a key this member does not own can only be
@@ -941,43 +1166,63 @@ impl CtxRuntime {
                 any = true;
             }
         }
-        if any {
+        any
+    }
+
+    /// Write-ahead ordering (tier 1b): every slow-path pin a transition
+    /// granted shows up in the outbox as a `Ready` response; append and
+    /// fsync those pin records (plus any explicit `wal_records`)
+    /// *before* [`flush_outbox`](Self::flush_outbox) puts the frames on
+    /// the wire, so a granted pin the client saw is always in the log.
+    /// No-op without durability.
+    fn wal_log_outbox(&self, fx: &mut Effects) {
+        let Some(wal) = &self.wal else {
+            fx.wal_records.clear();
+            return;
+        };
+        if fx.outbox.is_empty() && fx.wal_records.is_empty() {
+            return;
+        }
+        let _rank = lockrank::held(lockrank::WAL);
+        let mut w = wal.lock();
+        if self.wal_append_outbox(&mut w, fx) {
             w.sync_and_compact(self.epoch);
         }
     }
 
     /// Drains a connection's buffered fast-path pin window into the
     /// WAL: net out acquire/release pairs that cancelled within the
-    /// window, append the rest, fsync. Called when the frame handler
-    /// returns — after the replies, so a crash can lose a fast pin's
-    /// record (the re-assertion protocol re-acquires it) but the log
-    /// never claims a pin the client does not hold longer than one
-    /// window. No-op without durability.
-    fn wal_drain_local(&self, local: &mut ConnLocal) {
-        let Some(wal) = &self.wal else { return };
-        if local.wal_pending.is_empty() {
+    /// window, then hand the survivors to `commit` as explicit
+    /// `wal_records` — appended and fsynced inline, or by the effect
+    /// tier's group-fsync pass when the pool is active. Called when the
+    /// frame handler returns — after the replies, so a crash can lose a
+    /// fast pin's record (the re-assertion protocol re-acquires it) but
+    /// the log never claims a pin the client does not hold longer than
+    /// one window. The effect tier stretches "one window" by its queue
+    /// latency, which the same re-assertion protocol already covers.
+    /// No-op without durability.
+    fn wal_drain_local(&self, inner: &Inner, local: &mut ConnLocal, fx: &mut Effects) {
+        if self.wal.is_none() || local.wal_pending.is_empty() {
             return;
         }
         walog::net_pin_window(&mut local.wal_pending);
-        let _rank = lockrank::held(lockrank::WAL);
-        let mut w = wal.lock();
-        for r in local.wal_pending.drain(..) {
-            w.append(r);
+        if local.wal_pending.is_empty() {
+            return;
         }
-        w.sync_and_compact(self.epoch);
+        fx.wal_records.append(&mut local.wal_pending);
+        self.commit(inner, fx);
     }
 
-    /// Appends a durable departure for `client` (disconnect or lease
-    /// expiry): voids all its pins and its lease in one record.
-    fn wal_client_gone(&self, client: ClientId) {
-        let Some(wal) = &self.wal else { return };
-        let _rank = lockrank::held(lockrank::WAL);
-        let mut w = wal.lock();
-        w.append(WalRecord::ClientGone {
-            client,
-            epoch: self.epoch,
-        });
-        w.sync_and_compact(self.epoch);
+    /// Stages a durable departure for `client` (disconnect or lease
+    /// expiry) into `fx`: voids all its pins and its lease in one
+    /// record, written by the next commit's WAL pass.
+    fn stage_client_gone(&self, fx: &mut Effects, client: ClientId) {
+        if self.wal.is_some() {
+            fx.wal_records.push(WalRecord::ClientGone {
+                client,
+                epoch: self.epoch,
+            });
+        }
     }
 
     /// Any recovery leases still waiting for re-assertion?
@@ -1008,7 +1253,7 @@ impl CtxRuntime {
         };
         for client in expired {
             self.leases_expired.fetch_add(1, Ordering::Relaxed);
-            self.wal_client_gone(client);
+            self.stage_client_gone(fx, client);
             self.transition(inner, DvEvent::ClientGone { client }, fx);
             self.commit(inner, fx);
         }
@@ -1038,7 +1283,9 @@ impl CtxRuntime {
         total.accept_retries = self.accept_retries.load(Ordering::Relaxed);
         if let Some(wal) = &self.wal {
             let _rank = lockrank::held(lockrank::WAL);
-            total.wal_appends = wal.lock().log.appended();
+            let w = wal.lock();
+            total.wal_appends = w.log.appended();
+            total.wal_syncs = w.log.syncs();
         }
         total.wal_replayed = self.wal_replayed;
         total.client_reconnects = self.client_reconnects.load(Ordering::Relaxed);
@@ -1046,6 +1293,16 @@ impl CtxRuntime {
         total.takeover_acquires = self.takeover_acquires.load(Ordering::Relaxed);
         total.takeover_intervals_primed = self.takeover_intervals_primed.load(Ordering::Relaxed);
         total.takeover_pins_handed_back = self.takeover_pins_handed_back.load(Ordering::Relaxed);
+        total.effects_offloaded = self.effects.offloaded.load(Ordering::Relaxed);
+        total.helper_queue_full = self.effects.queue_full.load(Ordering::Relaxed);
+        total.effect_spawn_ns = self.effects.spawn_ns.load(Ordering::Relaxed);
+        total.effect_spawn_ops = self.effects.spawn_ops.load(Ordering::Relaxed);
+        total.effect_wal_ns = self.effects.wal_ns.load(Ordering::Relaxed);
+        total.effect_wal_ops = self.effects.wal_ops.load(Ordering::Relaxed);
+        total.effect_evict_ns = self.effects.evict_ns.load(Ordering::Relaxed);
+        total.effect_evict_ops = self.effects.evict_ops.load(Ordering::Relaxed);
+        total.effect_read_ns = self.effects.read_ns.load(Ordering::Relaxed);
+        total.effect_read_ops = self.effects.read_ops.load(Ordering::Relaxed);
         (total, active)
     }
 
@@ -1261,30 +1518,28 @@ impl CtxRuntime {
                 true
             }
             Request::Bitrep { req_id, key } => {
-                // Pure storage I/O: never touches a DV lock.
-                let name = self.driver.filename_of(key);
-                let result = self.storage.read(&name).ok().map(|bytes| {
-                    let sum = self.driver.checksum(&bytes);
-                    match self.checksums.get(&key) {
-                        Some(recorded) => (sum == *recorded, true),
-                        None => (false, false),
+                // Pure storage I/O: never touches a DV lock. With the
+                // effect tier active the read runs on a helper and the
+                // reply routes back through the reactor registry; the
+                // shard thread moves straight to its next frame.
+                if let (Some(pool), Some(shard)) =
+                    (inner.pool.get(), crate::reactor::current_shard())
+                {
+                    if let Some(ctx) = self.weak_self.upgrade() {
+                        self.effects.offloaded.fetch_add(1, Ordering::Relaxed);
+                        let job = EffectJob::BitrepRead {
+                            ctx,
+                            client,
+                            req_id,
+                            key,
+                        };
+                        if pool.submit(shard, job) {
+                            self.effects.queue_full.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return true;
                     }
-                });
-                let resp = match result {
-                    Some((matches, known)) => Response::BitrepResult {
-                        req_id,
-                        key,
-                        matches,
-                        known,
-                    },
-                    None => Response::Failed {
-                        req_id,
-                        key,
-                        code: FailCode::Other,
-                        reason: "file not materialized; acquire it first".to_string(),
-                    },
-                };
-                fx.outbox.push((client, resp));
+                }
+                fx.outbox.push((client, self.bitrep_response(req_id, key)));
                 self.flush_outbox(fx);
                 true
             }
@@ -1425,7 +1680,7 @@ impl CtxRuntime {
                     // next pass (we just took the lease entry it would
                     // have acted on).
                     self.leases_expired.fetch_add(1, Ordering::Relaxed);
-                    self.wal_client_gone(prior_client);
+                    self.stage_client_gone(fx, prior_client);
                     self.transition(inner, DvEvent::ClientGone { client: prior_client }, fx);
                 }
             } else {
@@ -1451,22 +1706,22 @@ impl CtxRuntime {
                 }
                 // Retire the prior identity: releases restored pins the
                 // client did not re-claim, clears stale waiter state.
+                // The transferred pins and the departure go into the
+                // commit's WAL pass as explicit records, appended and
+                // fsynced before the `Reasserted` frame is sent.
                 self.transition(inner, DvEvent::ClientGone { client: prior_client }, fx);
-                if let Some(wal) = &self.wal {
-                    let _rank = lockrank::held(lockrank::WAL);
-                    let mut w = wal.lock();
+                if self.wal.is_some() {
                     for &key in &restored {
-                        w.append(WalRecord::PinAcquire {
+                        fx.wal_records.push(WalRecord::PinAcquire {
                             client,
                             key,
                             epoch: self.epoch,
                         });
                     }
-                    w.append(WalRecord::ClientGone {
+                    fx.wal_records.push(WalRecord::ClientGone {
                         client: prior_client,
                         epoch: self.epoch,
                     });
-                    w.sync_and_compact(self.epoch);
                 }
             }
         }
@@ -1752,13 +2007,43 @@ impl CtxRuntime {
         }
         // Durable departure: one ClientGone voids every logged pin of
         // this session, so the buffered fast-pin window can simply be
-        // dropped — nothing in it could survive the departure.
+        // dropped — nothing in it could survive the departure. The
+        // record rides the commit's WAL pass.
         if self.wal.is_some() {
             local.wal_pending.clear();
-            self.wal_client_gone(client);
+            self.stage_client_gone(fx, client);
         }
         self.transition(inner, DvEvent::ClientGone { client }, fx);
         self.commit(inner, fx);
+    }
+
+    /// Computes a `Bitrep` reply: read the materialized file, checksum
+    /// it, compare against the recorded reference. Blocking (storage
+    /// read) — runs on a helper when the effect tier is active.
+    fn bitrep_response(&self, req_id: u64, key: u64) -> Response {
+        lockrank::assert_blocking_ok("bitrep-read");
+        let name = self.driver.filename_of(key);
+        let result = self.storage.read(&name).ok().map(|bytes| {
+            let sum = self.driver.checksum(&bytes);
+            match self.checksums.get(&key) {
+                Some(recorded) => (sum == *recorded, true),
+                None => (false, false),
+            }
+        });
+        match result {
+            Some((matches, known)) => Response::BitrepResult {
+                req_id,
+                key,
+                matches,
+                known,
+            },
+            None => Response::Failed {
+                req_id,
+                key,
+                code: FailCode::Other,
+                reason: "file not materialized; acquire it first".to_string(),
+            },
+        }
     }
 
     /// Output-integrity gate: a file a simulator claims to have
@@ -1767,6 +2052,7 @@ impl CtxRuntime {
     /// when one exists for the key. Returns why the file is
     /// unacceptable, or `Ok` to admit it to residency.
     fn verify_produced(&self, key: u64) -> Result<(), String> {
+        lockrank::assert_blocking_ok("verify-read");
         let name = self.driver.filename_of(key);
         let bytes = self
             .storage
@@ -1788,7 +2074,12 @@ impl CtxRuntime {
         Ok(())
     }
 
-    /// Processes one simulator request; `false` ends the session.
+    /// Processes one simulator request; `false` ends the session. With
+    /// the effect tier active the event is submitted to this shard's
+    /// effect queue — output verification (a storage read), the
+    /// transition and the commit all run on a helper, and per-shard
+    /// queue FIFO keeps the sim's events in wire order (`FileProduced`
+    /// before `SimFinished`).
     fn handle_simulator_request(
         &self,
         inner: &Inner,
@@ -1798,8 +2089,40 @@ impl CtxRuntime {
         fx: &mut Effects,
     ) -> bool {
         let event = match req {
-            Request::SimStarted => DvEvent::SimStarted { sim },
-            Request::FileProduced { key, size } => match self.verify_produced(key) {
+            Request::SimStarted => SimWireEvent::Started,
+            Request::FileProduced { key, size } => SimWireEvent::Produced { key, size },
+            Request::SimFinished => {
+                *finished = true;
+                SimWireEvent::Finished
+            }
+            _ => return false, // Bye or protocol error: drop the session
+        };
+        self.submit_sim_event(inner, sim, event, fx);
+        !*finished
+    }
+
+    /// Routes one simulator event: to the effect tier on an active-pool
+    /// shard thread, inline everywhere else.
+    fn submit_sim_event(&self, inner: &Inner, sim: SimId, event: SimWireEvent, fx: &mut Effects) {
+        if let (Some(pool), Some(shard)) = (inner.pool.get(), crate::reactor::current_shard()) {
+            if let Some(ctx) = self.weak_self.upgrade() {
+                self.effects.offloaded.fetch_add(1, Ordering::Relaxed);
+                if pool.submit(shard, EffectJob::SimEvent { ctx, sim, event }) {
+                    self.effects.queue_full.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+        self.apply_sim_event(inner, sim, event, fx);
+    }
+
+    /// Verifies (where the event claims output), transitions and
+    /// commits one simulator event. Runs on a helper thread when the
+    /// effect tier is active, inline otherwise.
+    fn apply_sim_event(&self, inner: &Inner, sim: SimId, event: SimWireEvent, fx: &mut Effects) {
+        let event = match event {
+            SimWireEvent::Started => DvEvent::SimStarted { sim },
+            SimWireEvent::Produced { key, size } => match self.verify_produced(key) {
                 Ok(()) => DvEvent::FileProduced { sim, key, size },
                 Err(_why) => {
                     // Never let a bad file reach residency: delete it so
@@ -1810,25 +2133,26 @@ impl CtxRuntime {
                     DvEvent::OutputCorrupt { sim, key }
                 }
             },
-            Request::SimFinished => {
-                *finished = true;
+            SimWireEvent::Finished => {
                 fx.completed.push(sim);
                 DvEvent::SimFinished { sim }
             }
-            _ => return false, // Bye or protocol error: drop the session
+            SimWireEvent::Failed => {
+                fx.completed.push(sim);
+                DvEvent::SimFailed { sim }
+            }
         };
         self.transition(inner, event, fx);
         self.commit(inner, fx);
-        !*finished
     }
 
     /// Tears down a simulator session; a connection dying before
-    /// `SimFinished` means the re-simulation failed.
+    /// `SimFinished` means the re-simulation failed. The failure event
+    /// rides the same per-shard effect queue as the session's protocol
+    /// events, so it cannot overtake a still-queued `FileProduced`.
     fn simulator_disconnect(&self, inner: &Inner, sim: SimId, finished: bool, fx: &mut Effects) {
         if !finished {
-            fx.completed.push(sim);
-            self.transition(inner, DvEvent::SimFailed { sim }, fx);
-            self.commit(inner, fx);
+            self.submit_sim_event(inner, sim, SimWireEvent::Failed, fx);
         }
         // Collect any already-exited jobs while we are here (launchers
         // report each exit exactly once, so the results must be applied,
@@ -1853,6 +2177,86 @@ impl CtxRuntime {
     }
 }
 
+/// Executes one drained batch of effect jobs on a helper thread
+/// (blocking-permitted). Two phases:
+///
+/// 1. **Group fsync.** Every WAL append the batch carries — `Ready` pin
+///    records and explicit `wal_records` of `Commit` jobs — is written
+///    first, then each dirty context syncs *once*. Write-ahead ordering
+///    is preserved batch-wide: no frame of any job goes on the wire
+///    before every pin record of the batch is durable (strictly
+///    stronger than the per-commit ordering the inline path provides).
+/// 2. **Execution in submission order.** Each job then runs through the
+///    same code the inline path uses (`commit_inline`,
+///    `apply_sim_event`, `bitrep_response`), with its WAL pass skipped
+///    where phase 1 already covered it. Per-class latency lands in the
+///    owning context's [`EffectPerf`].
+///
+/// Helpers themselves call `commit` → `commit_inline` recursively (a
+/// launch failure feeding back as `SimFailed`, a reap): those nested
+/// commits run inline on the helper — `current_shard()` is `None` here
+/// — so a helper never submits to the pool and backpressure cannot
+/// deadlock.
+fn execute_effect_batch(inner: &Inner, mut jobs: Vec<EffectJob>) {
+    let mut dirty: Vec<Arc<CtxRuntime>> = Vec::new();
+    for job in &mut jobs {
+        if let EffectJob::Commit { ctx, fx, wal_logged } = job {
+            if let Some(wal) = &ctx.wal {
+                if !fx.outbox.is_empty() || !fx.wal_records.is_empty() {
+                    let _rank = lockrank::held(lockrank::WAL);
+                    let mut w = wal.lock();
+                    if ctx.wal_append_outbox(&mut w, fx) && !dirty.iter().any(|c| Arc::ptr_eq(c, ctx)) {
+                        dirty.push(Arc::clone(ctx));
+                    }
+                }
+                *wal_logged = true;
+            }
+        }
+    }
+    for ctx in &dirty {
+        if let Some(wal) = &ctx.wal {
+            let _rank = lockrank::held(lockrank::WAL);
+            wal.lock().sync_and_compact(ctx.epoch);
+        }
+    }
+    for job in jobs {
+        let t0 = Instant::now();
+        match job {
+            EffectJob::Commit {
+                ctx,
+                mut fx,
+                wal_logged,
+            } => {
+                let class = if fx.has_job_control() {
+                    EffectClass::Spawn
+                } else if !fx.evicts.is_empty() {
+                    EffectClass::Evict
+                } else {
+                    EffectClass::Wal
+                };
+                ctx.commit_inline(inner, &mut fx, wal_logged);
+                ctx.effects.record(class, t0.elapsed());
+            }
+            EffectJob::SimEvent { ctx, sim, event } => {
+                let mut fx = Effects::default();
+                ctx.apply_sim_event(inner, sim, event, &mut fx);
+                ctx.effects.record(EffectClass::Read, t0.elapsed());
+            }
+            EffectJob::BitrepRead {
+                ctx,
+                client,
+                req_id,
+                key,
+            } => {
+                let mut fx = Effects::default();
+                fx.outbox.push((client, ctx.bitrep_response(req_id, key)));
+                ctx.flush_outbox(&mut fx);
+                ctx.effects.record(EffectClass::Read, t0.elapsed());
+            }
+        }
+    }
+}
+
 /// A running DV daemon; dropping it (or calling
 /// [`shutdown`](DvServer::shutdown)) stops the accept loop.
 pub struct DvServer {
@@ -1869,18 +2273,44 @@ impl DvServer {
 
     /// Binds and starts a daemon serving several simulation contexts
     /// (§II) on one address; clients route by context name at hello
-    /// time.
+    /// time. Thread topology takes [`DaemonTuning::default`]: auto
+    /// reactor shards, effect tier on with one helper per shard.
     ///
     /// # Panics
     /// Panics on duplicate context names — a configuration error.
     pub fn start_multi(configs: Vec<ServerConfig>, bind: &str) -> io::Result<DvServer> {
+        Self::start_tuned(configs, bind, DaemonTuning::default())
+    }
+
+    /// [`start_multi`](Self::start_multi) with explicit thread-topology
+    /// knobs (reactor shard count, effect-tier helper count and queue
+    /// capacity — see [`DaemonTuning`]).
+    ///
+    /// # Panics
+    /// Panics on duplicate context names — a configuration error.
+    pub fn start_tuned(
+        configs: Vec<ServerConfig>,
+        bind: &str,
+        tuning: DaemonTuning,
+    ) -> io::Result<DvServer> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
 
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let reactor = Reactor::start(cores)?;
+        let reactor_shards = if tuning.reactor_shards == 0 {
+            cores
+        } else {
+            tuning.reactor_shards
+        };
+        // Helper default: one per reactor shard, so every submission
+        // queue has a dedicated drainer and per-queue FIFO is an
+        // execution order. The reactor's shard threads are marked
+        // non-blocking exactly when the tier will be there to take the
+        // blocking work off them.
+        let reactor = Reactor::start_tuned(reactor_shards, tuning.effect_helpers != Some(0))?;
+        let effect_helpers = tuning.effect_helpers.unwrap_or(reactor.shard_count());
         let accept_wake = EventFd::new()?;
 
         let mut contexts = HashMap::new();
@@ -2004,8 +2434,9 @@ impl DvServer {
                 log.compact(&state.snapshot(epoch))?;
                 wal = Some(Mutex::new(DaemonWal { log, state }));
             }
-            let runtime = Arc::new(CtxRuntime {
+            let runtime = Arc::new_cyclic(|weak_self| CtxRuntime {
                 name: name.clone(),
+                weak_self: weak_self.clone(),
                 shards: shards
                     .into_iter()
                     .map(|dv| {
@@ -2022,6 +2453,7 @@ impl DvServer {
                 fast,
                 digest,
                 perf: LockPerf::default(),
+                effects: EffectPerf::default(),
                 reactor: Arc::clone(&reactor),
                 ledger: Mutex::new(LaunchLedger::default()),
                 driver: config.driver,
@@ -2056,7 +2488,28 @@ impl DvServer {
             reap_signal: (StdMutex::new(false), Condvar::new()),
             quiesce: (StdMutex::new(()), Condvar::new()),
             accept_retries,
+            pool: std::sync::OnceLock::new(),
         });
+
+        // The effect tier: one bounded queue per reactor shard, drained
+        // by helper threads running `execute_effect_batch`. Built
+        // before the accept loop admits any connection; the executor
+        // holds only a weak reference, so the pool does not keep the
+        // daemon alive.
+        if effect_helpers > 0 {
+            let weak = Arc::downgrade(&inner);
+            let pool = crate::effectpool::EffectPool::start(
+                inner.reactor.shard_count(),
+                effect_helpers,
+                tuning.effect_queue_cap.max(1),
+                Arc::new(move |jobs| {
+                    if let Some(inner) = weak.upgrade() {
+                        execute_effect_batch(&inner, jobs);
+                    }
+                }),
+            )?;
+            let _ = inner.pool.set(pool);
+        }
 
         // Delete whatever the priming evicted (storage shrunk between
         // runs).
@@ -2223,6 +2676,12 @@ impl DvServer {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.accept_wake.signal();
         self.inner.reactor.shutdown();
+        // Drain the effect tier: queued effects (WAL appends, pending
+        // replies, evictions) execute before the helpers join — the
+        // tier never drops work it accepted.
+        if let Some(pool) = self.inner.pool.get() {
+            pool.shutdown();
+        }
         // Release the reaper from its idle park.
         {
             let _rank = lockrank::held(lockrank::REAP_SIGNAL);
@@ -2477,9 +2936,10 @@ impl crate::reactor::Handler for EpollConn {
                 let keep = runtime.handle_analysis_request(&self.inner, *client, req, local, cx, fx);
                 // Tier 1b: the frame's fast-path pin window becomes
                 // durable once the replies are staged (slow-path pins
-                // were logged before their sends, inside commit).
+                // were logged before their sends, inside commit) — via
+                // the effect tier's group-fsync pass when active.
                 if keep {
-                    runtime.wal_drain_local(local);
+                    runtime.wal_drain_local(&self.inner, local, fx);
                 }
                 keep
             }
@@ -2570,6 +3030,11 @@ pub struct SimFaultSpec {
     /// a truncated SDF container (magic but no valid body), tripping
     /// the daemon's output-integrity gate.
     pub corrupt_every: u64,
+    /// Synchronous latency of each `launch()` call itself (the cost a
+    /// real scheduler submission or `fork` would charge the calling
+    /// thread). The head-of-line regression tests use it to make an
+    /// inline-executed launch visibly stall its reactor shard.
+    pub launch_delay: std::time::Duration,
 }
 
 /// In-process simulator launcher: "launches" jobs as threads that
@@ -2636,6 +3101,11 @@ impl ThreadSimLauncher {
 
 impl JobLauncher for ThreadSimLauncher {
     fn launch(&self, job: JobId, spec: &SpawnSpec) -> io::Result<simbatch::JobHandle> {
+        if !self.faults.launch_delay.is_zero() {
+            // Charge the submission cost to the calling thread, like a
+            // real scheduler hand-off would.
+            std::thread::sleep(self.faults.launch_delay);
+        }
         let start = Self::parse_arg(spec, "--start-key")
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "missing --start-key"))?;
         let stop = Self::parse_arg(spec, "--stop-key")

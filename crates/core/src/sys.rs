@@ -27,6 +27,7 @@ const EPOLL_CTL_DEL: c_int = 2;
 const EPOLL_CTL_MOD: c_int = 3;
 const EFD_CLOEXEC: c_int = 0o2000000;
 const EFD_NONBLOCK: c_int = 0o4000;
+const EFD_SEMAPHORE: c_int = 1;
 
 /// `struct epoll_event`. The kernel UAPI packs it on x86-64 (the 64-bit
 /// data field is misaligned by design, a compatibility quirk inherited
@@ -181,6 +182,73 @@ impl EventFd {
     }
 }
 
+/// A *blocking*, semaphore-mode eventfd: a counting wakeup primitive for
+/// the effect-pool helper threads ([`crate::effectpool`]).
+///
+/// Each [`post`](Self::post) adds one permit; each
+/// [`acquire`](Self::acquire) blocks until a permit is available and
+/// consumes exactly one (`EFD_SEMAPHORE` read semantics — the counter
+/// decrements by 1 instead of resetting to 0). Unlike [`EventFd`], the
+/// fd is intentionally left blocking: helpers park *in* the read, and a
+/// post from any submitting thread wakes exactly one of them.
+#[derive(Debug)]
+pub struct SemaphoreFd {
+    fd: RawFd,
+}
+
+impl SemaphoreFd {
+    /// Creates a blocking, close-on-exec, semaphore-mode eventfd with
+    /// zero initial permits.
+    pub fn new() -> io::Result<SemaphoreFd> {
+        // SAFETY: no pointers cross the boundary; the flags value is a
+        // valid eventfd argument and the return is error-checked.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_SEMAPHORE) })?;
+        Ok(SemaphoreFd { fd })
+    }
+
+    /// Adds `n` permits, waking up to `n` parked acquirers.
+    pub fn post(&self, n: u64) {
+        // SAFETY: the buffer is a live 8-byte stack value matching the
+        // count; eventfd writes never retain the pointer. The counter
+        // would have to reach u64::MAX - 1 to block, which a bounded
+        // queue cannot produce.
+        unsafe {
+            write(self.fd, (&n as *const u64).cast::<c_void>(), 8);
+        }
+    }
+
+    /// Blocks until a permit is available and consumes one. Returns
+    /// `false` only on read error (fd closed mid-shutdown), `true` on a
+    /// consumed permit; an interrupting signal retries internally.
+    pub fn acquire(&self) -> bool {
+        let mut buf: u64 = 0;
+        loop {
+            // SAFETY: the buffer is a live, writable 8-byte stack value
+            // matching the count; a semaphore-mode eventfd read fills
+            // exactly 8 bytes (decrementing the counter by one) or
+            // fails, and never retains the pointer.
+            let n = unsafe { read(self.fd, (&mut buf as *mut u64).cast::<c_void>(), 8) };
+            if n == 8 {
+                return true;
+            }
+            if io::Error::last_os_error().kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return false;
+        }
+    }
+}
+
+impl Drop for SemaphoreFd {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is the eventfd this struct owns
+        // exclusively; it is closed exactly once, here.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
 impl Drop for EventFd {
     fn drop(&mut self) {
         // SAFETY: `self.fd` is the eventfd this struct owns
@@ -211,6 +279,23 @@ mod tests {
         assert_ne!(mask & EPOLLIN, 0);
         ev.drain();
         assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn semaphore_fd_hands_out_one_permit_per_acquire() {
+        let sem = std::sync::Arc::new(SemaphoreFd::new().unwrap());
+        sem.post(2);
+        assert!(sem.acquire());
+        assert!(sem.acquire());
+        // Counter is back to zero: a third acquire parks until a
+        // concurrent post arrives.
+        let waiter = {
+            let sem = sem.clone();
+            std::thread::spawn(move || sem.acquire())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        sem.post(1);
+        assert!(waiter.join().unwrap());
     }
 
     #[test]

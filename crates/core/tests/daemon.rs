@@ -1242,6 +1242,7 @@ fn transient_sim_crash_is_retried_transparently() {
     let faults = simfs_core::server::SimFaultSpec {
         crash_quota: 1,
         corrupt_every: 0,
+        ..Default::default()
     };
     let fx = start_supervised_daemon("retry", faults, test_supervisor());
     let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
@@ -1263,6 +1264,7 @@ fn corrupt_output_is_deleted_killed_and_reproduced() {
     let faults = simfs_core::server::SimFaultSpec {
         crash_quota: 0,
         corrupt_every: 7,
+        ..Default::default()
     };
     let fx = start_supervised_daemon("corrupt", faults, test_supervisor());
     let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
@@ -1292,6 +1294,7 @@ fn persistent_crash_exhausts_budget_and_poisons_with_typed_code() {
     let faults = simfs_core::server::SimFaultSpec {
         crash_quota: u64::MAX,
         corrupt_every: 0,
+        ..Default::default()
     };
     let fx = start_supervised_daemon("poison", faults, test_supervisor());
     let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();
@@ -1340,6 +1343,7 @@ fn lock_rank_tracker_is_engaged_and_clean_across_supervision() {
     let faults = simfs_core::server::SimFaultSpec {
         crash_quota: 2,
         corrupt_every: 3,
+        ..Default::default()
     };
     let fx = start_supervised_daemon("lockrank", faults, test_supervisor());
     let mut client = SimfsClient::connect(fx.server.addr(), "test-ctx").unwrap();

@@ -60,6 +60,11 @@ pub const QUIESCE: Rank = Rank { level: 70, name: "quiesce", blocking: true };
 /// Takeover interval-priming set. Deliberately held across the storage
 /// rescan and the per-key shard locks while a takeover is primed.
 pub const TAKEOVER_PRIMED: Rank = Rank { level: 60, name: "takeover-primed", blocking: true };
+/// Effect-pool per-shard queue mutex (tier 1c). A submitting reactor
+/// shard parks on the queue condvar while the queue is full
+/// (backpressure), so blocking is allowed while it is held; it is never
+/// nested with any other documented lock.
+pub const EFFECT_QUEUE: Rank = Rank { level: 50, name: "effect-queue", blocking: true };
 /// Per-key-range DV shard mutex (tier 2 in the server doc). The hot
 /// lock: everything under it must be pure state-machine work.
 pub const DV_SHARD: Rank = Rank { level: 40, name: "dv-shard", blocking: false };
@@ -99,6 +104,15 @@ mod imp {
     thread_local! {
         static STACK: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
         static NEXT_ID: RefCell<u64> = const { RefCell::new(0) };
+        static NONBLOCKING_THREAD: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    pub fn mark_thread_nonblocking() {
+        NONBLOCKING_THREAD.with(|f| f.set(true));
+    }
+
+    pub fn thread_is_nonblocking() -> bool {
+        NONBLOCKING_THREAD.with(|f| f.get())
     }
 
     /// Debug guard recording one held rank; removal is by unique id so
@@ -154,6 +168,13 @@ mod imp {
 
     pub fn assert_blocking_ok(what: &str) {
         CHECKS.fetch_add(1, Ordering::Relaxed);
+        if thread_is_nonblocking() {
+            panic!(
+                "blocking operation '{what}' on a non-blocking thread (a reactor shard with \
+                 the effect pool active); submit it through the effect tier — \
+                 see crates/core/LOCKS.md",
+            );
+        }
         let offender = STACK.with(|s| {
             s.borrow().iter().find(|e| !e.blocking).map(|e| (e.name, e.level))
         });
@@ -192,6 +213,14 @@ mod imp {
     }
 
     #[inline(always)]
+    pub fn mark_thread_nonblocking() {}
+
+    #[inline(always)]
+    pub fn thread_is_nonblocking() -> bool {
+        false
+    }
+
+    #[inline(always)]
     pub fn assert_blocking_ok(_what: &str) {}
 
     #[inline(always)]
@@ -211,11 +240,32 @@ pub fn held(rank: Rank) -> Held {
 }
 
 /// Asserts no lock whose registry row forbids blocking is currently held
-/// by this thread. Blocking primitives on daemon paths (WAL flush/sync,
-/// process launch) call this at entry. No-op in release builds.
+/// by this thread, and that the thread itself has not been marked
+/// non-blocking via [`mark_thread_nonblocking`]. Blocking primitives on
+/// daemon paths (WAL flush/sync, process launch, storage delete) call
+/// this at entry. No-op in release builds.
 #[inline]
 pub fn assert_blocking_ok(what: &str) {
     imp::assert_blocking_ok(what);
+}
+
+/// Marks the current thread as forbidden from calling blocking
+/// primitives at all, held locks or not. Reactor shard threads call this
+/// when the effect-execution tier is active: with helpers available
+/// there is no legitimate reason for a shard thread to touch disk or the
+/// process table, so every [`assert_blocking_ok`] site becomes a
+/// thread-wide tripwire rather than a lock-scoped one. Irreversible for
+/// the thread's lifetime; no-op in release builds.
+#[inline]
+pub fn mark_thread_nonblocking() {
+    imp::mark_thread_nonblocking();
+}
+
+/// Whether [`mark_thread_nonblocking`] was called on this thread.
+/// Always `false` in release builds.
+#[inline]
+pub fn thread_is_nonblocking() -> bool {
+    imp::thread_is_nonblocking()
 }
 
 /// Asserts the current thread holds no rank strictly below `level`.
@@ -295,6 +345,21 @@ mod tests {
         drop(b);
         // After both drop, the stack is empty again.
         let _fresh = held(REAP_SIGNAL);
+    }
+
+    #[test]
+    fn nonblocking_thread_trips_blocking_assert_with_no_locks_held() {
+        // Run in a scratch thread: the mark is irreversible and must not
+        // leak into sibling tests on this thread.
+        std::thread::spawn(|| {
+            assert!(!thread_is_nonblocking());
+            assert_blocking_ok("fsync");
+            mark_thread_nonblocking();
+            assert!(thread_is_nonblocking());
+            assert!(catches(|| assert_blocking_ok("fsync")));
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

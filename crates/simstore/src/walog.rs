@@ -340,6 +340,9 @@ pub struct WriteAheadLog {
     file_bytes: u64,
     /// Records appended over this log's lifetime (stat feed).
     appended: u64,
+    /// Actual `fdatasync` calls over this log's lifetime (stat feed:
+    /// `appended / syncs` is the group-fsync batching factor).
+    syncs: u64,
     /// Written bytes not yet fsynced.
     dirty: bool,
 }
@@ -372,6 +375,7 @@ impl WriteAheadLog {
                 pending: Vec::new(),
                 file_bytes: report.valid_bytes,
                 appended: 0,
+                syncs: 0,
                 dirty: false,
             },
             records,
@@ -414,6 +418,7 @@ impl WriteAheadLog {
         self.flush()?;
         if self.dirty {
             self.file.sync_data()?;
+            self.syncs += 1;
             self.dirty = false;
         }
         Ok(())
@@ -453,6 +458,13 @@ impl WriteAheadLog {
     /// Records appended over this log's lifetime.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// `fdatasync` calls over this log's lifetime. With group fsync
+    /// (the daemon's effect tier) this stays well below
+    /// [`appended`](Self::appended) under load.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
     }
 
     /// The backing file's path.
